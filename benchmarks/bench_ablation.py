@@ -1,0 +1,282 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* node/edge reordering -> i860 cache model rate (Section 4.2's "factor of
+  two");
+* incremental vs independent communication schedules (Section 4.3);
+* partitioner quality -> communication volume (Section 4.1 / ref 10);
+* residual smoothing on/off (Section 2.2's convergence acceleration);
+* W vs V vs single-grid efficiency per architecture (Sections 3.2 / 4.4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distsolver import (DistributedEulerSolver, random_shuffle_edges,
+                              sort_edges_by_vertex)
+from repro.mesh import build_edge_structure, bump_channel
+from repro.parti import (IncrementalScheduleBuilder, SimMachine,
+                         TranslationTable, build_gather_schedule)
+from repro.partition import (greedy_bfs_partition, partition_metrics,
+                             recursive_coordinate_bisection,
+                             recursive_spectral_bisection)
+from repro.perfmodel import node_rate_for_ordering
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import freestream_state
+
+
+@pytest.fixture(scope="module")
+def struct():
+    return build_edge_structure(bump_channel(36, 6, 12))
+
+
+# ---------------------------------------------------------------------------
+def test_reordering_speedup(benchmark, struct):
+    """Section 4.2: reordering 'improved the single node computational
+    rate by a factor of two' — the cache model on our measured reuse
+    distances must show a comparable gain."""
+    def run():
+        ordered = node_rate_for_ordering(
+            struct.edges, sort_edges_by_vertex(struct.edges))
+        shuffled = node_rate_for_ordering(
+            struct.edges, random_shuffle_edges(struct.n_edges))
+        return ordered, shuffled
+
+    ordered, shuffled = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = ordered.mflops / shuffled.mflops
+    print(f"\nReordering ablation: ordered {ordered.mflops:.2f} MFlops "
+          f"(hit {ordered.hit_rate:.2f}) vs shuffled "
+          f"{shuffled.mflops:.2f} MFlops (hit {shuffled.hit_rate:.2f}) "
+          f"-> speedup {speedup:.2f}x (paper: ~2x)")
+    assert 1.4 < speedup < 3.5
+
+
+# ---------------------------------------------------------------------------
+def test_incremental_schedules(benchmark, struct):
+    """Section 4.3: with the flow variables used by several consecutive
+    loops, incremental schedules avoid re-fetching — measure the byte
+    saving over one Runge-Kutta stage's loop sequence."""
+    p = 8
+    asg = recursive_spectral_bisection(struct.edges, struct.n_vertices, p)
+    table = TranslationTable(asg, p)
+
+    # Reference sets of the three edge loops of a stage (conv, diss pass
+    # 1, diss pass 2) — all need the same edge-endpoint ghosts.
+    edge_owner = table.owner_of(struct.edges[:, 0])
+    loops = []
+    for _ in range(3):
+        loops.append([struct.edges[edge_owner == r].ravel()
+                      for r in range(p)])
+
+    def run():
+        independent = sum(
+            build_gather_schedule(req, table).total_ghosts()
+            for req in loops)
+        builder = IncrementalScheduleBuilder(table)
+        incremental = sum(builder.add(req).schedule.total_ghosts()
+                          for req in loops)
+        return independent, incremental
+
+    independent, incremental = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    saving = 1 - incremental / independent
+    print(f"\nIncremental schedules: {independent} ghost fetches "
+          f"independent vs {incremental} incremental "
+          f"({100 * saving:.0f}% saved)")
+    # Three identical reference sets: the second and third fetch nothing.
+    assert incremental == independent // 3
+    assert saving > 0.6
+
+
+# ---------------------------------------------------------------------------
+def test_partitioner_quality_to_comm(benchmark, struct):
+    """Partition quality vs actual PARTI traffic (Section 4.1 premise)."""
+    p = 8
+    mesh = bump_channel(36, 6, 12)
+
+    def traffic_for(asg):
+        winf = freestream_state(0.768, 1.116)
+        solver = DistributedEulerSolver(struct, winf, asg, SolverConfig())
+        solver.step(solver.freestream_solution())
+        return solver.machine.log.total_bytes
+
+    def run():
+        out = {}
+        out["rsb"] = traffic_for(recursive_spectral_bisection(
+            struct.edges, struct.n_vertices, p))
+        out["rcb"] = traffic_for(recursive_coordinate_bisection(
+            mesh.vertices, p))
+        out["bfs"] = traffic_for(greedy_bfs_partition(
+            struct.edges, struct.n_vertices, p))
+        return out
+
+    bytes_by = benchmark.pedantic(run, rounds=1, iterations=1)
+    cuts = {
+        "rsb": int(partition_metrics(
+            struct.edges, recursive_spectral_bisection(
+                struct.edges, struct.n_vertices, p)).n_cut_edges),
+        "rcb": int(partition_metrics(
+            struct.edges, recursive_coordinate_bisection(
+                mesh.vertices, p)).n_cut_edges),
+        "bfs": int(partition_metrics(
+            struct.edges, greedy_bfs_partition(
+                struct.edges, struct.n_vertices, p)).n_cut_edges),
+    }
+    print(f"\nPartitioner -> bytes/cycle: {bytes_by}; cut edges: {cuts}")
+    # Finding worth recording: RSB minimises the *cut* (the paper's
+    # metric), but actual PARTI traffic follows the *unique ghost-vertex*
+    # count because the inspector deduplicates repeated references — the
+    # very hash-table optimisation Section 4.3 celebrates.  On this
+    # elongated channel RCB's slab-shaped parts reference the fewest
+    # distinct off-rank vertices and win on bytes (measured: rcb < bfs <
+    # rsb) even while losing on cut (rsb < bfs < rcb).
+    assert cuts["rsb"] <= min(cuts.values())
+    assert max(bytes_by.values()) < 1.5 * min(bytes_by.values())
+
+
+# ---------------------------------------------------------------------------
+def test_residual_smoothing_ablation(benchmark):
+    """Residual averaging buys a higher stable CFL and faster convergence
+    per cycle (Section 2.2)."""
+    mesh = bump_channel(24, 2, 8)
+    winf = freestream_state(0.768, 1.116)
+
+    def run():
+        n = 150
+        s_on = EulerSolver(mesh, winf, SolverConfig())
+        _, h_on = s_on.run(n_cycles=n)
+        s_off = EulerSolver(mesh, winf, SolverConfig().without_smoothing())
+        _, h_off = s_off.run(n_cycles=n)
+        return h_on, h_off
+
+    h_on, h_off = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSmoothing ablation after 150 cycles: "
+          f"on {h_on[-1]:.3e} vs off {h_off[-1]:.3e}")
+    assert np.isfinite(h_on[-1]) and np.isfinite(h_off[-1])
+    # With smoothing the scheme runs at double the CFL; require it not to
+    # be slower once past the impulsive transient.
+    assert h_on[-1] < 5 * h_off[-1]
+
+
+# ---------------------------------------------------------------------------
+def test_cycle_efficiency_crossover(benchmark, case):
+    """Sections 3.2/4.4: the W-cycle is the clear winner on the C90 but
+    its advantage narrows on the Delta because coarse grids communicate
+    poorly — 'the most efficient overall solution strategy may then become
+    an architecture-dependent problem.'"""
+    from repro.harness import table1, table2
+
+    def run():
+        # Cost per cycle (16 CPUs / 512 nodes), per strategy.
+        return ({s: table1(s, case)[0][-1][1] for s in ("sg", "v", "w")},
+                {s: table2(s, case)[0][-1][3] for s in ("sg", "v", "w")})
+
+    c90, delta = benchmark.pedantic(run, rounds=1, iterations=1)
+    # W-cycle cost premium over single grid is worse on the Delta.
+    premium_c90 = c90["w"] / c90["sg"]
+    premium_delta = delta["w"] / delta["sg"]
+    print(f"\nW-cycle cost premium per 100 cycles: C90 {premium_c90:.2f}x, "
+          f"Delta {premium_delta:.2f}x")
+    assert premium_delta > premium_c90
+
+
+# ---------------------------------------------------------------------------
+def test_partition_refinement(benchmark, struct):
+    """Extension (paper Section 6 future work): KL/FM-style boundary
+    refinement polishes a cheap geometric partition toward RSB quality at
+    a fraction of RSB's cost."""
+    from repro.partition import refine_partition, refinement_gain
+    mesh = bump_channel(36, 6, 12)
+    p = 16
+
+    def run():
+        base = recursive_coordinate_bisection(mesh.vertices, p)
+        refined = refine_partition(struct.edges, base, p)
+        return (refinement_gain(struct.edges, base),
+                refinement_gain(struct.edges, refined))
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    rsb_cut = refinement_gain(
+        struct.edges,
+        recursive_spectral_bisection(struct.edges, struct.n_vertices, p))
+    print(f"\nRCB cut {before} -> refined {after} (RSB reference {rsb_cut})")
+    assert after < before
+    assert after < 1.35 * rsb_cut
+
+
+# ---------------------------------------------------------------------------
+def test_refined_mesh_as_new_finest_level(benchmark):
+    """Extension (paper Section 2.3): 'new finer meshes can be introduced
+    by adaptive refinement' — a red-refined mesh drops into the hierarchy
+    as the finest level and multigrid still accelerates on it."""
+    from repro.mesh import refine_mesh
+    from repro.multigrid import MultigridHierarchy, run_multigrid
+    winf = freestream_state(0.768, 1.116)
+    coarse = bump_channel(18, 2, 6)
+    fine = refine_mesh(coarse)
+
+    def run():
+        hierarchy = MultigridHierarchy([fine, coarse], winf)
+        _, hist_mg = run_multigrid(hierarchy, n_cycles=40, gamma=2)
+        _, hist_sg = hierarchy.fine.solver.run(n_cycles=40)
+        return hist_mg, hist_sg
+
+    hist_mg, hist_sg = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nRefined-mesh multigrid after 40 cycles: MG {hist_mg[-1]:.2e} "
+          f"vs SG {hist_sg[-1]:.2e}")
+    assert hist_mg[-1] < hist_sg[-1]
+
+
+# ---------------------------------------------------------------------------
+def test_fmg_startup(benchmark):
+    """Extension: full-multigrid (nested iteration) startup removes most
+    of the impulsive-start transient that dominates the early cycles of
+    the cold-started runs in Figure 2."""
+    from repro.mesh import bump_channel as _bump
+    from repro.multigrid import MultigridHierarchy, run_fmg, run_multigrid
+    winf = freestream_state(0.768, 1.116)
+    meshes = [_bump(48, 4, 16), _bump(24, 2, 8), _bump(12, 2, 4)]
+    hierarchy = MultigridHierarchy(meshes, winf)
+
+    def run():
+        _, fmg_hist = run_fmg(hierarchy, n_cycles=40, gamma=2)
+        _, cold_hist = run_multigrid(hierarchy, n_cycles=40, gamma=2)
+        return fmg_hist, cold_hist
+
+    fmg_hist, cold_hist = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nFMG vs cold start: first fine-grid residual "
+          f"{fmg_hist[0]:.2e} vs {cold_hist[0]:.2e}; after 40 cycles "
+          f"{fmg_hist[-1]:.2e} vs {cold_hist[-1]:.2e}")
+    assert fmg_hist[0] < cold_hist[0]
+    assert fmg_hist[-1] < 3.0 * cold_hist[-1]
+
+
+# ---------------------------------------------------------------------------
+def test_coloring_balance_on_c90_model(benchmark, struct):
+    """Colour-count vs vector-length trade-off on the C90 model: balanced
+    groups raise the minimum vector length, which matters once many CPUs
+    share each colour (Section 3.1's vector-length discussion)."""
+    from repro.coloring import color_edges, color_edges_balanced
+    from repro.perfmodel import CrayWorkload, model_cray_run
+
+    def run():
+        greedy = color_edges(struct.edges, struct.n_vertices)
+        balanced = color_edges_balanced(struct.edges, struct.n_vertices)
+        out = {}
+        for name, col in (("greedy", greedy), ("balanced", balanced)):
+            # Scale the colour groups to the paper's edge count so the
+            # vector-length regime matches Table 1.
+            scale = 5_500_000 / struct.n_edges
+            workload = CrayWorkload(
+                level_flops_per_cycle=[4.7e9],
+                level_visits_per_cycle=[1],
+                level_group_sizes=[col.group_sizes() * scale],
+                sweeps_per_step=20,
+            )
+            out[name] = model_cray_run(workload, 16).mflops
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nColoring -> modelled C90 rate at 16 CPUs: {rates}")
+    # At the paper's mesh size vectors are long either way; balanced
+    # colouring must not be slower, and the gap stays small.
+    assert rates["balanced"] >= 0.98 * rates["greedy"]

@@ -1,0 +1,78 @@
+"""Regenerates Figures 1-4.
+
+* Figure 1 — V/W cycle structure diagrams;
+* Figure 2 — convergence histories (single grid vs V vs W);
+* Figure 3 — the 3-D configuration mesh report;
+* Figure 4 — Mach contours + shock diagnostics of the transonic solution.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import (fig1_cycle_diagrams, fig2_convergence,
+                                   fig3_mesh_report, fig4_mach_contours,
+                                   format_cycle_diagram)
+
+FAST = os.environ.get("REPRO_BENCH_CASE", "full") == "fast"
+
+
+def test_fig1_cycle_structure(benchmark, case):
+    n_levels = len(case.levels)
+    diagrams = benchmark.pedantic(fig1_cycle_diagrams, args=(n_levels,),
+                                  rounds=1, iterations=1)
+    for name, events in diagrams.items():
+        print(f"\nFigure 1 — {name}-cycle ({n_levels} levels):")
+        print(format_cycle_diagram(events, n_levels))
+    # A V-cycle steps once per level; a W-cycle doubles every coarse visit
+    # except at the coarsest pair.
+    v_steps = [l for k, l in diagrams["V"] if k == "E"]
+    w_steps = [l for k, l in diagrams["W"] if k == "E"]
+    assert v_steps == list(range(n_levels))
+    assert len(w_steps) > len(v_steps) or n_levels <= 2
+
+
+def test_fig2_convergence(benchmark, case):
+    n = 30 if FAST else 100
+    fig = benchmark.pedantic(fig2_convergence, args=(case,),
+                             kwargs={"n_mg_cycles": n, "n_sg_cycles": 2 * n},
+                             rounds=1, iterations=1)
+    print("\nFigure 2 — convergence histories:")
+    print(fig.summary())
+    # The paper's ordering: W converges fastest per cycle, single grid
+    # slowest.  Compare residual after the common cycle count.
+    w_final = fig.cycles["W-cycle"][n]
+    v_final = fig.cycles["V-cycle"][n]
+    sg_final = fig.cycles["single grid"][n]
+    assert w_final < sg_final
+    assert w_final <= v_final * 1.5
+    assert fig.orders_reduced("W-cycle") > 1.0
+
+
+def test_fig3_mesh(benchmark):
+    size = (6, 6) if FAST else (10, 10)
+    rep = benchmark.pedantic(fig3_mesh_report, args=size,
+                             rounds=1, iterations=1)
+    print("\nFigure 3 — mesh about the 3-D configuration:")
+    print(rep["report"])
+    q = rep["quality"]
+    assert q.n_tets > 0 and q.min_quality > 0
+    # Genuinely unstructured: wide vertex-degree spread like the paper's
+    # tet meshes.
+    assert q.max_degree > 2 * q.min_degree
+
+
+def test_fig4_mach_contours(benchmark, case):
+    n = 40 if FAST else 120
+    fig = benchmark.pedantic(fig4_mach_contours, args=(case,),
+                             kwargs={"n_cycles": n}, rounds=1, iterations=1)
+    print("\nFigure 4 — Mach contours:")
+    print(fig.summary())
+    # Transonic structure: acceleration well above freestream over the
+    # bump, contours present at the sampled levels below the peak.
+    assert fig.mach_max > 0.9
+    assert fig.mach_min < 0.768
+    populated = [lvl for lvl in fig.levels
+                 if len(fig.isolines[lvl]) > 0 and lvl < fig.mach_max]
+    assert len(populated) >= 2

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the solver kernels and preprocessing passes.
+
+These time the actual Python/NumPy implementation on this machine (not
+the 1992 models): edge-loop throughput, colouring, schedule building,
+walking search.  Useful for tracking regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring import color_edges
+from repro.mesh import bump_channel, tet_face_adjacency
+from repro.multigrid import build_transfer
+from repro.scatter import EdgeScatter
+from repro.solver import EulerSolver, SolverConfig
+from repro.solver.dissipation import dissipation_operator
+from repro.solver.flux import convective_operator
+from repro.state import flux_vectors, freestream_state
+
+
+@pytest.fixture(scope="module")
+def solver(kernel_struct, winf):
+    return EulerSolver(kernel_struct, winf, SolverConfig())
+
+
+@pytest.fixture(scope="module")
+def state(solver):
+    # A slightly perturbed state so kernels see non-trivial data.
+    w = solver.freestream_solution()
+    return solver.step(w)
+
+
+def test_flux_vectors(benchmark, state):
+    result = benchmark(flux_vectors, state)
+    assert result.shape == (state.shape[0], 5, 3)
+
+
+def test_convective_operator(benchmark, solver, state):
+    result = benchmark(convective_operator, state, solver.edges, solver.eta,
+                       solver.scatter)
+    assert np.all(np.isfinite(result))
+
+
+def test_dissipation_operator(benchmark, solver, state):
+    result = benchmark(dissipation_operator, state, solver.edges, solver.eta,
+                       solver.scatter, 0.5, 1 / 32)
+    assert np.all(np.isfinite(result))
+
+
+def test_full_rk_step(benchmark, solver, state):
+    result = benchmark(solver.step, state)
+    assert np.all(np.isfinite(result))
+
+
+def test_edge_scatter_build(benchmark, kernel_struct):
+    result = benchmark(EdgeScatter, kernel_struct.edges,
+                       kernel_struct.n_vertices)
+    assert result.degree.sum() == 2 * kernel_struct.n_edges
+
+
+def test_edge_coloring(benchmark, kernel_struct):
+    col = benchmark(color_edges, kernel_struct.edges,
+                    kernel_struct.n_vertices)
+    assert 10 <= col.n_colors <= 40
+
+
+def test_tet_adjacency(benchmark):
+    mesh = bump_channel(24, 4, 8)
+    adj = benchmark(tet_face_adjacency, mesh.tets)
+    assert adj.shape == (mesh.n_tets, 4)
+
+
+def test_transfer_build(benchmark):
+    fine = bump_channel(24, 4, 8)
+    coarse = bump_channel(12, 2, 4)
+    op = benchmark(build_transfer, fine.vertices, coarse)
+    assert op.n_target == fine.n_vertices

@@ -1,0 +1,63 @@
+"""Regenerates Tables 1a-1c: Cray Y-MP C90 performance model.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see
+the model-vs-paper tables.  Each test regenerates one table from measured
+workload quantities, prints it, and asserts the qualitative shapes the
+paper reports (near-linear speedup, bounded multitasking overhead, rate
+insensitivity to strategy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import format_table1, table1
+
+
+def _regen(strategy, case):
+    return table1(strategy, case)
+
+
+@pytest.mark.parametrize("strategy,title", [
+    ("sg", "Table 1a: C90, 100 single-grid cycles"),
+    ("v", "Table 1b: C90, 100 V-cycle multigrid cycles"),
+    ("w", "Table 1c: C90, 100 W-cycle multigrid cycles"),
+])
+def test_table1(benchmark, strategy, title, case):
+    model, paper = benchmark.pedantic(_regen, args=(strategy, case),
+                                      rounds=1, iterations=1)
+    print("\n" + format_table1(model, paper, title))
+
+    walls = np.array([m[1] for m in model], dtype=float)
+    cpus = np.array([m[2] for m in model], dtype=float)
+    rates = np.array([m[3] for m in model], dtype=float)
+
+    # Near-linear speedup: >8x on 16 CPUs (paper: 12.3x).
+    assert walls[0] / walls[-1] > 8.0
+    # CPU time inflates with CPUs but stays bounded (paper: ~+20%).
+    assert np.all(np.diff(cpus) > 0)
+    assert cpus[-1] < 1.6 * cpus[0]
+    # Single-CPU rate within 15% of the paper's measured 250ish MFlops.
+    assert rates[0] == pytest.approx(paper[0][3], rel=0.15)
+    # Aggregate rate grows close to linearly.
+    assert rates[-1] > 9 * rates[0]
+
+
+def test_strategy_rate_insensitivity(benchmark, case):
+    """Paper Section 3.2: 'The single grid and the two multigrid
+    strategies all achieve similar computational rates on 16 CPUs.'"""
+    rates = benchmark.pedantic(
+        lambda: [table1(s, case)[0][-1][3] for s in ("sg", "v", "w")],
+        rounds=1, iterations=1)
+    assert max(rates) / min(rates) < 1.5
+
+
+def test_parallelism_above_99_percent(benchmark, case):
+    """CPU/wall = 15.4 at 16 CPUs implies >99% parallel fraction
+    (Amdahl).  Check the model's serial fraction stays small."""
+    model, _ = benchmark.pedantic(lambda: table1("sg", case),
+                                  rounds=1, iterations=1)
+    wall_1, wall_16 = model[0][1], model[-1][1]
+    speedup = wall_1 / wall_16
+    # Amdahl: serial fraction s satisfies speedup = 1/(s + (1-s)/16).
+    s = (16.0 / speedup - 1.0) / 15.0
+    assert s < 0.03

@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+``REPRO_BENCH_CASE=fast`` switches the table/figure regenerations to the
+small meshes (CI-speed); the default is the full laptop-scale case used
+for the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import FAST_CASE, FULL_CASE, build_hierarchy
+from repro.mesh import build_edge_structure, bump_channel
+from repro.state import freestream_state
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: case={_case_name()}"
+
+
+def _case_name() -> str:
+    return os.environ.get("REPRO_BENCH_CASE", "full")
+
+
+@pytest.fixture(scope="session")
+def case():
+    return FAST_CASE if _case_name() == "fast" else FULL_CASE
+
+
+@pytest.fixture(scope="session")
+def winf():
+    return freestream_state(0.768, 1.116)
+
+
+@pytest.fixture(scope="session")
+def kernel_struct():
+    """A mid-size mesh for kernel microbenchmarks (~47k edges)."""
+    return build_edge_structure(bump_channel(48, 8, 16))
+
+
+@pytest.fixture(scope="session")
+def hierarchy(case):
+    return build_hierarchy(case)

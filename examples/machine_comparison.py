@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Shared vs distributed memory: regenerate the paper's full evaluation.
+
+Runs the complete harness — Tables 1a-1c (Cray Y-MP C90 model), Tables
+2a-2c (Touchstone Delta model over the simulated PARTI runtime), and the
+Section 5 cross-machine comparison — printing model values next to the
+paper's published numbers.
+
+Run:  python examples/machine_comparison.py [--fast]
+(--fast uses small meshes: seconds instead of a couple of minutes.)
+"""
+
+import sys
+
+from repro.harness import (FAST_CASE, FULL_CASE, compare_machines,
+                           format_table1, format_table2, table1, table2)
+
+
+def main() -> None:
+    case = FAST_CASE if "--fast" in sys.argv else FULL_CASE
+    print(f"workload: {case.name} case, levels {case.levels}\n")
+
+    for strategy, title in [("sg", "Table 1a: C90, single grid"),
+                            ("v", "Table 1b: C90, V-cycle"),
+                            ("w", "Table 1c: C90, W-cycle")]:
+        print(format_table1(*table1(strategy, case), title))
+        print()
+
+    for strategy, title in [("sg", "Table 2a: Delta, single grid"),
+                            ("v", "Table 2b: Delta, V-cycle"),
+                            ("w", "Table 2c: Delta, W-cycle")]:
+        print(format_table2(*table2(strategy, case), title))
+        print()
+
+    print(compare_machines(case).report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multigrid acceleration: single grid vs V-cycle vs W-cycle (Figure 2).
+
+Builds the paper-style sequence of completely unrelated meshes, runs the
+three solution strategies on the transonic bump, and prints a text plot of
+the convergence histories — the reproduction of the paper's Figure 2.
+
+Run:  python examples/multigrid_convergence.py [n_cycles]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.mesh import bump_channel
+from repro.multigrid import MultigridHierarchy, cycle_work_units, run_multigrid
+from repro.state import freestream_state
+
+
+def ascii_plot(histories: dict, width: int = 64, height: int = 18) -> str:
+    """Shared-axes log-residual plot rendered in ASCII."""
+    all_vals = np.concatenate([np.asarray(h) for h in histories.values()])
+    all_vals = all_vals[all_vals > 0]
+    lo, hi = np.log10(all_vals.min()), np.log10(all_vals.max())
+    n_max = max(len(h) for h in histories.values())
+    grid = [[" "] * width for _ in range(height)]
+    marks = {}
+    for mark, (name, hist) in zip("WVS", histories.items()):
+        marks[mark] = name
+        for i, r in enumerate(hist):
+            if r <= 0:
+                continue
+            col = int(i / max(n_max - 1, 1) * (width - 1))
+            row = int((np.log10(r) - lo) / max(hi - lo, 1e-9) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"cycles 0..{n_max - 1}; log10(residual) "
+                 f"{hi:.1f} (top) .. {lo:.1f} (bottom)")
+    for mark, name in marks.items():
+        lines.append(f"  {mark} = {name}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    n_cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+
+    w_inf = freestream_state(0.768, 1.116)
+    meshes = [bump_channel(48, 4, 16), bump_channel(24, 2, 8),
+              bump_channel(12, 2, 4), bump_channel(6, 2, 2)]
+    hierarchy = MultigridHierarchy(meshes, w_inf)
+    print("multigrid sequence (nodes, edges):", hierarchy.level_sizes())
+    print(f"cycle work units vs single grid: "
+          f"V = {cycle_work_units(hierarchy, 1):.2f}, "
+          f"W = {cycle_work_units(hierarchy, 2):.2f}")
+    print()
+
+    histories = {}
+    _, histories["W-cycle"] = run_multigrid(hierarchy, n_cycles=n_cycles,
+                                            gamma=2)
+    _, histories["V-cycle"] = run_multigrid(hierarchy, n_cycles=n_cycles,
+                                            gamma=1)
+    _, histories["single grid"] = hierarchy.fine.solver.run(
+        n_cycles=2 * n_cycles)
+
+    print(ascii_plot(histories))
+    print()
+    for name, hist in histories.items():
+        orders = np.log10(hist[0] / max(min(hist), 1e-300))
+        print(f"{name:>12s}: {len(hist) - 1} cycles, {orders:.2f} orders, "
+              f"final {hist[-1]:.3e}")
+    print("\nPaper (Figure 2): W-cycle reaches ~6 orders in 100 cycles on "
+          "the 804k-node mesh;")
+    print("single grid needs many hundreds of cycles for a fraction of that.")
+
+
+if __name__ == "__main__":
+    main()

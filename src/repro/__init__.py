@@ -1,0 +1,30 @@
+"""EUL3D-repro: a parallel unstructured Euler solver on shared and
+distributed memory architectures.
+
+Reproduction of Mavriplis, Das, Saltz & Vermeland (Supercomputing '92,
+NASA CR-189742 / ICASE 92-68).  See README.md for the architecture tour,
+DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-reproduction record.
+
+The commonly used entry points are re-exported here; the subpackages
+(`repro.mesh`, `repro.solver`, `repro.multigrid`, `repro.coloring`,
+`repro.partition`, `repro.parti`, `repro.distsolver`, `repro.perfmodel`,
+`repro.harness`) carry the full API.
+"""
+
+from .mesh import (TetMesh, box_mesh, build_edge_structure, bump_channel,
+                   ellipsoid_shell, refine_mesh, validate_mesh)
+from .multigrid import MultigridHierarchy, run_fmg, run_multigrid
+from .pipeline import preprocess
+from .solver import EulerSolver, SolverConfig, mach_field
+from .state import freestream_state
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TetMesh", "box_mesh", "build_edge_structure", "bump_channel",
+    "ellipsoid_shell", "refine_mesh", "validate_mesh",
+    "MultigridHierarchy", "run_fmg", "run_multigrid", "preprocess",
+    "EulerSolver", "SolverConfig", "mach_field", "freestream_state",
+    "__version__",
+]

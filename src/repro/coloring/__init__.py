@@ -1,0 +1,11 @@
+"""Edge colouring and the coloured (vector/parallel) execution model."""
+
+from .greedy import EdgeColoring, color_edges, split_into_subgroups, verify_coloring
+from .vectorized import ColoredEdgeExecutor
+
+__all__ = ["EdgeColoring", "color_edges", "split_into_subgroups",
+           "verify_coloring", "ColoredEdgeExecutor"]
+
+from .balanced import color_edges_balanced
+
+__all__ += ["color_edges_balanced"]

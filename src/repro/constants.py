@@ -1,0 +1,58 @@
+"""Physical and numerical constants shared across the EUL3D reproduction.
+
+The solver works with the compressible Euler equations for a calorically
+perfect gas.  All quantities are non-dimensional: density and speed of sound
+are O(1) at freestream, which mirrors the normalisation used by EUL3D-class
+codes and keeps residual magnitudes comparable to the paper's convergence
+plots (Figure 2).
+"""
+
+from __future__ import annotations
+
+#: Ratio of specific heats for air (calorically perfect gas).
+GAMMA: float = 1.4
+
+#: gamma - 1, precomputed because it appears in every pressure evaluation.
+GAMMA_M1: float = GAMMA - 1.0
+
+#: Number of conserved variables: [rho, rho*u, rho*v, rho*w, rho*E].
+NVAR: int = 5
+
+#: Five-stage Runge-Kutta coefficients from the paper (Section 2.2, eq. 1):
+#: alpha = 1/4, 1/6, 3/8, 1/2, 1.  The final stage coefficient is 1 so that
+#: w^{n+1} = w^(5).
+RK_ALPHAS: tuple[float, ...] = (0.25, 1.0 / 6.0, 0.375, 0.5, 1.0)
+
+#: Stages (0-based) at which the dissipative operator D(w) is re-evaluated.
+#: The paper evaluates D at the first two stages and freezes it afterwards.
+RK_DISSIPATION_STAGES: tuple[int, ...] = (0, 1)
+
+#: Default second-difference (Laplacian) dissipation coefficient k2.
+#: Active near shocks via the pressure switch.
+K2_DEFAULT: float = 0.5
+
+#: Default fourth-difference (biharmonic) dissipation coefficient k4.
+#: Active in smooth flow; switched off where the Laplacian term dominates.
+#: 1/32 was selected by a convergence sweep on the transonic bump case:
+#: 1/64 leaves a residual limit cycle, 1/32 converges ~9 orders.
+K4_DEFAULT: float = 1.0 / 32.0
+
+#: Default CFL number for the five-stage scheme with residual averaging.
+#: The classical support formula eps >= ((N/N*)^2 - 1)/4 with the
+#: five-stage unsmoothed limit N* ~ 2.5 admits N ~ 4 at eps = 0.6.  The
+#: averaging excludes boundary vertices (freeze_mask): smoothing across
+#: the one-sided boundary stencils was found to destabilise the
+#: impulsive-start transient on wall-clustered meshes; with the exclusion
+#: CFL 4 is robust.  See repro.solver.smoothing and the stability tests.
+CFL_DEFAULT: float = 4.0
+
+#: Default CFL number without residual averaging (stability bound of the
+#: five-stage scheme on the scalar model problem is about 2.5-3).
+CFL_UNSMOOTHED: float = 2.0
+
+#: Implicit residual averaging coefficient (Jacobi smoothing of residuals).
+#: See CFL_DEFAULT for the stability rationale.
+RESIDUAL_SMOOTHING_EPS: float = 0.6
+
+#: Number of Jacobi sweeps used to approximate the implicit averaging.
+RESIDUAL_SMOOTHING_SWEEPS: int = 2

@@ -1,0 +1,25 @@
+"""Distributed-memory EUL3D: SPMD drivers, partitioned data, reordering."""
+
+from .driver import DistributedEulerSolver
+from .multigrid import (DistributedInterp, DistributedMultigrid,
+                        distributed_fmg_start)
+from .partitioned_mesh import DistributedMesh, RankMesh, partition_solver_data
+from .reorder import (apply_vertex_permutation, bfs_renumber,
+                      random_shuffle_edges, reuse_distances,
+                      sort_edges_by_vertex)
+
+__all__ = [
+    "DistributedEulerSolver", "DistributedInterp", "DistributedMultigrid",
+    "DistributedMesh", "RankMesh", "partition_solver_data",
+    "distributed_fmg_start",
+    "apply_vertex_permutation", "bfs_renumber", "random_shuffle_edges",
+    "reuse_distances", "sort_edges_by_vertex",
+]
+
+from .mp_exchange import mp_convective_residual
+
+__all__ += ["mp_convective_residual"]
+
+from .mp_solver import run_distributed_mp
+
+__all__ += ["run_distributed_mp"]

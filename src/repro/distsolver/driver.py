@@ -1,0 +1,273 @@
+"""SPMD distributed Euler solver over the PARTI runtime.
+
+The numerical scheme is *identical* to :class:`repro.solver.EulerSolver`
+("the final parallel code remains as close as possible to the original
+sequential code"); only the data access changes: every edge loop is
+preceded by a ghost **gather** and followed by a **scatter-add** of the
+contributions computed into ghost slots.  All data motion goes through the
+gather schedules of :mod:`repro.parti`, so every byte and message is
+logged per phase — the measurements behind Tables 2a-2c.
+
+Communication pattern per five-stage cycle (matching Section 4.3's account
+of "a sequence of three loops over edges followed by a loop over boundary
+faces" per stage):
+
+========================  =======================================
+phase                     when
+========================  =======================================
+``w-gather``              once per stage (ghost flow variables)
+``q-scatter``             once per stage (crossing-edge fluxes)
+``diss-partials``         stages 1-2 (Laplacian + switch partials)
+``diss-gather``           stages 1-2 (ghost L and nu)
+``d-scatter``             stages 1-2 (crossing-edge dissipation)
+``dt-scatter``            once per cycle (spectral radius sums)
+``smooth-gather/scatter``  per Jacobi sweep per stage
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
+from ..mesh.edges import EdgeStructure
+from ..parti.simmpi import SimMachine
+from ..solver.bc import BoundaryData
+from ..solver.config import SolverConfig
+from ..solver.dissipation import (FLOPS_PER_EDGE_DISS_PASS1,
+                                  FLOPS_PER_EDGE_DISS_PASS2,
+                                  FLOPS_PER_VERTEX_DISS)
+from ..solver.flux import (FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC)
+from ..solver.smoothing import FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH
+from ..solver.timestep import FLOPS_PER_EDGE_TIMESTEP, FLOPS_PER_VERTEX_TIMESTEP
+from . import rank_kernels
+from .partitioned_mesh import DistributedMesh, partition_solver_data
+
+__all__ = ["DistributedEulerSolver"]
+
+
+class DistributedEulerSolver:
+    """EUL3D on the simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    struct : sequential :class:`EdgeStructure` of the mesh.
+    w_inf : (5,) freestream conserved state.
+    assignment : per-vertex rank assignment (from any partitioner).
+    config : solver parameters (must match the sequential run to compare).
+    machine : optional shared :class:`SimMachine` (e.g. one machine across
+        all multigrid levels so traffic aggregates).
+    """
+
+    def __init__(self, struct: EdgeStructure, w_inf: np.ndarray,
+                 assignment: np.ndarray, config: SolverConfig | None = None,
+                 machine: SimMachine | None = None, phase_prefix: str = ""):
+        self.struct = struct
+        self.config = config or SolverConfig()
+        self.phase_prefix = phase_prefix
+        self.w_inf = np.asarray(w_inf, dtype=np.float64)
+        bdata = BoundaryData(struct)
+        self.dmesh: DistributedMesh = partition_solver_data(struct, bdata, assignment)
+        self.machine = machine or SimMachine(self.dmesh.n_ranks)
+        if self.machine.n_ranks != self.dmesh.n_ranks:
+            raise ValueError("machine size does not match partition")
+        #: per-phase, per-rank flop counts (inputs of the Delta model)
+        self.rank_flops: dict = defaultdict(
+            lambda: np.zeros(self.n_ranks, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.dmesh.n_ranks
+
+    @property
+    def schedule(self):
+        return self.dmesh.schedule
+
+    def freestream_solution(self) -> list:
+        """Per-rank local state arrays [owned | ghost] set to freestream."""
+        return [np.tile(self.w_inf, (rm.n_local, 1)) for rm in self.dmesh.ranks]
+
+    def collect(self, w_list: list) -> np.ndarray:
+        """Reassemble the global solution from owned blocks (for tests)."""
+        return self.dmesh.table.gather_global_array(
+            [w[:rm.n_owned] for w, rm in zip(w_list, self.dmesh.ranks)])
+
+    def distribute(self, w_global: np.ndarray) -> list:
+        """Split a global state into per-rank local arrays (ghosts stale)."""
+        w_list = []
+        for rm in self.dmesh.ranks:
+            local = np.empty((rm.n_local, NVAR))
+            local[:rm.n_owned] = w_global[self.dmesh.table.owned_globals[rm.rank]]
+            local[rm.n_owned:] = w_global[self.schedule.ghost_globals[rm.rank]]
+            w_list.append(local)
+        return w_list
+
+    def _count(self, phase: str, per_rank_values) -> None:
+        self.rank_flops[phase] += np.asarray(per_rank_values, dtype=np.float64)
+
+    # -- communication helpers ------------------------------------------
+    def _gather_ghosts(self, arrays: list, phase: str) -> None:
+        """Refresh ghost slices of per-rank local arrays in place."""
+        owned = [a[:rm.n_owned] for a, rm in zip(arrays, self.dmesh.ranks)]
+        ghosts = self.schedule.gather(self.machine, owned,
+                                      self.phase_prefix + phase)
+        for a, rm, g in zip(arrays, self.dmesh.ranks, ghosts):
+            a[rm.n_owned:] = g
+
+    def _scatter_add_ghosts(self, arrays: list, phase: str) -> None:
+        """Fold ghost-slot contributions back into owners, in place."""
+        ghost = [a[rm.n_owned:] for a, rm in zip(arrays, self.dmesh.ranks)]
+        owned = [a[:rm.n_owned] for a, rm in zip(arrays, self.dmesh.ranks)]
+        self.schedule.scatter_add(self.machine, ghost, owned,
+                                  self.phase_prefix + phase)
+
+    # -- kernels ----------------------------------------------------------
+    def _convective(self, w_list: list) -> list:
+        """Q(w) on owned vertices; expects fresh ghosts in ``w_list``."""
+        q_list = [rank_kernels.convective_local(rm, w)
+                  for rm, w in zip(self.dmesh.ranks, w_list)]
+        self._count("convective",
+                    [FLOPS_PER_EDGE_CONVECTIVE * rm.n_edges
+                     + FLOPS_PER_VERTEX_FLUXVEC * rm.n_local
+                     for rm in self.dmesh.ranks])
+        self._scatter_add_ghosts(q_list, "q-scatter")
+        # Boundary closure on owned vertices (no communication needed).
+        for rm, w, q in zip(self.dmesh.ranks, w_list, q_list):
+            rank_kernels.boundary_closure(rm, w, self.w_inf, q)
+        return q_list
+
+    def _dissipation(self, w_list: list) -> list:
+        """D(w) on owned vertices (two edge passes + three comm phases)."""
+        cfg = self.config
+        packed = [rank_kernels.dissipation_partials(rm, w)
+                  for rm, w in zip(self.dmesh.ranks, w_list)]
+        self._count("dissipation",
+                    [FLOPS_PER_EDGE_DISS_PASS1 * rm.n_edges
+                     for rm in self.dmesh.ranks])
+        # One aggregated scatter: [L(5) | num | den] = 7 columns per vertex.
+        self._scatter_add_ghosts(packed, "diss-partials")
+
+        # Owners now hold complete L and the switch; ghosts need them next.
+        lnu_list = [rank_kernels.finalize_switch(pk, cfg.switch_floor)
+                    for pk in packed]
+        self._gather_ghosts(lnu_list, "diss-gather")
+        self._count("dissipation",
+                    [FLOPS_PER_VERTEX_DISS * rm.n_owned
+                     for rm in self.dmesh.ranks])
+
+        d_list = [rank_kernels.dissipation_edges(rm, w, lnu, cfg.k2, cfg.k4)
+                  for rm, w, lnu in zip(self.dmesh.ranks, w_list, lnu_list)]
+        self._count("dissipation",
+                    [FLOPS_PER_EDGE_DISS_PASS2 * rm.n_edges
+                     for rm in self.dmesh.ranks])
+        self._scatter_add_ghosts(d_list, "d-scatter")
+        return d_list
+
+    def _timestep(self, w_list: list) -> list:
+        """Local dt on owned vertices (one scatter of spectral-radius sums)."""
+        sigma_list = [rank_kernels.spectral_sigma(rm, w)
+                      for rm, w in zip(self.dmesh.ranks, w_list)]
+        self._count("timestep",
+                    [FLOPS_PER_EDGE_TIMESTEP * rm.n_edges
+                     for rm in self.dmesh.ranks])
+        self._scatter_add_ghosts(sigma_list, "dt-scatter")
+
+        dt_list = [rank_kernels.timestep_from_sigma(
+            rm, w, sigma[:rm.n_owned, 0], self.config.cfl)
+            for rm, w, sigma in zip(self.dmesh.ranks, w_list, sigma_list)]
+        self._count("timestep",
+                    [FLOPS_PER_VERTEX_TIMESTEP * rm.n_owned
+                     for rm in self.dmesh.ranks])
+        return dt_list
+
+    def _smooth(self, r_list: list) -> list:
+        """Jacobi residual averaging; ``r_list`` holds owned residuals."""
+        cfg = self.config
+        if not cfg.residual_smoothing or cfg.smoothing_sweeps <= 0:
+            return r_list
+        # Work arrays with ghost slots for the neighbour sums.
+        rbar = []
+        for rm, r in zip(self.dmesh.ranks, r_list):
+            buf = np.zeros((rm.n_local, NVAR))
+            buf[:rm.n_owned] = r
+            rbar.append(buf)
+        self._gather_ghosts(rbar, "smooth-gather")
+        for sweep in range(cfg.smoothing_sweeps):
+            ns_list = [rank_kernels.neighbor_sum_partial(rm, rb)
+                       for rm, rb in zip(self.dmesh.ranks, rbar)]
+            self._count("smoothing",
+                        [FLOPS_PER_EDGE_SMOOTH * rm.n_edges
+                         for rm in self.dmesh.ranks])
+            self._scatter_add_ghosts(ns_list, "smooth-scatter")
+            for rm, rb, ns, r in zip(self.dmesh.ranks, rbar, ns_list, r_list):
+                rb[:rm.n_owned] = rank_kernels.smoothing_update(
+                    rm, r, ns[:rm.n_owned], cfg.smoothing_eps)
+            self._count("smoothing",
+                        [FLOPS_PER_VERTEX_SMOOTH * rm.n_owned
+                         for rm in self.dmesh.ranks])
+            if sweep + 1 < cfg.smoothing_sweeps:
+                self._gather_ghosts(rbar, "smooth-gather")
+        return [rb[:rm.n_owned] for rm, rb in zip(self.dmesh.ranks, rbar)]
+
+    # ------------------------------------------------------------------
+    def residual(self, w_list: list, refresh_ghosts: bool = True) -> list:
+        """Full residual R = Q - D on owned vertices (for MG transfers)."""
+        if refresh_ghosts:
+            self._gather_ghosts(w_list, "w-gather")
+        q = self._convective(w_list)
+        d = self._dissipation(w_list)
+        return [qr[:rm.n_owned] - dr[:rm.n_owned]
+                for rm, qr, dr in zip(self.dmesh.ranks, q, d)]
+
+    def step(self, w_list: list, forcing: list | None = None) -> list:
+        """One five-stage step; returns new per-rank local states."""
+        cfg = self.config
+        ranks = self.dmesh.ranks
+        self._gather_ghosts(w_list, "w-gather")
+        dt = self._timestep(w_list)
+        dt_over_v = [(d / rm.dual_volumes)[:, None] for d, rm in zip(dt, ranks)]
+
+        w0 = [w.copy() for w in w_list]
+        wk = w_list
+        diss = None
+        for stage, alpha in enumerate(RK_ALPHAS):
+            if stage > 0:
+                self._gather_ghosts(wk, "w-gather")
+            if stage in RK_DISSIPATION_STAGES:
+                diss = self._dissipation(wk)
+            q = self._convective(wk)
+            r = [qr[:rm.n_owned] - dr[:rm.n_owned]
+                 for rm, qr, dr in zip(ranks, q, diss)]
+            if forcing is not None:
+                r = [rr + fr for rr, fr in zip(r, forcing)]
+            r = self._smooth(r)
+            wk = [rank_kernels.stage_update(rm, w0r, rr, dov, alpha)
+                  for rm, w0r, rr, dov in zip(ranks, w0, r, dt_over_v)]
+            self._count("update", [3 * NVAR * rm.n_owned for rm in ranks])
+        return wk
+
+    def density_residual_norm(self, w_list: list) -> float:
+        """Global RMS of R_rho / V over owned vertices (matches sequential)."""
+        r = self.residual([w.copy() for w in w_list])
+        total, count = 0.0, 0
+        for rm, rr in zip(self.dmesh.ranks, r):
+            total += float(np.sum((rr[:, 0] / rm.dual_volumes) ** 2))
+            count += rm.n_owned
+        return float(np.sqrt(total / count))
+
+    def run(self, w_list: list | None = None, n_cycles: int = 100,
+            callback=None) -> tuple[list, list]:
+        """Run single-grid cycles; returns final state and residual history."""
+        if w_list is None:
+            w_list = self.freestream_solution()
+        history = []
+        for cycle in range(n_cycles):
+            history.append(self.density_residual_norm(w_list))
+            w_list = self.step(w_list)
+            if callback is not None:
+                callback(cycle, w_list, history[-1])
+        history.append(self.density_residual_norm(w_list))
+        return w_list, history

@@ -1,0 +1,240 @@
+"""Distributed FAS multigrid: per-level SPMD solvers + inter-grid schedules.
+
+"In the multigrid strategy, the patterns for transferring data between the
+various meshes of the multigrid sequence must be determined" (Section 2.4)
+and "the communication required for inter-grid transfers ... has been
+found to constitute a small fraction of the total communication costs"
+(Section 4.4) — a claim the traffic log lets us check directly, because
+the transfer phases are named separately from the smoothing phases.
+
+Every mesh of the sequence is partitioned independently (as the paper
+does); the four interpolation addresses of each vertex may therefore live
+on other ranks, and each transfer operator gets its own gather schedule
+from the PARTI inspector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..multigrid.transfer import TransferOperator
+from ..parti.schedule import build_gather_schedule
+from ..parti.simmpi import SimMachine
+from ..parti.translation import TranslationTable
+from ..solver.config import SolverConfig
+from .driver import DistributedEulerSolver
+
+__all__ = ["DistributedInterp", "DistributedMultigrid", "distributed_fmg_start"]
+
+
+class DistributedInterp:
+    """Distributed 4-address/4-weight interpolation between two partitions.
+
+    ``apply``: target rank gathers the donor values its owned targets
+    reference and interpolates.  ``transpose_apply``: target ranks push
+    weighted contributions back to donor owners (conservative residual
+    restriction).
+    """
+
+    def __init__(self, op: TransferOperator, donor_table: TranslationTable,
+                 target_table: TranslationTable, machine: SimMachine,
+                 phase: str):
+        if donor_table.n_parts != target_table.n_parts:
+            raise ValueError("donor and target partitions must use equal rank counts")
+        self.machine = machine
+        self.phase = phase
+        self.donor_table = donor_table
+        self.target_table = target_table
+        n_ranks = donor_table.n_parts
+
+        # Inspector: donor globals referenced by each rank's owned targets.
+        required = []
+        for r in range(n_ranks):
+            owned_targets = target_table.owned_globals[r]
+            required.append(op.addresses[owned_targets].ravel())
+        self.schedule = build_gather_schedule(required, donor_table,
+                                              name=phase)
+
+        # Local address tables: donor global -> [donor owned | ghost] slot.
+        self.addr_local = []
+        self.weights = []
+        self.n_donor_owned = donor_table.n_owned
+        for r in range(n_ranks):
+            g2l = np.full(donor_table.n_global, -1, dtype=np.int64)
+            g2l[donor_table.owned_globals[r]] = np.arange(donor_table.n_owned[r])
+            ghosts = self.schedule.ghost_globals[r]
+            g2l[ghosts] = donor_table.n_owned[r] + np.arange(ghosts.size)
+            owned_targets = target_table.owned_globals[r]
+            local = g2l[op.addresses[owned_targets]]
+            if np.any(local < 0):
+                raise AssertionError("transfer inspector missed a donor reference")
+            self.addr_local.append(local)
+            self.weights.append(op.weights[owned_targets])
+
+    # ------------------------------------------------------------------
+    def apply(self, donor_owned: list) -> list:
+        """Interpolate donor fields to owned target vertices, per rank."""
+        ghosts = self.schedule.gather(self.machine, donor_owned, self.phase)
+        out = []
+        for r, (addr, wts) in enumerate(zip(self.addr_local, self.weights)):
+            full = np.concatenate([donor_owned[r], ghosts[r]], axis=0)
+            vals = full[addr]                      # (n_targets, 4, ...)
+            if vals.ndim == 2:
+                out.append(np.einsum("tk,tk->t", wts, vals))
+            else:
+                out.append(np.einsum("tk,tk...->t...", wts, vals))
+        return out
+
+    def transpose_apply(self, target_owned: list) -> list:
+        """Scatter weighted target fields back to donor owners (P^T v)."""
+        n_ranks = self.donor_table.n_parts
+        donor_acc = []
+        ghost_acc = []
+        for r in range(n_ranks):
+            n_own = int(self.n_donor_owned[r])
+            n_ghost = self.schedule.ghost_globals[r].size
+            shape_tail = target_owned[r].shape[1:]
+            acc = np.zeros((n_own + n_ghost,) + shape_tail)
+            wts, addr = self.weights[r], self.addr_local[r]
+            vals = target_owned[r]
+            if vals.ndim == 1:
+                contrib = wts * vals[:, None]
+            else:
+                contrib = wts[..., None] * vals[:, None]
+            for k in range(4):
+                np.add.at(acc, addr[:, k], contrib[:, k])
+            donor_acc.append(acc[:n_own])
+            ghost_acc.append(acc[n_own:])
+        self.schedule.scatter_add(self.machine, ghost_acc, donor_acc,
+                                  self.phase + "-scatter")
+        return donor_acc
+
+
+class DistributedMultigrid:
+    """FAS V/W cycles where every level runs on the simulated machine.
+
+    Parameters
+    ----------
+    hierarchy : a sequential :class:`repro.multigrid.MultigridHierarchy`
+        (provides meshes, edge structures and transfer operators — the
+        sequential preprocessing the paper also performs).
+    assignments : per-level vertex partition arrays (equal rank counts).
+    w_inf, config : as for the solvers.
+    machine : shared :class:`SimMachine`; defaults to a fresh one.
+    """
+
+    def __init__(self, hierarchy, assignments: list, w_inf, config=None,
+                 machine: SimMachine | None = None):
+        if len(assignments) != hierarchy.n_levels:
+            raise ValueError("one partition per level required")
+        config = config or SolverConfig()
+        n_ranks = int(np.max(assignments[0])) + 1
+        self.machine = machine or SimMachine(n_ranks)
+        self.hierarchy = hierarchy
+        self.solvers = [
+            DistributedEulerSolver(lv.solver.struct, w_inf, asg, config,
+                                   machine=self.machine,
+                                   phase_prefix=f"L{l}-")
+            for l, (lv, asg) in enumerate(zip(hierarchy.levels, assignments))
+        ]
+        # Inter-grid operators on the distributed partitions.
+        self.prolong = []      # coarse -> fine (corrections)
+        self.restrict_vars = []  # fine -> coarse (flow variables)
+        for l in range(hierarchy.n_levels - 1):
+            fine_lv = hierarchy.levels[l]
+            fine_table = self.solvers[l].dmesh.table
+            coarse_table = self.solvers[l + 1].dmesh.table
+            self.prolong.append(DistributedInterp(
+                fine_lv.from_coarse, coarse_table, fine_table,
+                self.machine, phase=f"transfer-prolong-L{l}"))
+            self.restrict_vars.append(DistributedInterp(
+                fine_lv.to_coarse_vars, fine_table, coarse_table,
+                self.machine, phase=f"transfer-restrict-L{l}"))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.solvers)
+
+    def freestream_solution(self) -> list:
+        return self.solvers[0].freestream_solution()
+
+    def _restrict_residual(self, level: int, resid_owned: list) -> list:
+        """Conservative residual restriction: transpose of prolongation."""
+        return self.prolong[level].transpose_apply(resid_owned)
+
+    def mg_cycle(self, w_list: list, gamma: int = 1, level: int = 0,
+                 forcing: list | None = None) -> list:
+        solver = self.solvers[level]
+        w_new = solver.step(w_list, forcing=forcing)
+
+        if level + 1 < self.n_levels:
+            resid = solver.residual([w.copy() for w in w_new])
+            if forcing is not None:
+                resid = [r + f for r, f in zip(resid, forcing)]
+            w_owned = [w[:rm.n_owned] for w, rm
+                       in zip(w_new, solver.dmesh.ranks)]
+            w_c0_owned = self.restrict_vars[level].apply(w_owned)
+            r_c = self._restrict_residual(level, resid)
+
+            coarse = self.solvers[level + 1]
+            w_c0 = coarse.freestream_solution()
+            for wl, rm, own in zip(w_c0, coarse.dmesh.ranks, w_c0_owned):
+                wl[:rm.n_owned] = own
+            r_c_of_wc0 = coarse.residual([w.copy() for w in w_c0])
+            forcing_c = [rc - rr for rc, rr in zip(r_c, r_c_of_wc0)]
+
+            w_c = [w.copy() for w in w_c0]
+            visits = gamma if level + 2 < self.n_levels else 1
+            for _ in range(max(1, visits)):
+                w_c = self.mg_cycle(w_c, gamma=gamma, level=level + 1,
+                                    forcing=forcing_c)
+
+            corr_owned = [ (wc[:rm.n_owned] - w0[:rm.n_owned])
+                          for wc, w0, rm in zip(w_c, w_c0, coarse.dmesh.ranks)]
+            corr_fine = self.prolong[level].apply(corr_owned)
+            for wl, rm, cf in zip(w_new, solver.dmesh.ranks, corr_fine):
+                wl[:rm.n_owned] += cf
+        return w_new
+
+    def run(self, w_list: list | None = None, n_cycles: int = 100,
+            gamma: int = 1, callback=None) -> tuple[list, list]:
+        """Run V- (gamma=1) or W- (gamma=2) cycles on the machine."""
+        if w_list is None:
+            w_list = self.freestream_solution()
+        fine = self.solvers[0]
+        history = []
+        for cycle in range(n_cycles):
+            history.append(fine.density_residual_norm(w_list))
+            w_list = self.mg_cycle(w_list, gamma=gamma)
+            if callback is not None:
+                callback(cycle, w_list, history[-1])
+        history.append(fine.density_residual_norm(w_list))
+        return w_list, history
+
+
+def distributed_fmg_start(dmg: DistributedMultigrid,
+                          cycles_per_level: int = 10,
+                          gamma: int = 2) -> list:
+    """Nested-iteration start on the distributed hierarchy.
+
+    Mirrors :func:`repro.multigrid.fmg.fmg_start`: converge partially on
+    the coarsest level's partition, prolong upward through the
+    distributed transfer operators, cycle at each level.  Returns the
+    fine-level per-rank state.
+    """
+    n = dmg.n_levels
+    w = dmg.solvers[-1].freestream_solution()
+    for li in range(n - 1, -1, -1):
+        if li < n - 1:
+            coarse = dmg.solvers[li + 1]
+            owned = [wl[:rm.n_owned] for wl, rm
+                     in zip(w, coarse.dmesh.ranks)]
+            fine_owned = dmg.prolong[li].apply(owned)
+            w = dmg.solvers[li].freestream_solution()
+            for wl, rm, fo in zip(w, dmg.solvers[li].dmesh.ranks,
+                                  fine_owned):
+                wl[:rm.n_owned] = fo
+        for _ in range(cycles_per_level if li > 0 else 0):
+            w = dmg.mg_cycle(w, gamma=gamma, level=li)
+    return w

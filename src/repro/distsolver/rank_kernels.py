@@ -1,0 +1,162 @@
+"""Per-rank solver kernels, shared by every distributed execution backend.
+
+These free functions contain all the *local* arithmetic of one simulated
+processor's solver step: the edge loops over the rank's edge set, the
+boundary closure on its owned vertices, and the stage update.  They are
+used by both
+
+* :class:`repro.distsolver.driver.DistributedEulerSolver` — the central
+  SPMD driver over the simulated (traffic-logged) machine, and
+* :mod:`repro.distsolver.mp_solver` — the true multiprocessing backend,
+
+so the two backends cannot drift apart numerically.  Communication is the
+caller's job; every function takes local arrays (owned + ghost layout)
+and returns local contributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import NVAR
+from ..solver.bc import characteristic_state
+from ..state import flux_vectors, pressure, primitive_from_conserved
+from .partitioned_mesh import RankMesh
+
+__all__ = [
+    "convective_local", "boundary_closure", "dissipation_partials",
+    "finalize_switch", "dissipation_edges", "spectral_sigma",
+    "timestep_from_sigma", "neighbor_sum_partial", "smoothing_update",
+    "stage_update",
+]
+
+
+def convective_local(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
+    """Edge-loop convective contributions, ``(n_local, 5)`` (pre-scatter)."""
+    f = flux_vectors(w_local)
+    favg = f[rm.edges[:, 0]] + f[rm.edges[:, 1]]
+    phi = 0.5 * np.einsum("ekd,ed->ek", favg, rm.eta)
+    q = np.zeros((rm.n_local, NVAR))
+    np.add.at(q, rm.edges[:, 0], phi)
+    np.subtract.at(q, rm.edges[:, 1], phi)
+    return q
+
+
+def boundary_closure(rm: RankMesh, w_local: np.ndarray, w_inf: np.ndarray,
+                     q_local: np.ndarray) -> None:
+    """Add wall-pressure and farfield characteristic fluxes (in place)."""
+    if rm.wall_vertices.size:
+        p_wall = pressure(w_local[rm.wall_vertices])
+        q_local[rm.wall_vertices, 1:4] += p_wall[:, None] * rm.wall_normals
+    if rm.far_vertices.size:
+        w_b = characteristic_state(w_local[rm.far_vertices], rm.far_unit,
+                                   w_inf)
+        f_b = flux_vectors(w_b)
+        q_local[rm.far_vertices] += np.einsum("ikd,id->ik", f_b,
+                                              rm.far_normals)
+
+
+def dissipation_partials(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
+    """Pass-1 partial sums packed as ``[L(5) | p-diff | p-sum]`` columns."""
+    e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
+    diff = w_local[e1] - w_local[e0]
+    lap = np.zeros((rm.n_local, NVAR))
+    np.add.at(lap, e0, diff)
+    np.subtract.at(lap, e1, diff)
+    p = pressure(w_local)
+    p_diff = p[e1] - p[e0]
+    p_sum = p[e0] + p[e1]
+    num = np.zeros(rm.n_local)
+    np.add.at(num, e0, p_diff)
+    np.subtract.at(num, e1, p_diff)
+    den = np.zeros(rm.n_local)
+    np.add.at(den, e0, p_sum)
+    np.add.at(den, e1, p_sum)
+    return np.concatenate([lap, num[:, None], den[:, None]], axis=1)
+
+
+def finalize_switch(packed: np.ndarray, switch_floor: float) -> np.ndarray:
+    """Complete partials -> ``[L(5) | nu]`` per vertex."""
+    lap = packed[:, :NVAR]
+    nu = np.abs(packed[:, NVAR]) / np.maximum(packed[:, NVAR + 1],
+                                              switch_floor)
+    return np.concatenate([lap, nu[:, None]], axis=1)
+
+
+def dissipation_edges(rm: RankMesh, w_local: np.ndarray, lnu: np.ndarray,
+                      k2: float, k4: float) -> np.ndarray:
+    """Pass-2 blended dissipation contributions, ``(n_local, 5)``."""
+    lap, nu = lnu[:, :NVAR], lnu[:, NVAR]
+    rho, u, v, wv, p = primitive_from_conserved(w_local)
+    vel = np.stack([u, v, wv], axis=1)
+    c = np.sqrt(1.4 * p / rho)
+    e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
+    vel_avg = 0.5 * (vel[e0] + vel[e1])
+    c_avg = 0.5 * (c[e0] + c[e1])
+    eta_norm = np.linalg.norm(rm.eta, axis=1)
+    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * eta_norm
+    nu_edge = np.maximum(nu[e0], nu[e1])
+    eps2 = k2 * nu_edge
+    eps4 = np.maximum(0.0, k4 - eps2)
+    d_edge = lam[:, None] * (eps2[:, None] * (w_local[e1] - w_local[e0])
+                             - eps4[:, None] * (lap[e1] - lap[e0]))
+    d = np.zeros((rm.n_local, NVAR))
+    np.add.at(d, e0, d_edge)
+    np.subtract.at(d, e1, d_edge)
+    return d
+
+
+def spectral_sigma(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
+    """Edge spectral-radius sums, ``(n_local, 1)`` (pre-scatter)."""
+    rho, u, v, wv, p = primitive_from_conserved(w_local)
+    vel = np.stack([u, v, wv], axis=1)
+    c = np.sqrt(1.4 * p / rho)
+    e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
+    vel_avg = 0.5 * (vel[e0] + vel[e1])
+    c_avg = 0.5 * (c[e0] + c[e1])
+    eta_norm = np.linalg.norm(rm.eta, axis=1)
+    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * eta_norm
+    sigma = np.zeros((rm.n_local, 1))
+    np.add.at(sigma[:, 0], e0, lam)
+    np.add.at(sigma[:, 0], e1, lam)
+    return sigma
+
+
+def timestep_from_sigma(rm: RankMesh, w_local: np.ndarray,
+                        sigma_owned: np.ndarray, cfl: float) -> np.ndarray:
+    """Local dt on owned vertices from completed spectral-radius sums."""
+    s = sigma_owned.copy()
+    rho, u, v, wv, p = primitive_from_conserved(w_local[:rm.n_owned])
+    vel = np.stack([u, v, wv], axis=1)
+    c = np.sqrt(1.4 * p / rho)
+    for verts, normals in ((rm.wall_vertices, rm.wall_normals),
+                           (rm.far_vertices, rm.far_normals)):
+        if verts.size:
+            nn = np.linalg.norm(normals, axis=1)
+            un = np.abs(np.einsum("id,id->i", vel[verts], normals))
+            np.add.at(s, verts, un + c[verts] * nn)
+    return cfl * rm.dual_volumes / np.maximum(s, 1e-300)
+
+
+def neighbor_sum_partial(rm: RankMesh, rbar_local: np.ndarray) -> np.ndarray:
+    """Per-edge neighbour sums for one Jacobi sweep, ``(n_local, 5)``."""
+    ns = np.zeros((rm.n_local, NVAR))
+    np.add.at(ns, rm.edges[:, 0], rbar_local[rm.edges[:, 1]])
+    np.add.at(ns, rm.edges[:, 1], rbar_local[rm.edges[:, 0]])
+    return ns
+
+
+def smoothing_update(rm: RankMesh, r_owned: np.ndarray,
+                     ns_owned: np.ndarray, eps: float) -> np.ndarray:
+    """One Jacobi update with boundary-frozen residuals."""
+    out = (r_owned + eps * ns_owned) / (1.0 + eps * rm.degree[:, None])
+    out[rm.smoothing_freeze] = r_owned[rm.smoothing_freeze]
+    return out
+
+
+def stage_update(rm: RankMesh, w0_local: np.ndarray, r_owned: np.ndarray,
+                 dt_over_v: np.ndarray, alpha: float) -> np.ndarray:
+    """``w^(k) = w^(0) - alpha * dt/V * r`` on owned vertices."""
+    out = w0_local.copy()
+    out[:rm.n_owned] = w0_local[:rm.n_owned] - alpha * dt_over_v * r_owned
+    return out

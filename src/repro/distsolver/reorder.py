@@ -1,0 +1,107 @@
+"""Node and edge reordering for cache locality (Section 4.2).
+
+"The edge list was therefore reordered such that all the edges incident on
+a vertex are listed consecutively.  In this manner, once the data for a
+vertex is brought into the cache it can be used a number of times before
+it is removed. ... We also performed node renumbering which causes data
+associated with nodes linked by mesh edges to be stored in nearby memory
+locations.  These optimizations alone improved the single node
+computational rate by a factor of two."
+
+This module provides both transforms plus the *reuse-distance* measurement
+that feeds the i860 cache model (:mod:`repro.perfmodel.cache`):
+
+* :func:`bfs_renumber` — breadth-first (Cuthill-McKee-style) vertex
+  renumbering, which clusters graph neighbours in index space;
+* :func:`sort_edges_by_vertex` — stable sort of the edge list by first
+  endpoint, putting all edges of a vertex consecutively;
+* :func:`reuse_distances` — for the vertex access stream of an edge loop,
+  the index distance since each vertex was last touched.  Short distances
+  mean the vertex is still cached; the cache model thresholds these
+  against the i860's capacity to estimate a hit rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..mesh.adjacency import vertex_neighbors_csr
+
+__all__ = ["bfs_renumber", "sort_edges_by_vertex", "apply_vertex_permutation",
+           "reuse_distances", "random_shuffle_edges"]
+
+
+def bfs_renumber(edges: np.ndarray, n_vertices: int, seed_vertex: int = 0) -> np.ndarray:
+    """Permutation ``perm[old] = new`` from breadth-first traversal.
+
+    Neighbours are visited in ascending old-index order (Cuthill-McKee
+    without the degree sort — adequate for locality, cheaper to compute).
+    Disconnected components are appended in old-index order.
+    """
+    indptr, indices = vertex_neighbors_csr(edges, n_vertices)
+    perm = np.full(n_vertices, -1, dtype=np.int64)
+    next_new = 0
+    seen = np.zeros(n_vertices, dtype=bool)
+    start_candidates = iter(range(n_vertices))
+    queue = deque()
+    if 0 <= seed_vertex < n_vertices:
+        queue.append(seed_vertex)
+        seen[seed_vertex] = True
+    while next_new < n_vertices:
+        if not queue:
+            for cand in start_candidates:
+                if not seen[cand]:
+                    queue.append(cand)
+                    seen[cand] = True
+                    break
+        v = queue.popleft()
+        perm[v] = next_new
+        next_new += 1
+        for nb in indices[indptr[v]:indptr[v + 1]]:
+            if not seen[nb]:
+                seen[nb] = True
+                queue.append(int(nb))
+    return perm
+
+
+def apply_vertex_permutation(perm: np.ndarray, vertices: np.ndarray,
+                             tets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Renumbered copies of vertex coordinates and tet connectivity."""
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size)
+    return vertices[inv], perm[tets]
+
+
+def sort_edges_by_vertex(edges: np.ndarray) -> np.ndarray:
+    """Indices that sort edges by (first endpoint, second endpoint).
+
+    After the sort, all edges incident on vertex ``v`` through their first
+    endpoint are consecutive — the paper's edge reordering.
+    """
+    return np.lexsort((edges[:, 1], edges[:, 0]))
+
+
+def random_shuffle_edges(n_edges: int, seed: int = 0) -> np.ndarray:
+    """Adversarial baseline ordering (what an advancing-front generator's
+    raw output resembles: no locality at all)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n_edges)
+
+
+def reuse_distances(access_stream: np.ndarray) -> np.ndarray:
+    """Distance (in stream positions) since the previous access of each item.
+
+    First accesses get ``+inf`` (compulsory misses).  The stream for an
+    edge loop is ``edges[order].ravel()`` — each edge touches both
+    endpoints.  Computed in O(n) with a last-seen table.
+    """
+    stream = np.asarray(access_stream)
+    last_seen = {}
+    out = np.empty(stream.shape[0], dtype=np.float64)
+    for pos, item in enumerate(stream.tolist()):
+        prev = last_seen.get(item)
+        out[pos] = np.inf if prev is None else pos - prev
+        last_seen[item] = pos
+    return out

@@ -1,0 +1,15 @@
+"""Experiment harness: regenerates every table and figure of the paper
+and prints model-vs-paper comparisons.  CLI: ``python -m repro.harness``."""
+
+from .compare import MachineComparison, compare_machines
+from .figures import (fig1_cycle_diagrams, fig2_convergence, fig3_mesh_report,
+                      fig4_mach_contours, format_cycle_diagram)
+from .tables import format_table1, format_table2, table1, table2
+from .workloads import FAST_CASE, FULL_CASE, CaseSpec, build_hierarchy
+
+__all__ = [
+    "MachineComparison", "compare_machines", "fig1_cycle_diagrams",
+    "fig2_convergence", "fig3_mesh_report", "fig4_mach_contours",
+    "format_cycle_diagram", "format_table1", "format_table2", "table1",
+    "table2", "FAST_CASE", "FULL_CASE", "CaseSpec", "build_hierarchy",
+]

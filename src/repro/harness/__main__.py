@@ -1,0 +1,115 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.harness table1a [--fast]
+    python -m repro.harness table2c
+    python -m repro.harness fig2 [--cycles N]
+    python -m repro.harness compare
+    python -m repro.harness all [--fast]
+
+``--fast`` switches to the small FAST_CASE meshes (seconds instead of
+minutes; numbers shift but every qualitative shape survives).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compare import compare_machines
+from .figures import (fig1_cycle_diagrams, fig2_convergence, fig3_mesh_report,
+                      fig4_mach_contours, format_cycle_diagram)
+from .tables import format_table1, format_table2, table1, table2
+from .workloads import FAST_CASE, FULL_CASE
+
+
+def _print_table1(strategy: str, case) -> None:
+    titles = {"sg": "Table 1a: Y-MP C90, 100 single grid cycles",
+              "v": "Table 1b: Y-MP C90, 100 V-cycle multigrid cycles",
+              "w": "Table 1c: Y-MP C90, 100 W-cycle multigrid cycles"}
+    m, p = table1(strategy, case)
+    print(format_table1(m, p, titles[strategy]))
+    print()
+
+
+def _print_table2(strategy: str, case) -> None:
+    titles = {"sg": "Table 2a: Touchstone Delta, 100 single grid cycles",
+              "v": "Table 2b: Touchstone Delta, 100 V-cycle cycles",
+              "w": "Table 2c: Touchstone Delta, 100 W-cycle cycles"}
+    m, p = table2(strategy, case)
+    print(format_table2(m, p, titles[strategy]))
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness",
+                                     description=__doc__)
+    parser.add_argument("target", choices=[
+        "table1a", "table1b", "table1c", "table2a", "table2b", "table2c",
+        "fig1", "fig2", "fig3", "fig4", "compare", "claims", "all"])
+    parser.add_argument("--fast", action="store_true",
+                        help="use the small FAST_CASE meshes")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="override cycle count for fig2/fig4")
+    parser.add_argument("--save", default=None, metavar="DIR",
+                        help="save fig2/fig4 data as .npz under DIR")
+    args = parser.parse_args(argv)
+    case = FAST_CASE if args.fast else FULL_CASE
+
+    targets = ([args.target] if args.target != "all" else
+               ["table1a", "table1b", "table1c", "table2a", "table2b",
+                "table2c", "fig1", "fig2", "fig3", "fig4", "compare",
+                "claims"])
+
+    for target in targets:
+        if target.startswith("table1"):
+            _print_table1({"a": "sg", "b": "v", "c": "w"}[target[-1]], case)
+        elif target.startswith("table2"):
+            _print_table2({"a": "sg", "b": "v", "c": "w"}[target[-1]], case)
+        elif target == "fig1":
+            n_levels = len(case.levels)
+            diagrams = fig1_cycle_diagrams(n_levels)
+            for name, events in diagrams.items():
+                print(f"Figure 1 — {name}-cycle structure "
+                      f"({n_levels} levels):")
+                print(format_cycle_diagram(events, n_levels))
+                print()
+        elif target == "fig2":
+            n = args.cycles or (40 if args.fast else 100)
+            fig = fig2_convergence(case, n_mg_cycles=n, n_sg_cycles=2 * n)
+            print("Figure 2 — convergence histories:")
+            print(fig.summary())
+            if args.save:
+                from .record import save_fig2
+                print(f"saved: {save_fig2(fig, args.save)}")
+            print()
+        elif target == "fig3":
+            size = (6, 6) if args.fast else (10, 10)
+            print("Figure 3 — mesh about the 3-D configuration "
+                  "(ellipsoid analog):")
+            print(fig3_mesh_report(*size)["report"])
+            print()
+        elif target == "fig4":
+            n = args.cycles or (40 if args.fast else 120)
+            fig = fig4_mach_contours(case, n_cycles=n)
+            print("Figure 4 — Mach contours of the transonic solution:")
+            print(fig.summary())
+            if args.save:
+                from .record import save_fig4
+                print(f"saved: {save_fig4(fig, args.save)}")
+            print()
+        elif target == "compare":
+            print(compare_machines(case).report())
+            print()
+        elif target == "claims":
+            from .claims import check_claims, format_claims
+            n = args.cycles or (30 if args.fast else 60)
+            print("Text-claim checks (paper vs model):")
+            print(format_claims(check_claims(case, fig2_cycles=n)))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Check every quantitative claim in the paper's running text.
+
+``check_claims`` evaluates the model/measured value for each entry of
+:data:`repro.harness.paper_data.TEXT_CLAIMS` that we can compute, and
+reports it next to the paper's number.  This is the text-claims
+counterpart of the table regenerations — run via
+``python -m repro.harness claims``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distsolver import random_shuffle_edges, sort_edges_by_vertex
+from ..multigrid import cycle_work_units, run_multigrid
+from ..perfmodel import node_rate_for_ordering
+from .paper_data import TEXT_CLAIMS
+from .tables import table1, table2
+from .workloads import FULL_CASE, CaseSpec, build_hierarchy
+
+__all__ = ["ClaimCheck", "check_claims", "format_claims"]
+
+
+@dataclass
+class ClaimCheck:
+    name: str
+    paper: str
+    model: str
+    holds: bool
+
+
+def check_claims(case: CaseSpec = FULL_CASE,
+                 fig2_cycles: int = 60) -> list:
+    """Evaluate the checkable text claims; returns a list of ClaimCheck."""
+    checks: list[ClaimCheck] = []
+    hierarchy = build_hierarchy(case)
+
+    # --- sequential cycle-cost ratios (Section 2.3) ------------------------
+    v_ratio = cycle_work_units(hierarchy, 1)
+    w_ratio = cycle_work_units(hierarchy, 2)
+    checks.append(ClaimCheck(
+        "V-cycle cost vs single-grid cycle",
+        f"{TEXT_CLAIMS['v_cycle_cost_ratio']:.2f}x", f"{v_ratio:.2f}x",
+        1.0 < v_ratio < TEXT_CLAIMS["v_cycle_cost_ratio"] + 0.3))
+    checks.append(ClaimCheck(
+        "W-cycle cost vs single-grid cycle",
+        f"{TEXT_CLAIMS['w_cycle_cost_ratio']:.2f}x", f"{w_ratio:.2f}x",
+        v_ratio < w_ratio < TEXT_CLAIMS["w_cycle_cost_ratio"] + 0.3))
+
+    # --- C90 parallel efficiency (Section 3.2) -----------------------------
+    rows_sg, _ = table1("sg", case)
+    speedup = rows_sg[0][1] / rows_sg[-1][1]
+    serial_fraction = (16.0 / speedup - 1.0) / 15.0
+    checks.append(ClaimCheck(
+        "C90 parallel fraction", "> 0.99",
+        f"{1.0 - serial_fraction:.3f}", serial_fraction < 0.03))
+    cpu_overhead = rows_sg[-1][2] / rows_sg[0][2] - 1.0
+    checks.append(ClaimCheck(
+        "C90 CPU-time inflation @16",
+        f"~{TEXT_CLAIMS['c90_cpu_overhead_16']:.0%}",
+        f"{cpu_overhead:.0%}", 0.0 < cpu_overhead < 0.6))
+
+    rows_w, _ = table1("w", case)
+    speedup_w = rows_w[0][1] / rows_w[-1][1]
+    checks.append(ClaimCheck(
+        "C90 W-cycle speed-up @16",
+        f"{TEXT_CLAIMS['c90_speedup_16_wcycle']:.1f}x",
+        f"{speedup_w:.1f}x", 8.0 < speedup_w < 16.0))
+
+    # --- Delta rates (Section 4.4) -----------------------------------------
+    rows_2a, _ = table2("sg", case)
+    checks.append(ClaimCheck(
+        "Delta 512 single-grid GFlops",
+        f"{TEXT_CLAIMS['delta_512_gflops_sg']:.1f}",
+        f"{rows_2a[1][4] / 1000:.1f}",
+        0.8 < rows_2a[1][4] / 1000 < 2.5))
+    rows_2b, _ = table2("v", case)
+    v_deg = 1.0 - rows_2b[0][4] / rows_2a[0][4]
+    lo, hi = TEXT_CLAIMS["delta_mg_v_rate_degradation"]
+    checks.append(ClaimCheck(
+        "Delta V-cycle rate degradation",
+        f"{lo:.0%}-{hi:.0%}", f"{v_deg:.0%}", 0.03 < v_deg < 0.45))
+    rows_2c, _ = table2("w", case)
+    w_deg = 1.0 - rows_2c[0][4] / rows_2a[0][4]
+    lo, hi = TEXT_CLAIMS["delta_mg_w_rate_degradation"]
+    checks.append(ClaimCheck(
+        "Delta W-cycle rate degradation",
+        f"{lo:.0%}-{hi:.0%}", f"{w_deg:.0%}", 0.10 < w_deg < 0.60))
+
+    # --- reordering speed-up (Section 4.2) ---------------------------------
+    struct = hierarchy.levels[0].solver.struct
+    ordered = node_rate_for_ordering(struct.edges,
+                                     sort_edges_by_vertex(struct.edges))
+    shuffled = node_rate_for_ordering(struct.edges,
+                                      random_shuffle_edges(struct.n_edges))
+    speedup_reorder = ordered.mflops / shuffled.mflops
+    checks.append(ClaimCheck(
+        "node/edge reordering speed-up",
+        f"{TEXT_CLAIMS['reordering_speedup']:.1f}x",
+        f"{speedup_reorder:.2f}x", 1.3 < speedup_reorder < 3.5))
+
+    # --- W-cycle convergence (Figure 2 / Section 3.2) ----------------------
+    _, hist_w = run_multigrid(hierarchy, n_cycles=fig2_cycles, gamma=2)
+    hist_arr = np.asarray(hist_w)
+    orders = float(np.log10(hist_arr[0] / max(hist_arr.min(), 1e-300)))
+    scaled_target = TEXT_CLAIMS["w_cycle_orders_in_100"] * fig2_cycles / 100
+    checks.append(ClaimCheck(
+        f"W-cycle orders reduced in {fig2_cycles} cycles",
+        f"~{scaled_target:.1f}", f"{orders:.2f}",
+        orders > 0.5 * scaled_target))
+
+    return checks
+
+
+def format_claims(checks: list) -> str:
+    lines = [f"{'claim':>38s} {'paper':>12s} {'model':>10s}  verdict"]
+    for c in checks:
+        lines.append(f"{c.name:>38s} {c.paper:>12s} {c.model:>10s}  "
+                     f"{'holds' if c.holds else 'DEVIATES'}")
+    n_hold = sum(c.holds for c in checks)
+    lines.append(f"{n_hold}/{len(checks)} claims hold within the stated bands")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Section 5 — "Shared vs Distributed Memory: A Comparison".
+
+Derives the paper's cross-machine claims from our two models:
+
+* the full C90 outperforms the 512-node Delta by roughly a factor of two;
+* the 512-node Delta is roughly equivalent to a 5-processor C90;
+* both machines run far below peak (21% / 5%);
+* the C90's rates are insensitive to solution strategy, the Delta's are
+  not (coarse grids raise the communication-to-computation ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel.machines import CrayC90, TouchstoneDelta
+from .tables import table1, table2
+from .workloads import FULL_CASE, CaseSpec
+
+__all__ = ["MachineComparison", "compare_machines"]
+
+
+@dataclass
+class MachineComparison:
+    """Derived cross-machine quantities (model vs paper claims)."""
+
+    c90_16_wall: float          # W-cycle, 100 cycles
+    delta_512_wall: float       # W-cycle, 100 cycles
+    c90_over_delta: float       # wall-clock factor (paper: ~2)
+    delta_equiv_c90_cpus: float  # paper: ~5
+    c90_peak_fraction: float     # paper: 0.21
+    delta_peak_fraction: float   # paper: 0.05
+    delta_comp_comm_ratio: float  # computation/total, paper ~50% for SG-ish
+    c90_rate_spread: float       # max/min MFlops across strategies at 16 CPUs
+
+    def report(self) -> str:
+        return "\n".join([
+            "Shared vs distributed memory (model | paper claim):",
+            f"  C90/16 vs Delta/512 speed factor: "
+            f"{self.c90_over_delta:.2f} | ~2",
+            f"  Delta/512 equivalent C90 CPUs:    "
+            f"{self.delta_equiv_c90_cpus:.1f} | ~5",
+            f"  C90 fraction of peak:             "
+            f"{self.c90_peak_fraction:.2f} | 0.21",
+            f"  Delta fraction of peak:           "
+            f"{self.delta_peak_fraction:.3f} | 0.05",
+            f"  Delta comp/(comp+comm), W-cycle:  "
+            f"{self.delta_comp_comm_ratio:.2f} | ~0.5 (problem dependent)",
+            f"  C90 MFlops spread across strategies at 16 CPUs: "
+            f"{self.c90_rate_spread:.2f}x | 'relatively insensitive'",
+        ])
+
+
+def compare_machines(case: CaseSpec = FULL_CASE) -> MachineComparison:
+    """Build the Section 5 comparison from the two calibrated models."""
+    cray = CrayC90()
+    delta = TouchstoneDelta()
+
+    rows_w_c90, _ = table1("w", case)
+    rows_w_delta, _ = table2("w", case)
+    rows_sg_delta, _ = table2("sg", case)
+
+    c90_16 = rows_w_c90[-1]                 # (16, wall, cpu, mflops)
+    delta_512 = rows_w_delta[-1]            # (512, comm, comp, total, mflops)
+    c90_wall = float(c90_16[1])
+    delta_wall = float(delta_512[3])
+
+    # Equivalent C90 CPU count: interpolate the W-cycle wall-clock curve.
+    equiv = None
+    prev = None
+    for row in rows_w_c90:
+        p, wall = row[0], float(row[1])
+        if wall <= delta_wall:
+            if prev is None:
+                equiv = float(p)
+            else:
+                p0, w0 = prev
+                # log-linear interpolation between the bracketing rows
+                import math
+                frac = (math.log(w0) - math.log(delta_wall)) / \
+                    (math.log(w0) - math.log(wall))
+                equiv = p0 * (p / p0) ** frac
+            break
+        prev = (p, wall)
+    if equiv is None:
+        equiv = 16.0 * c90_wall / delta_wall if delta_wall > 0 else 16.0
+
+    c90_peak = cray.peak_mflops_per_cpu * 16
+    delta_peak = delta.peak_mflops_per_node * 512
+
+    rates_16 = [float(table1(s, case)[0][-1][3]) for s in ("sg", "v", "w")]
+    sg_512 = rows_sg_delta[-1]
+    comp_ratio_w = float(delta_512[2]) / float(delta_512[3])
+
+    return MachineComparison(
+        c90_16_wall=c90_wall,
+        delta_512_wall=delta_wall,
+        c90_over_delta=delta_wall / c90_wall,
+        delta_equiv_c90_cpus=equiv,
+        c90_peak_fraction=float(c90_16[3]) / c90_peak,
+        delta_peak_fraction=float(sg_512[4]) / delta_peak,
+        delta_comp_comm_ratio=comp_ratio_w,
+        c90_rate_spread=max(rates_16) / min(rates_16),
+    )

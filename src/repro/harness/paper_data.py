@@ -1,0 +1,86 @@
+"""The paper's published numbers, transcribed from Tables 1-2 and the text.
+
+Every harness report prints these next to the model/measured values so the
+comparison (EXPERIMENTS.md) is reproducible from a single source of truth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE_1A", "TABLE_1B", "TABLE_1C", "TABLE_2A", "TABLE_2B",
+           "TABLE_2C", "TEXT_CLAIMS"]
+
+#: Y-MP C90, 100 single-grid cycles: (CPUs, wall s, CPU s, MFlops).
+TABLE_1A = [
+    (1, 1916, 1878, 252),
+    (2, 974, 1909, 495),
+    (4, 508, 1957, 966),
+    (8, 273, 2038, 1856),
+    (16, 156, 2185, 3252),
+]
+
+#: Y-MP C90, 100 V-cycle multigrid cycles.
+TABLE_1B = [
+    (1, 2586, 2557, 247),
+    (2, 1326, 2611, 485),
+    (4, 698, 2572, 945),
+    (8, 380, 2805, 1804),
+    (16, 223, 3085, 3161),
+]
+
+#: Y-MP C90, 100 W-cycle multigrid cycles.
+TABLE_1C = [
+    (1, 3041, 2992, 249),
+    (2, 1552, 3048, 484),
+    (4, 815, 3146, 939),
+    (8, 444, 3323, 1790),
+    (16, 268, 3709, 3136),
+]
+
+#: Touchstone Delta, 100 single-grid cycles:
+#: (nodes, comm s, comp s, total s, MFlops).
+TABLE_2A = [
+    (256, 121, 326, 448, 778),
+    (512, 95, 170, 265, 1496),
+]
+
+#: Touchstone Delta, 100 V-cycle multigrid cycles.
+TABLE_2B = [
+    (256, 536, 427, 963, 680),
+    (512, 374, 231, 605, 1252),
+]
+
+#: Touchstone Delta, 100 W-cycle multigrid cycles (paper: estimated).
+TABLE_2C = [
+    (256, 787, 596, 1383, 573),
+    (512, 565, 278, 843, 1030),
+]
+
+#: Quantitative claims made in the running text, keyed for the tests and
+#: the comparison harness.
+TEXT_CLAIMS = {
+    # Section 2.3: sequential cycle-cost ratios vs a single-grid cycle.
+    "w_cycle_cost_ratio": 1.90,
+    "v_cycle_cost_ratio": 1.75,
+    # Section 3.2.
+    "c90_parallelism": 0.99,             # >99% parallel
+    "c90_cpu_wall_ratio_16": 15.4,
+    "c90_cpu_overhead_16": 0.20,          # ~20% CPU time increase
+    "c90_speedup_16_wcycle": 12.4,
+    "c90_gflops_16": 3.1,
+    "c90_wall_16_wcycle_s": 242,          # incl. I/O & monitoring
+    # Section 4.4 / 5.
+    "delta_512_gflops_sg": 1.5,
+    "delta_mg_v_rate_degradation": (0.10, 0.15),
+    "delta_mg_w_rate_degradation": (0.25, 0.30),
+    "delta_compute_comm_ratio": 0.5,      # ~50% comp/(comp+comm)... see text
+    "c90_vs_delta_factor": 2.0,           # C90 ~2x faster than 512 Delta
+    "delta_512_equiv_c90_cpus": 5,
+    "reordering_speedup": 2.0,            # Section 4.2
+    "c90_peak_fraction": 0.21,
+    "delta_peak_fraction": 0.05,
+    # Convergence (Figure 2 & Section 3.2): ~6 orders in 100 W-cycles on
+    # the paper's mesh; single grid needs ~1 hour (vs 242 s) to converge.
+    "w_cycle_orders_in_100": 6.0,
+    "sg_to_converge_s": 3600.0,
+    "v_cycle_to_converge_s": 360.0,
+}

@@ -1,0 +1,50 @@
+"""Export figure data to ``.npz`` for external plotting.
+
+The harness prints text summaries; this module saves the underlying
+series so the figures can be drawn with any plotting tool:
+
+* ``fig2_convergence.npz`` — residual histories per strategy;
+* ``fig4_mach.npz`` — Mach field and per-level iso-line point clouds.
+
+Used by ``python -m repro.harness fig2 --save DIR`` (and fig4).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_fig2", "save_fig4", "load_record"]
+
+
+def save_fig2(fig, directory) -> Path:
+    """Save a :class:`ConvergenceFigure`; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "fig2_convergence.npz"
+    payload = {f"history_{name.replace(' ', '_')}": np.asarray(hist)
+               for name, hist in fig.cycles.items()}
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def save_fig4(fig, directory) -> Path:
+    """Save a :class:`MachContourFigure`; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "fig4_mach.npz"
+    payload = {"mach": fig.mach,
+               "levels": np.asarray(fig.levels),
+               "shock_x": np.asarray(
+                   fig.shock_x if fig.shock_x is not None else np.nan)}
+    for lvl in fig.levels:
+        payload[f"isoline_{lvl:.2f}".replace(".", "p")] = fig.isolines[lvl]
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_record(path) -> dict:
+    """Load any record file back into a plain dict of arrays."""
+    with np.load(path, allow_pickle=False) as data:
+        return {key: data[key] for key in data.files}

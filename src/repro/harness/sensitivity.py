@@ -1,0 +1,101 @@
+"""Sensitivity of the Table 2 reproduction to the calibrated constants.
+
+The Delta model has exactly two fitted constants (per-phase sync cost,
+per-byte cost).  A reproduction whose conclusions flip when a calibrated
+constant moves by tens of percent would be fragile; this module perturbs
+each constant over a range and reports which of the paper's qualitative
+findings survive:
+
+* single grid has the highest MFlops rate, W-cycle the lowest;
+* communication share grows from single grid to W-cycle;
+* total time drops from 256 to 512 nodes for every strategy.
+
+Used by ``benchmarks/bench_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tables import (DELTA_RANK_MAP, _delta_calibration, _measure_strategy,
+                     _paper_levels)
+from .workloads import FULL_CASE, CaseSpec, build_hierarchy
+
+__all__ = ["SensitivityResult", "delta_sensitivity"]
+
+
+@dataclass
+class SensitivityResult:
+    """Shape survival across a grid of constant perturbations."""
+
+    factors: list
+    #: per (sync_factor, byte_factor): dict of shape-name -> bool
+    outcomes: dict = field(default_factory=dict)
+
+    def all_shapes_hold(self) -> bool:
+        return all(all(v.values()) for v in self.outcomes.values())
+
+    def fraction_holding(self) -> float:
+        checks = [ok for v in self.outcomes.values() for ok in v.values()]
+        return sum(checks) / len(checks) if checks else 1.0
+
+    def report(self) -> str:
+        lines = [f"{'sync x':>7s} {'byte x':>7s}  shapes"]
+        for (fs, fb), shapes in sorted(self.outcomes.items()):
+            marks = " ".join(f"{name}={'ok' if ok else 'NO'}"
+                             for name, ok in shapes.items())
+            lines.append(f"{fs:7.2f} {fb:7.2f}  {marks}")
+        return "\n".join(lines)
+
+
+def _rows_for(strategy: str, case: CaseSpec, t_sync: float, t_byte: float,
+              measurements: dict):
+    """Model rows for one strategy at given constants (measurements reused)."""
+    import numpy as np
+
+    from ..perfmodel import edge_loop_hit_rate, model_delta_run
+
+    hierarchy = build_hierarchy(case)
+    single = strategy == "sg"
+    n_levels = 1 if single else hierarchy.n_levels
+    levels = _paper_levels(n_levels, single)
+    fine_struct = hierarchy.levels[0].solver.struct
+    hit = edge_loop_hit_rate(fine_struct.edges,
+                             np.arange(fine_struct.n_edges))
+    rows = []
+    for paper_p in (256, 512):
+        meas = measurements[(strategy, paper_p)]
+        rows.append(model_delta_run(meas, paper_p, levels[0], levels[1], hit,
+                                    t_sync_s=t_sync, t_byte_s=t_byte).row())
+    return rows
+
+
+def delta_sensitivity(case: CaseSpec = FULL_CASE,
+                      factors=(0.5, 1.0, 2.0),
+                      n_model_cycles: int = 2,
+                      seed: int = 1234) -> SensitivityResult:
+    """Perturb the fitted constants over ``factors`` x ``factors``."""
+    t_sync0, t_byte0 = _delta_calibration(case.name, n_model_cycles, seed)
+    # Measure each strategy once; the model is then re-evaluated cheaply.
+    measurements = {}
+    for strategy in ("sg", "v", "w"):
+        for paper_p in (256, 512):
+            measurements[(strategy, paper_p)] = _measure_strategy(
+                strategy, case, DELTA_RANK_MAP[paper_p], n_model_cycles, seed)
+
+    result = SensitivityResult(factors=list(factors))
+    for fs in factors:
+        for fb in factors:
+            rows = {s: _rows_for(s, case, t_sync0 * fs, t_byte0 * fb,
+                                 measurements)
+                    for s in ("sg", "v", "w")}
+            shapes = {
+                "rate-order": (rows["sg"][0][4] > rows["v"][0][4]
+                               > rows["w"][0][4]),
+                "comm-share": (rows["sg"][1][1] / rows["sg"][1][3]
+                               < rows["w"][1][1] / rows["w"][1][3]),
+                "scaling": all(rows[s][1][3] < rows[s][0][3]
+                               for s in ("sg", "v", "w")),
+            }
+            result.outcomes[(fs, fb)] = shapes
+    return result

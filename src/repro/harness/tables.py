@@ -1,0 +1,213 @@
+"""Regeneration of the paper's Tables 1a-1c and 2a-2c.
+
+Each ``table*`` function returns ``(model_rows, paper_rows)`` where the
+model rows come from the measured workload (flops, colourings, partitions,
+traffic) pushed through the machine models, scaled to the paper's mesh
+sizes as documented in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from functools import lru_cache
+
+from ..distsolver import DistributedEulerSolver, DistributedMultigrid
+from ..parti.simmpi import SimMachine
+from ..partition import recursive_spectral_bisection
+from ..perfmodel import (CrayWorkload, model_cray_table, measure_traffic,
+                         model_delta_run, edge_loop_hit_rate,
+                         PAPER_FINE_MESH)
+from ..perfmodel.delta import fit_effective_message_costs
+from .paper_data import (TABLE_1A, TABLE_1B, TABLE_1C, TABLE_2A, TABLE_2B,
+                         TABLE_2C)
+from .workloads import (FAST_CASE, FULL_CASE, CaseSpec, build_hierarchy,
+                        level_colorings, measure_level_flops, mg_visits)
+
+__all__ = ["table1", "table2", "format_table1", "format_table2",
+           "EDGE_SWEEPS_PER_STEP"]
+
+#: Edge sweeps per five-stage time step: 5 convective + 2x2 dissipation
+#: passes + 2x5 smoothing sweeps + 1 time-step sweep.  Sets the number of
+#: autotasked regions (colour loops) per step in the C90 overhead model.
+EDGE_SWEEPS_PER_STEP = 20
+
+#: Our model rank counts for the Delta runs.  The paper runs 256 and 512
+#: nodes on an 804k-node mesh; we run 16 and 32 ranks on the laptop-scale
+#: mesh, preserving the paper's 2:1 scaling step, and let the model scale
+#: per-rank volume/surface quantities up (see perfmodel.delta).
+DELTA_RANK_MAP = {256: 16, 512: 32}
+
+_STRATEGIES = {"sg": (None, TABLE_2A, TABLE_1A),
+               "v": (1, TABLE_2B, TABLE_1B),
+               "w": (2, TABLE_2C, TABLE_1C)}
+
+
+def _paper_levels(n_levels: int, single_grid: bool):
+    nodes = PAPER_FINE_MESH["level_nodes"]
+    edges = PAPER_FINE_MESH["level_edges"]
+    if single_grid:
+        return nodes[:1], edges[:1]
+    return nodes[:n_levels], edges[:n_levels]
+
+
+def table1(strategy: str, case: CaseSpec = FULL_CASE,
+           cpu_counts=(1, 2, 4, 8, 16)):
+    """Model Table 1a/1b/1c ('sg', 'v', 'w'): C90 wall/CPU/MFlops rows."""
+    gamma, _, paper_rows = _STRATEGIES[strategy]
+    hierarchy = build_hierarchy(case)
+    level_flops = measure_level_flops(hierarchy)
+    colorings = level_colorings(hierarchy)
+    our_edges = [lv.solver.n_edges for lv in hierarchy.levels]
+
+    single = gamma is None
+    n_levels = 1 if single else hierarchy.n_levels
+    _, paper_edges = _paper_levels(n_levels, single)
+    n_levels = min(n_levels, len(paper_edges))
+
+    scaled_flops, scaled_groups = [], []
+    for l in range(n_levels):
+        ratio = paper_edges[l] / our_edges[l]
+        scaled_flops.append(level_flops[l] * ratio)
+        scaled_groups.append(colorings[l].group_sizes() * ratio)
+    visits = [1] if single else mg_visits(n_levels, gamma)
+
+    workload = CrayWorkload(
+        level_flops_per_cycle=scaled_flops,
+        level_visits_per_cycle=visits,
+        level_group_sizes=scaled_groups,
+        sweeps_per_step=EDGE_SWEEPS_PER_STEP,
+        n_cycles=100,
+    )
+    model_rows = [m.row() for m in model_cray_table(workload, cpu_counts)]
+    return model_rows, paper_rows
+
+
+def _measure_strategy(strategy: str, case: CaseSpec, p: int,
+                      n_model_cycles: int, seed: int):
+    """Run one strategy at ``p`` simulated ranks and measure it."""
+    gamma, _, _ = _STRATEGIES[strategy]
+    hierarchy = build_hierarchy(case)
+    w_inf = case.freestream()
+    machine = SimMachine(p)
+    if gamma is None:
+        fine_struct = hierarchy.levels[0].solver.struct
+        asg = recursive_spectral_bisection(fine_struct.edges,
+                                           fine_struct.n_vertices, p,
+                                           seed=seed)
+        solver = DistributedEulerSolver(fine_struct, w_inf, asg,
+                                        case.config, machine=machine)
+        solver.run(n_cycles=n_model_cycles)
+        flops_dicts = [solver.rank_flops]
+        level_vertices = [fine_struct.n_vertices]
+        level_edges = [fine_struct.n_edges]
+        ghost_ratio = [_ghost_ratio(solver)]
+    else:
+        assignments = [
+            recursive_spectral_bisection(lv.solver.struct.edges,
+                                         lv.solver.n_vertices, p, seed=seed)
+            for lv in hierarchy.levels
+        ]
+        dmg = DistributedMultigrid(hierarchy, assignments, w_inf,
+                                   case.config, machine=machine)
+        dmg.run(n_cycles=n_model_cycles, gamma=gamma)
+        flops_dicts = [s.rank_flops for s in dmg.solvers]
+        level_vertices = [lv.solver.n_vertices for lv in hierarchy.levels]
+        level_edges = [lv.solver.n_edges for lv in hierarchy.levels]
+        ghost_ratio = [_ghost_ratio(s) for s in dmg.solvers]
+    return measure_traffic(machine.log, flops_dicts, n_model_cycles,
+                           level_vertices, level_edges, ghost_ratio)
+
+
+def _ghost_ratio(solver: DistributedEulerSolver) -> float:
+    """Mean ghosts per rank / mean owned per rank (saturation measure)."""
+    ghosts = solver.schedule.ghost_counts().mean()
+    owned = solver.dmesh.table.n_owned.mean()
+    return float(ghosts / max(owned, 1e-300))
+
+
+@lru_cache(maxsize=4)
+def _delta_calibration(case_name: str, n_model_cycles: int, seed: int):
+    """Fit effective message costs: (t_sync_s, t_byte_s).
+
+    Calibration set: the communication columns of all six Table 2 rows
+    (single grid / V / W at 256 and 512 nodes), in relative least squares.
+    No two-parameter model fits all six exactly — Table 2c is the paper's
+    own estimate — so the residuals per row are part of the reproduction
+    record (EXPERIMENTS.md).  The per-byte term carries the surface
+    traffic, the per-phase term the synchronisation cost that multiplies
+    with coarse-grid visits.
+    """
+    case = {"fast": FAST_CASE, "full": FULL_CASE}[case_name] \
+        if case_name in ("fast", "full") else FULL_CASE
+    hierarchy = build_hierarchy(case)
+    meas, nodes, comm, paper_level_sets = [], [], [], []
+    for strategy, paper_table in (("sg", TABLE_2A), ("v", TABLE_2B),
+                                  ("w", TABLE_2C)):
+        single = strategy == "sg"
+        levels = _paper_levels(1 if single else hierarchy.n_levels, single)
+        for (paper_p, row) in zip((256, 512), paper_table):
+            meas.append(_measure_strategy(strategy, case,
+                                          DELTA_RANK_MAP[paper_p],
+                                          n_model_cycles, seed))
+            nodes.append(paper_p)
+            comm.append(row[1])
+            paper_level_sets.append(levels)
+    return fit_effective_message_costs(meas, nodes, paper_level_sets, comm)
+
+
+def table2(strategy: str, case: CaseSpec = FULL_CASE, n_model_cycles: int = 2,
+           node_counts=(256, 512), seed: int = 1234, calibrated: bool = True):
+    """Model Table 2a/2b/2c: Delta comm/comp/total/MFlops rows.
+
+    Runs the actual distributed solver on the simulated machine at the
+    mapped rank count, measures traffic and flops, then scales to the
+    paper's mesh/nodes.  With ``calibrated=True`` the effective message
+    costs fitted on Table 2a are used (see perfmodel.delta); otherwise the
+    nominal NX hardware constants apply.
+    """
+    gamma, paper_rows, _ = _STRATEGIES[strategy]
+    hierarchy = build_hierarchy(case)
+    single = gamma is None
+    n_levels = 1 if single else hierarchy.n_levels
+    paper_nodes_lv, paper_edges_lv = _paper_levels(n_levels, single)
+
+    fine_struct = hierarchy.levels[0].solver.struct
+    hit_rate = edge_loop_hit_rate(fine_struct.edges,
+                                  np.arange(fine_struct.n_edges))
+
+    t_msg = t_byte = None
+    if calibrated:
+        t_msg, t_byte = _delta_calibration(case.name, n_model_cycles, seed)
+
+    model_rows = []
+    for paper_p in node_counts:
+        meas = _measure_strategy(strategy, case, DELTA_RANK_MAP[paper_p],
+                                 n_model_cycles, seed)
+        model = model_delta_run(meas, paper_p, paper_nodes_lv, paper_edges_lv,
+                                hit_rate, t_sync_s=t_msg, t_byte_s=t_byte)
+        model_rows.append(model.row())
+    return model_rows, paper_rows
+
+
+# ---------------------------------------------------------------------------
+def format_table1(model_rows, paper_rows, title: str) -> str:
+    lines = [title,
+             f"{'CPUs':>5s} {'wall(model)':>12s} {'wall(paper)':>12s} "
+             f"{'CPUs(model)':>12s} {'CPUs(paper)':>12s} "
+             f"{'MF(model)':>10s} {'MF(paper)':>10s}"]
+    for m, p in zip(model_rows, paper_rows):
+        lines.append(f"{m[0]:5d} {m[1]:12d} {p[1]:12d} {m[2]:12d} {p[2]:12d} "
+                     f"{m[3]:10d} {p[3]:10d}")
+    return "\n".join(lines)
+
+
+def format_table2(model_rows, paper_rows, title: str) -> str:
+    lines = [title,
+             f"{'nodes':>6s} {'comm(m)':>8s} {'comm(p)':>8s} {'comp(m)':>8s} "
+             f"{'comp(p)':>8s} {'total(m)':>9s} {'total(p)':>9s} "
+             f"{'MF(m)':>7s} {'MF(p)':>7s}"]
+    for m, p in zip(model_rows, paper_rows):
+        lines.append(f"{m[0]:6d} {m[1]:8d} {p[1]:8d} {m[2]:8d} {p[2]:8d} "
+                     f"{m[3]:9d} {p[3]:9d} {m[4]:7d} {p[4]:7d}")
+    return "\n".join(lines)

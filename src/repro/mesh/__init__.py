@@ -1,0 +1,31 @@
+"""Tetrahedral mesh substrate: containers, edge-based preprocessing,
+generators, adjacency, quality and I/O.
+
+This package is the "mesh generation and preprocessing" half of the
+paper's pipeline (Section 2.4): everything that happens before the flow
+solver runs, and everything the shared-memory colouring and the
+distributed-memory partitioning consume.
+"""
+
+from .tetra import TetMesh, PATCH_FARFIELD, PATCH_WALL, PATCH_SYMMETRY, PATCH_NAMES
+from .edges import EdgeStructure, build_edge_structure, closure_residual
+from .adjacency import vertex_graph, vertex_neighbors_csr, tet_face_adjacency
+from .quality import mesh_quality, MeshQuality
+from .io import save_mesh, load_mesh
+from .generators import box_mesh, bump_channel, ellipsoid_shell
+
+__all__ = [
+    "TetMesh", "PATCH_FARFIELD", "PATCH_WALL", "PATCH_SYMMETRY", "PATCH_NAMES",
+    "EdgeStructure", "build_edge_structure", "closure_residual",
+    "vertex_graph", "vertex_neighbors_csr", "tet_face_adjacency",
+    "mesh_quality", "MeshQuality", "save_mesh", "load_mesh",
+    "box_mesh", "bump_channel", "ellipsoid_shell",
+]
+
+from .refine import refine_mesh, refine_tets
+
+__all__ += ["refine_mesh", "refine_tets"]
+
+from .validate import ValidationReport, validate_mesh
+
+__all__ += ["ValidationReport", "validate_mesh"]

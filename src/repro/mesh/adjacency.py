@@ -1,0 +1,64 @@
+"""Mesh adjacency structures: vertex graph and tet-tet face adjacency.
+
+The vertex graph (CSR) drives the partitioners and the PARTI inspector;
+the tet-tet adjacency drives the multigrid walking search that locates the
+containing tetrahedron for inter-grid interpolation (Section 2.3: "an
+efficient graph traversal search algorithm").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["vertex_graph", "vertex_neighbors_csr", "tet_face_adjacency"]
+
+
+def vertex_graph(edges: np.ndarray, n_vertices: int) -> sp.csr_matrix:
+    """Symmetric 0/1 adjacency matrix of the mesh vertex graph."""
+    ne = edges.shape[0]
+    data = np.ones(2 * ne)
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
+    mat = sp.csr_matrix((data, (rows, cols)), shape=(n_vertices, n_vertices))
+    mat.data[:] = 1.0   # collapse duplicates, keep unweighted
+    return mat
+
+
+def vertex_neighbors_csr(edges: np.ndarray, n_vertices: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style (indptr, indices) neighbour lists sorted per vertex."""
+    mat = vertex_graph(edges, n_vertices)
+    return mat.indptr.copy(), mat.indices.copy()
+
+
+#: Local tet faces opposite each local vertex (matching repro.mesh.edges).
+_LOCAL_FACES = np.array([
+    (1, 2, 3),
+    (0, 3, 2),
+    (0, 1, 3),
+    (0, 2, 1),
+], dtype=np.int64)
+
+
+def tet_face_adjacency(tets: np.ndarray) -> np.ndarray:
+    """Neighbour tet across each local face; -1 at boundary faces.
+
+    ``adj[t, k]`` is the tet sharing the face of ``t`` opposite local
+    vertex ``k``.  Built by sorting the global face keys — O(nt log nt),
+    no Python-level loop over elements.
+    """
+    nt = tets.shape[0]
+    faces = np.sort(tets[:, _LOCAL_FACES].reshape(-1, 3), axis=1)   # (4 nt, 3)
+    order = np.lexsort((faces[:, 2], faces[:, 1], faces[:, 0]))
+    sorted_faces = faces[order]
+    same_as_next = np.all(sorted_faces[:-1] == sorted_faces[1:], axis=1)
+
+    adj = -np.ones(4 * nt, dtype=np.int64)
+    owner = order // 4          # tet of each sorted face slot
+    slot = order                # flattened (tet, local face) id
+    matched = np.flatnonzero(same_as_next)
+    # Each interior face appears exactly twice and consecutively after sort.
+    first, second = slot[matched], slot[matched + 1]
+    adj[first] = owner[matched + 1]
+    adj[second] = owner[matched]
+    return adj.reshape(nt, 4)

@@ -1,0 +1,22 @@
+"""Parametric tetrahedral mesh generators.
+
+The paper uses an advancing-front generator (ref. 9) run sequentially on a
+Cray Y-MP to produce an 804,056-node mesh around an aircraft.  We have no
+such generator or geometry; these parametric generators produce meshes with
+the same *structural* properties the solver and the parallel runtime care
+about — tetrahedral elements, irregular vertex connectivity after edge
+extraction, curved solid walls, farfield boundaries — at laptop scale:
+
+* :func:`repro.mesh.generators.box.box_mesh` — all-farfield verification box;
+* :func:`repro.mesh.generators.bump.bump_channel` — transonic channel with a
+  sinusoidal bump (shock-forming at the paper's M = 0.768 condition);
+* :func:`repro.mesh.generators.shell.ellipsoid_shell` — cube-sphere O-mesh
+  around a 3-D ellipsoid body (the "aircraft configuration" analog of
+  Figure 3).
+"""
+
+from .box import box_mesh
+from .bump import bump_channel
+from .shell import ellipsoid_shell
+
+__all__ = ["box_mesh", "bump_channel", "ellipsoid_shell"]

@@ -1,0 +1,71 @@
+"""Structured box tetrahedralisation (Freudenthal/Kuhn 6-tet split).
+
+Each hexahedral cell of a structured ``nx x ny x nz`` lattice is split into
+six tetrahedra sharing the main diagonal.  Using the *same* diagonal
+direction in every cell makes the decomposition conforming across cell
+faces, so the result is a valid unstructured tet mesh whose edge structure
+is genuinely irregular (vertex degrees range from 3 to 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tetra import TetMesh, PATCH_FARFIELD
+
+__all__ = ["box_mesh", "structured_vertices", "freudenthal_tets"]
+
+#: The six Kuhn simplices of the unit cube, as corner offsets (di, dj, dk).
+#: Each row lists the 4 corners of one tet along a monotone lattice path
+#: from (0,0,0) to (1,1,1); the six rows are the six coordinate orderings.
+_KUHN_PATHS = np.array([
+    [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)],
+    [(0, 0, 0), (1, 0, 0), (1, 0, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 1, 1)],
+    [(0, 0, 0), (0, 1, 0), (0, 1, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1)],
+], dtype=np.int64)
+
+
+def structured_vertices(nx: int, ny: int, nz: int,
+                        bounds=((0.0, 1.0), (0.0, 1.0), (0.0, 1.0))) -> np.ndarray:
+    """Lattice vertex coordinates, index order ``i * (ny+1)(nz+1) + j * (nz+1) + k``."""
+    xs = np.linspace(bounds[0][0], bounds[0][1], nx + 1)
+    ys = np.linspace(bounds[1][0], bounds[1][1], ny + 1)
+    zs = np.linspace(bounds[2][0], bounds[2][1], nz + 1)
+    grid = np.meshgrid(xs, ys, zs, indexing="ij")
+    return np.stack([g.ravel() for g in grid], axis=1)
+
+
+def freudenthal_tets(nx: int, ny: int, nz: int) -> np.ndarray:
+    """Tet connectivity for the uniform Freudenthal split of the lattice."""
+    def vid(i, j, k):
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    ci, cj, ck = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    ci, cj, ck = ci.ravel(), cj.ravel(), ck.ravel()
+    ncell = ci.size
+    tets = np.empty((ncell * 6, 4), dtype=np.int64)
+    for t, path in enumerate(_KUHN_PATHS):
+        for corner in range(4):
+            di, dj, dk = path[corner]
+            tets[t * ncell:(t + 1) * ncell, corner] = vid(ci + di, cj + dj, ck + dk)
+    return tets
+
+
+def box_mesh(nx: int = 8, ny: int = 8, nz: int = 8,
+             bounds=((0.0, 1.0), (0.0, 1.0), (0.0, 1.0)),
+             boundary_tagger=None, name: str | None = None) -> TetMesh:
+    """Tet mesh of an axis-aligned box; all boundaries farfield by default.
+
+    The all-farfield box is the canonical verification mesh: on it the
+    discrete convective operator must preserve any uniform flow exactly
+    (closure identity), which pins down the dual-mesh geometry.
+    """
+    vertices = structured_vertices(nx, ny, nz, bounds)
+    tets = freudenthal_tets(nx, ny, nz)
+    if boundary_tagger is None:
+        boundary_tagger = lambda centroids, normals: np.full(len(centroids), PATCH_FARFIELD)
+    return TetMesh(vertices, tets, boundary_tagger=boundary_tagger,
+                   name=name or f"box{nx}x{ny}x{nz}")

@@ -1,0 +1,85 @@
+"""Transonic bump channel: the workhorse flow case of this reproduction.
+
+A channel ``[0, length] x [0, width] x [0, height]`` whose bottom wall
+carries a ``sin^2`` circular-arc-like bump.  At the paper's freestream
+condition (M = 0.768, alpha = 1.116 deg) the flow accelerates over the bump
+past Mach 1 and recompresses through a shock — the same transonic physics
+as the aircraft case whose Mach contours the paper shows in Figure 4, on a
+geometry we can generate parametrically at any resolution (which is exactly
+what the multigrid sequence of "completely unrelated" meshes needs).
+
+The default bump height is 4% of the channel height: at M = 0.768 the
+one-dimensional choking area ratio is 0.950, so bumps taller than ~5%
+choke the channel and admit no steady solution (an 8% bump produces a
+slowly growing unsteadiness that eventually destroys the run — found the
+hard way; see tests/solver/test_stability.py).
+
+Boundary patches:
+
+* bottom wall (bump): ``PATCH_WALL`` (flow tangency);
+* side walls ``y = 0, width``: ``PATCH_SYMMETRY`` (tangency, reported
+  separately);
+* inflow/outflow/top: ``PATCH_FARFIELD`` (characteristic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tetra import TetMesh, PATCH_FARFIELD, PATCH_WALL, PATCH_SYMMETRY
+from .box import structured_vertices, freudenthal_tets
+
+__all__ = ["bump_channel", "bump_profile"]
+
+
+def bump_profile(x: np.ndarray, x0: float, x1: float, height: float) -> np.ndarray:
+    """``sin^2`` bump elevation: smooth, zero slope at both ends."""
+    t = np.clip((x - x0) / (x1 - x0), 0.0, 1.0)
+    return height * np.sin(np.pi * t) ** 2
+
+
+def bump_channel(nx: int = 48, ny: int = 8, nz: int = 16,
+                 length: float = 3.0, width: float = 0.5, height: float = 1.0,
+                 bump_height: float = 0.04, bump_x0: float = 1.0,
+                 bump_x1: float = 2.0, name: str | None = None) -> TetMesh:
+    """Generate the bump channel tet mesh.
+
+    The structured lattice is sheared vertically: ``z' = b(x) + z (1 - b(x)
+    / height) `` so the bottom follows the bump while the top stays flat.
+    Vertical spacing is mildly clustered toward the wall (tanh stretching)
+    to resolve the shock foot, mimicking the clustering of the paper's
+    aircraft meshes near the body.
+    """
+    if not (0.0 <= bump_x0 < bump_x1 <= length):
+        raise ValueError("bump interval must lie inside the channel")
+    if bump_height >= height:
+        raise ValueError("bump may not fill the channel")
+    vertices = structured_vertices(nx, ny, nz,
+                                   bounds=((0.0, length), (0.0, width), (0.0, 1.0)))
+    tets = freudenthal_tets(nx, ny, nz)
+
+    # tanh clustering of the unit vertical coordinate toward the wall.
+    zeta = vertices[:, 2]
+    beta = 1.5
+    clustered = np.tanh(beta * zeta) / np.tanh(beta)
+    bottom = bump_profile(vertices[:, 0], bump_x0, bump_x1, bump_height)
+    vertices = vertices.copy()
+    vertices[:, 2] = bottom + clustered * (height - bottom)
+
+    tol = 1e-9
+
+    def tagger(centroids: np.ndarray, normals: np.ndarray) -> np.ndarray:
+        # Identify the flat patches exactly, then tag the remaining faces
+        # (which can only lie on the bumped floor) as wall.  This avoids
+        # comparing triangle centroids against the curved profile.
+        side = (np.abs(centroids[:, 1]) < tol) | (np.abs(centroids[:, 1] - width) < tol)
+        inflow = np.abs(centroids[:, 0]) < tol
+        outflow = np.abs(centroids[:, 0] - length) < tol
+        top = np.abs(centroids[:, 2] - height) < tol
+        tags = np.full(len(centroids), PATCH_WALL, dtype=np.int32)
+        tags[inflow | outflow | top] = PATCH_FARFIELD
+        tags[side] = PATCH_SYMMETRY
+        return tags
+
+    return TetMesh(vertices, tets, boundary_tagger=tagger,
+                   name=name or f"bump{nx}x{ny}x{nz}")

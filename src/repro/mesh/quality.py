@@ -1,0 +1,100 @@
+"""Tet mesh quality metrics, used by Figure 3's mesh report and the tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tetra import TetMesh
+
+__all__ = ["MeshQuality", "mesh_quality", "radius_ratios", "edge_lengths"]
+
+
+def edge_lengths(vertices: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Euclidean lengths of mesh edges."""
+    return np.linalg.norm(vertices[edges[:, 1]] - vertices[edges[:, 0]], axis=1)
+
+
+def radius_ratios(mesh: TetMesh) -> np.ndarray:
+    """Normalised inradius/circumradius ratio per tet (1 = regular, 0 = flat).
+
+    Uses the standard formulas ``r = 3V / A_total`` and the circumradius
+    from the Cayley–Menger-style determinant; ratio is scaled by 3 so a
+    regular tetrahedron scores exactly 1.
+    """
+    v = mesh.vertices[mesh.tets]
+    a, b, c, d = v[:, 0], v[:, 1], v[:, 2], v[:, 3]
+    vol = mesh.volumes
+
+    def tri_area(p, q, r):
+        return 0.5 * np.linalg.norm(np.cross(q - p, r - p), axis=1)
+
+    area = (tri_area(b, c, d) + tri_area(a, c, d)
+            + tri_area(a, b, d) + tri_area(a, b, c))
+    inradius = 3.0 * vol / area
+
+    # Circumradius: |alpha| / (12 V) with alpha from the lengths formula.
+    ab, ac, ad = b - a, c - a, d - a
+    la, lb, lc = (np.einsum("ij,ij->i", ab, ab), np.einsum("ij,ij->i", ac, ac),
+                  np.einsum("ij,ij->i", ad, ad))
+    num = (la[:, None] * np.cross(ac, ad) + lb[:, None] * np.cross(ad, ab)
+           + lc[:, None] * np.cross(ab, ac))
+    circumradius = np.linalg.norm(num, axis=1) / (12.0 * vol)
+    return 3.0 * inradius / circumradius
+
+
+@dataclass
+class MeshQuality:
+    """Summary statistics reported alongside Figure 3's mesh description."""
+
+    n_vertices: int
+    n_tets: int
+    n_edges: int
+    n_bfaces: int
+    min_volume: float
+    max_volume: float
+    min_quality: float
+    mean_quality: float
+    min_edge: float
+    max_edge: float
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+
+    def report(self) -> str:
+        return "\n".join([
+            f"nodes {self.n_vertices}, tets {self.n_tets}, edges {self.n_edges}, "
+            f"boundary faces {self.n_bfaces}",
+            f"tet volume [{self.min_volume:.3e}, {self.max_volume:.3e}]",
+            f"radius-ratio quality min {self.min_quality:.3f} mean {self.mean_quality:.3f}",
+            f"edge length [{self.min_edge:.3e}, {self.max_edge:.3e}]",
+            f"vertex degree [{self.min_degree}, {self.max_degree}] "
+            f"mean {self.mean_degree:.2f}",
+        ])
+
+
+def mesh_quality(mesh: TetMesh, struct=None) -> MeshQuality:
+    """Compute the quality summary; builds the edge structure if not given."""
+    if struct is None:
+        from .edges import build_edge_structure
+        struct = build_edge_structure(mesh)
+    q = radius_ratios(mesh)
+    lengths = edge_lengths(mesh.vertices, struct.edges)
+    degree = np.zeros(mesh.n_vertices, dtype=np.int64)
+    np.add.at(degree, struct.edges.ravel(), 1)
+    return MeshQuality(
+        n_vertices=mesh.n_vertices,
+        n_tets=mesh.n_tets,
+        n_edges=struct.n_edges,
+        n_bfaces=struct.n_bfaces,
+        min_volume=float(mesh.volumes.min()),
+        max_volume=float(mesh.volumes.max()),
+        min_quality=float(q.min()),
+        mean_quality=float(q.mean()),
+        min_edge=float(lengths.min()),
+        max_edge=float(lengths.max()),
+        min_degree=int(degree.min()),
+        max_degree=int(degree.max()),
+        mean_degree=float(degree.mean()),
+    )

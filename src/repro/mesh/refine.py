@@ -1,0 +1,115 @@
+"""Uniform (red) tetrahedral refinement: each tet splits into eight.
+
+The paper's conclusions name "parallel adaptive mesh refinement" as the
+missing piece of a complete solution package.  This module provides the
+serial substrate for it: conforming 1-to-8 subdivision with edge-midpoint
+vertices — four corner tets plus a central octahedron cut along its
+shortest diagonal (the quality-preserving choice of Bey/Zhang).
+
+Because the multigrid scheme accepts *completely unrelated* grids, a
+refined mesh drops straight in as a new finest level
+(``MultigridHierarchy([refine_mesh(m), m, ...])``), which is exactly how
+the paper envisages adaptively refined levels entering the sequence:
+"new finer meshes can be introduced by adaptive refinement" (Section 2.3).
+
+Limitations (documented, not hidden): new boundary vertices are placed at
+edge midpoints — chords of the true surface — since there is no CAD
+geometry to project onto; and the refinement is uniform (the marking
+machinery of true adaptation is out of scope for this reproduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tetra import TetMesh
+
+__all__ = ["refine_mesh", "refine_tets"]
+
+#: The six tet edges in local indices, fixed order.
+_EDGE_LOCAL = np.array([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+                       dtype=np.int64)
+
+#: Corner children: corner vertex + its three adjacent edge midpoints
+#: (edge ids into _EDGE_LOCAL).
+_CORNER_CHILDREN = [
+    (0, (0, 1, 2)),     # v0 : m01 m02 m03
+    (1, (0, 3, 4)),     # v1 : m01 m12 m13
+    (2, (1, 3, 5)),     # v2 : m02 m12 m23
+    (3, (2, 4, 5)),     # v3 : m03 m13 m23
+]
+
+#: The three octahedron diagonals as (edge id, edge id) midpoint pairs:
+#: (m01, m23), (m02, m13), (m03, m12).
+_DIAGONALS = [(0, 5), (1, 4), (2, 3)]
+
+#: For each diagonal choice, the four octahedron tets: (diag_a, diag_b,
+#: ring_k, ring_{k+1}) over the equatorial ring of the remaining four
+#: midpoints in cyclic order.
+_OCTA_RINGS = {
+    (0, 5): (1, 2, 4, 3),     # ring m02 m03 m13 m12 around diagonal m01-m23
+    (1, 4): (0, 2, 5, 3),     # ring m01 m03 m23 m12 around diagonal m02-m13
+    (2, 3): (0, 1, 5, 4),     # ring m01 m02 m23 m13 around diagonal m03-m12
+}
+
+
+def refine_tets(vertices: np.ndarray,
+                tets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Red-refine connectivity: returns ``(all_vertices, fine_tets)``.
+
+    Midpoint vertices are appended after the originals, one per unique
+    edge, so coarse vertex indices survive unchanged (useful for nested
+    injection checks in the tests).
+    """
+    nv = vertices.shape[0]
+    a = tets[:, _EDGE_LOCAL[:, 0]]
+    b = tets[:, _EDGE_LOCAL[:, 1]]
+    lo, hi = np.minimum(a, b), np.maximum(a, b)
+    keys = np.stack([lo.ravel(), hi.ravel()], axis=1)
+    uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+    mid_ids = (nv + inverse).reshape(tets.shape[0], 6)
+    midpoints = 0.5 * (vertices[uniq[:, 0]] + vertices[uniq[:, 1]])
+    all_vertices = np.concatenate([vertices, midpoints], axis=0)
+
+    children = []
+    # Four corner tets.
+    for corner, (e1, e2, e3) in _CORNER_CHILDREN:
+        children.append(np.stack([tets[:, corner], mid_ids[:, e1],
+                                  mid_ids[:, e2], mid_ids[:, e3]], axis=1))
+
+    # Central octahedron: cut along the shortest diagonal per tet.
+    diag_lengths = np.stack([
+        np.linalg.norm(all_vertices[mid_ids[:, d0]]
+                       - all_vertices[mid_ids[:, d1]], axis=1)
+        for d0, d1 in _DIAGONALS], axis=1)
+    choice = diag_lengths.argmin(axis=1)
+
+    octa = np.empty((tets.shape[0], 4, 4), dtype=np.int64)
+    for c, (d0, d1) in enumerate(_DIAGONALS):
+        sel = choice == c
+        if not np.any(sel):
+            continue
+        ring = _OCTA_RINGS[(d0, d1)]
+        for k in range(4):
+            r0, r1 = ring[k], ring[(k + 1) % 4]
+            octa[sel, k, 0] = mid_ids[sel, d0]
+            octa[sel, k, 1] = mid_ids[sel, d1]
+            octa[sel, k, 2] = mid_ids[sel, r0]
+            octa[sel, k, 3] = mid_ids[sel, r1]
+    for k in range(4):
+        children.append(octa[:, k])
+
+    return all_vertices, np.concatenate(children, axis=0)
+
+
+def refine_mesh(mesh: TetMesh, name: str | None = None) -> TetMesh:
+    """Conforming 8-fold refinement of a :class:`TetMesh`.
+
+    The parent's ``boundary_tagger`` is reused: all our taggers classify
+    by face-centroid geometry, which remains valid on the chord-midpoint
+    boundary of the refined mesh.
+    """
+    all_vertices, fine_tets = refine_tets(mesh.vertices, mesh.tets)
+    return TetMesh(all_vertices, fine_tets,
+                   boundary_tagger=mesh.boundary_tagger,
+                   name=name or f"{mesh.name}-refined")

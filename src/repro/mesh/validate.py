@@ -1,0 +1,101 @@
+"""Mesh validation: the checks a mesh must pass before the solver sees it.
+
+Collects the invariants that the generators guarantee by construction and
+that externally supplied meshes (the library's main extension point) must
+be checked against: positive volumes, index sanity, conformity (every
+interior face shared by exactly two tets), watertight boundary, no
+duplicate vertices, and closure of the dual mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .edges import build_edge_structure, closure_residual
+from .tetra import TetMesh
+
+__all__ = ["ValidationReport", "validate_mesh"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_mesh`; falsy when any check failed."""
+
+    checks: dict = field(default_factory=dict)   # name -> (ok, detail)
+
+    def __bool__(self) -> bool:
+        return all(ok for ok, _ in self.checks.values())
+
+    @property
+    def failures(self) -> list:
+        return [name for name, (ok, _) in self.checks.items() if not ok]
+
+    def report(self) -> str:
+        lines = []
+        for name, (ok, detail) in self.checks.items():
+            status = "ok " if ok else "FAIL"
+            lines.append(f"[{status}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def validate_mesh(mesh: TetMesh, closure_tol: float = 1e-10) -> ValidationReport:
+    """Run all structural checks; cheap enough for interactive use."""
+    rep = ValidationReport()
+
+    vols = mesh.volumes
+    rep.checks["positive volumes"] = (
+        bool(np.all(vols > 0)),
+        f"min volume {vols.min():.3e}")
+
+    finite = bool(np.all(np.isfinite(mesh.vertices)))
+    rep.checks["finite coordinates"] = (finite, "all coordinates finite"
+                                        if finite else "non-finite found")
+
+    # Duplicate vertices would create zero-length edges and singular duals.
+    rounded = np.round(mesh.vertices, 12)
+    n_unique = np.unique(rounded, axis=0).shape[0]
+    rep.checks["no duplicate vertices"] = (
+        n_unique == mesh.n_vertices,
+        f"{mesh.n_vertices - n_unique} duplicates")
+
+    # Degenerate tets referencing a vertex twice.
+    sorted_tets = np.sort(mesh.tets, axis=1)
+    has_repeats = bool(np.any(sorted_tets[:, :-1] == sorted_tets[:, 1:]))
+    rep.checks["no repeated tet vertices"] = (
+        not has_repeats, "tets reference 4 distinct vertices"
+        if not has_repeats else "repeated vertex in a tet")
+
+    # Conformity: every face appears once (boundary) or twice (interior).
+    local_faces = np.array([(1, 2, 3), (0, 3, 2), (0, 1, 3), (0, 2, 1)])
+    faces = np.sort(mesh.tets[:, local_faces].reshape(-1, 3), axis=1)
+    _, counts = np.unique(faces, axis=0, return_counts=True)
+    conforming = bool(np.all(counts <= 2))
+    rep.checks["conforming faces"] = (
+        conforming,
+        f"max face multiplicity {counts.max()}")
+
+    # Watertight boundary + dual closure via the edge structure.
+    try:
+        struct = build_edge_structure(mesh)
+        net = np.linalg.norm(struct.bface_areas.sum(axis=0))
+        scale = max(np.abs(struct.bface_areas).max(), 1e-300)
+        rep.checks["watertight boundary"] = (
+            net < 1e-9 * scale * struct.n_bfaces,
+            f"net boundary area {net:.3e}")
+        closure = np.abs(closure_residual(struct)).max()
+        rep.checks["dual closure"] = (
+            closure < closure_tol,
+            f"max closure defect {closure:.3e}")
+    except Exception as exc:       # pragma: no cover - defensive
+        rep.checks["edge structure"] = (False, f"build failed: {exc}")
+
+    # Isolated vertices (referenced by no tet).
+    used = np.zeros(mesh.n_vertices, dtype=bool)
+    used[mesh.tets.ravel()] = True
+    n_isolated = int(np.count_nonzero(~used))
+    rep.checks["no isolated vertices"] = (
+        n_isolated == 0, f"{n_isolated} isolated vertices")
+
+    return rep

@@ -1,0 +1,15 @@
+"""Unstructured multigrid (FAS) over completely unrelated grids."""
+
+from .cycle import cycle_structure, cycle_work_units, mg_cycle, run_multigrid
+from .sequence import GridLevel, MultigridHierarchy
+from .transfer import TransferOperator, build_transfer, locate_in_mesh
+
+__all__ = [
+    "cycle_structure", "cycle_work_units", "mg_cycle", "run_multigrid",
+    "GridLevel", "MultigridHierarchy", "TransferOperator", "build_transfer",
+    "locate_in_mesh",
+]
+
+from .fmg import fmg_start, run_fmg
+
+__all__ += ["fmg_start", "run_fmg"]

@@ -1,0 +1,113 @@
+"""FAS multigrid cycles: the V and W strategies of Figure 1.
+
+One cycle on level ``l`` (equations (2)-(3) of the paper):
+
+1. take a five-stage time step on level ``l`` (with its forcing function);
+2. transfer the updated flow variables (interpolation) and the full
+   residuals (transpose-of-prolongation, conservative) to level ``l+1``;
+3. form the coarse forcing function ``P = R' - R(w')`` so the coarse grid
+   is driven purely by the restricted fine-grid residual;
+4. recurse: once for a V-cycle, twice for a W-cycle (``gamma = 2``), which
+   "weights the coarse grids more heavily";
+5. prolong the coarse-grid correction ``w_c - w'`` back and add it.
+
+``cycle_structure`` replays the same recursion symbolically to emit the
+E/I event sequence drawn in Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sequence import MultigridHierarchy
+
+__all__ = ["mg_cycle", "run_multigrid", "cycle_structure", "cycle_work_units"]
+
+
+def mg_cycle(hierarchy: MultigridHierarchy, w: np.ndarray, gamma: int = 1,
+             level: int = 0, forcing: np.ndarray | None = None) -> np.ndarray:
+    """One multigrid cycle starting at ``level``; returns the updated state.
+
+    ``gamma`` is the number of coarse-grid visits per level: 1 = V-cycle,
+    2 = W-cycle.
+    """
+    levels = hierarchy.levels
+    lv = levels[level]
+    w_new = lv.solver.step(w, forcing=forcing)
+
+    if level + 1 < len(levels):
+        # Full residual on this level, including this level's forcing: this
+        # is the quantity whose annihilation the coarse grid must drive.
+        resid = lv.solver.residual(w_new)
+        if forcing is not None:
+            resid = resid + forcing
+        w_coarse0 = lv.to_coarse_vars.apply(w_new)
+        r_coarse = lv.from_coarse.transpose_apply(resid)
+        forcing_coarse = r_coarse - levels[level + 1].solver.residual(w_coarse0)
+
+        w_coarse = w_coarse0
+        visits = gamma if level + 2 < len(levels) else 1
+        for _ in range(max(1, visits)):
+            w_coarse = mg_cycle(hierarchy, w_coarse, gamma=gamma,
+                                level=level + 1, forcing=forcing_coarse)
+
+        correction = lv.from_coarse.apply(w_coarse - w_coarse0)
+        w_new = w_new + correction
+    return w_new
+
+
+def run_multigrid(hierarchy: MultigridHierarchy, w: np.ndarray | None = None,
+                  n_cycles: int = 100, gamma: int = 1,
+                  callback=None) -> tuple[np.ndarray, list[float]]:
+    """Run ``n_cycles`` V- (gamma=1) or W- (gamma=2) cycles.
+
+    Returns the final fine-grid state and the fine-grid density residual
+    history (the curves of Figure 2).
+    """
+    solver = hierarchy.fine.solver
+    if w is None:
+        w = hierarchy.freestream_solution()
+    history = []
+    for cycle in range(n_cycles):
+        history.append(solver.density_residual_norm(w))
+        w = mg_cycle(hierarchy, w, gamma=gamma)
+        if callback is not None:
+            callback(cycle, w, history[-1])
+    history.append(solver.density_residual_norm(w))
+    return w, history
+
+
+def cycle_structure(n_levels: int, gamma: int = 1) -> list[tuple[str, int]]:
+    """Symbolic event sequence of one cycle: ('E', level) time steps and
+    ('I', level) interpolations back to ``level`` — Figure 1's diagram."""
+    events: list[tuple[str, int]] = []
+
+    def recurse(level: int):
+        events.append(("E", level))
+        if level + 1 < n_levels:
+            visits = gamma if level + 2 < n_levels else 1
+            for _ in range(max(1, visits)):
+                recurse(level + 1)
+            events.append(("I", level))
+
+    recurse(0)
+    return events
+
+
+def cycle_work_units(hierarchy: MultigridHierarchy, gamma: int = 1) -> float:
+    """Cycle cost in units of one fine-grid time step, from edge counts.
+
+    Edge count is the work metric because every solver kernel is an edge
+    loop.  This reproduces the paper's sequential observations that a
+    W-cycle costs ~1.9x and a V-cycle ~1.75x a single-grid cycle (their
+    exact ratios depend on their grid coarsening ratios; ours are measured
+    from the actual hierarchy).
+    """
+    fine_edges = hierarchy.levels[0].solver.n_edges
+    visits = [0] * hierarchy.n_levels
+    for kind, level in cycle_structure(hierarchy.n_levels, gamma):
+        if kind == "E":
+            visits[level] += 1
+    work = sum(v * hierarchy.levels[i].solver.n_edges
+               for i, v in enumerate(visits))
+    return work / fine_edges

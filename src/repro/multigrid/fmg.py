@@ -1,0 +1,71 @@
+"""Full multigrid (FMG) startup: nested iteration over the grid sequence.
+
+A standard EUL3D-family improvement over the impulsive freestream start
+used in the paper's timings: converge the flow partially on the coarsest
+grid first (cheap), interpolate it up one level, run a few cycles there,
+and repeat until the finest grid starts from an already-good approximation
+rather than from uniform freestream.  The fine-grid transient — which is
+what limits the single-grid runs and produces the residual hump in our
+Figure 2 curves — largely disappears.
+
+Because the hierarchy's grids are unrelated, the upward interpolation is
+the same 4-address/4-weight prolongation operator the FAS cycle uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cycle import mg_cycle
+from .sequence import MultigridHierarchy
+
+__all__ = ["fmg_start", "run_fmg"]
+
+
+def fmg_start(hierarchy: MultigridHierarchy, cycles_per_level: int = 10,
+              gamma: int = 2) -> np.ndarray:
+    """Nested-iteration initial solution for the finest grid.
+
+    Starting from freestream on the *coarsest* grid, runs
+    ``cycles_per_level`` multigrid cycles of the sub-hierarchy at each
+    level and prolongs the result upward.  Returns a fine-grid state ready
+    for the main cycling.
+    """
+    levels = hierarchy.levels
+    n = len(levels)
+    # Solve coarsest -> finest.
+    w = levels[-1].solver.freestream_solution()
+    for li in range(n - 1, -1, -1):
+        if li < n - 1:
+            # Prolong the next-coarser solution onto this level.
+            w = levels[li].from_coarse.apply(w)
+        for _ in range(cycles_per_level if li > 0 else 0):
+            # Cycle the sub-hierarchy rooted at this level.
+            w = _sub_cycle(hierarchy, li, w, gamma)
+    return w
+
+
+def _sub_cycle(hierarchy: MultigridHierarchy, level: int, w: np.ndarray,
+               gamma: int) -> np.ndarray:
+    """One FAS cycle treating ``level`` as the finest grid."""
+    return mg_cycle(hierarchy, w, gamma=gamma, level=level)
+
+
+def run_fmg(hierarchy: MultigridHierarchy, n_cycles: int = 100,
+            gamma: int = 2, cycles_per_level: int = 10,
+            callback=None) -> tuple[np.ndarray, list]:
+    """FMG start followed by ``n_cycles`` fine-grid multigrid cycles.
+
+    Returns the final state and the fine-grid residual history (measured
+    from the first fine-grid cycle, i.e. after the nested start).
+    """
+    solver = hierarchy.fine.solver
+    w = fmg_start(hierarchy, cycles_per_level=cycles_per_level, gamma=gamma)
+    history = []
+    for cycle in range(n_cycles):
+        history.append(solver.density_residual_norm(w))
+        w = mg_cycle(hierarchy, w, gamma=gamma)
+        if callback is not None:
+            callback(cycle, w, history[-1])
+    history.append(solver.density_residual_norm(w))
+    return w, history

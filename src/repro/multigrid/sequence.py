@@ -1,0 +1,92 @@
+"""Multigrid hierarchy: solvers on each mesh plus inter-grid operators.
+
+Levels are ordered **fine to coarse** (level 0 is the finest), matching the
+paper's description of the V-cycle: "a time-step is first performed on the
+finest grid of the sequence.  The flow variables and residuals are then
+transferred to the next coarser grid ...".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh.adjacency import tet_face_adjacency
+from ..mesh.tetra import TetMesh
+from ..solver.config import SolverConfig
+from ..solver.euler import EulerSolver
+from .transfer import TransferOperator, build_transfer
+
+__all__ = ["GridLevel", "MultigridHierarchy"]
+
+
+@dataclass
+class GridLevel:
+    """One mesh of the multigrid sequence with its solver and transfers.
+
+    ``to_coarse_vars`` interpolates flow variables to the next coarser
+    level; ``from_coarse`` prolongs coarse corrections to this level;
+    the conservative residual restriction is ``from_coarse.transpose_apply``
+    (the transpose of prolongation).  The coarsest level has neither.
+    """
+
+    mesh: TetMesh
+    solver: EulerSolver
+    to_coarse_vars: TransferOperator | None = None
+    from_coarse: TransferOperator | None = None
+
+
+class MultigridHierarchy:
+    """Builds and owns the grid sequence of the FAS multigrid scheme.
+
+    Parameters
+    ----------
+    meshes : list of :class:`TetMesh`, ordered fine to coarse.  The grids
+        may be completely unrelated (different generators/resolutions);
+        only approximate geometric overlap is assumed.
+    w_inf : freestream conserved state shared by all levels.
+    config : solver configuration; coarse levels reuse it unchanged.
+    flops : optional FlopCounter shared by all level solvers.
+    """
+
+    def __init__(self, meshes: list[TetMesh], w_inf: np.ndarray,
+                 config: SolverConfig | None = None, flops=None):
+        if len(meshes) < 1:
+            raise ValueError("need at least one mesh")
+        for a, b in zip(meshes, meshes[1:]):
+            if b.n_vertices >= a.n_vertices:
+                raise ValueError(
+                    "meshes must be ordered fine to coarse "
+                    f"({a.n_vertices} then {b.n_vertices} vertices)")
+        config = config or SolverConfig()
+        self.levels: list[GridLevel] = [
+            GridLevel(mesh=m, solver=EulerSolver(m, w_inf, config, flops=flops))
+            for m in meshes
+        ]
+        # Transfer operators between consecutive levels.  The paper
+        # precomputes these in a graph-traversal preprocessing pass whose
+        # cost is "roughly equivalent to one or two flow solution cycles".
+        for fine, coarse in zip(self.levels, self.levels[1:]):
+            adj_fine = tet_face_adjacency(fine.mesh.tets)
+            adj_coarse = tet_face_adjacency(coarse.mesh.tets)
+            fine.to_coarse_vars = build_transfer(coarse.mesh.vertices,
+                                                 fine.mesh, adj_fine)
+            fine.from_coarse = build_transfer(fine.mesh.vertices,
+                                              coarse.mesh, adj_coarse)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def fine(self) -> GridLevel:
+        return self.levels[0]
+
+    def freestream_solution(self) -> np.ndarray:
+        return self.fine.solver.freestream_solution()
+
+    def level_sizes(self) -> list[tuple[int, int]]:
+        """(vertices, edges) per level, fine to coarse."""
+        return [(lv.solver.n_vertices, lv.solver.n_edges) for lv in self.levels]

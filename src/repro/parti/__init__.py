@@ -1,0 +1,13 @@
+"""PARTI runtime primitives (Parallel Automated Runtime Toolkit at ICASE)
+re-implemented on a simulated message-passing machine."""
+
+from .incremental import IncrementalGhosts, IncrementalScheduleBuilder
+from .schedule import GatherSchedule, build_gather_schedule
+from .simmpi import PhaseTraffic, SimMachine, TrafficLog
+from .translation import TranslationTable
+
+__all__ = [
+    "IncrementalGhosts", "IncrementalScheduleBuilder", "GatherSchedule",
+    "build_gather_schedule", "PhaseTraffic", "SimMachine", "TrafficLog",
+    "TranslationTable",
+]

@@ -1,0 +1,108 @@
+"""Incremental communication schedules (Section 4.3).
+
+"We have developed optimizations which make it possible to track and reuse
+off-processor data copies. ... Incremental schedules obtain only those
+off-processor data not requested by a given set of pre-existing schedules.
+Hash-tables are used [to] omit duplicate off-processor data references."
+
+:class:`IncrementalScheduleBuilder` keeps, per rank, a hash table mapping
+already-fetched global ids to their ghost slots.  Each ``add`` call takes
+the next loop's reference set and returns a schedule covering **only the
+new ids** plus an index map that lets the executor address old and new
+copies uniformly.  The ablation benchmark compares total bytes moved with
+and without this reuse — the paper's measured saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schedule import GatherSchedule, build_gather_schedule
+from .simmpi import SimMachine
+from .translation import TranslationTable
+
+__all__ = ["IncrementalScheduleBuilder", "IncrementalGhosts"]
+
+
+@dataclass
+class IncrementalGhosts:
+    """One increment: the schedule for new ids and the cumulative layout."""
+
+    schedule: GatherSchedule
+    #: per rank: ghost slot of every id required by this loop (old or new)
+    slots_for_required: list
+    #: per rank: total ghost slots allocated so far (after this increment)
+    cumulative_ghosts: np.ndarray
+
+
+class IncrementalScheduleBuilder:
+    """Builds a chain of incremental schedules over a shared ghost layout.
+
+    Ghost slots are allocated append-only: slot numbers handed out by
+    earlier increments stay valid, so executors can keep using data
+    gathered by previous schedules — the whole point of the optimisation.
+    """
+
+    def __init__(self, table: TranslationTable):
+        self.table = table
+        self.n_ranks = table.n_parts
+        # The hash tables of the paper: global id -> ghost slot, per rank.
+        self._slot_of: list = [dict() for _ in range(self.n_ranks)]
+        self._next_slot = np.zeros(self.n_ranks, dtype=np.int64)
+        self.increments: list = []
+
+    # ------------------------------------------------------------------
+    def ghost_count(self, rank: int) -> int:
+        return int(self._next_slot[rank])
+
+    def add(self, required_globals: list, name: str = "incr") -> IncrementalGhosts:
+        """Register one loop's reference set; schedule only the new ids."""
+        new_per_rank = []
+        slots_per_rank = []
+        for r in range(self.n_ranks):
+            req = np.unique(np.asarray(required_globals[r], dtype=np.int64))
+            req = req[self.table.owner_of(req) != r]
+            slot_map = self._slot_of[r]
+            new_ids = [g for g in req.tolist() if g not in slot_map]
+            new_per_rank.append(np.array(new_ids, dtype=np.int64))
+            slots_per_rank.append(req)     # placeholder, resolved below
+
+        schedule = build_gather_schedule(new_per_rank, self.table, name=name)
+        # Allocate slots for the new ids in schedule ghost order (so one
+        # gathered message lands in one contiguous run of new slots).
+        for r in range(self.n_ranks):
+            slot_map = self._slot_of[r]
+            base = int(self._next_slot[r])
+            for k, g in enumerate(schedule.ghost_globals[r].tolist()):
+                slot_map[g] = base + k
+            self._next_slot[r] = base + schedule.ghost_globals[r].size
+
+        resolved = []
+        for r in range(self.n_ranks):
+            slot_map = self._slot_of[r]
+            resolved.append(np.array([slot_map[g] for g in slots_per_rank[r].tolist()],
+                                     dtype=np.int64))
+        incr = IncrementalGhosts(schedule=schedule,
+                                 slots_for_required=resolved,
+                                 cumulative_ghosts=self._next_slot.copy())
+        self.increments.append(incr)
+        return incr
+
+    # ------------------------------------------------------------------
+    def gather_increment(self, machine: SimMachine, incr: IncrementalGhosts,
+                         owned: list, ghost_store: list,
+                         phase: str | None = None) -> None:
+        """Fetch only the increment's new ids into the shared ghost store.
+
+        ``ghost_store[r]`` must be large enough for
+        ``incr.cumulative_ghosts[r]`` slots; the new values are appended at
+        the slots this increment allocated.
+        """
+        new_ghosts = incr.schedule.gather(machine, owned, phase)
+        for r in range(self.n_ranks):
+            n_new = incr.schedule.ghost_globals[r].size
+            if n_new:
+                start = int(incr.cumulative_ghosts[r]) - n_new
+                ghost_store[r][start:start + n_new] = new_ghosts[r]

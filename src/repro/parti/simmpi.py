@@ -1,0 +1,121 @@
+"""Simulated message-passing machine.
+
+The Intel Touchstone Delta and its NX message layer are long gone; this
+module provides the substitute substrate documented in DESIGN.md: a
+deterministic, single-process machine with ``n_ranks`` private address
+spaces and explicit typed messages.  Every PARTI primitive moves data only
+through :meth:`SimMachine.exchange`, so the byte/message traffic the
+performance model prices is *measured*, not assumed.
+
+The execution model is bulk-synchronous: ranks compute independently
+(driven in lockstep by the SPMD driver), then exchange messages in a named
+phase.  The traffic log records, per phase and per rank, the number of
+messages and bytes sent and received — the inputs to the Touchstone Delta
+communication model (latency x messages + bytes / bandwidth, maximised
+over ranks per phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimMachine", "TrafficLog", "PhaseTraffic"]
+
+
+@dataclass
+class PhaseTraffic:
+    """Per-rank traffic counters of one named communication phase."""
+
+    n_ranks: int
+    msgs_sent: np.ndarray = None
+    bytes_sent: np.ndarray = None
+    msgs_recv: np.ndarray = None
+    bytes_recv: np.ndarray = None
+    occurrences: int = 0
+
+    def __post_init__(self):
+        z = lambda: np.zeros(self.n_ranks, dtype=np.int64)
+        self.msgs_sent = z()
+        self.bytes_sent = z()
+        self.msgs_recv = z()
+        self.bytes_recv = z()
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_sent.sum())
+
+    @property
+    def total_msgs(self) -> int:
+        return int(self.msgs_sent.sum())
+
+
+@dataclass
+class TrafficLog:
+    """Accumulates :class:`PhaseTraffic` per phase name."""
+
+    n_ranks: int
+    phases: dict = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseTraffic:
+        if name not in self.phases:
+            self.phases[name] = PhaseTraffic(self.n_ranks)
+        return self.phases[name]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.total_bytes for p in self.phases.values())
+
+    @property
+    def total_msgs(self) -> int:
+        return sum(p.total_msgs for p in self.phases.values())
+
+    def reset(self) -> None:
+        self.phases.clear()
+
+    def report(self) -> str:
+        lines = [f"{'phase':>24s} {'msgs':>10s} {'bytes':>14s}"]
+        for name, p in sorted(self.phases.items()):
+            lines.append(f"{name:>24s} {p.total_msgs:10d} {p.total_bytes:14d}")
+        lines.append(f"{'total':>24s} {self.total_msgs:10d} {self.total_bytes:14d}")
+        return "\n".join(lines)
+
+
+class SimMachine:
+    """``n_ranks`` simulated processors joined by a logged message fabric.
+
+    ``exchange`` is an all-to-all-v step: it takes ``{(src, dst): array}``
+    and returns the same mapping after "delivery", recording traffic under
+    the given phase name.  Empty messages are not sent (PARTI aggregates
+    small messages and never posts empties), and one (src, dst) array
+    counts as a single message regardless of size — message aggregation is
+    the sender's job and is what the schedule machinery implements.
+    """
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.log = TrafficLog(n_ranks)
+
+    def exchange(self, messages: dict, phase: str) -> dict:
+        traffic = self.log.phase(phase)
+        traffic.occurrences += 1
+        delivered = {}
+        for (src, dst), payload in messages.items():
+            if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
+                raise ValueError(f"bad ranks ({src}, {dst})")
+            if src == dst:
+                # Local copies are free on a real machine too.
+                delivered[(src, dst)] = payload
+                continue
+            payload = np.ascontiguousarray(payload)
+            if payload.size == 0:
+                continue
+            traffic.msgs_sent[src] += 1
+            traffic.bytes_sent[src] += payload.nbytes
+            traffic.msgs_recv[dst] += 1
+            traffic.bytes_recv[dst] += payload.nbytes
+            delivered[(src, dst)] = payload
+        return delivered

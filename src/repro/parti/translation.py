@@ -1,0 +1,63 @@
+"""Distributed translation table: global index -> (owner, local offset).
+
+PARTI's first job is "the distribution and retrieval of data from the
+numerous processor local memories": arrays are distributed irregularly
+according to the mesh partition, and a translation table records where
+every global element lives.  Local storage on each rank is laid out as
+
+    ``[ owned elements (in ascending global order) | ghost slots ]``
+
+so owned data occupies ``[0, n_owned)`` and off-processor copies are
+appended by the schedules (the paper's "off-processor data copies").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TranslationTable"]
+
+
+class TranslationTable:
+    """Owner and local offset of every global index under a partition."""
+
+    def __init__(self, assignment: np.ndarray, n_parts: int | None = None):
+        assignment = np.asarray(assignment)
+        if assignment.ndim != 1:
+            raise ValueError("assignment must be 1-D (one owner per global index)")
+        self.assignment = assignment.astype(np.int32)
+        self.n_parts = int(n_parts if n_parts is not None else assignment.max() + 1)
+        if np.any((assignment < 0) | (assignment >= self.n_parts)):
+            raise ValueError("assignment contains out-of-range ranks")
+        self.n_global = assignment.shape[0]
+
+        #: global ids owned by each rank, ascending.
+        self.owned_globals = [np.flatnonzero(self.assignment == r)
+                              for r in range(self.n_parts)]
+        self.n_owned = np.array([g.size for g in self.owned_globals])
+        #: local offset of each global index within its owner.
+        self.local_index = np.empty(self.n_global, dtype=np.int64)
+        for r, globals_r in enumerate(self.owned_globals):
+            self.local_index[globals_r] = np.arange(globals_r.size)
+
+    def owner_of(self, global_ids: np.ndarray) -> np.ndarray:
+        return self.assignment[global_ids]
+
+    def local_of(self, global_ids: np.ndarray) -> np.ndarray:
+        return self.local_index[global_ids]
+
+    def dereference(self, global_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(owner, local offset) pairs — the PARTI ``dereference`` call."""
+        return self.owner_of(global_ids), self.local_of(global_ids)
+
+    def scatter_global_array(self, values: np.ndarray) -> list:
+        """Distribute a replicated global array into per-rank owned blocks."""
+        return [values[g] for g in self.owned_globals]
+
+    def gather_global_array(self, per_rank: list) -> np.ndarray:
+        """Reassemble a replicated global array from per-rank owned blocks."""
+        first = per_rank[0]
+        out = np.empty((self.n_global,) + first.shape[1:], dtype=first.dtype)
+        for r, block in enumerate(per_rank):
+            out[self.owned_globals[r]] = block
+        return out

@@ -1,0 +1,16 @@
+"""Mesh partitioners for the distributed-memory implementation."""
+
+from .bfs import greedy_bfs_partition
+from .coordinate import recursive_coordinate_bisection
+from .metrics import PartitionMetrics, cut_edges, partition_metrics
+from .spectral import fiedler_vector, lanczos_extremal, recursive_spectral_bisection
+
+__all__ = [
+    "greedy_bfs_partition", "recursive_coordinate_bisection",
+    "PartitionMetrics", "cut_edges", "partition_metrics",
+    "fiedler_vector", "lanczos_extremal", "recursive_spectral_bisection",
+]
+
+from .refine import refine_partition, refinement_gain
+
+__all__ += ["refine_partition", "refinement_gain"]

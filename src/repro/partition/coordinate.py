@@ -1,0 +1,37 @@
+"""Recursive coordinate bisection: the geometric baseline partitioner.
+
+Splits the vertex set at the median coordinate along the longest extent of
+its bounding box, recursively.  Cheap (no eigenproblem) and perfectly
+balanced, but blind to connectivity — it typically cuts more edges than
+spectral bisection, which is exactly the trade-off the ablation benchmark
+measures (cut edges feed straight into the Delta communication model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recursive_coordinate_bisection"]
+
+
+def recursive_coordinate_bisection(coords: np.ndarray, n_parts: int) -> np.ndarray:
+    """Partition points into ``n_parts`` parts of near-equal size."""
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    n = coords.shape[0]
+    assignment = np.zeros(n, dtype=np.int32)
+    stack = [(np.arange(n), 0, n_parts)]
+    while stack:
+        verts, part0, parts = stack.pop()
+        if parts == 1 or verts.size == 0:
+            assignment[verts] = part0
+            continue
+        parts_left = (parts + 1) // 2
+        target_left = int(round(verts.size * parts_left / parts))
+        target_left = min(max(target_left, 1), verts.size - 1)
+        pts = coords[verts]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = np.argsort(pts[:, axis], kind="stable")
+        stack.append((verts[order[:target_left]], part0, parts_left))
+        stack.append((verts[order[target_left:]], part0 + parts_left, parts - parts_left))
+    return assignment

@@ -1,0 +1,97 @@
+"""Pairwise boundary refinement of partitions (KL/FM-style).
+
+The paper's conclusions call for better partitioners: "the partitioning
+strategy employed ..., although effective, is excessively costly.  More
+research is required in this area in order to develop more efficient and
+parallel partitioners."  This module implements the classic answer: take
+any cheap initial partition (coordinate bisection, BFS growing) and
+improve its cut with a Fiduccia–Mattheyses-style greedy refinement pass
+over the partition boundary, under a strict balance constraint.
+
+The pass is local (touches only boundary vertices), so it is exactly the
+kind of computation that parallelises over partitions — the direction the
+paper points at.  The ablation benchmark measures cut improvement and the
+resulting PARTI traffic reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.adjacency import vertex_neighbors_csr
+from .metrics import cut_edges
+
+__all__ = ["refine_partition", "refinement_gain"]
+
+
+def refinement_gain(edges: np.ndarray, assignment: np.ndarray) -> int:
+    """Cut-edge count of an assignment (lower is better)."""
+    return int(cut_edges(edges, assignment).sum())
+
+
+def refine_partition(edges: np.ndarray, assignment: np.ndarray,
+                     n_parts: int | None = None, max_passes: int = 4,
+                     imbalance_tol: float = 0.05) -> np.ndarray:
+    """Greedy boundary refinement; returns an improved copy.
+
+    Each pass visits the current boundary vertices in order of decreasing
+    move gain (cut edges saved by moving the vertex to its most-connected
+    other part) and applies every move that
+
+    * strictly reduces the cut, and
+    * keeps every part within ``(1 + imbalance_tol)`` of the mean size.
+
+    Passes repeat until no move applies or ``max_passes`` is reached.
+    This is the simplified single-move variant of Fiduccia–Mattheyses
+    (no hill-climbing), which preserves monotone improvement — adequate
+    for polishing RCB/BFS seeds and cheap enough to run per partition.
+    """
+    assignment = np.asarray(assignment).copy()
+    n_vertices = assignment.shape[0]
+    if n_parts is None:
+        n_parts = int(assignment.max()) + 1
+    indptr, indices = vertex_neighbors_csr(edges, n_vertices)
+    sizes = np.bincount(assignment, minlength=n_parts).astype(np.int64)
+    max_size = int((1.0 + imbalance_tol) * n_vertices / n_parts) + 1
+    min_size = max(1, int((1.0 - imbalance_tol) * n_vertices / n_parts))
+
+    for _ in range(max_passes):
+        cut_mask = cut_edges(edges, assignment)
+        boundary = np.unique(edges[cut_mask].ravel())
+        if boundary.size == 0:
+            break
+
+        moved_any = False
+        # Compute gains for all boundary vertices, then apply greedily in
+        # gain order, revalidating each move against the current state.
+        gains = []
+        for v in boundary.tolist():
+            nb = indices[indptr[v]:indptr[v + 1]]
+            parts, counts = np.unique(assignment[nb], return_counts=True)
+            home = assignment[v]
+            home_links = int(counts[parts == home][0]) if home in parts else 0
+            for part, count in zip(parts.tolist(), counts.tolist()):
+                if part != home and count > home_links:
+                    gains.append((count - home_links, v, part))
+        gains.sort(reverse=True)
+
+        for gain, v, target in gains:
+            home = assignment[v]
+            if home == target:
+                continue
+            if sizes[target] >= max_size or sizes[home] <= min_size:
+                continue
+            # Revalidate the gain against the possibly updated assignment.
+            nb = indices[indptr[v]:indptr[v + 1]]
+            links_target = int(np.count_nonzero(assignment[nb] == target))
+            links_home = int(np.count_nonzero(assignment[nb] == home))
+            if links_target <= links_home:
+                continue
+            assignment[v] = target
+            sizes[home] -= 1
+            sizes[target] += 1
+            moved_any = True
+
+        if not moved_any:
+            break
+    return assignment

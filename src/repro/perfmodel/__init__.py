@@ -1,0 +1,17 @@
+"""Performance models for the two 1992 machines, driven by measured
+workload quantities (flops, colours, partitions, traffic)."""
+
+from .cache import (CacheModelResult, edge_loop_hit_rate,
+                    effective_node_mflops, node_rate_for_ordering)
+from .cray import CrayRunModel, CrayWorkload, model_cray_run, model_cray_table
+from .delta import DeltaMeasurement, DeltaRunModel, measure_traffic, model_delta_run
+from .flops import FlopCounter, NullFlopCounter
+from .machines import PAPER_FINE_MESH, CrayC90, TouchstoneDelta
+
+__all__ = [
+    "CacheModelResult", "edge_loop_hit_rate", "effective_node_mflops",
+    "node_rate_for_ordering", "CrayRunModel", "CrayWorkload",
+    "model_cray_run", "model_cray_table", "DeltaMeasurement",
+    "DeltaRunModel", "measure_traffic", "model_delta_run", "FlopCounter",
+    "NullFlopCounter", "PAPER_FINE_MESH", "CrayC90", "TouchstoneDelta",
+]

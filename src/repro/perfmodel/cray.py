@@ -1,0 +1,112 @@
+"""Cray Y-MP C90 vector/autotasking performance model (Tables 1a-1c).
+
+What is measured from the reproduction (not assumed):
+
+* flops per cycle per edge/vertex — from the instrumented solver kernels;
+* the colour-group structure — from the actual greedy edge colouring
+  (number of colours and group sizes set the vector lengths and the
+  number of fork/join regions);
+* the multigrid visit pattern — from the actual V/W recursion
+  (``cycle_structure``), giving per-level work and region counts.
+
+What the machine contributes: the vector rate curve
+``r(l) = r_inf * l / (l + n_half)`` (Hockney's model, with the paper's own
+measured single-CPU rate as ``r_inf``), a per-region fork overhead and a
+serial I/O allowance (both calibrated once, see machines.py).
+
+Model structure, per 100 cycles at ``P`` CPUs:
+
+* every colour sweep is one autotasked region: the colour's edges are
+  split into ``P`` subgroups, so the vector length drops to ``len/P``
+  and each region charges ``(P - 1) * fork_overhead`` CPU-seconds;
+* CPU time = sum of region work at the vector rate + fork overheads
+  (this produces the paper's observed "total CPU time increases ...
+  approximately 20% for 16 CPUs");
+* wall time = CPU time / P + serial I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machines import CrayC90
+
+__all__ = ["CrayRunModel", "CrayWorkload", "model_cray_table"]
+
+
+@dataclass
+class CrayWorkload:
+    """Measured workload description for one solution strategy.
+
+    ``level_flops_per_cycle[l]`` — flops of one time step on level ``l``
+    (level 0 = finest; single grid has one level).
+    ``level_visits_per_cycle[l]`` — time steps taken on level ``l`` per
+    multigrid cycle (from ``cycle_structure``; all 1 for single grid).
+    ``level_group_sizes[l]`` — edge-colour group sizes of level ``l``.
+    ``sweeps_per_step`` — edge sweeps per time step (RK stages x kernels),
+    used to count fork/join regions: regions = sweeps x colours.
+    """
+
+    level_flops_per_cycle: list
+    level_visits_per_cycle: list
+    level_group_sizes: list
+    sweeps_per_step: float
+    n_cycles: int = 100
+
+
+@dataclass
+class CrayRunModel:
+    """One row of a Table 1 variant: performance at ``n_cpus``."""
+
+    n_cpus: int
+    wall_s: float
+    cpu_s: float
+    mflops: float
+
+    def row(self) -> tuple:
+        return (self.n_cpus, round(self.wall_s), round(self.cpu_s),
+                round(self.mflops))
+
+
+def _vector_rate(length: np.ndarray, machine: CrayC90) -> np.ndarray:
+    """Hockney rate curve in flops/second for given vector lengths."""
+    length = np.maximum(np.asarray(length, dtype=float), 1.0)
+    return machine.r_inf_mflops * 1e6 * length / (length + machine.n_half)
+
+
+def model_cray_run(workload: CrayWorkload, n_cpus: int,
+                   machine: CrayC90 | None = None) -> CrayRunModel:
+    """Model one run (e.g. 100 cycles of one strategy) at ``n_cpus``."""
+    machine = machine or CrayC90()
+    total_cpu = 0.0
+    total_flops = 0.0
+    total_regions = 0.0
+    for flops, visits, groups in zip(workload.level_flops_per_cycle,
+                                     workload.level_visits_per_cycle,
+                                     workload.level_group_sizes):
+        groups = np.asarray(groups, dtype=float)
+        level_edges = groups.sum()
+        # Distribute the level's flops over colours in proportion to size;
+        # each colour runs at the vector rate of its per-CPU subgroup.
+        flops_per_group = flops * groups / level_edges
+        rate = _vector_rate(groups / n_cpus, machine)
+        work_cpu = float((flops_per_group / rate).sum())
+        level_cycles = visits * workload.n_cycles
+        total_cpu += work_cpu * level_cycles
+        total_flops += flops * level_cycles
+        total_regions += workload.sweeps_per_step * len(groups) * level_cycles
+
+    fork_cpu = total_regions * machine.fork_overhead_s * max(n_cpus - 1, 0)
+    cpu_s = total_cpu + fork_cpu
+    wall_s = cpu_s / n_cpus + machine.serial_io_s
+    return CrayRunModel(n_cpus=n_cpus, wall_s=wall_s, cpu_s=cpu_s,
+                        mflops=total_flops / wall_s / 1e6)
+
+
+def model_cray_table(workload: CrayWorkload,
+                     cpu_counts=(1, 2, 4, 8, 16),
+                     machine: CrayC90 | None = None) -> list:
+    """All rows of one Table 1 variant."""
+    return [model_cray_run(workload, p, machine) for p in cpu_counts]

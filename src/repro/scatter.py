@@ -1,0 +1,103 @@
+"""Edge-to-vertex scatter/gather kernels.
+
+The whole solver is organised around loops over mesh edges that accumulate
+into vertex arrays (Section 2.1 of the paper: "the residuals are assembled
+using loops over the list of edges").  In NumPy the naive translation is
+``np.add.at``, which is correct but slow because it cannot vectorise the
+accumulation.  Following the optimisation guides, we precompute a sparse
+signed incidence matrix once per mesh and turn every edge-loop accumulation
+into a CSR matrix-vector product, which is an order of magnitude faster and
+numerically identical up to summation order.
+
+Two implementations are provided and cross-checked in the test suite:
+
+* :class:`EdgeScatter` — sparse-matrix based (default, fast);
+* :func:`scatter_add_edges` — ``np.add.at`` reference (used for validation
+  and for the simulated distributed executor where per-rank edge sets are
+  small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["EdgeScatter", "scatter_add_edges", "gather_edge_difference"]
+
+
+def scatter_add_edges(edges: np.ndarray, edge_values: np.ndarray, n_vertices: int,
+                      out: np.ndarray | None = None) -> np.ndarray:
+    """Reference edge accumulation: ``out[i] += v_e``, ``out[j] -= v_e``.
+
+    Parameters
+    ----------
+    edges : (ne, 2) int array of vertex indices per edge.
+    edge_values : (ne, ...) array of per-edge quantities.
+    n_vertices : number of vertices in the target array.
+    out : optional preallocated output of shape ``(n_vertices, ...)``.
+    """
+    if out is None:
+        out = np.zeros((n_vertices,) + edge_values.shape[1:], dtype=edge_values.dtype)
+    np.add.at(out, edges[:, 0], edge_values)
+    np.subtract.at(out, edges[:, 1], edge_values)
+    return out
+
+
+def gather_edge_difference(edges: np.ndarray, vertex_values: np.ndarray) -> np.ndarray:
+    """Per-edge difference ``v[j] - v[i]`` (the undivided edge gradient)."""
+    return vertex_values[edges[:, 1]] - vertex_values[edges[:, 0]]
+
+
+class EdgeScatter:
+    """Precomputed signed/unsigned incidence operators for one edge list.
+
+    ``signed @ e`` computes ``sum_{edges e=(i,j)} (+e at i, -e at j)`` and
+    ``unsigned @ e`` computes ``sum (+e at i, +e at j)`` — the two
+    accumulation patterns used by the convective operator, the dissipation
+    operator, the time-step estimate and the residual smoother.
+    """
+
+    def __init__(self, edges: np.ndarray, n_vertices: int):
+        edges = np.asarray(edges)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must be (ne, 2), got {edges.shape}")
+        ne = edges.shape[0]
+        self.edges = edges
+        self.n_vertices = int(n_vertices)
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([np.arange(ne), np.arange(ne)])
+        signed_data = np.concatenate([np.ones(ne), -np.ones(ne)])
+        unsigned_data = np.ones(2 * ne)
+        shape = (self.n_vertices, ne)
+        self._signed = sp.csr_matrix((signed_data, (rows, cols)), shape=shape)
+        self._unsigned = sp.csr_matrix((unsigned_data, (rows, cols)), shape=shape)
+        # Per-vertex edge degree (number of incident edges); used by the
+        # dissipation switch denominator and the Jacobi residual smoother.
+        self.degree = np.asarray(self._unsigned.sum(axis=1)).ravel()
+        # Symmetric vertex adjacency (n x n) for neighbour sums.
+        adj_rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        adj_cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        self._adjacency = sp.csr_matrix(
+            (np.ones(2 * ne), (adj_rows, adj_cols)),
+            shape=(self.n_vertices, self.n_vertices))
+
+    def neighbor_sum(self, vertex_values: np.ndarray) -> np.ndarray:
+        """``out_i = sum_{j ~ i} v_j`` over the mesh edge graph."""
+        return self._apply(self._adjacency, vertex_values)
+
+    def signed(self, edge_values: np.ndarray) -> np.ndarray:
+        """Accumulate ``+value`` at edge tail, ``-value`` at edge head."""
+        return self._apply(self._signed, edge_values)
+
+    def unsigned(self, edge_values: np.ndarray) -> np.ndarray:
+        """Accumulate ``+value`` at both edge endpoints."""
+        return self._apply(self._unsigned, edge_values)
+
+    @staticmethod
+    def _apply(mat: sp.csr_matrix, edge_values: np.ndarray) -> np.ndarray:
+        edge_values = np.asarray(edge_values)
+        if edge_values.ndim == 1:
+            return mat @ edge_values
+        flat = edge_values.reshape(edge_values.shape[0], -1)
+        out = mat @ flat
+        return out.reshape((mat.shape[0],) + edge_values.shape[1:])

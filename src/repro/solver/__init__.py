@@ -1,0 +1,35 @@
+"""The EUL3D flow solver: edge-based Galerkin scheme + 5-stage Runge-Kutta.
+
+Public surface:
+
+* :class:`EulerSolver` — single-grid solver on one mesh (drives multigrid);
+* :class:`SolverConfig` — numerical parameters;
+* boundary, dissipation, time-step and smoothing kernels for direct use by
+  the distributed-memory driver;
+* monitoring helpers (convergence history, Mach field, forces).
+"""
+
+from .bc import BoundaryData, boundary_fluxes, build_boundary_data, characteristic_state
+from .config import SolverConfig
+from .dissipation import dissipation_operator, pressure_switch, undivided_laplacian
+from .euler import EulerSolver
+from .flux import convective_operator, edge_flux
+from .monitor import (ConvergenceHistory, extract_isoline, integrated_forces,
+                      mach_field, surface_pressure_coefficient)
+from .smoothing import smooth_residual
+from .timestep import local_timestep
+
+__all__ = [
+    "EulerSolver", "SolverConfig", "BoundaryData", "boundary_fluxes",
+    "build_boundary_data", "characteristic_state", "dissipation_operator",
+    "pressure_switch", "undivided_laplacian", "convective_operator",
+    "edge_flux", "ConvergenceHistory", "extract_isoline", "integrated_forces",
+    "mach_field", "surface_pressure_coefficient", "smooth_residual",
+    "local_timestep",
+]
+
+from .diagnostics import (AeroCoefficients, aero_coefficients,
+                          entropy_error_norm, entropy_field)
+
+__all__ += ["AeroCoefficients", "aero_coefficients", "entropy_error_norm",
+            "entropy_field"]

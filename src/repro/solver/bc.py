@@ -1,0 +1,136 @@
+"""Boundary conditions: solid-wall tangency and characteristic farfield.
+
+The control volume of a boundary vertex is closed by its lumped boundary
+normal ``b_i`` (one third of each incident boundary face's directed area).
+The boundary contribution to the convective residual is the flux through
+that lumped normal:
+
+* **wall / symmetry** (flow tangency): only the pressure acts, so the
+  momentum equations receive ``p_i b_i`` and mass/energy receive nothing;
+* **farfield**: a locally one-dimensional characteristic (Riemann
+  invariant) analysis along the outward normal blends the interior state
+  with the freestream, and the full Euler flux of the resulting boundary
+  state is applied.  This is the standard non-reflecting treatment for
+  external transonic flows such as the paper's M = 0.768 case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GAMMA, GAMMA_M1
+from ..mesh.tetra import PATCH_FARFIELD, PATCH_WALL, PATCH_SYMMETRY
+from ..state import flux_vectors, pressure, primitive_from_conserved
+
+__all__ = ["BoundaryData", "build_boundary_data", "boundary_fluxes",
+           "characteristic_state", "FLOPS_PER_WALL_VERTEX", "FLOPS_PER_FARFIELD_VERTEX"]
+
+FLOPS_PER_WALL_VERTEX = 18
+FLOPS_PER_FARFIELD_VERTEX = 110
+
+
+class BoundaryData:
+    """Precomputed boundary-vertex index sets and lumped normals.
+
+    Attributes
+    ----------
+    wall_vertices, far_vertices : vertex index arrays (walls include
+        symmetry planes — both enforce tangency for inviscid flow).
+    wall_normals, far_normals : matching lumped directed normals (not unit).
+    far_unit : unit outward normals for the characteristic analysis.
+    """
+
+    def __init__(self, struct):
+        wall_acc = np.zeros((struct.n_vertices, 3))
+        for tag in (PATCH_WALL, PATCH_SYMMETRY):
+            if tag in struct.vertex_bnormals:
+                wall_acc += struct.vertex_bnormals[tag]
+        far_acc = struct.vertex_bnormals.get(
+            PATCH_FARFIELD, np.zeros((struct.n_vertices, 3)))
+
+        wall_norm = np.linalg.norm(wall_acc, axis=1)
+        far_norm = np.linalg.norm(far_acc, axis=1)
+        self.wall_vertices = np.flatnonzero(wall_norm > 0.0)
+        self.far_vertices = np.flatnonzero(far_norm > 0.0)
+        self.wall_normals = wall_acc[self.wall_vertices]
+        self.far_normals = far_acc[self.far_vertices]
+        self.far_unit = self.far_normals / far_norm[self.far_vertices, None]
+        self.n_vertices = struct.n_vertices
+
+
+def build_boundary_data(struct) -> BoundaryData:
+    """Assemble :class:`BoundaryData` from an edge structure."""
+    return BoundaryData(struct)
+
+
+def characteristic_state(w_int: np.ndarray, unit_normals: np.ndarray,
+                         w_inf: np.ndarray) -> np.ndarray:
+    """Boundary state from 1-D Riemann invariants along the outward normal.
+
+    ``w_int`` holds the interior states at farfield vertices, ``w_inf`` is
+    the (5,) freestream conserved state.  Subsonic in/outflow blends the
+    two Riemann invariants; supersonic flow takes the upwind state whole.
+    """
+    rho_i, u_i, v_i, wv_i, p_i = primitive_from_conserved(w_int)
+    rho_f, u_f, v_f, wv_f, p_f = primitive_from_conserved(w_inf[None, :])
+    vel_i = np.stack([u_i, v_i, wv_i], axis=1)
+    vel_f = np.stack([np.broadcast_to(u_f, rho_i.shape),
+                      np.broadcast_to(v_f, rho_i.shape),
+                      np.broadcast_to(wv_f, rho_i.shape)], axis=1)
+    c_i = np.sqrt(GAMMA * p_i / rho_i)
+    c_f = float(np.sqrt(GAMMA * p_f / rho_f)[0])
+
+    un_i = np.einsum("id,id->i", vel_i, unit_normals)
+    un_f = np.einsum("id,id->i", vel_f, unit_normals)
+
+    # Outgoing (interior) and incoming (freestream) acoustic invariants.
+    r_plus = un_i + 2.0 * c_i / GAMMA_M1
+    r_minus = un_f - 2.0 * c_f / GAMMA_M1
+    # Supersonic overrides: both invariants from the upwind side.
+    supersonic_out = un_i >= c_i
+    supersonic_in = un_i <= -c_i
+    r_minus = np.where(supersonic_out, un_i - 2.0 * c_i / GAMMA_M1, r_minus)
+    r_plus = np.where(supersonic_in, un_f + 2.0 * c_f / GAMMA_M1, r_plus)
+
+    un_b = 0.5 * (r_plus + r_minus)
+    c_b = 0.25 * GAMMA_M1 * (r_plus - r_minus)
+
+    outflow = un_b > 0.0
+    # Entropy and tangential velocity advect from the upwind side.
+    s_i = p_i / rho_i ** GAMMA
+    s_f = float((p_f / rho_f ** GAMMA)[0])
+    s_b = np.where(outflow, s_i, s_f)
+    vel_t = np.where(outflow[:, None], vel_i - un_i[:, None] * unit_normals,
+                     vel_f - un_f[:, None] * unit_normals)
+
+    rho_b = (c_b * c_b / (GAMMA * s_b)) ** (1.0 / GAMMA_M1)
+    p_b = rho_b * c_b * c_b / GAMMA
+    vel_b = vel_t + un_b[:, None] * unit_normals
+
+    q2 = np.einsum("id,id->i", vel_b, vel_b)
+    w_b = np.empty_like(w_int)
+    w_b[:, 0] = rho_b
+    w_b[:, 1:4] = rho_b[:, None] * vel_b
+    w_b[:, 4] = p_b / GAMMA_M1 + 0.5 * rho_b * q2
+    return w_b
+
+
+def boundary_fluxes(w: np.ndarray, bdata: BoundaryData, w_inf: np.ndarray,
+                    out: np.ndarray | None = None) -> np.ndarray:
+    """Boundary closure of the convective operator, shape ``(nv, 5)``.
+
+    Accumulates the wall pressure flux and the farfield characteristic
+    flux into the residual array (allocating it when ``out`` is None).
+    """
+    if out is None:
+        out = np.zeros((bdata.n_vertices, 5))
+
+    if bdata.wall_vertices.size:
+        p_wall = pressure(w[bdata.wall_vertices])
+        out[bdata.wall_vertices, 1:4] += p_wall[:, None] * bdata.wall_normals
+
+    if bdata.far_vertices.size:
+        w_b = characteristic_state(w[bdata.far_vertices], bdata.far_unit, w_inf)
+        f_b = flux_vectors(w_b)                                # (nb, 5, 3)
+        out[bdata.far_vertices] += np.einsum("ikd,id->ik", f_b, bdata.far_normals)
+    return out

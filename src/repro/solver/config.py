@@ -1,0 +1,33 @@
+"""Solver configuration: numerical parameters of the EUL3D scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..constants import (CFL_DEFAULT, CFL_UNSMOOTHED, K2_DEFAULT, K4_DEFAULT,
+                         RESIDUAL_SMOOTHING_EPS, RESIDUAL_SMOOTHING_SWEEPS)
+
+__all__ = ["SolverConfig"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Numerical parameters of the five-stage scheme.
+
+    Defaults follow common JST-scheme practice and the paper's description:
+    local time stepping and implicit residual averaging on, dissipation
+    re-evaluated at the first two Runge-Kutta stages only.
+    """
+
+    cfl: float = CFL_DEFAULT
+    k2: float = K2_DEFAULT
+    k4: float = K4_DEFAULT
+    residual_smoothing: bool = True
+    smoothing_eps: float = RESIDUAL_SMOOTHING_EPS
+    smoothing_sweeps: int = RESIDUAL_SMOOTHING_SWEEPS
+    #: Floor on the pressure-switch denominator, guards 0/0 at stagnation.
+    switch_floor: float = 1e-12
+
+    def without_smoothing(self) -> "SolverConfig":
+        """Variant with residual averaging off and a stable (lower) CFL."""
+        return replace(self, residual_smoothing=False, cfl=min(self.cfl, CFL_UNSMOOTHED))

@@ -1,0 +1,197 @@
+"""The single-grid EUL3D solver: five-stage Runge-Kutta on the edge scheme.
+
+This is the "base solver that drives the multigrid algorithm" of Section
+2.2.  One :class:`EulerSolver` instance owns the preprocessed edge
+structure of one mesh; :meth:`step` advances the solution by one
+five-stage time step (equations (1) of the paper):
+
+* the convective operator ``Q`` is evaluated at every stage;
+* the dissipative operator ``D`` is evaluated at the first two stages and
+  frozen thereafter;
+* local time steps and implicit residual averaging accelerate convergence;
+* an optional multigrid forcing function ``P`` is added to the residual,
+  which turns the same routine into the coarse-grid smoother of the FAS
+  scheme (equation (3)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
+from ..mesh.edges import EdgeStructure, build_edge_structure
+from ..mesh.tetra import TetMesh
+from ..perfmodel.flops import FlopCounter, NullFlopCounter
+from ..scatter import EdgeScatter
+from .bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
+                 BoundaryData, boundary_fluxes)
+from .config import SolverConfig
+from .dissipation import (FLOPS_PER_EDGE_DISS_PASS1, FLOPS_PER_EDGE_DISS_PASS2,
+                          FLOPS_PER_VERTEX_DISS, dissipation_operator)
+from .flux import (FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC,
+                   convective_operator)
+from .smoothing import (FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH,
+                        smooth_residual)
+from .timestep import (FLOPS_PER_EDGE_TIMESTEP, FLOPS_PER_VERTEX_TIMESTEP,
+                       local_timestep)
+
+__all__ = ["EulerSolver"]
+
+
+class EulerSolver:
+    """Vertex-centred edge-based Euler solver on one unstructured mesh.
+
+    Parameters
+    ----------
+    mesh : :class:`TetMesh` or a prebuilt :class:`EdgeStructure`.
+    w_inf : (5,) freestream conserved state (see
+        :func:`repro.state.freestream_state`); used by the farfield BC and
+        as the default initial condition.
+    config : numerical parameters; defaults are suitable for transonic flow.
+    flops : optional :class:`FlopCounter` receiving analytic counts.
+    """
+
+    def __init__(self, mesh, w_inf: np.ndarray,
+                 config: SolverConfig | None = None, flops=None):
+        if isinstance(mesh, TetMesh):
+            self.mesh = mesh
+            self.struct = build_edge_structure(mesh)
+        elif isinstance(mesh, EdgeStructure):
+            self.mesh = None
+            self.struct = mesh
+        else:
+            raise TypeError(f"mesh must be TetMesh or EdgeStructure, got {type(mesh)}")
+        self.config = config or SolverConfig()
+        self.w_inf = np.asarray(w_inf, dtype=np.float64)
+        if self.w_inf.shape != (NVAR,):
+            raise ValueError(f"w_inf must have shape (5,), got {self.w_inf.shape}")
+        self.flops = flops if flops is not None else NullFlopCounter()
+
+        self.scatter = EdgeScatter(self.struct.edges, self.struct.n_vertices)
+        self.bdata = BoundaryData(self.struct)
+        self.edges = self.struct.edges
+        self.eta = self.struct.eta
+        self.dual_volumes = self.struct.dual_volumes
+        # Boundary vertices are excluded from residual averaging (see
+        # repro.solver.smoothing for the stability rationale).
+        self.boundary_mask = np.zeros(self.struct.n_vertices, dtype=bool)
+        self.boundary_mask[self.bdata.wall_vertices] = True
+        self.boundary_mask[self.bdata.far_vertices] = True
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.struct.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.struct.n_edges
+
+    def freestream_solution(self) -> np.ndarray:
+        """Uniform freestream initial condition ``(nv, 5)``."""
+        return np.tile(self.w_inf, (self.n_vertices, 1))
+
+    # ------------------------------------------------------------------
+    def convective(self, w: np.ndarray) -> np.ndarray:
+        """Q(w): interior edge fluxes plus boundary closure."""
+        q = convective_operator(w, self.edges, self.eta, self.scatter)
+        boundary_fluxes(w, self.bdata, self.w_inf, out=q)
+        self.flops.add("convective",
+                       FLOPS_PER_EDGE_CONVECTIVE * self.n_edges
+                       + FLOPS_PER_VERTEX_FLUXVEC * self.n_vertices)
+        self.flops.add("boundary",
+                       FLOPS_PER_WALL_VERTEX * self.bdata.wall_vertices.size
+                       + FLOPS_PER_FARFIELD_VERTEX * self.bdata.far_vertices.size)
+        return q
+
+    def dissipation(self, w: np.ndarray) -> np.ndarray:
+        """D(w): blended Laplacian/biharmonic dissipative operator."""
+        d = dissipation_operator(w, self.edges, self.eta, self.scatter,
+                                 self.config.k2, self.config.k4,
+                                 self.config.switch_floor)
+        self.flops.add("dissipation",
+                       (FLOPS_PER_EDGE_DISS_PASS1 + FLOPS_PER_EDGE_DISS_PASS2)
+                       * self.n_edges
+                       + FLOPS_PER_VERTEX_DISS * self.n_vertices)
+        return d
+
+    def residual(self, w: np.ndarray,
+                 dissipation: np.ndarray | None = None) -> np.ndarray:
+        """Full residual ``R(w) = Q(w) - D(w)``.
+
+        When ``dissipation`` is given it is reused (the frozen-dissipation
+        stages of the Runge-Kutta scheme); otherwise it is evaluated fresh.
+        """
+        if dissipation is None:
+            dissipation = self.dissipation(w)
+        return self.convective(w) - dissipation
+
+    def timestep(self, w: np.ndarray) -> np.ndarray:
+        """Per-vertex local time step at the configured CFL number."""
+        dt = local_timestep(w, self.edges, self.eta, self.scatter,
+                            self.dual_volumes, self.bdata, self.config.cfl)
+        self.flops.add("timestep",
+                       FLOPS_PER_EDGE_TIMESTEP * self.n_edges
+                       + FLOPS_PER_VERTEX_TIMESTEP * self.n_vertices)
+        return dt
+
+    # ------------------------------------------------------------------
+    def step(self, w: np.ndarray, forcing: np.ndarray | None = None) -> np.ndarray:
+        """One five-stage time step (paper equations (1) and (3)).
+
+        ``forcing`` is the multigrid forcing function ``P`` added to every
+        stage residual on coarse grids; ``None`` on the fine grid.
+        Returns the updated solution (input array is not modified).
+        """
+        cfg = self.config
+        w0 = w
+        dt_over_v = (self.timestep(w0) / self.dual_volumes)[:, None]
+
+        diss = None
+        wk = w0
+        for stage, alpha in enumerate(RK_ALPHAS):
+            if stage in RK_DISSIPATION_STAGES:
+                diss = self.dissipation(wk)
+            r = self.convective(wk) - diss
+            if forcing is not None:
+                r = r + forcing
+            if cfg.residual_smoothing:
+                r = smooth_residual(r, self.edges, self.scatter,
+                                    cfg.smoothing_eps, cfg.smoothing_sweeps,
+                                    freeze_mask=self.boundary_mask)
+                self.flops.add("smoothing",
+                               cfg.smoothing_sweeps
+                               * (FLOPS_PER_EDGE_SMOOTH * self.n_edges
+                                  + FLOPS_PER_VERTEX_SMOOTH * self.n_vertices))
+            wk = w0 - alpha * dt_over_v * r
+            self.flops.add("update", 3 * NVAR * self.n_vertices)
+        return wk
+
+    # ------------------------------------------------------------------
+    def density_residual_norm(self, w: np.ndarray) -> float:
+        """RMS of the density residual normalised by control volume.
+
+        This is the quantity EUL3D monitors each cycle ("summing and
+        printing out the average residual throughout the flow field at
+        each multigrid cycle") and the ordinate of Figure 2.
+        """
+        r = self.residual(w)
+        return float(np.sqrt(np.mean((r[:, 0] / self.dual_volumes) ** 2)))
+
+    def run(self, w: np.ndarray | None = None, n_cycles: int = 100,
+            callback=None) -> tuple[np.ndarray, list[float]]:
+        """Run ``n_cycles`` single-grid cycles from ``w`` (or freestream).
+
+        Returns the final state and the per-cycle density residual history
+        (evaluated before each step, plus one final evaluation).
+        """
+        if w is None:
+            w = self.freestream_solution()
+        history = []
+        for cycle in range(n_cycles):
+            history.append(self.density_residual_norm(w))
+            w = self.step(w)
+            if callback is not None:
+                callback(cycle, w, history[-1])
+        history.append(self.density_residual_norm(w))
+        return w, history

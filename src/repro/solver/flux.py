@@ -1,0 +1,56 @@
+"""Convective operator Q(w): the single edge loop of the scheme.
+
+The Galerkin/median-dual central scheme evaluates, for each edge (i, j)
+with directed dual-face area ``eta_ij``,
+
+    ``phi_ij = 1/2 (F(w_i) + F(w_j)) . eta_ij``
+
+and accumulates ``+phi`` into vertex ``i`` and ``-phi`` into vertex ``j``.
+Boundary faces close the control volumes through the lumped per-vertex
+boundary normals (see :mod:`repro.solver.bc`).
+
+Flop convention (used by the performance models, mirroring the paper's
+"counting the number of operations in each loop"): one add, subtract,
+multiply, divide or sqrt each count as one flop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scatter import EdgeScatter
+from ..state import flux_vectors
+
+__all__ = ["convective_operator", "edge_flux", "FLOPS_PER_EDGE_CONVECTIVE",
+           "FLOPS_PER_VERTEX_FLUXVEC"]
+
+#: Per-edge cost: averaging the two 5x3 flux tensors (15 adds + 15 halvings)
+#: plus the eta projection (5 components x (3 mul + 2 add)) plus the two
+#: scatter accumulations (2 x 5 adds).
+FLOPS_PER_EDGE_CONVECTIVE = 30 + 25 + 10
+
+#: Per-vertex cost of assembling the 5x3 flux tensor from conserved state.
+FLOPS_PER_VERTEX_FLUXVEC = 36
+
+
+def edge_flux(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
+              fluxes: np.ndarray | None = None) -> np.ndarray:
+    """Central edge fluxes ``(ne, 5)``: ``1/2 (F_i + F_j) . eta``."""
+    if fluxes is None:
+        fluxes = flux_vectors(w)
+    favg = fluxes[edges[:, 0]] + fluxes[edges[:, 1]]          # (ne, 5, 3)
+    return 0.5 * np.einsum("ekd,ed->ek", favg, eta)
+
+
+def convective_operator(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
+                        scatter: EdgeScatter,
+                        fluxes: np.ndarray | None = None) -> np.ndarray:
+    """Interior part of Q(w): edge-loop flux accumulation, shape ``(nv, 5)``.
+
+    The boundary closure (wall pressure flux, farfield characteristic flux)
+    is added separately by :func:`repro.solver.bc.boundary_fluxes` so that
+    the distributed-memory driver can overlap the two phases the way the
+    paper's executor does.
+    """
+    phi = edge_flux(w, edges, eta, fluxes)
+    return scatter.signed(phi)

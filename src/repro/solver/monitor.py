@@ -1,0 +1,98 @@
+"""Convergence monitoring and flow-field diagnostics.
+
+Provides the quantities plotted in the paper's figures: the residual
+convergence history (Figure 2) and the Mach-number field with simple
+contour extraction (Figure 4), plus integrated aerodynamic loads used by
+the examples to show the solver is producing physically sensible answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..state import mach_number, pressure
+from .bc import BoundaryData
+
+__all__ = ["ConvergenceHistory", "mach_field", "surface_pressure_coefficient",
+           "integrated_forces", "extract_isoline"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Residual history with the convergence-rate summaries the paper quotes."""
+
+    residuals: list = field(default_factory=list)
+    label: str = ""
+
+    def append(self, value: float) -> None:
+        self.residuals.append(float(value))
+
+    @property
+    def orders_reduced(self) -> float:
+        """Orders of magnitude of residual reduction since the first cycle."""
+        r = np.asarray(self.residuals)
+        if len(r) < 2 or r[0] <= 0:
+            return 0.0
+        floor = np.maximum(r.min(), 1e-300)
+        return float(np.log10(r[0] / floor))
+
+    def cycles_to_reduction(self, orders: float) -> int | None:
+        """First cycle at which the residual dropped by ``orders`` decades."""
+        r = np.asarray(self.residuals)
+        if len(r) == 0:
+            return None
+        target = r[0] * 10.0 ** (-orders)
+        below = np.flatnonzero(r <= target)
+        return int(below[0]) if below.size else None
+
+    def asymptotic_rate(self, tail: int = 20) -> float:
+        """Geometric-mean per-cycle reduction factor over the last ``tail`` cycles."""
+        r = np.asarray(self.residuals, dtype=float)
+        r = r[r > 0]
+        if len(r) < 2:
+            return 1.0
+        tail = min(tail, len(r) - 1)
+        return float((r[-1] / r[-1 - tail]) ** (1.0 / tail))
+
+
+def mach_field(w: np.ndarray) -> np.ndarray:
+    """Per-vertex Mach number (the field contoured in Figure 4)."""
+    return mach_number(w)
+
+
+def surface_pressure_coefficient(w: np.ndarray, bdata: BoundaryData,
+                                 w_inf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(wall vertex ids, Cp) with ``Cp = (p - p_inf) / (1/2 rho_inf q_inf^2)``."""
+    p_inf = float(pressure(w_inf[None])[0])
+    rho_inf = float(w_inf[0])
+    q_inf2 = float(np.sum((w_inf[1:4] / w_inf[0]) ** 2))
+    verts = bdata.wall_vertices
+    cp = (pressure(w[verts]) - p_inf) / (0.5 * rho_inf * q_inf2)
+    return verts, cp
+
+
+def integrated_forces(w: np.ndarray, bdata: BoundaryData) -> np.ndarray:
+    """Pressure force on all solid walls: ``F = sum_i p_i b_i`` (3-vector)."""
+    p_wall = pressure(w[bdata.wall_vertices])
+    return (p_wall[:, None] * bdata.wall_normals).sum(axis=0)
+
+
+def extract_isoline(vertices: np.ndarray, edges: np.ndarray,
+                    field_values: np.ndarray, level: float) -> np.ndarray:
+    """Points where ``field == level`` along mesh edges (marching-edges).
+
+    Returns an ``(npts, 3)`` cloud of crossing points — the raw material of
+    a contour plot like Figure 4, without needing a plotting library.
+    """
+    fi = field_values[edges[:, 0]]
+    fj = field_values[edges[:, 1]]
+    crossing = (fi - level) * (fj - level) < 0.0
+    if not np.any(crossing):
+        return np.zeros((0, 3))
+    fi, fj = fi[crossing], fj[crossing]
+    t = (level - fi) / (fj - fi)
+    pi = vertices[edges[crossing, 0]]
+    pj = vertices[edges[crossing, 1]]
+    return pi + t[:, None] * (pj - pi)

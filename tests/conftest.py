@@ -1,0 +1,73 @@
+"""Shared fixtures: small meshes, edge structures and solvers.
+
+Session-scoped where construction is deterministic and read-only, so the
+several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import (box_mesh, bump_channel, build_edge_structure,
+                        ellipsoid_shell)
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import freestream_state
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20260705)
+
+
+@pytest.fixture(scope="session")
+def box():
+    return box_mesh(4, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def box_struct(box):
+    return build_edge_structure(box)
+
+
+@pytest.fixture(scope="session")
+def bump():
+    return bump_channel(12, 2, 4)
+
+
+@pytest.fixture(scope="session")
+def bump_struct(bump):
+    return build_edge_structure(bump)
+
+
+@pytest.fixture(scope="session")
+def shell():
+    return ellipsoid_shell(3, 3)
+
+
+@pytest.fixture(scope="session")
+def shell_struct(shell):
+    return build_edge_structure(shell)
+
+
+@pytest.fixture(scope="session")
+def winf():
+    """The paper's flow condition: M = 0.768, alpha = 1.116 deg."""
+    return freestream_state(0.768, 1.116)
+
+
+@pytest.fixture(scope="session")
+def bump_solver(bump_struct, winf):
+    return EulerSolver(bump_struct, winf, SolverConfig())
+
+
+@pytest.fixture(scope="session")
+def converged_bump(bump_struct, winf):
+    """A partially converged transonic bump state (shared by diagnostics).
+
+    300 cycles on the small mesh drops the residual well over an order —
+    enough for wall pressure / force / contour tests to see structure.
+    """
+    solver = EulerSolver(bump_struct, winf, SolverConfig())
+    w, history = solver.run(n_cycles=300)
+    return solver, w, history

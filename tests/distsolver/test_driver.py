@@ -1,0 +1,153 @@
+"""Tests for the distributed SPMD solver: equivalence with sequential."""
+
+import numpy as np
+import pytest
+
+from repro.distsolver import DistributedEulerSolver, partition_solver_data
+from repro.partition import (greedy_bfs_partition,
+                             recursive_coordinate_bisection,
+                             recursive_spectral_bisection)
+from repro.solver import EulerSolver, SolverConfig, build_boundary_data
+
+
+@pytest.fixture(scope="module")
+def assignment(bump, bump_struct):
+    return recursive_spectral_bisection(bump_struct.edges,
+                                        bump.n_vertices, 4)
+
+
+@pytest.fixture(scope="module")
+def dist(bump_struct, winf, assignment):
+    return DistributedEulerSolver(bump_struct, winf, assignment,
+                                  SolverConfig())
+
+
+class TestPartitionedMesh:
+    def test_edges_partitioned_exactly_once(self, bump_struct, assignment):
+        bdata = build_boundary_data(bump_struct)
+        dmesh = partition_solver_data(bump_struct, bdata, assignment)
+        total_edges = sum(rm.n_edges for rm in dmesh.ranks)
+        assert total_edges == bump_struct.n_edges
+
+    def test_dual_volumes_partitioned(self, bump_struct, assignment):
+        bdata = build_boundary_data(bump_struct)
+        dmesh = partition_solver_data(bump_struct, bdata, assignment)
+        total = sum(rm.dual_volumes.sum() for rm in dmesh.ranks)
+        assert total == pytest.approx(bump_struct.dual_volumes.sum())
+
+    def test_local_edges_in_range(self, bump_struct, assignment):
+        bdata = build_boundary_data(bump_struct)
+        dmesh = partition_solver_data(bump_struct, bdata, assignment)
+        for rm in dmesh.ranks:
+            assert rm.edges.min() >= 0
+            assert rm.edges.max() < rm.n_local
+
+    def test_boundary_vertices_covered(self, bump_struct, assignment):
+        bdata = build_boundary_data(bump_struct)
+        dmesh = partition_solver_data(bump_struct, bdata, assignment)
+        n_wall = sum(rm.wall_vertices.size for rm in dmesh.ranks)
+        assert n_wall == bdata.wall_vertices.size
+
+    def test_degree_complete(self, bump_struct, assignment):
+        bdata = build_boundary_data(bump_struct)
+        dmesh = partition_solver_data(bump_struct, bdata, assignment)
+        degree_global = np.zeros(bump_struct.n_vertices, dtype=int)
+        np.add.at(degree_global, bump_struct.edges.ravel(), 1)
+        for rm in dmesh.ranks:
+            owned = dmesh.table.owned_globals[rm.rank]
+            np.testing.assert_array_equal(rm.degree, degree_global[owned])
+
+
+class TestDistributedEquivalence:
+    """Distributed must equal sequential to summation-order tolerance."""
+
+    def test_residual_matches(self, bump_struct, winf, dist):
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        w_global = seq.freestream_solution()
+        w_global *= np.linspace(0.95, 1.05, bump_struct.n_vertices)[:, None]
+        r_seq = seq.residual(w_global)
+        w_list = dist.distribute(w_global)
+        r_dist = dist.residual(w_list)
+        r_collected = dist.dmesh.table.gather_global_array(r_dist)
+        np.testing.assert_allclose(r_collected, r_seq, atol=1e-11)
+
+    def test_step_matches(self, bump_struct, winf, dist):
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        w = seq.freestream_solution()
+        w_list = dist.freestream_solution()
+        for _ in range(3):
+            w = seq.step(w)
+            w_list = dist.step(w_list)
+        np.testing.assert_allclose(dist.collect(w_list), w,
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_residual_norm_matches(self, bump_struct, winf, dist):
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        w = seq.freestream_solution()
+        w_list = dist.distribute(w)
+        assert dist.density_residual_norm(w_list) == pytest.approx(
+            seq.density_residual_norm(w), rel=1e-10)
+
+    @pytest.mark.parametrize("partitioner", ["rcb", "bfs"])
+    def test_equivalence_all_partitioners(self, bump, bump_struct, winf,
+                                          partitioner):
+        if partitioner == "rcb":
+            asg = recursive_coordinate_bisection(bump.vertices, 5)
+        else:
+            asg = greedy_bfs_partition(bump_struct.edges, bump.n_vertices, 5)
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        dist = DistributedEulerSolver(bump_struct, winf, asg, SolverConfig())
+        w = seq.step(seq.freestream_solution())
+        w_list = dist.step(dist.freestream_solution())
+        np.testing.assert_allclose(dist.collect(w_list), w,
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_single_rank_degenerate(self, bump_struct, winf):
+        asg = np.zeros(bump_struct.n_vertices, dtype=np.int32)
+        dist = DistributedEulerSolver(bump_struct, winf, asg, SolverConfig())
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        w = seq.step(seq.freestream_solution())
+        w_list = dist.step(dist.freestream_solution())
+        np.testing.assert_allclose(dist.collect(w_list), w, atol=1e-13)
+        # No inter-rank traffic on one rank.
+        assert dist.machine.log.total_msgs == 0
+
+    def test_forcing_matches(self, bump_struct, winf, dist, rng):
+        seq = EulerSolver(bump_struct, winf, SolverConfig())
+        forcing = 1e-5 * rng.standard_normal((bump_struct.n_vertices, 5))
+        w = seq.step(seq.freestream_solution(), forcing=forcing)
+        forcing_list = dist.dmesh.table.scatter_global_array(forcing)
+        w_list = dist.step(dist.freestream_solution(), forcing=forcing_list)
+        np.testing.assert_allclose(dist.collect(w_list), w,
+                                   rtol=1e-12, atol=1e-13)
+
+
+class TestTrafficAccounting:
+    def test_phases_logged(self, dist):
+        dist.step(dist.freestream_solution())
+        names = set(dist.machine.log.phases)
+        assert {"w-gather", "q-scatter", "diss-partials", "diss-gather",
+                "d-scatter", "dt-scatter"} <= names
+
+    def test_smoothing_traffic_present(self, dist):
+        dist.step(dist.freestream_solution())
+        assert "smooth-gather" in dist.machine.log.phases
+
+    def test_flop_accounting_covers_all_ranks(self, dist):
+        dist.rank_flops.clear()
+        dist.step(dist.freestream_solution())
+        conv = dist.rank_flops["convective"]
+        assert conv.shape == (dist.n_ranks,)
+        assert np.all(conv > 0)
+
+    def test_run_returns_history(self, dist):
+        _, hist = dist.run(n_cycles=2)
+        assert len(hist) == 3
+        assert all(np.isfinite(hist))
+
+    def test_rejects_machine_size_mismatch(self, bump_struct, winf,
+                                           assignment):
+        from repro.parti import SimMachine
+        with pytest.raises(ValueError, match="machine"):
+            DistributedEulerSolver(bump_struct, winf, assignment,
+                                   machine=SimMachine(2))

@@ -1,0 +1,130 @@
+"""Tests for distributed multigrid and distributed transfer operators."""
+
+import numpy as np
+import pytest
+
+from repro.distsolver import DistributedInterp, DistributedMultigrid
+from repro.mesh import bump_channel
+from repro.multigrid import MultigridHierarchy, build_transfer, mg_cycle
+from repro.parti import SimMachine, TranslationTable
+from repro.partition import recursive_spectral_bisection
+
+
+@pytest.fixture(scope="module")
+def hierarchy(winf):
+    meshes = [bump_channel(12, 2, 4), bump_channel(6, 2, 2)]
+    return MultigridHierarchy(meshes, winf)
+
+
+@pytest.fixture(scope="module")
+def assignments(hierarchy):
+    return [recursive_spectral_bisection(lv.solver.struct.edges,
+                                         lv.solver.n_vertices, 4)
+            for lv in hierarchy.levels]
+
+
+@pytest.fixture(scope="module")
+def dmg(hierarchy, assignments, winf):
+    return DistributedMultigrid(hierarchy, assignments, winf)
+
+
+class TestDistributedInterp:
+    def test_apply_matches_sequential(self, hierarchy, assignments, rng):
+        fine_lv = hierarchy.levels[0]
+        op = fine_lv.from_coarse
+        machine = SimMachine(4)
+        coarse_table = TranslationTable(assignments[1], 4)
+        fine_table = TranslationTable(assignments[0], 4)
+        dint = DistributedInterp(op, coarse_table, fine_table, machine, "t")
+        vals = rng.standard_normal((hierarchy.levels[1].solver.n_vertices, 5))
+        seq = op.apply(vals)
+        dist_out = dint.apply(coarse_table.scatter_global_array(vals))
+        collected = fine_table.gather_global_array(dist_out)
+        np.testing.assert_allclose(collected, seq, atol=1e-13)
+
+    def test_transpose_matches_sequential(self, hierarchy, assignments, rng):
+        fine_lv = hierarchy.levels[0]
+        op = fine_lv.from_coarse
+        machine = SimMachine(4)
+        coarse_table = TranslationTable(assignments[1], 4)
+        fine_table = TranslationTable(assignments[0], 4)
+        dint = DistributedInterp(op, coarse_table, fine_table, machine, "t")
+        vals = rng.standard_normal((hierarchy.levels[0].solver.n_vertices, 5))
+        seq = op.transpose_apply(vals)
+        dist_out = dint.transpose_apply(fine_table.scatter_global_array(vals))
+        collected = coarse_table.gather_global_array(dist_out)
+        np.testing.assert_allclose(collected, seq, atol=1e-12)
+
+    def test_rejects_unequal_rank_counts(self, hierarchy, assignments):
+        op = hierarchy.levels[0].from_coarse
+        with pytest.raises(ValueError, match="equal rank"):
+            DistributedInterp(op, TranslationTable(assignments[1], 4),
+                              TranslationTable(assignments[0][:0 + len(assignments[0])] % 3, 3),
+                              SimMachine(4), "t")
+
+
+class TestDistributedMultigrid:
+    def test_cycle_matches_sequential(self, hierarchy, dmg):
+        w_seq = hierarchy.freestream_solution()
+        w_dist = dmg.freestream_solution()
+        for gamma in (1, 2):
+            w_s = mg_cycle(hierarchy, w_seq, gamma=gamma)
+            w_d = dmg.mg_cycle([w.copy() for w in w_dist], gamma=gamma)
+            np.testing.assert_allclose(dmg.solvers[0].collect(w_d), w_s,
+                                       rtol=1e-11, atol=1e-12)
+
+    def test_multi_cycle_trajectory_matches(self, hierarchy, dmg):
+        w_seq = hierarchy.freestream_solution()
+        w_dist = dmg.freestream_solution()
+        for _ in range(3):
+            w_seq = mg_cycle(hierarchy, w_seq, gamma=2)
+            w_dist = dmg.mg_cycle(w_dist, gamma=2)
+        np.testing.assert_allclose(dmg.solvers[0].collect(w_dist), w_seq,
+                                   rtol=1e-10, atol=1e-11)
+
+    def test_transfer_traffic_small_fraction(self, dmg):
+        # Section 4.4: inter-grid transfer communication "constitute[s] a
+        # small fraction of the total communication costs".
+        dmg.machine.log.reset()
+        dmg.run(n_cycles=2, gamma=2)
+        log = dmg.machine.log
+        transfer_bytes = sum(p.total_bytes for name, p in log.phases.items()
+                             if name.startswith("transfer"))
+        assert transfer_bytes < 0.25 * log.total_bytes
+
+    def test_run_history(self, dmg):
+        _, hist = dmg.run(n_cycles=2, gamma=1)
+        assert len(hist) == 3
+
+    def test_rejects_wrong_assignment_count(self, hierarchy, assignments,
+                                            winf):
+        with pytest.raises(ValueError, match="one partition per level"):
+            DistributedMultigrid(hierarchy, assignments[:1], winf)
+
+    def test_level_phases_prefixed(self, dmg):
+        dmg.machine.log.reset()
+        dmg.run(n_cycles=1, gamma=1)
+        names = set(dmg.machine.log.phases)
+        assert any(n.startswith("L0-") for n in names)
+        assert any(n.startswith("L1-") for n in names)
+
+
+class TestDistributedFmg:
+    def test_matches_sequential_fmg(self, hierarchy, assignments, winf):
+        from repro.distsolver import distributed_fmg_start
+        from repro.multigrid import fmg_start
+        dmg2 = DistributedMultigrid(hierarchy, assignments, winf)
+        w_d = distributed_fmg_start(dmg2, cycles_per_level=3)
+        w_s = fmg_start(hierarchy, cycles_per_level=3)
+        np.testing.assert_allclose(dmg2.solvers[0].collect(w_d), w_s,
+                                   rtol=1e-11, atol=1e-12)
+
+    def test_better_start_than_freestream(self, hierarchy, assignments,
+                                          winf):
+        from repro.distsolver import distributed_fmg_start
+        dmg2 = DistributedMultigrid(hierarchy, assignments, winf)
+        w_d = distributed_fmg_start(dmg2, cycles_per_level=5)
+        fine = dmg2.solvers[0]
+        r_fmg = fine.density_residual_norm(w_d)
+        r_cold = fine.density_residual_norm(fine.freestream_solution())
+        assert r_fmg < r_cold

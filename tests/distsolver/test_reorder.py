@@ -1,0 +1,74 @@
+"""Tests for node/edge reordering and reuse-distance measurement."""
+
+import numpy as np
+import pytest
+
+from repro.distsolver import (apply_vertex_permutation, bfs_renumber,
+                              random_shuffle_edges, reuse_distances,
+                              sort_edges_by_vertex)
+from repro.mesh import TetMesh, build_edge_structure
+
+
+class TestBfsRenumber:
+    def test_is_permutation(self, bump_struct):
+        perm = bfs_renumber(bump_struct.edges, bump_struct.n_vertices)
+        assert np.sort(perm).tolist() == list(range(bump_struct.n_vertices))
+
+    def test_improves_bandwidth(self, bump_struct):
+        # Graph bandwidth (max |new_i - new_j| over edges) should shrink
+        # versus the lattice numbering for the elongated channel.
+        perm = bfs_renumber(bump_struct.edges, bump_struct.n_vertices)
+        e = bump_struct.edges
+        bw_orig = np.abs(e[:, 0] - e[:, 1]).max()
+        bw_new = np.abs(perm[e[:, 0]] - perm[e[:, 1]]).max()
+        assert bw_new <= bw_orig * 1.5
+
+    def test_handles_disconnected_graph(self):
+        edges = np.array([[0, 1], [2, 3]])
+        perm = bfs_renumber(edges, 5)      # vertex 4 isolated
+        assert np.sort(perm).tolist() == list(range(5))
+
+    def test_apply_permutation_preserves_geometry(self, bump, bump_struct):
+        perm = bfs_renumber(bump_struct.edges, bump.n_vertices)
+        verts, tets = apply_vertex_permutation(perm, bump.vertices, bump.tets)
+        mesh2 = TetMesh(verts, tets)
+        assert mesh2.total_volume == pytest.approx(bump.total_volume)
+        struct2 = build_edge_structure(mesh2)
+        assert struct2.n_edges == bump_struct.n_edges
+
+
+class TestEdgeSort:
+    def test_sorted_by_first_endpoint(self, bump_struct):
+        order = sort_edges_by_vertex(bump_struct.edges)
+        sorted_edges = bump_struct.edges[order]
+        assert np.all(np.diff(sorted_edges[:, 0]) >= 0)
+
+    def test_is_permutation(self, bump_struct):
+        order = sort_edges_by_vertex(bump_struct.edges)
+        assert np.sort(order).tolist() == list(range(bump_struct.n_edges))
+
+    def test_shuffle_is_permutation(self):
+        order = random_shuffle_edges(100, seed=1)
+        assert np.sort(order).tolist() == list(range(100))
+
+
+class TestReuseDistances:
+    def test_first_access_infinite(self):
+        d = reuse_distances(np.array([5, 6, 7]))
+        assert np.all(np.isinf(d))
+
+    def test_repeat_access_distance(self):
+        d = reuse_distances(np.array([1, 2, 1, 1]))
+        np.testing.assert_array_equal(d[2:], [2.0, 1.0])
+
+    def test_reordering_shortens_reuse(self, bump_struct):
+        # The whole point of Section 4.2: vertex-sorted edge order gives
+        # far shorter reuse distances than a random order.
+        edges = bump_struct.edges
+        sorted_stream = edges[sort_edges_by_vertex(edges)].ravel()
+        shuffled_stream = edges[random_shuffle_edges(len(edges))].ravel()
+        d_sorted = reuse_distances(sorted_stream)
+        d_shuffled = reuse_distances(shuffled_stream)
+        med_sorted = np.median(d_sorted[np.isfinite(d_sorted)])
+        med_shuffled = np.median(d_shuffled[np.isfinite(d_shuffled)])
+        assert med_sorted < 0.5 * med_shuffled

@@ -1,0 +1,65 @@
+"""Smoke tests for the ``python -m repro.harness`` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_fig1_fast(self, capsys):
+        assert main(["fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "V-cycle structure" in out and "W-cycle structure" in out
+
+    def test_fig3_fast(self, capsys):
+        assert main(["fig3", "--fast"]) == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_table1a_fast(self, capsys):
+        assert main(["table1a", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1a" in out and "wall(model)" in out
+
+    def test_fig2_fast_few_cycles(self, capsys):
+        assert main(["fig2", "--fast", "--cycles", "3"]) == 0
+        assert "convergence histories" in capsys.readouterr().out
+
+    def test_fig4_fast_few_cycles(self, capsys):
+        assert main(["fig4", "--fast", "--cycles", "3"]) == 0
+        assert "Mach" in capsys.readouterr().out
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestRecordSaving:
+    def test_fig2_save(self, tmp_path, capsys):
+        assert main(["fig2", "--fast", "--cycles", "2",
+                     "--save", str(tmp_path)]) == 0
+        from repro.harness.record import load_record
+        data = load_record(tmp_path / "fig2_convergence.npz")
+        assert any(k.startswith("history_") for k in data)
+
+    def test_fig4_save(self, tmp_path, capsys):
+        assert main(["fig4", "--fast", "--cycles", "2",
+                     "--save", str(tmp_path)]) == 0
+        from repro.harness.record import load_record
+        data = load_record(tmp_path / "fig4_mach.npz")
+        assert "mach" in data and "levels" in data
+
+
+class TestClaims:
+    def test_claims_fast(self, capsys):
+        assert main(["claims", "--fast", "--cycles", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "claims hold" in out and "verdict" in out
+
+    def test_check_claims_structure(self):
+        from repro.harness.claims import check_claims
+        from repro.harness.workloads import FAST_CASE
+        checks = check_claims(FAST_CASE, fig2_cycles=5)
+        assert len(checks) == 10
+        names = {c.name for c in checks}
+        assert any("reordering" in n for n in names)
+        assert any("parallel fraction" in n for n in names)

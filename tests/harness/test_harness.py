@@ -1,0 +1,160 @@
+"""Tests for the experiment harness (fast case only — speed)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (FAST_CASE, build_hierarchy, fig1_cycle_diagrams,
+                           fig3_mesh_report, format_cycle_diagram,
+                           format_table1, format_table2, table1, table2)
+from repro.harness.paper_data import (TABLE_1A, TABLE_1C, TABLE_2A,
+                                      TEXT_CLAIMS)
+from repro.harness.workloads import (measure_level_flops, mg_visits)
+
+
+class TestWorkloads:
+    def test_hierarchy_cached(self):
+        assert build_hierarchy(FAST_CASE) is build_hierarchy(FAST_CASE)
+
+    def test_level_flops_decreasing(self):
+        h = build_hierarchy(FAST_CASE)
+        flops = measure_level_flops(h)
+        assert all(np.diff(flops) < 0)
+
+    def test_mg_visits(self):
+        assert mg_visits(4, 1) == [1, 1, 1, 1]
+        assert mg_visits(4, 2) == [1, 2, 4, 4]
+        assert mg_visits(1, 2) == [1]
+
+
+class TestPaperData:
+    def test_table_shapes(self):
+        assert len(TABLE_1A) == 5 and len(TABLE_2A) == 2
+        assert TABLE_1A[0][0] == 1 and TABLE_1A[-1][0] == 16
+
+    def test_paper_internal_consistency(self):
+        # MFlops ~ total flops / wall must be consistent within each table:
+        # flops = wall * rate should be roughly constant down the rows.
+        flops = [row[1] * row[3] for row in TABLE_1A]
+        assert max(flops) / min(flops) < 1.1
+
+    def test_claims_present(self):
+        assert TEXT_CLAIMS["reordering_speedup"] == 2.0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {s: table1(s, FAST_CASE) for s in ("sg", "v", "w")}
+
+    def test_row_structure(self, rows):
+        model, paper = rows["sg"]
+        assert len(model) == len(paper) == 5
+        assert [m[0] for m in model] == [p[0] for p in paper]
+
+    def test_near_linear_speedup(self, rows):
+        model, _ = rows["sg"]
+        walls = [m[1] for m in model]
+        assert walls[0] / walls[-1] > 8.0
+
+    def test_single_cpu_rate_close_to_paper(self, rows):
+        model, paper = rows["sg"]
+        assert model[0][3] == pytest.approx(paper[0][3], rel=0.10)
+
+    def test_mg_costs_more_than_sg(self, rows):
+        sg_wall = rows["sg"][0][0][1]
+        v_wall = rows["v"][0][0][1]
+        w_wall = rows["w"][0][0][1]
+        assert sg_wall < v_wall < w_wall
+
+    def test_rates_insensitive_to_strategy(self, rows):
+        # Paper Section 3.2: all strategies achieve similar rates at
+        # 16 CPUs on the C90.
+        rates = [rows[s][0][-1][3] for s in ("sg", "v", "w")]
+        assert max(rates) / min(rates) < 1.5
+
+    def test_cpu_overhead_increases(self, rows):
+        model, _ = rows["w"]
+        cpu = [m[2] for m in model]
+        assert cpu[-1] > cpu[0]
+
+    def test_format_renders(self, rows):
+        text = format_table1(*rows["sg"], "t")
+        assert "wall(model)" in text
+
+
+class TestTable2Fast:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Uncalibrated run on the fast case: cheap, still shape-bearing.
+        return {s: table2(s, FAST_CASE, n_model_cycles=1, calibrated=False)
+                for s in ("sg", "v", "w")}
+
+    def test_row_structure(self, rows):
+        model, paper = rows["sg"]
+        assert [m[0] for m in model] == [256, 512]
+        assert len(model[0]) == 5
+
+    def test_total_is_sum(self, rows):
+        for s in ("sg", "v", "w"):
+            for m in rows[s][0]:
+                assert m[3] == pytest.approx(m[1] + m[2], abs=1.5)
+
+    def test_sg_fastest_per_cycle(self, rows):
+        assert rows["sg"][0][0][3] < rows["v"][0][0][3] < rows["w"][0][0][3]
+
+    def test_rate_degrades_with_mg(self, rows):
+        # Paper Section 4.4: V-cycle rates 10-15% below single grid,
+        # W-cycle 25-30% below (we accept the qualitative ordering).
+        assert rows["sg"][0][1][4] > rows["v"][0][1][4] > rows["w"][0][1][4]
+
+    def test_more_nodes_faster_total(self, rows):
+        for s in ("sg", "v", "w"):
+            model, _ = rows[s]
+            assert model[1][3] < model[0][3]
+
+    def test_format_renders(self, rows):
+        text = format_table2(*rows["sg"], "t")
+        assert "comm(m)" in text
+
+
+class TestFigures:
+    def test_fig1_event_counts(self):
+        d = fig1_cycle_diagrams(4)
+        assert sum(1 for k, _ in d["V"] if k == "E") == 4
+        assert sum(1 for k, _ in d["W"] if k == "E") == 11
+
+    def test_fig1_render(self):
+        d = fig1_cycle_diagrams(3)
+        text = format_cycle_diagram(d["W"], 3)
+        assert text.count("\n") == 2
+
+    def test_fig3_report(self):
+        rep = fig3_mesh_report(4, 4)
+        assert rep["quality"].n_tets == rep["mesh"].n_tets
+        assert "nodes" in rep["report"]
+
+
+class TestScaffolding:
+    def test_paper_levels_single_grid(self):
+        from repro.harness.tables import _paper_levels
+        nodes, edges = _paper_levels(4, single_grid=True)
+        assert len(nodes) == 1 and nodes[0] == 804_056
+
+    def test_paper_levels_multigrid(self):
+        from repro.harness.tables import _paper_levels
+        nodes, edges = _paper_levels(4, single_grid=False)
+        assert len(nodes) == 4
+        assert nodes[0] > nodes[1] > nodes[2] > nodes[3]
+        assert edges[0] == 5_500_000
+
+    def test_rank_map(self):
+        from repro.harness.tables import DELTA_RANK_MAP
+        assert DELTA_RANK_MAP[512] == 2 * DELTA_RANK_MAP[256]
+
+    def test_ghost_ratio_positive(self):
+        from repro.harness.tables import _measure_strategy
+        from repro.harness.workloads import FAST_CASE
+        meas = _measure_strategy("sg", FAST_CASE, 4, 1, 99)
+        assert meas.level_ghost_ratio[0] > 0
+        assert meas.level_flops_max[0] > 0
+        assert meas.comm_phases

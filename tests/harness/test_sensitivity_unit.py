@@ -1,0 +1,29 @@
+"""Unit tests for sensitivity reporting (no heavy model runs)."""
+
+from repro.harness.sensitivity import SensitivityResult
+
+
+class TestSensitivityResult:
+    def test_all_hold(self):
+        r = SensitivityResult(factors=[1.0])
+        r.outcomes[(1.0, 1.0)] = {"a": True, "b": True}
+        assert r.all_shapes_hold()
+        assert r.fraction_holding() == 1.0
+
+    def test_partial_failure(self):
+        r = SensitivityResult(factors=[0.5, 1.0])
+        r.outcomes[(0.5, 0.5)] = {"a": True, "b": False}
+        r.outcomes[(1.0, 1.0)] = {"a": True, "b": True}
+        assert not r.all_shapes_hold()
+        assert r.fraction_holding() == 0.75
+
+    def test_report_renders(self):
+        r = SensitivityResult(factors=[1.0])
+        r.outcomes[(1.0, 2.0)] = {"shape": False}
+        text = r.report()
+        assert "NO" in text and "1.00" in text
+
+    def test_empty_outcomes(self):
+        r = SensitivityResult(factors=[])
+        assert r.fraction_holding() == 1.0
+        assert r.all_shapes_hold()

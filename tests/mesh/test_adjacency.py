@@ -1,0 +1,66 @@
+"""Tests for vertex graphs and tet-tet face adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import tet_face_adjacency, vertex_graph, vertex_neighbors_csr
+
+
+class TestVertexGraph:
+    def test_symmetric(self, box_struct):
+        g = vertex_graph(box_struct.edges, box_struct.n_vertices)
+        assert (g != g.T).nnz == 0
+
+    def test_degree_matches_edges(self, box_struct):
+        g = vertex_graph(box_struct.edges, box_struct.n_vertices)
+        assert g.nnz == 2 * box_struct.n_edges
+
+    def test_no_self_loops(self, box_struct):
+        g = vertex_graph(box_struct.edges, box_struct.n_vertices)
+        assert g.diagonal().sum() == 0
+
+    def test_csr_neighbors_sorted(self, box_struct):
+        indptr, indices = vertex_neighbors_csr(box_struct.edges,
+                                               box_struct.n_vertices)
+        for v in range(0, box_struct.n_vertices, 17):
+            nb = indices[indptr[v]:indptr[v + 1]]
+            assert np.all(np.diff(nb) > 0)
+
+
+class TestTetFaceAdjacency:
+    def test_single_tet_all_boundary(self):
+        adj = tet_face_adjacency(np.array([[0, 1, 2, 3]]))
+        assert np.all(adj == -1)
+
+    def test_two_glued_tets(self):
+        tets = np.array([[0, 1, 2, 3], [4, 1, 3, 2]])
+        adj = tet_face_adjacency(tets)
+        # They share the face (1,2,3): exactly one adjacency slot each.
+        assert np.count_nonzero(adj[0] == 1) == 1
+        assert np.count_nonzero(adj[1] == 0) == 1
+
+    def test_adjacency_symmetric(self, box):
+        adj = tet_face_adjacency(box.tets)
+        nt = box.n_tets
+        for t in range(0, nt, 37):
+            for nb in adj[t]:
+                if nb >= 0:
+                    assert t in adj[nb]
+
+    def test_boundary_face_count_consistent(self, box, box_struct):
+        adj = tet_face_adjacency(box.tets)
+        assert np.count_nonzero(adj < 0) == box_struct.n_bfaces
+
+    def test_interior_count(self, box):
+        adj = tet_face_adjacency(box.tets)
+        n_interior_slots = np.count_nonzero(adj >= 0)
+        assert n_interior_slots % 2 == 0
+
+    def test_neighbor_shares_face_vertices(self, box):
+        adj = tet_face_adjacency(box.tets)
+        local_faces = np.array([(1, 2, 3), (0, 3, 2), (0, 1, 3), (0, 2, 1)])
+        for t in range(0, box.n_tets, 53):
+            for k, nb in enumerate(adj[t]):
+                if nb >= 0:
+                    face = set(box.tets[t, local_faces[k]].tolist())
+                    assert face.issubset(set(box.tets[nb].tolist()))

@@ -1,0 +1,111 @@
+"""Tests for the edge-based dual structure — the scheme's geometric core."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (PATCH_FARFIELD, PATCH_SYMMETRY, PATCH_WALL, TetMesh,
+                        box_mesh, build_edge_structure, closure_residual)
+from repro.mesh.edges import extract_boundary_faces, extract_edges
+
+
+class TestExtractEdges:
+    def test_single_tet_has_six_edges(self):
+        edges, ids = extract_edges(np.array([[0, 1, 2, 3]]))
+        assert edges.shape == (6, 2)
+        assert ids.shape == (1, 6)
+
+    def test_edges_sorted_low_high(self, box_struct):
+        assert np.all(box_struct.edges[:, 0] < box_struct.edges[:, 1])
+
+    def test_edges_unique(self, box_struct):
+        uniq = np.unique(box_struct.edges, axis=0)
+        assert uniq.shape == box_struct.edges.shape
+
+    def test_two_tets_share_face_edges(self):
+        # Two tets glued on face (1,2,3): 6 + 6 - 3 shared = 9 edges.
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                          [1, 1, 1]])
+        edges, _ = extract_edges(np.array([[0, 1, 2, 3], [4, 1, 3, 2]]))
+        assert edges.shape[0] == 9
+
+    def test_euler_characteristic_box(self, box, box_struct):
+        # V - E + F - T = 1 for a simply connected 3-ball triangulation.
+        faces = box.tets[:, [[1, 2, 3], [0, 3, 2], [0, 1, 3], [0, 2, 1]]]
+        n_faces = np.unique(np.sort(faces.reshape(-1, 3), axis=1),
+                            axis=0).shape[0]
+        chi = (box.n_vertices - box_struct.n_edges + n_faces - box.n_tets)
+        assert chi == 1
+
+
+class TestBoundaryFaces:
+    def test_single_tet_all_faces_boundary(self):
+        faces = extract_boundary_faces(np.array([[0, 1, 2, 3]]))
+        assert faces.shape == (4, 3)
+
+    def test_box_boundary_face_count(self, box_struct):
+        # 6 sides x (4x4 cells x 2 triangles) = 192 for the 4^3 box.
+        assert box_struct.n_bfaces == 192
+
+    def test_outward_orientation(self, box, box_struct):
+        # Face normal dotted with (centroid - domain centre) > 0 for a
+        # convex domain.
+        centre = box.vertices.mean(axis=0)
+        centroids = box.vertices[box_struct.bfaces].mean(axis=1)
+        outward = np.einsum("fd,fd->f", box_struct.bface_areas,
+                            centroids - centre)
+        assert np.all(outward > 0)
+
+    def test_total_directed_area_zero(self, box_struct):
+        # A closed surface has zero net directed area.
+        np.testing.assert_allclose(box_struct.bface_areas.sum(axis=0),
+                                   0.0, atol=1e-12)
+
+    def test_box_surface_area(self, box_struct):
+        area = np.linalg.norm(box_struct.bface_areas, axis=1).sum()
+        assert area == pytest.approx(6.0)
+
+
+class TestClosureIdentity:
+    """The defining property: constant flux -> zero residual."""
+
+    @pytest.mark.parametrize("fixture", ["box_struct", "bump_struct",
+                                         "shell_struct"])
+    def test_closure_machine_precision(self, fixture, request):
+        struct = request.getfixturevalue(fixture)
+        c = closure_residual(struct)
+        scale = np.abs(struct.eta).max()
+        assert np.abs(c).max() < 1e-12 * max(scale, 1.0)
+
+    def test_closure_on_random_perturbed_box(self, rng):
+        # Distorted interior vertices exercise arbitrary tet shapes.
+        mesh = box_mesh(3, 3, 3)
+        verts = mesh.vertices.copy()
+        interior = np.all((verts > 0.01) & (verts < 0.99), axis=1)
+        verts[interior] += rng.uniform(-0.08, 0.08, (interior.sum(), 3))
+        mesh2 = TetMesh(verts, mesh.tets)
+        struct = build_edge_structure(mesh2)
+        assert np.abs(closure_residual(struct)).max() < 1e-13
+
+    def test_dual_volumes_sum(self, bump, bump_struct):
+        assert bump_struct.dual_volumes.sum() == pytest.approx(
+            bump.total_volume)
+
+
+class TestPatches:
+    def test_bump_has_three_patch_kinds(self, bump_struct):
+        tags = set(np.unique(bump_struct.bface_tags).tolist())
+        assert tags == {PATCH_FARFIELD, PATCH_WALL, PATCH_SYMMETRY}
+
+    def test_wall_vertices_on_floor(self, bump, bump_struct):
+        wall = bump_struct.patch_vertices(PATCH_WALL)
+        assert wall.size > 0
+        # all wall vertices lie at or below the bump crest
+        assert np.all(bump.vertices[wall, 2] <= 0.05 + 1e-9)
+
+    def test_default_tagger_is_farfield(self, box_struct):
+        assert set(np.unique(box_struct.bface_tags)) == {PATCH_FARFIELD}
+
+    def test_bnormals_cover_all_boundary(self, bump_struct):
+        total = bump_struct.total_bnormal()
+        per_face = bump_struct.bface_areas.sum(axis=0)
+        np.testing.assert_allclose(total.sum(axis=0), per_face, atol=1e-12)

@@ -1,0 +1,177 @@
+"""Tests for the three mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (PATCH_FARFIELD, PATCH_WALL, box_mesh, bump_channel,
+                        build_edge_structure, closure_residual,
+                        ellipsoid_shell)
+from repro.mesh.generators.bump import bump_profile
+from repro.mesh.generators.shell import cube_sphere_surface, hexes_to_tets24
+
+
+class TestBoxMesh:
+    def test_cell_count(self):
+        mesh = box_mesh(2, 3, 4)
+        assert mesh.n_tets == 6 * 2 * 3 * 4
+        assert mesh.n_vertices == 3 * 4 * 5
+
+    def test_volume_matches_bounds(self):
+        mesh = box_mesh(3, 3, 3, bounds=((0, 2), (0, 3), (0, 4)))
+        assert mesh.total_volume == pytest.approx(24.0)
+
+    def test_all_positive_volumes(self):
+        mesh = box_mesh(5, 2, 3)
+        assert np.all(mesh.volumes > 0)
+
+    def test_conforming_across_cells(self):
+        # A conforming mesh of a box has exactly the boundary faces of the
+        # surface; any internal crack would create extra boundary faces.
+        mesh = box_mesh(3, 3, 3)
+        struct = build_edge_structure(mesh)
+        assert struct.n_bfaces == 6 * 9 * 2
+
+    def test_custom_tagger_applied(self):
+        tagger = lambda c, n: np.full(len(c), PATCH_WALL)
+        mesh = box_mesh(2, 2, 2, boundary_tagger=tagger)
+        struct = build_edge_structure(mesh)
+        assert set(np.unique(struct.bface_tags)) == {PATCH_WALL}
+
+
+class TestBumpProfile:
+    def test_zero_outside_interval(self):
+        x = np.array([0.0, 0.5, 2.5, 3.0])
+        np.testing.assert_allclose(bump_profile(x, 1.0, 2.0, 0.1), 0.0,
+                                   atol=1e-30)
+
+    def test_peak_at_midpoint(self):
+        assert bump_profile(np.array([1.5]), 1.0, 2.0, 0.1)[0] == \
+            pytest.approx(0.1)
+
+    def test_smooth_at_endpoints(self):
+        eps = 1e-6
+        x = np.array([1.0 + eps, 2.0 - eps])
+        vals = bump_profile(x, 1.0, 2.0, 0.1)
+        assert np.all(vals < 1e-9)
+
+
+class TestBumpChannel:
+    def test_closure(self):
+        struct = build_edge_structure(bump_channel(8, 2, 4))
+        assert np.abs(closure_residual(struct)).max() < 1e-13
+
+    def test_bump_reduces_volume(self):
+        flat = bump_channel(12, 2, 4, bump_height=0.0)
+        bumped = bump_channel(12, 2, 4, bump_height=0.05)
+        assert bumped.total_volume < flat.total_volume
+
+    def test_floor_follows_profile(self):
+        mesh = bump_channel(24, 2, 8, bump_height=0.04)
+        floor = mesh.vertices[:, 2].min()
+        assert floor == pytest.approx(0.0, abs=1e-12)
+        crest = mesh.vertices[np.isclose(mesh.vertices[:, 0], 1.5), 2].min()
+        assert crest == pytest.approx(0.04, abs=1e-9)
+
+    def test_rejects_choking_bump(self):
+        with pytest.raises(ValueError, match="fill"):
+            bump_channel(8, 2, 4, bump_height=1.0)
+
+    def test_rejects_bump_outside_channel(self):
+        with pytest.raises(ValueError, match="inside"):
+            bump_channel(8, 2, 4, bump_x0=2.0, bump_x1=4.0)
+
+    def test_wall_faces_exist(self):
+        struct = build_edge_structure(bump_channel(8, 2, 4))
+        assert np.count_nonzero(struct.bface_tags == PATCH_WALL) > 0
+
+
+class TestCubeSphere:
+    def test_points_on_unit_sphere(self):
+        pts, _ = cube_sphere_surface(4)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0,
+                                   atol=1e-12)
+
+    def test_counts(self):
+        n = 4
+        pts, quads = cube_sphere_surface(n)
+        # Surface lattice of an (n+1)^3 cube: 6(n+1)^2 - 12(n+1) + 8.
+        assert pts.shape[0] == 6 * (n + 1) ** 2 - 12 * (n + 1) + 8
+        assert quads.shape[0] == 6 * n * n
+
+    def test_quads_watertight(self):
+        # Every quad edge is shared by exactly two quads on a closed surface.
+        _, quads = cube_sphere_surface(3)
+        edges = np.concatenate([quads[:, [0, 1]], quads[:, [1, 2]],
+                                quads[:, [2, 3]], quads[:, [3, 0]]])
+        key = np.sort(edges, axis=1)
+        _, counts = np.unique(key, axis=0, return_counts=True)
+        assert np.all(counts == 2)
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ValueError):
+            cube_sphere_surface(0)
+
+
+class TestHexToTets:
+    def test_unit_cube_splits_into_24(self):
+        verts = np.array([[x, y, z] for x in (0, 1) for y in (0, 1)
+                          for z in (0, 1)], dtype=float)
+        # Corner ordering matching _HEX_FACES convention.
+        hexes = np.array([[0, 4, 6, 2, 1, 5, 7, 3]])
+        faces = np.array([(0, 1, 2, 3), (4, 5, 6, 7), (0, 1, 5, 4),
+                          (1, 2, 6, 5), (2, 3, 7, 6), (3, 0, 4, 7)])
+        all_verts, tets = hexes_to_tets24(verts, hexes, faces)
+        assert tets.shape[0] == 24
+        assert all_verts.shape[0] == 8 + 6 + 1
+        from repro.mesh.tetra import tet_volumes, orient_tets
+        vols = tet_volumes(all_verts, orient_tets(all_verts, tets))
+        assert vols.sum() == pytest.approx(1.0)
+
+
+class TestEllipsoidShell:
+    def test_closure(self, shell_struct):
+        assert np.abs(closure_residual(shell_struct)).max() < 1e-12
+
+    def test_two_boundary_patches(self, shell_struct):
+        tags = set(np.unique(shell_struct.bface_tags))
+        assert tags == {PATCH_FARFIELD, PATCH_WALL}
+
+    def test_wall_on_ellipsoid(self, shell, shell_struct):
+        # Wall faces are built from ellipsoid surface points plus quad-face
+        # centroids, which sit slightly inside the curved surface (facet
+        # sag) — so the level function is <= 1 and close to 1.
+        wall_verts = shell_struct.patch_vertices(PATCH_WALL)
+        a, b, c = 1.0, 0.4, 0.25
+        level = ((shell.vertices[wall_verts, 0] / a) ** 2
+                 + (shell.vertices[wall_verts, 1] / b) ** 2
+                 + (shell.vertices[wall_verts, 2] / c) ** 2)
+        assert np.all(level <= 1.0 + 1e-9)
+        assert np.all(level >= 0.6)
+        assert np.any(np.isclose(level, 1.0, atol=1e-9))
+
+    def test_farfield_on_sphere(self, shell, shell_struct):
+        far = shell_struct.patch_vertices(PATCH_FARFIELD)
+        r = np.linalg.norm(shell.vertices[far], axis=1)
+        assert np.all(r <= 8.0 + 1e-9)
+        assert np.all(r >= 0.8 * 8.0)
+        assert np.any(np.isclose(r, 8.0, atol=1e-9))
+
+    def test_volume_between_bodies(self, shell):
+        sphere_vol = 4.0 / 3.0 * np.pi * 8.0 ** 3
+        ellipsoid_vol = 4.0 / 3.0 * np.pi * 1.0 * 0.4 * 0.25
+        # Faceted approximation is below the smooth volume.
+        assert shell.total_volume < sphere_vol - ellipsoid_vol
+        assert shell.total_volume > 0.85 * (sphere_vol - ellipsoid_vol)
+
+    def test_rejects_far_radius_inside_body(self):
+        with pytest.raises(ValueError, match="exceed"):
+            ellipsoid_shell(3, 3, semi_axes=(2.0, 2.0, 2.0), far_radius=1.0)
+
+    def test_radial_clustering(self):
+        mesh = ellipsoid_shell(3, 5, stretch=1.5)
+        # First layer thickness (near body) smaller than last (near farfield):
+        r = np.unique(np.round(np.linalg.norm(
+            mesh.vertices[np.isclose(mesh.vertices[:, 1], 0.0)
+                          & np.isclose(mesh.vertices[:, 2], 0.0)], axis=1), 9))
+        diffs = np.diff(r[r > 0.9])
+        assert diffs[0] < diffs[-1]

@@ -1,0 +1,46 @@
+"""Tests for mesh persistence."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import build_edge_structure, bump_channel, load_mesh, save_mesh
+
+
+class TestSaveLoad:
+    def test_roundtrip_geometry(self, tmp_path, bump):
+        path = tmp_path / "mesh.npz"
+        save_mesh(path, bump)
+        loaded, part = load_mesh(path)
+        np.testing.assert_array_equal(loaded.vertices, bump.vertices)
+        np.testing.assert_array_equal(loaded.tets, bump.tets)
+        assert part is None
+        assert loaded.name == bump.name
+
+    def test_roundtrip_boundary_tags(self, tmp_path, bump, bump_struct):
+        path = tmp_path / "mesh.npz"
+        save_mesh(path, bump)
+        loaded, _ = load_mesh(path)
+        struct2 = build_edge_structure(loaded)
+        np.testing.assert_array_equal(struct2.bface_tags,
+                                      bump_struct.bface_tags)
+
+    def test_roundtrip_partition(self, tmp_path, bump, rng):
+        path = tmp_path / "mesh.npz"
+        part = rng.integers(0, 4, bump.n_vertices).astype(np.int32)
+        save_mesh(path, bump, partition=part)
+        _, loaded_part = load_mesh(path)
+        np.testing.assert_array_equal(loaded_part, part)
+
+    def test_rejects_bad_partition_shape(self, tmp_path, bump):
+        with pytest.raises(ValueError, match="one rank per vertex"):
+            save_mesh(tmp_path / "m.npz", bump, partition=np.zeros(3))
+
+    def test_loaded_mesh_solves(self, tmp_path, winf):
+        from repro.solver import EulerSolver
+        mesh = bump_channel(6, 2, 3)
+        path = tmp_path / "m.npz"
+        save_mesh(path, mesh)
+        loaded, _ = load_mesh(path)
+        solver = EulerSolver(loaded, winf)
+        w = solver.step(solver.freestream_solution())
+        assert np.all(np.isfinite(w))

@@ -1,0 +1,61 @@
+"""Tests for mesh quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TetMesh, box_mesh, mesh_quality
+from repro.mesh.quality import edge_lengths, radius_ratios
+
+
+class TestRadiusRatios:
+    def test_regular_tet_scores_one(self):
+        # Regular tetrahedron from alternating cube corners.
+        verts = np.array([[0.0, 0, 0], [1, 1, 0], [1, 0, 1], [0, 1, 1]])
+        mesh = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        assert radius_ratios(mesh)[0] == pytest.approx(1.0, abs=1e-12)
+
+    def test_flat_tet_scores_low(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0.3, 0.3, 1e-3]])
+        mesh = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        assert radius_ratios(mesh)[0] < 0.02
+
+    def test_scale_invariant(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        m1 = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        m2 = TetMesh(100.0 * verts, np.array([[0, 1, 2, 3]]))
+        assert radius_ratios(m1)[0] == pytest.approx(radius_ratios(m2)[0])
+
+    def test_all_in_unit_interval(self, bump):
+        q = radius_ratios(bump)
+        assert np.all(q > 0) and np.all(q <= 1.0 + 1e-12)
+
+
+class TestEdgeLengths:
+    def test_unit_box_edges(self, box, box_struct):
+        lengths = edge_lengths(box.vertices, box_struct.edges)
+        h = 0.25
+        # Freudenthal boxes have axis edges, face diagonals and body diagonals.
+        expected = {h, h * np.sqrt(2), h * np.sqrt(3)}
+        found = set(np.round(np.unique(lengths), 10))
+        assert found == set(np.round(sorted(expected), 10))
+
+
+class TestMeshQuality:
+    def test_summary_counts(self, box, box_struct):
+        q = mesh_quality(box, box_struct)
+        assert q.n_vertices == box.n_vertices
+        assert q.n_tets == box.n_tets
+        assert q.n_edges == box_struct.n_edges
+        assert q.n_bfaces == box_struct.n_bfaces
+
+    def test_degree_bounds(self, box, box_struct):
+        q = mesh_quality(box, box_struct)
+        assert 1 <= q.min_degree <= q.mean_degree <= q.max_degree
+
+    def test_report_renders(self, box):
+        text = mesh_quality(box).report()
+        assert "nodes" in text and "quality" in text
+
+    def test_builds_struct_if_missing(self, box):
+        q = mesh_quality(box)
+        assert q.n_edges > 0

@@ -1,0 +1,86 @@
+"""Tests for red tet refinement."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (PATCH_WALL, box_mesh, bump_channel,
+                        build_edge_structure, closure_residual, refine_mesh,
+                        refine_tets)
+from repro.mesh.quality import radius_ratios
+
+
+class TestRefineTets:
+    def test_eight_children_per_tet(self, box):
+        _, fine = refine_tets(box.vertices, box.tets)
+        assert fine.shape[0] == 8 * box.n_tets
+
+    def test_coarse_vertices_preserved(self, box):
+        verts, _ = refine_tets(box.vertices, box.tets)
+        np.testing.assert_array_equal(verts[:box.n_vertices], box.vertices)
+
+    def test_vertex_count(self, box, box_struct):
+        verts, _ = refine_tets(box.vertices, box.tets)
+        assert verts.shape[0] == box.n_vertices + box_struct.n_edges
+
+
+class TestRefineMesh:
+    def test_volume_preserved_exactly(self, bump):
+        fine = refine_mesh(bump)
+        assert fine.total_volume == pytest.approx(bump.total_volume,
+                                                  rel=1e-14)
+
+    def test_all_positive_volumes(self, bump):
+        fine = refine_mesh(bump)
+        assert np.all(fine.volumes > 0)
+
+    def test_conforming(self):
+        # Conformity check: boundary face count of the refined box must be
+        # exactly 4x the coarse count (every surface triangle splits into
+        # 4); any interior crack would add spurious boundary faces.
+        mesh = box_mesh(3, 3, 3)
+        coarse_struct = build_edge_structure(mesh)
+        fine_struct = build_edge_structure(refine_mesh(mesh))
+        assert fine_struct.n_bfaces == 4 * coarse_struct.n_bfaces
+
+    def test_closure_identity(self):
+        fine = refine_mesh(bump_channel(6, 2, 3))
+        struct = build_edge_structure(fine)
+        assert np.abs(closure_residual(struct)).max() < 1e-13
+
+    def test_quality_not_destroyed(self):
+        # The shortest-diagonal octahedron split keeps child quality within
+        # a modest factor of the parent quality.
+        mesh = box_mesh(2, 2, 2)
+        q_parent = radius_ratios(mesh).min()
+        fine = refine_mesh(mesh)
+        q_child = radius_ratios(fine).min()
+        assert q_child > 0.3 * q_parent
+
+    def test_repeated_refinement(self):
+        mesh = box_mesh(2, 2, 2)
+        twice = refine_mesh(refine_mesh(mesh))
+        assert twice.n_tets == 64 * mesh.n_tets
+        assert twice.total_volume == pytest.approx(mesh.total_volume)
+
+    def test_boundary_tags_survive(self):
+        coarse = bump_channel(6, 2, 3)
+        fine = refine_mesh(coarse)
+        struct = build_edge_structure(fine)
+        assert np.count_nonzero(struct.bface_tags == PATCH_WALL) > 0
+
+    def test_refined_mesh_solves(self, winf):
+        from repro.solver import EulerSolver
+        fine = refine_mesh(bump_channel(6, 2, 3))
+        solver = EulerSolver(fine, winf)
+        w = solver.step(solver.freestream_solution())
+        assert np.all(np.isfinite(w))
+
+    def test_drops_into_multigrid_as_finest_level(self, winf):
+        # The paper's adaptive-refinement pathway: a refined mesh becomes
+        # the new finest grid of the (unrelated-grids) multigrid sequence.
+        from repro.multigrid import MultigridHierarchy, mg_cycle
+        coarse = bump_channel(6, 2, 3)
+        hierarchy = MultigridHierarchy([refine_mesh(coarse), coarse], winf)
+        w = hierarchy.freestream_solution()
+        w1 = mg_cycle(hierarchy, w, gamma=1)
+        assert np.all(np.isfinite(w1))

@@ -1,0 +1,85 @@
+"""Tests for the core tet mesh container."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TetMesh, box_mesh
+from repro.mesh.tetra import orient_tets, tet_volumes
+
+UNIT_TET_VERTS = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+
+class TestTetVolumes:
+    def test_unit_tet_volume(self):
+        vol = tet_volumes(UNIT_TET_VERTS, np.array([[0, 1, 2, 3]]))
+        assert vol[0] == pytest.approx(1.0 / 6.0)
+
+    def test_flipped_tet_negative(self):
+        vol = tet_volumes(UNIT_TET_VERTS, np.array([[0, 1, 3, 2]]))
+        assert vol[0] == pytest.approx(-1.0 / 6.0)
+
+    def test_translation_invariance(self):
+        shifted = UNIT_TET_VERTS + np.array([3.0, -2.0, 7.0])
+        vol = tet_volumes(shifted, np.array([[0, 1, 2, 3]]))
+        assert vol[0] == pytest.approx(1.0 / 6.0)
+
+    def test_scaling_cubes(self):
+        vol = tet_volumes(2.0 * UNIT_TET_VERTS, np.array([[0, 1, 2, 3]]))
+        assert vol[0] == pytest.approx(8.0 / 6.0)
+
+
+class TestOrientTets:
+    def test_repairs_negative_orientation(self):
+        tets = np.array([[0, 1, 3, 2]])
+        fixed = orient_tets(UNIT_TET_VERTS, tets)
+        assert tet_volumes(UNIT_TET_VERTS, fixed)[0] > 0
+
+    def test_keeps_positive_orientation(self):
+        tets = np.array([[0, 1, 2, 3]])
+        fixed = orient_tets(UNIT_TET_VERTS, tets)
+        np.testing.assert_array_equal(fixed, tets)
+
+    def test_degenerate_raises(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0.5, 0.5, 0]])
+        with pytest.raises(ValueError, match="degenerate"):
+            orient_tets(verts, np.array([[0, 1, 2, 3]]))
+
+
+class TestTetMesh:
+    def test_construction_repairs_orientation(self):
+        mesh = TetMesh(UNIT_TET_VERTS, np.array([[0, 1, 3, 2]]))
+        assert mesh.volumes[0] > 0
+
+    def test_rejects_bad_vertex_shape(self):
+        with pytest.raises(ValueError, match="vertices"):
+            TetMesh(np.zeros((4, 2)), np.array([[0, 1, 2, 3]]))
+
+    def test_rejects_bad_tet_shape(self):
+        with pytest.raises(ValueError, match="tets"):
+            TetMesh(UNIT_TET_VERTS, np.array([[0, 1, 2]]))
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TetMesh(UNIT_TET_VERTS, np.array([[0, 1, 2, 4]]))
+
+    def test_counts(self, box):
+        assert box.n_vertices == 125
+        assert box.n_tets == 6 * 64
+
+    def test_total_volume_of_unit_box(self, box):
+        assert box.total_volume == pytest.approx(1.0)
+
+    def test_dual_volumes_partition_domain(self, box):
+        assert box.dual_volumes().sum() == pytest.approx(box.total_volume)
+
+    def test_dual_volumes_positive(self, box):
+        assert np.all(box.dual_volumes() > 0)
+
+    def test_centroids_inside_bbox(self, box):
+        c = box.tet_centroids()
+        lo, hi = box.bounding_box()
+        assert np.all(c >= lo) and np.all(c <= hi)
+
+    def test_describe_mentions_counts(self, box):
+        text = box.describe()
+        assert "125" in text and "384" in text

@@ -1,0 +1,58 @@
+"""Tests for mesh validation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TetMesh, box_mesh, validate_mesh
+from repro.mesh.validate import ValidationReport
+
+
+class TestValidateGoodMeshes:
+    @pytest.mark.parametrize("fixture", ["box", "bump", "shell"])
+    def test_generators_pass(self, fixture, request):
+        mesh = request.getfixturevalue(fixture)
+        report = validate_mesh(mesh)
+        assert bool(report), report.report()
+
+    def test_report_lists_all_checks(self, box):
+        report = validate_mesh(box)
+        assert {"positive volumes", "conforming faces", "dual closure",
+                "watertight boundary", "no duplicate vertices",
+                "no isolated vertices"} <= set(report.checks)
+
+
+class TestValidateBadMeshes:
+    def test_duplicate_vertices_detected(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                          [0.0, 0, 0]])           # duplicate of vertex 0
+        mesh = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        report = validate_mesh(mesh)
+        assert "no duplicate vertices" in report.failures
+        assert "no isolated vertices" in report.failures
+
+    def test_nonconforming_detected(self):
+        # Three tets sharing ONE face: multiplicity 3.
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                          [0, 0, -1], [1, 1, 1]])
+        tets = np.array([[0, 1, 2, 3], [0, 2, 1, 4], [0, 1, 2, 5]])
+        mesh = TetMesh(verts, tets)
+        report = validate_mesh(mesh)
+        assert "conforming faces" in report.failures
+
+    def test_isolated_vertex_detected(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                          [5.0, 5, 5]])
+        mesh = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        report = validate_mesh(mesh)
+        assert "no isolated vertices" in report.failures
+        assert not report
+
+    def test_report_renders_failures(self):
+        verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                          [5.0, 5, 5]])
+        mesh = TetMesh(verts, np.array([[0, 1, 2, 3]]))
+        text = validate_mesh(mesh).report()
+        assert "FAIL" in text
+
+    def test_empty_report_truthy(self):
+        assert bool(ValidationReport())

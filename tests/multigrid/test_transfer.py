@@ -1,0 +1,111 @@
+"""Tests for the walking search and transfer operators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_mesh, bump_channel, tet_face_adjacency
+from repro.multigrid import TransferOperator, build_transfer, locate_in_mesh
+
+
+class TestLocate:
+    def test_vertices_locate_on_themselves(self, box):
+        tet_ids, bary, n_fb = locate_in_mesh(box.vertices, box)
+        assert np.all(tet_ids >= 0)
+        # Each vertex is inside (on the corner of) its containing tet:
+        # exactly one barycentric weight is ~1.
+        assert np.allclose(bary.max(axis=1), 1.0, atol=1e-9)
+        assert n_fb == 0
+
+    def test_centroids_found(self, box):
+        cents = box.tet_centroids()
+        tet_ids, bary, _ = locate_in_mesh(cents, box)
+        # The centroid of tet t must locate in t itself.
+        np.testing.assert_array_equal(tet_ids, np.arange(box.n_tets))
+        np.testing.assert_allclose(bary, 0.25, atol=1e-12)
+
+    def test_random_interior_points(self, box, rng):
+        pts = rng.uniform(0.05, 0.95, (200, 3))
+        tet_ids, bary, _ = locate_in_mesh(pts, box)
+        assert np.all(tet_ids >= 0)
+        assert np.all(bary > -1e-9)
+        np.testing.assert_allclose(bary.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_outside_points_clamped(self, box):
+        pts = np.array([[2.0, 0.5, 0.5], [-1.0, 0.5, 0.5]])
+        tet_ids, bary, n_fb = locate_in_mesh(pts, box)
+        assert np.all(tet_ids >= 0)
+        assert n_fb == 2
+        np.testing.assert_allclose(bary.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(bary >= 0)
+
+    def test_adjacency_reuse(self, box, rng):
+        adj = tet_face_adjacency(box.tets)
+        pts = rng.uniform(0.1, 0.9, (50, 3))
+        t1, b1, _ = locate_in_mesh(pts, box, adjacency=adj)
+        t2, b2, _ = locate_in_mesh(pts, box)
+        np.testing.assert_array_equal(t1, t2)
+
+
+class TestTransferOperator:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        fine = bump_channel(12, 2, 4)
+        coarse = bump_channel(6, 2, 2)
+        return fine, coarse
+
+    def test_constant_reproduced(self, pair):
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        vals = np.full(coarse.n_vertices, 3.7)
+        np.testing.assert_allclose(op.apply(vals), 3.7, rtol=1e-12)
+
+    def test_linear_reproduced_in_overlap(self, pair):
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        lin = coarse.vertices @ np.array([1.0, 2.0, -3.0]) + 0.5
+        target = fine.vertices @ np.array([1.0, 2.0, -3.0]) + 0.5
+        interp = op.apply(lin)
+        # Exact wherever the fine vertex lies inside the coarse mesh
+        # (clipped fallback points excluded).
+        inside = op.weights.min(axis=1) > -1e-12
+        exact = np.abs(interp - target) < 1e-9
+        assert np.count_nonzero(exact) > 0.9 * fine.n_vertices
+
+    def test_multicomponent_apply(self, pair, rng):
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        vals = rng.standard_normal((coarse.n_vertices, 5))
+        out = op.apply(vals)
+        assert out.shape == (fine.n_vertices, 5)
+
+    def test_transpose_conserves_total(self, pair, rng):
+        # P^T preserves the sum: weights per row sum to 1, so
+        # sum(P^T v) = sum(v).
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        v = rng.standard_normal(fine.n_vertices)
+        assert op.transpose_apply(v).sum() == pytest.approx(v.sum())
+
+    def test_transpose_adjoint_identity(self, pair, rng):
+        # <P u, v>_fine == <u, P^T v>_coarse for all u, v.
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        u = rng.standard_normal(coarse.n_vertices)
+        v = rng.standard_normal(fine.n_vertices)
+        lhs = np.dot(op.apply(u), v)
+        rhs = np.dot(u, op.transpose_apply(v))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_transpose_multicomponent(self, pair, rng):
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        v = rng.standard_normal((fine.n_vertices, 5))
+        out = op.transpose_apply(v)
+        assert out.shape == (coarse.n_vertices, 5)
+        np.testing.assert_allclose(out.sum(axis=0), v.sum(axis=0),
+                                   rtol=1e-10)
+
+    def test_weights_rows_sum_to_one(self, pair):
+        fine, coarse = pair
+        op = build_transfer(fine.vertices, coarse)
+        np.testing.assert_allclose(op.weights.sum(axis=1), 1.0, atol=1e-9)

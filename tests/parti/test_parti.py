@@ -1,0 +1,206 @@
+"""Tests for the PARTI runtime: translation, schedules, incremental, machine."""
+
+import numpy as np
+import pytest
+
+from repro.parti import (GatherSchedule, IncrementalScheduleBuilder,
+                         SimMachine, TranslationTable, build_gather_schedule)
+
+
+@pytest.fixture()
+def table(rng):
+    assignment = rng.integers(0, 6, 400).astype(np.int32)
+    return TranslationTable(assignment, 6)
+
+
+class TestTranslationTable:
+    def test_owner_matches_assignment(self, table):
+        ids = np.arange(table.n_global)
+        np.testing.assert_array_equal(table.owner_of(ids), table.assignment)
+
+    def test_local_indices_dense(self, table):
+        for r in range(table.n_parts):
+            owned = table.owned_globals[r]
+            locs = table.local_of(owned)
+            np.testing.assert_array_equal(np.sort(locs),
+                                          np.arange(owned.size))
+
+    def test_dereference(self, table):
+        ids = np.array([0, 5, 77])
+        owners, locals_ = table.dereference(ids)
+        for g, o, l in zip(ids, owners, locals_):
+            assert table.owned_globals[o][l] == g
+
+    def test_scatter_gather_roundtrip(self, table, rng):
+        values = rng.standard_normal((table.n_global, 3))
+        blocks = table.scatter_global_array(values)
+        np.testing.assert_array_equal(table.gather_global_array(blocks),
+                                      values)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            TranslationTable(np.array([0, 1, 5]), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            TranslationTable(np.zeros((3, 2), dtype=int))
+
+
+class TestSimMachine:
+    def test_traffic_accounting(self):
+        m = SimMachine(3)
+        m.exchange({(0, 1): np.zeros(10), (1, 2): np.zeros(5)}, "phase")
+        p = m.log.phase("phase")
+        assert p.total_msgs == 2
+        assert p.total_bytes == 15 * 8
+        assert p.msgs_sent[0] == 1 and p.msgs_recv[1] == 1
+
+    def test_self_messages_free(self):
+        m = SimMachine(2)
+        m.exchange({(0, 0): np.zeros(100)}, "p")
+        assert m.log.total_bytes == 0
+
+    def test_empty_messages_not_sent(self):
+        m = SimMachine(2)
+        delivered = m.exchange({(0, 1): np.zeros(0)}, "p")
+        assert (0, 1) not in delivered
+        assert m.log.total_msgs == 0
+
+    def test_rejects_bad_ranks(self):
+        m = SimMachine(2)
+        with pytest.raises(ValueError):
+            m.exchange({(0, 5): np.zeros(1)}, "p")
+
+    def test_occurrences_counted(self):
+        m = SimMachine(2)
+        for _ in range(3):
+            m.exchange({(0, 1): np.zeros(1)}, "p")
+        assert m.log.phase("p").occurrences == 3
+
+    def test_report_renders(self):
+        m = SimMachine(2)
+        m.exchange({(0, 1): np.zeros(4)}, "alpha")
+        text = m.log.report()
+        assert "alpha" in text and "total" in text
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            SimMachine(0)
+
+
+class TestGatherSchedule:
+    def test_gather_correctness(self, table, rng):
+        req = [rng.choice(table.n_global, 80, replace=False)
+               for _ in range(table.n_parts)]
+        sched = build_gather_schedule(req, table)
+        values = rng.standard_normal((table.n_global, 2))
+        owned = table.scatter_global_array(values)
+        machine = SimMachine(table.n_parts)
+        ghosts = sched.gather(machine, owned)
+        for r in range(table.n_parts):
+            np.testing.assert_allclose(ghosts[r],
+                                       values[sched.ghost_globals[r]])
+
+    def test_owned_ids_dropped(self, table):
+        # Requests for locally owned ids never create ghost slots.
+        req = [table.owned_globals[r] for r in range(table.n_parts)]
+        sched = build_gather_schedule(req, table)
+        assert sched.total_ghosts() == 0
+
+    def test_duplicates_deduplicated(self, table):
+        ids = np.array([1, 1, 1, 2, 2])
+        sched = build_gather_schedule([ids] * table.n_parts, table)
+        for r in range(table.n_parts):
+            assert sched.ghost_globals[r].size == np.count_nonzero(
+                table.owner_of(np.array([1, 2])) != r)
+
+    def test_ghosts_sorted_by_owner(self, table, rng):
+        req = [rng.choice(table.n_global, 50, replace=False)
+               for _ in range(table.n_parts)]
+        sched = build_gather_schedule(req, table)
+        for r in range(table.n_parts):
+            owners = table.owner_of(sched.ghost_globals[r])
+            assert np.all(np.diff(owners) >= 0)
+
+    def test_scatter_add_inverse_counts(self, table, rng):
+        req = [rng.choice(table.n_global, 60, replace=False)
+               for _ in range(table.n_parts)]
+        sched = build_gather_schedule(req, table)
+        machine = SimMachine(table.n_parts)
+        contrib = [np.ones(sched.ghost_globals[r].size)
+                   for r in range(table.n_parts)]
+        acc = [np.zeros(table.n_owned[r]) for r in range(table.n_parts)]
+        sched.scatter_add(machine, contrib, acc)
+        total = table.gather_global_array(acc)
+        expect = np.zeros(table.n_global)
+        for r in range(table.n_parts):
+            expect[sched.ghost_globals[r]] += 1
+        np.testing.assert_allclose(total, expect)
+
+    def test_message_aggregation(self, table, rng):
+        # One message per (owner, requester) pair regardless of item count.
+        req = [rng.choice(table.n_global, 200, replace=False)
+               for _ in range(table.n_parts)]
+        sched = build_gather_schedule(req, table)
+        machine = SimMachine(table.n_parts)
+        owned = table.scatter_global_array(rng.standard_normal(table.n_global))
+        sched.gather(machine, owned)
+        assert machine.log.total_msgs <= table.n_parts * (table.n_parts - 1)
+
+
+class TestIncrementalSchedules:
+    def test_no_refetch_of_known_ids(self, table, rng):
+        builder = IncrementalScheduleBuilder(table)
+        req1 = [rng.choice(table.n_global, 100, replace=False)
+                for _ in range(table.n_parts)]
+        builder.add(req1)
+        # Second loop references a subset: nothing new to fetch.
+        req2 = [r[:40] for r in req1]
+        inc2 = builder.add(req2)
+        assert inc2.schedule.total_ghosts() == 0
+
+    def test_incremental_smaller_than_independent(self, table, rng):
+        builder = IncrementalScheduleBuilder(table)
+        req1 = [rng.choice(table.n_global, 100, replace=False)
+                for _ in range(table.n_parts)]
+        builder.add(req1)
+        req2 = [np.concatenate([r[:50], rng.choice(table.n_global, 30)])
+                for r in req1]
+        inc = builder.add(req2)
+        indep = build_gather_schedule(req2, table)
+        assert inc.schedule.total_ghosts() < indep.total_ghosts()
+
+    def test_slots_resolve_all_requirements(self, table, rng):
+        builder = IncrementalScheduleBuilder(table)
+        machine = SimMachine(table.n_parts)
+        values = rng.standard_normal(table.n_global)
+        owned = table.scatter_global_array(values)
+
+        req1 = [rng.choice(table.n_global, 70, replace=False)
+                for _ in range(table.n_parts)]
+        inc1 = builder.add(req1)
+        req2 = [np.concatenate([r[:30], rng.choice(table.n_global, 40)])
+                for r in req1]
+        inc2 = builder.add(req2)
+
+        store = [np.zeros(builder.ghost_count(r))
+                 for r in range(table.n_parts)]
+        builder.gather_increment(machine, inc1, owned, store)
+        builder.gather_increment(machine, inc2, owned, store)
+        for r in range(table.n_parts):
+            req = np.unique(req2[r])
+            req = req[table.owner_of(req) != r]
+            np.testing.assert_allclose(store[r][inc2.slots_for_required[r]],
+                                       values[req])
+
+    def test_slot_stability_across_increments(self, table, rng):
+        # Slots allocated by earlier increments keep their meaning.
+        builder = IncrementalScheduleBuilder(table)
+        req1 = [rng.choice(table.n_global, 50, replace=False)
+                for _ in range(table.n_parts)]
+        inc1 = builder.add(req1)
+        slots_before = [s.copy() for s in inc1.slots_for_required]
+        builder.add([rng.choice(table.n_global, 50) for _ in
+                     range(table.n_parts)])
+        for a, b in zip(slots_before, inc1.slots_for_required):
+            np.testing.assert_array_equal(a, b)

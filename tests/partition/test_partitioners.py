@@ -1,0 +1,137 @@
+"""Tests for the three partitioners and quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (cut_edges, fiedler_vector, greedy_bfs_partition,
+                             lanczos_extremal, partition_metrics,
+                             recursive_coordinate_bisection,
+                             recursive_spectral_bisection)
+from repro.mesh import vertex_graph
+
+ALL_PARTITIONERS = ["rsb", "rcb", "bfs"]
+
+
+def run_partitioner(name, mesh, struct, p):
+    if name == "rsb":
+        return recursive_spectral_bisection(struct.edges, mesh.n_vertices, p)
+    if name == "rcb":
+        return recursive_coordinate_bisection(mesh.vertices, p)
+    return greedy_bfs_partition(struct.edges, mesh.n_vertices, p)
+
+
+class TestLanczos:
+    def test_finds_dominant_eigenvector(self, rng):
+        n = 60
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        evals = np.linspace(1, 10, n)
+        mat = (q * evals) @ q.T
+        vec = lanczos_extremal(lambda x: mat @ x, n, rng)
+        ritz = vec @ mat @ vec
+        assert ritz == pytest.approx(10.0, rel=1e-4)
+
+    def test_deflation_respected(self, rng):
+        n = 40
+        ones = np.full(n, 1.0 / np.sqrt(n))
+        mat = np.diag(np.arange(n, dtype=float)) + 100.0 * np.outer(ones, ones)
+        vec = lanczos_extremal(lambda x: mat @ x, n, rng, deflate=ones)
+        assert abs(ones @ vec) < 1e-8
+
+
+class TestFiedler:
+    def test_two_cliques_separated(self, rng):
+        # Two 10-cliques joined by one edge: the Fiedler vector separates
+        # them by sign.
+        edges = []
+        for base in (0, 10):
+            for i in range(10):
+                for j in range(i + 1, 10):
+                    edges.append((base + i, base + j))
+        edges.append((0, 10))
+        adj = vertex_graph(np.array(edges), 20)
+        f = fiedler_vector(adj, rng)
+        signs_a = np.sign(f[:10])
+        signs_b = np.sign(f[10:])
+        assert np.all(signs_a == signs_a[0])
+        assert np.all(signs_b == signs_b[0])
+        assert signs_a[0] != signs_b[0]
+
+    def test_orthogonal_to_constant(self, bump_struct, rng):
+        adj = vertex_graph(bump_struct.edges, bump_struct.n_vertices)
+        f = fiedler_vector(adj, rng)
+        assert abs(f.sum()) < 1e-6 * np.sqrt(bump_struct.n_vertices)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    @pytest.mark.parametrize("p", [2, 4, 7, 16])
+    def test_all_parts_used_and_balanced(self, name, p, bump, bump_struct):
+        asg = run_partitioner(name, bump, bump_struct, p)
+        m = partition_metrics(bump_struct.edges, asg, p)
+        assert np.all(m.part_sizes > 0)
+        assert m.imbalance < 1.35
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_every_vertex_assigned(self, name, bump, bump_struct):
+        asg = run_partitioner(name, bump, bump_struct, 8)
+        assert asg.shape == (bump.n_vertices,)
+        assert asg.min() >= 0 and asg.max() < 8
+
+    @pytest.mark.parametrize("name", ALL_PARTITIONERS)
+    def test_single_part_trivial(self, name, bump, bump_struct):
+        asg = run_partitioner(name, bump, bump_struct, 1)
+        assert np.all(asg == 0)
+
+    def test_rsb_deterministic_with_seed(self, bump, bump_struct):
+        a1 = recursive_spectral_bisection(bump_struct.edges,
+                                          bump.n_vertices, 8, seed=42)
+        a2 = recursive_spectral_bisection(bump_struct.edges,
+                                          bump.n_vertices, 8, seed=42)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_rsb_cut_no_worse_than_bfs(self, bump, bump_struct):
+        # The paper's rationale for paying for spectral bisection.
+        rsb = recursive_spectral_bisection(bump_struct.edges,
+                                           bump.n_vertices, 8)
+        bfs = greedy_bfs_partition(bump_struct.edges, bump.n_vertices, 8)
+        cut_rsb = int(cut_edges(bump_struct.edges, rsb).sum())
+        cut_bfs = int(cut_edges(bump_struct.edges, bfs).sum())
+        assert cut_rsb <= 1.2 * cut_bfs
+
+    def test_rejects_zero_parts(self, bump, bump_struct):
+        with pytest.raises(ValueError):
+            recursive_spectral_bisection(bump_struct.edges,
+                                         bump.n_vertices, 0)
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(bump.vertices, 0)
+        with pytest.raises(ValueError):
+            greedy_bfs_partition(bump_struct.edges, bump.n_vertices, 0)
+
+
+class TestMetrics:
+    def test_cut_edges_mask(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        asg = np.array([0, 0, 1, 1])
+        np.testing.assert_array_equal(cut_edges(edges, asg),
+                                      [False, True, False])
+
+    def test_metrics_of_perfect_split(self):
+        # Two disjoint triangles split apart: zero cut.
+        edges = np.array([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]])
+        asg = np.array([0, 0, 0, 1, 1, 1])
+        m = partition_metrics(edges, asg, 2)
+        assert m.n_cut_edges == 0
+        assert m.imbalance == pytest.approx(1.0)
+        assert m.max_neighbors == 0
+
+    def test_surface_to_volume(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        asg = np.array([0, 0, 1, 1])
+        m = partition_metrics(edges, asg, 2)
+        # One cut edge -> 1 boundary vertex per side of 2 vertices.
+        np.testing.assert_allclose(m.surface_to_volume, [0.5, 0.5])
+
+    def test_report_renders(self, bump, bump_struct):
+        asg = recursive_coordinate_bisection(bump.vertices, 4)
+        text = partition_metrics(bump_struct.edges, asg).report()
+        assert "cut edges" in text

@@ -1,0 +1,61 @@
+"""Unit tests for the Delta message-cost calibration fit."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.delta import (DeltaMeasurement,
+                                   fit_effective_message_costs)
+
+
+def _meas(occs, bytes_, msgs=10.0, n_ranks=16, vertices=16000, edges=100000):
+    return DeltaMeasurement(
+        n_ranks=n_ranks,
+        n_cycles=1,
+        comm_phases={"phase": (msgs, bytes_, occs, 0)},
+        level_flops_max=[1e7],
+        level_flops_total=[1e8],
+        level_vertices=[vertices],
+        level_edges=[edges],
+        level_ghost_ratio=[0.0],
+    )
+
+
+LEVELS = ([804_056], [5_500_000])
+
+
+class TestFit:
+    def test_exact_two_point_fit(self):
+        # Construct comm values from known constants; the fit must recover
+        # them (exact 2x2 solve through the relative weighting).
+        t_sync, t_byte = 5e-3, 2e-7
+        measurements, comms = [], []
+        from repro.perfmodel.machines import TouchstoneDelta
+        lat = TouchstoneDelta().latency_s
+        for occs, bytes_ in ((40.0, 2e6), (40.0, 1e6)):
+            m = _meas(occs, bytes_)
+            _, rho_s, _, _ = __import__(
+                "repro.perfmodel.delta", fromlist=["_scales"])._scales(
+                m, 256, *LEVELS)
+            msgs, bscaled, o = m.comm_components(rho_s)
+            comms.append(100 * (t_sync * o + t_byte * bscaled + lat * msgs))
+            measurements.append(m)
+        fit_sync, fit_byte = fit_effective_message_costs(
+            measurements, [256, 256], [LEVELS, LEVELS], comms)
+        assert fit_sync == pytest.approx(t_sync, rel=1e-6)
+        assert fit_byte == pytest.approx(t_byte, rel=1e-6)
+
+    def test_nonnegative_fallback(self):
+        # Inconsistent data that would drive one coefficient negative:
+        # the fit clamps to a single-term model instead.
+        m1 = _meas(40.0, 2e6)
+        m2 = _meas(40.0, 1e6)
+        # comm *increases* while bytes decrease at equal occs.
+        fit_sync, fit_byte = fit_effective_message_costs(
+            [m1, m2], [256, 256], [LEVELS, LEVELS], [100.0, 150.0])
+        assert fit_sync >= 0 and fit_byte >= 0
+        assert fit_sync > 0 or fit_byte > 0
+
+    def test_degenerate_raises(self):
+        m = _meas(0.0, 0.0, msgs=0.0)
+        with pytest.raises(ValueError):
+            fit_effective_message_costs([m], [256], [LEVELS], [0.0])

@@ -1,0 +1,183 @@
+"""Tests for the flop counter, Cray model, Delta model and cache model."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (CrayC90, CrayWorkload, DeltaMeasurement,
+                             FlopCounter, NullFlopCounter, TouchstoneDelta,
+                             edge_loop_hit_rate, effective_node_mflops,
+                             model_cray_run, model_cray_table,
+                             model_delta_run, node_rate_for_ordering)
+from repro.perfmodel.cray import _vector_rate
+from repro.perfmodel.delta import phase_level
+
+
+class TestFlopCounter:
+    def test_accumulates(self):
+        c = FlopCounter()
+        c.add("a", 100)
+        c.add("a", 50)
+        c.add("b", 25)
+        assert c.total == 175
+        assert c.snapshot() == {"a": 150, "b": 25}
+
+    def test_reset(self):
+        c = FlopCounter()
+        c.add("a", 1)
+        c.reset()
+        assert c.total == 0
+
+    def test_merge(self):
+        a, b = FlopCounter(), FlopCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.snapshot() == {"x": 3, "y": 3}
+
+    def test_report_renders(self):
+        c = FlopCounter()
+        c.add("conv", 2e6)
+        assert "conv" in c.report() and "total" in c.report()
+
+    def test_null_counter_noop(self):
+        n = NullFlopCounter()
+        n.add("a", 1e9)
+        assert n.total == 0.0 and n.snapshot() == {}
+
+
+class TestVectorRate:
+    def test_monotone_in_length(self):
+        m = CrayC90()
+        r = _vector_rate(np.array([1.0, 10, 100, 1000, 1e6]), m)
+        assert np.all(np.diff(r) > 0)
+
+    def test_asymptote(self):
+        m = CrayC90()
+        r = _vector_rate(np.array([1e9]), m)
+        assert r[0] == pytest.approx(m.r_inf_mflops * 1e6, rel=1e-6)
+
+    def test_half_performance_length(self):
+        m = CrayC90()
+        r = _vector_rate(np.array([m.n_half]), m)
+        assert r[0] == pytest.approx(0.5 * m.r_inf_mflops * 1e6)
+
+
+class TestCrayModel:
+    @pytest.fixture()
+    def workload(self):
+        return CrayWorkload(
+            level_flops_per_cycle=[4.0e9],
+            level_visits_per_cycle=[1],
+            level_group_sizes=[np.full(20, 250_000.0)],
+            sweeps_per_step=20,
+        )
+
+    def test_speedup_shape(self, workload):
+        rows = model_cray_table(workload)
+        walls = [r.wall_s for r in rows]
+        assert all(np.diff(walls) < 0)          # more CPUs, less wall
+        speedup16 = walls[0] / walls[-1]
+        assert 8.0 < speedup16 < 16.0           # sub-linear but strong
+
+    def test_cpu_time_inflates_with_cpus(self, workload):
+        rows = model_cray_table(workload)
+        cpu = [r.cpu_s for r in rows]
+        assert all(np.diff(cpu) > 0)
+        assert cpu[-1] < 1.6 * cpu[0]           # bounded overhead
+
+    def test_high_parallel_fraction(self, workload):
+        # Paper: ">99% parallelism" from CPU/wall = 15.4 at 16 CPUs.
+        row16 = model_cray_run(workload, 16)
+        machine = CrayC90()
+        compute_wall = row16.cpu_s / 16
+        assert compute_wall / (row16.wall_s) > 0.8
+
+    def test_mflops_scale(self, workload):
+        rows = model_cray_table(workload)
+        assert 200 < rows[0].mflops < 300       # ~ r_inf at 1 CPU
+        assert rows[-1].mflops > 10 * rows[0].mflops / 16 * 10
+
+    def test_short_vectors_hurt(self):
+        # Same flops in tiny colour groups: rate collapses.
+        big = CrayWorkload([1e9], [1], [np.full(20, 1e6)], 20)
+        tiny = CrayWorkload([1e9], [1], [np.full(20, 200.0)], 20)
+        assert model_cray_run(tiny, 16).wall_s > \
+            model_cray_run(big, 16).wall_s
+
+    def test_row_rounding(self, workload):
+        row = model_cray_run(workload, 4).row()
+        assert all(isinstance(x, int) for x in row)
+
+
+class TestPhaseLevel:
+    def test_prefixed_phase(self):
+        assert phase_level("L2-w-gather") == 2
+
+    def test_transfer_phase(self):
+        assert phase_level("transfer-prolong-L1") == 1
+
+    def test_unprefixed_defaults_to_zero(self):
+        assert phase_level("w-gather") == 0
+
+
+class TestDeltaModel:
+    @pytest.fixture()
+    def meas(self):
+        return DeltaMeasurement(
+            n_ranks=16,
+            n_cycles=2,
+            comm_phases={"w-gather": (100.0, 4.0e5, 5.0, 0),
+                         "q-scatter": (100.0, 4.0e5, 5.0, 0)},
+            level_flops_max=[5.0e7],
+            level_flops_total=[7.0e8],
+            level_vertices=[16000],
+            level_edges=[100000],
+            level_ghost_ratio=[0.3],
+        )
+
+    def test_total_is_comm_plus_comp(self, meas):
+        model = model_delta_run(meas, 256, [804_056], [5_500_000], 0.9)
+        assert model.total_s == pytest.approx(model.comm_s + model.comp_s)
+
+    def test_more_nodes_less_comp(self, meas):
+        m256 = model_delta_run(meas, 256, [804_056], [5_500_000], 0.9)
+        m512 = model_delta_run(meas, 512, [804_056], [5_500_000], 0.9)
+        assert m512.comp_s < m256.comp_s
+
+    def test_better_hit_rate_faster(self, meas):
+        slow = model_delta_run(meas, 256, [804_056], [5_500_000], 0.3)
+        fast = model_delta_run(meas, 256, [804_056], [5_500_000], 0.95)
+        assert fast.comp_s < slow.comp_s
+
+    def test_row_format(self, meas):
+        row = model_delta_run(meas, 256, [804_056], [5_500_000], 0.9).row()
+        assert len(row) == 5 and row[0] == 256
+
+
+class TestCacheModel:
+    def test_hit_rate_in_unit_interval(self, bump_struct):
+        hr = edge_loop_hit_rate(bump_struct.edges,
+                                np.arange(bump_struct.n_edges))
+        assert 0.0 <= hr <= 1.0
+
+    def test_sorted_beats_shuffled(self, bump_struct):
+        from repro.distsolver import random_shuffle_edges, sort_edges_by_vertex
+        hr_sorted = edge_loop_hit_rate(
+            bump_struct.edges, sort_edges_by_vertex(bump_struct.edges))
+        hr_shuffled = edge_loop_hit_rate(
+            bump_struct.edges, random_shuffle_edges(bump_struct.n_edges))
+        assert hr_sorted > hr_shuffled
+
+    def test_rate_monotone_in_hit_rate(self):
+        assert effective_node_mflops(0.95) > effective_node_mflops(0.5)
+
+    def test_rate_bounded_by_cached_peak(self):
+        m = TouchstoneDelta()
+        assert effective_node_mflops(1.0, m) == pytest.approx(
+            1.0 / m.t_flop_cached_s / 1e6)
+
+    def test_node_rate_for_ordering(self, bump_struct):
+        res = node_rate_for_ordering(bump_struct.edges,
+                                     np.arange(bump_struct.n_edges))
+        assert res.mflops > 0 and 0 <= res.hit_rate <= 1

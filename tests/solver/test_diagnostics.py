@@ -1,0 +1,64 @@
+"""Tests for entropy-error and aerodynamic-coefficient diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (aero_coefficients, entropy_error_norm,
+                          entropy_field)
+from repro.state import freestream_state
+
+
+class TestEntropy:
+    def test_freestream_entropy_error_zero(self, bump_solver, winf):
+        w = bump_solver.freestream_solution()
+        assert entropy_error_norm(w, winf) == pytest.approx(0.0, abs=1e-14)
+
+    def test_entropy_field_uniform_at_freestream(self, winf, box_struct):
+        w = np.tile(winf, (box_struct.n_vertices, 1))
+        s = entropy_field(w)
+        np.testing.assert_allclose(s, s[0], rtol=1e-13)
+
+    def test_converged_flow_small_entropy_error(self, converged_bump, winf):
+        _, w, _ = converged_bump
+        err = entropy_error_norm(w, winf)
+        # Transonic flow on a coarse mesh: a few percent spurious entropy
+        # is expected; an order-one error would flag a broken scheme.
+        assert err < 0.2
+
+    def test_shock_exclusion_reduces_error(self, converged_bump, winf):
+        _, w, _ = converged_bump
+        full = entropy_error_norm(w, winf)
+        smooth_only = entropy_error_norm(w, winf, exclude_shocked=True)
+        assert smooth_only <= full
+
+    def test_perturbed_state_detected(self, bump_solver, winf, rng):
+        w = bump_solver.freestream_solution()
+        w[:, 4] *= rng.uniform(1.0, 1.1, bump_solver.n_vertices)
+        assert entropy_error_norm(w, winf) > 0.01
+
+
+class TestAeroCoefficients:
+    def test_freestream_zero_coefficients(self, bump_solver, winf):
+        # At exact freestream the p - p_inf loads vanish identically.
+        w = bump_solver.freestream_solution()
+        coeffs = aero_coefficients(w, bump_solver.bdata, winf,
+                                   reference_area=1.0, alpha_deg=1.116)
+        assert coeffs.cl == pytest.approx(0.0, abs=1e-10)
+        assert coeffs.cd == pytest.approx(0.0, abs=1e-10)
+
+    def test_converged_flow_nonzero(self, converged_bump, winf):
+        solver, w, _ = converged_bump
+        coeffs = aero_coefficients(w, solver.bdata, winf,
+                                   reference_area=1.0, alpha_deg=1.116)
+        assert abs(coeffs.cl) + abs(coeffs.cd) > 1e-4
+
+    def test_reference_area_scaling(self, converged_bump, winf):
+        solver, w, _ = converged_bump
+        c1 = aero_coefficients(w, solver.bdata, winf, 1.0)
+        c2 = aero_coefficients(w, solver.bdata, winf, 2.0)
+        assert c1.cl == pytest.approx(2.0 * c2.cl, rel=1e-12)
+
+    def test_report_renders(self, converged_bump, winf):
+        solver, w, _ = converged_bump
+        text = aero_coefficients(w, solver.bdata, winf, 1.0).report()
+        assert "CL" in text and "CD" in text

@@ -1,0 +1,151 @@
+"""Tests for the assembled single-grid Euler solver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RK_ALPHAS
+from repro.mesh import box_mesh
+from repro.perfmodel import FlopCounter
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import is_physical
+
+
+class TestConstruction:
+    def test_from_mesh(self, bump, winf):
+        s = EulerSolver(bump, winf)
+        assert s.n_vertices == bump.n_vertices
+
+    def test_from_struct(self, bump_struct, winf):
+        s = EulerSolver(bump_struct, winf)
+        assert s.n_vertices == bump_struct.n_vertices
+
+    def test_rejects_other_types(self, winf):
+        with pytest.raises(TypeError):
+            EulerSolver("not a mesh", winf)
+
+    def test_rejects_bad_freestream(self, bump_struct):
+        with pytest.raises(ValueError, match="shape"):
+            EulerSolver(bump_struct, np.ones(4))
+
+    def test_rk_coefficients_match_paper(self):
+        assert RK_ALPHAS == (0.25, 1 / 6, 0.375, 0.5, 1.0)
+
+
+class TestFreestreamPreservation:
+    """The fundamental consistency test on every mesh family."""
+
+    @pytest.mark.parametrize("fixture", ["box_struct"])
+    def test_residual_zero(self, fixture, request, winf):
+        struct = request.getfixturevalue(fixture)
+        s = EulerSolver(struct, winf)
+        r = s.residual(s.freestream_solution())
+        assert np.abs(r).max() < 1e-11
+
+    def test_step_preserves_freestream(self, box_struct, winf):
+        s = EulerSolver(box_struct, winf)
+        w = s.freestream_solution()
+        w5 = w
+        for _ in range(5):
+            w5 = s.step(w5)
+        assert np.abs(w5 - w).max() < 1e-12
+
+    def test_many_mach_numbers(self, box_struct):
+        from repro.state import freestream_state
+        for mach in (0.1, 0.5, 0.85, 1.5):
+            winf = freestream_state(mach, 2.0)
+            s = EulerSolver(box_struct, winf)
+            r = s.residual(s.freestream_solution())
+            assert np.abs(r).max() < 1e-11, f"M={mach}"
+
+
+class TestStep:
+    def test_step_returns_new_array(self, bump_solver):
+        w = bump_solver.freestream_solution()
+        w1 = bump_solver.step(w)
+        assert w1 is not w
+
+    def test_step_changes_solution_near_bump(self, bump_solver):
+        w = bump_solver.freestream_solution()
+        w1 = bump_solver.step(w)
+        assert np.abs(w1 - w).max() > 1e-6
+
+    def test_step_stays_physical(self, bump_solver):
+        w = bump_solver.freestream_solution()
+        for _ in range(10):
+            w = bump_solver.step(w)
+        assert is_physical(w)
+
+    def test_forcing_shifts_update(self, bump_solver, rng):
+        w = bump_solver.freestream_solution()
+        forcing = 1e-6 * rng.standard_normal((bump_solver.n_vertices, 5))
+        w_plain = bump_solver.step(w)
+        w_forced = bump_solver.step(w, forcing=forcing)
+        assert np.abs(w_forced - w_plain).max() > 0
+
+    def test_zero_forcing_matches_plain(self, bump_solver):
+        w = bump_solver.freestream_solution()
+        w_plain = bump_solver.step(w)
+        w_forced = bump_solver.step(w, forcing=np.zeros_like(w))
+        np.testing.assert_allclose(w_forced, w_plain, atol=1e-15)
+
+
+class TestConvergence:
+    def test_residual_drops(self, converged_bump):
+        _, _, history = converged_bump
+        assert history[-1] < 0.15 * history[0]
+
+    def test_history_length(self, converged_bump):
+        _, _, history = converged_bump
+        assert len(history) == 301
+
+    def test_supersonic_pocket_forms(self, converged_bump):
+        from repro.state import mach_number
+        _, w, _ = converged_bump
+        # At M = 0.768 over the 4% bump the flow accelerates well past
+        # freestream (the fast fixture mesh is too coarse to always break
+        # M = 1, but must clearly overspeed).
+        assert mach_number(w).max() > 0.85
+
+    def test_run_callback_invoked(self, bump_struct, winf):
+        s = EulerSolver(bump_struct, winf)
+        seen = []
+        s.run(n_cycles=3, callback=lambda c, w, r: seen.append(c))
+        assert seen == [0, 1, 2]
+
+
+class TestFlopCounting:
+    def test_counts_accumulate(self, bump_struct, winf):
+        counter = FlopCounter()
+        s = EulerSolver(bump_struct, winf, flops=counter)
+        s.step(s.freestream_solution())
+        assert counter.total > 0
+        assert set(counter.phases) >= {"convective", "dissipation",
+                                       "timestep", "update"}
+
+    def test_convective_dominates_with_five_stages(self, bump_struct, winf):
+        counter = FlopCounter()
+        s = EulerSolver(bump_struct, winf, flops=counter)
+        s.step(s.freestream_solution())
+        snap = counter.snapshot()
+        assert snap["convective"] > snap["timestep"]
+
+    def test_per_step_counts_deterministic(self, bump_struct, winf):
+        c1, c2 = FlopCounter(), FlopCounter()
+        s1 = EulerSolver(bump_struct, winf, flops=c1)
+        s2 = EulerSolver(bump_struct, winf, flops=c2)
+        s1.step(s1.freestream_solution())
+        s2.step(s2.freestream_solution())
+        assert c1.total == c2.total
+
+
+class TestConfigVariants:
+    def test_without_smoothing_runs(self, bump_struct, winf):
+        s = EulerSolver(bump_struct, winf, SolverConfig().without_smoothing())
+        w = s.freestream_solution()
+        for _ in range(5):
+            w = s.step(w)
+        assert is_physical(w)
+
+    def test_without_smoothing_lowers_cfl(self):
+        cfg = SolverConfig(cfl=4.0).without_smoothing()
+        assert cfg.cfl <= 2.0 and not cfg.residual_smoothing

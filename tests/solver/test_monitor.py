@@ -1,0 +1,103 @@
+"""Tests for convergence monitoring and flow diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (ConvergenceHistory, extract_isoline,
+                          integrated_forces, mach_field,
+                          surface_pressure_coefficient)
+from repro.state import pressure
+
+
+class TestConvergenceHistory:
+    def test_orders_reduced(self):
+        h = ConvergenceHistory()
+        for r in (1.0, 0.1, 0.01, 1e-3):
+            h.append(r)
+        assert h.orders_reduced == pytest.approx(3.0)
+
+    def test_cycles_to_reduction(self):
+        h = ConvergenceHistory(residuals=[1.0, 0.5, 0.09, 0.01])
+        assert h.cycles_to_reduction(1.0) == 2
+
+    def test_cycles_to_reduction_unreached(self):
+        h = ConvergenceHistory(residuals=[1.0, 0.9])
+        assert h.cycles_to_reduction(3.0) is None
+
+    def test_asymptotic_rate_geometric(self):
+        h = ConvergenceHistory(residuals=[0.5 ** k for k in range(30)])
+        assert h.asymptotic_rate(tail=10) == pytest.approx(0.5)
+
+    def test_empty_history_safe(self):
+        h = ConvergenceHistory()
+        assert h.orders_reduced == 0.0
+        assert h.cycles_to_reduction(1.0) is None
+        assert h.asymptotic_rate() == 1.0
+
+
+class TestMachField:
+    def test_freestream_uniform(self, winf, box_struct):
+        w = np.tile(winf, (box_struct.n_vertices, 1))
+        np.testing.assert_allclose(mach_field(w), 0.768, rtol=1e-12)
+
+    def test_converged_bump_range(self, converged_bump):
+        _, w, _ = converged_bump
+        m = mach_field(w)
+        assert m.min() > 0.3 and m.max() < 2.0
+
+
+class TestSurfaceQuantities:
+    def test_cp_zero_at_freestream_pressure(self, converged_bump, winf):
+        solver, w, _ = converged_bump
+        verts, cp = surface_pressure_coefficient(w, solver.bdata, winf)
+        assert verts.size == cp.size
+        # Transonic bump: strong suction on the crest, compression at the
+        # foot — Cp must change sign along the wall.
+        assert cp.min() < 0 < cp.max()
+
+    def test_forces_nonzero_on_converged_flow(self, converged_bump):
+        solver, w, _ = converged_bump
+        force = integrated_forces(w, solver.bdata)
+        assert force.shape == (3,)
+        assert np.linalg.norm(force) > 0
+
+    def test_freestream_force_is_pressure_closure(self, bump_solver, winf):
+        # Uniform pressure on a non-closed wall patch: force = p * total
+        # wall normal.
+        w = bump_solver.freestream_solution()
+        force = integrated_forces(w, bump_solver.bdata)
+        p_inf = float(pressure(winf[None])[0])
+        expect = p_inf * bump_solver.bdata.wall_normals.sum(axis=0)
+        np.testing.assert_allclose(force, expect, rtol=1e-12, atol=1e-14)
+
+
+class TestIsolines:
+    def test_crossings_found(self, converged_bump):
+        solver, w, _ = converged_bump
+        m = mach_field(w)
+        level = 0.5 * (m.min() + m.max())
+        pts = extract_isoline(np.asarray(solver.mesh.vertices)
+                              if solver.mesh is not None else None,
+                              solver.edges, m, level) \
+            if solver.mesh is not None else None
+        # bump fixture was built from a struct; reconstruct coordinates
+        # is unavailable -> use any 3-column dummy positions
+        if pts is None:
+            verts = np.zeros((solver.n_vertices, 3))
+            pts = extract_isoline(verts, solver.edges, m, level)
+        assert pts.shape[1] == 3
+        assert len(pts) > 0
+
+    def test_no_crossings_for_out_of_range_level(self, converged_bump):
+        solver, w, _ = converged_bump
+        m = mach_field(w)
+        verts = np.zeros((solver.n_vertices, 3))
+        pts = extract_isoline(verts, solver.edges, m, m.max() + 1.0)
+        assert pts.shape == (0, 3)
+
+    def test_interpolation_on_edges(self):
+        verts = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        edges = np.array([[0, 1]])
+        field = np.array([0.0, 1.0])
+        pts = extract_isoline(verts, edges, field, 0.25)
+        np.testing.assert_allclose(pts, [[0.25, 0, 0]])

@@ -1,0 +1,70 @@
+"""Tests for implicit residual averaging."""
+
+import numpy as np
+import pytest
+
+from repro.scatter import EdgeScatter
+from repro.solver import smooth_residual
+
+
+@pytest.fixture(scope="module")
+def sm_setup(bump_struct):
+    return bump_struct, EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
+
+
+class TestSmoothResidual:
+    def test_constant_residual_fixed_point(self, sm_setup):
+        struct, scatter = sm_setup
+        r = np.ones((struct.n_vertices, 5))
+        out = smooth_residual(r, struct.edges, scatter, eps=0.5, sweeps=2)
+        np.testing.assert_allclose(out, r, rtol=1e-12)
+
+    def test_reduces_high_frequency(self, sm_setup, rng):
+        struct, scatter = sm_setup
+        r = rng.choice([-1.0, 1.0], (struct.n_vertices, 5))
+        out = smooth_residual(r, struct.edges, scatter, eps=0.5, sweeps=2)
+        assert np.abs(out).mean() < np.abs(r).mean()
+
+    def test_preserves_smooth_component_better(self, sm_setup, rng):
+        struct, scatter = sm_setup
+        smooth = np.ones((struct.n_vertices, 5))
+        rough = rng.choice([-1.0, 1.0], (struct.n_vertices, 5))
+        out_s = smooth_residual(smooth, struct.edges, scatter, 0.5, 2)
+        out_r = smooth_residual(rough, struct.edges, scatter, 0.5, 2)
+        damp_s = np.linalg.norm(out_s) / np.linalg.norm(smooth)
+        damp_r = np.linalg.norm(out_r) / np.linalg.norm(rough)
+        assert damp_s > damp_r
+
+    def test_zero_sweeps_identity(self, sm_setup, rng):
+        struct, scatter = sm_setup
+        r = rng.standard_normal((struct.n_vertices, 5))
+        out = smooth_residual(r, struct.edges, scatter, eps=0.5, sweeps=0)
+        assert out is r
+
+    def test_zero_eps_identity(self, sm_setup, rng):
+        struct, scatter = sm_setup
+        r = rng.standard_normal((struct.n_vertices, 5))
+        out = smooth_residual(r, struct.edges, scatter, eps=0.0, sweeps=2)
+        assert out is r
+
+    def test_input_unmodified(self, sm_setup, rng):
+        struct, scatter = sm_setup
+        r = rng.standard_normal((struct.n_vertices, 5))
+        r_copy = r.copy()
+        smooth_residual(r, struct.edges, scatter, eps=0.5, sweeps=3)
+        np.testing.assert_array_equal(r, r_copy)
+
+    def test_more_sweeps_approach_implicit_solution(self, sm_setup, rng):
+        # The Jacobi iteration converges to (I - eps*Lap)^{-1} r; the
+        # defect of the implicit equation must shrink with sweep count.
+        struct, scatter = sm_setup
+        r = rng.standard_normal((struct.n_vertices, 5))
+        eps = 0.5
+
+        def implicit_defect(rbar):
+            lap = scatter.neighbor_sum(rbar) - scatter.degree[:, None] * rbar
+            return np.linalg.norm(rbar - eps * lap - r)
+
+        d2 = implicit_defect(smooth_residual(r, struct.edges, scatter, eps, 2))
+        d8 = implicit_defect(smooth_residual(r, struct.edges, scatter, eps, 8))
+        assert d8 < d2

@@ -1,0 +1,105 @@
+"""Stability envelope tests — including the choking regression.
+
+An 8% bump chokes the channel at M = 0.768 (1-D choking area ratio is
+0.950) and admits no steady solution; the mesh generator default was
+reduced to 4% after this bit us.  These tests pin the physics down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import bump_channel
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import is_physical
+
+
+class TestStability:
+    def test_default_bump_stable_200_cycles(self, winf):
+        mesh = bump_channel(24, 2, 8)
+        s = EulerSolver(mesh, winf)
+        w = s.freestream_solution()
+        for _ in range(200):
+            w = s.step(w)
+        assert is_physical(w)
+
+    def test_unsmoothed_low_cfl_stable(self, winf):
+        mesh = bump_channel(24, 2, 8)
+        s = EulerSolver(mesh, winf, SolverConfig().without_smoothing())
+        w = s.freestream_solution()
+        for _ in range(100):
+            w = s.step(w)
+        assert is_physical(w)
+
+    def test_default_bump_below_choking_ratio(self):
+        mesh = bump_channel(12, 2, 4)
+        # Throat area ratio (1 - bump_height/height) above the M = 0.768
+        # 1-D choking limit A*/A = 0.950.
+        z = mesh.vertices[:, 2]
+        x = mesh.vertices[:, 0]
+        crest = z[np.isclose(x, 1.5)].min()
+        assert (1.0 - crest) > 0.950
+
+    def test_excessive_cfl_diverges(self, winf):
+        # The five-stage scheme has a finite stability bound: CFL 40
+        # without smoothing must blow up within a few hundred steps.  This
+        # guards against silently over-damping the scheme into
+        # unconditional (and inaccurate) stability.
+        mesh = bump_channel(12, 2, 4)
+        cfg = SolverConfig(cfl=40.0, residual_smoothing=False)
+        s = EulerSolver(mesh, winf, cfg)
+        w = s.freestream_solution()
+        blew = False
+        for _ in range(300):
+            w = s.step(w)
+            if not np.all(np.isfinite(w)) or not is_physical(w):
+                blew = True
+                break
+        assert blew
+
+    def test_rest_gas_stays_at_rest(self):
+        from repro.state import freestream_state
+        mesh = bump_channel(12, 2, 4)
+        winf0 = freestream_state(0.0)
+        s = EulerSolver(mesh, winf0)
+        w = s.freestream_solution()
+        for _ in range(20):
+            w = s.step(w)
+        np.testing.assert_allclose(w, s.freestream_solution(), atol=1e-10)
+
+
+class TestBoundaryFrozenSmoothing:
+    """Regression tests for the boundary-exclusion in residual averaging.
+
+    Smoothing across boundary vertices destabilises the impulsive-start
+    transient on wall-clustered meshes (slow blow-up around cycle 60-160,
+    at any CFL).  Freezing boundary residuals restores CFL 4 stability.
+    """
+
+    def test_boundary_mask_covers_all_boundary(self, bump_solver):
+        import numpy as np
+        bnormal = bump_solver.struct.total_bnormal()
+        on_boundary = np.linalg.norm(bnormal, axis=1) > 0
+        np.testing.assert_array_equal(bump_solver.boundary_mask, on_boundary)
+
+    def test_freeze_mask_passthrough(self, bump_solver, rng):
+        import numpy as np
+        from repro.solver import smooth_residual
+        r = rng.standard_normal((bump_solver.n_vertices, 5))
+        mask = bump_solver.boundary_mask
+        out = smooth_residual(r, bump_solver.edges, bump_solver.scatter,
+                              0.6, 2, freeze_mask=mask)
+        np.testing.assert_array_equal(out[mask], r[mask])
+        assert np.any(out[~mask] != r[~mask])
+
+    def test_interior_unchanged_by_freeze_on_interior_free_graph(self, rng):
+        # With an all-False mask the result equals the unmasked smoother.
+        import numpy as np
+        from repro.scatter import EdgeScatter
+        from repro.solver import smooth_residual
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        scatter = EdgeScatter(edges, 4)
+        r = rng.standard_normal((4, 5))
+        a = smooth_residual(r, edges, scatter, 0.5, 2)
+        b = smooth_residual(r, edges, scatter, 0.5, 2,
+                            freeze_mask=np.zeros(4, dtype=bool))
+        np.testing.assert_allclose(a, b)

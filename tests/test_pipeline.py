@@ -1,0 +1,67 @@
+"""Tests for the Section 2.4 preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import bump_channel
+from repro.pipeline import (preprocess, read_processor_file,
+                            write_processor_files)
+
+
+@pytest.fixture(scope="module")
+def case(winf):
+    meshes = [bump_channel(12, 2, 4), bump_channel(6, 2, 2)]
+    return preprocess(meshes, winf, n_ranks=4)
+
+
+class TestPreprocess:
+    def test_all_stages_timed(self, case):
+        assert set(case.timings) == {
+            "edge structures + transfers", "edge colouring",
+            "spectral partitioning", "processor data (inspector)"}
+        assert all(t >= 0 for t in case.timings.values())
+
+    def test_levels_and_ranks(self, case):
+        assert case.n_levels == 2
+        assert case.n_ranks == 4
+        assert len(case.colorings) == 2
+        assert len(case.assignments) == 2
+
+    def test_colorings_valid(self, case):
+        from repro.coloring import verify_coloring
+        for lv, col in zip(case.hierarchy.levels, case.colorings):
+            struct = lv.solver.struct
+            assert verify_coloring(struct.edges, col, struct.n_vertices)
+
+    def test_partitions_cover_levels(self, case):
+        for lv, asg in zip(case.hierarchy.levels, case.assignments):
+            assert asg.shape == (lv.solver.n_vertices,)
+            assert asg.max() == 3
+
+    def test_report_renders(self, case):
+        assert "preprocessing timings" in case.report()
+
+
+class TestProcessorFiles:
+    def test_write_and_read_roundtrip(self, case, tmp_path):
+        paths = write_processor_files(case, tmp_path, level=0)
+        assert len(paths) == 4
+        data = read_processor_file(paths[2])
+        rm = case.dmeshes[0].ranks[2]
+        assert data["rank"] == 2
+        np.testing.assert_array_equal(data["edges"], rm.edges)
+        np.testing.assert_array_equal(data["owned_globals"],
+                                      case.dmeshes[0].table.owned_globals[2])
+
+    def test_files_partition_all_vertices(self, case, tmp_path):
+        paths = write_processor_files(case, tmp_path, level=0)
+        owned = np.concatenate([read_processor_file(p)["owned_globals"]
+                                for p in paths])
+        n = case.hierarchy.levels[0].solver.n_vertices
+        assert np.sort(owned).tolist() == list(range(n))
+
+    def test_coarse_level_files(self, case, tmp_path):
+        paths = write_processor_files(case, tmp_path, level=1)
+        total_edges = sum(read_processor_file(p)["edges"].shape[0]
+                          for p in paths)
+        assert total_edges == case.hierarchy.levels[1].solver.n_edges

@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the data structures whose correctness everything else leans
+on: the dual-mesh closure identity, state conversions, edge colouring,
+translation tables, gather schedules and partitions — each exercised over
+randomly generated inputs rather than the fixed fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st, HealthCheck
+
+from repro.coloring import color_edges, verify_coloring
+from repro.mesh import TetMesh, box_mesh, build_edge_structure, closure_residual
+from repro.parti import SimMachine, TranslationTable, build_gather_schedule
+from repro.partition import partition_metrics, recursive_coordinate_bisection
+from repro.scatter import EdgeScatter
+from repro.state import (conserved_from_primitive, pressure,
+                         primitive_from_conserved)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+# ---------------------------------------------------------------------------
+# State conversions
+# ---------------------------------------------------------------------------
+@given(rho=st.floats(0.05, 20.0), u=st.floats(-3, 3), v=st.floats(-3, 3),
+       w=st.floats(-3, 3), p=st.floats(0.05, 20.0))
+@settings(max_examples=200, **COMMON)
+def test_primitive_roundtrip(rho, u, v, w, p):
+    cons = conserved_from_primitive(rho, u, v, w, p)[None]
+    r2, u2, v2, w2, p2 = primitive_from_conserved(cons)
+    assert abs(r2[0] - rho) < 1e-12 * rho
+    assert abs(p2[0] - p) < 1e-9 * max(p, 1.0)
+    assert abs(u2[0] - u) < 1e-10 * max(abs(u), 1.0)
+
+
+@given(rho=st.floats(0.05, 20.0), u=st.floats(-3, 3), p=st.floats(0.05, 20.0))
+@settings(max_examples=100, **COMMON)
+def test_pressure_positive_for_physical_input(rho, u, p):
+    cons = conserved_from_primitive(rho, u, 0.0, 0.0, p)[None]
+    assert pressure(cons)[0] > 0
+
+
+# ---------------------------------------------------------------------------
+# Dual-mesh closure under random distortion
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 4),
+       amp=st.floats(0.0, 0.12))
+@settings(max_examples=25, **COMMON)
+def test_closure_identity_random_meshes(seed, n, amp):
+    rng = np.random.default_rng(seed)
+    mesh = box_mesh(n, n, n)
+    verts = mesh.vertices.copy()
+    h = 1.0 / n
+    interior = np.all((verts > h / 2) & (verts < 1 - h / 2), axis=1)
+    verts[interior] += rng.uniform(-amp * h, amp * h,
+                                   (int(interior.sum()), 3))
+    struct = build_edge_structure(TetMesh(verts, mesh.tets))
+    assert np.abs(closure_residual(struct)).max() < 1e-13
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 4))
+@settings(max_examples=25, **COMMON)
+def test_dual_volumes_partition_domain(seed, n):
+    mesh = box_mesh(n, n, n)
+    assert abs(mesh.dual_volumes().sum() - mesh.total_volume) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Edge colouring on random graphs
+# ---------------------------------------------------------------------------
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(2, 60))
+    n_edges = draw(st.integers(1, min(200, n * (n - 1) // 2)))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < n_edges:
+        i, j = rng.integers(0, n, 2)
+        if i != j:
+            pairs.add((min(i, j), max(i, j)))
+    return np.array(sorted(pairs), dtype=np.int64), n
+
+
+@given(graph=random_graph())
+@settings(max_examples=60, **COMMON)
+def test_coloring_conflict_free(graph):
+    edges, n = graph
+    col = color_edges(edges, n)
+    assert verify_coloring(edges, col, n)
+    assert sum(len(g) for g in col.groups) == len(edges)
+
+
+@given(graph=random_graph())
+@settings(max_examples=40, **COMMON)
+def test_coloring_bound(graph):
+    # Greedy edge colouring never needs more than 2*maxdeg - 1 colours.
+    edges, n = graph
+    col = color_edges(edges, n)
+    degree = np.zeros(n, dtype=int)
+    np.add.at(degree, edges.ravel(), 1)
+    assert col.n_colors <= 2 * degree.max() - 1
+
+
+# ---------------------------------------------------------------------------
+# Scatter operators agree with a dense reference
+# ---------------------------------------------------------------------------
+@given(graph=random_graph(), seed=st.integers(0, 1000))
+@settings(max_examples=40, **COMMON)
+def test_edge_scatter_matches_dense(graph, seed):
+    edges, n = graph
+    rng = np.random.default_rng(seed)
+    vals = rng.standard_normal(len(edges))
+    s = EdgeScatter(edges, n)
+    dense = np.zeros(n)
+    for (i, j), v in zip(edges, vals):
+        dense[i] += v
+        dense[j] -= v
+    np.testing.assert_allclose(s.signed(vals), dense, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# Translation tables & schedules
+# ---------------------------------------------------------------------------
+@given(n=st.integers(4, 300), p=st.integers(1, 8),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=50, **COMMON)
+def test_translation_roundtrip(n, p, seed):
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, p, n).astype(np.int32)
+    table = TranslationTable(assignment, p)
+    values = rng.standard_normal(n)
+    blocks = table.scatter_global_array(values)
+    np.testing.assert_array_equal(table.gather_global_array(blocks), values)
+    # dereference consistency
+    owners, locs = table.dereference(np.arange(n))
+    for g in range(0, n, max(1, n // 13)):
+        assert table.owned_globals[owners[g]][locs[g]] == g
+
+
+@given(n=st.integers(8, 200), p=st.integers(2, 6),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=30, **COMMON)
+def test_gather_schedule_completeness(n, p, seed):
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, p, n).astype(np.int32)
+    table = TranslationTable(assignment, p)
+    required = [rng.choice(n, rng.integers(1, n), replace=False)
+                for _ in range(p)]
+    sched = build_gather_schedule(required, table)
+    values = rng.standard_normal(n)
+    owned = table.scatter_global_array(values)
+    ghosts = sched.gather(SimMachine(p), owned)
+    for r in range(p):
+        # every required off-processor id is present with correct value
+        req = np.unique(required[r])
+        req = req[table.owner_of(req) != r]
+        assert set(req.tolist()) == set(sched.ghost_globals[r].tolist())
+        np.testing.assert_allclose(ghosts[r], values[sched.ghost_globals[r]])
+
+
+# ---------------------------------------------------------------------------
+# Partitions
+# ---------------------------------------------------------------------------
+@given(n=st.integers(8, 400), p=st.integers(1, 8),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=40, **COMMON)
+def test_rcb_balance_property(n, p, seed):
+    rng = np.random.default_rng(seed)
+    coords = rng.standard_normal((n, 3))
+    asg = recursive_coordinate_bisection(coords, p)
+    sizes = np.bincount(asg, minlength=p)
+    if p <= n:
+        assert sizes.max() - sizes.min() <= max(2, 0.2 * n / p)
+        assert np.all(sizes > 0)
+
+
+@given(graph=random_graph(), p=st.integers(1, 4))
+@settings(max_examples=30, **COMMON)
+def test_partition_metrics_consistency(graph, p):
+    edges, n = graph
+    rng = np.random.default_rng(0)
+    asg = rng.integers(0, p, n).astype(np.int32)
+    m = partition_metrics(edges, asg, p)
+    assert m.part_sizes.sum() == n
+    assert 0 <= m.cut_fraction <= 1
+    assert m.n_cut_edges <= len(edges)
+
+
+# ---------------------------------------------------------------------------
+# Refinement properties
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 5000), n=st.integers(1, 3))
+@settings(max_examples=15, **COMMON)
+def test_refinement_preserves_volume_and_closure(seed, n):
+    from repro.mesh import refine_mesh
+    rng = np.random.default_rng(seed)
+    mesh = box_mesh(n, n, n)
+    verts = mesh.vertices.copy()
+    h = 1.0 / n
+    interior = np.all((verts > h / 2) & (verts < 1 - h / 2), axis=1)
+    if interior.any():
+        verts[interior] += rng.uniform(-0.1 * h, 0.1 * h,
+                                       (int(interior.sum()), 3))
+    base = TetMesh(verts, mesh.tets)
+    fine = refine_mesh(base)
+    assert abs(fine.total_volume - base.total_volume) < 1e-12
+    assert fine.n_tets == 8 * base.n_tets
+    struct = build_edge_structure(fine)
+    assert np.abs(closure_residual(struct)).max() < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Transfer-operator adjoint property on random mesh pairs
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=10, **COMMON)
+def test_transfer_adjoint_property(seed):
+    from repro.multigrid import build_transfer
+    rng = np.random.default_rng(seed)
+    fine = box_mesh(4, 4, 4)
+    coarse = box_mesh(2, 2, 2)
+    op = build_transfer(fine.vertices, coarse)
+    u = rng.standard_normal(coarse.n_vertices)
+    v = rng.standard_normal(fine.n_vertices)
+    lhs = float(op.apply(u) @ v)
+    rhs = float(u @ op.transpose_apply(v))
+    assert abs(lhs - rhs) < 1e-10 * max(abs(lhs), 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Balanced colouring properties
+# ---------------------------------------------------------------------------
+@given(graph=random_graph())
+@settings(max_examples=40, **COMMON)
+def test_balanced_coloring_conflict_free(graph):
+    from repro.coloring import color_edges_balanced, verify_coloring
+    edges, n = graph
+    col = color_edges_balanced(edges, n)
+    assert verify_coloring(edges, col, n)
+    assert sum(len(g) for g in col.groups) == len(edges)
+
+
+# ---------------------------------------------------------------------------
+# Partition boundary refinement properties
+# ---------------------------------------------------------------------------
+@given(graph=random_graph(), p=st.integers(2, 4), seed=st.integers(0, 1000))
+@settings(max_examples=25, **COMMON)
+def test_refinement_never_worse(graph, p, seed):
+    from repro.partition import refine_partition, refinement_gain
+    edges, n = graph
+    if n < 2 * p:
+        return
+    rng = np.random.default_rng(seed)
+    asg = rng.integers(0, p, n).astype(np.int32)
+    # ensure all parts non-empty
+    asg[:p] = np.arange(p)
+    before = refinement_gain(edges, asg)
+    refined = refine_partition(edges, asg, p, imbalance_tol=0.5)
+    assert refinement_gain(edges, refined) <= before
+    assert np.sort(np.unique(refined)).tolist() == sorted(set(refined.tolist()))
+
+
+# ---------------------------------------------------------------------------
+# Incremental schedule chain: union correctness over many increments
+# ---------------------------------------------------------------------------
+@given(n=st.integers(20, 150), p=st.integers(2, 5),
+       seed=st.integers(0, 5000), k=st.integers(2, 5))
+@settings(max_examples=20, **COMMON)
+def test_incremental_chain_union(n, p, seed, k):
+    from repro.parti import (IncrementalScheduleBuilder, SimMachine,
+                             TranslationTable)
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, p, n).astype(np.int32)
+    table = TranslationTable(assignment, p)
+    builder = IncrementalScheduleBuilder(table)
+    machine = SimMachine(p)
+    values = rng.standard_normal(n)
+    owned = table.scatter_global_array(values)
+    store = [None] * p
+    seen = [set() for _ in range(p)]
+    for _ in range(k):
+        req = [rng.choice(n, rng.integers(1, n), replace=False)
+               for _ in range(p)]
+        inc = builder.add(req)
+        store = [np.resize(store[r] if store[r] is not None else
+                           np.zeros(0), builder.ghost_count(r))
+                 for r in range(p)]
+        builder.gather_increment(machine, inc, owned, store)
+        for r in range(p):
+            uniq = np.unique(req[r])
+            uniq = uniq[table.owner_of(uniq) != r]
+            np.testing.assert_allclose(store[r][inc.slots_for_required[r]],
+                                       values[uniq])
+            seen[r].update(uniq.tolist())
+    # total ghost slots == union of everything ever requested
+    for r in range(p):
+        assert builder.ghost_count(r) == len(seen[r])

@@ -1,0 +1,88 @@
+"""Tests for the edge scatter/gather kernels."""
+
+import numpy as np
+import pytest
+
+from repro.scatter import (EdgeScatter, gather_edge_difference,
+                           scatter_add_edges)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    edges = np.array([[0, 1], [1, 2], [0, 2], [2, 3]])
+    return edges, 4
+
+
+class TestReferenceScatter:
+    def test_signed_accumulation(self, small_graph):
+        edges, n = small_graph
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        out = scatter_add_edges(edges, vals, n)
+        np.testing.assert_allclose(out, [1 + 3, -1 + 2, -2 - 3 + 4, -4])
+
+    def test_multicomponent(self, small_graph, rng):
+        edges, n = small_graph
+        vals = rng.standard_normal((4, 5))
+        out = scatter_add_edges(edges, vals, n)
+        assert out.shape == (n, 5)
+
+    def test_gather_difference(self, small_graph):
+        edges, n = small_graph
+        v = np.array([10.0, 20.0, 30.0, 40.0])
+        np.testing.assert_allclose(gather_edge_difference(edges, v),
+                                   [10, 10, 20, 10])
+
+
+class TestEdgeScatter:
+    def test_signed_matches_reference(self, bump_struct, rng):
+        s = EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
+        vals = rng.standard_normal((bump_struct.n_edges, 5))
+        ref = scatter_add_edges(bump_struct.edges, vals,
+                                bump_struct.n_vertices)
+        np.testing.assert_allclose(s.signed(vals), ref, atol=1e-12)
+
+    def test_unsigned(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        out = s.unsigned(np.ones(4))
+        np.testing.assert_allclose(out, s.degree)
+
+    def test_degree(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        np.testing.assert_allclose(s.degree, [2, 2, 3, 1])
+
+    def test_neighbor_sum(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        # neighbours: 0:{1,2} 1:{0,2} 2:{0,1,3} 3:{2}
+        np.testing.assert_allclose(s.neighbor_sum(v), [5, 4, 7, 3])
+
+    def test_neighbor_sum_multicomponent(self, small_graph, rng):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        v = rng.standard_normal((n, 5))
+        out = s.neighbor_sum(v)
+        ref = np.zeros_like(v)
+        for i, j in edges:
+            ref[i] += v[j]
+            ref[j] += v[i]
+        np.testing.assert_allclose(out, ref, atol=1e-14)
+
+    def test_1d_values(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        out = s.signed(np.ones(4))
+        assert out.shape == (n,)
+
+    def test_rejects_bad_edges_shape(self):
+        with pytest.raises(ValueError, match="ne, 2"):
+            EdgeScatter(np.zeros((3, 3), dtype=int), 4)
+
+    def test_constant_field_signed_zero_on_closed_sums(self, box_struct):
+        # sum over all vertices of signed scatter of anything is zero
+        # (every edge contributes +v and -v).
+        s = EdgeScatter(box_struct.edges, box_struct.n_vertices)
+        out = s.signed(np.ones(box_struct.n_edges))
+        assert out.sum() == pytest.approx(0.0, abs=1e-10)

@@ -1,0 +1,100 @@
+"""Tests for conserved/primitive conversions and flux tensors."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GAMMA
+from repro.state import (conserved_from_primitive, flux_vectors,
+                         freestream_state, is_physical, mach_number,
+                         pressure, primitive_from_conserved, sound_speed,
+                         total_enthalpy, velocity)
+
+
+class TestConversions:
+    def test_roundtrip(self, rng):
+        rho = rng.uniform(0.5, 2.0, 100)
+        u, v, w = rng.standard_normal((3, 100)) * 0.3
+        p = rng.uniform(0.5, 2.0, 100)
+        cons = conserved_from_primitive(rho, u, v, w, p)
+        r2, u2, v2, w2, p2 = primitive_from_conserved(cons)
+        np.testing.assert_allclose(r2, rho, rtol=1e-14)
+        np.testing.assert_allclose(u2, u, rtol=1e-13, atol=1e-15)
+        np.testing.assert_allclose(p2, p, rtol=1e-13)
+
+    def test_scalar_input(self):
+        cons = conserved_from_primitive(1.0, 0.5, 0.0, 0.0, 1.0 / GAMMA)
+        assert cons.shape == (5,)
+
+    def test_pressure_of_rest_state(self):
+        cons = conserved_from_primitive(1.0, 0.0, 0.0, 0.0, 2.0)
+        assert pressure(cons) == pytest.approx(2.0)
+
+    def test_sound_speed_normalisation(self):
+        # rho=1, p=1/gamma  ->  c = 1 by construction.
+        cons = conserved_from_primitive(1.0, 0.3, 0.0, 0.0, 1.0 / GAMMA)
+        assert sound_speed(cons) == pytest.approx(1.0)
+
+
+class TestFreestream:
+    def test_mach_magnitude(self):
+        w = freestream_state(0.768, 1.116)
+        assert mach_number(w[None])[0] == pytest.approx(0.768)
+
+    def test_alpha_tilts_velocity(self):
+        w = freestream_state(0.768, 1.116)
+        vel = velocity(w[None])[0]
+        alpha = np.arctan2(vel[2], vel[0])
+        assert np.rad2deg(alpha) == pytest.approx(1.116)
+
+    def test_beta_sideslip(self):
+        w = freestream_state(0.5, 0.0, beta_deg=3.0)
+        vel = velocity(w[None])[0]
+        assert np.rad2deg(np.arcsin(vel[1] / 0.5)) == pytest.approx(3.0)
+
+    def test_zero_mach_is_rest(self):
+        w = freestream_state(0.0)
+        np.testing.assert_allclose(w[1:4], 0.0)
+
+
+class TestFluxVectors:
+    def test_rest_state_pressure_only(self):
+        w = conserved_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0)[None]
+        f = flux_vectors(w)[0]
+        np.testing.assert_allclose(f[0], 0.0)       # no mass flux
+        np.testing.assert_allclose(f[4], 0.0)       # no energy flux
+        np.testing.assert_allclose(f[1:4, :], np.eye(3))  # pressure diag
+
+    def test_mass_flux_is_momentum(self, rng):
+        w = conserved_from_primitive(
+            rng.uniform(0.5, 2, 10), *rng.standard_normal((3, 10)) * 0.2,
+            rng.uniform(0.5, 2, 10))
+        f = flux_vectors(w)
+        np.testing.assert_allclose(f[:, 0, :], w[:, 1:4])
+
+    def test_galilean_structure(self):
+        # F(w) . n for n aligned with velocity equals (rho u^2 + p, ...) etc.
+        w = conserved_from_primitive(1.2, 0.4, 0.0, 0.0, 0.9)[None]
+        f = flux_vectors(w)[0]
+        assert f[1, 0] == pytest.approx(1.2 * 0.4 ** 2 + 0.9)
+        h = total_enthalpy(w)[0]
+        assert f[4, 0] == pytest.approx(1.2 * 0.4 * h)
+
+
+class TestIsPhysical:
+    def test_freestream_physical(self, winf):
+        assert is_physical(winf[None])
+
+    def test_negative_density_flagged(self, winf):
+        w = np.tile(winf, (3, 1))
+        w[1, 0] = -0.1
+        assert not is_physical(w)
+
+    def test_negative_pressure_flagged(self, winf):
+        w = np.tile(winf, (3, 1))
+        w[2, 4] = 0.0       # energy below kinetic -> negative pressure
+        assert not is_physical(w)
+
+    def test_nan_flagged(self, winf):
+        w = np.tile(winf, (3, 1))
+        w[0, 2] = np.nan
+        assert not is_physical(w)
