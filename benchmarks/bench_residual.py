@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Residual-pipeline benchmark: seed operators vs the fused kernels.
+
+Times one full residual evaluation ``R(w) = Q(w) - D(w)`` and one
+five-stage step for every executor strategy of
+:class:`repro.solver.SolverConfig` on representative meshes, validates
+the fused results against the seed operators (<= 1e-12 relative), and
+writes ``BENCH_residual.json``.
+
+Methodology: the seed and fused paths are timed in interleaved rounds
+(seed, fused, seed, fused, ...) and the reported figure is the median
+round — this cancels the slow drift of shared machines, which
+best-of-N does not.  The committed ``BENCH_residual.json`` at the repo
+root is the recorded baseline; CI re-runs ``--quick --check-regression``
+against it and fails when the measured fused-residual *speedup* (a
+machine-relative ratio, unlike raw milliseconds) falls below 80% of the
+recorded one.
+
+Usage::
+
+    python benchmarks/bench_residual.py              # full (~20k vertices)
+    python benchmarks/bench_residual.py --quick      # CI smoke (~1k vertices)
+    python benchmarks/bench_residual.py --quick --check-regression BENCH_residual.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh import box_mesh, bump_channel
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import freestream_state
+
+EXECUTORS = ("fused", "colored", "colored-threaded")
+
+
+def _perturbed_state(solver: EulerSolver, seed: int = 1) -> np.ndarray:
+    """Freestream plus a few percent of noise, so kernels see real data."""
+    rng = np.random.default_rng(seed)
+    w = solver.freestream_solution()
+    return w * (1.0 + 0.05 * rng.standard_normal(w.shape))
+
+
+def _time_ms(fn, inner: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(inner):
+        fn()
+    return (time.perf_counter() - t0) / inner * 1e3
+
+
+def _interleaved_median(fns: dict[str, object], rounds: int,
+                        inner: int) -> dict[str, float]:
+    """Median per-round time (ms) of each callable, measured interleaved."""
+    samples: dict[str, list[float]] = {name: [] for name in fns}
+    for name, fn in fns.items():     # warmup
+        fn()
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            samples[name].append(_time_ms(fn, inner))
+    return {name: statistics.median(s) for name, s in samples.items()}
+
+
+def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
+               n_threads: int) -> dict:
+    serial = EulerSolver(mesh, w_inf)
+    w = _perturbed_state(serial)
+    solvers = {"serial": serial}
+    for kind in EXECUTORS:
+        solvers[kind] = EulerSolver(
+            mesh, w_inf, SolverConfig(executor=kind, n_threads=n_threads))
+
+    # Correctness first: every executor must match the seed operators.
+    r_ref = serial.residual(w)
+    scale = np.max(np.abs(r_ref))
+    max_rel = 0.0
+    for kind in EXECUTORS:
+        rel = float(np.max(np.abs(solvers[kind].residual(w) - r_ref)) / scale)
+        max_rel = max(max_rel, rel)
+        if rel > 1e-12:
+            raise SystemExit(
+                f"{name}: executor {kind!r} residual deviates {rel:.2e} "
+                f"from the seed operators (tolerance 1e-12)")
+
+    residual_ms = _interleaved_median(
+        {kind: (lambda s=solvers[kind]: s.residual(w)) for kind in solvers},
+        rounds, inner)
+    step_ms = _interleaved_median(
+        {kind: (lambda s=solvers[kind]: s.step(w)) for kind in solvers},
+        rounds, max(1, inner // 2))
+
+    return {
+        "mesh": name,
+        "n_vertices": serial.n_vertices,
+        "n_edges": serial.n_edges,
+        "max_rel_diff": max_rel,
+        "residual_ms": residual_ms,
+        "step_ms": step_ms,
+        "speedup": {
+            "fused_residual": residual_ms["serial"] / residual_ms["fused"],
+            "fused_step": step_ms["serial"] / step_ms["fused"],
+        },
+    }
+
+
+def check_regression(report: dict, baseline_path: Path,
+                     tolerance: float = 0.8) -> int:
+    """Fail (non-zero) if the fused speedup regressed >20% vs the baseline.
+
+    Speedups are ratios of timings on the *same* machine, so they are
+    comparable across machines in a way raw milliseconds are not.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    base = min(c["speedup"]["fused_residual"] for c in baseline["cases"])
+    current = min(c["speedup"]["fused_residual"] for c in report["cases"])
+    floor = tolerance * base
+    print(f"regression check: fused residual speedup {current:.2f}x "
+          f"(baseline {base:.2f}x, floor {floor:.2f}x)")
+    if current < floor:
+        print("FAIL: fused residual pipeline regressed >20% vs baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small mesh, few rounds (CI smoke)")
+    ap.add_argument("--rounds", type=int, default=None,
+                    help="interleaved timing rounds (default 7, quick 3)")
+    ap.add_argument("--n-threads", type=int, default=2,
+                    help="worker count for colored-threaded")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_residual.json"),
+                    help="output JSON path")
+    ap.add_argument("--check-regression", type=Path, metavar="BASELINE",
+                    help="compare fused speedup against a recorded baseline "
+                         "JSON; exit 1 on >20%% regression")
+    args = ap.parse_args(argv)
+
+    rounds = args.rounds or (3 if args.quick else 7)
+    w_inf = freestream_state(0.5, 1.0)
+    if args.quick:
+        cases = [("box10", box_mesh(10, 10, 10), 10)]
+    else:
+        cases = [
+            # ~20k-vertex box: the acceptance case (>= 1.5x fused residual).
+            ("box27", box_mesh(27, 27, 27), 3),
+            ("bump48", bump_channel(48, 8, 16), 6),
+        ]
+
+    report = {
+        "meta": {
+            "quick": args.quick,
+            "rounds": rounds,
+            "n_threads": args.n_threads,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "cases": [],
+    }
+    for name, mesh, inner in cases:
+        case = bench_mesh(name, mesh, w_inf, rounds, inner, args.n_threads)
+        report["cases"].append(case)
+        rms = case["residual_ms"]
+        print(f"{name}: nv={case['n_vertices']} ne={case['n_edges']} "
+              f"max_rel={case['max_rel_diff']:.2e}")
+        for kind in rms:
+            print(f"  residual {kind:17s} {rms[kind]:8.2f} ms   "
+                  f"step {case['step_ms'][kind]:8.2f} ms")
+        print(f"  fused speedup: residual "
+              f"{case['speedup']['fused_residual']:.2f}x, "
+              f"step {case['speedup']['fused_step']:.2f}x")
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_regression is not None:
+        return check_regression(report, args.check_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,50 +80,69 @@ class _PipeTransport:
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
                  w_inf: np.ndarray, config: SolverConfig, n_cycles: int,
                  result_queue) -> None:
-    """One rank's full solver loop (mirrors DistributedEulerSolver.step)."""
+    """One rank's full solver loop (mirrors DistributedEulerSolver.step).
+
+    Every edge-scatter array of the stage loop is preallocated once per
+    rank and reused via the ``out=`` parameters of
+    :mod:`repro.distsolver.rank_kernels` — only the small owned-size
+    temporaries and the pipe messages are allocated per stage.
+    """
     cfg = config
     n_owned = rm.n_owned
+    n_local = rm.n_local
+
+    # Per-rank buffer arena, reused across stages and cycles.
+    sigma = np.empty((n_local, 1))
+    q = np.empty((n_local, NVAR))
+    packed = np.empty((n_local, NVAR + 2))
+    d = np.empty((n_local, NVAR))
+    ns = np.empty((n_local, NVAR))
+    rbar = np.empty((n_local, NVAR))
+    w0 = np.empty((n_local, NVAR))
+    wk_buf = np.empty((n_local, NVAR))
+    dt_over_v = np.empty((n_owned, 1))
 
     def step(w_list_local):
         transport.gather(w_list_local, n_owned)
-        sigma = rank_kernels.spectral_sigma(rm, w_list_local)
+        rank_kernels.spectral_sigma(rm, w_list_local, out=sigma)
         transport.scatter_add(sigma, n_owned)
         dt = rank_kernels.timestep_from_sigma(rm, w_list_local,
                                               sigma[:n_owned, 0], cfg.cfl)
-        dt_over_v = (dt / rm.dual_volumes)[:, None]
+        dt_over_v[:, 0] = dt / rm.dual_volumes
 
-        w0 = w_list_local.copy()
+        np.copyto(w0, w_list_local)
         wk = w_list_local
         diss = None
         for stage, alpha in enumerate(RK_ALPHAS):
             if stage > 0:
                 transport.gather(wk, n_owned)
             if stage in RK_DISSIPATION_STAGES:
-                packed = rank_kernels.dissipation_partials(rm, wk)
+                rank_kernels.dissipation_partials(rm, wk, out=packed)
                 transport.scatter_add(packed, n_owned)
                 lnu = rank_kernels.finalize_switch(packed, cfg.switch_floor)
                 transport.gather(lnu, n_owned)
-                d = rank_kernels.dissipation_edges(rm, wk, lnu, cfg.k2,
-                                                   cfg.k4)
+                rank_kernels.dissipation_edges(rm, wk, lnu, cfg.k2,
+                                               cfg.k4, out=d)
                 transport.scatter_add(d, n_owned)
                 diss = d
-            q = rank_kernels.convective_local(rm, wk)
+            rank_kernels.convective_local(rm, wk, out=q)
             transport.scatter_add(q, n_owned)
             rank_kernels.boundary_closure(rm, wk, w_inf, q)
             r = q[:n_owned] - diss[:n_owned]
             if cfg.residual_smoothing and cfg.smoothing_sweeps > 0:
-                rbar = np.zeros((rm.n_local, NVAR))
+                rbar[...] = 0.0
                 rbar[:n_owned] = r
                 transport.gather(rbar, n_owned)
                 for sweep in range(cfg.smoothing_sweeps):
-                    ns = rank_kernels.neighbor_sum_partial(rm, rbar)
+                    rank_kernels.neighbor_sum_partial(rm, rbar, out=ns)
                     transport.scatter_add(ns, n_owned)
                     rbar[:n_owned] = rank_kernels.smoothing_update(
                         rm, r, ns[:n_owned], cfg.smoothing_eps)
                     if sweep + 1 < cfg.smoothing_sweeps:
                         transport.gather(rbar, n_owned)
                 r = rbar[:n_owned]
-            wk = rank_kernels.stage_update(rm, w0, r, dt_over_v, alpha)
+            wk = rank_kernels.stage_update(rm, w0, r, dt_over_v, alpha,
+                                           out=wk_buf)
         return wk
 
     w = w_local

@@ -12,6 +12,10 @@ used by both
 so the two backends cannot drift apart numerically.  Communication is the
 caller's job; every function takes local arrays (owned + ghost layout)
 and returns local contributions.
+
+Every scatter-producing kernel accepts an optional preallocated ``out``
+array (zeroed and overwritten) so the multiprocessing backend's stage loop
+reuses one set of per-rank buffers instead of allocating per stage.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import NVAR
+from ..scatter import scatter_add_edges
 from ..solver.bc import characteristic_state
 from ..state import flux_vectors, pressure, primitive_from_conserved
 from .partitioned_mesh import RankMesh
@@ -31,15 +36,14 @@ __all__ = [
 ]
 
 
-def convective_local(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
+def convective_local(rm: RankMesh, w_local: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
     """Edge-loop convective contributions, ``(n_local, 5)`` (pre-scatter)."""
     f = flux_vectors(w_local)
     favg = f[rm.edges[:, 0]] + f[rm.edges[:, 1]]
     phi = 0.5 * np.einsum("ekd,ed->ek", favg, rm.eta)
-    q = np.zeros((rm.n_local, NVAR))
-    np.add.at(q, rm.edges[:, 0], phi)
-    np.subtract.at(q, rm.edges[:, 1], phi)
-    return q
+    return scatter_add_edges(rm.edges, phi, rm.n_local, out=out,
+                             zero_out=True)
 
 
 def boundary_closure(rm: RankMesh, w_local: np.ndarray, w_inf: np.ndarray,
@@ -56,23 +60,32 @@ def boundary_closure(rm: RankMesh, w_local: np.ndarray, w_inf: np.ndarray,
                                               rm.far_normals)
 
 
-def dissipation_partials(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
-    """Pass-1 partial sums packed as ``[L(5) | p-diff | p-sum]`` columns."""
+def dissipation_partials(rm: RankMesh, w_local: np.ndarray,
+                         out: np.ndarray | None = None) -> np.ndarray:
+    """Pass-1 partial sums packed as ``[L(5) | p-diff | p-sum]`` columns.
+
+    ``out`` must have shape ``(n_local, 7)`` when given; it is zeroed and
+    filled in place (column views keep the packed exchange layout).
+    """
     e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
+    if out is None:
+        out = np.zeros((rm.n_local, NVAR + 2))
+    else:
+        out[...] = 0.0
     diff = w_local[e1] - w_local[e0]
-    lap = np.zeros((rm.n_local, NVAR))
+    lap = out[:, :NVAR]
     np.add.at(lap, e0, diff)
     np.subtract.at(lap, e1, diff)
     p = pressure(w_local)
     p_diff = p[e1] - p[e0]
     p_sum = p[e0] + p[e1]
-    num = np.zeros(rm.n_local)
+    num = out[:, NVAR]
     np.add.at(num, e0, p_diff)
     np.subtract.at(num, e1, p_diff)
-    den = np.zeros(rm.n_local)
+    den = out[:, NVAR + 1]
     np.add.at(den, e0, p_sum)
     np.add.at(den, e1, p_sum)
-    return np.concatenate([lap, num[:, None], den[:, None]], axis=1)
+    return out
 
 
 def finalize_switch(packed: np.ndarray, switch_floor: float) -> np.ndarray:
@@ -84,7 +97,8 @@ def finalize_switch(packed: np.ndarray, switch_floor: float) -> np.ndarray:
 
 
 def dissipation_edges(rm: RankMesh, w_local: np.ndarray, lnu: np.ndarray,
-                      k2: float, k4: float) -> np.ndarray:
+                      k2: float, k4: float,
+                      out: np.ndarray | None = None) -> np.ndarray:
     """Pass-2 blended dissipation contributions, ``(n_local, 5)``."""
     lap, nu = lnu[:, :NVAR], lnu[:, NVAR]
     rho, u, v, wv, p = primitive_from_conserved(w_local)
@@ -100,13 +114,12 @@ def dissipation_edges(rm: RankMesh, w_local: np.ndarray, lnu: np.ndarray,
     eps4 = np.maximum(0.0, k4 - eps2)
     d_edge = lam[:, None] * (eps2[:, None] * (w_local[e1] - w_local[e0])
                              - eps4[:, None] * (lap[e1] - lap[e0]))
-    d = np.zeros((rm.n_local, NVAR))
-    np.add.at(d, e0, d_edge)
-    np.subtract.at(d, e1, d_edge)
-    return d
+    return scatter_add_edges(rm.edges, d_edge, rm.n_local, out=out,
+                             zero_out=True)
 
 
-def spectral_sigma(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
+def spectral_sigma(rm: RankMesh, w_local: np.ndarray,
+                   out: np.ndarray | None = None) -> np.ndarray:
     """Edge spectral-radius sums, ``(n_local, 1)`` (pre-scatter)."""
     rho, u, v, wv, p = primitive_from_conserved(w_local)
     vel = np.stack([u, v, wv], axis=1)
@@ -116,7 +129,9 @@ def spectral_sigma(rm: RankMesh, w_local: np.ndarray) -> np.ndarray:
     c_avg = 0.5 * (c[e0] + c[e1])
     eta_norm = np.linalg.norm(rm.eta, axis=1)
     lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * eta_norm
-    sigma = np.zeros((rm.n_local, 1))
+    sigma = out if out is not None else np.zeros((rm.n_local, 1))
+    if out is not None:
+        sigma[...] = 0.0
     np.add.at(sigma[:, 0], e0, lam)
     np.add.at(sigma[:, 0], e1, lam)
     return sigma
@@ -138,9 +153,12 @@ def timestep_from_sigma(rm: RankMesh, w_local: np.ndarray,
     return cfl * rm.dual_volumes / np.maximum(s, 1e-300)
 
 
-def neighbor_sum_partial(rm: RankMesh, rbar_local: np.ndarray) -> np.ndarray:
+def neighbor_sum_partial(rm: RankMesh, rbar_local: np.ndarray,
+                         out: np.ndarray | None = None) -> np.ndarray:
     """Per-edge neighbour sums for one Jacobi sweep, ``(n_local, 5)``."""
-    ns = np.zeros((rm.n_local, NVAR))
+    ns = out if out is not None else np.zeros((rm.n_local, NVAR))
+    if out is not None:
+        ns[...] = 0.0
     np.add.at(ns, rm.edges[:, 0], rbar_local[rm.edges[:, 1]])
     np.add.at(ns, rm.edges[:, 1], rbar_local[rm.edges[:, 0]])
     return ns
@@ -155,8 +173,16 @@ def smoothing_update(rm: RankMesh, r_owned: np.ndarray,
 
 
 def stage_update(rm: RankMesh, w0_local: np.ndarray, r_owned: np.ndarray,
-                 dt_over_v: np.ndarray, alpha: float) -> np.ndarray:
-    """``w^(k) = w^(0) - alpha * dt/V * r`` on owned vertices."""
-    out = w0_local.copy()
+                 dt_over_v: np.ndarray, alpha: float,
+                 out: np.ndarray | None = None) -> np.ndarray:
+    """``w^(k) = w^(0) - alpha * dt/V * r`` on owned vertices.
+
+    Ghost rows of ``out`` are copied from ``w0_local`` (stale until the
+    next gather), matching the copy semantics of the allocating path.
+    """
+    if out is None:
+        out = w0_local.copy()
+    else:
+        np.copyto(out, w0_local)
     out[:rm.n_owned] = w0_local[:rm.n_owned] - alpha * dt_over_v * r_owned
     return out

@@ -1,0 +1,30 @@
+"""Fused, allocation-free solver kernels (the shared-memory hot path).
+
+This package owns the performance-critical residual evaluation end to end:
+
+* :mod:`~repro.kernels.workspace` — per-stage thermodynamic state and the
+  preallocated buffer arena (:class:`StageWorkspace`);
+* :mod:`~repro.kernels.executors` — the scatter executors: serial CSR,
+  colored (conflict-free groups), and colored-threaded
+  (:class:`ColoredExecutor` over a thread pool);
+* :mod:`~repro.kernels.reorder` — RCM-based cache-locality edge
+  reordering applied at edge-structure build time;
+* :mod:`~repro.kernels.fused` — :class:`FusedResidual`, the fused
+  residual / time-step / five-stage-step pipeline.
+
+Select it through :class:`repro.solver.SolverConfig`
+(``executor="serial" | "fused" | "colored" | "colored-threaded"``); the
+default ``"serial"`` keeps the seed solver path bit-identical.  See
+``docs/performance.md`` and ``benchmarks/bench_residual.py``.
+"""
+
+from .executors import ColoredExecutor, SerialExecutor, make_executor
+from .fused import FusedResidual
+from .reorder import locality_edge_order, rcm_vertex_order, reorder_edges
+from .workspace import StageWorkspace
+
+__all__ = [
+    "StageWorkspace", "SerialExecutor", "ColoredExecutor", "make_executor",
+    "FusedResidual", "rcm_vertex_order", "locality_edge_order",
+    "reorder_edges",
+]

@@ -1,0 +1,380 @@
+"""The fused zero-allocation residual pipeline.
+
+One :class:`FusedResidual` owns the hot path of the five-stage scheme for
+one mesh: the shared :class:`~repro.kernels.workspace.StageWorkspace`
+(pressure / velocity / sound speed / energy-flux weight computed **once
+per Runge-Kutta stage**), the preallocated edge and vertex buffers, and a
+pluggable scatter executor (serial CSR, colored, or colored-threaded).
+
+Relative to the seed operators in :mod:`repro.solver` it fuses three
+redundant thermodynamic passes into one, gathers the per-edge endpoint
+state **once per stage** into a cached :class:`_EdgeStageState` shared by
+the convective, dissipative and time-step operators, and replaces the
+``(ne, 5, 3)`` flux-tensor gather of the convective operator with a direct
+per-edge projection: for endpoint states with velocity ``u``, pressure
+``p`` and ``epp = rho*E + p``, the central edge flux along dual face
+``eta`` (the 1/2 folded into ``eta/2``) is
+
+    ``phi_mass = rho_0 vn_0 + rho_1 vn_1``,        ``vn = u . eta/2``
+    ``phi_mom  = (rho vn u)_0 + (rho vn u)_1 + (p_0 + p_1) eta/2``
+    ``phi_ener = (epp vn)_0 + (epp vn)_1``
+
+which gathers six scalars per endpoint instead of the 15-component flux
+tensor and never materialises the tensor at all.  ``p_0 + p_1`` doubles as
+the pressure-switch denominator of the dissipation operator, and the edge
+spectral radius ``lam`` is shared by the dissipation blend and the local
+time step.
+
+Numerics: the serial *seed* path in :class:`repro.solver.EulerSolver` is
+left bit-identical; the fused pipeline reassociates sums (different
+summation order, one shared pressure formula) and therefore matches to
+roundoff — the tests pin ≤1e-12 relative agreement.
+
+Allocation discipline: after the first stage warms the arena, a
+:meth:`step` performs exactly one allocation — the returned state array —
+and the residual/timestep/smoothing kernels perform none (the boundary
+closure allocates small boundary-sized temporaries; see
+``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
+from ..solver.bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
+                         BoundaryData, boundary_fluxes)
+from ..solver.dissipation import (FLOPS_PER_EDGE_DISS_PASS1,
+                                  FLOPS_PER_EDGE_DISS_PASS2,
+                                  FLOPS_PER_VERTEX_DISS)
+from ..solver.flux import FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC
+from ..solver.smoothing import FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH
+from ..solver.timestep import FLOPS_PER_EDGE_TIMESTEP, FLOPS_PER_VERTEX_TIMESTEP
+from ..perfmodel.flops import NullFlopCounter
+from .executors import SerialExecutor
+from .workspace import StageWorkspace
+
+__all__ = ["FusedResidual"]
+
+
+class _EdgeStageState:
+    """Per-edge endpoint gathers and wave data, valid for one stage state.
+
+    One contiguous buffer per field (strided column views are ~3x slower
+    in NumPy's ufunc loops).  ``0``/``1`` suffixes are the edge tail/head
+    endpoints; ``vn`` is the *half* projected velocity ``u . eta/2``.
+    """
+
+    __slots__ = ("vel0", "vel1", "rho0", "rho1", "p0", "p1", "epp0", "epp1",
+                 "vn0", "vn1", "psum", "lam")
+
+    def __init__(self, ne: int):
+        self.vel0 = np.empty((ne, 3))
+        self.vel1 = np.empty((ne, 3))
+        self.rho0 = np.empty(ne)
+        self.rho1 = np.empty(ne)
+        self.p0 = np.empty(ne)
+        self.p1 = np.empty(ne)
+        self.epp0 = np.empty(ne)
+        self.epp1 = np.empty(ne)
+        self.vn0 = np.empty(ne)
+        self.vn1 = np.empty(ne)
+        self.psum = np.empty(ne)         # p0 + p1: flux + switch denominator
+        self.lam = np.empty(ne)          # convective spectral radius
+
+
+class FusedResidual:
+    """Fused residual/timestep/step kernels over preallocated buffers.
+
+    Parameters
+    ----------
+    struct : :class:`repro.mesh.edges.EdgeStructure` of the mesh.
+    bdata : matching :class:`repro.solver.bc.BoundaryData`.
+    config : :class:`repro.solver.SolverConfig` (k2/k4/CFL/smoothing).
+    w_inf : (5,) freestream conserved state for the farfield closure.
+    executor : scatter executor (``signed``/``unsigned``/``neighbor_sum``
+        with ``out=`` plus ``degree``); defaults to the serial CSR scatter.
+    flops : optional analytic flop counter (same charges as the seed path).
+    """
+
+    def __init__(self, struct, bdata: BoundaryData, config, w_inf: np.ndarray,
+                 executor=None, flops=None):
+        self.struct = struct
+        self.config = config
+        self.w_inf = np.asarray(w_inf, dtype=np.float64)
+        self.edges = struct.edges
+        self.eta = np.ascontiguousarray(struct.eta)
+        self.dual_volumes = struct.dual_volumes
+        self.bdata = bdata
+        self.flops = flops if flops is not None else NullFlopCounter()
+        nv, ne = struct.n_vertices, struct.n_edges
+        self.n_vertices, self.n_edges = nv, ne
+        self.e0 = np.ascontiguousarray(struct.edges[:, 0])
+        self.e1 = np.ascontiguousarray(struct.edges[:, 1])
+        self.executor = executor if executor is not None else \
+            SerialExecutor(struct.edges, nv)
+        self.ws = StageWorkspace(nv, ne)
+        self.es = _EdgeStageState(ne)
+
+        # --- geometry-only precomputations (seed recomputes these each call)
+        # The 1/2 of the central flux average and of the edge-average wave
+        # speeds is folded into the geometry, saving one (ne, 5) scaling
+        # pass per convective evaluation.
+        self.eta_half = 0.5 * self.eta
+        self.eta_norm_half = 0.5 * np.linalg.norm(self.eta, axis=1)
+        self.wall_nn = np.linalg.norm(bdata.wall_normals, axis=1) \
+            if bdata.wall_vertices.size else np.zeros(0)
+        self.far_nn = np.linalg.norm(bdata.far_normals, axis=1) \
+            if bdata.far_vertices.size else np.zeros(0)
+        self.boundary_mask = np.zeros(nv, dtype=bool)
+        self.boundary_mask[bdata.wall_vertices] = True
+        self.boundary_mask[bdata.far_vertices] = True
+        self.smooth_denom = 1.0 + config.smoothing_eps * \
+            self.executor.degree[:, None]
+
+        # Stage-state generation: the edge stage state is derived lazily
+        # from the workspace and cached until the next update_state().
+        self._gen = 0
+        self._es_gen = -1
+
+    # ------------------------------------------------------------------
+    def update_state(self, w: np.ndarray) -> None:
+        """Refresh the shared thermodynamic state for stage state ``w``."""
+        self.ws.update(w)
+        self._gen += 1
+
+    def _edge_state(self) -> _EdgeStageState:
+        """Endpoint gathers + wave speeds for the current stage (cached)."""
+        es = self.es
+        if self._es_gen == self._gen:
+            return es
+        ws = self.ws
+        tmp = self.ws.edge_buf("es_tmp")
+        for idx, vel, rho, p, epp, vn in (
+                (self.e0, es.vel0, es.rho0, es.p0, es.epp0, es.vn0),
+                (self.e1, es.vel1, es.rho1, es.p1, es.epp1, es.vn1)):
+            np.take(ws.vel, idx, axis=0, out=vel)
+            np.take(ws.rho, idx, out=rho)
+            np.take(ws.p, idx, out=p)
+            np.take(ws.epp, idx, out=epp)
+            np.einsum("ed,ed->e", vel, self.eta_half, out=vn)
+        np.add(es.p0, es.p1, out=es.psum)
+        # lam = |(u0 + u1) . eta/2| + (c0 + c1) * |eta|/2
+        np.add(es.vn0, es.vn1, out=es.lam)
+        np.abs(es.lam, out=es.lam)
+        np.take(ws.c, self.e0, out=tmp)
+        cg = self.ws.edge_buf("es_cg")
+        np.take(ws.c, self.e1, out=cg)
+        np.add(cg, tmp, out=cg)
+        np.multiply(cg, self.eta_norm_half, out=cg)
+        np.add(es.lam, cg, out=es.lam)
+        self._es_gen = self._gen
+        return es
+
+    # ------------------------------------------------------------------
+    def convective(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Q(w) for the *current* stage state, including boundary closure.
+
+        Uses the projected-flux identity (module docstring): with the 1/2
+        folded into ``vn`` and ``eta_half``, the central edge flux is
+        assembled directly from the gathered endpoint states.
+        """
+        ws = self.ws
+        es = self._edge_state()
+        phi = ws.edge_buf("phi", NVAR)
+        mflux0 = ws.edge_buf("conv_mflux0")
+        mflux1 = ws.edge_buf("conv_mflux1")
+        tmp = ws.edge_buf("conv_tmp")
+        tmp3 = ws.edge_buf("conv_tmp3", 3)
+        tmp3b = ws.edge_buf("conv_tmp3b", 3)
+        np.multiply(es.rho0, es.vn0, out=mflux0)         # rho_i u_i.eta/2
+        np.multiply(es.rho1, es.vn1, out=mflux1)
+        # mass
+        np.add(mflux0, mflux1, out=phi[:, 0])
+        # momentum: (rho vn u)_0 + (rho vn u)_1 + (p0 + p1) eta/2
+        np.multiply(mflux0[:, None], es.vel0, out=tmp3)
+        np.multiply(mflux1[:, None], es.vel1, out=tmp3b)
+        np.add(tmp3, tmp3b, out=tmp3)
+        np.multiply(es.psum[:, None], self.eta_half, out=tmp3b)
+        np.add(tmp3, tmp3b, out=phi[:, 1:4])
+        # energy: (rho E + p) * u.eta/2
+        np.multiply(es.epp0, es.vn0, out=tmp)
+        np.multiply(es.epp1, es.vn1, out=phi[:, 4])
+        np.add(phi[:, 4], tmp, out=phi[:, 4])
+        self.executor.signed(phi, out=out)
+        boundary_fluxes(w, self.bdata, self.w_inf, out=out)
+        self.flops.add("convective",
+                       FLOPS_PER_EDGE_CONVECTIVE * self.n_edges
+                       + FLOPS_PER_VERTEX_FLUXVEC * self.n_vertices)
+        self.flops.add("boundary",
+                       FLOPS_PER_WALL_VERTEX * self.bdata.wall_vertices.size
+                       + FLOPS_PER_FARFIELD_VERTEX * self.bdata.far_vertices.size)
+        return out
+
+    # ------------------------------------------------------------------
+    def dissipation(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """D(w) for the *current* stage state (JST blend, two edge passes)."""
+        ws = self.ws
+        cfg = self.config
+        es = self._edge_state()
+        # ---- pass 1: undivided Laplacian and pressure switch ----------
+        wg0 = ws.edge_buf("diss_wg0", NVAR)
+        wdiff = ws.edge_buf("diss_wdiff", NVAR)
+        np.take(w, self.e1, axis=0, out=wdiff)
+        np.take(w, self.e0, axis=0, out=wg0)
+        np.subtract(wdiff, wg0, out=wdiff)               # w_j - w_i
+        lap = ws.state_buf("diss_lap")
+        self.executor.signed(wdiff, out=lap)
+
+        pdiff = ws.edge_buf("diss_pdiff")
+        np.subtract(es.p1, es.p0, out=pdiff)
+        nu = ws.vertex_buf("diss_nu")
+        den = ws.vertex_buf("diss_den")
+        self.executor.signed(pdiff, out=nu)
+        self.executor.unsigned(es.psum, out=den)
+        np.abs(nu, out=nu)
+        np.maximum(den, cfg.switch_floor, out=den)
+        np.divide(nu, den, out=nu)
+
+        # ---- pass 2: blended edge fluxes ------------------------------
+        eps2 = ws.edge_buf("diss_eps2")
+        np.take(nu, self.e0, out=eps2)
+        nug1 = ws.edge_buf("diss_nug1")
+        np.take(nu, self.e1, out=nug1)
+        np.maximum(eps2, nug1, out=eps2)
+        np.multiply(eps2, cfg.k2, out=eps2)
+        eps4 = ws.edge_buf("diss_eps4")
+        np.subtract(cfg.k4, eps2, out=eps4)
+        np.maximum(eps4, 0.0, out=eps4)
+
+        lapdiff = ws.edge_buf("diss_lapdiff", NVAR)
+        np.take(lap, self.e1, axis=0, out=lapdiff)
+        np.take(lap, self.e0, axis=0, out=wg0)           # reuse wg0 buffer
+        np.subtract(lapdiff, wg0, out=lapdiff)           # L_j - L_i
+        # d_edge = lam * (eps2 * (w_j - w_i) - eps4 * (L_j - L_i))
+        np.multiply(wdiff, eps2[:, None], out=wdiff)
+        np.multiply(lapdiff, eps4[:, None], out=lapdiff)
+        np.subtract(wdiff, lapdiff, out=wdiff)
+        np.multiply(wdiff, es.lam[:, None], out=wdiff)
+        self.executor.signed(wdiff, out=out)
+        self.flops.add("dissipation",
+                       (FLOPS_PER_EDGE_DISS_PASS1 + FLOPS_PER_EDGE_DISS_PASS2)
+                       * self.n_edges
+                       + FLOPS_PER_VERTEX_DISS * self.n_vertices)
+        return out
+
+    # ------------------------------------------------------------------
+    def residual(self, w: np.ndarray, out: np.ndarray | None = None,
+                 update_state: bool = True) -> np.ndarray:
+        """Full residual ``R(w) = Q(w) - D(w)`` (one shared thermo pass)."""
+        if update_state:
+            self.update_state(w)
+        if out is None:
+            out = np.empty((self.n_vertices, NVAR))
+        diss = self.ws.state_buf("resid_diss")
+        self.dissipation(w, out=diss)
+        q = self.ws.state_buf("resid_q")
+        self.convective(w, out=q)
+        np.subtract(q, diss, out=out)
+        return out
+
+    # ------------------------------------------------------------------
+    def timestep(self, w: np.ndarray, out: np.ndarray,
+                 update_state: bool = False) -> np.ndarray:
+        """Per-vertex local time step, sharing the stage wave speeds."""
+        if update_state:
+            self.update_state(w)
+        ws = self.ws
+        es = self._edge_state()
+        sigma = ws.vertex_buf("dt_sigma")
+        self.executor.unsigned(es.lam, out=sigma)
+        for verts, normals, nn in (
+                (self.bdata.wall_vertices, self.bdata.wall_normals, self.wall_nn),
+                (self.bdata.far_vertices, self.bdata.far_normals, self.far_nn)):
+            if verts.size:
+                un = np.abs(np.einsum("id,id->i", ws.vel[verts], normals))
+                sigma[verts] += un + ws.c[verts] * nn
+        np.maximum(sigma, 1e-300, out=sigma)
+        np.divide(self.dual_volumes, sigma, out=out)
+        np.multiply(out, self.config.cfl, out=out)
+        self.flops.add("timestep",
+                       FLOPS_PER_EDGE_TIMESTEP * self.n_edges
+                       + FLOPS_PER_VERTEX_TIMESTEP * self.n_vertices)
+        return out
+
+    # ------------------------------------------------------------------
+    def smooth(self, r: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Jacobi residual averaging with frozen boundary rows."""
+        cfg = self.config
+        if cfg.smoothing_sweeps <= 0 or cfg.smoothing_eps <= 0.0:
+            np.copyto(out, r)
+            return out
+        ws = self.ws
+        ns = ws.state_buf("smooth_ns")
+        smoothed = r
+        for _ in range(cfg.smoothing_sweeps):
+            self.executor.neighbor_sum(smoothed, out=ns)
+            np.multiply(ns, cfg.smoothing_eps, out=ns)
+            np.add(ns, r, out=ns)
+            np.divide(ns, self.smooth_denom, out=out)
+            out[self.boundary_mask] = r[self.boundary_mask]
+            smoothed = out
+        self.flops.add("smoothing",
+                       cfg.smoothing_sweeps
+                       * (FLOPS_PER_EDGE_SMOOTH * self.n_edges
+                          + FLOPS_PER_VERTEX_SMOOTH * self.n_vertices))
+        return out
+
+    # ------------------------------------------------------------------
+    def step(self, w: np.ndarray,
+             forcing: np.ndarray | None = None) -> tuple[np.ndarray, float]:
+        """One five-stage time step; returns ``(w_new, stage0_resnorm)``.
+
+        ``stage0_resnorm`` is the density-residual RMS of the raw stage-0
+        residual — exactly ``R(w)`` of the input state, captured for free
+        so the driver need not re-evaluate it for monitoring.  The single
+        allocation per call is the returned state array.
+        """
+        cfg = self.config
+        ws = self.ws
+        w0 = w
+        self.update_state(w0)
+        dtv = ws.vertex_buf("step_dtv")
+        self.timestep(w0, out=dtv)
+        np.divide(dtv, self.dual_volumes, out=dtv)
+        dtv_col = dtv[:, None]
+
+        diss = ws.state_buf("step_diss")
+        q = ws.state_buf("step_q")
+        r = ws.state_buf("step_r")
+        rbar = ws.state_buf("step_rbar")
+        resnorm_buf = ws.vertex_buf("step_resnorm")
+        wk = np.empty_like(w0)               # the one allocation: returned
+        cur = w0
+        resnorm = float("nan")
+        for stage, alpha in enumerate(RK_ALPHAS):
+            if stage > 0:
+                self.update_state(cur)
+            if stage in RK_DISSIPATION_STAGES:
+                self.dissipation(cur, out=diss)
+            self.convective(cur, out=q)
+            np.subtract(q, diss, out=r)
+            if stage == 0:
+                # Raw R(w0): reused by run() for convergence monitoring.
+                np.divide(r[:, 0], self.dual_volumes, out=resnorm_buf)
+                np.multiply(resnorm_buf, resnorm_buf, out=resnorm_buf)
+                resnorm = float(np.sqrt(np.mean(resnorm_buf)))
+            if forcing is not None:
+                np.add(r, forcing, out=r)
+            if cfg.residual_smoothing:
+                self.smooth(r, out=rbar)
+                upd = rbar
+            else:
+                upd = r
+            # wk = w0 - alpha * dt/V * r
+            np.multiply(upd, dtv_col, out=upd)
+            np.multiply(upd, -alpha, out=upd)
+            np.add(w0, upd, out=wk)
+            self.flops.add("update", 3 * NVAR * self.n_vertices)
+            cur = wk
+        return wk, resnorm

@@ -1,0 +1,79 @@
+"""Cache-locality edge reordering: RCM vertex ranking + edge sort.
+
+The paper renumbers mesh entities so that the gather/scatter streams of
+the edge loops touch memory with small strides (Section 3's bandwidth-
+reducing renumbering for the Cray, Section 4's locality-preserving
+partition orderings for the Delta).  The same idea pays off on cache
+hierarchies: we compute a reverse-Cuthill–McKee ordering of the *vertex*
+graph (bringing each vertex's neighbourhood close in rank), then sort the
+*edge list* by the RCM rank of its lower endpoint (ties by the higher
+endpoint).  Consecutive edges then gather from nearby vertex rows, so the
+per-edge loads hit warm cache lines instead of striding across the whole
+vertex array.
+
+Vertex arrays themselves are left untouched — only the edge traversal
+order (and the matching ``eta`` rows) changes, which permutes summation
+order but nothing else.  The fused-pipeline tests pin the ≤1e-12
+agreement with the unsorted reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+__all__ = ["rcm_vertex_order", "locality_edge_order", "reorder_edges"]
+
+
+def rcm_vertex_order(edges: np.ndarray, n_vertices: int) -> np.ndarray:
+    """Reverse-Cuthill–McKee permutation of the mesh vertex graph.
+
+    Returns ``order`` such that ``order[k]`` is the original index of the
+    vertex placed at rank ``k``.
+    """
+    edges = np.asarray(edges)
+    ne = edges.shape[0]
+    adj = sp.csr_matrix(
+        (np.ones(2 * ne, dtype=np.int8),
+         (np.concatenate([edges[:, 0], edges[:, 1]]),
+          np.concatenate([edges[:, 1], edges[:, 0]]))),
+        shape=(n_vertices, n_vertices))
+    return np.asarray(reverse_cuthill_mckee(adj, symmetric_mode=True),
+                      dtype=np.int64)
+
+
+def locality_edge_order(edges: np.ndarray, n_vertices: int) -> np.ndarray:
+    """Edge permutation sorting by (min, max) RCM rank of the endpoints."""
+    edges = np.asarray(edges)
+    order = rcm_vertex_order(edges, n_vertices)
+    rank = np.empty(n_vertices, dtype=np.int64)
+    rank[order] = np.arange(n_vertices)
+    r0 = rank[edges[:, 0]]
+    r1 = rank[edges[:, 1]]
+    key_min = np.minimum(r0, r1)
+    key_max = np.maximum(r0, r1)
+    return np.lexsort((key_max, key_min))
+
+
+def reorder_edges(struct, perm: np.ndarray | None = None):
+    """Locality-sorted copy of an :class:`~repro.mesh.edges.EdgeStructure`.
+
+    Only ``edges`` and ``eta`` are permuted (in lockstep); vertex-indexed
+    fields are shared with the input.  Pass a precomputed ``perm`` to
+    reuse an ordering across multigrid levels built on the same graph.
+    """
+    from ..mesh.edges import EdgeStructure
+
+    if perm is None:
+        perm = locality_edge_order(struct.edges, struct.n_vertices)
+    return EdgeStructure(
+        edges=np.ascontiguousarray(struct.edges[perm]),
+        eta=np.ascontiguousarray(struct.eta[perm]),
+        dual_volumes=struct.dual_volumes,
+        bfaces=struct.bfaces,
+        bface_areas=struct.bface_areas,
+        bface_tags=struct.bface_tags,
+        vertex_bnormals=struct.vertex_bnormals,
+        n_vertices=struct.n_vertices,
+    )

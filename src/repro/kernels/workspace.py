@@ -1,0 +1,114 @@
+"""Per-stage thermodynamic workspace and preallocated buffer arena.
+
+The seed solver evaluates pressure, primitive velocities and the speed of
+sound independently inside the convective operator (via the flux tensor),
+the dissipation operator (pressure switch + spectral radius) and the local
+time step — three redundant passes over the vertex array per Runge-Kutta
+stage, each allocating its temporaries.  :class:`StageWorkspace` computes
+the shared thermodynamic state **once per stage** (:meth:`update`) into
+buffers owned by the workspace, and hands out named preallocated scratch
+arrays (:meth:`buf`) so the fused residual pipeline performs no per-stage
+allocations in steady state.
+
+All state arrays are individually C-contiguous: NumPy's ufunc inner loops
+run ~3x faster on contiguous operands than on strided column views, which
+dominates any cache benefit of an interleaved layout at these sizes.
+
+This is the data-layout half of the multi-core kernel-fusion strategy
+(Dai et al., PAPERS.md; Maier & Kronbichler arXiv:2007.00094): compute
+shared sub-expressions once, keep them resident, and stream the edge loops
+over preallocated buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GAMMA, GAMMA_M1, NVAR
+
+__all__ = ["StageWorkspace"]
+
+
+class StageWorkspace:
+    """Shared per-stage thermodynamic state for one mesh size.
+
+    After :meth:`update` the following arrays describe the current stage
+    state ``w``:
+
+    ``rho``      (nv,)   density;
+    ``inv_rho``  (nv,)   reciprocal density;
+    ``vel``      (nv, 3) velocity;
+    ``p``        (nv,)   static pressure;
+    ``c``        (nv,)   speed of sound;
+    ``epp``      (nv,)   ``rho*E + p`` (the energy-flux weight).
+
+    All are preallocated once; :meth:`update` only writes into them.
+    Scratch buffers for the edge loops are obtained with :meth:`buf`,
+    which allocates on first request and reuses thereafter — after the
+    first stage the pipeline is allocation-free.
+    """
+
+    def __init__(self, n_vertices: int, n_edges: int):
+        self.n_vertices = int(n_vertices)
+        self.n_edges = int(n_edges)
+        nv = self.n_vertices
+        self.rho = np.empty(nv)
+        self.inv_rho = np.empty(nv)
+        self.vel = np.empty((nv, 3))
+        self.p = np.empty(nv)
+        self.c = np.empty(nv)
+        self.epp = np.empty(nv)
+        self._q2 = np.empty(nv)          # internal: momentum . velocity
+        self._arena: dict[str, np.ndarray] = {}
+        #: Number of arena allocations performed (monitoring hook for the
+        #: zero-allocation claim: stops growing after the first stage).
+        self.n_arena_allocs = 0
+
+    # ------------------------------------------------------------------
+    def update(self, w: np.ndarray) -> None:
+        """Recompute the shared thermodynamic state for stage state ``w``."""
+        np.copyto(self.rho, w[:, 0])
+        np.divide(1.0, self.rho, out=self.inv_rho)
+        np.multiply(w[:, 1:4], self.inv_rho[:, None], out=self.vel)
+        # p = (gamma-1) (rho E - 1/2 m . u)
+        np.einsum("id,id->i", w[:, 1:4], self.vel, out=self._q2)
+        np.multiply(self._q2, -0.5, out=self.p)
+        np.add(self.p, w[:, 4], out=self.p)
+        np.multiply(self.p, GAMMA_M1, out=self.p)
+        # c = sqrt(gamma p / rho)
+        np.multiply(self.p, GAMMA * self.inv_rho, out=self.c)
+        np.sqrt(self.c, out=self.c)
+        np.add(w[:, 4], self.p, out=self.epp)
+
+    # ------------------------------------------------------------------
+    def buf(self, name: str, shape: tuple[int, ...],
+            dtype=np.float64) -> np.ndarray:
+        """Named preallocated scratch buffer (contents are unspecified).
+
+        The first request for ``name`` allocates; later requests return the
+        same array.  Requesting an existing name with a different shape or
+        dtype raises — buffer names are per-use-site, not general storage.
+        """
+        arr = self._arena.get(name)
+        if arr is None:
+            arr = np.empty(shape, dtype=dtype)
+            self._arena[name] = arr
+            self.n_arena_allocs += 1
+            return arr
+        if arr.shape != tuple(shape) or arr.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"arena buffer {name!r} already exists with shape "
+                f"{arr.shape}/{arr.dtype}, requested {tuple(shape)}/{dtype}")
+        return arr
+
+    def edge_buf(self, name: str, *trailing: int) -> np.ndarray:
+        """Scratch buffer of shape ``(n_edges, *trailing)``."""
+        return self.buf(name, (self.n_edges,) + trailing)
+
+    def vertex_buf(self, name: str, *trailing: int) -> np.ndarray:
+        """Scratch buffer of shape ``(n_vertices, *trailing)``."""
+        return self.buf(name, (self.n_vertices,) + trailing)
+
+    def state_buf(self, name: str) -> np.ndarray:
+        """Scratch buffer of shape ``(n_vertices, NVAR)``."""
+        return self.buf(name, (self.n_vertices, NVAR))

@@ -15,6 +15,11 @@ Two implementations are provided and cross-checked in the test suite:
 * :func:`scatter_add_edges` — ``np.add.at`` reference (used for validation
   and for the simulated distributed executor where per-rank edge sets are
   small).
+
+Every kernel accepts a preallocated ``out`` array so the hot solver loop
+(:mod:`repro.kernels`) can run without per-stage allocations.  The CSR
+products write through SciPy's accumulating ``csr_matvecs`` routine when it
+is available and fall back to an allocate-and-copy path otherwise.
 """
 
 from __future__ import annotations
@@ -22,22 +27,43 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+try:  # SciPy's C kernel computes ``out += A @ x`` without temporaries.
+    from scipy.sparse import _sparsetools as _spt
+
+    _CSR_MATVECS = _spt.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - old SciPy
+    _CSR_MATVECS = None
+
 __all__ = ["EdgeScatter", "scatter_add_edges", "gather_edge_difference"]
 
 
 def scatter_add_edges(edges: np.ndarray, edge_values: np.ndarray, n_vertices: int,
-                      out: np.ndarray | None = None) -> np.ndarray:
+                      out: np.ndarray | None = None,
+                      zero_out: bool = False) -> np.ndarray:
     """Reference edge accumulation: ``out[i] += v_e``, ``out[j] -= v_e``.
+
+    .. warning::
+       When ``out`` is supplied this kernel **accumulates into it** — it
+       does *not* overwrite.  Callers that reuse a buffer across calls and
+       expect overwrite semantics must pass ``zero_out=True`` (or clear the
+       buffer themselves); forgetting to do so silently folds the previous
+       contents into the result.
 
     Parameters
     ----------
     edges : (ne, 2) int array of vertex indices per edge.
     edge_values : (ne, ...) array of per-edge quantities.
     n_vertices : number of vertices in the target array.
-    out : optional preallocated output of shape ``(n_vertices, ...)``.
+    out : optional preallocated output of shape ``(n_vertices, ...)``;
+        accumulated into (see warning above).
+    zero_out : when True, ``out`` is zeroed before accumulating, giving
+        overwrite semantics for reused buffers.  Ignored when ``out`` is
+        None (a fresh zeroed array is returned either way).
     """
     if out is None:
         out = np.zeros((n_vertices,) + edge_values.shape[1:], dtype=edge_values.dtype)
+    elif zero_out:
+        out[...] = 0.0
     np.add.at(out, edges[:, 0], edge_values)
     np.subtract.at(out, edges[:, 1], edge_values)
     return out
@@ -55,6 +81,10 @@ class EdgeScatter:
     ``unsigned @ e`` computes ``sum (+e at i, +e at j)`` — the two
     accumulation patterns used by the convective operator, the dissipation
     operator, the time-step estimate and the residual smoother.
+
+    All three apply methods take an optional preallocated ``out`` array
+    (overwritten, not accumulated) so repeated calls in the solver's stage
+    loop incur no allocations.
     """
 
     def __init__(self, edges: np.ndarray, n_vertices: int):
@@ -81,23 +111,42 @@ class EdgeScatter:
             (np.ones(2 * ne), (adj_rows, adj_cols)),
             shape=(self.n_vertices, self.n_vertices))
 
-    def neighbor_sum(self, vertex_values: np.ndarray) -> np.ndarray:
+    def neighbor_sum(self, vertex_values: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
         """``out_i = sum_{j ~ i} v_j`` over the mesh edge graph."""
-        return self._apply(self._adjacency, vertex_values)
+        return self._apply(self._adjacency, vertex_values, out)
 
-    def signed(self, edge_values: np.ndarray) -> np.ndarray:
+    def signed(self, edge_values: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
         """Accumulate ``+value`` at edge tail, ``-value`` at edge head."""
-        return self._apply(self._signed, edge_values)
+        return self._apply(self._signed, edge_values, out)
 
-    def unsigned(self, edge_values: np.ndarray) -> np.ndarray:
+    def unsigned(self, edge_values: np.ndarray,
+                 out: np.ndarray | None = None) -> np.ndarray:
         """Accumulate ``+value`` at both edge endpoints."""
-        return self._apply(self._unsigned, edge_values)
+        return self._apply(self._unsigned, edge_values, out)
 
     @staticmethod
-    def _apply(mat: sp.csr_matrix, edge_values: np.ndarray) -> np.ndarray:
+    def _apply(mat: sp.csr_matrix, edge_values: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
         edge_values = np.asarray(edge_values)
-        if edge_values.ndim == 1:
-            return mat @ edge_values
-        flat = edge_values.reshape(edge_values.shape[0], -1)
-        out = mat @ flat
-        return out.reshape((mat.shape[0],) + edge_values.shape[1:])
+        if out is None:
+            if edge_values.ndim == 1:
+                return mat @ edge_values
+            flat = edge_values.reshape(edge_values.shape[0], -1)
+            res = mat @ flat
+            return res.reshape((mat.shape[0],) + edge_values.shape[1:])
+        expected = (mat.shape[0],) + edge_values.shape[1:]
+        if out.shape != expected:
+            raise ValueError(f"out must have shape {expected}, got {out.shape}")
+        if (_CSR_MATVECS is not None and out.dtype == np.float64
+                and edge_values.dtype == np.float64
+                and out.flags.c_contiguous and edge_values.flags.c_contiguous):
+            n_vecs = int(np.prod(edge_values.shape[1:], dtype=np.int64)) or 1
+            out[...] = 0.0
+            _CSR_MATVECS(mat.shape[0], mat.shape[1], n_vecs,
+                         mat.indptr, mat.indices, mat.data,
+                         edge_values.reshape(-1), out.reshape(-1))
+            return out
+        np.copyto(out, EdgeScatter._apply(mat, edge_values))
+        return out

@@ -7,7 +7,14 @@ from dataclasses import dataclass, replace
 from ..constants import (CFL_DEFAULT, CFL_UNSMOOTHED, K2_DEFAULT, K4_DEFAULT,
                          RESIDUAL_SMOOTHING_EPS, RESIDUAL_SMOOTHING_SWEEPS)
 
-__all__ = ["SolverConfig"]
+__all__ = ["SolverConfig", "EXECUTOR_KINDS"]
+
+#: Recognised hot-path execution strategies (see ``repro.kernels``):
+#: ``serial`` keeps the seed operators bit-identical; ``fused`` runs the
+#: fused zero-allocation pipeline over the CSR scatter; ``colored`` runs it
+#: over conflict-free colour groups; ``colored-threaded`` additionally
+#: splits each colour across ``n_threads`` workers.
+EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded")
 
 
 @dataclass(frozen=True)
@@ -27,6 +34,31 @@ class SolverConfig:
     smoothing_sweeps: int = RESIDUAL_SMOOTHING_SWEEPS
     #: Floor on the pressure-switch denominator, guards 0/0 at stagnation.
     switch_floor: float = 1e-12
+    #: Hot-path strategy, one of :data:`EXECUTOR_KINDS`.  ``serial`` (the
+    #: default) is bit-identical to the seed solver; the others run the
+    #: fused pipeline and agree with it to roundoff (<= 1e-12 relative).
+    executor: str = "serial"
+    #: Worker count for ``executor="colored-threaded"`` (ignored otherwise).
+    n_threads: int = 1
+    #: RCM cache-locality edge reordering at solver construction.  ``None``
+    #: (default) means automatic: on for every non-serial executor, off for
+    #: ``serial`` (reordering permutes summation order, which would break
+    #: the serial path's bit-identity guarantee).
+    edge_reorder: bool | None = None
+
+    def __post_init__(self):
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}")
+        if self.n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+
+    @property
+    def reorder_edges_enabled(self) -> bool:
+        """Resolved edge-reordering decision (see :attr:`edge_reorder`)."""
+        if self.edge_reorder is None:
+            return self.executor != "serial"
+        return bool(self.edge_reorder)
 
     def without_smoothing(self) -> "SolverConfig":
         """Variant with residual averaging off and a stable (lower) CFL."""

@@ -73,13 +73,15 @@ def edge_spectral_radius(w: np.ndarray, edges: np.ndarray,
 
 def dissipation_operator(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
                          scatter: EdgeScatter, k2: float, k4: float,
-                         switch_floor: float = 1e-12) -> np.ndarray:
+                         switch_floor: float = 1e-12,
+                         out: np.ndarray | None = None) -> np.ndarray:
     """Full dissipative operator ``D(w)``, shape ``(nv, 5)``.
 
     Defined so that the semi-discrete update is
     ``dw/dt = -(Q(w) - D(w)) / V``: the Laplacian term acts diffusively and
     the biharmonic term damps the high-frequency error components the
-    multigrid scheme relies on (Section 2.2).
+    multigrid scheme relies on (Section 2.2).  ``out`` (shape ``(nv, 5)``)
+    is overwritten with the result when given.
     """
     # ---- pass 1: Laplacian of w and the pressure switch -------------------
     lap = undivided_laplacian(w, edges, scatter)
@@ -95,4 +97,4 @@ def dissipation_operator(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
     d_edge = lam[:, None] * (eps2[:, None] * w_diff - eps4[:, None] * lap_diff)
     # D_i = sum_j d_ij; edge value d_ij enters +at i and (by antisymmetry of
     # the differences) -at j, which is exactly the signed scatter.
-    return scatter.signed(d_edge)
+    return scatter.signed(d_edge, out=out)

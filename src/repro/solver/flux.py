@@ -34,23 +34,33 @@ FLOPS_PER_VERTEX_FLUXVEC = 36
 
 
 def edge_flux(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
-              fluxes: np.ndarray | None = None) -> np.ndarray:
-    """Central edge fluxes ``(ne, 5)``: ``1/2 (F_i + F_j) . eta``."""
+              fluxes: np.ndarray | None = None,
+              out: np.ndarray | None = None) -> np.ndarray:
+    """Central edge fluxes ``(ne, 5)``: ``1/2 (F_i + F_j) . eta``.
+
+    ``fluxes`` lets the caller reuse precomputed per-vertex flux tensors;
+    ``out`` (shape ``(ne, 5)``) receives the result without allocating.
+    """
     if fluxes is None:
         fluxes = flux_vectors(w)
     favg = fluxes[edges[:, 0]] + fluxes[edges[:, 1]]          # (ne, 5, 3)
-    return 0.5 * np.einsum("ekd,ed->ek", favg, eta)
+    if out is None:
+        return 0.5 * np.einsum("ekd,ed->ek", favg, eta)
+    np.einsum("ekd,ed->ek", favg, eta, out=out)
+    np.multiply(out, 0.5, out=out)
+    return out
 
 
 def convective_operator(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
                         scatter: EdgeScatter,
-                        fluxes: np.ndarray | None = None) -> np.ndarray:
+                        fluxes: np.ndarray | None = None,
+                        out: np.ndarray | None = None) -> np.ndarray:
     """Interior part of Q(w): edge-loop flux accumulation, shape ``(nv, 5)``.
 
     The boundary closure (wall pressure flux, farfield characteristic flux)
     is added separately by :func:`repro.solver.bc.boundary_fluxes` so that
     the distributed-memory driver can overlap the two phases the way the
-    paper's executor does.
+    paper's executor does.  ``out`` (shape ``(nv, 5)``) is overwritten.
     """
     phi = edge_flux(w, edges, eta, fluxes)
-    return scatter.signed(phi)
+    return scatter.signed(phi, out=out)

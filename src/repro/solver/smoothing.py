@@ -33,19 +33,42 @@ FLOPS_PER_VERTEX_SMOOTH = 12  # per sweep: combine and normalise
 
 def smooth_residual(residual: np.ndarray, edges: np.ndarray,
                     scatter: EdgeScatter, eps: float, sweeps: int,
-                    freeze_mask: np.ndarray | None = None) -> np.ndarray:
+                    freeze_mask: np.ndarray | None = None,
+                    out: np.ndarray | None = None,
+                    work: np.ndarray | None = None) -> np.ndarray:
     """Jacobi-smoothed copy of ``residual`` (input is not modified).
 
     ``freeze_mask`` marks vertices whose residual must pass through
     unchanged (boundary vertices); they still *contribute* to their
     neighbours' averages, with their raw residual value.
+
+    ``out`` receives the smoothed residual and ``work`` (same shape)
+    holds the per-sweep neighbour sums; passing both makes repeated calls
+    allocation-free apart from the ``denom`` row (callers wanting zero
+    allocations should use :class:`repro.kernels.FusedResidual`, which
+    also precomputes the denominator).
     """
     if sweeps <= 0 or eps <= 0.0:
+        if out is not None:
+            np.copyto(out, residual)
+            return out
         return residual
     denom = 1.0 + eps * scatter.degree[:, None]
+    if out is None:
+        smoothed = residual
+        for _ in range(sweeps):
+            smoothed = (residual + eps * scatter.neighbor_sum(smoothed)) / denom
+            if freeze_mask is not None:
+                smoothed[freeze_mask] = residual[freeze_mask]
+        return smoothed
+    ns = work if work is not None else np.empty_like(residual)
     smoothed = residual
     for _ in range(sweeps):
-        smoothed = (residual + eps * scatter.neighbor_sum(smoothed)) / denom
+        scatter.neighbor_sum(smoothed, out=ns)
+        np.multiply(ns, eps, out=ns)
+        np.add(ns, residual, out=ns)
+        np.divide(ns, denom, out=out)
         if freeze_mask is not None:
-            smoothed[freeze_mask] = residual[freeze_mask]
-    return smoothed
+            out[freeze_mask] = residual[freeze_mask]
+        smoothed = out
+    return out

@@ -25,10 +25,16 @@ FLOPS_PER_VERTEX_TIMESTEP = 4
 
 def local_timestep(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
                    scatter: EdgeScatter, dual_volumes: np.ndarray,
-                   bdata: BoundaryData, cfl: float) -> np.ndarray:
-    """Per-vertex local time step ``(nv,)`` at CFL ``cfl``."""
+                   bdata: BoundaryData, cfl: float,
+                   out: np.ndarray | None = None) -> np.ndarray:
+    """Per-vertex local time step ``(nv,)`` at CFL ``cfl``.
+
+    ``out`` (shape ``(nv,)``) doubles as the spectral-radius accumulator
+    and receives the final time steps, so the call allocates only the
+    per-edge wave speeds.
+    """
     lam = edge_spectral_radius(w, edges, eta)
-    sigma = scatter.unsigned(lam)
+    sigma = scatter.unsigned(lam, out=out)
 
     # Boundary contribution: spectral radius through the lumped normals.
     rho, u, v, wv, p = primitive_from_conserved(w)
@@ -41,4 +47,9 @@ def local_timestep(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
             un = np.abs(np.einsum("id,id->i", vel[verts], normals))
             np.add.at(sigma, verts, un + c[verts] * nn)
 
-    return cfl * dual_volumes / np.maximum(sigma, 1e-300)
+    if out is None:
+        return cfl * dual_volumes / np.maximum(sigma, 1e-300)
+    np.maximum(sigma, 1e-300, out=out)
+    np.divide(dual_volumes, out, out=out)
+    np.multiply(out, cfl, out=out)
+    return out

@@ -1,0 +1,132 @@
+"""Property tests for the scatter executors (hypothesis, random meshes).
+
+The executors reassociate the per-vertex accumulation (colour by colour,
+optionally thread by thread), so they must match the ``np.add.at``
+reference and the CSR scatter to roundoff on *arbitrary* edge lists —
+not just the meshes the fixtures happen to build.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.coloring import verify_coloring
+from repro.kernels import ColoredExecutor, SerialExecutor, make_executor
+from repro.scatter import EdgeScatter, scatter_add_edges
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+def random_edges(seed: int, n_vertices: int, n_edges: int) -> np.ndarray:
+    """Random simple edge list (no self-loops, no duplicate edges)."""
+    rng = np.random.default_rng(seed)
+    n_edges = min(n_edges, n_vertices * (n_vertices - 1) // 2)
+    pairs = set()
+    while len(pairs) < n_edges:
+        i, j = rng.integers(0, n_vertices, 2)
+        if i != j:
+            pairs.add((min(i, j), max(i, j)))
+    return np.array(sorted(pairs), dtype=np.int64)
+
+
+class TestColoredMatchesReference:
+    @given(seed=st.integers(0, 10_000), nv=st.integers(4, 40),
+           n_threads=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60, **COMMON)
+    def test_signed_unsigned_neighbor(self, seed, nv, n_threads):
+        rng = np.random.default_rng(seed)
+        ne = int(rng.integers(1, max(2, 2 * nv)))
+        edges = random_edges(seed, nv, ne)
+        ex = ColoredExecutor(edges, nv, n_threads=n_threads)
+        try:
+            vals = rng.standard_normal((edges.shape[0], 5))
+            ref = scatter_add_edges(edges, vals, nv)
+            got = ex.signed(vals)
+            assert np.max(np.abs(got - ref)) <= 1e-12 * max(
+                1.0, np.max(np.abs(ref)))
+
+            csr = EdgeScatter(edges, nv)
+            scal = rng.standard_normal(edges.shape[0])
+            assert np.allclose(ex.unsigned(scal), csr.unsigned(scal),
+                               rtol=1e-12, atol=1e-13)
+            vv = rng.standard_normal((nv, 5))
+            assert np.allclose(ex.neighbor_sum(vv), csr.neighbor_sum(vv),
+                               rtol=1e-12, atol=1e-13)
+        finally:
+            ex.close()
+
+    @given(seed=st.integers(0, 10_000), nv=st.integers(4, 30))
+    @settings(max_examples=40, **COMMON)
+    def test_thread_count_invariance(self, seed, nv):
+        """Results are bit-identical across n_threads in {1, 2, 4}.
+
+        Within one colour every vertex appears at most once, so the
+        subgroup split never changes any vertex's summation order —
+        threading only changes *who* writes, not *in what order*.
+        """
+        rng = np.random.default_rng(seed)
+        ne = int(rng.integers(1, max(2, 2 * nv)))
+        edges = random_edges(seed, nv, ne)
+        vals = rng.standard_normal((edges.shape[0], 5))
+        vv = rng.standard_normal((nv, 5))
+        results = []
+        for n_threads in (1, 2, 4):
+            with ColoredExecutor(edges, nv, n_threads=n_threads) as ex:
+                results.append((ex.signed(vals), ex.unsigned(vals),
+                                ex.neighbor_sum(vv)))
+        for got in results[1:]:
+            for a, b in zip(results[0], got):
+                assert np.array_equal(a, b)
+
+
+class TestColoredExecutor:
+    def test_coloring_is_conflict_free(self, bump_struct):
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices)
+        assert verify_coloring(bump_struct.edges, ex.coloring,
+                               bump_struct.n_vertices)
+
+    def test_degree_matches_csr(self, bump_struct):
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices)
+        csr = EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
+        assert np.array_equal(ex.degree, csr.degree)
+
+    def test_out_buffer_reuse_overwrites(self, bump_struct, rng):
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices)
+        vals = rng.standard_normal((bump_struct.n_edges, 5))
+        out = np.full((bump_struct.n_vertices, 5), 123.0)
+        got = ex.signed(vals, out=out)
+        assert got is out
+        assert np.array_equal(out, ex.signed(vals))
+
+    def test_out_shape_validated(self, bump_struct):
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices)
+        with pytest.raises(ValueError, match="shape"):
+            ex.signed(np.zeros((bump_struct.n_edges, 5)),
+                      out=np.zeros((3, 5)))
+
+    def test_bad_edges_shape_rejected(self):
+        with pytest.raises(ValueError, match="edges"):
+            ColoredExecutor(np.zeros((4, 3), dtype=int), 5)
+
+    def test_close_is_idempotent(self, bump_struct):
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices,
+                             n_threads=2)
+        ex.close()
+        ex.close()
+
+
+class TestMakeExecutor:
+    def test_kinds(self, bump_struct):
+        edges, nv = bump_struct.edges, bump_struct.n_vertices
+        assert isinstance(make_executor(edges, nv, "serial"), SerialExecutor)
+        assert isinstance(make_executor(edges, nv, "fused"), SerialExecutor)
+        ex = make_executor(edges, nv, "colored", n_threads=4)
+        assert isinstance(ex, ColoredExecutor) and ex.n_threads == 1
+        ex = make_executor(edges, nv, "colored-threaded", n_threads=3)
+        assert isinstance(ex, ColoredExecutor) and ex.n_threads == 3
+
+    def test_unknown_kind_raises(self, bump_struct):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor(bump_struct.edges, bump_struct.n_vertices, "mpi")

@@ -1,0 +1,93 @@
+"""EulerSolver / SolverConfig wiring of the fused kernel layer."""
+
+import numpy as np
+import pytest
+
+from repro.solver import EulerSolver, SolverConfig
+
+
+@pytest.fixture(scope="module")
+def perturbed(bump_struct, winf):
+    s = EulerSolver(bump_struct, winf, SolverConfig())
+    rng = np.random.default_rng(11)
+    w = s.freestream_solution()
+    return w * (1.0 + 0.03 * rng.standard_normal(w.shape))
+
+
+class TestConfig:
+    def test_defaults_serial_unreordered(self):
+        cfg = SolverConfig()
+        assert cfg.executor == "serial"
+        assert not cfg.reorder_edges_enabled
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            SolverConfig(executor="vectorized")
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            SolverConfig(n_threads=0)
+
+    def test_reorder_auto_follows_executor(self):
+        assert SolverConfig(executor="fused").reorder_edges_enabled
+        assert not SolverConfig(executor="fused",
+                                edge_reorder=False).reorder_edges_enabled
+        assert SolverConfig(edge_reorder=True).reorder_edges_enabled
+
+
+class TestSerialBitIdentity:
+    """executor='serial' must keep the seed path byte-for-byte."""
+
+    def test_run_history_matches_manual_monitoring(self, bump_struct, winf,
+                                                   perturbed):
+        s = EulerSolver(bump_struct, winf, SolverConfig())
+        ref_hist, wc = [], perturbed.copy()
+        for _ in range(4):
+            ref_hist.append(s.density_residual_norm(wc))
+            wc = s.step(wc)
+        ref_hist.append(s.density_residual_norm(wc))
+        s2 = EulerSolver(bump_struct, winf, SolverConfig())
+        w2, hist = s2.run(perturbed.copy(), n_cycles=4)
+        assert hist == ref_hist
+        assert np.array_equal(w2, wc)
+
+    def test_last_step_residual_norm_is_prestep_norm(self, bump_struct,
+                                                     winf, perturbed):
+        s = EulerSolver(bump_struct, winf, SolverConfig())
+        expect = s.density_residual_norm(perturbed)
+        s.step(perturbed)
+        assert s.last_step_residual_norm == expect
+
+
+class TestExecutorDispatch:
+    @pytest.mark.parametrize("kind", ["fused", "colored", "colored-threaded"])
+    def test_matches_serial(self, bump_struct, winf, perturbed, kind):
+        s = EulerSolver(bump_struct, winf, SolverConfig())
+        sf = EulerSolver(bump_struct, winf,
+                         SolverConfig(executor=kind, n_threads=2))
+        assert sf.fused is not None
+        w_ref, h_ref = s.run(perturbed.copy(), n_cycles=3)
+        w_f, h_f = sf.run(perturbed.copy(), n_cycles=3)
+        assert np.max(np.abs(w_f - w_ref)) < 1e-12 * np.max(np.abs(w_ref))
+        for a, b in zip(h_f, h_ref):
+            assert abs(a - b) < 1e-10 * abs(b)
+
+    def test_threaded_matches_unthreaded_bitwise(self, bump_struct, winf,
+                                                 perturbed):
+        results = []
+        for n_threads in (1, 2, 4):
+            sf = EulerSolver(bump_struct, winf,
+                             SolverConfig(executor="colored-threaded",
+                                          n_threads=n_threads))
+            results.append(sf.step(perturbed))
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_residual_and_timestep_routed(self, bump_struct, winf,
+                                          perturbed):
+        s = EulerSolver(bump_struct, winf, SolverConfig())
+        sf = EulerSolver(bump_struct, winf, SolverConfig(executor="fused"))
+        assert np.max(np.abs(sf.residual(perturbed) - s.residual(perturbed))
+                      ) < 1e-12 * np.max(np.abs(s.residual(perturbed)))
+        assert np.max(np.abs(sf.timestep(perturbed) - s.timestep(perturbed))
+                      ) < 1e-12 * np.max(np.abs(s.timestep(perturbed)))

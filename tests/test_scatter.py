@@ -33,6 +33,96 @@ class TestReferenceScatter:
                                    [10, 10, 20, 10])
 
 
+class TestReferenceScatterOutSemantics:
+    """scatter_add_edges ACCUMULATES into ``out`` unless zero_out=True."""
+
+    def test_out_accumulates_by_default(self, small_graph):
+        edges, n = small_graph
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        fresh = scatter_add_edges(edges, vals, n)
+        out = np.full(n, 10.0)
+        got = scatter_add_edges(edges, vals, n, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, fresh + 10.0)
+
+    def test_zero_out_gives_overwrite_semantics(self, small_graph):
+        edges, n = small_graph
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        fresh = scatter_add_edges(edges, vals, n)
+        out = np.full(n, 10.0)
+        scatter_add_edges(edges, vals, n, out=out, zero_out=True)
+        np.testing.assert_allclose(out, fresh)
+
+    def test_reused_buffer_without_zero_out_folds_history(self, small_graph):
+        # The failure mode the zero_out flag exists to prevent: two calls
+        # into the same buffer silently sum both results.
+        edges, n = small_graph
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        out = np.zeros(n)
+        scatter_add_edges(edges, vals, n, out=out)
+        scatter_add_edges(edges, vals, n, out=out)
+        np.testing.assert_allclose(out, 2 * scatter_add_edges(edges, vals, n))
+
+    def test_zero_out_ignored_without_out(self, small_graph):
+        edges, n = small_graph
+        vals = np.ones(4)
+        np.testing.assert_allclose(
+            scatter_add_edges(edges, vals, n, zero_out=True),
+            scatter_add_edges(edges, vals, n))
+
+    def test_multicomponent_out(self, small_graph, rng):
+        edges, n = small_graph
+        vals = rng.standard_normal((4, 5))
+        out = rng.standard_normal((n, 5))
+        expect = out + scatter_add_edges(edges, vals, n)
+        scatter_add_edges(edges, vals, n, out=out)
+        np.testing.assert_allclose(out, expect, atol=1e-14)
+
+
+class TestEdgeScatterOut:
+    """EdgeScatter's out= OVERWRITES (CSR product semantics), every method."""
+
+    @pytest.mark.parametrize("method", ["signed", "unsigned"])
+    def test_edge_methods_overwrite(self, bump_struct, rng, method):
+        s = EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
+        vals = rng.standard_normal((bump_struct.n_edges, 5))
+        out = np.full((bump_struct.n_vertices, 5), 99.0)
+        got = getattr(s, method)(vals, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, getattr(s, method)(vals),
+                                   atol=1e-12)
+
+    def test_neighbor_sum_overwrites(self, bump_struct, rng):
+        s = EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
+        v = rng.standard_normal((bump_struct.n_vertices, 5))
+        out = np.full((bump_struct.n_vertices, 5), 99.0)
+        s.neighbor_sum(v, out=out)
+        np.testing.assert_allclose(out, s.neighbor_sum(v), atol=1e-12)
+
+    def test_1d_out(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        out = np.full(n, -5.0)
+        s.unsigned(np.ones(4), out=out)
+        np.testing.assert_allclose(out, s.degree)
+
+    def test_out_shape_validated(self, small_graph):
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        with pytest.raises(ValueError, match="shape"):
+            s.signed(np.ones(4), out=np.zeros(n + 1))
+
+    def test_noncontiguous_out_falls_back(self, small_graph):
+        # The csr_matvecs fast path needs contiguous arrays; a strided out
+        # must still produce correct results through the fallback.
+        edges, n = small_graph
+        s = EdgeScatter(edges, n)
+        vals = np.arange(4.0)
+        wide = np.zeros((n, 2))
+        s.signed(vals, out=wide[:, 0])
+        np.testing.assert_allclose(wide[:, 0], s.signed(vals))
+
+
 class TestEdgeScatter:
     def test_signed_matches_reference(self, bump_struct, rng):
         s = EdgeScatter(bump_struct.edges, bump_struct.n_vertices)
