@@ -110,6 +110,57 @@ def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
     }
 
 
+def check_telemetry_overhead(tolerance_pct: float = 2.0) -> int:
+    """Fail (non-zero) if disabled telemetry costs more than 2% per step.
+
+    The instrumented call sites all go through the default
+    :class:`~repro.telemetry.NullTracer`, so the disabled-path cost of
+    tracing is (instrumented sites hit per step) x (cost of one null
+    span).  Both factors are measured here — the site count by running
+    one step under a live :class:`~repro.telemetry.Tracer`, the null
+    cost by a microbenchmark — and the projected overhead is compared
+    against the measured step time.  This projection is machine-relative
+    (both sides scale with the host), unlike raw milliseconds.
+    """
+    from repro.telemetry import NULL_TRACER, Tracer, use_tracer
+
+    w_inf = freestream_state(0.5, 1.0)
+    mesh = box_mesh(10, 10, 10)
+    solver = EulerSolver(mesh, w_inf, SolverConfig(executor="fused"))
+    w = _perturbed_state(solver)
+    solver.step(w)                                    # warmup
+    step_ms = min(_time_ms(lambda: solver.step(w), 3) for _ in range(3))
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        traced_solver = EulerSolver(mesh, w_inf,
+                                    SolverConfig(executor="fused"))
+    traced_solver.step(w)                             # warmup + intern names
+    tracer.reset()
+    traced_solver.step(w)
+    sites = tracer.n_recorded
+
+    null = NULL_TRACER
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with null.span("x"):
+            pass
+    null_ns = (time.perf_counter() - t0) / n * 1e9
+
+    projected_pct = sites * null_ns / (step_ms * 1e6) * 100.0
+    print(f"telemetry overhead check: {sites} spans/step x "
+          f"{null_ns:.0f} ns/null-span = "
+          f"{sites * null_ns / 1e3:.1f} us projected vs "
+          f"{step_ms:.2f} ms step ({projected_pct:.3f}%, "
+          f"budget {tolerance_pct:.1f}%)")
+    if projected_pct > tolerance_pct:
+        print("FAIL: disabled telemetry exceeds the overhead budget")
+        return 1
+    print("OK")
+    return 0
+
+
 def check_regression(report: dict, baseline_path: Path,
                      tolerance: float = 0.8) -> int:
     """Fail (non-zero) if the fused speedup regressed >20% vs the baseline.
@@ -143,7 +194,15 @@ def main(argv=None) -> int:
     ap.add_argument("--check-regression", type=Path, metavar="BASELINE",
                     help="compare fused speedup against a recorded baseline "
                          "JSON; exit 1 on >20%% regression")
+    ap.add_argument("--check-telemetry-overhead", action="store_true",
+                    help="verify the disabled (NullTracer) telemetry path "
+                         "projects to <=2%% of one fused step; exit 1 "
+                         "otherwise")
     args = ap.parse_args(argv)
+
+    if args.check_telemetry_overhead and not args.check_regression:
+        # Standalone gate: skip the full benchmark sweep.
+        return check_telemetry_overhead()
 
     rounds = args.rounds or (3 if args.quick else 7)
     w_inf = freestream_state(0.5, 1.0)
@@ -183,9 +242,12 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
+    rc = 0
     if args.check_regression is not None:
-        return check_regression(report, args.check_regression)
-    return 0
+        rc |= check_regression(report, args.check_regression)
+    if args.check_telemetry_overhead:
+        rc |= check_telemetry_overhead()
+    return rc
 
 
 if __name__ == "__main__":

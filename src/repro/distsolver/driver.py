@@ -42,6 +42,7 @@ from ..solver.dissipation import (FLOPS_PER_EDGE_DISS_PASS1,
 from ..solver.flux import (FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC)
 from ..solver.smoothing import FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH
 from ..solver.timestep import FLOPS_PER_EDGE_TIMESTEP, FLOPS_PER_VERTEX_TIMESTEP
+from ..telemetry import traced
 from . import rank_kernels
 from .partitioned_mesh import DistributedMesh, partition_solver_data
 
@@ -73,6 +74,9 @@ class DistributedEulerSolver:
         self.machine = machine or SimMachine(self.dmesh.n_ranks)
         if self.machine.n_ranks != self.dmesh.n_ranks:
             raise ValueError("machine size does not match partition")
+        #: Shares the machine's tracer so compute spans interleave with
+        #: the ``comm.exchange`` / ``parti.*`` spans on one timeline.
+        self.tracer = self.machine.tracer
         #: per-phase, per-rank flop counts (inputs of the Delta model)
         self.rank_flops: dict = defaultdict(
             lambda: np.zeros(self.n_ranks, dtype=np.float64))
@@ -125,6 +129,7 @@ class DistributedEulerSolver:
                                   self.phase_prefix + phase)
 
     # -- kernels ----------------------------------------------------------
+    @traced("dist.convective")
     def _convective(self, w_list: list) -> list:
         """Q(w) on owned vertices; expects fresh ghosts in ``w_list``."""
         q_list = [rank_kernels.convective_local(rm, w)
@@ -139,6 +144,7 @@ class DistributedEulerSolver:
             rank_kernels.boundary_closure(rm, w, self.w_inf, q)
         return q_list
 
+    @traced("dist.dissipation")
     def _dissipation(self, w_list: list) -> list:
         """D(w) on owned vertices (two edge passes + three comm phases)."""
         cfg = self.config
@@ -166,6 +172,7 @@ class DistributedEulerSolver:
         self._scatter_add_ghosts(d_list, "d-scatter")
         return d_list
 
+    @traced("dist.timestep")
     def _timestep(self, w_list: list) -> list:
         """Local dt on owned vertices (one scatter of spectral-radius sums)."""
         sigma_list = [rank_kernels.spectral_sigma(rm, w)
@@ -183,6 +190,7 @@ class DistributedEulerSolver:
                      for rm in self.dmesh.ranks])
         return dt_list
 
+    @traced("dist.smooth")
     def _smooth(self, r_list: list) -> list:
         """Jacobi residual averaging; ``r_list`` holds owned residuals."""
         cfg = self.config
@@ -222,6 +230,7 @@ class DistributedEulerSolver:
         return [qr[:rm.n_owned] - dr[:rm.n_owned]
                 for rm, qr, dr in zip(self.dmesh.ranks, q, d)]
 
+    @traced("dist.step")
     def step(self, w_list: list, forcing: list | None = None) -> list:
         """One five-stage step; returns new per-rank local states."""
         cfg = self.config
@@ -234,19 +243,20 @@ class DistributedEulerSolver:
         wk = w_list
         diss = None
         for stage, alpha in enumerate(RK_ALPHAS):
-            if stage > 0:
-                self._gather_ghosts(wk, "w-gather")
-            if stage in RK_DISSIPATION_STAGES:
-                diss = self._dissipation(wk)
-            q = self._convective(wk)
-            r = [qr[:rm.n_owned] - dr[:rm.n_owned]
-                 for rm, qr, dr in zip(ranks, q, diss)]
-            if forcing is not None:
-                r = [rr + fr for rr, fr in zip(r, forcing)]
-            r = self._smooth(r)
-            wk = [rank_kernels.stage_update(rm, w0r, rr, dov, alpha)
-                  for rm, w0r, rr, dov in zip(ranks, w0, r, dt_over_v)]
-            self._count("update", [3 * NVAR * rm.n_owned for rm in ranks])
+            with self.tracer.span("rk.stage"):
+                if stage > 0:
+                    self._gather_ghosts(wk, "w-gather")
+                if stage in RK_DISSIPATION_STAGES:
+                    diss = self._dissipation(wk)
+                q = self._convective(wk)
+                r = [qr[:rm.n_owned] - dr[:rm.n_owned]
+                     for rm, qr, dr in zip(ranks, q, diss)]
+                if forcing is not None:
+                    r = [rr + fr for rr, fr in zip(r, forcing)]
+                r = self._smooth(r)
+                wk = [rank_kernels.stage_update(rm, w0r, rr, dov, alpha)
+                      for rm, w0r, rr, dov in zip(ranks, w0, r, dt_over_v)]
+                self._count("update", [3 * NVAR * rm.n_owned for rm in ranks])
         return wk
 
     def density_residual_norm(self, w_list: list) -> float:

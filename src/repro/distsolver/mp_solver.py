@@ -26,6 +26,7 @@ import numpy as np
 
 from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
 from ..solver.config import SolverConfig
+from ..telemetry import NULL_TRACER, Tracer, get_tracer
 from . import rank_kernels
 from .partitioned_mesh import DistributedMesh
 
@@ -44,6 +45,8 @@ class _PipeTransport:
         self.recv_slices = recv_slices       # {src: (start, stop)}
         self.op = 0
         self._stash: dict = {}
+        #: Set by the rank worker after fork (tracers are per-process).
+        self.tracer = NULL_TRACER
 
     def _recv_op(self, op: int):
         if op in self._stash and self._stash[op]:
@@ -56,30 +59,43 @@ class _PipeTransport:
 
     def gather(self, local: np.ndarray, n_owned: int) -> None:
         """Fill ghost slots of ``local`` from the owners (in place)."""
-        op = self.op
-        self.op += 1
-        for dst, idx in self.send_indices.items():
-            self.outboxes[dst].send((self.rank, op, local[idx]))
-        for _ in range(len(self.recv_slices)):
-            src, data = self._recv_op(op)
-            start, stop = self.recv_slices[src]
-            local[n_owned + start:n_owned + stop] = data
+        tracer = self.tracer
+        with tracer.span("mp.gather"):
+            op = self.op
+            self.op += 1
+            n_bytes = 0
+            for dst, idx in self.send_indices.items():
+                payload = local[idx]
+                n_bytes += payload.nbytes
+                self.outboxes[dst].send((self.rank, op, payload))
+            if tracer.enabled:
+                tracer.count("mp.gather.bytes_sent", n_bytes)
+            for _ in range(len(self.recv_slices)):
+                src, data = self._recv_op(op)
+                start, stop = self.recv_slices[src]
+                local[n_owned + start:n_owned + stop] = data
 
     def scatter_add(self, local: np.ndarray, n_owned: int) -> None:
         """Fold ghost-slot contributions back into the owners (in place)."""
-        op = self.op
-        self.op += 1
-        for src, (start, stop) in self.recv_slices.items():
-            self.outboxes[src].send((self.rank, op,
-                                     local[n_owned + start:n_owned + stop]))
-        for _ in range(len(self.send_indices)):
-            src, data = self._recv_op(op)
-            np.add.at(local, self.send_indices[src], data)
+        tracer = self.tracer
+        with tracer.span("mp.scatter_add"):
+            op = self.op
+            self.op += 1
+            n_bytes = 0
+            for src, (start, stop) in self.recv_slices.items():
+                payload = local[n_owned + start:n_owned + stop]
+                n_bytes += payload.nbytes
+                self.outboxes[src].send((self.rank, op, payload))
+            if tracer.enabled:
+                tracer.count("mp.scatter_add.bytes_sent", n_bytes)
+            for _ in range(len(self.send_indices)):
+                src, data = self._recv_op(op)
+                np.add.at(local, self.send_indices[src], data)
 
 
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
                  w_inf: np.ndarray, config: SolverConfig, n_cycles: int,
-                 result_queue) -> None:
+                 result_queue, trace: bool = False) -> None:
     """One rank's full solver loop (mirrors DistributedEulerSolver.step).
 
     Every edge-scatter array of the stage loop is preallocated once per
@@ -90,6 +106,11 @@ def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
     cfg = config
     n_owned = rm.n_owned
     n_local = rm.n_local
+    # A per-process tracer: the parent merges the payload it sends back
+    # into its own tracer's ``remote_payloads`` (ranks share no clock, so
+    # the timelines stay on separate pid rows in merged exports).
+    tracer = Tracer() if trace else NULL_TRACER
+    transport.tracer = tracer
 
     # Per-rank buffer arena, reused across stages and cycles.
     sigma = np.empty((n_local, 1))
@@ -114,53 +135,64 @@ def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
         wk = w_list_local
         diss = None
         for stage, alpha in enumerate(RK_ALPHAS):
-            if stage > 0:
-                transport.gather(wk, n_owned)
-            if stage in RK_DISSIPATION_STAGES:
-                rank_kernels.dissipation_partials(rm, wk, out=packed)
-                transport.scatter_add(packed, n_owned)
-                lnu = rank_kernels.finalize_switch(packed, cfg.switch_floor)
-                transport.gather(lnu, n_owned)
-                rank_kernels.dissipation_edges(rm, wk, lnu, cfg.k2,
-                                               cfg.k4, out=d)
-                transport.scatter_add(d, n_owned)
-                diss = d
-            rank_kernels.convective_local(rm, wk, out=q)
-            transport.scatter_add(q, n_owned)
-            rank_kernels.boundary_closure(rm, wk, w_inf, q)
-            r = q[:n_owned] - diss[:n_owned]
-            if cfg.residual_smoothing and cfg.smoothing_sweeps > 0:
-                rbar[...] = 0.0
-                rbar[:n_owned] = r
-                transport.gather(rbar, n_owned)
-                for sweep in range(cfg.smoothing_sweeps):
-                    rank_kernels.neighbor_sum_partial(rm, rbar, out=ns)
-                    transport.scatter_add(ns, n_owned)
-                    rbar[:n_owned] = rank_kernels.smoothing_update(
-                        rm, r, ns[:n_owned], cfg.smoothing_eps)
-                    if sweep + 1 < cfg.smoothing_sweeps:
-                        transport.gather(rbar, n_owned)
-                r = rbar[:n_owned]
-            wk = rank_kernels.stage_update(rm, w0, r, dt_over_v, alpha,
-                                           out=wk_buf)
+            with tracer.span("rk.stage"):
+                if stage > 0:
+                    transport.gather(wk, n_owned)
+                if stage in RK_DISSIPATION_STAGES:
+                    rank_kernels.dissipation_partials(rm, wk, out=packed)
+                    transport.scatter_add(packed, n_owned)
+                    lnu = rank_kernels.finalize_switch(packed,
+                                                       cfg.switch_floor)
+                    transport.gather(lnu, n_owned)
+                    rank_kernels.dissipation_edges(rm, wk, lnu, cfg.k2,
+                                                   cfg.k4, out=d)
+                    transport.scatter_add(d, n_owned)
+                    diss = d
+                rank_kernels.convective_local(rm, wk, out=q)
+                transport.scatter_add(q, n_owned)
+                rank_kernels.boundary_closure(rm, wk, w_inf, q)
+                r = q[:n_owned] - diss[:n_owned]
+                if cfg.residual_smoothing and cfg.smoothing_sweeps > 0:
+                    rbar[...] = 0.0
+                    rbar[:n_owned] = r
+                    transport.gather(rbar, n_owned)
+                    for sweep in range(cfg.smoothing_sweeps):
+                        rank_kernels.neighbor_sum_partial(rm, rbar, out=ns)
+                        transport.scatter_add(ns, n_owned)
+                        rbar[:n_owned] = rank_kernels.smoothing_update(
+                            rm, r, ns[:n_owned], cfg.smoothing_eps)
+                        if sweep + 1 < cfg.smoothing_sweeps:
+                            transport.gather(rbar, n_owned)
+                    r = rbar[:n_owned]
+                wk = rank_kernels.stage_update(rm, w0, r, dt_over_v, alpha,
+                                               out=wk_buf)
         return wk
 
     w = w_local
     for _ in range(n_cycles):
-        w = step(w)
-    result_queue.put((rm.rank, w[:n_owned]))
+        with tracer.span("solver.cycle"):
+            w = step(w)
+    payload = (tracer.to_payload(pid=rm.rank + 1, label=f"rank{rm.rank}")
+               if trace else None)
+    result_queue.put((rm.rank, w[:n_owned], payload))
 
 
 def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,
                        w_inf: np.ndarray, config: SolverConfig | None = None,
                        n_cycles: int = 1,
-                       timeout: float = 300.0) -> np.ndarray:
+                       timeout: float = 300.0, tracer=None) -> np.ndarray:
     """Run ``n_cycles`` five-stage steps with one OS process per rank.
 
     Returns the assembled global solution; compare against
     :class:`repro.solver.EulerSolver` or the simulated driver.
+
+    When ``tracer`` (or the ambient global tracer) is enabled, each rank
+    worker records its own timeline and the payloads are merged into
+    ``tracer.remote_payloads`` (pid = rank + 1) for the exporters.
     """
     config = config or SolverConfig()
+    tracer = tracer if tracer is not None else get_tracer()
+    trace = bool(tracer.enabled)
     schedule = dmesh.schedule
     n_ranks = dmesh.n_ranks
     ctx = mp.get_context("fork")
@@ -183,15 +215,17 @@ def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,
         )
         proc = ctx.Process(target=_rank_worker,
                            args=(rm, transport, w_local, w_inf, config,
-                                 n_cycles, result_queue))
+                                 n_cycles, result_queue, trace))
         proc.start()
         workers.append(proc)
 
     out = np.empty((dmesh.table.n_global, NVAR))
     try:
         for _ in range(n_ranks):
-            rank, w_owned = result_queue.get(timeout=timeout)
+            rank, w_owned, payload = result_queue.get(timeout=timeout)
             out[dmesh.table.owned_globals[rank]] = w_owned
+            if payload is not None:
+                tracer.remote_payloads.append(payload)
     finally:
         for proc in workers:
             proc.join(timeout=10.0)

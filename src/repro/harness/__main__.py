@@ -54,6 +54,10 @@ def main(argv=None) -> int:
                         help="override cycle count for fig2/fig4")
     parser.add_argument("--save", default=None, metavar="DIR",
                         help="save fig2/fig4 data as .npz under DIR")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="run with a live telemetry tracer and write "
+                             "<target>_trace.json/.jsonl plus a per-phase "
+                             "summary under DIR")
     args = parser.parse_args(argv)
     case = FAST_CASE if args.fast else FULL_CASE
 
@@ -62,6 +66,35 @@ def main(argv=None) -> int:
                 "table2c", "fig1", "fig2", "fig3", "fig4", "compare",
                 "claims"])
 
+    if args.trace is not None:
+        from repro.telemetry import Tracer, use_tracer
+        tracer = Tracer()
+        with use_tracer(tracer):
+            rc = _run_targets(targets, args, case)
+        _write_trace(tracer, args.trace, args.target)
+        return rc
+    return _run_targets(targets, args, case)
+
+
+def _write_trace(tracer, out_dir: str, target: str) -> None:
+    from pathlib import Path
+
+    from repro.telemetry.export import (format_counters, format_summary,
+                                        write_chrome_trace, write_jsonl)
+
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    chrome = path / f"{target}_trace.json"
+    jsonl = path / f"{target}_trace.jsonl"
+    n_events = write_chrome_trace(tracer, chrome)
+    write_jsonl(tracer, jsonl)
+    print(f"trace: wrote {chrome} ({n_events} events) and {jsonl}")
+    print(format_summary(tracer, wall_s=tracer.wall_time()))
+    print()
+    print(format_counters(tracer))
+
+
+def _run_targets(targets, args, case) -> int:
     for target in targets:
         if target.startswith("table1"):
             _print_table1({"a": "sg", "b": "v", "c": "w"}[target[-1]], case)

@@ -33,6 +33,7 @@ import numpy as np
 from ..coloring.balanced import color_edges_balanced
 from ..coloring.greedy import EdgeColoring
 from ..scatter import EdgeScatter
+from ..telemetry import get_tracer
 
 __all__ = ["SerialExecutor", "ColoredExecutor", "make_executor"]
 
@@ -53,13 +54,15 @@ class ColoredExecutor:
     """
 
     def __init__(self, edges: np.ndarray, n_vertices: int,
-                 coloring: EdgeColoring | None = None, n_threads: int = 1):
+                 coloring: EdgeColoring | None = None, n_threads: int = 1,
+                 tracer=None):
         edges = np.asarray(edges)
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ValueError(f"edges must be (ne, 2), got {edges.shape}")
         self.edges = edges
         self.n_vertices = int(n_vertices)
         self.n_threads = max(1, int(n_threads))
+        self.tracer = tracer if tracer is not None else get_tracer()
         if coloring is None:
             coloring = color_edges_balanced(edges, self.n_vertices)
         self.coloring = coloring
@@ -75,6 +78,14 @@ class ColoredExecutor:
         self._pool = (ThreadPoolExecutor(max_workers=self.n_threads,
                                          thread_name_prefix="edge-color")
                       if self.n_threads > 1 else None)
+        if self.tracer.enabled:
+            sizes = np.array([g.size for g in coloring.groups], dtype=float)
+            self.tracer.gauge("coloring.n_colors", sizes.size)
+            # Colour-group imbalance: widest colour over the mean; 1.0 is
+            # perfectly balanced (what color_edges_balanced targets).
+            if sizes.size and sizes.mean() > 0:
+                self.tracer.gauge("coloring.imbalance",
+                                  float(sizes.max() / sizes.mean()))
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -97,15 +108,31 @@ class ColoredExecutor:
                 for sub in batch:
                     task(*sub, *args_per_sub)
             return
+        observe_occupancy = self.tracer.enabled
         for batch in self._batches:
+            if observe_occupancy:
+                # Fraction of pool workers a colour's fork can keep busy;
+                # < 1 means the trailing colours starve the pool.
+                self.tracer.gauge("threadpool.occupancy",
+                                  min(1.0, len(batch) / self.n_threads))
             if len(batch) == 1:
                 task(*batch[0], *args_per_sub)
                 continue
-            futures = [self._pool.submit(task, *sub, *args_per_sub)
-                       for sub in batch]
+            if observe_occupancy:
+                # Per-subgroup spans land on the worker threads' own
+                # timelines (each thread keeps its own nesting stack).
+                futures = [self._pool.submit(self._traced_task, task, sub,
+                                             args_per_sub) for sub in batch]
+            else:
+                futures = [self._pool.submit(task, *sub, *args_per_sub)
+                           for sub in batch]
             done, _ = wait(futures)
             for f in done:       # surface worker exceptions
                 f.result()
+
+    def _traced_task(self, task, sub, args_per_sub):
+        with self.tracer.span("scatter.subgroup"):
+            task(*sub, *args_per_sub)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -135,31 +162,42 @@ class ColoredExecutor:
     def signed(self, edge_values: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
         """``sum_e (+v at i, -v at j)`` colour by colour."""
-        edge_values = np.asarray(edge_values)
-        out = self._prepare_out(edge_values.shape[1:], edge_values.dtype, out)
-        self._run(self._signed_task, (edge_values, out))
+        with self.tracer.span("scatter.signed"):
+            if self.tracer.enabled:
+                self.tracer.count("kernel.edges_scattered",
+                                  self.edges.shape[0])
+            edge_values = np.asarray(edge_values)
+            out = self._prepare_out(edge_values.shape[1:], edge_values.dtype,
+                                    out)
+            self._run(self._signed_task, (edge_values, out))
         return out
 
     def unsigned(self, edge_values: np.ndarray,
                  out: np.ndarray | None = None) -> np.ndarray:
         """``sum_e (+v at i, +v at j)`` colour by colour."""
-        edge_values = np.asarray(edge_values)
-        out = self._prepare_out(edge_values.shape[1:], edge_values.dtype, out)
-        self._run(self._unsigned_task, (edge_values, out))
+        with self.tracer.span("scatter.unsigned"):
+            if self.tracer.enabled:
+                self.tracer.count("kernel.edges_scattered",
+                                  self.edges.shape[0])
+            edge_values = np.asarray(edge_values)
+            out = self._prepare_out(edge_values.shape[1:], edge_values.dtype,
+                                    out)
+            self._run(self._unsigned_task, (edge_values, out))
         return out
 
     def neighbor_sum(self, vertex_values: np.ndarray,
                      out: np.ndarray | None = None) -> np.ndarray:
         """``out_i = sum_{j ~ i} v_j`` colour by colour."""
-        vertex_values = np.asarray(vertex_values)
-        out = self._prepare_out(vertex_values.shape[1:], vertex_values.dtype,
-                                out)
-        self._run(self._neighbor_task, (vertex_values, out))
+        with self.tracer.span("scatter.neighbor_sum"):
+            vertex_values = np.asarray(vertex_values)
+            out = self._prepare_out(vertex_values.shape[1:],
+                                    vertex_values.dtype, out)
+            self._run(self._neighbor_task, (vertex_values, out))
         return out
 
 
 def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
-                  n_threads: int = 1):
+                  n_threads: int = 1, tracer=None):
     """Build the executor named by ``SolverConfig.executor``.
 
     ``serial`` and ``fused`` share the CSR scatter (the fused pipeline
@@ -168,9 +206,10 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     each colour across ``n_threads`` workers.
     """
     if kind in ("serial", "fused"):
-        return SerialExecutor(edges, n_vertices)
+        return SerialExecutor(edges, n_vertices, tracer=tracer)
     if kind == "colored":
-        return ColoredExecutor(edges, n_vertices, n_threads=1)
+        return ColoredExecutor(edges, n_vertices, n_threads=1, tracer=tracer)
     if kind == "colored-threaded":
-        return ColoredExecutor(edges, n_vertices, n_threads=n_threads)
+        return ColoredExecutor(edges, n_vertices, n_threads=n_threads,
+                               tracer=tracer)
     raise ValueError(f"unknown executor kind {kind!r}")

@@ -51,6 +51,7 @@ from ..solver.flux import FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC
 from ..solver.smoothing import FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH
 from ..solver.timestep import FLOPS_PER_EDGE_TIMESTEP, FLOPS_PER_VERTEX_TIMESTEP
 from ..perfmodel.flops import NullFlopCounter
+from ..telemetry import get_tracer, traced
 from .executors import SerialExecutor
 from .workspace import StageWorkspace
 
@@ -98,7 +99,7 @@ class FusedResidual:
     """
 
     def __init__(self, struct, bdata: BoundaryData, config, w_inf: np.ndarray,
-                 executor=None, flops=None):
+                 executor=None, flops=None, tracer=None):
         self.struct = struct
         self.config = config
         self.w_inf = np.asarray(w_inf, dtype=np.float64)
@@ -107,12 +108,13 @@ class FusedResidual:
         self.dual_volumes = struct.dual_volumes
         self.bdata = bdata
         self.flops = flops if flops is not None else NullFlopCounter()
+        self.tracer = tracer if tracer is not None else get_tracer()
         nv, ne = struct.n_vertices, struct.n_edges
         self.n_vertices, self.n_edges = nv, ne
         self.e0 = np.ascontiguousarray(struct.edges[:, 0])
         self.e1 = np.ascontiguousarray(struct.edges[:, 1])
         self.executor = executor if executor is not None else \
-            SerialExecutor(struct.edges, nv)
+            SerialExecutor(struct.edges, nv, tracer=self.tracer)
         self.ws = StageWorkspace(nv, ne)
         self.es = _EdgeStageState(ne)
 
@@ -172,6 +174,7 @@ class FusedResidual:
         return es
 
     # ------------------------------------------------------------------
+    @traced("fused.convective")
     def convective(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Q(w) for the *current* stage state, including boundary closure.
 
@@ -212,6 +215,7 @@ class FusedResidual:
         return out
 
     # ------------------------------------------------------------------
+    @traced("fused.dissipation")
     def dissipation(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
         """D(w) for the *current* stage state (JST blend, two edge passes)."""
         ws = self.ws
@@ -279,6 +283,7 @@ class FusedResidual:
         return out
 
     # ------------------------------------------------------------------
+    @traced("fused.timestep")
     def timestep(self, w: np.ndarray, out: np.ndarray,
                  update_state: bool = False) -> np.ndarray:
         """Per-vertex local time step, sharing the stage wave speeds."""
@@ -303,6 +308,7 @@ class FusedResidual:
         return out
 
     # ------------------------------------------------------------------
+    @traced("fused.smooth")
     def smooth(self, r: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Jacobi residual averaging with frozen boundary rows."""
         cfg = self.config
@@ -326,6 +332,7 @@ class FusedResidual:
         return out
 
     # ------------------------------------------------------------------
+    @traced("fused.step")
     def step(self, w: np.ndarray,
              forcing: np.ndarray | None = None) -> tuple[np.ndarray, float]:
         """One five-stage time step; returns ``(w_new, stage0_resnorm)``.
@@ -353,28 +360,29 @@ class FusedResidual:
         cur = w0
         resnorm = float("nan")
         for stage, alpha in enumerate(RK_ALPHAS):
-            if stage > 0:
-                self.update_state(cur)
-            if stage in RK_DISSIPATION_STAGES:
-                self.dissipation(cur, out=diss)
-            self.convective(cur, out=q)
-            np.subtract(q, diss, out=r)
-            if stage == 0:
-                # Raw R(w0): reused by run() for convergence monitoring.
-                np.divide(r[:, 0], self.dual_volumes, out=resnorm_buf)
-                np.multiply(resnorm_buf, resnorm_buf, out=resnorm_buf)
-                resnorm = float(np.sqrt(np.mean(resnorm_buf)))
-            if forcing is not None:
-                np.add(r, forcing, out=r)
-            if cfg.residual_smoothing:
-                self.smooth(r, out=rbar)
-                upd = rbar
-            else:
-                upd = r
-            # wk = w0 - alpha * dt/V * r
-            np.multiply(upd, dtv_col, out=upd)
-            np.multiply(upd, -alpha, out=upd)
-            np.add(w0, upd, out=wk)
-            self.flops.add("update", 3 * NVAR * self.n_vertices)
-            cur = wk
+            with self.tracer.span("rk.stage"):
+                if stage > 0:
+                    self.update_state(cur)
+                if stage in RK_DISSIPATION_STAGES:
+                    self.dissipation(cur, out=diss)
+                self.convective(cur, out=q)
+                np.subtract(q, diss, out=r)
+                if stage == 0:
+                    # Raw R(w0): reused by run() for convergence monitoring.
+                    np.divide(r[:, 0], self.dual_volumes, out=resnorm_buf)
+                    np.multiply(resnorm_buf, resnorm_buf, out=resnorm_buf)
+                    resnorm = float(np.sqrt(np.mean(resnorm_buf)))
+                if forcing is not None:
+                    np.add(r, forcing, out=r)
+                if cfg.residual_smoothing:
+                    self.smooth(r, out=rbar)
+                    upd = rbar
+                else:
+                    upd = r
+                # wk = w0 - alpha * dt/V * r
+                np.multiply(upd, dtv_col, out=upd)
+                np.multiply(upd, -alpha, out=upd)
+                np.add(w0, upd, out=wk)
+                self.flops.add("update", 3 * NVAR * self.n_vertices)
+                cur = wk
         return wk, resnorm

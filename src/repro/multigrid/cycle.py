@@ -23,6 +23,16 @@ from .sequence import MultigridHierarchy
 
 __all__ = ["mg_cycle", "run_multigrid", "cycle_structure", "cycle_work_units"]
 
+#: Pre-interned span names for the usual hierarchy depths, so the hot
+#: recursion does not build an f-string per visit.
+_LEVEL_SPAN_NAMES = tuple(f"mg.level{i}" for i in range(8))
+
+
+def _level_span_name(level: int) -> str:
+    if level < len(_LEVEL_SPAN_NAMES):
+        return _LEVEL_SPAN_NAMES[level]
+    return f"mg.level{level}"
+
 
 def mg_cycle(hierarchy: MultigridHierarchy, w: np.ndarray, gamma: int = 1,
              level: int = 0, forcing: np.ndarray | None = None) -> np.ndarray:
@@ -33,26 +43,32 @@ def mg_cycle(hierarchy: MultigridHierarchy, w: np.ndarray, gamma: int = 1,
     """
     levels = hierarchy.levels
     lv = levels[level]
-    w_new = lv.solver.step(w, forcing=forcing)
+    tracer = lv.solver.tracer
+    with tracer.span(_level_span_name(level)):
+        w_new = lv.solver.step(w, forcing=forcing)
 
-    if level + 1 < len(levels):
-        # Full residual on this level, including this level's forcing: this
-        # is the quantity whose annihilation the coarse grid must drive.
-        resid = lv.solver.residual(w_new)
-        if forcing is not None:
-            resid = resid + forcing
-        w_coarse0 = lv.to_coarse_vars.apply(w_new)
-        r_coarse = lv.from_coarse.transpose_apply(resid)
-        forcing_coarse = r_coarse - levels[level + 1].solver.residual(w_coarse0)
+        if level + 1 < len(levels):
+            # Full residual on this level, including this level's forcing:
+            # this is the quantity whose annihilation the coarse grid must
+            # drive.
+            with tracer.span("mg.restrict"):
+                resid = lv.solver.residual(w_new)
+                if forcing is not None:
+                    resid = resid + forcing
+                w_coarse0 = lv.to_coarse_vars.apply(w_new)
+                r_coarse = lv.from_coarse.transpose_apply(resid)
+                forcing_coarse = (r_coarse
+                                  - levels[level + 1].solver.residual(w_coarse0))
 
-        w_coarse = w_coarse0
-        visits = gamma if level + 2 < len(levels) else 1
-        for _ in range(max(1, visits)):
-            w_coarse = mg_cycle(hierarchy, w_coarse, gamma=gamma,
-                                level=level + 1, forcing=forcing_coarse)
+            w_coarse = w_coarse0
+            visits = gamma if level + 2 < len(levels) else 1
+            for _ in range(max(1, visits)):
+                w_coarse = mg_cycle(hierarchy, w_coarse, gamma=gamma,
+                                    level=level + 1, forcing=forcing_coarse)
 
-        correction = lv.from_coarse.apply(w_coarse - w_coarse0)
-        w_new = w_new + correction
+            with tracer.span("mg.prolong"):
+                correction = lv.from_coarse.apply(w_coarse - w_coarse0)
+                w_new = w_new + correction
     return w_new
 
 
@@ -75,8 +91,10 @@ def run_multigrid(hierarchy: MultigridHierarchy, w: np.ndarray | None = None,
     if w is None:
         w = hierarchy.freestream_solution()
     history = []
+    tracer = solver.tracer
     for cycle in range(n_cycles):
-        w = mg_cycle(hierarchy, w, gamma=gamma)
+        with tracer.span("mg.cycle"):
+            w = mg_cycle(hierarchy, w, gamma=gamma)
         history.append(solver.last_step_residual_norm)
         if callback is not None:
             callback(cycle, w, history[-1])

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import get_tracer
 from .schedule import GatherSchedule, build_gather_schedule
 from .simmpi import SimMachine
 from .translation import TranslationTable
@@ -45,13 +46,25 @@ class IncrementalScheduleBuilder:
     gathered by previous schedules — the whole point of the optimisation.
     """
 
-    def __init__(self, table: TranslationTable):
+    def __init__(self, table: TranslationTable, tracer=None):
         self.table = table
         self.n_ranks = table.n_parts
+        self.tracer = tracer if tracer is not None else get_tracer()
         # The hash tables of the paper: global id -> ghost slot, per rank.
         self._slot_of: list = [dict() for _ in range(self.n_ranks)]
         self._next_slot = np.zeros(self.n_ranks, dtype=np.int64)
         self.increments: list = []
+        #: Cumulative off-processor ids requested / found already resident
+        #: across all :meth:`add` calls (the paper's hash-table dedup).
+        self.total_requested = 0
+        self.total_hits = 0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of requested off-processor ids already resident."""
+        if self.total_requested == 0:
+            return 0.0
+        return self.total_hits / self.total_requested
 
     # ------------------------------------------------------------------
     def ghost_count(self, rank: int) -> int:
@@ -61,13 +74,25 @@ class IncrementalScheduleBuilder:
         """Register one loop's reference set; schedule only the new ids."""
         new_per_rank = []
         slots_per_rank = []
+        n_requested = 0
+        n_new = 0
         for r in range(self.n_ranks):
             req = np.unique(np.asarray(required_globals[r], dtype=np.int64))
             req = req[self.table.owner_of(req) != r]
             slot_map = self._slot_of[r]
             new_ids = [g for g in req.tolist() if g not in slot_map]
+            n_requested += req.size
+            n_new += len(new_ids)
             new_per_rank.append(np.array(new_ids, dtype=np.int64))
             slots_per_rank.append(req)     # placeholder, resolved below
+
+        self.total_requested += n_requested
+        self.total_hits += n_requested - n_new
+        if self.tracer.enabled:
+            self.tracer.count("parti.incr.ids_requested", n_requested)
+            self.tracer.count("parti.incr.ids_new", n_new)
+            self.tracer.gauge("parti.incr.dedup_hit_rate",
+                              self.dedup_hit_rate)
 
         schedule = build_gather_schedule(new_per_rank, self.table, name=name)
         # Allocate slots for the new ids in schedule ghost order (so one

@@ -22,7 +22,7 @@ send/receive pattern.  :class:`GatherSchedule` is the executor side:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -53,6 +53,13 @@ class GatherSchedule:
     send_indices: dict
     recv_slices: dict
     name: str = "gather"
+    #: Reusable per-((owner, requester), trailing shape, dtype) send pack
+    #: buffers — the executor's steady state allocates nothing (same
+    #: convention as the fused residual pipeline's stage workspaces).
+    #: Safe to reuse across calls: the receiver copies each payload into
+    #: its ghost block before :meth:`gather` returns.
+    _pack_buffers: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     @property
     def n_ranks(self) -> int:
@@ -65,25 +72,43 @@ class GatherSchedule:
         return int(self.ghost_counts().sum())
 
     # ------------------------------------------------------------------
+    def _pack(self, key: tuple, source: np.ndarray,
+              idx: np.ndarray) -> np.ndarray:
+        """Pack ``source[idx]`` into a reusable preallocated buffer."""
+        trailing = source.shape[1:]
+        buf_key = (key, trailing, source.dtype)
+        buf = self._pack_buffers.get(buf_key)
+        if buf is None or buf.shape[0] != idx.size:
+            buf = np.empty((idx.size,) + trailing, dtype=source.dtype)
+            self._pack_buffers[buf_key] = buf
+        np.take(source, idx, axis=0, out=buf)
+        return buf
+
     def gather(self, machine: SimMachine, owned: list, phase: str | None = None) -> list:
         """Fetch ghost values: returns per-rank ghost arrays.
 
         ``owned[r]`` is rank r's owned block ``(n_owned_r, ...)``.
         """
         phase = phase or self.name
-        messages = {
-            (src, dst): owned[src][idx]
-            for (src, dst), idx in self.send_indices.items()
-        }
-        delivered = machine.exchange(messages, phase)
-        ghosts = []
-        for r in range(self.n_ranks):
-            shape = (self.ghost_globals[r].size,) + owned[r].shape[1:]
-            buf = np.zeros(shape, dtype=owned[r].dtype)
-            ghosts.append(buf)
-        for (src, dst), payload in delivered.items():
-            start, stop = self.recv_slices[(src, dst)]
-            ghosts[dst][start:stop] = payload
+        tracer = machine.tracer
+        with tracer.span("parti.gather"):
+            n_packed = 0
+            messages = {}
+            for (src, dst), idx in self.send_indices.items():
+                buf = self._pack((src, dst), owned[src], idx)
+                n_packed += buf.nbytes
+                messages[(src, dst)] = buf
+            if tracer.enabled:
+                tracer.count("parti.gather.bytes_packed", n_packed)
+            delivered = machine.exchange(messages, phase)
+            ghosts = []
+            for r in range(self.n_ranks):
+                shape = (self.ghost_globals[r].size,) + owned[r].shape[1:]
+                buf = np.zeros(shape, dtype=owned[r].dtype)
+                ghosts.append(buf)
+            for (src, dst), payload in delivered.items():
+                start, stop = self.recv_slices[(src, dst)]
+                ghosts[dst][start:stop] = payload
         return ghosts
 
     def scatter_add(self, machine: SimMachine, ghost_contrib: list,
@@ -95,13 +120,22 @@ class GatherSchedule:
         assembly of partition-crossing edges.
         """
         phase = phase or (self.name + "-scatter")
-        messages = {}
-        for (owner, requester), (start, stop) in self.recv_slices.items():
-            messages[(requester, owner)] = ghost_contrib[requester][start:stop]
-        delivered = machine.exchange(messages, phase)
-        for (requester, owner), payload in delivered.items():
-            idx = self.send_indices[(owner, requester)]
-            np.add.at(owned[owner], idx, payload)
+        tracer = machine.tracer
+        with tracer.span("parti.scatter_add"):
+            n_packed = 0
+            messages = {}
+            for (owner, requester), (start, stop) in self.recv_slices.items():
+                # Ghost blocks are (owner, id)-ordered, so the "pack" here
+                # is a contiguous slice — a view, no copy needed.
+                payload = ghost_contrib[requester][start:stop]
+                n_packed += payload.nbytes
+                messages[(requester, owner)] = payload
+            if tracer.enabled:
+                tracer.count("parti.scatter_add.bytes_packed", n_packed)
+            delivered = machine.exchange(messages, phase)
+            for (requester, owner), payload in delivered.items():
+                idx = self.send_indices[(owner, requester)]
+                np.add.at(owned[owner], idx, payload)
 
 
 def build_gather_schedule(required_globals: list, table: TranslationTable,

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import get_tracer
+
 __all__ = ["SimMachine", "TrafficLog", "PhaseTraffic"]
 
 
@@ -93,29 +95,41 @@ class SimMachine:
     the sender's job and is what the schedule machinery implements.
     """
 
-    def __init__(self, n_ranks: int):
+    def __init__(self, n_ranks: int, tracer=None):
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self.log = TrafficLog(n_ranks)
+        self.tracer = tracer if tracer is not None else get_tracer()
 
     def exchange(self, messages: dict, phase: str) -> dict:
-        traffic = self.log.phase(phase)
-        traffic.occurrences += 1
-        delivered = {}
-        for (src, dst), payload in messages.items():
-            if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
-                raise ValueError(f"bad ranks ({src}, {dst})")
-            if src == dst:
-                # Local copies are free on a real machine too.
+        tracer = self.tracer
+        with tracer.span("comm.exchange"):
+            traffic = self.log.phase(phase)
+            traffic.occurrences += 1
+            n_msgs = 0
+            n_bytes = 0
+            delivered = {}
+            for (src, dst), payload in messages.items():
+                if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
+                    raise ValueError(f"bad ranks ({src}, {dst})")
+                if src == dst:
+                    # Local copies are free on a real machine too.
+                    delivered[(src, dst)] = payload
+                    continue
+                payload = np.ascontiguousarray(payload)
+                if payload.size == 0:
+                    continue
+                traffic.msgs_sent[src] += 1
+                traffic.bytes_sent[src] += payload.nbytes
+                traffic.msgs_recv[dst] += 1
+                traffic.bytes_recv[dst] += payload.nbytes
+                n_msgs += 1
+                n_bytes += payload.nbytes
                 delivered[(src, dst)] = payload
-                continue
-            payload = np.ascontiguousarray(payload)
-            if payload.size == 0:
-                continue
-            traffic.msgs_sent[src] += 1
-            traffic.bytes_sent[src] += payload.nbytes
-            traffic.msgs_recv[dst] += 1
-            traffic.bytes_recv[dst] += payload.nbytes
-            delivered[(src, dst)] = payload
+            if tracer.enabled:
+                # The phase string is dynamic (names come from the
+                # schedules), so build counter keys only when tracing.
+                tracer.count("comm." + phase + ".msgs", n_msgs)
+                tracer.count("comm." + phase + ".bytes", n_bytes)
         return delivered

@@ -20,7 +20,7 @@ comparisons need.
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,6 +31,7 @@ from .multigrid import MultigridHierarchy
 from .partition import recursive_spectral_bisection
 from .solver.bc import BoundaryData
 from .distsolver.partitioned_mesh import DistributedMesh, partition_solver_data
+from .telemetry import Tracer, get_tracer
 
 __all__ = ["PreprocessedCase", "preprocess", "write_processor_files",
            "read_processor_file"]
@@ -61,38 +62,58 @@ class PreprocessedCase:
         return "\n".join(lines)
 
 
+@contextmanager
+def _stage(local: Tracer, ambient, name: str):
+    """Time one pipeline stage on both the ambient and the local tracer.
+
+    The local tracer always records (it is the source of the legacy
+    ``timings`` mapping); the ambient one is whatever the caller installed
+    globally — the null tracer by default.
+    """
+    with ambient.span(name), local.span(name):
+        yield
+
+
 def preprocess(meshes: list, w_inf: np.ndarray, n_ranks: int,
                config=None, seed: int = 1234) -> PreprocessedCase:
     """Run the full Section 2.4 pipeline on a mesh sequence.
 
-    Stages (each timed): edge-structure transform, inter-grid transfer
-    search, edge colouring, recursive spectral bisection, per-processor
-    data construction (the PARTI inspector).
+    Stages (each recorded as a telemetry span): edge-structure transform,
+    inter-grid transfer search, edge colouring, recursive spectral
+    bisection, per-processor data construction (the PARTI inspector).
+    The returned :attr:`PreprocessedCase.timings` mapping is derived from
+    the spans and keeps its historical stage names.
     """
+    ambient = get_tracer()
+    local = Tracer(capacity=64)
+
+    with ambient.span("pipeline.preprocess"):
+        with _stage(local, ambient, "edge structures + transfers"):
+            hierarchy = MultigridHierarchy(meshes, w_inf, config)
+
+        with _stage(local, ambient, "edge colouring"):
+            colorings = [color_edges(lv.solver.struct.edges,
+                                     lv.solver.n_vertices)
+                         for lv in hierarchy.levels]
+
+        with _stage(local, ambient, "spectral partitioning"):
+            assignments = [recursive_spectral_bisection(
+                lv.solver.struct.edges, lv.solver.n_vertices,
+                n_ranks, seed=seed) for lv in hierarchy.levels]
+
+        with _stage(local, ambient, "processor data (inspector)"):
+            dmeshes = []
+            for lv, asg in zip(hierarchy.levels, assignments):
+                bdata = BoundaryData(lv.solver.struct)
+                dmeshes.append(partition_solver_data(lv.solver.struct,
+                                                     bdata, asg))
+
+    # Legacy timings mapping, in completion order of the stage spans.
+    names = local.names()
     timings: dict[str, float] = {}
-
-    t0 = time.perf_counter()
-    hierarchy = MultigridHierarchy(meshes, w_inf, config)
-    timings["edge structures + transfers"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    colorings = [color_edges(lv.solver.struct.edges, lv.solver.n_vertices)
-                 for lv in hierarchy.levels]
-    timings["edge colouring"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    assignments = [recursive_spectral_bisection(lv.solver.struct.edges,
-                                                lv.solver.n_vertices,
-                                                n_ranks, seed=seed)
-                   for lv in hierarchy.levels]
-    timings["spectral partitioning"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    dmeshes = []
-    for lv, asg in zip(hierarchy.levels, assignments):
-        bdata = BoundaryData(lv.solver.struct)
-        dmeshes.append(partition_solver_data(lv.solver.struct, bdata, asg))
-    timings["processor data (inspector)"] = time.perf_counter() - t0
+    for rec in local.records():
+        name = names[rec["name"]]
+        timings[name] = timings.get(name, 0.0) + float(rec["t1"] - rec["t0"])
 
     return PreprocessedCase(hierarchy=hierarchy, colorings=colorings,
                             assignments=assignments, dmeshes=dmeshes,

@@ -27,6 +27,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .telemetry import get_tracer
+
 try:  # SciPy's C kernel computes ``out += A @ x`` without temporaries.
     from scipy.sparse import _sparsetools as _spt
 
@@ -87,13 +89,14 @@ class EdgeScatter:
     loop incur no allocations.
     """
 
-    def __init__(self, edges: np.ndarray, n_vertices: int):
+    def __init__(self, edges: np.ndarray, n_vertices: int, tracer=None):
         edges = np.asarray(edges)
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ValueError(f"edges must be (ne, 2), got {edges.shape}")
         ne = edges.shape[0]
         self.edges = edges
         self.n_vertices = int(n_vertices)
+        self.tracer = tracer if tracer is not None else get_tracer()
         rows = np.concatenate([edges[:, 0], edges[:, 1]])
         cols = np.concatenate([np.arange(ne), np.arange(ne)])
         signed_data = np.concatenate([np.ones(ne), -np.ones(ne)])
@@ -114,17 +117,26 @@ class EdgeScatter:
     def neighbor_sum(self, vertex_values: np.ndarray,
                      out: np.ndarray | None = None) -> np.ndarray:
         """``out_i = sum_{j ~ i} v_j`` over the mesh edge graph."""
-        return self._apply(self._adjacency, vertex_values, out)
+        with self.tracer.span("scatter.neighbor_sum"):
+            return self._apply(self._adjacency, vertex_values, out)
 
     def signed(self, edge_values: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
         """Accumulate ``+value`` at edge tail, ``-value`` at edge head."""
-        return self._apply(self._signed, edge_values, out)
+        tracer = self.tracer
+        with tracer.span("scatter.signed"):
+            if tracer.enabled:
+                tracer.count("kernel.edges_scattered", self.edges.shape[0])
+            return self._apply(self._signed, edge_values, out)
 
     def unsigned(self, edge_values: np.ndarray,
                  out: np.ndarray | None = None) -> np.ndarray:
         """Accumulate ``+value`` at both edge endpoints."""
-        return self._apply(self._unsigned, edge_values, out)
+        tracer = self.tracer
+        with tracer.span("scatter.unsigned"):
+            if tracer.enabled:
+                tracer.count("kernel.edges_scattered", self.edges.shape[0])
+            return self._apply(self._unsigned, edge_values, out)
 
     @staticmethod
     def _apply(mat: sp.csr_matrix, edge_values: np.ndarray,

@@ -23,6 +23,7 @@ from ..mesh.edges import EdgeStructure, build_edge_structure
 from ..mesh.tetra import TetMesh
 from ..perfmodel.flops import FlopCounter, NullFlopCounter
 from ..scatter import EdgeScatter
+from ..telemetry import get_tracer, traced
 from .bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
                  BoundaryData, boundary_fluxes)
 from .config import SolverConfig
@@ -49,10 +50,13 @@ class EulerSolver:
         as the default initial condition.
     config : numerical parameters; defaults are suitable for transonic flow.
     flops : optional :class:`FlopCounter` receiving analytic counts.
+    tracer : optional :class:`repro.telemetry.Tracer`; defaults to the
+        process-global tracer (the no-op :data:`~repro.telemetry.NULL_TRACER`
+        unless one was installed), captured at construction.
     """
 
     def __init__(self, mesh, w_inf: np.ndarray,
-                 config: SolverConfig | None = None, flops=None):
+                 config: SolverConfig | None = None, flops=None, tracer=None):
         if isinstance(mesh, TetMesh):
             self.mesh = mesh
             self.struct = build_edge_structure(mesh)
@@ -66,12 +70,14 @@ class EulerSolver:
         if self.w_inf.shape != (NVAR,):
             raise ValueError(f"w_inf must have shape (5,), got {self.w_inf.shape}")
         self.flops = flops if flops is not None else NullFlopCounter()
+        self.tracer = tracer if tracer is not None else get_tracer()
 
         if self.config.reorder_edges_enabled:
             from ..kernels import reorder_edges
             self.struct = reorder_edges(self.struct)
 
-        self.scatter = EdgeScatter(self.struct.edges, self.struct.n_vertices)
+        self.scatter = EdgeScatter(self.struct.edges, self.struct.n_vertices,
+                                   tracer=self.tracer)
         self.bdata = BoundaryData(self.struct)
         self.edges = self.struct.edges
         self.eta = self.struct.eta
@@ -90,10 +96,11 @@ class EulerSolver:
             from ..kernels import FusedResidual, make_executor
             ex = make_executor(self.struct.edges, self.struct.n_vertices,
                                kind=self.config.executor,
-                               n_threads=self.config.n_threads)
+                               n_threads=self.config.n_threads,
+                               tracer=self.tracer)
             self.fused = FusedResidual(self.struct, self.bdata, self.config,
                                        self.w_inf, executor=ex,
-                                       flops=self.flops)
+                                       flops=self.flops, tracer=self.tracer)
         #: Density-residual RMS of the *input* state of the most recent
         #: :meth:`step` call (captured from stage 0 at no extra cost), or
         #: ``None`` before the first step.  See :meth:`run`.
@@ -113,6 +120,7 @@ class EulerSolver:
         return np.tile(self.w_inf, (self.n_vertices, 1))
 
     # ------------------------------------------------------------------
+    @traced("solver.convective")
     def convective(self, w: np.ndarray) -> np.ndarray:
         """Q(w): interior edge fluxes plus boundary closure."""
         q = convective_operator(w, self.edges, self.eta, self.scatter)
@@ -125,6 +133,7 @@ class EulerSolver:
                        + FLOPS_PER_FARFIELD_VERTEX * self.bdata.far_vertices.size)
         return q
 
+    @traced("solver.dissipation")
     def dissipation(self, w: np.ndarray) -> np.ndarray:
         """D(w): blended Laplacian/biharmonic dissipative operator."""
         d = dissipation_operator(w, self.edges, self.eta, self.scatter,
@@ -149,6 +158,7 @@ class EulerSolver:
             dissipation = self.dissipation(w)
         return self.convective(w) - dissipation
 
+    @traced("solver.timestep")
     def timestep(self, w: np.ndarray) -> np.ndarray:
         """Per-vertex local time step at the configured CFL number."""
         if self.fused is not None:
@@ -177,36 +187,42 @@ class EulerSolver:
         so convergence monitoring costs no extra residual evaluation.
         """
         if self.fused is not None:
-            wk, resnorm = self.fused.step(w, forcing=forcing)
+            with self.tracer.span("solver.step"):
+                wk, resnorm = self.fused.step(w, forcing=forcing)
             self.last_step_residual_norm = resnorm
             return wk
         cfg = self.config
-        w0 = w
-        dt_over_v = (self.timestep(w0) / self.dual_volumes)[:, None]
+        with self.tracer.span("solver.step"):
+            w0 = w
+            dt_over_v = (self.timestep(w0) / self.dual_volumes)[:, None]
 
-        diss = None
-        wk = w0
-        for stage, alpha in enumerate(RK_ALPHAS):
-            if stage in RK_DISSIPATION_STAGES:
-                diss = self.dissipation(wk)
-            r = self.convective(wk) - diss
-            if stage == 0:
-                # Bit-identical to density_residual_norm(w0): stage 0 runs
-                # dissipation(w0) then convective(w0) in the same order.
-                self.last_step_residual_norm = float(
-                    np.sqrt(np.mean((r[:, 0] / self.dual_volumes) ** 2)))
-            if forcing is not None:
-                r = r + forcing
-            if cfg.residual_smoothing:
-                r = smooth_residual(r, self.edges, self.scatter,
-                                    cfg.smoothing_eps, cfg.smoothing_sweeps,
-                                    freeze_mask=self.boundary_mask)
-                self.flops.add("smoothing",
-                               cfg.smoothing_sweeps
-                               * (FLOPS_PER_EDGE_SMOOTH * self.n_edges
-                                  + FLOPS_PER_VERTEX_SMOOTH * self.n_vertices))
-            wk = w0 - alpha * dt_over_v * r
-            self.flops.add("update", 3 * NVAR * self.n_vertices)
+            diss = None
+            wk = w0
+            for stage, alpha in enumerate(RK_ALPHAS):
+                with self.tracer.span("rk.stage"):
+                    if stage in RK_DISSIPATION_STAGES:
+                        diss = self.dissipation(wk)
+                    r = self.convective(wk) - diss
+                    if stage == 0:
+                        # Bit-identical to density_residual_norm(w0): stage 0
+                        # runs dissipation(w0) then convective(w0) in the
+                        # same order.
+                        self.last_step_residual_norm = float(
+                            np.sqrt(np.mean((r[:, 0] / self.dual_volumes) ** 2)))
+                    if forcing is not None:
+                        r = r + forcing
+                    if cfg.residual_smoothing:
+                        r = smooth_residual(r, self.edges, self.scatter,
+                                            cfg.smoothing_eps,
+                                            cfg.smoothing_sweeps,
+                                            freeze_mask=self.boundary_mask)
+                        self.flops.add("smoothing",
+                                       cfg.smoothing_sweeps
+                                       * (FLOPS_PER_EDGE_SMOOTH * self.n_edges
+                                          + FLOPS_PER_VERTEX_SMOOTH
+                                          * self.n_vertices))
+                    wk = w0 - alpha * dt_over_v * r
+                    self.flops.add("update", 3 * NVAR * self.n_vertices)
         return wk
 
     # ------------------------------------------------------------------
@@ -239,10 +255,12 @@ class EulerSolver:
         if w is None:
             w = self.freestream_solution()
         history = []
-        for cycle in range(n_cycles):
-            w = self.step(w)
-            history.append(self.last_step_residual_norm)
-            if callback is not None:
-                callback(cycle, w, history[-1])
-        history.append(self.density_residual_norm(w))
+        with self.tracer.span("solver.run"):
+            for cycle in range(n_cycles):
+                with self.tracer.span("solver.cycle"):
+                    w = self.step(w)
+                history.append(self.last_step_residual_norm)
+                if callback is not None:
+                    callback(cycle, w, history[-1])
+            history.append(self.density_residual_norm(w))
         return w, history

@@ -8,6 +8,7 @@ the examples to show the solver is producing physically sensible answers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,13 +22,31 @@ __all__ = ["ConvergenceHistory", "mach_field", "surface_pressure_coefficient",
 
 @dataclass
 class ConvergenceHistory:
-    """Residual history with the convergence-rate summaries the paper quotes."""
+    """Residual history with the convergence-rate summaries the paper quotes.
+
+    Each :meth:`append` also records a wall-clock timestamp (seconds since
+    the history was created), so residual-vs-time plots — the natural
+    companion of the telemetry subsystem's per-phase breakdown — need no
+    extra bookkeeping from the caller.
+    """
 
     residuals: list = field(default_factory=list)
     label: str = ""
+    #: Wall-clock time of each appended residual, seconds since creation.
+    timestamps: list = field(default_factory=list)
+    t_start: float = field(default_factory=time.perf_counter, repr=False)
 
-    def append(self, value: float) -> None:
+    def append(self, value: float, timestamp: float | None = None) -> None:
+        """Record one residual; ``timestamp`` overrides the wall clock."""
         self.residuals.append(float(value))
+        if timestamp is None:
+            timestamp = time.perf_counter() - self.t_start
+        self.timestamps.append(float(timestamp))
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(timestamps, residuals)`` as float arrays, ready to plot."""
+        return (np.asarray(self.timestamps, dtype=float),
+                np.asarray(self.residuals, dtype=float))
 
     @property
     def orders_reduced(self) -> float:

@@ -1,0 +1,71 @@
+"""Zero-overhead telemetry: span tracing, phase timers, comm counters.
+
+The measurement layer behind the reproduction's performance accounting
+(the paper's Tables 1-2 break every run into per-phase compute and
+communication time; this subsystem produces the same breakdown for the
+live code).  Three pieces:
+
+* :class:`Tracer` — nested spans (cycle → RK stage → kernel) recorded
+  into a preallocated ring buffer, plus typed counters and gauges.
+* :class:`NullTracer` / :data:`NULL_TRACER` — the default; instrumented
+  code costs one attribute lookup when tracing is off.
+* exporters — JSON-lines, ``chrome://tracing``, and the per-phase
+  summary table (:mod:`repro.telemetry.export`).
+
+Plumbing: components capture a tracer at construction, defaulting to
+the process-global one::
+
+    from repro.telemetry import Tracer, use_tracer
+    from repro.telemetry.export import write_chrome_trace, format_summary
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        solver = EulerSolver(mesh, w_inf)     # captures the tracer
+        solver.run(n_cycles=50)
+    write_chrome_trace(tracer, "trace.json")
+    print(format_summary(tracer))
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .counters import CounterStore, GaugeStats, GaugeStore
+from .tracer import NULL_TRACER, NullTracer, TracePayload, Tracer, traced
+from . import export
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TracePayload",
+           "CounterStore", "GaugeStats", "GaugeStore", "export", "traced",
+           "get_tracer", "set_tracer", "use_tracer"]
+
+_GLOBAL_TRACER = NULL_TRACER
+
+
+def get_tracer():
+    """The process-global tracer (the :data:`NULL_TRACER` by default).
+
+    Instrumented components look this up **at construction** and keep
+    the reference — swapping the global tracer affects objects built
+    afterwards, not existing ones (which may hold one explicitly).
+    """
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` (or the null tracer for ``None``) globally."""
+    global _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer if tracer is not None else NULL_TRACER
+    return _GLOBAL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = _GLOBAL_TRACER
+    set_tracer(tracer)
+    try:
+        yield _GLOBAL_TRACER
+    finally:
+        set_tracer(previous)

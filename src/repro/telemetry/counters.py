@@ -1,0 +1,118 @@
+"""Typed telemetry counters and gauges.
+
+Two metric kinds, mirroring what the paper's tables actually report:
+
+* **Counters** are monotonically accumulating totals — edges processed,
+  bytes gathered/scattered per PARTI phase, messages sent, incremental-
+  schedule dedup hits.  They answer "how much work/traffic happened".
+* **Gauges** are sampled values with distribution summaries (last, min,
+  max, mean over observations) — colour-group imbalance, thread-pool
+  occupancy, ghost fractions.  They answer "how balanced was it".
+
+Both stores are thread-safe (worker threads of the colored-threaded
+executor observe gauges concurrently) and allocation-light: one dict
+entry per metric name, floats thereafter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CounterStore", "GaugeStats", "GaugeStore"]
+
+
+class CounterStore:
+    """Thread-safe map of monotonically accumulating named totals."""
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self):
+        self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0.0) + value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+
+class GaugeStats:
+    """Running summary of one sampled quantity (no sample storage)."""
+
+    __slots__ = ("last", "min", "max", "total", "count")
+
+    def __init__(self):
+        self.last = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"last": self.last, "min": self.min, "max": self.max,
+                "mean": self.mean, "count": self.count}
+
+
+class GaugeStore:
+    """Thread-safe map of named :class:`GaugeStats`."""
+
+    __slots__ = ("_gauges", "_lock")
+
+    def __init__(self):
+        self._gauges: dict[str, GaugeStats] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = GaugeStats()
+                self._gauges[name] = g
+            g.observe(value)
+
+    def get(self, name: str) -> GaugeStats | None:
+        return self._gauges.get(name)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {name: g.as_dict() for name, g in self._gauges.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._gauges.clear()
+
+    def __len__(self) -> int:
+        return len(self._gauges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._gauges

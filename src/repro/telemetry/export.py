@@ -1,0 +1,233 @@
+"""Exporters: JSON-lines dump, Chrome-trace converter, summary tables.
+
+Three consumers of one :class:`~repro.telemetry.tracer.TracePayload`
+stream (a tracer plus any per-rank payloads merged at the driver):
+
+* :func:`write_jsonl` — one self-describing JSON object per line
+  (spans, counters, gauges); the archival format CI uploads.
+* :func:`write_chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev: complete ("X")
+  events with microsecond timestamps, one ``pid`` row per process
+  timeline (driver = 0, mp ranks = 1..N), one ``tid`` row per thread.
+* :func:`format_summary` — the per-phase accounting table the harness
+  prints: per span name, call count, inclusive (total) and exclusive
+  (self) time, and share of wall-clock — the shape of the paper's
+  Tables 1-2 compute/communication breakdowns.
+
+Self time is recovered from interval containment per (pid, tid): spans
+are strictly nested within a thread, so sorting by start time and
+keeping a stack of open intervals attributes each child's inclusive
+time to its parent's children-total.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from .tracer import TracePayload, Tracer, _as_payload
+
+__all__ = ["all_payloads", "write_jsonl", "chrome_trace_events",
+           "write_chrome_trace", "aggregate", "format_summary",
+           "format_counters"]
+
+
+def all_payloads(source: Any) -> list[TracePayload]:
+    """Normalise a Tracer / payload / list thereof into payload list.
+
+    A :class:`Tracer` contributes its own timeline plus any
+    ``remote_payloads`` attached by a distributed driver.
+    """
+    if isinstance(source, Tracer):
+        own = source.to_payload()
+        used = {p.pid for p in source.remote_payloads}
+        if own.pid in used:  # keep pids unique in merged exports
+            own.pid = max(used) + 1
+        return [own] + list(source.remote_payloads)
+    if isinstance(source, TracePayload):
+        return [source]
+    return [_as_payload(p) for p in source]
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines
+# ---------------------------------------------------------------------------
+
+def write_jsonl(source: Any, path) -> int:
+    """Write spans + metrics as JSON-lines; returns the line count.
+
+    Line types: ``meta`` (one per payload), ``span`` (t0/t1 seconds
+    relative to the payload's clock origin), ``counter``, ``gauge``.
+    """
+    payloads = all_payloads(source)
+    n_lines = 0
+    with open(path, "w") as fh:
+        for p in payloads:
+            rows = [{"type": "meta", "pid": p.pid, "label": p.label,
+                     "n_spans": int(p.records.size),
+                     "n_dropped": int(p.n_dropped)}]
+            names = p.names
+            for rec in p.records:
+                rows.append({"type": "span", "pid": p.pid,
+                             "tid": int(rec["tid"]),
+                             "name": names[int(rec["name"])],
+                             "depth": int(rec["depth"]),
+                             "t0": float(rec["t0"]), "t1": float(rec["t1"])})
+            for name, value in sorted(p.counters.items()):
+                rows.append({"type": "counter", "pid": p.pid, "name": name,
+                             "value": value})
+            for name, stats in sorted(p.gauges.items()):
+                rows.append({"type": "gauge", "pid": p.pid, "name": name,
+                             **stats})
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+            n_lines += len(rows)
+    return n_lines
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace (about://tracing, Perfetto)
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(source: Any) -> list[dict]:
+    """Trace Event Format events (complete "X" events, ts/dur in µs)."""
+    events: list[dict] = []
+    for p in all_payloads(source):
+        if p.label:
+            events.append({"name": "process_name", "ph": "M", "pid": p.pid,
+                           "tid": 0, "args": {"name": p.label}})
+        names = p.names
+        for rec in p.records:
+            events.append({
+                "name": names[int(rec["name"])],
+                "ph": "X",
+                "pid": p.pid,
+                "tid": int(rec["tid"]),
+                "ts": float(rec["t0"]) * 1e6,
+                "dur": float(rec["t1"] - rec["t0"]) * 1e6,
+            })
+        counters = p.counters
+        if counters:
+            # One metadata-style counter dump at the end of the timeline.
+            t_end = float(p.records["t1"].max()) * 1e6 if p.records.size else 0.0
+            events.append({"name": "counters", "ph": "C", "pid": p.pid,
+                           "ts": t_end, "args": {k: float(v) for k, v
+                                                 in sorted(counters.items())}})
+    # Chrome sorts by ts; emitting sorted keeps diffs stable for tests.
+    events.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+    return events
+
+
+def write_chrome_trace(source: Any, path) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns #events."""
+    events = chrome_trace_events(source)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Per-phase summary
+# ---------------------------------------------------------------------------
+
+def _self_times(payload: TracePayload) -> dict[str, list[float]]:
+    """Per span name: [count, inclusive seconds, exclusive seconds]."""
+    out: dict[str, list[float]] = {}
+    recs = payload.records
+    names = payload.names
+    if recs.size == 0:
+        return out
+    for tid in np.unique(recs["tid"]):
+        spans = recs[recs["tid"] == tid]
+        order = np.argsort(spans["t0"], kind="stable")
+        spans = spans[order]
+        # Stack of open intervals: (t1, children_seconds_accumulator idx)
+        child_time = np.zeros(spans.size)
+        stack: list[int] = []
+        for i in range(spans.size):
+            t0 = spans["t0"][i]
+            while stack and t0 >= spans["t1"][stack[-1]]:
+                stack.pop()
+            dur = float(spans["t1"][i] - spans["t0"][i])
+            if stack:
+                child_time[stack[-1]] += dur
+            stack.append(i)
+            name = names[int(spans["name"][i])]
+            row = out.setdefault(name, [0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += dur
+        for i in range(spans.size):
+            name = names[int(spans["name"][i])]
+            out[name][2] += float(spans["t1"][i] - spans["t0"][i]) - child_time[i]
+    return out
+
+
+def aggregate(source: Any) -> dict[str, dict[str, float]]:
+    """Merge per-phase stats across payloads.
+
+    Returns ``{name: {count, total_s, self_s}}``; ``total_s`` is
+    inclusive time (contains children), ``self_s`` exclusive.
+    """
+    merged: dict[str, list[float]] = {}
+    for p in all_payloads(source):
+        for name, (count, total, self_s) in _self_times(p).items():
+            row = merged.setdefault(name, [0, 0.0, 0.0])
+            row[0] += count
+            row[1] += total
+            row[2] += self_s
+    return {name: {"count": int(c), "total_s": t, "self_s": s}
+            for name, (c, t, s) in merged.items()}
+
+
+def format_summary(source: Any, wall_s: float | None = None,
+                   title: str = "telemetry phase summary") -> str:
+    """The per-phase accounting table (sorted by exclusive time).
+
+    ``wall_s`` defaults to the merged timeline extent; the ``self``
+    column sums to the traced wall-clock on a single-threaded timeline
+    (the acceptance criterion checks the total lands within 5%).
+    """
+    payloads = all_payloads(source)
+    stats = aggregate(payloads)
+    if wall_s is None:
+        lo, hi = float("inf"), float("-inf")
+        for p in payloads:
+            if p.records.size:
+                lo = min(lo, float(p.records["t0"].min()))
+                hi = max(hi, float(p.records["t1"].max()))
+        wall_s = max(0.0, hi - lo) if hi > lo else 0.0
+    lines = [title + ":",
+             f"{'phase':>32s} {'calls':>8s} {'total ms':>10s} "
+             f"{'self ms':>10s} {'self %':>7s}"]
+    total_self = 0.0
+    for name, row in sorted(stats.items(), key=lambda kv: -kv[1]["self_s"]):
+        share = 100.0 * row["self_s"] / wall_s if wall_s > 0 else 0.0
+        lines.append(f"{name:>32s} {row['count']:8d} "
+                     f"{row['total_s'] * 1e3:10.2f} "
+                     f"{row['self_s'] * 1e3:10.2f} {share:6.1f}%")
+        total_self += row["self_s"]
+    lines.append(f"{'total (self)':>32s} {'':8s} {'':10s} "
+                 f"{total_self * 1e3:10.2f} "
+                 f"{100.0 * total_self / wall_s if wall_s > 0 else 0.0:6.1f}%")
+    lines.append(f"{'wall-clock':>32s} {'':8s} {'':10s} {wall_s * 1e3:10.2f}")
+    return "\n".join(lines)
+
+
+def format_counters(source: Any, title: str = "telemetry counters") -> str:
+    """Counters and gauges, merged across payloads, as a table."""
+    totals: dict[str, float] = {}
+    gauge_rows: dict[str, dict[str, float]] = {}
+    for p in all_payloads(source):
+        for name, value in p.counters.items():
+            totals[name] = totals.get(name, 0.0) + value
+        for name, stats in p.gauges.items():
+            gauge_rows.setdefault(name, stats)
+    lines = [title + ":"]
+    for name, value in sorted(totals.items()):
+        lines.append(f"{name:>40s} {value:16,.0f}")
+    for name, stats in sorted(gauge_rows.items()):
+        lines.append(f"{name:>40s} last={stats['last']:.3f} "
+                     f"mean={stats['mean']:.3f} max={stats['max']:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""Span tracer with a preallocated ring buffer, and its no-op twin.
+
+Design constraints (ISSUE 2 / the paper's Tables 1-2 accounting):
+
+* **Zero cost when disabled.**  Every instrumented call site does
+  ``with self.tracer.span("name"):`` — with the default
+  :class:`NullTracer` this is one attribute lookup, one method call
+  returning a shared singleton, and an empty ``with`` block.  The
+  benchmark gate in ``benchmarks/bench_residual.py`` verifies the
+  projected per-step overhead stays under 2%.
+* **No allocation on the hot path when enabled.**  Spans are recorded
+  into a structured NumPy ring buffer preallocated at construction;
+  span handles are pooled per thread and per nesting depth, so steady-
+  state tracing allocates nothing (first use of a new depth or thread
+  grows the pool once).
+* **Thread-safe.**  The colored-threaded executor emits spans from
+  worker threads.  Each thread keeps its own nesting stack (spans are
+  strictly nested *per thread*); only the ring-buffer slot reservation
+  takes a lock.
+
+Spans carry ``(name, tid, depth, t0, t1)``; parent/child structure is
+not stored but recovered from interval containment per thread, which is
+exactly what ``chrome://tracing`` does with complete ("X") events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .counters import CounterStore, GaugeStore
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "SPAN_DTYPE"]
+
+#: Ring-buffer record layout: interned name id, dense thread id, nesting
+#: depth, start/end times (seconds relative to the tracer's origin).
+SPAN_DTYPE = np.dtype([("name", np.int32), ("tid", np.int32),
+                       ("depth", np.int16), ("t0", np.float64),
+                       ("t1", np.float64)])
+
+_perf_counter = time.perf_counter
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Instrumented code holds a reference to a tracer and calls
+    ``tracer.span(...)`` / ``tracer.count(...)`` unconditionally; with
+    this class those calls cost one attribute lookup plus an empty
+    method.  ``enabled`` lets call sites with *dynamic* span names or
+    non-trivial metric computation skip the work entirely::
+
+        if tracer.enabled:
+            tracer.count("comm." + phase + ".bytes", payload.nbytes)
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counters(self) -> dict:
+        return {}
+
+    def gauges(self) -> dict:
+        return {}
+
+
+#: Process-wide shared instance; identity-comparable and stateless.
+NULL_TRACER = NullTracer()
+
+
+class _SpanHandle:
+    """Reusable per-(thread, depth) span context manager.
+
+    One handle exists per nesting depth per thread; because spans are
+    strictly nested within a thread, re-entering a depth only happens
+    after the previous span at that depth has exited, so reuse is safe
+    and the hot path never allocates.
+    """
+
+    __slots__ = ("_tracer", "_state", "name_id", "t0")
+
+    def __init__(self, tracer: "Tracer", state: "_ThreadState"):
+        self._tracer = tracer
+        self._state = state
+        self.name_id = 0
+        self.t0 = 0.0
+
+    def __enter__(self):
+        self.t0 = _perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._tracer._finish_span(self, _perf_counter())
+        return False
+
+
+class _ThreadState:
+    """Per-thread nesting stack and handle pool."""
+
+    __slots__ = ("tid", "depth", "pool")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.depth = 0
+        self.pool: list[_SpanHandle] = []
+
+
+@dataclass
+class TracePayload:
+    """Picklable snapshot of one tracer — the unit merged across ranks.
+
+    ``pid`` and ``label`` identify the timeline (e.g. one mp_solver rank)
+    in merged exports; ``t_origin`` documents the local clock origin
+    (timelines from different processes share no clock, so exporters
+    keep them on separate pid rows rather than aligning them).
+    """
+
+    names: list = field(default_factory=list)
+    records: np.ndarray = field(default_factory=lambda: np.empty(0, SPAN_DTYPE))
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    pid: int = 0
+    label: str = ""
+    t_origin: float = 0.0
+    n_dropped: int = 0
+
+
+class Tracer:
+    """Nested-span tracer recording into a preallocated ring buffer.
+
+    Parameters
+    ----------
+    capacity : ring-buffer length in spans.  When more spans complete
+        than fit, the oldest records are overwritten (``n_dropped``
+        reports how many) — tracing a long run degrades to a sliding
+        window instead of growing without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._records = np.zeros(self.capacity, dtype=SPAN_DTYPE)
+        self._n = 0                       # spans completed (monotonic)
+        self._lock = threading.Lock()
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
+        self._local = threading.local()
+        self._n_threads = 0
+        self.t_origin = _perf_counter()
+        self._counters = CounterStore()
+        self._gauges = GaugeStore()
+        #: Payloads of other processes' tracers (e.g. mp_solver ranks),
+        #: attached by the driver so exporters can merge the timelines.
+        self.remote_payloads: list[TracePayload] = []
+
+    # -- span recording -------------------------------------------------
+    def _intern(self, name: str) -> int:
+        nid = self._name_ids.get(name)
+        if nid is None:
+            with self._lock:
+                nid = self._name_ids.get(name)
+                if nid is None:
+                    nid = len(self._names)
+                    self._names.append(name)
+                    self._name_ids[name] = nid
+        return nid
+
+    def _thread_state(self) -> _ThreadState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            with self._lock:
+                tid = self._n_threads
+                self._n_threads += 1
+            state = _ThreadState(tid)
+            self._local.state = state
+        return state
+
+    def span(self, name: str) -> _SpanHandle:
+        """Context manager timing one named span (strictly nested per thread)."""
+        state = self._thread_state()
+        depth = state.depth
+        if depth == len(state.pool):
+            state.pool.append(_SpanHandle(self, state))
+        handle = state.pool[depth]
+        handle.name_id = self._intern(name)
+        state.depth = depth + 1
+        return handle
+
+    def _finish_span(self, handle: _SpanHandle, t1: float) -> None:
+        state = handle._state
+        state.depth -= 1
+        with self._lock:
+            slot = self._n % self.capacity
+            self._n += 1
+        rec = self._records[slot]
+        rec["name"] = handle.name_id
+        rec["tid"] = state.tid
+        rec["depth"] = state.depth
+        rec["t0"] = handle.t0 - self.t_origin
+        rec["t1"] = t1 - self.t_origin
+
+    # -- metrics --------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        self._counters.add(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges.observe(name, value)
+
+    def counters(self) -> dict[str, float]:
+        return self._counters.as_dict()
+
+    def gauges(self) -> dict[str, dict[str, float]]:
+        return self._gauges.as_dict()
+
+    # -- introspection / export ----------------------------------------
+    @property
+    def n_spans(self) -> int:
+        """Spans currently held in the ring (≤ capacity)."""
+        return min(self._n, self.capacity)
+
+    @property
+    def n_recorded(self) -> int:
+        """Total spans ever completed (monotonic, ignores wraparound)."""
+        return self._n
+
+    @property
+    def n_dropped(self) -> int:
+        """Spans overwritten by ring wraparound."""
+        return max(0, self._n - self.capacity)
+
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def records(self) -> np.ndarray:
+        """Copy of the live records, oldest first (completion order)."""
+        n = self._n
+        if n <= self.capacity:
+            return self._records[:n].copy()
+        cut = n % self.capacity
+        return np.concatenate([self._records[cut:], self._records[:cut]])
+
+    def to_payload(self, pid: int = 0, label: str = "") -> TracePayload:
+        """Picklable snapshot for cross-process merging (mp_solver ranks)."""
+        return TracePayload(names=self.names(), records=self.records(),
+                            counters=self.counters(), gauges=self.gauges(),
+                            pid=pid, label=label, t_origin=self.t_origin,
+                            n_dropped=self.n_dropped)
+
+    def wall_time(self) -> float:
+        """Span of the recorded timeline: ``max(t1) - min(t0)`` (seconds)."""
+        recs = self.records()
+        if recs.size == 0:
+            return 0.0
+        return float(recs["t1"].max() - recs["t0"].min())
+
+    def reset(self) -> None:
+        """Drop all spans and metrics (buffer stays allocated)."""
+        with self._lock:
+            self._n = 0
+        self._counters.clear()
+        self._gauges.clear()
+        self.remote_payloads.clear()
+        self.t_origin = _perf_counter()
+
+
+def _as_payload(obj: Any) -> TracePayload:
+    if isinstance(obj, TracePayload):
+        return obj
+    if isinstance(obj, Tracer):
+        return obj.to_payload()
+    raise TypeError(f"expected Tracer or TracePayload, got {type(obj)}")
+
+
+def traced(name: str):
+    """Method decorator: run the body inside ``self.tracer.span(name)``.
+
+    For instance methods on objects holding a ``tracer`` attribute; with
+    the :class:`NullTracer` the added cost is one wrapper call plus the
+    null span — well inside the ≤2% overhead budget the benchmark gate
+    enforces.
+    """
+    import functools
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            with self.tracer.span(name):
+                return fn(self, *args, **kwargs)
+        return wrapper
+
+    return decorate

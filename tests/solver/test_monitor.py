@@ -33,6 +33,28 @@ class TestConvergenceHistory:
         assert h.orders_reduced == 0.0
         assert h.cycles_to_reduction(1.0) is None
         assert h.asymptotic_rate() == 1.0
+        t, r = h.to_arrays()
+        assert t.size == 0 and r.size == 0
+
+    def test_append_records_wall_clock(self):
+        h = ConvergenceHistory()
+        h.append(1.0)
+        h.append(0.5)
+        assert len(h.timestamps) == 2
+        assert 0.0 <= h.timestamps[0] <= h.timestamps[1]
+
+    def test_explicit_timestamp_override(self):
+        h = ConvergenceHistory()
+        h.append(1.0, timestamp=2.5)
+        assert h.timestamps == [2.5]
+
+    def test_to_arrays(self):
+        h = ConvergenceHistory()
+        for k in range(4):
+            h.append(10.0 ** -k, timestamp=float(k))
+        t, r = h.to_arrays()
+        np.testing.assert_array_equal(t, [0.0, 1.0, 2.0, 3.0])
+        np.testing.assert_allclose(r, [1.0, 0.1, 0.01, 0.001])
 
 
 class TestMachField:

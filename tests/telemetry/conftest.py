@@ -1,0 +1,36 @@
+"""Telemetry test fixtures, plus the CI trace artifact hook.
+
+When ``TELEMETRY_TRACE_DIR`` is set (CI does this), the test session
+finishes by running a small traced solve and writing the JSON-lines and
+Chrome-trace dumps there — the artifact CI uploads, so every CI run
+leaves an openable trace produced by the code under test.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_session_artifact():
+    yield
+    out = os.environ.get("TELEMETRY_TRACE_DIR")
+    if not out:
+        return
+    from repro.mesh import box_mesh
+    from repro.solver import EulerSolver, SolverConfig
+    from repro.state import freestream_state
+    from repro.telemetry import Tracer, use_tracer
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        solver = EulerSolver(box_mesh(4, 4, 4),
+                             freestream_state(0.768, 1.116),
+                             SolverConfig(executor="fused"))
+    solver.run(n_cycles=2)
+    path = Path(out)
+    path.mkdir(parents=True, exist_ok=True)
+    write_jsonl(tracer, path / "suite_trace.jsonl")
+    write_chrome_trace(tracer, path / "suite_trace.json")

@@ -1,0 +1,147 @@
+"""Exporters: JSON-lines, Chrome trace format, summary aggregation."""
+
+import json
+
+import pytest
+
+from repro.telemetry import TracePayload, Tracer
+from repro.telemetry.export import (aggregate, all_payloads,
+                                    chrome_trace_events, format_counters,
+                                    format_summary, write_chrome_trace,
+                                    write_jsonl)
+
+
+@pytest.fixture()
+def simple_tracer():
+    t = Tracer()
+    with t.span("outer"):
+        with t.span("inner"):
+            pass
+        with t.span("inner"):
+            pass
+    t.count("bytes", 123)
+    t.gauge("occupancy", 0.5)
+    return t
+
+
+class TestJsonl:
+    def test_roundtrip(self, simple_tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(simple_tracer, path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == n
+        kinds = {l["type"] for l in lines}
+        assert kinds == {"meta", "span", "counter", "gauge"}
+        spans = [l for l in lines if l["type"] == "span"]
+        assert [s["name"] for s in spans] == ["inner", "inner", "outer"]
+        counter = next(l for l in lines if l["type"] == "counter")
+        assert counter["name"] == "bytes" and counter["value"] == 123
+
+    def test_span_times_relative_and_ordered(self, simple_tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(simple_tracer, path)
+        spans = [json.loads(l) for l in path.read_text().splitlines()
+                 if json.loads(l)["type"] == "span"]
+        for s in spans:
+            assert 0.0 <= s["t0"] <= s["t1"]
+
+
+class TestChromeTrace:
+    def test_loadable_json_with_x_events(self, simple_tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(simple_tracer, path)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        events = doc["traceEvents"]
+        assert len(events) == n
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert len(x_events) == 3
+        for e in x_events:
+            assert e["dur"] >= 0.0
+            assert set(e) >= {"name", "ph", "pid", "tid", "ts", "dur"}
+
+    def test_counter_event_present(self, simple_tracer):
+        events = chrome_trace_events(simple_tracer)
+        c = [e for e in events if e["ph"] == "C"]
+        assert len(c) == 1
+        assert c[0]["args"] == {"bytes": 123.0}
+
+    def test_merged_payloads_get_distinct_pids(self, simple_tracer):
+        remote = Tracer()
+        with remote.span("work"):
+            pass
+        simple_tracer.remote_payloads.append(
+            remote.to_payload(pid=1, label="rank0"))
+        payloads = all_payloads(simple_tracer)
+        pids = [p.pid for p in payloads]
+        assert len(set(pids)) == len(pids)
+        events = chrome_trace_events(simple_tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["args"] == {"name": "rank0"}
+
+
+class TestAggregate:
+    def test_self_time_excludes_children(self):
+        t = Tracer()
+        with t.span("parent"):
+            with t.span("child"):
+                pass
+        stats = aggregate(t)
+        p, c = stats["parent"], stats["child"]
+        assert p["count"] == 1 and c["count"] == 1
+        assert p["total_s"] >= c["total_s"]
+        assert p["self_s"] == pytest.approx(p["total_s"] - c["total_s"])
+        assert c["self_s"] == pytest.approx(c["total_s"])
+
+    def test_self_times_sum_to_root_total(self):
+        t = Tracer()
+        with t.span("root"):
+            for _ in range(3):
+                with t.span("a"):
+                    with t.span("b"):
+                        pass
+        stats = aggregate(t)
+        total_self = sum(row["self_s"] for row in stats.values())
+        assert total_self == pytest.approx(stats["root"]["total_s"],
+                                           rel=1e-9)
+
+    def test_payload_list_merge(self):
+        p1 = _payload_with("a", pid=0)
+        p2 = _payload_with("a", pid=1)
+        stats = aggregate([p1, p2])
+        assert stats["a"]["count"] == 2
+
+
+def _payload_with(name: str, pid: int) -> TracePayload:
+    t = Tracer()
+    with t.span(name):
+        pass
+    return t.to_payload(pid=pid)
+
+
+class TestSummaryTable:
+    def test_table_contains_phases_and_wall_clock(self, simple_tracer):
+        text = format_summary(simple_tracer)
+        assert "outer" in text and "inner" in text
+        assert "wall-clock" in text and "total (self)" in text
+
+    def test_self_total_matches_wall_on_single_thread(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("leaf"):
+                x = 0.0
+                for i in range(10000):
+                    x += i
+        stats = aggregate(t)
+        total_self = sum(r["self_s"] for r in stats.values())
+        assert total_self == pytest.approx(t.wall_time(), rel=0.05)
+
+    def test_counters_table(self, simple_tracer):
+        text = format_counters(simple_tracer)
+        assert "bytes" in text and "occupancy" in text
+
+    def test_empty_tracer_safe(self):
+        t = Tracer()
+        assert "wall-clock" in format_summary(t)
+        assert write_jsonl(t, "/dev/null") >= 1
+        assert chrome_trace_events(t) == []

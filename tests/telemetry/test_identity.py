@@ -1,0 +1,86 @@
+"""Tracing must not perturb the numerics: bit-identical solver states.
+
+The telemetry layer only *observes* — a run with a live :class:`Tracer`
+must produce exactly the same floating-point state, bit for bit, as a
+run with the default :class:`NullTracer`.  Property-based over initial
+conditions and solver configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import box_mesh
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import freestream_state
+from repro.telemetry import Tracer, use_tracer
+
+_MESH = box_mesh(3, 3, 3)
+_WINF = freestream_state(0.768, 1.116)
+
+
+def _run(executor: str, seed: int, n_cycles: int, tracer=None):
+    config = SolverConfig(executor=executor, n_threads=2)
+    if tracer is None:
+        solver = EulerSolver(_MESH, _WINF, config)
+    else:
+        with use_tracer(tracer):
+            solver = EulerSolver(_MESH, _WINF, config)
+    rng = np.random.default_rng(seed)
+    w0 = solver.freestream_solution()
+    w0 *= 1.0 + 0.02 * rng.standard_normal(w0.shape)
+    w, history = solver.run(w0, n_cycles=n_cycles)
+    return w, history
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       executor=st.sampled_from(["serial", "fused"]))
+def test_traced_run_bit_identical(seed, executor):
+    tracer = Tracer()
+    w_plain, h_plain = _run(executor, seed, n_cycles=2)
+    w_traced, h_traced = _run(executor, seed, n_cycles=2, tracer=tracer)
+    np.testing.assert_array_equal(w_plain, w_traced)
+    assert h_plain == h_traced
+    assert tracer.n_recorded > 0          # tracing actually happened
+
+
+@pytest.mark.parametrize("executor", ["colored", "colored-threaded"])
+def test_traced_run_bit_identical_colored(executor):
+    tracer = Tracer()
+    w_plain, h_plain = _run(executor, seed=7, n_cycles=2)
+    w_traced, h_traced = _run(executor, seed=7, n_cycles=2, tracer=tracer)
+    np.testing.assert_array_equal(w_plain, w_traced)
+    assert h_plain == h_traced
+    assert tracer.n_recorded > 0
+
+
+def test_traced_distributed_step_bit_identical():
+    from repro.distsolver import DistributedEulerSolver
+    from repro.mesh import build_edge_structure
+    from repro.parti import SimMachine
+    from repro.partition import recursive_spectral_bisection
+
+    struct = build_edge_structure(_MESH)
+    assignment = recursive_spectral_bisection(struct.edges,
+                                              struct.n_vertices, 2)
+
+    def one_step(tracer):
+        machine = SimMachine(2, tracer=tracer)
+        dist = DistributedEulerSolver(struct, _WINF, assignment,
+                                      SolverConfig(), machine=machine)
+        w = dist.freestream_solution()
+        rng = np.random.default_rng(11)
+        noise = 1.0 + 0.02 * rng.standard_normal(
+            (struct.n_vertices, 5))
+        w_global = dist.collect(w) * noise
+        w = dist.distribute(w_global)
+        return dist.collect(dist.step(w))
+
+    w_plain = one_step(None)
+    tracer = Tracer()
+    w_traced = one_step(tracer)
+    np.testing.assert_array_equal(w_plain, w_traced)
+    assert tracer.n_recorded > 0

@@ -1,0 +1,247 @@
+"""Tracer core: nesting, ring buffer, metrics, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.kernels import ColoredExecutor
+from repro.telemetry import (NULL_TRACER, CounterStore, GaugeStats,
+                             NullTracer, Tracer, get_tracer, set_tracer,
+                             traced, use_tracer)
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        t = NullTracer()
+        s1 = t.span("a")
+        s2 = t.span("b")
+        assert s1 is s2
+        with s1:
+            pass
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_metrics_are_noops(self):
+        t = NullTracer()
+        t.count("x", 5)
+        t.gauge("y", 1.0)
+        assert t.counters() == {}
+        assert t.gauges() == {}
+
+
+class TestSpanRecording:
+    def test_names_and_depths(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        recs = t.records()
+        names = t.names()
+        got = [(names[r["name"]], int(r["depth"])) for r in recs]
+        # Children complete before the parent.
+        assert got == [("inner", 1), ("inner", 1), ("outer", 0)]
+
+    def test_intervals_nest(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        recs = t.records()
+        inner, outer = recs[0], recs[1]
+        assert outer["t0"] <= inner["t0"] <= inner["t1"] <= outer["t1"]
+
+    def test_name_interning(self):
+        t = Tracer()
+        for _ in range(10):
+            with t.span("same"):
+                pass
+        assert t.names() == ["same"]
+        assert t.n_spans == 10
+
+    def test_handle_reuse_no_steadystate_allocation(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        handle = t.span("b")
+        with handle:
+            pass
+        # Same depth -> the pooled handle object is reused.
+        assert t.span("c") is handle
+        t._finish_span(handle, handle.t0)
+
+    def test_exception_still_closes_span(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        assert t.n_spans == 1
+        # Depth unwound: next span starts at depth 0 again.
+        with t.span("after"):
+            pass
+        assert int(t.records()[-1]["depth"]) == 0
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_newest(self):
+        t = Tracer(capacity=4)
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        recs = t.records()
+        assert recs.size == 4
+        assert t.n_dropped == 6
+        assert t.n_recorded == 10
+        names = t.names()
+        assert [names[r["name"]] for r in recs] == ["s6", "s7", "s8", "s9"]
+
+    def test_records_are_time_ordered_after_wrap(self):
+        t = Tracer(capacity=3)
+        for i in range(7):
+            with t.span("s"):
+                pass
+        recs = t.records()
+        assert np.all(np.diff(recs["t0"]) >= 0)
+
+    def test_reset(self):
+        t = Tracer()
+        with t.span("a"):
+            t.count("c", 1)
+        t.reset()
+        assert t.n_spans == 0
+        assert t.counters() == {}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        t = Tracer()
+        t.count("edges", 10)
+        t.count("edges", 5)
+        assert t.counters() == {"edges": 15.0}
+
+    def test_gauge_stats(self):
+        t = Tracer()
+        for v in (1.0, 3.0, 2.0):
+            t.gauge("g", v)
+        g = t.gauges()["g"]
+        assert g["last"] == 2.0
+        assert g["min"] == 1.0
+        assert g["max"] == 3.0
+        assert g["mean"] == pytest.approx(2.0)
+        assert g["count"] == 3
+
+    def test_counter_store_threadsafe_total(self):
+        store = CounterStore()
+
+        def work():
+            for _ in range(1000):
+                store.add("k", 1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert store.get("k") == 4000
+
+    def test_gauge_stats_slots(self):
+        g = GaugeStats()
+        g.observe(2.0)
+        assert g.mean == 2.0
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_scoped(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        t = Tracer()
+        set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_traced_decorator(self):
+        class Obj:
+            def __init__(self, tracer):
+                self.tracer = tracer
+
+            @traced("obj.work")
+            def work(self, x):
+                return x + 1
+
+        t = Tracer()
+        assert Obj(t).work(1) == 2
+        assert t.names() == ["obj.work"]
+        assert Obj(NULL_TRACER).work(1) == 2
+
+
+class TestThreadedExecutorSpans:
+    """Span nesting/ordering under the colored-threaded executor."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, bump_struct):
+        tracer = Tracer()
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices,
+                             n_threads=2, tracer=tracer)
+        values = np.linspace(0.0, 1.0, bump_struct.n_edges)
+        with tracer.span("driver"):
+            out = ex.signed(values)
+        ex.close()
+        return tracer, out
+
+    def test_worker_spans_recorded(self, traced_run):
+        tracer, _ = traced_run
+        recs = tracer.records()
+        names = tracer.names()
+        by_name = {}
+        for r in recs:
+            by_name.setdefault(names[r["name"]], []).append(r)
+        assert "scatter.subgroup" in by_name
+        assert "scatter.signed" in by_name
+        assert "driver" in by_name
+        # Subgroup work lands on worker threads, not the driver's tid.
+        driver_tid = int(by_name["driver"][0]["tid"])
+        worker_tids = {int(r["tid"]) for r in by_name["scatter.subgroup"]}
+        assert driver_tid not in worker_tids
+
+    def test_per_thread_strict_nesting(self, traced_run):
+        tracer, _ = traced_run
+        recs = tracer.records()
+        for tid in np.unique(recs["tid"]):
+            spans = recs[recs["tid"] == tid]
+            spans = spans[np.argsort(spans["t0"], kind="stable")]
+            stack = []
+            for i in range(spans.size):
+                while stack and spans["t0"][i] >= spans["t1"][stack[-1]]:
+                    stack.pop()
+                if stack:
+                    # Strictly nested: child contained in open parent.
+                    assert spans["t1"][i] <= spans["t1"][stack[-1]] + 1e-12
+                assert int(spans["depth"][i]) == len(stack)
+                stack.append(i)
+
+    def test_result_matches_untraced(self, traced_run, bump_struct):
+        _, out = traced_run
+        ex = ColoredExecutor(bump_struct.edges, bump_struct.n_vertices,
+                             n_threads=2)
+        values = np.linspace(0.0, 1.0, bump_struct.n_edges)
+        ref = ex.signed(values)
+        ex.close()
+        np.testing.assert_array_equal(out, ref)
