@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Fault-tolerant stepping: injected faults, detection, and recovery.
+
+Three demonstrations of the resilience layer (docs/resilience.md):
+
+1. a NaN injected mid-run is caught by the per-cycle health guard, the
+   solver backs off CFL, bumps dissipation, restores the last
+   checkpoint, and still converges;
+2. a run interrupted at a checkpoint resumes bit-identically;
+3. a rank of the real-process distributed backend is killed mid-step
+   and the driver names it within a fraction of a second instead of
+   stalling out the full collection timeout.
+
+Run:  python examples/fault_tolerant_run.py
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.distsolver import run_distributed_mp
+from repro.distsolver.partitioned_mesh import partition_solver_data
+from repro.mesh import build_edge_structure, bump_channel
+from repro.partition import recursive_spectral_bisection
+from repro.resilience import (Checkpoint, CheckpointStore, FaultInjector,
+                              FaultSpec, RankFailedError)
+from repro.solver import EulerSolver, SolverConfig, build_boundary_data
+from repro.state import freestream_state
+from repro.telemetry import global_counters, reset_global_counters
+
+
+def print_counters() -> None:
+    counters = {k: v for k, v in sorted(global_counters().items())
+                if k.startswith("resilience.")}
+    width = max(len(k) for k in counters) if counters else 0
+    for name, value in counters.items():
+        print(f"    {name:<{width}}  {value:g}")
+
+
+def demo_nan_recovery(struct, w_inf) -> None:
+    print("=== 1. NaN injection -> guard -> CFL backoff -> restore ===")
+    cfg = replace(SolverConfig(), checkpoint_interval=5, max_recoveries=2)
+    solver = EulerSolver(struct, w_inf, cfg)
+
+    fired = []
+
+    def corrupt_once(cycle, w, resnorm):
+        if cycle == 12 and not fired:
+            fired.append(True)
+            w[0, 0] = np.nan
+            print(f"  cycle {cycle}: poisoned w[0, 0] with NaN")
+
+    w, history = solver.run(n_cycles=25, callback=corrupt_once)
+    print(f"  run completed: residual {history[0]:.3e} -> {history[-1]:.3e}, "
+          f"all finite: {np.isfinite(w).all()}")
+    print(f"  config after recovery: cfl {cfg.cfl} -> {solver.config.cfl}, "
+          f"k2 {cfg.k2} -> {solver.config.k2}")
+    print("  resilience counters:")
+    print_counters()
+
+
+def demo_checkpoint_resume(struct, w_inf) -> None:
+    print("\n=== 2. checkpoint/restart is bit-identical ===")
+    cfg = SolverConfig()
+    w_full, _ = EulerSolver(struct, w_inf, cfg).run(n_cycles=10)
+
+    first = EulerSolver(struct, w_inf, cfg)
+    w_mid, _ = first.run(n_cycles=5)
+    ckpt = Checkpoint.of(5, w_mid, cfg)
+    print(f"  'crashed' after cycle {ckpt.cycle}; "
+          f"checkpoint hash {ckpt.config_hash}")
+
+    w_resumed, _ = EulerSolver(struct, w_inf, cfg).run(n_cycles=10,
+                                                       resume_from=ckpt)
+    print(f"  resumed 5 more cycles; bit-identical to uninterrupted run: "
+          f"{np.array_equal(w_resumed, w_full)}")
+
+
+def demo_rank_kill(struct, w_inf) -> None:
+    print("\n=== 3. killed rank is detected and named promptly ===")
+    n_ranks = 3
+    asg = recursive_spectral_bisection(struct.edges, struct.n_vertices,
+                                       n_ranks)
+    dmesh = partition_solver_data(struct, build_boundary_data(struct), asg)
+    w0 = np.tile(w_inf, (struct.n_vertices, 1))
+
+    injector = FaultInjector([FaultSpec(kind="kill_rank", rank=1, op=6)])
+    t0 = time.monotonic()
+    try:
+        run_distributed_mp(dmesh, w0, w_inf, SolverConfig(), n_cycles=3,
+                           injector=injector)
+    except RankFailedError as err:
+        print(f"  caught in {time.monotonic() - t0:.2f} s: {err}")
+    print("  resilience counters:")
+    print_counters()
+
+
+def main() -> None:
+    struct = build_edge_structure(bump_channel(12, 2, 4))
+    w_inf = freestream_state(0.768, 1.116)
+    print(f"mesh: {struct.n_vertices} vertices, {struct.n_edges} edges\n")
+
+    demo_nan_recovery(struct, w_inf)
+    reset_global_counters()
+    demo_checkpoint_resume(struct, w_inf)
+    reset_global_counters()
+    demo_rank_kill(struct, w_inf)
+
+
+if __name__ == "__main__":
+    main()

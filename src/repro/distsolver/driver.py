@@ -64,14 +64,18 @@ class DistributedEulerSolver:
 
     def __init__(self, struct: EdgeStructure, w_inf: np.ndarray,
                  assignment: np.ndarray, config: SolverConfig | None = None,
-                 machine: SimMachine | None = None, phase_prefix: str = ""):
+                 machine: SimMachine | None = None, phase_prefix: str = "",
+                 injector=None):
         self.struct = struct
         self.config = config or SolverConfig()
         self.phase_prefix = phase_prefix
         self.w_inf = np.asarray(w_inf, dtype=np.float64)
         bdata = BoundaryData(struct)
         self.dmesh: DistributedMesh = partition_solver_data(struct, bdata, assignment)
-        self.machine = machine or SimMachine(self.dmesh.n_ranks)
+        self.machine = machine or SimMachine(self.dmesh.n_ranks,
+                                             injector=injector)
+        if injector is not None and machine is not None:
+            machine.injector = injector
         if self.machine.n_ranks != self.dmesh.n_ranks:
             raise ValueError("machine size does not match partition")
         #: Shares the machine's tracer so compute spans interleave with
@@ -269,13 +273,53 @@ class DistributedEulerSolver:
         return float(np.sqrt(total / count))
 
     def run(self, w_list: list | None = None, n_cycles: int = 100,
-            callback=None) -> tuple[list, list]:
-        """Run single-grid cycles; returns final state and residual history."""
-        if w_list is None:
+            callback=None, checkpoint_store=None,
+            resume_from=None) -> tuple[list, list]:
+        """Run single-grid cycles; returns final state and residual history.
+
+        Resilience: the pre-step residual norm is health-checked each
+        cycle when ``config.divergence_guard`` is on — a NaN/Inf (e.g.
+        from a corrupted exchange payload injected into the
+        :class:`SimMachine`) or runaway growth raises
+        :class:`repro.resilience.DivergenceError` naming the cycle within
+        one step of the corruption.  ``checkpoint_store`` receives the
+        assembled global state every ``config.checkpoint_interval``
+        cycles; ``resume_from`` restarts bit-identically (each cycle
+        begins with a full ghost gather, so the owned state is the whole
+        inter-cycle state).
+        """
+        from ..resilience import Checkpoint, DivergenceError, verify_checkpoint
+        from ..solver.monitor import residual_health
+        from ..telemetry import count_event
+
+        cfg = self.config
+        start_cycle = 0
+        if resume_from is not None:
+            verify_checkpoint(resume_from, cfg)
+            w_list = self.distribute(resume_from.w)
+            start_cycle = resume_from.cycle
+        elif w_list is None:
             w_list = self.freestream_solution()
+
         history = []
-        for cycle in range(n_cycles):
-            history.append(self.density_residual_norm(w_list))
+        best_norm = float("inf")
+        for cycle in range(start_cycle, n_cycles):
+            resnorm = self.density_residual_norm(w_list)
+            if cfg.divergence_guard:
+                verdict = residual_health(resnorm, best_norm,
+                                          cfg.guard_growth_ratio)
+                if verdict != "ok":
+                    count_event("resilience.guard." + verdict)
+                    raise DivergenceError(verdict, cycle, resnorm,
+                                          reference=(best_norm
+                                                     if np.isfinite(best_norm)
+                                                     else None))
+                best_norm = min(best_norm, resnorm)
+            if (checkpoint_store is not None and cfg.checkpoint_interval > 0
+                    and cycle % cfg.checkpoint_interval == 0):
+                checkpoint_store.save(
+                    Checkpoint.of(cycle, self.collect(w_list), cfg))
+            history.append(resnorm)
             w_list = self.step(w_list)
             if callback is not None:
                 callback(cycle, w_list, history[-1])

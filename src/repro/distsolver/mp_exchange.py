@@ -22,6 +22,7 @@ import numpy as np
 
 from ..constants import NVAR
 from ..parti.schedule import GatherSchedule
+from ..resilience import collect_results
 from ..state import flux_vectors
 from .partitioned_mesh import DistributedMesh
 
@@ -126,24 +127,40 @@ def mp_convective_residual(dmesh: DistributedMesh, w_global: np.ndarray,
     result_queue = ctx.Queue()
 
     workers = []
-    for rank in range(n_ranks):
-        owned = w_global[dmesh.table.owned_globals[rank]]
-        payload = _rank_payload(dmesh, schedule, rank, owned)
-        outboxes = {dst: inbox_send[dst] for dst in range(n_ranks)}
-        proc = ctx.Process(target=_worker,
-                           args=(rank, payload, inbox_recv[rank], outboxes,
-                                 result_queue))
-        proc.start()
-        workers.append(proc)
-
-    out = np.empty((dmesh.table.n_global, NVAR))
+    collected = False
     try:
-        for _ in range(n_ranks):
-            rank, q_owned = result_queue.get(timeout=timeout)
+        for rank in range(n_ranks):
+            owned = w_global[dmesh.table.owned_globals[rank]]
+            payload = _rank_payload(dmesh, schedule, rank, owned)
+            outboxes = {dst: inbox_send[dst] for dst in range(n_ranks)}
+            proc = ctx.Process(target=_worker,
+                               args=(rank, payload, inbox_recv[rank],
+                                     outboxes, result_queue))
+            proc.start()
+            workers.append(proc)
+
+        # Whole-collection deadline with worker-exitcode polling: a dead
+        # rank raises RankFailedError promptly instead of queue.Empty
+        # after the full timeout (see repro.resilience.collect).
+        results = collect_results(result_queue, workers, n_ranks, timeout)
+        collected = True
+        out = np.empty((dmesh.table.n_global, NVAR))
+        for rank, (q_owned,) in results.items():
             out[dmesh.table.owned_globals[rank]] = q_owned
+        return out
     finally:
+        if not collected:
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
         for proc in workers:
             proc.join(timeout=5.0)
             if proc.is_alive():      # pragma: no cover - defensive
-                proc.terminate()
-    return out
+                proc.kill()
+                proc.join(timeout=5.0)
+        # Close every pipe endpoint and the queue deterministically so
+        # repeated calls in one process leak no file descriptors.
+        for conn in (*inbox_recv, *inbox_send):
+            conn.close()
+        result_queue.close()
+        result_queue.join_thread()

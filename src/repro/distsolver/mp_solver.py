@@ -12,6 +12,18 @@ of exchange operations, so each exchange carries a monotonically
 increasing operation index; receivers match on it and stash early
 arrivals.  Pipes preserve per-sender ordering, so the stash stays tiny.
 
+Fault tolerance (see ``docs/resilience.md``): every exchange op has a
+configurable receive timeout and bounded send retry; a
+:class:`repro.resilience.FaultInjector` can kill a rank, drop/delay a
+pipe message, or corrupt a payload at exact deterministic coordinates;
+the driver polls worker exit codes while collecting results, so a dead
+rank surfaces as a prompt :class:`repro.resilience.RankFailedError`
+naming the rank and its last completed op — not as a bare
+``queue.Empty`` after ``n_ranks x timeout`` seconds.  With
+``config.checkpoint_interval > 0`` the run is split into segments with a
+solver-state checkpoint (and NaN health check) at each boundary, and can
+be resumed bit-identically from any checkpoint.
+
 This backend exists to show the reproduction's distributed algorithm is a
 real SPMD program, not an artefact of the simulated machine; the
 measurement instrument for the paper's tables remains
@@ -21,12 +33,17 @@ measurement instrument for the paper's tables remains
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
+import traceback
 
 import numpy as np
 
 from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
+from ..resilience import (Checkpoint, DivergenceError, ExchangeTimeoutError,
+                          collect_results, verify_checkpoint)
 from ..solver.config import SolverConfig
-from ..telemetry import NULL_TRACER, Tracer, get_tracer
+from ..telemetry import NULL_TRACER, Tracer, count_event, get_tracer
 from . import rank_kernels
 from .partitioned_mesh import DistributedMesh
 
@@ -34,46 +51,100 @@ __all__ = ["run_distributed_mp"]
 
 
 class _PipeTransport:
-    """Per-rank exchange endpoint with operation-index matching."""
+    """Per-rank exchange endpoint with operation-index matching.
+
+    ``op_timeout`` bounds every receive (and labels exhausted send
+    retries); ``max_send_retries`` bounds re-attempts of sends the fault
+    injector reports as transiently lost; ``progress`` is a shared array
+    where this rank publishes its last *completed* op index so the
+    driver can quote it when the rank dies.
+    """
 
     def __init__(self, rank: int, inbox, outboxes: dict,
-                 send_indices: dict, recv_slices: dict):
+                 send_indices: dict, recv_slices: dict, *,
+                 injector=None, op_timeout: float = 30.0,
+                 max_send_retries: int = 3, progress=None):
         self.rank = rank
         self.inbox = inbox
         self.outboxes = outboxes
         self.send_indices = send_indices     # {dst: local idx}
         self.recv_slices = recv_slices       # {src: (start, stop)}
+        self.injector = injector
+        self.op_timeout = op_timeout
+        self.max_send_retries = max_send_retries
+        self.progress = progress
         self.op = 0
         self._stash: dict = {}
         #: Set by the rank worker after fork (tracers are per-process).
         self.tracer = NULL_TRACER
 
+    # -- fault-aware primitives -----------------------------------------
+    def _op_start(self, op: int) -> None:
+        if self.injector is not None:
+            self.injector.maybe_kill(self.rank, op)
+
+    def _op_done(self, op: int) -> None:
+        if self.progress is not None:
+            self.progress[self.rank] = op
+
+    def _send(self, dst: int, op: int, payload) -> None:
+        inj = self.injector
+        if inj is None:
+            self.outboxes[dst].send((self.rank, op, payload))
+            return
+        attempts = self.max_send_retries + 1
+        for attempt in range(attempts):
+            filtered = inj.on_send(self.rank, dst, op, attempt, payload)
+            if filtered is None:             # transient loss: retry
+                count_event("resilience.send.retry")
+                continue
+            self.outboxes[dst].send((self.rank, op, filtered))
+            return
+        raise ExchangeTimeoutError(self.rank, op,
+                                   f"send ({attempts} attempts)",
+                                   self.op_timeout, peer=dst)
+
     def _recv_op(self, op: int):
-        if op in self._stash and self._stash[op]:
-            return self._stash[op].pop()
+        stash = self._stash
+        entries = stash.get(op)
+        if entries:
+            item = entries.pop()
+            if not entries:
+                # Drained: drop the key, or the stash grows by one empty
+                # list per early-arriving op for the rest of the run.
+                del stash[op]
+            return item
+        deadline = time.monotonic() + self.op_timeout
         while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.inbox.poll(remaining):
+                raise ExchangeTimeoutError(self.rank, op, "recv",
+                                           self.op_timeout)
             src, msg_op, data = self.inbox.recv()
             if msg_op == op:
                 return src, data
-            self._stash.setdefault(msg_op, []).append((src, data))
+            stash.setdefault(msg_op, []).append((src, data))
 
+    # -- collective ops --------------------------------------------------
     def gather(self, local: np.ndarray, n_owned: int) -> None:
         """Fill ghost slots of ``local`` from the owners (in place)."""
         tracer = self.tracer
         with tracer.span("mp.gather"):
             op = self.op
             self.op += 1
+            self._op_start(op)
             n_bytes = 0
             for dst, idx in self.send_indices.items():
                 payload = local[idx]
                 n_bytes += payload.nbytes
-                self.outboxes[dst].send((self.rank, op, payload))
+                self._send(dst, op, payload)
             if tracer.enabled:
                 tracer.count("mp.gather.bytes_sent", n_bytes)
             for _ in range(len(self.recv_slices)):
                 src, data = self._recv_op(op)
                 start, stop = self.recv_slices[src]
                 local[n_owned + start:n_owned + stop] = data
+            self._op_done(op)
 
     def scatter_add(self, local: np.ndarray, n_owned: int) -> None:
         """Fold ghost-slot contributions back into the owners (in place)."""
@@ -81,16 +152,18 @@ class _PipeTransport:
         with tracer.span("mp.scatter_add"):
             op = self.op
             self.op += 1
+            self._op_start(op)
             n_bytes = 0
             for src, (start, stop) in self.recv_slices.items():
                 payload = local[n_owned + start:n_owned + stop]
                 n_bytes += payload.nbytes
-                self.outboxes[src].send((self.rank, op, payload))
+                self._send(src, op, payload)
             if tracer.enabled:
                 tracer.count("mp.scatter_add.bytes_sent", n_bytes)
             for _ in range(len(self.send_indices)):
                 src, data = self._recv_op(op)
                 np.add.at(local, self.send_indices[src], data)
+            self._op_done(op)
 
 
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
@@ -102,7 +175,30 @@ def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
     rank and reused via the ``out=`` parameters of
     :mod:`repro.distsolver.rank_kernels` — only the small owned-size
     temporaries and the pipe messages are allocated per stage.
+
+    Failures (exchange timeouts, kernel exceptions) are reported through
+    the result queue as an ``("err", rank, reason, traceback)`` sentinel
+    before the process exits nonzero, so the driver can name the culprit
+    instead of timing out.
     """
+    try:
+        _rank_worker_inner(rm, transport, w_local, w_inf, config, n_cycles,
+                           result_queue, trace)
+    except BaseException as exc:   # noqa: BLE001 - anything must be reported
+        count_event("resilience.worker_error")
+        reason = f"{type(exc).__name__}: {exc}"
+        try:
+            result_queue.put(("err", rm.rank, reason,
+                              traceback.format_exc()))
+            result_queue.close()
+            result_queue.join_thread()   # flush before dying
+        finally:
+            os._exit(1)
+
+
+def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
+                       w_inf: np.ndarray, config: SolverConfig,
+                       n_cycles: int, result_queue, trace: bool) -> None:
     cfg = config
     n_owned = rm.n_owned
     n_local = rm.n_local
@@ -174,17 +270,111 @@ def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
             w = step(w)
     payload = (tracer.to_payload(pid=rm.rank + 1, label=f"rank{rm.rank}")
                if trace else None)
-    result_queue.put((rm.rank, w[:n_owned], payload))
+    result_queue.put(("ok", rm.rank, w[:n_owned], payload))
+
+
+def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
+                 w_inf: np.ndarray, config: SolverConfig, n_cycles: int,
+                 timeout: float, tracer, trace: bool, injector,
+                 op_timeout: float, max_send_retries: int,
+                 poll_interval: float) -> np.ndarray:
+    """Spawn one worker per rank, run ``n_cycles`` cycles, collect.
+
+    All pipe endpoints and the result queue are closed deterministically
+    in the ``finally`` block — repeated calls in one process leak no
+    file descriptors.
+    """
+    schedule = dmesh.schedule
+    n_ranks = dmesh.n_ranks
+    ctx = mp.get_context("fork")
+    inbox_recv, inbox_send = zip(*[ctx.Pipe(duplex=False)
+                                   for _ in range(n_ranks)])
+    result_queue = ctx.Queue()
+    # Lock-free: each rank is the sole writer of its own slot.
+    progress = ctx.Array("q", n_ranks, lock=False)
+    for rank in range(n_ranks):
+        progress[rank] = -1
+
+    workers = []
+    collected = False
+    try:
+        for rank in range(n_ranks):
+            rm = dmesh.ranks[rank]
+            w_local = np.zeros((rm.n_local, NVAR))
+            w_local[:rm.n_owned] = w_global[dmesh.table.owned_globals[rank]]
+            transport = _PipeTransport(
+                rank, inbox_recv[rank],
+                {dst: inbox_send[dst] for dst in range(n_ranks)},
+                {dst: idx for (src, dst), idx in schedule.send_indices.items()
+                 if src == rank},
+                {src: sl for (src, dst), sl in schedule.recv_slices.items()
+                 if dst == rank},
+                injector=injector, op_timeout=op_timeout,
+                max_send_retries=max_send_retries, progress=progress,
+            )
+            proc = ctx.Process(target=_rank_worker,
+                               args=(rm, transport, w_local, w_inf, config,
+                                     n_cycles, result_queue, trace))
+            proc.start()
+            workers.append(proc)
+
+        results = collect_results(result_queue, workers, n_ranks, timeout,
+                                  poll_interval=poll_interval,
+                                  progress=progress)
+        collected = True
+        out = np.empty((dmesh.table.n_global, NVAR))
+        for rank, (w_owned, payload) in results.items():
+            out[dmesh.table.owned_globals[rank]] = w_owned
+            if payload is not None:
+                tracer.remote_payloads.append(payload)
+        return out
+    finally:
+        if not collected:
+            # Failure path: peers may sit in multi-second receive waits;
+            # tear them down now rather than letting join() block.
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in workers:
+            proc.join(timeout=10.0)
+            if proc.is_alive():       # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in (*inbox_recv, *inbox_send):
+            conn.close()
+        result_queue.close()
+        result_queue.join_thread()
 
 
 def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,
                        w_inf: np.ndarray, config: SolverConfig | None = None,
                        n_cycles: int = 1,
-                       timeout: float = 300.0, tracer=None) -> np.ndarray:
+                       timeout: float = 300.0, tracer=None, *,
+                       injector=None, op_timeout: float = 30.0,
+                       max_send_retries: int = 3,
+                       poll_interval: float = 0.05,
+                       checkpoint_store=None,
+                       resume_from=None) -> np.ndarray:
     """Run ``n_cycles`` five-stage steps with one OS process per rank.
 
     Returns the assembled global solution; compare against
     :class:`repro.solver.EulerSolver` or the simulated driver.
+
+    ``timeout`` is the wall-clock deadline for collecting **all** ranks
+    of a segment (not per rank); worker exit codes are polled every
+    ``poll_interval`` seconds while waiting, so a crashed rank raises
+    :class:`repro.resilience.RankFailedError` promptly.  ``injector``
+    (a :class:`repro.resilience.FaultInjector`) enables deterministic
+    fault injection; ``op_timeout``/``max_send_retries`` bound every
+    exchange op inside the workers.
+
+    With ``config.checkpoint_interval > 0`` the run is split into
+    segments of that many cycles; at each boundary the assembled state is
+    NaN-checked (:class:`repro.resilience.DivergenceError` on failure)
+    and snapshotted into ``checkpoint_store`` (when given).
+    ``resume_from`` restarts from such a checkpoint bit-identically —
+    each cycle begins with a full ghost gather, so the owned global state
+    is the complete inter-cycle state.
 
     When ``tracer`` (or the ambient global tracer) is enabled, each rank
     worker records its own timeline and the payloads are merged into
@@ -193,42 +383,29 @@ def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,
     config = config or SolverConfig()
     tracer = tracer if tracer is not None else get_tracer()
     trace = bool(tracer.enabled)
-    schedule = dmesh.schedule
-    n_ranks = dmesh.n_ranks
-    ctx = mp.get_context("fork")
-    inbox_recv, inbox_send = zip(*[ctx.Pipe(duplex=False)
-                                   for _ in range(n_ranks)])
-    result_queue = ctx.Queue()
+    interval = config.checkpoint_interval
 
-    workers = []
-    for rank in range(n_ranks):
-        rm = dmesh.ranks[rank]
-        w_local = np.zeros((rm.n_local, NVAR))
-        w_local[:rm.n_owned] = w_global[dmesh.table.owned_globals[rank]]
-        transport = _PipeTransport(
-            rank, inbox_recv[rank],
-            {dst: inbox_send[dst] for dst in range(n_ranks)},
-            {dst: idx for (src, dst), idx in schedule.send_indices.items()
-             if src == rank},
-            {src: sl for (src, dst), sl in schedule.recv_slices.items()
-             if dst == rank},
-        )
-        proc = ctx.Process(target=_rank_worker,
-                           args=(rm, transport, w_local, w_inf, config,
-                                 n_cycles, result_queue, trace))
-        proc.start()
-        workers.append(proc)
+    start_cycle = 0
+    w_current = w_global
+    if resume_from is not None:
+        verify_checkpoint(resume_from, config)
+        w_current = resume_from.w
+        start_cycle = resume_from.cycle
 
-    out = np.empty((dmesh.table.n_global, NVAR))
-    try:
-        for _ in range(n_ranks):
-            rank, w_owned, payload = result_queue.get(timeout=timeout)
-            out[dmesh.table.owned_globals[rank]] = w_owned
-            if payload is not None:
-                tracer.remote_payloads.append(payload)
-    finally:
-        for proc in workers:
-            proc.join(timeout=10.0)
-            if proc.is_alive():       # pragma: no cover - defensive
-                proc.terminate()
-    return out
+    cycle = start_cycle
+    if cycle >= n_cycles:
+        return np.array(w_current, dtype=np.float64, copy=True)
+    while cycle < n_cycles:
+        seg_end = (n_cycles if interval <= 0 else
+                   min(n_cycles, (cycle // interval + 1) * interval))
+        w_current = _run_segment(dmesh, w_current, w_inf, config,
+                                 seg_end - cycle, timeout, tracer, trace,
+                                 injector, op_timeout, max_send_retries,
+                                 poll_interval)
+        cycle = seg_end
+        if config.divergence_guard and not np.all(np.isfinite(w_current)):
+            count_event("resilience.guard.nan")
+            raise DivergenceError("nan", cycle, float("nan"))
+        if checkpoint_store is not None:
+            checkpoint_store.save(Checkpoint.of(cycle, w_current, config))
+    return w_current

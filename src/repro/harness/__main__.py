@@ -58,6 +58,10 @@ def main(argv=None) -> int:
                         help="run with a live telemetry tracer and write "
                              "<target>_trace.json/.jsonl plus a per-phase "
                              "summary under DIR")
+    parser.add_argument("--counters", action="store_true",
+                        help="print the always-on operational event "
+                             "counters (resilience.* detections, "
+                             "recoveries, fault injections) after the run")
     args = parser.parse_args(argv)
     case = FAST_CASE if args.fast else FULL_CASE
 
@@ -72,8 +76,25 @@ def main(argv=None) -> int:
         with use_tracer(tracer):
             rc = _run_targets(targets, args, case)
         _write_trace(tracer, args.trace, args.target)
+        _print_event_counters(args)
         return rc
-    return _run_targets(targets, args, case)
+    rc = _run_targets(targets, args, case)
+    _print_event_counters(args)
+    return rc
+
+
+def _print_event_counters(args) -> None:
+    if not args.counters:
+        return
+    from repro.telemetry import global_counters
+    counters = global_counters()
+    print("Operational event counters:")
+    if not counters:
+        print("  (none recorded)")
+        return
+    width = max(len(name) for name in counters)
+    for name in sorted(counters):
+        print(f"  {name:<{width}s} {counters[name]:12.0f}")
 
 
 def _write_trace(tracer, out_dir: str, target: str) -> None:

@@ -73,8 +73,9 @@ def mg_cycle(hierarchy: MultigridHierarchy, w: np.ndarray, gamma: int = 1,
 
 
 def run_multigrid(hierarchy: MultigridHierarchy, w: np.ndarray | None = None,
-                  n_cycles: int = 100, gamma: int = 1,
-                  callback=None) -> tuple[np.ndarray, list[float]]:
+                  n_cycles: int = 100, gamma: int = 1, callback=None,
+                  checkpoint_store=None,
+                  resume_from=None) -> tuple[np.ndarray, list[float]]:
     """Run ``n_cycles`` V- (gamma=1) or W- (gamma=2) cycles.
 
     Returns the final fine-grid state and the fine-grid density residual
@@ -86,18 +87,51 @@ def run_multigrid(hierarchy: MultigridHierarchy, w: np.ndarray | None = None,
     with no forcing on the fine grid), which equals the pre-cycle
     ``density_residual_norm(w)`` in the same operator order — so
     monitoring adds no extra residual evaluations per cycle.
+
+    Resilience mirrors :meth:`EulerSolver.run`: the fine-grid norm is
+    health-checked each cycle, recovery backs off **every** level's
+    solver (the coarse-grid smoothers must respect the reduced CFL too)
+    and rewinds to the last fine-grid checkpoint; ``resume_from``
+    restarts a run bit-identically — the cycle is Markovian in the
+    fine-grid ``(w, cycle, config)``, coarse states being derived afresh
+    every visit.
     """
     solver = hierarchy.fine.solver
-    if w is None:
+    cfg = solver.config
+    start_cycle = 0
+    if resume_from is not None:
+        from ..resilience import verify_checkpoint
+        verify_checkpoint(resume_from, cfg)
+        w = resume_from.w.copy()
+        start_cycle = resume_from.cycle
+    elif w is None:
         w = hierarchy.freestream_solution()
+
+    guard = None
+    if cfg.divergence_guard:
+        from ..resilience import StepGuard
+        guard = StepGuard([lv.solver for lv in hierarchy.levels], w,
+                          start_cycle=start_cycle, store=checkpoint_store)
+
     history = []
     tracer = solver.tracer
-    for cycle in range(n_cycles):
+    cycle = start_cycle
+    while cycle < n_cycles:
         with tracer.span("mg.cycle"):
-            w = mg_cycle(hierarchy, w, gamma=gamma)
-        history.append(solver.last_step_residual_norm)
+            w_new = mg_cycle(hierarchy, w, gamma=gamma)
+        resnorm = solver.last_step_residual_norm
+        if guard is not None:
+            verdict = guard.check(resnorm)
+            if verdict != "ok":
+                w, cycle = guard.recover(cycle, verdict, resnorm)
+                del history[cycle - start_cycle:]
+                continue
+            guard.note_cycle_start(cycle, w)
+        w = w_new
+        history.append(resnorm)
         if callback is not None:
-            callback(cycle, w, history[-1])
+            callback(cycle, w, resnorm)
+        cycle += 1
     history.append(solver.density_residual_norm(w))
     return w, history
 

@@ -95,15 +95,21 @@ class SimMachine:
     the sender's job and is what the schedule machinery implements.
     """
 
-    def __init__(self, n_ranks: int, tracer=None):
+    def __init__(self, n_ranks: int, tracer=None, injector=None):
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self.log = TrafficLog(n_ranks)
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Optional :class:`repro.resilience.FaultInjector`: consulted for
+        #: every cross-rank message, it can drop or corrupt payloads
+        #: deterministically (the simulated machine's failure model; rank
+        #: death only exists on the real-process backend).
+        self.injector = injector
 
     def exchange(self, messages: dict, phase: str) -> dict:
         tracer = self.tracer
+        injector = self.injector
         with tracer.span("comm.exchange"):
             traffic = self.log.phase(phase)
             traffic.occurrences += 1
@@ -117,6 +123,11 @@ class SimMachine:
                     # Local copies are free on a real machine too.
                     delivered[(src, dst)] = payload
                     continue
+                if injector is not None:
+                    payload = injector.on_sim_message(
+                        phase, traffic.occurrences, src, dst, payload)
+                    if payload is None:       # dropped in transit
+                        continue
                 payload = np.ascontiguousarray(payload)
                 if payload.size == 0:
                     continue

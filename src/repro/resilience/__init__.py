@@ -1,0 +1,37 @@
+"""Fault tolerance for the distributed and sequential stepping loops.
+
+The paper's Delta runs treated a dead rank or a blown-up residual as a
+run-ending event; this package gives the reproduction the failure model
+a production system needs:
+
+* :mod:`~repro.resilience.faults` — deterministic, seed-driven fault
+  injection (kill a rank, drop/delay a pipe message, corrupt a payload)
+  pluggable into both message fabrics;
+* :mod:`~repro.resilience.collect` — driver-side collection with a
+  whole-run deadline and worker-exitcode polling, surfacing crashes as
+  prompt :class:`RankFailedError`\\ s instead of minutes-later
+  ``queue.Empty``;
+* :mod:`~repro.resilience.checkpoint` — solver-state snapshots with
+  bit-identical resume;
+* :mod:`~repro.resilience.health` — NaN/divergence guards with automatic
+  CFL-backoff + checkpoint-restore recovery.
+
+See ``docs/resilience.md`` for the full tour.
+"""
+
+from .checkpoint import (Checkpoint, CheckpointStore, solver_config_hash,
+                         verify_checkpoint)
+from .collect import collect_results
+from .errors import (CheckpointMismatchError, CollectionTimeoutError,
+                     DivergenceError, ExchangeTimeoutError, RankFailedError,
+                     ResilienceError)
+from .faults import FAULT_KINDS, KILLED_EXIT_CODE, FaultInjector, FaultSpec
+from .health import StepGuard
+
+__all__ = [
+    "Checkpoint", "CheckpointStore", "solver_config_hash",
+    "verify_checkpoint", "collect_results", "ResilienceError",
+    "RankFailedError", "ExchangeTimeoutError", "CollectionTimeoutError",
+    "DivergenceError", "CheckpointMismatchError", "FaultInjector",
+    "FaultSpec", "FAULT_KINDS", "KILLED_EXIT_CODE", "StepGuard",
+]

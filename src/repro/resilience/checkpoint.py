@@ -1,0 +1,133 @@
+"""Solver-state checkpoints with bit-identical resume.
+
+A checkpoint is the *complete* state the stepping loops carry between
+cycles: the conserved variables ``w`` (for the distributed drivers, the
+assembled global array — ghosts are re-gathered at the top of every
+step, so owned values are the whole state), the cycle index the state
+enters, and a hash of the :class:`~repro.solver.SolverConfig` that
+produced it.  Resuming replays the exact floating-point sequence of an
+uninterrupted run: the loops are Markovian in ``(w, cycle, config)``, a
+property pinned by ``tests/resilience/test_checkpoint.py``.
+
+Checkpoints live in an in-memory ring (for the automatic
+divergence-recovery path) and optionally on disk as ``.npz`` files
+(``float64`` round-trips exactly through ``np.savez``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .errors import CheckpointMismatchError
+
+__all__ = ["Checkpoint", "CheckpointStore", "solver_config_hash",
+           "verify_checkpoint"]
+
+
+def solver_config_hash(config) -> str:
+    """Short stable hash of a (frozen dataclass) solver configuration.
+
+    ``repr`` of a frozen dataclass lists every field deterministically,
+    so two configs hash equal iff every numerical knob matches — the
+    precondition for bit-identical resume.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One snapshot: the state entering cycle ``cycle`` under ``config``."""
+
+    cycle: int
+    w: np.ndarray
+    config_hash: str
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, cycle: int, w: np.ndarray, config,
+           meta: dict | None = None) -> "Checkpoint":
+        """Snapshot ``w`` (copied) as the state entering ``cycle``."""
+        return cls(cycle=int(cycle), w=np.array(w, dtype=np.float64,
+                                                copy=True),
+                   config_hash=solver_config_hash(config),
+                   meta=dict(meta or {}))
+
+
+def verify_checkpoint(ckpt: Checkpoint, config) -> None:
+    """Raise :class:`CheckpointMismatchError` unless ``ckpt`` was taken
+    under a configuration hashing identically to ``config``."""
+    expected = solver_config_hash(config)
+    if ckpt.config_hash != expected:
+        raise CheckpointMismatchError(expected, ckpt.config_hash)
+
+
+class CheckpointStore:
+    """Ring of recent checkpoints, optionally persisted to a directory.
+
+    Parameters
+    ----------
+    directory : if given, every :meth:`save` also writes
+        ``ckpt_<cycle>.npz`` there and :meth:`load_latest` /
+        :meth:`load_cycle` read them back (exact ``float64``
+        round-trip).
+    keep : in-memory ring depth (oldest snapshots are evicted; on-disk
+        files are kept for post-mortems).
+    """
+
+    def __init__(self, directory: str | Path | None = None, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._ring: deque = deque(maxlen=keep)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        """Most recent checkpoint, or ``None`` if the store is empty."""
+        return self._ring[-1] if self._ring else None
+
+    def save(self, ckpt: Checkpoint) -> Checkpoint:
+        self._ring.append(ckpt)
+        if self.directory is not None:
+            path = self.directory / f"ckpt_{ckpt.cycle:08d}.npz"
+            np.savez(path, w=ckpt.w, cycle=np.int64(ckpt.cycle),
+                     config_hash=np.str_(ckpt.config_hash),
+                     meta_json=np.str_(json.dumps(ckpt.meta, sort_keys=True)))
+        return ckpt
+
+    # ------------------------------------------------------------------
+    def _disk_cycles(self) -> list[int]:
+        if self.directory is None:
+            return []
+        return sorted(int(p.stem.split("_")[1])
+                      for p in self.directory.glob("ckpt_*.npz"))
+
+    def load_cycle(self, cycle: int) -> Checkpoint:
+        """Read the on-disk checkpoint of ``cycle`` (exact round-trip)."""
+        if self.directory is None:
+            raise ValueError("store has no backing directory")
+        path = self.directory / f"ckpt_{cycle:08d}.npz"
+        with np.load(path) as data:
+            return Checkpoint(cycle=int(data["cycle"]),
+                              w=np.array(data["w"], dtype=np.float64),
+                              config_hash=str(data["config_hash"]),
+                              meta=json.loads(str(data["meta_json"])))
+
+    def load_latest(self) -> Checkpoint | None:
+        """Latest checkpoint: the in-memory ring first, else the newest
+        on-disk file (e.g. after a process restart)."""
+        if self._ring:
+            return self._ring[-1]
+        cycles = self._disk_cycles()
+        return self.load_cycle(cycles[-1]) if cycles else None

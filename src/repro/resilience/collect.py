@@ -1,0 +1,85 @@
+"""Driver-side result collection with liveness polling.
+
+The multiprocessing drivers used to block in ``result_queue.get`` with a
+fresh timeout per rank: a dead worker stalled the driver for up to
+``n_ranks x timeout`` seconds and then surfaced as a bare
+``queue.Empty``.  :func:`collect_results` replaces that with a single
+wall-clock deadline for the whole collection and a short poll loop that
+checks worker exit codes between queue reads — a crashed rank surfaces
+as a :class:`~repro.resilience.errors.RankFailedError` naming the rank
+(and its last completed exchange op) within one poll interval.
+"""
+
+from __future__ import annotations
+
+import time
+from queue import Empty
+
+from ..telemetry import count_event
+from .errors import CollectionTimeoutError, RankFailedError
+
+__all__ = ["collect_results"]
+
+
+def collect_results(result_queue, workers, n_ranks: int, timeout: float,
+                    poll_interval: float = 0.05,
+                    progress=None) -> dict:
+    """Collect one result per rank, failing fast on dead workers.
+
+    Parameters
+    ----------
+    result_queue : the multiprocessing queue the workers put results on.
+        Accepted item shapes: ``("ok", rank, *data)``, a plain
+        ``(rank, *data)`` tuple, or the error sentinel
+        ``("err", rank, reason, traceback)``.
+    workers : per-rank ``Process`` objects, polled for liveness.
+    timeout : wall-clock budget for the *entire* collection, seconds.
+    poll_interval : queue-wait slice between liveness checks.
+    progress : optional shared array of per-rank last-completed-op
+        indices (``-1`` = none), quoted in failure messages.
+
+    Returns ``{rank: data_tuple}``.
+    """
+    deadline = time.monotonic() + timeout
+    pending = set(range(n_ranks))
+    results: dict = {}
+
+    def _last_op(rank: int):
+        return int(progress[rank]) if progress is not None else None
+
+    while pending:
+        try:
+            item = result_queue.get(timeout=poll_interval)
+        except Empty:
+            item = None
+
+        if item is not None:
+            if item[0] == "err":
+                _, rank, reason, tb = item
+                count_event("resilience.rank_failure")
+                raise RankFailedError(rank, exitcode=None,
+                                      last_op=_last_op(rank), reason=reason,
+                                      worker_traceback=tb)
+            if item[0] == "ok":
+                rank, data = item[1], tuple(item[2:])
+            else:
+                rank, data = item[0], tuple(item[1:])
+            results[rank] = data
+            pending.discard(rank)
+            continue
+
+        # Queue idle: make sure everyone we still wait on is alive.  An
+        # exit code of 0 with a pending result just means the queue
+        # feeder has not flushed yet — keep polling until the deadline.
+        for rank in sorted(pending):
+            proc = workers[rank]
+            if not proc.is_alive() and proc.exitcode not in (0, None):
+                count_event("resilience.rank_failure")
+                raise RankFailedError(rank, exitcode=proc.exitcode,
+                                      last_op=_last_op(rank))
+        if time.monotonic() > deadline:
+            count_event("resilience.collection_timeout")
+            raise CollectionTimeoutError(
+                {r: (_last_op(r) if progress is not None else -1)
+                 for r in pending}, timeout)
+    return results

@@ -1,0 +1,120 @@
+"""Typed failures of the resilient stepping layer.
+
+Every error carries enough structure (rank, op index, cycle, value) for a
+supervisor to decide between retry, restore-from-checkpoint, and abort —
+the failure taxonomy production CFD runtimes expose instead of a bare
+``queue.Empty`` after minutes of silence.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResilienceError", "RankFailedError", "ExchangeTimeoutError",
+           "CollectionTimeoutError", "DivergenceError",
+           "CheckpointMismatchError"]
+
+
+class ResilienceError(RuntimeError):
+    """Base class of all resilience-layer failures."""
+
+
+class RankFailedError(ResilienceError):
+    """A rank worker died (or reported a fatal error) mid-run.
+
+    Attributes
+    ----------
+    rank : the failed rank.
+    exitcode : the worker's process exit code (``None`` if it reported the
+        failure itself through the result queue before exiting).
+    last_op : index of the last exchange operation the rank completed
+        (``-1`` if it died before finishing any), from the shared
+        progress array — the distributed analogue of a crash backtrace.
+    reason : short human-readable cause (exception name and message when
+        the worker reported one).
+    """
+
+    def __init__(self, rank: int, exitcode: int | None = None,
+                 last_op: int | None = None, reason: str = "",
+                 worker_traceback: str = ""):
+        self.rank = rank
+        self.exitcode = exitcode
+        self.last_op = last_op
+        self.reason = reason
+        self.worker_traceback = worker_traceback
+        parts = [f"rank {rank} failed"]
+        if exitcode is not None:
+            parts.append(f"(exit code {exitcode})")
+        if last_op is not None and last_op >= 0:
+            parts.append(f"after completing exchange op {last_op}")
+        elif last_op is not None:
+            parts.append("before completing any exchange op")
+        if reason:
+            parts.append(f": {reason}")
+        super().__init__(" ".join(parts))
+
+
+class ExchangeTimeoutError(ResilienceError):
+    """A single exchange operation timed out (send retries exhausted or no
+    matching message arrived within the per-op receive timeout)."""
+
+    def __init__(self, rank: int, op: int, direction: str, timeout_s: float,
+                 peer: int | None = None):
+        self.rank = rank
+        self.op = op
+        self.direction = direction
+        self.timeout_s = timeout_s
+        self.peer = peer
+        peer_s = f" (peer rank {peer})" if peer is not None else ""
+        super().__init__(
+            f"rank {rank}: {direction} of exchange op {op}{peer_s} "
+            f"timed out after {timeout_s:.3g} s")
+
+
+class CollectionTimeoutError(ResilienceError):
+    """The driver's whole-collection deadline passed with results pending.
+
+    Unlike the old per-rank ``queue.Empty`` (whose worst case was
+    ``n_ranks x timeout``), this is raised once the *total* wall-clock
+    budget is spent, and names the ranks still outstanding with their
+    last completed op.
+    """
+
+    def __init__(self, pending: dict, timeout_s: float):
+        self.pending = dict(pending)
+        self.timeout_s = timeout_s
+        detail = ", ".join(f"rank {r} (last op {op})"
+                           for r, op in sorted(self.pending.items()))
+        super().__init__(
+            f"collection deadline of {timeout_s:.3g} s passed with "
+            f"{len(self.pending)} rank(s) outstanding: {detail}")
+
+
+class DivergenceError(ResilienceError):
+    """The per-step health check found a NaN/Inf or runaway residual and
+    recovery was disabled or exhausted."""
+
+    def __init__(self, kind: str, cycle: int, value: float,
+                 reference: float | None = None, recoveries: int = 0):
+        self.kind = kind                  # "nan" | "diverged"
+        self.cycle = cycle
+        self.value = value
+        self.reference = reference
+        self.recoveries = recoveries
+        ref_s = (f" (best residual so far {reference:.3e})"
+                 if reference is not None else "")
+        super().__init__(
+            f"solution health check failed at cycle {cycle}: {kind} "
+            f"residual {value!r}{ref_s} after {recoveries} recovery "
+            f"attempt(s)")
+
+
+class CheckpointMismatchError(ResilienceError):
+    """A checkpoint was produced under a different solver configuration,
+    so bit-identical resume is impossible."""
+
+    def __init__(self, expected_hash: str, found_hash: str):
+        self.expected_hash = expected_hash
+        self.found_hash = found_hash
+        super().__init__(
+            f"checkpoint config hash {found_hash} does not match the "
+            f"current solver config hash {expected_hash}; resume would "
+            "not be bit-identical")

@@ -1,0 +1,208 @@
+"""Deterministic, seed-driven fault injection for the distributed paths.
+
+A :class:`FaultInjector` holds a list of :class:`FaultSpec` triggers and
+is consulted by the two message fabrics:
+
+* :class:`repro.distsolver.mp_solver._PipeTransport` (real OS processes)
+  calls :meth:`FaultInjector.maybe_kill` at the start of every exchange
+  op and :meth:`FaultInjector.on_send` for every pipe send attempt;
+* :class:`repro.parti.simmpi.SimMachine` (the simulated machine) calls
+  :meth:`FaultInjector.on_sim_message` for every delivered message.
+
+Faults fire at exact (rank, op) or (phase, occurrence) coordinates, so a
+given spec list reproduces the same failure on every run; the only
+randomness — *which element* of a corrupted payload is poisoned — is
+drawn from ``numpy`` generators seeded by ``(seed, op, src, dst)``, so it
+too is deterministic.
+
+Supported fault kinds
+---------------------
+``kill_rank``   the worker process exits immediately with
+                :data:`KILLED_EXIT_CODE` (a crashed rank).
+``drop``        a send attempt is discarded (transient message loss; the
+                transport's bounded retry re-attempts it).
+``delay``       a send is delayed by ``delay_s`` seconds before delivery.
+``corrupt``     the payload is copied and one element is overwritten with
+                ``value`` (default NaN) — the corruption the
+                NaN/divergence guard must catch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..telemetry import count_event
+
+__all__ = ["FaultSpec", "FaultInjector", "KILLED_EXIT_CODE", "FAULT_KINDS"]
+
+#: Exit code of a worker killed by an injected ``kill_rank`` fault —
+#: distinctive so tests and the driver can tell an injected death from a
+#: genuine crash (which exits 1) or a signal (negative exitcode).
+KILLED_EXIT_CODE = 73
+
+FAULT_KINDS = ("kill_rank", "drop", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault trigger.
+
+    ``rank``/``op`` address the multiprocessing transport (``op`` is the
+    global exchange-operation index, identical on every rank);
+    ``phase``/``occurrence`` address the simulated machine.  A spec only
+    fires on coordinates it specifies — unset selectors match anything.
+    """
+
+    kind: str
+    #: Source rank the fault applies to (sender for message faults).
+    rank: int | None = None
+    #: Exchange-op index (multiprocessing transport ops are numbered
+    #: identically on every rank).
+    op: int | None = None
+    #: Destination rank for message faults (``None`` = any).
+    dst: int | None = None
+    #: SimMachine phase name (``None`` = any phase).
+    phase: str | None = None
+    #: SimMachine phase occurrence number (1-based; ``None`` = any).
+    occurrence: int | None = None
+    #: How many matching events the fault affects (drop/delay/corrupt).
+    count: int = 1
+    #: Sleep applied by ``delay`` faults, seconds.
+    delay_s: float = 0.05
+    #: Value written by ``corrupt`` faults.
+    value: float = float("nan")
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+
+@dataclass
+class _Armed:
+    """Mutable per-process firing state of one spec."""
+
+    spec: FaultSpec
+    fired: int = 0
+
+    def matches_mp(self, rank: int, dst: int | None, op: int) -> bool:
+        s = self.spec
+        if self.fired >= s.count:
+            return False
+        if s.rank is not None and s.rank != rank:
+            return False
+        if s.dst is not None and dst is not None and s.dst != dst:
+            return False
+        if s.op is not None and s.op != op:
+            return False
+        return True
+
+    def matches_sim(self, phase: str, occurrence: int,
+                    src: int, dst: int) -> bool:
+        s = self.spec
+        if self.fired >= s.count:
+            return False
+        if s.phase is not None and s.phase != phase:
+            return False
+        if s.occurrence is not None and s.occurrence != occurrence:
+            return False
+        if s.rank is not None and s.rank != src:
+            return False
+        if s.dst is not None and s.dst != dst:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Deterministic fault plan shared by both message fabrics.
+
+    The injector is consulted on the hot path, so the no-match case is a
+    handful of integer comparisons per armed spec.  Firing state lives in
+    the process that evaluates the fault (each forked rank worker has its
+    own copy), which is exactly the semantics wanted: "drop rank 0's send
+    of op 3 twice" fires twice in rank 0's process, nowhere else.
+    """
+
+    def __init__(self, specs=(), seed: int = 0):
+        self.seed = int(seed)
+        self._armed = [_Armed(s if isinstance(s, FaultSpec)
+                              else FaultSpec(**s)) for s in specs]
+
+    @property
+    def specs(self) -> tuple:
+        return tuple(a.spec for a in self._armed)
+
+    # -- multiprocessing transport hooks --------------------------------
+    def maybe_kill(self, rank: int, op: int) -> None:
+        """Kill this worker process if a ``kill_rank`` spec matches."""
+        for a in self._armed:
+            if a.spec.kind == "kill_rank" and a.matches_mp(rank, None, op):
+                a.fired += 1
+                count_event("resilience.fault.kill")
+                # A crashed rank does not unwind Python frames or flush
+                # queues; _exit models SIGKILL-grade death faithfully.
+                os._exit(KILLED_EXIT_CODE)
+
+    def on_send(self, rank: int, dst: int, op: int, attempt: int,
+                payload):
+        """Filter one pipe send attempt.
+
+        Returns ``None`` if the attempt is dropped (the transport
+        retries), otherwise the payload to deliver (possibly delayed or
+        corrupted).
+        """
+        for a in self._armed:
+            kind = a.spec.kind
+            if kind == "kill_rank" or not a.matches_mp(rank, dst, op):
+                continue
+            if kind == "drop":
+                a.fired += 1
+                count_event("resilience.fault.drop")
+                return None
+            if kind == "delay":
+                a.fired += 1
+                count_event("resilience.fault.delay")
+                time.sleep(a.spec.delay_s)
+            elif kind == "corrupt":
+                a.fired += 1
+                count_event("resilience.fault.corrupt")
+                payload = self._corrupt(payload, a.spec, op, rank, dst)
+        return payload
+
+    # -- simulated machine hook ------------------------------------------
+    def on_sim_message(self, phase: str, occurrence: int, src: int,
+                       dst: int, payload):
+        """Filter one SimMachine message; ``None`` means dropped."""
+        for a in self._armed:
+            kind = a.spec.kind
+            if kind == "kill_rank" or not a.matches_sim(phase, occurrence,
+                                                        src, dst):
+                continue
+            if kind == "drop":
+                a.fired += 1
+                count_event("resilience.fault.drop")
+                return None
+            if kind == "delay":
+                # The simulated machine has no wall clock to delay; the
+                # event is still counted so traffic analyses see it.
+                a.fired += 1
+                count_event("resilience.fault.delay")
+            elif kind == "corrupt":
+                a.fired += 1
+                count_event("resilience.fault.corrupt")
+                payload = self._corrupt(payload, a.spec, occurrence, src, dst)
+        return payload
+
+    # -- helpers ---------------------------------------------------------
+    def _corrupt(self, payload, spec: FaultSpec, op: int, src: int,
+                 dst: int):
+        arr = np.array(payload, dtype=float, copy=True)
+        if arr.size:
+            rng = np.random.default_rng((self.seed, op, src, dst))
+            flat = arr.reshape(-1)
+            flat[int(rng.integers(flat.size))] = spec.value
+        return arr

@@ -1,0 +1,108 @@
+"""Per-step solution health checks and the automatic recovery policy.
+
+The guard watches the monitored density-residual norm — a scalar the
+stepping loops already compute, so checking costs two float comparisons
+per cycle — and classifies each sample as healthy, NaN/Inf, or runaway
+growth (see :func:`repro.solver.monitor.residual_health`).  On a bad
+sample the recovery policy is, in order:
+
+1. **CFL backoff + dissipation bump** — every affected solver's time
+   step is shrunk by ``recovery_cfl_factor`` and its artificial
+   dissipation scaled by ``recovery_dissipation_factor`` (the standard
+   rescue for a transonic startup transient);
+2. **restore from the last checkpoint** — the loop rewinds to the most
+   recent snapshot (the initial state if no periodic checkpoint was
+   taken yet) and replays under the safer configuration;
+3. after ``max_recoveries`` failed rescues, :class:`DivergenceError`.
+
+Every detection and recovery action increments an always-on telemetry
+counter (``resilience.guard.*`` / ``resilience.recovery.*``), so a fleet
+supervisor can alert on recovery storms without tracing enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..solver.monitor import residual_health
+from ..telemetry import count_event
+from .checkpoint import Checkpoint, CheckpointStore
+from .errors import DivergenceError
+
+__all__ = ["StepGuard"]
+
+
+class StepGuard:
+    """Health watchdog + checkpoint bookkeeping for one stepping loop.
+
+    Parameters
+    ----------
+    solvers : the solver (or list of solvers, e.g. every multigrid
+        level) whose configuration is backed off on recovery; each must
+        expose ``config`` and ``apply_recovery()``.
+    initial_w : state entering ``start_cycle`` — the recovery target of
+        last resort, copied.
+    start_cycle : cycle index ``initial_w`` enters.
+    store : optional :class:`CheckpointStore` receiving the periodic
+        snapshots (one is created in-memory otherwise, so recovery always
+        has a restore target).
+    """
+
+    def __init__(self, solvers, initial_w: np.ndarray, start_cycle: int = 0,
+                 store: CheckpointStore | None = None):
+        self.solvers = list(solvers) if isinstance(solvers, (list, tuple)) \
+            else [solvers]
+        self.store = store if store is not None else CheckpointStore()
+        self.store.save(Checkpoint.of(start_cycle, initial_w,
+                                      self.solvers[0].config))
+        self.best_norm = float("inf")
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _config(self):
+        return self.solvers[0].config
+
+    def note_cycle_start(self, cycle: int, w: np.ndarray) -> None:
+        """Periodic snapshot of the state entering ``cycle``."""
+        interval = self._config.checkpoint_interval
+        if interval > 0 and cycle % interval == 0:
+            latest = self.store.latest
+            if latest is None or latest.cycle < cycle:
+                self.store.save(Checkpoint.of(cycle, w, self._config))
+
+    def check(self, resnorm: float) -> str:
+        """Classify one monitored residual: ``ok``/``nan``/``diverged``."""
+        verdict = residual_health(resnorm, self.best_norm,
+                                  self._config.guard_growth_ratio)
+        if verdict == "ok":
+            if resnorm < self.best_norm:
+                self.best_norm = float(resnorm)
+        else:
+            count_event("resilience.guard." + verdict)
+        return verdict
+
+    def recover(self, cycle: int, verdict: str,
+                value: float) -> tuple[np.ndarray, int]:
+        """Back off the solvers and rewind to the last checkpoint.
+
+        Returns ``(w, cycle)`` to resume from; raises
+        :class:`DivergenceError` once ``max_recoveries`` is exhausted.
+        """
+        cfg = self._config
+        if self.recoveries >= cfg.max_recoveries:
+            count_event("resilience.recovery.exhausted")
+            raise DivergenceError(verdict, cycle, value,
+                                  reference=(self.best_norm
+                                             if np.isfinite(self.best_norm)
+                                             else None),
+                                  recoveries=self.recoveries)
+        self.recoveries += 1
+        for solver in self.solvers:
+            solver.apply_recovery()
+        count_event("resilience.recovery.cfl_backoff")
+        ckpt = self.store.latest
+        count_event("resilience.recovery.restore")
+        # The reference norm belongs to the abandoned trajectory.
+        self.best_norm = float("inf")
+        return ckpt.w.copy(), ckpt.cycle

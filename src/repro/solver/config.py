@@ -46,12 +46,56 @@ class SolverConfig:
     #: the serial path's bit-identity guarantee).
     edge_reorder: bool | None = None
 
+    # -- resilience policy (see repro.resilience and docs/resilience.md) --
+    #: Per-step health check of the monitored residual norm (NaN/Inf and
+    #: runaway growth).  Costs two float comparisons per cycle; detection
+    #: triggers the recovery ladder below.
+    divergence_guard: bool = True
+    #: A residual exceeding ``guard_growth_ratio`` times the best norm
+    #: seen so far is classified as divergence (NaN/Inf is always caught).
+    guard_growth_ratio: float = 1.0e6
+    #: Recovery attempts (CFL backoff + checkpoint restore) before the
+    #: run gives up with a :class:`~repro.resilience.DivergenceError`.
+    max_recoveries: int = 2
+    #: CFL multiplier applied by each recovery (must be in (0, 1]).
+    recovery_cfl_factor: float = 0.5
+    #: Multiplier applied to k2/k4 dissipation by each recovery (>= 1).
+    recovery_dissipation_factor: float = 1.5
+    #: Cycles between automatic solver-state snapshots in the stepping
+    #: loops (0 = only the initial state is kept as the restore target).
+    checkpoint_interval: int = 0
+
     def __post_init__(self):
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}")
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.guard_growth_ratio <= 1.0:
+            raise ValueError(
+                f"guard_growth_ratio must be > 1, got {self.guard_growth_ratio}")
+        if not (0.0 < self.recovery_cfl_factor <= 1.0):
+            raise ValueError(
+                f"recovery_cfl_factor must be in (0, 1], got "
+                f"{self.recovery_cfl_factor}")
+        if self.recovery_dissipation_factor < 1.0:
+            raise ValueError(
+                f"recovery_dissipation_factor must be >= 1, got "
+                f"{self.recovery_dissipation_factor}")
+        if self.max_recoveries < 0:
+            raise ValueError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}")
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0, got "
+                f"{self.checkpoint_interval}")
+
+    def backed_off(self) -> "SolverConfig":
+        """The recovery variant: CFL reduced, dissipation bumped."""
+        return replace(self,
+                       cfl=self.cfl * self.recovery_cfl_factor,
+                       k2=self.k2 * self.recovery_dissipation_factor,
+                       k4=self.k4 * self.recovery_dissipation_factor)
 
     @property
     def reorder_edges_enabled(self) -> bool:

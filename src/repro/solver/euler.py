@@ -226,6 +226,21 @@ class EulerSolver:
         return wk
 
     # ------------------------------------------------------------------
+    def apply_recovery(self) -> SolverConfig:
+        """Back off the scheme after a detected divergence.
+
+        Swaps in :meth:`SolverConfig.backed_off` (CFL reduced by
+        ``recovery_cfl_factor``, k2/k4 dissipation bumped by
+        ``recovery_dissipation_factor``).  Both the serial operators and
+        the fused pipeline read these knobs per call, so the change takes
+        effect on the next step.  Returns the new config.
+        """
+        new_cfg = self.config.backed_off()
+        self.config = new_cfg
+        if self.fused is not None:
+            self.fused.config = new_cfg
+        return new_cfg
+
     def density_residual_norm(self, w: np.ndarray) -> float:
         """RMS of the density residual normalised by control volume.
 
@@ -237,12 +252,25 @@ class EulerSolver:
         return float(np.sqrt(np.mean((r[:, 0] / self.dual_volumes) ** 2)))
 
     def run(self, w: np.ndarray | None = None, n_cycles: int = 100,
-            callback=None) -> tuple[np.ndarray, list[float]]:
+            callback=None, checkpoint_store=None,
+            resume_from=None) -> tuple[np.ndarray, list[float]]:
         """Run ``n_cycles`` single-grid cycles from ``w`` (or freestream).
 
         Returns the final state and the per-cycle density residual history
         (the residual of the state *entering* each step, plus one final
         evaluation of the converged state).
+
+        Resilience: when ``config.divergence_guard`` is on (the default)
+        each cycle's monitored residual is health-checked; a NaN/Inf or a
+        runaway norm triggers CFL backoff plus restore from the last
+        checkpoint (see :class:`repro.resilience.StepGuard`), and raises
+        :class:`repro.resilience.DivergenceError` once
+        ``config.max_recoveries`` is exhausted.  ``checkpoint_store``
+        receives a snapshot every ``config.checkpoint_interval`` cycles;
+        ``resume_from`` (a :class:`repro.resilience.Checkpoint`) resumes a
+        previous run **bit-identically** — the loop state is exactly
+        ``(w, cycle, config)``.  On resume, ``history`` covers cycles
+        ``resume_from.cycle .. n_cycles``.
 
         Cost note: earlier revisions evaluated ``R(w)`` once for monitoring
         and then again inside ``step`` — a full extra residual (about 1/6
@@ -252,15 +280,43 @@ class EulerSolver:
         the same operator order, so only the single trailing evaluation of
         the final state remains.
         """
-        if w is None:
+        start_cycle = 0
+        if resume_from is not None:
+            from ..resilience import verify_checkpoint
+            verify_checkpoint(resume_from, self.config)
+            w = resume_from.w.copy()
+            start_cycle = resume_from.cycle
+        elif w is None:
             w = self.freestream_solution()
+
+        guard = None
+        if self.config.divergence_guard:
+            from ..resilience import StepGuard
+            guard = StepGuard(self, w, start_cycle=start_cycle,
+                              store=checkpoint_store)
+
         history = []
         with self.tracer.span("solver.run"):
-            for cycle in range(n_cycles):
+            cycle = start_cycle
+            while cycle < n_cycles:
                 with self.tracer.span("solver.cycle"):
-                    w = self.step(w)
-                history.append(self.last_step_residual_norm)
+                    w_new = self.step(w)
+                resnorm = self.last_step_residual_norm
+                if guard is not None:
+                    verdict = guard.check(resnorm)
+                    if verdict != "ok":
+                        w, cycle = guard.recover(cycle, verdict, resnorm)
+                        del history[cycle - start_cycle:]
+                        continue
+                    # Snapshot the *entering* state only now that its
+                    # stage-0 residual proved it healthy — a snapshot
+                    # taken before the check could capture the very
+                    # corruption recovery needs to erase.
+                    guard.note_cycle_start(cycle, w)
+                w = w_new
+                history.append(resnorm)
                 if callback is not None:
-                    callback(cycle, w, history[-1])
+                    callback(cycle, w, resnorm)
+                cycle += 1
             history.append(self.density_residual_norm(w))
         return w, history

@@ -16,8 +16,27 @@ import numpy as np
 from ..state import mach_number, pressure
 from .bc import BoundaryData
 
-__all__ = ["ConvergenceHistory", "mach_field", "surface_pressure_coefficient",
-           "integrated_forces", "extract_isoline"]
+__all__ = ["ConvergenceHistory", "residual_health", "mach_field",
+           "surface_pressure_coefficient", "integrated_forces",
+           "extract_isoline"]
+
+
+def residual_health(value: float, reference: float,
+                    growth_ratio: float) -> str:
+    """Classify one monitored residual sample.
+
+    Returns ``"nan"`` for a non-finite residual (a NaN or Inf anywhere in
+    the flow field propagates into the density-residual RMS within one
+    step), ``"diverged"`` when the residual exceeds ``growth_ratio``
+    times the best (finite) ``reference`` norm seen so far, and ``"ok"``
+    otherwise.  This is the scalar test behind the resilience layer's
+    per-step guard (:class:`repro.resilience.StepGuard`).
+    """
+    if not np.isfinite(value):
+        return "nan"
+    if np.isfinite(reference) and value > growth_ratio * reference:
+        return "diverged"
+    return "ok"
 
 
 @dataclass
@@ -35,6 +54,11 @@ class ConvergenceHistory:
     #: Wall-clock time of each appended residual, seconds since creation.
     timestamps: list = field(default_factory=list)
     t_start: float = field(default_factory=time.perf_counter, repr=False)
+    #: Out-of-band events: ``(cycle, kind, detail)`` tuples recorded by
+    #: :meth:`record_event` — recovery actions, checkpoint restores,
+    #: rank failures — so a convergence plot can be annotated with what
+    #: the resilience layer did to the run.
+    events: list = field(default_factory=list)
 
     def append(self, value: float, timestamp: float | None = None) -> None:
         """Record one residual; ``timestamp`` overrides the wall clock."""
@@ -42,6 +66,10 @@ class ConvergenceHistory:
         if timestamp is None:
             timestamp = time.perf_counter() - self.t_start
         self.timestamps.append(float(timestamp))
+
+    def record_event(self, cycle: int, kind: str, detail: str = "") -> None:
+        """Annotate the history with one resilience/lifecycle event."""
+        self.events.append((int(cycle), str(kind), str(detail)))
 
     def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(timestamps, residuals)`` as float arrays, ready to plot."""

@@ -38,9 +38,38 @@ from . import export
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TracePayload",
            "CounterStore", "GaugeStats", "GaugeStore", "export", "traced",
-           "get_tracer", "set_tracer", "use_tracer"]
+           "get_tracer", "set_tracer", "use_tracer",
+           "count_event", "global_counters", "reset_global_counters"]
 
 _GLOBAL_TRACER = NULL_TRACER
+
+#: Always-on process-global event counters.  Unlike tracer counters —
+#: which exist only while a :class:`Tracer` is installed — these record
+#: *operational* events (fault injections, rank failures, guard
+#: detections, recovery actions) whether or not tracing is enabled, so a
+#: supervisor can inspect them after the fact.  One dict add per event;
+#: nothing on the per-edge hot path uses them.
+_EVENT_COUNTERS = CounterStore()
+
+
+def count_event(name: str, value: float = 1.0) -> None:
+    """Record an operational event: always into the process-global
+    counter store, and additionally into the ambient tracer when one is
+    enabled (so events land next to spans in exports)."""
+    _EVENT_COUNTERS.add(name, value)
+    tracer = _GLOBAL_TRACER
+    if tracer.enabled:
+        tracer.count(name, value)
+
+
+def global_counters() -> dict:
+    """Snapshot of the always-on event counters (``{name: total}``)."""
+    return _EVENT_COUNTERS.as_dict()
+
+
+def reset_global_counters() -> None:
+    """Clear the always-on event counters (tests and long-lived services)."""
+    _EVENT_COUNTERS.clear()
 
 
 def get_tracer():

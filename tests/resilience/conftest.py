@@ -1,0 +1,66 @@
+"""Fixtures and a hang guard for the fault-injection suite.
+
+The suite exercises deliberately-broken distributed runs, so a
+regression here looks like a *hang*, not a failure.  The autouse
+``_hang_guard`` fixture is the in-tree equivalent of ``pytest-timeout``
+(which CI additionally installs and enables suite-wide): it arms a
+``SIGALRM`` per test and fails fast instead of stalling the workflow.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.partition import recursive_spectral_bisection
+from repro.distsolver.partitioned_mesh import partition_solver_data
+from repro.solver import build_boundary_data
+from repro.telemetry import reset_global_counters
+
+#: Per-test wall-clock budget, seconds.  Every test here finishes in
+#: well under ten seconds; a minute means something is hung.
+HANG_GUARD_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {HANG_GUARD_S} s hang guard "
+            "(see tests/resilience/conftest.py)")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(HANG_GUARD_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    """Each test reads its own resilience.* event counters."""
+    reset_global_counters()
+    yield
+
+
+@pytest.fixture(scope="module")
+def dmesh3(bump_struct):
+    asg = recursive_spectral_bisection(bump_struct.edges,
+                                       bump_struct.n_vertices, 3)
+    return partition_solver_data(bump_struct,
+                                 build_boundary_data(bump_struct), asg)
+
+
+@pytest.fixture(scope="module")
+def w0_global(bump_struct, winf):
+    return np.tile(winf, (bump_struct.n_vertices, 1))

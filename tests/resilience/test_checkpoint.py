@@ -1,0 +1,165 @@
+"""Checkpoint/restart: bit-identical resume across every stepping loop.
+
+The stepping loops are Markovian in ``(w, cycle, config)``; these tests
+pin that property for the sequential solver, the multigrid driver, the
+simulated distributed driver, and the real-process backend, plus the
+exact on-disk round-trip and the config-hash guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.distsolver import DistributedEulerSolver, run_distributed_mp
+from repro.multigrid import MultigridHierarchy, run_multigrid
+from repro.partition import recursive_spectral_bisection
+from repro.resilience import (Checkpoint, CheckpointMismatchError,
+                              CheckpointStore, solver_config_hash,
+                              verify_checkpoint)
+from repro.solver import EulerSolver, SolverConfig
+
+
+class TestCheckpointStore:
+    def test_ring_keeps_latest(self):
+        store = CheckpointStore(keep=2)
+        cfg = SolverConfig()
+        for cycle in range(4):
+            store.save(Checkpoint.of(cycle, np.full((3, 5), cycle), cfg))
+        assert len(store) == 2
+        assert store.latest.cycle == 3
+
+    def test_disk_round_trip_is_exact(self, tmp_path, rng):
+        store = CheckpointStore(directory=tmp_path)
+        cfg = SolverConfig()
+        w = rng.normal(size=(17, 5))        # full float64 entropy
+        saved = store.save(Checkpoint.of(12, w, cfg, meta={"label": "x"}))
+        loaded = store.load_cycle(12)
+        assert loaded.cycle == 12
+        assert np.array_equal(loaded.w, saved.w)     # bit-exact
+        assert loaded.config_hash == saved.config_hash
+        assert loaded.meta == {"label": "x"}
+
+    def test_load_latest_from_disk(self, tmp_path):
+        cfg = SolverConfig()
+        store = CheckpointStore(directory=tmp_path)
+        for cycle in (2, 5, 9):
+            store.save(Checkpoint.of(cycle, np.zeros((2, 5)), cfg))
+        # A fresh store (fresh process) finds the newest file.
+        reopened = CheckpointStore(directory=tmp_path)
+        assert reopened.load_latest().cycle == 9
+
+    def test_config_hash_guard(self):
+        cfg_a = SolverConfig()
+        cfg_b = replace(cfg_a, cfl=cfg_a.cfl * 0.9)
+        assert solver_config_hash(cfg_a) != solver_config_hash(cfg_b)
+        ckpt = Checkpoint.of(0, np.zeros((2, 5)), cfg_a)
+        verify_checkpoint(ckpt, cfg_a)
+        with pytest.raises(CheckpointMismatchError):
+            verify_checkpoint(ckpt, cfg_b)
+
+
+class TestSequentialResume:
+    def test_run_resumes_bit_identically(self, bump_struct, winf):
+        full_w, full_h = EulerSolver(bump_struct, winf,
+                                     SolverConfig()).run(n_cycles=8)
+
+        first = EulerSolver(bump_struct, winf, SolverConfig())
+        w4, _ = first.run(n_cycles=4)
+        ckpt = Checkpoint.of(4, w4, first.config)
+
+        resumed = EulerSolver(bump_struct, winf, SolverConfig())
+        res_w, res_h = resumed.run(n_cycles=8, resume_from=ckpt)
+        assert np.array_equal(res_w, full_w)
+        assert res_h == full_h[4:]
+
+    def test_periodic_store_snapshots(self, bump_struct, winf):
+        cfg = replace(SolverConfig(), checkpoint_interval=2)
+        store = CheckpointStore(keep=10)
+        solver = EulerSolver(bump_struct, winf, cfg)
+        solver.run(n_cycles=6, checkpoint_store=store)
+        cycles = [c.cycle for c in store._ring]
+        assert cycles == [0, 2, 4]
+
+    def test_resume_rejects_other_config(self, bump_struct, winf):
+        solver = EulerSolver(bump_struct, winf, SolverConfig())
+        w, _ = solver.run(n_cycles=2)
+        ckpt = Checkpoint.of(2, w, replace(SolverConfig(), cfl=1.0))
+        with pytest.raises(CheckpointMismatchError):
+            EulerSolver(bump_struct, winf,
+                        SolverConfig()).run(n_cycles=4, resume_from=ckpt)
+
+
+class TestMultigridResume:
+    @pytest.fixture(scope="class")
+    def hierarchy_factory(self, winf):
+        from repro.mesh import bump_channel
+
+        def make():
+            meshes = [bump_channel(12, 2, 4), bump_channel(6, 2, 2)]
+            return MultigridHierarchy(meshes, winf, config=SolverConfig())
+        return make
+
+    def test_run_multigrid_resumes_bit_identically(self, hierarchy_factory):
+        full_w, full_h = run_multigrid(hierarchy_factory(), n_cycles=6,
+                                       gamma=2)
+
+        first = hierarchy_factory()
+        w3, _ = run_multigrid(first, n_cycles=3, gamma=2)
+        ckpt = Checkpoint.of(3, w3, first.fine.solver.config)
+
+        res_w, res_h = run_multigrid(hierarchy_factory(), n_cycles=6,
+                                     gamma=2, resume_from=ckpt)
+        assert np.array_equal(res_w, full_w)
+        assert res_h == full_h[3:]
+
+
+class TestDistributedResume:
+    def test_simulated_driver_resumes_bit_identically(self, bump_struct,
+                                                      winf):
+        asg = recursive_spectral_bisection(bump_struct.edges,
+                                           bump_struct.n_vertices, 3)
+        cfg = replace(SolverConfig(), checkpoint_interval=2)
+
+        ref = DistributedEulerSolver(bump_struct, winf, asg, cfg)
+        full_w, full_h = ref.run(n_cycles=5)
+
+        store = CheckpointStore(keep=10)
+        mid = DistributedEulerSolver(bump_struct, winf, asg, cfg)
+        mid.run(n_cycles=5, checkpoint_store=store)
+        ckpt = next(c for c in store._ring if c.cycle == 2)
+
+        resumed = DistributedEulerSolver(bump_struct, winf, asg, cfg)
+        res_w, res_h = resumed.run(n_cycles=5, resume_from=ckpt)
+        assert np.array_equal(resumed.collect(res_w), ref.collect(full_w))
+        assert res_h == full_h[2:]
+
+    def test_mp_driver_segments_and_resumes_bit_identically(self, dmesh3,
+                                                            w0_global, winf):
+        cfg = SolverConfig()
+        w_clean = run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=4)
+
+        cfg_ck = replace(cfg, checkpoint_interval=2)
+        store = CheckpointStore(keep=10)
+        w_seg = run_distributed_mp(dmesh3, w0_global, winf, cfg_ck,
+                                   n_cycles=4, checkpoint_store=store)
+        assert np.array_equal(w_seg, w_clean)
+        assert [c.cycle for c in store._ring] == [2, 4]
+
+        ckpt = next(c for c in store._ring if c.cycle == 2)
+        w_res = run_distributed_mp(dmesh3, w0_global, winf, cfg_ck,
+                                   n_cycles=4, resume_from=ckpt)
+        assert np.array_equal(w_res, w_clean)
+
+    def test_mp_driver_nan_guard_at_segment_boundary(self, dmesh3,
+                                                     w0_global, winf):
+        from repro.resilience import DivergenceError, FaultInjector, FaultSpec
+        cfg = replace(SolverConfig(), checkpoint_interval=1)
+        injector = FaultInjector([FaultSpec(kind="corrupt", rank=0, op=0,
+                                            dst=1)], seed=11)
+        with pytest.raises(DivergenceError) as excinfo:
+            run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=3,
+                               injector=injector)
+        assert excinfo.value.cycle == 1      # caught at the first boundary

@@ -1,0 +1,165 @@
+"""Fault injection against the real-process distributed solver.
+
+Pins the acceptance criteria of the resilience layer: a killed rank is
+named within seconds (not after ``n_ranks x timeout``), transiently
+dropped messages are recovered by the bounded send retry with a
+bit-identical result, exchange timeouts carry rank/op coordinates, and
+the driver leaks neither stash entries nor file descriptors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.distsolver import run_distributed_mp
+from repro.distsolver.mp_solver import _PipeTransport
+from repro.resilience import (CollectionTimeoutError, ExchangeTimeoutError,
+                              FaultInjector, FaultSpec, KILLED_EXIT_CODE,
+                              RankFailedError)
+from repro.solver import SolverConfig
+
+
+class TestKillRank:
+    def test_killed_rank_is_named_within_seconds(self, dmesh3, w0_global,
+                                                 winf):
+        injector = FaultInjector([FaultSpec(kind="kill_rank", rank=1, op=6)])
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as excinfo:
+            run_distributed_mp(dmesh3, w0_global, winf, SolverConfig(),
+                               n_cycles=3, injector=injector)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0, f"detection took {elapsed:.1f} s"
+        err = excinfo.value
+        assert err.rank == 1
+        assert err.exitcode == KILLED_EXIT_CODE
+        assert "rank 1" in str(err)
+        # The shared progress array pins where the rank got to: it was
+        # killed entering op 6, so the last completed op is 5.
+        assert err.last_op == 5
+
+    def test_kill_at_first_op_reports_no_progress(self, dmesh3, w0_global,
+                                                  winf):
+        injector = FaultInjector([FaultSpec(kind="kill_rank", rank=0, op=0)])
+        with pytest.raises(RankFailedError) as excinfo:
+            run_distributed_mp(dmesh3, w0_global, winf, SolverConfig(),
+                               n_cycles=1, injector=injector)
+        assert excinfo.value.rank == 0
+        assert excinfo.value.last_op == -1
+
+
+class TestDropAndRetry:
+    def test_transient_drop_recovers_bit_identically(self, dmesh3, w0_global,
+                                                     winf):
+        cfg = SolverConfig()
+        w_clean = run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=2)
+        injector = FaultInjector([FaultSpec(kind="drop", rank=0, op=2,
+                                            count=2)])
+        w_faulty = run_distributed_mp(dmesh3, w0_global, winf, cfg,
+                                      n_cycles=2, injector=injector,
+                                      max_send_retries=3)
+        assert np.array_equal(w_faulty, w_clean)
+
+    def test_exhausted_retries_surface_as_rank_failure(self, dmesh3,
+                                                       w0_global, winf):
+        # Drop every attempt of rank 0's op-2 sends: the sender's bounded
+        # retry gives up and the driver names rank 0 promptly.
+        injector = FaultInjector([FaultSpec(kind="drop", rank=0, op=2,
+                                            count=10_000)])
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as excinfo:
+            run_distributed_mp(dmesh3, w0_global, winf, SolverConfig(),
+                               n_cycles=2, injector=injector,
+                               max_send_retries=2, op_timeout=5.0)
+        assert time.monotonic() - t0 < 10.0
+        assert excinfo.value.rank == 0
+        assert "ExchangeTimeoutError" in excinfo.value.reason
+
+    def test_delay_fault_still_converges(self, dmesh3, w0_global, winf):
+        cfg = SolverConfig()
+        w_clean = run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=1)
+        injector = FaultInjector([FaultSpec(kind="delay", rank=1, op=3,
+                                            delay_s=0.2, count=2)])
+        w_delayed = run_distributed_mp(dmesh3, w0_global, winf, cfg,
+                                       n_cycles=1, injector=injector)
+        assert np.array_equal(w_delayed, w_clean)
+
+
+class TestTransportInternals:
+    def _make_transport(self, **kwargs):
+        recv_end, send_end = mp.Pipe(duplex=False)
+        transport = _PipeTransport(0, recv_end, {}, {}, {}, **kwargs)
+        return transport, send_end
+
+    def test_stash_entries_are_deleted_when_drained(self):
+        transport, send_end = self._make_transport()
+        # Two ops arrive out of order; matching both must leave the
+        # stash empty (the old code kept one empty list per early op).
+        send_end.send((1, 1, "early"))
+        send_end.send((1, 0, "wanted"))
+        assert transport._recv_op(0) == (1, "wanted")
+        assert transport._stash == {1: [(1, "early")]}
+        assert transport._recv_op(1) == (1, "early")
+        assert transport._stash == {}
+
+    def test_recv_timeout_names_rank_and_op(self):
+        transport, _send_end = self._make_transport(op_timeout=0.1)
+        t0 = time.monotonic()
+        with pytest.raises(ExchangeTimeoutError) as excinfo:
+            transport._recv_op(7)
+        assert time.monotonic() - t0 < 2.0
+        assert excinfo.value.rank == 0
+        assert excinfo.value.op == 7
+        assert "op 7" in str(excinfo.value)
+
+
+class TestDriverHygiene:
+    def test_deadline_is_for_whole_collection(self):
+        """A silent (alive but stuck) worker trips the single deadline.
+
+        The old driver waited ``timeout`` per rank; two stuck ranks would
+        have doubled the wait.  With the deadline semantics the total
+        wait stays near one ``timeout`` regardless of rank count.
+        """
+        import queue as _queue
+
+        from repro.resilience import collect_results
+
+        class _NeverQueue:
+            def get(self, timeout=None):
+                time.sleep(timeout or 0.01)
+                raise _queue.Empty
+
+        class _AliveProc:
+            exitcode = None
+
+            def is_alive(self):
+                return True
+
+        workers = [_AliveProc() for _ in range(4)]
+        t0 = time.monotonic()
+        with pytest.raises(CollectionTimeoutError) as excinfo:
+            collect_results(_NeverQueue(), workers, 4, timeout=0.3,
+                            poll_interval=0.02)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 1.5, f"deadline not global: waited {elapsed:.1f} s"
+        assert len(excinfo.value.pending) == 4
+
+    def test_repeated_runs_leak_no_file_descriptors(self, dmesh3, w0_global,
+                                                    winf):
+        cfg = SolverConfig()
+
+        def n_fds():
+            return len(os.listdir("/proc/self/fd"))
+
+        # Warm-up creates any lazily-allocated plumbing (semaphores &c).
+        run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=1)
+        before = n_fds()
+        for _ in range(3):
+            run_distributed_mp(dmesh3, w0_global, winf, cfg, n_cycles=1)
+        assert n_fds() <= before + 2, \
+            "pipe/queue endpoints leaked across run_distributed_mp calls"
