@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Distributed-step benchmark: blocking exchanges vs the overlap executor.
+
+Times one five-stage distributed step on the simulated machine for a
+ranks x mesh grid, in both ``dist_mode`` settings of
+:class:`repro.solver.SolverConfig`:
+
+* ``blocking`` — the original phase-by-phase path: every exchange
+  completes before dependent compute starts, rank kernels accumulate
+  through ``np.add.at``;
+* ``overlap`` — ghost sends are posted first, interior edge
+  contributions (both endpoints owned) are computed through precomputed
+  CSR :class:`~repro.scatter.EdgeScatter` operators while messages are
+  "in flight", boundary edges complete on arrival, and the per-stage
+  exchanges are aggregated (``sigma-diss-partials``, ``qd-scatter``)
+  into one packed message per neighbour pair.
+
+Besides wall time the benchmark records the per-cycle message counts of
+both modes from the machine's :class:`~repro.parti.simmpi.TrafficLog`
+(aggregation is a structural win, visible on any machine) and validates
+that both modes match the sequential solver to <= 1e-12 relative.
+
+Methodology follows ``bench_residual.py``: interleaved rounds
+(blocking, overlap, blocking, ...) with the median round reported, which
+cancels slow machine drift.  The committed ``BENCH_distributed.json`` is
+the recorded baseline; CI re-runs ``--quick --check-regression`` against
+it and fails when the overlap *speedup* (a machine-relative ratio)
+falls below 80% of the recorded one, or when the per-cycle message
+count stops shrinking.
+
+Usage::
+
+    python benchmarks/bench_distributed.py           # full grid
+    python benchmarks/bench_distributed.py --quick   # CI smoke
+    python benchmarks/bench_distributed.py --quick --check-regression BENCH_distributed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distsolver import DistributedEulerSolver
+from repro.mesh import box_mesh, build_edge_structure
+from repro.partition import recursive_spectral_bisection
+from repro.solver import EulerSolver, SolverConfig
+from repro.state import freestream_state
+
+MODES = ("blocking", "overlap")
+
+
+def _time_ms(fn, inner: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(inner):
+        fn()
+    return (time.perf_counter() - t0) / inner * 1e3
+
+
+def _interleaved_median(fns: dict, rounds: int, inner: int) -> dict:
+    samples: dict[str, list[float]] = {name: [] for name in fns}
+    for fn in fns.values():          # warmup
+        fn()
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            samples[name].append(_time_ms(fn, inner))
+    return {name: statistics.median(s) for name, s in samples.items()}
+
+
+def bench_case(name: str, mesh, n_ranks: int, w_inf, rounds: int,
+               inner: int) -> dict:
+    struct = build_edge_structure(mesh)
+    asg = recursive_spectral_bisection(struct.edges, struct.n_vertices,
+                                       n_ranks)
+    solvers = {mode: DistributedEulerSolver(
+        struct, w_inf, asg, SolverConfig(dist_mode=mode))
+        for mode in MODES}
+    seq = EulerSolver(struct, w_inf)
+
+    # Correctness first: one step of each mode vs the sequential solver.
+    w_seq = seq.step(seq.freestream_solution())
+    scale = float(np.max(np.abs(w_seq)))
+    max_rel = 0.0
+    for mode, dist in solvers.items():
+        w_dist = dist.collect(dist.step(dist.freestream_solution()))
+        rel = float(np.max(np.abs(w_dist - w_seq)) / scale)
+        max_rel = max(max_rel, rel)
+        if rel > 1e-12:
+            raise SystemExit(
+                f"{name}/{n_ranks}r: dist_mode {mode!r} deviates {rel:.2e} "
+                f"from the sequential solver (tolerance 1e-12)")
+
+    # Per-cycle communication structure (machine-independent).
+    traffic = {}
+    for mode, dist in solvers.items():
+        dist.machine.log.reset()
+        dist.step(dist.freestream_solution())
+        log = dist.machine.log
+        traffic[mode] = {
+            "msgs_per_cycle": int(log.total_msgs),
+            "bytes_per_cycle": int(log.total_bytes),
+            "exchange_phases": len(log.phases),
+        }
+
+    states = {mode: s.freestream_solution() for mode, s in solvers.items()}
+    step_ms = _interleaved_median(
+        {mode: (lambda s=solvers[mode], w=states[mode]: s.step(w))
+         for mode in MODES},
+        rounds, inner)
+
+    return {
+        "mesh": name,
+        "n_ranks": n_ranks,
+        "n_vertices": struct.n_vertices,
+        "n_edges": struct.n_edges,
+        "max_rel_diff": max_rel,
+        "step_ms": step_ms,
+        "traffic": traffic,
+        "speedup": step_ms["blocking"] / step_ms["overlap"],
+    }
+
+
+def check_report(report: dict, baseline_path: Path | None,
+                 tolerance: float = 0.8) -> int:
+    """Structural + (optionally) baseline-relative gates.
+
+    Always: overlap must send fewer messages per cycle than blocking in
+    every case.  With a baseline: the overlap speedup of every case also
+    present in the baseline must stay above 80% of the recorded one.
+    """
+    rc = 0
+    for case in report["cases"]:
+        t = case["traffic"]
+        label = f"{case['mesh']}/{case['n_ranks']}r"
+        if t["overlap"]["msgs_per_cycle"] >= t["blocking"]["msgs_per_cycle"]:
+            print(f"FAIL: {label}: overlap sends "
+                  f"{t['overlap']['msgs_per_cycle']} msgs/cycle, blocking "
+                  f"{t['blocking']['msgs_per_cycle']} — aggregation lost")
+            rc = 1
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        base = {(c["mesh"], c["n_ranks"]): c["speedup"]
+                for c in baseline["cases"]}
+        for case in report["cases"]:
+            key = (case["mesh"], case["n_ranks"])
+            if key not in base:
+                continue
+            floor = tolerance * base[key]
+            print(f"regression check: {key[0]}/{key[1]}r overlap speedup "
+                  f"{case['speedup']:.2f}x (baseline {base[key]:.2f}x, "
+                  f"floor {floor:.2f}x)")
+            if case["speedup"] < floor:
+                print("FAIL: overlap executor regressed >20% vs baseline")
+                rc = 1
+    if rc == 0:
+        print("OK")
+    return rc
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small mesh, few rounds (CI smoke)")
+    ap.add_argument("--rounds", type=int, default=None,
+                    help="interleaved timing rounds (default 5, quick 3)")
+    ap.add_argument("--out", type=Path,
+                    default=Path("BENCH_distributed.json"),
+                    help="output JSON path")
+    ap.add_argument("--check-regression", type=Path, metavar="BASELINE",
+                    nargs="?", const=None, default=False,
+                    help="verify message aggregation and (when BASELINE is "
+                         "given) the overlap speedup vs a recorded JSON; "
+                         "exit 1 on regression")
+    args = ap.parse_args(argv)
+
+    rounds = args.rounds or (3 if args.quick else 5)
+    w_inf = freestream_state(0.5, 1.0)
+    if args.quick:
+        grid = [("box8", box_mesh(8, 8, 8), 2, 2),
+                ("box8", box_mesh(8, 8, 8), 4, 2)]
+    else:
+        grid = [
+            ("box16", box_mesh(16, 16, 16), 2, 1),
+            ("box16", box_mesh(16, 16, 16), 4, 1),
+            # ~20k-vertex box at 4 ranks: the acceptance case (>= 1.5x).
+            ("box27", box_mesh(27, 27, 27), 4, 1),
+        ]
+
+    report = {
+        "meta": {
+            "quick": args.quick,
+            "rounds": rounds,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "cases": [],
+    }
+    for name, mesh, n_ranks, inner in grid:
+        case = bench_case(name, mesh, n_ranks, w_inf, rounds, inner)
+        report["cases"].append(case)
+        t = case["traffic"]
+        print(f"{name}/{n_ranks}r: nv={case['n_vertices']} "
+              f"ne={case['n_edges']} max_rel={case['max_rel_diff']:.2e}")
+        for mode in MODES:
+            print(f"  {mode:9s} step {case['step_ms'][mode]:8.2f} ms   "
+                  f"{t[mode]['msgs_per_cycle']:4d} msgs/cycle   "
+                  f"{t[mode]['bytes_per_cycle']:9d} B/cycle")
+        print(f"  overlap speedup: {case['speedup']:.2f}x")
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_regression is not False:
+        return check_report(report, args.check_regression or None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

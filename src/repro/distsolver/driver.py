@@ -10,7 +10,7 @@ logged per phase — the measurements behind Tables 2a-2c.
 
 Communication pattern per five-stage cycle (matching Section 4.3's account
 of "a sequence of three loops over edges followed by a loop over boundary
-faces" per stage):
+faces" per stage), in the original ``dist_mode="blocking"`` executor:
 
 ========================  =======================================
 phase                     when
@@ -22,6 +22,23 @@ phase                     when
 ``d-scatter``             stages 1-2 (crossing-edge dissipation)
 ``dt-scatter``            once per cycle (spectral radius sums)
 ``smooth-gather/scatter``  per Jacobi sweep per stage
+========================  =======================================
+
+The default ``dist_mode="overlap"`` executor is the latency-hiding
+variant: every gather/scatter is split into a posted *begin* half and a
+delivering *finish* half, interior edge contributions (both endpoints
+owned) are computed inside the in-flight window (``dist.overlap.interior``
+spans), boundary edge contributions complete on arrival, and same-stage
+scatters are column-packed into one message per neighbour pair:
+
+========================  =======================================
+phase                     replaces
+========================  =======================================
+``sigma-diss-partials``   ``dt-scatter`` + ``diss-partials`` (stage 1)
+``qd-scatter``            ``q-scatter`` + ``d-scatter`` (stages 1-2)
+``diss-partials``         unchanged name, overlapped (stage 2)
+``q-scatter``             unchanged name, overlapped (stages 3-5)
+``w-gather``/``diss-gather``/``smooth-*``  unchanged names, overlapped
 ========================  =======================================
 """
 
@@ -117,20 +134,51 @@ class DistributedEulerSolver:
         self.rank_flops[phase] += np.asarray(per_rank_values, dtype=np.float64)
 
     # -- communication helpers ------------------------------------------
+    def _owned_views(self, arrays: list) -> list:
+        return [a[:rm.n_owned] for a, rm in zip(arrays, self.dmesh.ranks)]
+
+    def _ghost_views(self, arrays: list) -> list:
+        return [a[rm.n_owned:] for a, rm in zip(arrays, self.dmesh.ranks)]
+
     def _gather_ghosts(self, arrays: list, phase: str) -> None:
         """Refresh ghost slices of per-rank local arrays in place."""
-        owned = [a[:rm.n_owned] for a, rm in zip(arrays, self.dmesh.ranks)]
-        ghosts = self.schedule.gather(self.machine, owned,
+        ghosts = self.schedule.gather(self.machine, self._owned_views(arrays),
                                       self.phase_prefix + phase)
         for a, rm, g in zip(arrays, self.dmesh.ranks, ghosts):
             a[rm.n_owned:] = g
 
     def _scatter_add_ghosts(self, arrays: list, phase: str) -> None:
         """Fold ghost-slot contributions back into owners, in place."""
-        ghost = [a[rm.n_owned:] for a, rm in zip(arrays, self.dmesh.ranks)]
-        owned = [a[:rm.n_owned] for a, rm in zip(arrays, self.dmesh.ranks)]
-        self.schedule.scatter_add(self.machine, ghost, owned,
+        self.schedule.scatter_add(self.machine, self._ghost_views(arrays),
+                                  self._owned_views(arrays),
                                   self.phase_prefix + phase)
+
+    def _gather_begin(self, arrays: list, phase: str) -> dict:
+        """Post a ghost gather; the caller overlaps interior compute."""
+        return self.schedule.gather_begin(self.machine,
+                                          self._owned_views(arrays),
+                                          self.phase_prefix + phase)
+
+    def _gather_finish(self, pending: dict, arrays: list) -> None:
+        self.schedule.gather_finish(self.machine, pending,
+                                    self._ghost_views(arrays))
+
+    def _scatter_multi(self, comps: list, phase: str,
+                       overlap_fn=None) -> None:
+        """Aggregated scatter-add of several components with overlap.
+
+        Posts one packed message per neighbour pair covering all
+        ``comps``, runs ``overlap_fn`` (interior compute) while the
+        messages are in flight, then folds into the owners.
+        """
+        pending = self.schedule.scatter_add_multi_begin(
+            self.machine, [self._ghost_views(c) for c in comps],
+            self.phase_prefix + phase)
+        if overlap_fn is not None:
+            with self.tracer.span("dist.overlap.interior"):
+                overlap_fn()
+        self.schedule.scatter_add_multi_finish(
+            self.machine, pending, [self._owned_views(c) for c in comps])
 
     # -- kernels ----------------------------------------------------------
     @traced("dist.convective")
@@ -224,19 +272,182 @@ class DistributedEulerSolver:
                 self._gather_ghosts(rbar, "smooth-gather")
         return [rb[:rm.n_owned] for rm, rb in zip(self.dmesh.ranks, rbar)]
 
+    # -- overlap executor (dist_mode="overlap") -------------------------
+    def _ensure_overlap(self) -> None:
+        """Build per-rank CSR operators and persistent stage buffers."""
+        if hasattr(self, "_ops"):
+            return
+        ranks = self.dmesh.ranks
+        self._ops = [rank_kernels.rank_ops(rm, self.tracer) for rm in ranks]
+
+        def alloc(*trailing):
+            return [np.zeros((rm.n_local,) + trailing) for rm in ranks]
+
+        self._oq = alloc(NVAR)          # convective contributions
+        self._od = alloc(NVAR)          # dissipation contributions
+        self._osig = alloc()            # spectral-radius sums
+        self._olap6 = alloc(NVAR + 1)   # signed partials [L | p-diff]
+        self._oden = alloc()            # unsigned pressure sums
+        self._olnu = alloc(NVAR + 1)    # finalized [L | nu]
+        self._ons = alloc(NVAR)         # smoothing neighbour sums
+        self._orbar = alloc(NVAR)       # smoothing work state
+
+    def _overlap_diss_qd(self, w_list: list, pending_w: dict | None,
+                         with_sigma: bool) -> None:
+        """Dissipation-stage front half of the overlap executor.
+
+        On return ``self._oq``/``self._od`` hold complete owned
+        convective/dissipation contributions (boundary closure not yet
+        applied) and, when ``with_sigma``, ``self._osig`` holds complete
+        owned spectral-radius sums — with the sigma scatter folded into
+        the dissipation-partials message (``sigma-diss-partials``) and
+        the q/d scatters folded into one (``qd-scatter``).
+        """
+        cfg = self.config
+        ranks = self.dmesh.ranks
+        ops = self._ops
+        q, d, sig = self._oq, self._od, self._osig
+        lap6, den, lnu = self._olap6, self._oden, self._olnu
+
+        # Window 1 (w ghosts in flight): interior pass-1 partials.
+        with self.tracer.span("dist.overlap.interior"):
+            for r, (op, w) in enumerate(zip(ops, w_list)):
+                op.stage_begin(w, need_diss=True)
+                op.partials6("interior", w, lap6[r], accumulate=False)
+                op.pressure_den("interior", den[r], accumulate=False)
+                if with_sigma:
+                    op.sigma("interior", sig[r], accumulate=False)
+        if pending_w is not None:
+            self._gather_finish(pending_w, w_list)
+        for r, (op, w) in enumerate(zip(ops, w_list)):
+            op.stage_complete(w, need_diss=True)
+            op.partials6("boundary", w, lap6[r], accumulate=True)
+            op.pressure_den("boundary", den[r], accumulate=True)
+            if with_sigma:
+                op.sigma("boundary", sig[r], accumulate=True)
+        self._count("dissipation", [FLOPS_PER_EDGE_DISS_PASS1 * rm.n_edges
+                                    for rm in ranks])
+        if with_sigma:
+            self._count("timestep", [FLOPS_PER_EDGE_TIMESTEP * rm.n_edges
+                                     for rm in ranks])
+
+        # Window 2 (packed partials scatter in flight): interior fluxes.
+        def interior_q():
+            for r, op in enumerate(ops):
+                op.convective("interior", q[r], accumulate=False)
+
+        comps = ([sig, lap6, den] if with_sigma else [lap6, den])
+        phase = "sigma-diss-partials" if with_sigma else "diss-partials"
+        self._scatter_multi(comps, phase, overlap_fn=interior_q)
+
+        # Window 3 (ghost [L | nu] gather in flight): interior dissipation
+        # (interior edges only read owned rows of lnu).
+        for r, op in enumerate(ops):
+            op.finalize_lnu(lap6[r], den[r], cfg.switch_floor, lnu[r])
+        self._count("dissipation", [FLOPS_PER_VERTEX_DISS * rm.n_owned
+                                    for rm in ranks])
+        pending = self._gather_begin(lnu, "diss-gather")
+        with self.tracer.span("dist.overlap.interior"):
+            for r, (op, w) in enumerate(zip(ops, w_list)):
+                op.dissipation("interior", w, lnu[r], cfg.k2, cfg.k4,
+                               d[r], accumulate=False)
+        self._gather_finish(pending, lnu)
+        for r, (op, w) in enumerate(zip(ops, w_list)):
+            op.dissipation("boundary", w, lnu[r], cfg.k2, cfg.k4,
+                           d[r], accumulate=True)
+            op.convective("boundary", q[r], accumulate=True)
+        self._count("dissipation", [FLOPS_PER_EDGE_DISS_PASS2 * rm.n_edges
+                                    for rm in ranks])
+        self._count("convective",
+                    [FLOPS_PER_EDGE_CONVECTIVE * rm.n_edges
+                     + FLOPS_PER_VERTEX_FLUXVEC * rm.n_local for rm in ranks])
+        self._scatter_multi([q, d], "qd-scatter")
+
+    def _overlap_q(self, w_list: list, pending_w: dict | None) -> None:
+        """Convective-only stage front half (stages without dissipation)."""
+        ranks = self.dmesh.ranks
+        ops = self._ops
+        q = self._oq
+        with self.tracer.span("dist.overlap.interior"):
+            for r, (op, w) in enumerate(zip(ops, w_list)):
+                op.stage_begin(w, need_diss=False)
+                op.convective("interior", q[r], accumulate=False)
+        if pending_w is not None:
+            self._gather_finish(pending_w, w_list)
+        for r, (op, w) in enumerate(zip(ops, w_list)):
+            op.stage_complete(w, need_diss=False)
+            op.convective("boundary", q[r], accumulate=True)
+        self._count("convective",
+                    [FLOPS_PER_EDGE_CONVECTIVE * rm.n_edges
+                     + FLOPS_PER_VERTEX_FLUXVEC * rm.n_local for rm in ranks])
+        self._scatter_multi([q], "q-scatter")
+
+    def _closure_and_r(self, w_list: list, forcing: list | None) -> list:
+        """Boundary closure on complete q, then R = Q - D on owned rows."""
+        ranks = self.dmesh.ranks
+        for rm, w, qr in zip(ranks, w_list, self._oq):
+            rank_kernels.boundary_closure(rm, w, self.w_inf, qr)
+        r = [qr[:rm.n_owned] - dr[:rm.n_owned]
+             for rm, qr, dr in zip(ranks, self._oq, self._od)]
+        if forcing is not None:
+            r = [rr + fr for rr, fr in zip(r, forcing)]
+        return r
+
+    @traced("dist.smooth")
+    def _smooth_overlap(self, r_list: list) -> list:
+        """Jacobi averaging with overlapped gathers and CSR kernels."""
+        cfg = self.config
+        if not cfg.residual_smoothing or cfg.smoothing_sweeps <= 0:
+            return r_list
+        ranks, ops = self.dmesh.ranks, self._ops
+        rbar, ns = self._orbar, self._ons
+        for rm, rb, r in zip(ranks, rbar, r_list):
+            rb[:rm.n_owned] = r
+        pending = self._gather_begin(rbar, "smooth-gather")
+        for sweep in range(cfg.smoothing_sweeps):
+            with self.tracer.span("dist.overlap.interior"):
+                for r, (op, rb) in enumerate(zip(ops, rbar)):
+                    op.neighbor_sum("interior", rb, ns[r], accumulate=False)
+            self._gather_finish(pending, rbar)
+            for r, (op, rb) in enumerate(zip(ops, rbar)):
+                op.neighbor_sum("boundary", rb, ns[r], accumulate=True)
+            self._count("smoothing", [FLOPS_PER_EDGE_SMOOTH * rm.n_edges
+                                      for rm in ranks])
+            self._scatter_multi([ns], "smooth-scatter")
+            for rm, op, rb, r in zip(ranks, ops, rbar, r_list):
+                rb[:rm.n_owned] = op.smoothing_update(
+                    r, ns[rm.rank][:rm.n_owned], cfg.smoothing_eps)
+            self._count("smoothing", [FLOPS_PER_VERTEX_SMOOTH * rm.n_owned
+                                      for rm in ranks])
+            if sweep + 1 < cfg.smoothing_sweeps:
+                pending = self._gather_begin(rbar, "smooth-gather")
+        return [rb[:rm.n_owned] for rm, rb in zip(ranks, rbar)]
+
     # ------------------------------------------------------------------
     def residual(self, w_list: list, refresh_ghosts: bool = True) -> list:
         """Full residual R = Q - D on owned vertices (for MG transfers)."""
-        if refresh_ghosts:
-            self._gather_ghosts(w_list, "w-gather")
-        q = self._convective(w_list)
-        d = self._dissipation(w_list)
-        return [qr[:rm.n_owned] - dr[:rm.n_owned]
-                for rm, qr, dr in zip(self.dmesh.ranks, q, d)]
+        if self.config.dist_mode == "blocking":
+            if refresh_ghosts:
+                self._gather_ghosts(w_list, "w-gather")
+            q = self._convective(w_list)
+            d = self._dissipation(w_list)
+            return [qr[:rm.n_owned] - dr[:rm.n_owned]
+                    for rm, qr, dr in zip(self.dmesh.ranks, q, d)]
+        self._ensure_overlap()
+        pending = (self._gather_begin(w_list, "w-gather")
+                   if refresh_ghosts else None)
+        self._overlap_diss_qd(w_list, pending, with_sigma=False)
+        return self._closure_and_r(w_list, None)
 
     @traced("dist.step")
     def step(self, w_list: list, forcing: list | None = None) -> list:
         """One five-stage step; returns new per-rank local states."""
+        if self.config.dist_mode == "blocking":
+            return self._step_blocking(w_list, forcing)
+        return self._step_overlap(w_list, forcing)
+
+    def _step_blocking(self, w_list: list, forcing: list | None) -> list:
+        """The original barrier-per-phase executor (benchmark baseline)."""
         cfg = self.config
         ranks = self.dmesh.ranks
         self._gather_ghosts(w_list, "w-gather")
@@ -258,6 +469,46 @@ class DistributedEulerSolver:
                 if forcing is not None:
                     r = [rr + fr for rr, fr in zip(r, forcing)]
                 r = self._smooth(r)
+                wk = [rank_kernels.stage_update(rm, w0r, rr, dov, alpha)
+                      for rm, w0r, rr, dov in zip(ranks, w0, r, dt_over_v)]
+                self._count("update", [3 * NVAR * rm.n_owned for rm in ranks])
+        return wk
+
+    def _step_overlap(self, w_list: list, forcing: list | None) -> list:
+        """Latency-hiding five-stage step (dist_mode="overlap").
+
+        Stage 1 folds the spectral-radius scatter into the dissipation
+        partials message and finalizes the local time step from the
+        folded sums, so the cycle has no separate ``dt-scatter`` phase.
+        """
+        cfg = self.config
+        ranks = self.dmesh.ranks
+        self._ensure_overlap()
+
+        wk = w_list
+        w0 = None
+        dt_over_v = None
+        for stage, alpha in enumerate(RK_ALPHAS):
+            with self.tracer.span("rk.stage"):
+                pending = self._gather_begin(wk, "w-gather")
+                if stage in RK_DISSIPATION_STAGES:
+                    self._overlap_diss_qd(wk, pending,
+                                          with_sigma=(stage == 0))
+                else:
+                    self._overlap_q(wk, pending)
+                if stage == 0:
+                    # Ghosts are fresh: freeze w^(0) and the time step.
+                    dt_over_v = []
+                    for rm, w, sig in zip(ranks, wk, self._osig):
+                        dt = rank_kernels.timestep_from_sigma(
+                            rm, w, sig[:rm.n_owned], cfg.cfl)
+                        dt_over_v.append((dt / rm.dual_volumes)[:, None])
+                    self._count("timestep",
+                                [FLOPS_PER_VERTEX_TIMESTEP * rm.n_owned
+                                 for rm in ranks])
+                    w0 = [w.copy() for w in wk]
+                r = self._closure_and_r(wk, forcing)
+                r = self._smooth_overlap(r)
                 wk = [rank_kernels.stage_update(rm, w0r, rr, dov, alpha)
                       for rm, w0r, rr, dov in zip(ranks, w0, r, dt_over_v)]
                 self._count("update", [3 * NVAR * rm.n_owned for rm in ranks])

@@ -9,9 +9,12 @@ to summation order, like the simulated runs).
 
 Scope: the convective-residual phase (gather ghosts -> edge-flux loop ->
 scatter-add crossing contributions), which contains both PARTI executor
-directions.  The full five-stage solver runs on the simulated machine;
-extending the worker loop below to all phases is mechanical but
-unnecessary for the reproduction's measurements.
+directions — here in latency-hiding form: each rank posts its ghost
+sends, computes the *interior* edge contributions (both endpoints owned,
+via a precomputed CSR :class:`~repro.scatter.EdgeScatter`) while the
+messages are in flight, then completes the *boundary* edges on arrival.
+The full five-stage solver runs on the simulated machine and in
+:mod:`repro.distsolver.mp_solver`.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import numpy as np
 from ..constants import NVAR
 from ..parti.schedule import GatherSchedule
 from ..resilience import collect_results
+from ..scatter import EdgeScatter
 from ..state import flux_vectors
 from .partitioned_mesh import DistributedMesh
 
@@ -31,15 +35,15 @@ __all__ = ["mp_convective_residual"]
 
 def _worker(rank: int, payload: dict, inbox, outboxes: dict,
             result_queue) -> None:
-    """One rank's SPMD loop: gather ghosts, edge loop, scatter-add, reply.
+    """One rank's SPMD loop: post gather, interior loop, finish, scatter.
 
-    ``payload`` carries this rank's mesh data and its slice of the
-    schedule (who to send what, and where incoming data lands).
+    ``payload`` carries this rank's mesh data (edge list split
+    interior/boundary) and its slice of the schedule (who to send what,
+    and where incoming data lands).
     """
-    edges = payload["edges"]
-    eta = payload["eta"]
     n_owned = payload["n_owned"]
     n_ghost = payload["n_ghost"]
+    n_local = n_owned + n_ghost
     w_local = payload["w_local"]            # [owned | ghost-uninitialised]
     send_indices = payload["send_indices"]   # {dst: local idx to pack}
     recv_slices = payload["recv_slices"]     # {src: (start, stop)} in ghosts
@@ -61,23 +65,34 @@ def _worker(rank: int, payload: dict, inbox, outboxes: dict,
                 return src, data
             stash.append((src, phase, data))
 
-    # --- gather: send owned values, receive ghosts -------------------------
+    # --- gather begin: post owned values ----------------------------------
     for dst, idx in send_indices.items():
         outboxes[dst].send((rank, "gather", w_local[idx]))
+
+    # --- overlap window: interior edge loop off owned rows only -----------
+    def edge_flux(edges, eta, sc, out, accumulate):
+        favg = f[edges[:, 0]] + f[edges[:, 1]]
+        phi = 0.5 * np.einsum("ekd,ed->ek", favg, eta)
+        sc.signed(phi, out=out, accumulate=accumulate)
+
+    f = np.zeros((n_local, NVAR, 3))
+    f[:n_owned] = flux_vectors(w_local[:n_owned])
+    q = np.zeros((n_local, NVAR))
+    sc_int = EdgeScatter(payload["interior_edges"], n_local)
+    edge_flux(payload["interior_edges"], payload["eta_interior"], sc_int,
+              q, False)
+
+    # --- gather finish: receive ghosts, complete boundary edges -----------
     pending = set(recv_slices)
     while pending:
         src, data = recv_phase("gather")
         start, stop = recv_slices[src]
         w_local[n_owned + start:n_owned + stop] = data
         pending.discard(src)
-
-    # --- executor: the convective edge loop --------------------------------
-    f = flux_vectors(w_local)
-    favg = f[edges[:, 0]] + f[edges[:, 1]]
-    phi = 0.5 * np.einsum("ekd,ed->ek", favg, eta)
-    q = np.zeros((n_owned + n_ghost, NVAR))
-    np.add.at(q, edges[:, 0], phi)
-    np.subtract.at(q, edges[:, 1], phi)
+    f[n_owned:] = flux_vectors(w_local[n_owned:])
+    sc_bnd = EdgeScatter(payload["boundary_edges"], n_local)
+    edge_flux(payload["boundary_edges"], payload["eta_boundary"], sc_bnd,
+              q, True)
 
     # --- scatter-add: return ghost-slot contributions to their owners ------
     for src, (start, stop) in recv_slices.items():
@@ -85,7 +100,8 @@ def _worker(rank: int, payload: dict, inbox, outboxes: dict,
     pending = set(return_indices)
     while pending:
         src, data = recv_phase("scatter")
-        np.add.at(q, return_indices[src], data)
+        # Send indices are unique per pair (inspector dedup): += is exact.
+        q[return_indices[src]] += data
         pending.discard(src)
 
     result_queue.put((rank, q[:n_owned]))
@@ -101,8 +117,11 @@ def _rank_payload(dmesh: DistributedMesh, schedule: GatherSchedule,
     recv_slices = {src: sl for (src, dst), sl
                    in schedule.recv_slices.items() if dst == rank}
     return {
-        "edges": rm.edges, "eta": rm.eta,
         "n_owned": rm.n_owned, "n_ghost": rm.n_ghost,
+        "interior_edges": rm.edges[rm.interior_edges],
+        "boundary_edges": rm.edges[rm.boundary_edges],
+        "eta_interior": rm.eta[rm.interior_edges],
+        "eta_boundary": rm.eta[rm.boundary_edges],
         "w_local": w_local,
         "send_indices": send_indices,
         "recv_slices": recv_slices,

@@ -165,6 +165,71 @@ class _PipeTransport:
                 np.add.at(local, self.send_indices[src], data)
             self._op_done(op)
 
+    # -- overlapped (begin/finish) halves --------------------------------
+    def gather_begin(self, local: np.ndarray) -> int:
+        """Post the sends of a ghost gather; returns the op index.
+
+        The caller computes interior edge contributions between this and
+        :meth:`gather_finish` — the pipe transfer happens concurrently
+        in the peer processes, so the latency genuinely hides.
+        """
+        op = self.op
+        self.op += 1
+        self._op_start(op)
+        n_bytes = 0
+        for dst, idx in self.send_indices.items():
+            payload = local[idx]
+            n_bytes += payload.nbytes
+            self._send(dst, op, payload)
+        if self.tracer.enabled:
+            self.tracer.count("mp.gather.bytes_sent", n_bytes)
+        return op
+
+    def gather_finish(self, op: int, local: np.ndarray,
+                      n_owned: int) -> None:
+        """Receive the ghost slices of a posted gather (in place)."""
+        with self.tracer.span("mp.gather.finish"):
+            for _ in range(len(self.recv_slices)):
+                src, data = self._recv_op(op)
+                start, stop = self.recv_slices[src]
+                local[n_owned + start:n_owned + stop] = data
+            self._op_done(op)
+
+    def scatter_add_multi_begin(self, arrays: list, n_owned: int) -> int:
+        """Post one column-packed scatter message per neighbour covering
+        the ghost slices of several arrays (message aggregation)."""
+        op = self.op
+        self.op += 1
+        self._op_start(op)
+        n_bytes = 0
+        for src, (start, stop) in self.recv_slices.items():
+            cols = [(a if a.ndim == 2 else a[:, None])
+                    [n_owned + start:n_owned + stop] for a in arrays]
+            payload = cols[0] if len(cols) == 1 else np.concatenate(cols,
+                                                                    axis=1)
+            n_bytes += payload.nbytes
+            self._send(src, op, payload)
+        if self.tracer.enabled:
+            self.tracer.count("mp.scatter_add.bytes_sent", n_bytes)
+        return op
+
+    def scatter_add_multi_finish(self, op: int, arrays: list,
+                                 n_owned: int) -> None:
+        """Fold a posted multi-scatter into the owned rows (in place)."""
+        with self.tracer.span("mp.scatter_add.finish"):
+            for _ in range(len(self.send_indices)):
+                src, data = self._recv_op(op)
+                idx = self.send_indices[src]
+                c0 = 0
+                for a in arrays:
+                    a2 = a if a.ndim == 2 else a[:, None]
+                    k = a2.shape[1]
+                    # Send indices are unique per pair (the inspector
+                    # deduplicates), so fancy-indexed += is exact.
+                    a2[idx] += data[:, c0:c0 + k]
+                    c0 += k
+            self._op_done(op)
+
 
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
                  w_inf: np.ndarray, config: SolverConfig, n_cycles: int,
@@ -214,7 +279,7 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
     packed = np.empty((n_local, NVAR + 2))
     d = np.empty((n_local, NVAR))
     ns = np.empty((n_local, NVAR))
-    rbar = np.empty((n_local, NVAR))
+    rbar = np.zeros((n_local, NVAR))
     w0 = np.empty((n_local, NVAR))
     wk_buf = np.empty((n_local, NVAR))
     dt_over_v = np.empty((n_owned, 1))
@@ -264,10 +329,94 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
                                                out=wk_buf)
         return wk
 
+    # -- latency-hiding step (dist_mode="overlap") -----------------------
+    ops = (rank_kernels.rank_ops(rm, tracer)
+           if cfg.dist_mode == "overlap" else None)
+    sigma1 = np.zeros(n_local)              # 1-D spectral sums (overlap)
+    lap6 = np.zeros((n_local, NVAR + 1))    # signed partials [L | p-diff]
+    den = np.zeros(n_local)                 # unsigned pressure sums
+    lnu6 = np.zeros((n_local, NVAR + 1))    # finalized [L | nu]
+
+    def step_overlap(w_list_local):
+        wk = w_list_local
+        for stage, alpha in enumerate(RK_ALPHAS):
+            with tracer.span("rk.stage"):
+                with_sigma = stage == 0
+                gop = transport.gather_begin(wk)
+                if stage in RK_DISSIPATION_STAGES:
+                    with tracer.span("mp.overlap.interior"):
+                        ops.stage_begin(wk, need_diss=True)
+                        ops.partials6("interior", wk, lap6, False)
+                        ops.pressure_den("interior", den, False)
+                        if with_sigma:
+                            ops.sigma("interior", sigma1, False)
+                    transport.gather_finish(gop, wk, n_owned)
+                    ops.stage_complete(wk, need_diss=True)
+                    ops.partials6("boundary", wk, lap6, True)
+                    ops.pressure_den("boundary", den, True)
+                    if with_sigma:
+                        ops.sigma("boundary", sigma1, True)
+                    comps = ([sigma1, lap6, den] if with_sigma
+                             else [lap6, den])
+                    sop = transport.scatter_add_multi_begin(comps, n_owned)
+                    with tracer.span("mp.overlap.interior"):
+                        ops.convective("interior", q, False)
+                    transport.scatter_add_multi_finish(sop, comps, n_owned)
+                    ops.finalize_lnu(lap6, den, cfg.switch_floor, lnu6)
+                    gop = transport.gather_begin(lnu6)
+                    with tracer.span("mp.overlap.interior"):
+                        ops.dissipation("interior", wk, lnu6, cfg.k2,
+                                        cfg.k4, d, False)
+                    transport.gather_finish(gop, lnu6, n_owned)
+                    ops.dissipation("boundary", wk, lnu6, cfg.k2, cfg.k4,
+                                    d, True)
+                    ops.convective("boundary", q, True)
+                    sop = transport.scatter_add_multi_begin([q, d], n_owned)
+                    transport.scatter_add_multi_finish(sop, [q, d], n_owned)
+                else:
+                    with tracer.span("mp.overlap.interior"):
+                        ops.stage_begin(wk, need_diss=False)
+                        ops.convective("interior", q, False)
+                    transport.gather_finish(gop, wk, n_owned)
+                    ops.stage_complete(wk, need_diss=False)
+                    ops.convective("boundary", q, True)
+                    sop = transport.scatter_add_multi_begin([q], n_owned)
+                    transport.scatter_add_multi_finish(sop, [q], n_owned)
+                if with_sigma:
+                    # Ghosts fresh: freeze w^(0) and the local time step
+                    # from the sigma sums folded into the partials message.
+                    dt = rank_kernels.timestep_from_sigma(
+                        rm, wk, sigma1[:n_owned], cfg.cfl)
+                    dt_over_v[:, 0] = dt / rm.dual_volumes
+                    np.copyto(w0, wk)
+                rank_kernels.boundary_closure(rm, wk, w_inf, q)
+                r = q[:n_owned] - d[:n_owned]
+                if cfg.residual_smoothing and cfg.smoothing_sweeps > 0:
+                    rbar[:n_owned] = r
+                    gop = transport.gather_begin(rbar)
+                    for sweep in range(cfg.smoothing_sweeps):
+                        with tracer.span("mp.overlap.interior"):
+                            ops.neighbor_sum("interior", rbar, ns, False)
+                        transport.gather_finish(gop, rbar, n_owned)
+                        ops.neighbor_sum("boundary", rbar, ns, True)
+                        sop = transport.scatter_add_multi_begin([ns],
+                                                                n_owned)
+                        transport.scatter_add_multi_finish(sop, [ns],
+                                                           n_owned)
+                        rbar[:n_owned] = ops.smoothing_update(
+                            r, ns[:n_owned], cfg.smoothing_eps)
+                        if sweep + 1 < cfg.smoothing_sweeps:
+                            gop = transport.gather_begin(rbar)
+                    r = rbar[:n_owned]
+                wk = rank_kernels.stage_update(rm, w0, r, dt_over_v, alpha,
+                                               out=wk_buf)
+        return wk
+
+    do_step = step if cfg.dist_mode == "blocking" else step_overlap
     w = w_local
     for _ in range(n_cycles):
         with tracer.span("solver.cycle"):
-            w = step(w)
+            w = do_step(w)
     payload = (tracer.to_payload(pid=rm.rank + 1, label=f"rank{rm.rank}")
                if trace else None)
     result_queue.put(("ok", rm.rank, w[:n_owned], payload))

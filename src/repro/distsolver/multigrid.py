@@ -16,6 +16,7 @@ from the PARTI inspector.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..multigrid.transfer import TransferOperator
 from ..parti.schedule import build_gather_schedule
@@ -58,6 +59,11 @@ class DistributedInterp:
         # Local address tables: donor global -> [donor owned | ghost] slot.
         self.addr_local = []
         self.weights = []
+        #: Per-rank CSR transpose operators ``P^T`` over the local donor
+        #: layout [owned | ghost] — addresses and weights are fixed at
+        #: construction, so the restriction scatter is one sparse
+        #: mat-vec instead of four ``np.add.at`` passes.
+        self.pt_local = []
         self.n_donor_owned = donor_table.n_owned
         for r in range(n_ranks):
             g2l = np.full(donor_table.n_global, -1, dtype=np.int64)
@@ -69,7 +75,13 @@ class DistributedInterp:
             if np.any(local < 0):
                 raise AssertionError("transfer inspector missed a donor reference")
             self.addr_local.append(local)
-            self.weights.append(op.weights[owned_targets])
+            wts = op.weights[owned_targets]
+            self.weights.append(wts)
+            nt = owned_targets.size
+            n_rows = int(donor_table.n_owned[r]) + ghosts.size
+            self.pt_local.append(sp.csr_matrix(
+                (wts.ravel(), (local.ravel(), np.repeat(np.arange(nt), 4))),
+                shape=(n_rows, nt)))
 
     # ------------------------------------------------------------------
     def apply(self, donor_owned: list) -> list:
@@ -92,17 +104,8 @@ class DistributedInterp:
         ghost_acc = []
         for r in range(n_ranks):
             n_own = int(self.n_donor_owned[r])
-            n_ghost = self.schedule.ghost_globals[r].size
-            shape_tail = target_owned[r].shape[1:]
-            acc = np.zeros((n_own + n_ghost,) + shape_tail)
-            wts, addr = self.weights[r], self.addr_local[r]
-            vals = target_owned[r]
-            if vals.ndim == 1:
-                contrib = wts * vals[:, None]
-            else:
-                contrib = wts[..., None] * vals[:, None]
-            for k in range(4):
-                np.add.at(acc, addr[:, k], contrib[:, k])
+            # One CSR mat-vec applies all four address/weight columns.
+            acc = self.pt_local[r] @ target_owned[r]
             donor_acc.append(acc[:n_own])
             ghost_acc.append(acc[n_own:])
         self.schedule.scatter_add(self.machine, ghost_acc, donor_acc,

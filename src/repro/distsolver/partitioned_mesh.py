@@ -7,7 +7,11 @@ structure and a vertex partition it produces one :class:`RankMesh` per
 rank holding
 
 * the rank's edges in **local numbering** (owned vertices first, ghost
-  slots appended), with their dual-face areas;
+  slots appended), with their dual-face areas, split into **interior**
+  edges (both endpoints owned — computable before any communication
+  completes) and **boundary** edges (touching a ghost slot — computable
+  only once the ghost gather has arrived), the split that the
+  latency-hiding executor overlaps with communication;
 * the gather schedule for its ghost vertices (built by the PARTI
   inspector from the edge endpoints — "this is inferred by the subset of
   all mesh edges which cross partition boundaries");
@@ -57,6 +61,32 @@ class RankMesh:
     far_vertices: np.ndarray
     far_normals: np.ndarray
     far_unit: np.ndarray
+    #: (ne_r,) dual-face area magnitudes ``|eta|`` — static geometry,
+    #: precomputed here instead of per call in the spectral-radius and
+    #: dissipation edge kernels.
+    eta_norm: np.ndarray = None
+    #: lumped-normal magnitudes of the boundary vertices (time step).
+    wall_nn: np.ndarray = None
+    far_nn: np.ndarray = None
+    #: edge ids with both endpoints owned (< n_owned): computable while
+    #: ghost messages are still in flight.
+    interior_edges: np.ndarray = None
+    #: edge ids touching at least one ghost slot: completed on arrival.
+    boundary_edges: np.ndarray = None
+
+    def __post_init__(self):
+        if self.eta_norm is None:
+            self.eta_norm = np.linalg.norm(self.eta, axis=1)
+        if self.wall_nn is None:
+            self.wall_nn = (np.linalg.norm(self.wall_normals, axis=1)
+                            if self.wall_vertices.size else np.zeros(0))
+        if self.far_nn is None:
+            self.far_nn = (np.linalg.norm(self.far_normals, axis=1)
+                           if self.far_vertices.size else np.zeros(0))
+        if self.interior_edges is None:
+            interior = np.all(self.edges < self.n_owned, axis=1)
+            self.interior_edges = np.flatnonzero(interior)
+            self.boundary_edges = np.flatnonzero(~interior)
 
     @property
     def n_local(self) -> int:

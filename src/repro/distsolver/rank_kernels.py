@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import NVAR
-from ..scatter import scatter_add_edges
+from ..scatter import EdgeScatter, scatter_add_edges
 from ..solver.bc import characteristic_state
 from ..state import flux_vectors, pressure, primitive_from_conserved
 from .partitioned_mesh import RankMesh
@@ -32,7 +32,7 @@ __all__ = [
     "convective_local", "boundary_closure", "dissipation_partials",
     "finalize_switch", "dissipation_edges", "spectral_sigma",
     "timestep_from_sigma", "neighbor_sum_partial", "smoothing_update",
-    "stage_update",
+    "stage_update", "RankOps", "rank_ops",
 ]
 
 
@@ -107,8 +107,7 @@ def dissipation_edges(rm: RankMesh, w_local: np.ndarray, lnu: np.ndarray,
     e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
     vel_avg = 0.5 * (vel[e0] + vel[e1])
     c_avg = 0.5 * (c[e0] + c[e1])
-    eta_norm = np.linalg.norm(rm.eta, axis=1)
-    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * eta_norm
+    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * rm.eta_norm
     nu_edge = np.maximum(nu[e0], nu[e1])
     eps2 = k2 * nu_edge
     eps4 = np.maximum(0.0, k4 - eps2)
@@ -127,8 +126,7 @@ def spectral_sigma(rm: RankMesh, w_local: np.ndarray,
     e0, e1 = rm.edges[:, 0], rm.edges[:, 1]
     vel_avg = 0.5 * (vel[e0] + vel[e1])
     c_avg = 0.5 * (c[e0] + c[e1])
-    eta_norm = np.linalg.norm(rm.eta, axis=1)
-    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * eta_norm
+    lam = np.abs(np.einsum("ed,ed->e", vel_avg, rm.eta)) + c_avg * rm.eta_norm
     sigma = out if out is not None else np.zeros((rm.n_local, 1))
     if out is not None:
         sigma[...] = 0.0
@@ -144,10 +142,9 @@ def timestep_from_sigma(rm: RankMesh, w_local: np.ndarray,
     rho, u, v, wv, p = primitive_from_conserved(w_local[:rm.n_owned])
     vel = np.stack([u, v, wv], axis=1)
     c = np.sqrt(1.4 * p / rho)
-    for verts, normals in ((rm.wall_vertices, rm.wall_normals),
-                           (rm.far_vertices, rm.far_normals)):
+    for verts, normals, nn in ((rm.wall_vertices, rm.wall_normals, rm.wall_nn),
+                               (rm.far_vertices, rm.far_normals, rm.far_nn)):
         if verts.size:
-            nn = np.linalg.norm(normals, axis=1)
             un = np.abs(np.einsum("id,id->i", vel[verts], normals))
             np.add.at(s, verts, un + c[verts] * nn)
     return cfl * rm.dual_volumes / np.maximum(s, 1e-300)
@@ -186,3 +183,218 @@ def stage_update(rm: RankMesh, w0_local: np.ndarray, r_owned: np.ndarray,
         np.copyto(out, w0_local)
     out[:rm.n_owned] = w0_local[:rm.n_owned] - alpha * dt_over_v * r_owned
     return out
+
+
+# ----------------------------------------------------------------------
+# Latency-hiding CSR kernel set (the overlap executor's compute side)
+# ----------------------------------------------------------------------
+
+class _PartOps:
+    """CSR operators and scratch buffers for one edge subset of a rank."""
+
+    __slots__ = ("edges", "eta", "eta_norm", "sc", "lam", "lam_valid",
+                 "_scratch")
+
+    def __init__(self, edges: np.ndarray, eta: np.ndarray,
+                 eta_norm: np.ndarray, n_local: int, tracer=None):
+        self.edges = np.ascontiguousarray(edges)
+        self.eta = np.ascontiguousarray(eta)
+        self.eta_norm = np.ascontiguousarray(eta_norm)
+        self.sc = EdgeScatter(self.edges, n_local, tracer=tracer)
+        self.lam = np.empty(self.edges.shape[0])
+        self.lam_valid = False
+        self._scratch = {}
+
+    @property
+    def n_edges(self) -> int:
+        return self.edges.shape[0]
+
+    def scratch(self, key: str, trailing: tuple) -> np.ndarray:
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty((self.n_edges,) + trailing)
+            self._scratch[key] = buf
+        return buf
+
+
+class RankOps:
+    """Latency-hiding kernel set for one rank: CSR split interior/boundary.
+
+    Precomputes, once per rank, the interior/boundary split of the edge
+    list as two :class:`~repro.scatter.EdgeScatter` CSR operators over
+    the full local ``[owned | ghost]`` layout.  Interior results
+    *overwrite* a shared output buffer while ghost messages are still in
+    flight; boundary results *accumulate* on top once they arrive.
+    Because the interior operator's accumulation runs to completion
+    before the boundary operator continues each vertex's running sum,
+    the composition is bit-identical to a single CSR operator over the
+    edge list ordered ``[interior; boundary]`` (verified by the
+    hypothesis suite).
+
+    Per stage the class maintains a shared thermodynamic context —
+    flux vectors, pressure, velocity, sound speed — split the same way:
+    owned rows at :meth:`stage_begin` (available before any
+    communication), ghost rows at :meth:`stage_complete` (after the
+    gather lands).  The edge spectral radius ``lam``, previously
+    recomputed identically by :func:`dissipation_edges` and
+    :func:`spectral_sigma`, is built lazily once per stage per subset
+    from that context and shared by both consumers.
+    """
+
+    PARTS = ("interior", "boundary")
+
+    def __init__(self, rm: RankMesh, tracer=None):
+        self.rm = rm
+        n_local = rm.n_local
+        self.interior = _PartOps(rm.edges[rm.interior_edges],
+                                 rm.eta[rm.interior_edges],
+                                 rm.eta_norm[rm.interior_edges],
+                                 n_local, tracer)
+        self.boundary = _PartOps(rm.edges[rm.boundary_edges],
+                                 rm.eta[rm.boundary_edges],
+                                 rm.eta_norm[rm.boundary_edges],
+                                 n_local, tracer)
+        # Stage-local thermo context over local rows [owned | ghost].
+        #: flux tensors (every stage)
+        self.f = np.zeros((n_local, NVAR, 3))
+        #: ``pressure(w)`` — the partials' p (dissipation stages only)
+        self.p = np.zeros(n_local)
+        #: velocity + sound speed from ``primitive_from_conserved`` —
+        #: the spectral radius' thermo (dissipation stages only)
+        self.vel = np.zeros((n_local, 3))
+        self.c = np.zeros(n_local)
+        self._smooth_denom = {}
+
+    def part(self, which: str) -> _PartOps:
+        return self.interior if which == "interior" else self.boundary
+
+    # -- per-stage thermo context --------------------------------------
+    def _refresh_rows(self, w_local: np.ndarray, rows: slice,
+                      need_diss: bool) -> None:
+        wr = w_local[rows]
+        if wr.shape[0] == 0:
+            return
+        self.f[rows] = flux_vectors(wr)
+        if need_diss:
+            rho, u, v, wv, p = primitive_from_conserved(wr)
+            self.vel[rows, 0] = u
+            self.vel[rows, 1] = v
+            self.vel[rows, 2] = wv
+            self.c[rows] = np.sqrt(1.4 * p / rho)
+            self.p[rows] = pressure(wr)
+
+    def stage_begin(self, w_local: np.ndarray, need_diss: bool) -> None:
+        """Refresh owned thermo rows; ghost messages may still be in flight."""
+        self._refresh_rows(w_local, slice(0, self.rm.n_owned), need_diss)
+        self.interior.lam_valid = False
+        self.boundary.lam_valid = False
+
+    def stage_complete(self, w_local: np.ndarray, need_diss: bool) -> None:
+        """Refresh ghost thermo rows once the stage's w-gather has landed."""
+        self._refresh_rows(w_local, slice(self.rm.n_owned, self.rm.n_local),
+                           need_diss)
+        self.boundary.lam_valid = False
+
+    def _lam(self, which: str) -> np.ndarray:
+        """Edge spectral radius of one subset (cached per stage)."""
+        po = self.part(which)
+        if not po.lam_valid:
+            e0, e1 = po.edges[:, 0], po.edges[:, 1]
+            vel_avg = 0.5 * (self.vel[e0] + self.vel[e1])
+            c_avg = 0.5 * (self.c[e0] + self.c[e1])
+            np.abs(np.einsum("ed,ed->e", vel_avg, po.eta), out=po.lam)
+            po.lam += c_avg * po.eta_norm
+            po.lam_valid = True
+        return po.lam
+
+    # -- edge kernels ---------------------------------------------------
+    def convective(self, which: str, out: np.ndarray,
+                   accumulate: bool) -> np.ndarray:
+        """Convective edge contributions of one subset into ``out``."""
+        po = self.part(which)
+        favg = po.scratch("favg", (NVAR, 3))
+        np.add(self.f[po.edges[:, 0]], self.f[po.edges[:, 1]], out=favg)
+        phi = po.scratch("phi", (NVAR,))
+        np.einsum("ekd,ed->ek", favg, po.eta, out=phi)
+        phi *= 0.5
+        return po.sc.signed(phi, out=out, accumulate=accumulate)
+
+    def sigma(self, which: str, out: np.ndarray,
+              accumulate: bool) -> np.ndarray:
+        """Spectral-radius sums of one subset, ``(n_local,)``."""
+        po = self.part(which)
+        return po.sc.unsigned(self._lam(which), out=out,
+                              accumulate=accumulate)
+
+    def partials6(self, which: str, w_local: np.ndarray, out6: np.ndarray,
+                  accumulate: bool) -> np.ndarray:
+        """Signed dissipation partials ``[L(5) | p-diff]``, ``(n_local, 6)``."""
+        po = self.part(which)
+        e0, e1 = po.edges[:, 0], po.edges[:, 1]
+        vals = po.scratch("partials6", (NVAR + 1,))
+        np.subtract(w_local[e1], w_local[e0], out=vals[:, :NVAR])
+        np.subtract(self.p[e1], self.p[e0], out=vals[:, NVAR])
+        return po.sc.signed(vals, out=out6, accumulate=accumulate)
+
+    def pressure_den(self, which: str, out: np.ndarray,
+                     accumulate: bool) -> np.ndarray:
+        """Unsigned pressure-sum partials (switch denominator), ``(n_local,)``."""
+        po = self.part(which)
+        e0, e1 = po.edges[:, 0], po.edges[:, 1]
+        psum = po.scratch("psum", ())
+        np.add(self.p[e0], self.p[e1], out=psum)
+        return po.sc.unsigned(psum, out=out, accumulate=accumulate)
+
+    def finalize_lnu(self, lap6: np.ndarray, den: np.ndarray,
+                     switch_floor: float, out: np.ndarray) -> np.ndarray:
+        """Complete partials -> ``[L(5) | nu]`` on owned rows of ``out``."""
+        no = self.rm.n_owned
+        out[:no, :NVAR] = lap6[:no, :NVAR]
+        out[:no, NVAR] = (np.abs(lap6[:no, NVAR])
+                          / np.maximum(den[:no], switch_floor))
+        return out
+
+    def dissipation(self, which: str, w_local: np.ndarray, lnu: np.ndarray,
+                    k2: float, k4: float, out: np.ndarray,
+                    accumulate: bool) -> np.ndarray:
+        """Blended dissipation contributions of one subset, ``(n_local, 5)``."""
+        po = self.part(which)
+        e0, e1 = po.edges[:, 0], po.edges[:, 1]
+        lap, nu = lnu[:, :NVAR], lnu[:, NVAR]
+        lam = self._lam(which)
+        nu_edge = np.maximum(nu[e0], nu[e1])
+        eps2 = k2 * nu_edge
+        eps4 = np.maximum(0.0, k4 - eps2)
+        d_edge = po.scratch("d_edge", (NVAR,))
+        d_edge[...] = lam[:, None] * (
+            eps2[:, None] * (w_local[e1] - w_local[e0])
+            - eps4[:, None] * (lap[e1] - lap[e0]))
+        return po.sc.signed(d_edge, out=out, accumulate=accumulate)
+
+    def neighbor_sum(self, which: str, rbar_local: np.ndarray,
+                     out: np.ndarray, accumulate: bool) -> np.ndarray:
+        """Jacobi neighbour sums of one subset, ``(n_local, 5)``."""
+        return self.part(which).sc.neighbor_sum(rbar_local, out=out,
+                                                accumulate=accumulate)
+
+    # -- vertex kernels -------------------------------------------------
+    def smoothing_update(self, r_owned: np.ndarray, ns_owned: np.ndarray,
+                         eps: float) -> np.ndarray:
+        """One Jacobi update, with the denominator cached per epsilon."""
+        rm = self.rm
+        denom = self._smooth_denom.get(eps)
+        if denom is None:
+            denom = 1.0 + eps * rm.degree[:, None]
+            self._smooth_denom[eps] = denom
+        out = (r_owned + eps * ns_owned) / denom
+        out[rm.smoothing_freeze] = r_owned[rm.smoothing_freeze]
+        return out
+
+
+def rank_ops(rm: RankMesh, tracer=None) -> RankOps:
+    """The rank's cached :class:`RankOps` (built on first use)."""
+    ops = getattr(rm, "_ops", None)
+    if ops is None:
+        ops = RankOps(rm, tracer=tracer)
+        rm._ops = ops
+    return ops

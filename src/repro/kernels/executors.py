@@ -35,7 +35,8 @@ from ..coloring.greedy import EdgeColoring
 from ..scatter import EdgeScatter
 from ..telemetry import get_tracer
 
-__all__ = ["SerialExecutor", "ColoredExecutor", "make_executor"]
+__all__ = ["SerialExecutor", "ColoredExecutor", "make_executor",
+           "resolve_auto_kind", "AUTO_COLOR_EDGE_THRESHOLD"]
 
 #: The serial executor *is* the CSR scatter — one object, one protocol.
 SerialExecutor = EdgeScatter
@@ -196,6 +197,37 @@ class ColoredExecutor:
         return out
 
 
+#: Minimum per-colour edge count below which the coloured executors lose
+#: to the fused CSR pipeline.  Balanced colouring yields roughly
+#: ``n_edges / max_degree`` edges per colour; each colour pays a Python
+#: dispatch (plus a thread handoff for ``colored-threaded``), which on
+#: the benchmark meshes (BENCH_residual.json: 99 ms coloured-threaded vs
+#: 41 ms fused on box27, where colours hold ~3k edges) only amortises
+#: once colours carry tens of thousands of edges.
+AUTO_COLOR_EDGE_THRESHOLD = 50_000
+
+
+def resolve_auto_kind(edges: np.ndarray, n_vertices: int,
+                      n_threads: int) -> str:
+    """The ``executor="auto"`` heuristic: ``fused`` unless colours are fat.
+
+    Returns ``colored-threaded`` only when threads are available *and*
+    the estimated per-colour edge count (``n_edges / max_degree`` — the
+    balanced colouring's colour count equals the max vertex degree)
+    clears :data:`AUTO_COLOR_EDGE_THRESHOLD`; otherwise the fused CSR
+    pipeline wins (see docs/performance.md, "Choosing an executor").
+    """
+    edges = np.asarray(edges)
+    ne = edges.shape[0]
+    if ne == 0 or n_threads <= 1:
+        return "fused"
+    max_degree = int(np.bincount(edges.ravel(),
+                                 minlength=n_vertices).max())
+    per_color = ne / max(max_degree, 1)
+    return ("colored-threaded" if per_color >= AUTO_COLOR_EDGE_THRESHOLD
+            else "fused")
+
+
 def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
                   n_threads: int = 1, tracer=None):
     """Build the executor named by ``SolverConfig.executor``.
@@ -203,8 +235,11 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     ``serial`` and ``fused`` share the CSR scatter (the fused pipeline
     differs in *what* it computes, not how it scatters); ``colored`` runs
     the conflict-free groups sequentially; ``colored-threaded`` dispatches
-    each colour across ``n_threads`` workers.
+    each colour across ``n_threads`` workers; ``auto`` resolves to
+    ``fused`` or ``colored-threaded`` via :func:`resolve_auto_kind`.
     """
+    if kind == "auto":
+        kind = resolve_auto_kind(edges, n_vertices, n_threads)
     if kind in ("serial", "fused"):
         return SerialExecutor(edges, n_vertices, tracer=tracer)
     if kind == "colored":

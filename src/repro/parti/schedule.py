@@ -18,6 +18,15 @@ send/receive pattern.  :class:`GatherSchedule` is the executor side:
 * :meth:`GatherSchedule.scatter_add` runs the same pattern backwards,
   accumulating ghost contributions into the owners' local arrays (the
   residual assembly of crossing edges).
+
+Both executors are also available split into a non-blocking ``*_begin``
+(post the sends) and a blocking ``*_finish`` (deliver) half, so a caller
+can compute its interior edge contributions while the ghost messages are
+in flight — the latency-hiding pattern of the overlap executor.  The
+``scatter_add_multi_*`` variant packs several component arrays into one
+message per neighbour pair ("packing various small messages with the
+same destinations into one large message"), cutting the per-stage
+message count.
 """
 
 from __future__ import annotations
@@ -84,6 +93,22 @@ class GatherSchedule:
         np.take(source, idx, axis=0, out=buf)
         return buf
 
+    def _pack_gather(self, machine: SimMachine, owned: list) -> dict:
+        n_packed = 0
+        messages = {}
+        for (src, dst), idx in self.send_indices.items():
+            buf = self._pack((src, dst), owned[src], idx)
+            n_packed += buf.nbytes
+            messages[(src, dst)] = buf
+        if machine.tracer.enabled:
+            machine.tracer.count("parti.gather.bytes_packed", n_packed)
+        return messages
+
+    def _place_ghosts(self, delivered: dict, ghosts: list) -> None:
+        for (src, dst), payload in delivered.items():
+            start, stop = self.recv_slices[(src, dst)]
+            ghosts[dst][start:stop] = payload
+
     def gather(self, machine: SimMachine, owned: list, phase: str | None = None) -> list:
         """Fetch ghost values: returns per-rank ghost arrays.
 
@@ -92,24 +117,33 @@ class GatherSchedule:
         phase = phase or self.name
         tracer = machine.tracer
         with tracer.span("parti.gather"):
-            n_packed = 0
-            messages = {}
-            for (src, dst), idx in self.send_indices.items():
-                buf = self._pack((src, dst), owned[src], idx)
-                n_packed += buf.nbytes
-                messages[(src, dst)] = buf
-            if tracer.enabled:
-                tracer.count("parti.gather.bytes_packed", n_packed)
-            delivered = machine.exchange(messages, phase)
+            delivered = machine.exchange(self._pack_gather(machine, owned),
+                                         phase)
             ghosts = []
             for r in range(self.n_ranks):
                 shape = (self.ghost_globals[r].size,) + owned[r].shape[1:]
                 buf = np.zeros(shape, dtype=owned[r].dtype)
                 ghosts.append(buf)
-            for (src, dst), payload in delivered.items():
-                start, stop = self.recv_slices[(src, dst)]
-                ghosts[dst][start:stop] = payload
+            self._place_ghosts(delivered, ghosts)
         return ghosts
+
+    def gather_begin(self, machine: SimMachine, owned: list,
+                     phase: str | None = None) -> dict:
+        """Post the sends of a gather; returns the pending-exchange token.
+
+        The caller computes interior work between ``gather_begin`` and
+        :meth:`gather_finish` — that window is where communication
+        latency hides.
+        """
+        phase = phase or self.name
+        with machine.tracer.span("parti.gather.begin"):
+            return machine.post(self._pack_gather(machine, owned), phase)
+
+    def gather_finish(self, machine: SimMachine, pending: dict,
+                      ghosts: list) -> None:
+        """Deliver a posted gather into per-rank ghost blocks (in place)."""
+        with machine.tracer.span("parti.gather.finish"):
+            self._place_ghosts(machine.complete(pending), ghosts)
 
     def scatter_add(self, machine: SimMachine, ghost_contrib: list,
                     owned: list, phase: str | None = None) -> None:
@@ -135,7 +169,62 @@ class GatherSchedule:
             delivered = machine.exchange(messages, phase)
             for (requester, owner), payload in delivered.items():
                 idx = self.send_indices[(owner, requester)]
-                np.add.at(owned[owner], idx, payload)
+                # Send indices are unique per pair (the inspector
+                # deduplicates), so plain fancy-indexed accumulation is
+                # exact — no ``np.add.at`` needed.
+                owned[owner][idx] += payload
+
+    # -- aggregated, overlappable scatter-add ---------------------------
+    def scatter_add_multi_begin(self, machine: SimMachine,
+                                ghost_comps: list,
+                                phase: str) -> dict:
+        """Post one packed message per pair covering several components.
+
+        ``ghost_comps[c][r]`` is rank r's ghost block of component ``c``
+        (shape ``(n_ghost_r, k_c)`` or ``(n_ghost_r,)``); all components
+        headed for the same owner are column-packed into a single
+        message — the message-aggregation half of the overlap executor.
+        """
+        with machine.tracer.span("parti.scatter_add.begin"):
+            n_packed = 0
+            messages = {}
+            for (owner, requester), (start, stop) in self.recv_slices.items():
+                nrows = stop - start
+                cols = [c[requester].reshape(c[requester].shape[0], -1)
+                        [start:stop] for c in ghost_comps]
+                width = sum(c.shape[1] for c in cols)
+                buf_key = ((owner, requester), ("multi", width), np.float64)
+                buf = self._pack_buffers.get(buf_key)
+                if buf is None or buf.shape[0] != nrows:
+                    buf = np.empty((nrows, width))
+                    self._pack_buffers[buf_key] = buf
+                c0 = 0
+                for c in cols:
+                    buf[:, c0:c0 + c.shape[1]] = c
+                    c0 += c.shape[1]
+                n_packed += buf.nbytes
+                messages[(requester, owner)] = buf
+            if machine.tracer.enabled:
+                machine.tracer.count("parti.scatter_add.bytes_packed",
+                                     n_packed)
+            return machine.post(messages, phase)
+
+    def scatter_add_multi_finish(self, machine: SimMachine, pending: dict,
+                                 owned_comps: list) -> None:
+        """Fold a posted multi-scatter into the owners' component arrays."""
+        with machine.tracer.span("parti.scatter_add.finish"):
+            delivered = machine.complete(pending)
+            for (requester, owner), payload in delivered.items():
+                idx = self.send_indices[(owner, requester)]
+                c0 = 0
+                for comp in owned_comps:
+                    o = comp[owner]
+                    # ``[:, None]`` (not reshape) so 1-D components stay
+                    # writable views of the caller's array.
+                    o2 = o if o.ndim == 2 else o[:, None]
+                    k = o2.shape[1]
+                    o2[idx] += payload[:, c0:c0 + k]
+                    c0 += k
 
 
 def build_gather_schedule(required_globals: list, table: TranslationTable,

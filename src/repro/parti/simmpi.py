@@ -107,40 +107,63 @@ class SimMachine:
         #: death only exists on the real-process backend).
         self.injector = injector
 
-    def exchange(self, messages: dict, phase: str) -> dict:
-        tracer = self.tracer
+    def _post(self, messages: dict, phase: str) -> dict:
+        """Filter, log and 'send' messages; shared by post/exchange."""
         injector = self.injector
-        with tracer.span("comm.exchange"):
-            traffic = self.log.phase(phase)
-            traffic.occurrences += 1
-            n_msgs = 0
-            n_bytes = 0
-            delivered = {}
-            for (src, dst), payload in messages.items():
-                if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
-                    raise ValueError(f"bad ranks ({src}, {dst})")
-                if src == dst:
-                    # Local copies are free on a real machine too.
-                    delivered[(src, dst)] = payload
-                    continue
-                if injector is not None:
-                    payload = injector.on_sim_message(
-                        phase, traffic.occurrences, src, dst, payload)
-                    if payload is None:       # dropped in transit
-                        continue
-                payload = np.ascontiguousarray(payload)
-                if payload.size == 0:
-                    continue
-                traffic.msgs_sent[src] += 1
-                traffic.bytes_sent[src] += payload.nbytes
-                traffic.msgs_recv[dst] += 1
-                traffic.bytes_recv[dst] += payload.nbytes
-                n_msgs += 1
-                n_bytes += payload.nbytes
+        traffic = self.log.phase(phase)
+        traffic.occurrences += 1
+        n_msgs = 0
+        n_bytes = 0
+        delivered = {}
+        for (src, dst), payload in messages.items():
+            if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
+                raise ValueError(f"bad ranks ({src}, {dst})")
+            if src == dst:
+                # Local copies are free on a real machine too.
                 delivered[(src, dst)] = payload
-            if tracer.enabled:
-                # The phase string is dynamic (names come from the
-                # schedules), so build counter keys only when tracing.
-                tracer.count("comm." + phase + ".msgs", n_msgs)
-                tracer.count("comm." + phase + ".bytes", n_bytes)
+                continue
+            if injector is not None:
+                payload = injector.on_sim_message(
+                    phase, traffic.occurrences, src, dst, payload)
+                if payload is None:       # dropped in transit
+                    continue
+            payload = np.ascontiguousarray(payload)
+            if payload.size == 0:
+                continue
+            traffic.msgs_sent[src] += 1
+            traffic.bytes_sent[src] += payload.nbytes
+            traffic.msgs_recv[dst] += 1
+            traffic.bytes_recv[dst] += payload.nbytes
+            n_msgs += 1
+            n_bytes += payload.nbytes
+            delivered[(src, dst)] = payload
+        if self.tracer.enabled:
+            # The phase string is dynamic (names come from the
+            # schedules), so build counter keys only when tracing.
+            self.tracer.count("comm." + phase + ".msgs", n_msgs)
+            self.tracer.count("comm." + phase + ".bytes", n_bytes)
         return delivered
+
+    def exchange(self, messages: dict, phase: str) -> dict:
+        with self.tracer.span("comm.exchange"):
+            return self._post(messages, phase)
+
+    def post(self, messages: dict, phase: str) -> dict:
+        """Non-blocking send half of an exchange (the overlap executor).
+
+        Traffic is logged at post time — on a real machine the bytes go
+        on the wire here, while the poster computes interior work.  The
+        payloads are "in flight" (buffered, since a copy of the send
+        buffer may be reused by the caller) until :meth:`complete`.
+        """
+        with self.tracer.span("comm.post"):
+            delivered = self._post(messages, phase)
+            # Snapshot payloads: the sender's pack buffers are reused by
+            # the next post while this exchange is still pending.
+            return {key: np.array(payload, copy=True)
+                    for key, payload in delivered.items()}
+
+    def complete(self, pending: dict) -> dict:
+        """Blocking receive half matching an earlier :meth:`post`."""
+        with self.tracer.span("comm.complete"):
+            return pending

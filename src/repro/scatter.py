@@ -85,8 +85,12 @@ class EdgeScatter:
     operator, the time-step estimate and the residual smoother.
 
     All three apply methods take an optional preallocated ``out`` array
-    (overwritten, not accumulated) so repeated calls in the solver's stage
-    loop incur no allocations.
+    (overwritten, not accumulated, unless ``accumulate=True``) so repeated
+    calls in the solver's stage loop incur no allocations.  The
+    ``accumulate`` flag lets two operators over disjoint edge subsets
+    (e.g. the distributed layer's interior/boundary split) compose into
+    one output buffer: the interior operator overwrites, the boundary
+    operator accumulates on top.
     """
 
     def __init__(self, edges: np.ndarray, n_vertices: int, tracer=None):
@@ -115,37 +119,45 @@ class EdgeScatter:
             shape=(self.n_vertices, self.n_vertices))
 
     def neighbor_sum(self, vertex_values: np.ndarray,
-                     out: np.ndarray | None = None) -> np.ndarray:
+                     out: np.ndarray | None = None,
+                     accumulate: bool = False) -> np.ndarray:
         """``out_i = sum_{j ~ i} v_j`` over the mesh edge graph."""
         with self.tracer.span("scatter.neighbor_sum"):
-            return self._apply(self._adjacency, vertex_values, out)
+            return self._apply(self._adjacency, vertex_values, out,
+                               accumulate)
 
     def signed(self, edge_values: np.ndarray,
-               out: np.ndarray | None = None) -> np.ndarray:
+               out: np.ndarray | None = None,
+               accumulate: bool = False) -> np.ndarray:
         """Accumulate ``+value`` at edge tail, ``-value`` at edge head."""
         tracer = self.tracer
         with tracer.span("scatter.signed"):
             if tracer.enabled:
                 tracer.count("kernel.edges_scattered", self.edges.shape[0])
-            return self._apply(self._signed, edge_values, out)
+            return self._apply(self._signed, edge_values, out, accumulate)
 
     def unsigned(self, edge_values: np.ndarray,
-                 out: np.ndarray | None = None) -> np.ndarray:
+                 out: np.ndarray | None = None,
+                 accumulate: bool = False) -> np.ndarray:
         """Accumulate ``+value`` at both edge endpoints."""
         tracer = self.tracer
         with tracer.span("scatter.unsigned"):
             if tracer.enabled:
                 tracer.count("kernel.edges_scattered", self.edges.shape[0])
-            return self._apply(self._unsigned, edge_values, out)
+            return self._apply(self._unsigned, edge_values, out, accumulate)
 
     @staticmethod
     def _apply(mat: sp.csr_matrix, edge_values: np.ndarray,
-               out: np.ndarray | None = None) -> np.ndarray:
+               out: np.ndarray | None = None,
+               accumulate: bool = False) -> np.ndarray:
         edge_values = np.asarray(edge_values)
         if out is None:
             if edge_values.ndim == 1:
                 return mat @ edge_values
-            flat = edge_values.reshape(edge_values.shape[0], -1)
+            # Explicit trailing width: reshape(n, -1) cannot infer -1 when
+            # the array is empty (a rank with no boundary edges hits this).
+            n_vecs = int(np.prod(edge_values.shape[1:], dtype=np.int64))
+            flat = edge_values.reshape(edge_values.shape[0], n_vecs)
             res = mat @ flat
             return res.reshape((mat.shape[0],) + edge_values.shape[1:])
         expected = (mat.shape[0],) + edge_values.shape[1:]
@@ -155,10 +167,14 @@ class EdgeScatter:
                 and edge_values.dtype == np.float64
                 and out.flags.c_contiguous and edge_values.flags.c_contiguous):
             n_vecs = int(np.prod(edge_values.shape[1:], dtype=np.int64)) or 1
-            out[...] = 0.0
+            if not accumulate:
+                out[...] = 0.0
             _CSR_MATVECS(mat.shape[0], mat.shape[1], n_vecs,
                          mat.indptr, mat.indices, mat.data,
                          edge_values.reshape(-1), out.reshape(-1))
             return out
-        np.copyto(out, EdgeScatter._apply(mat, edge_values))
+        if accumulate:
+            out += EdgeScatter._apply(mat, edge_values)
+        else:
+            np.copyto(out, EdgeScatter._apply(mat, edge_values))
         return out

@@ -7,14 +7,24 @@ from dataclasses import dataclass, replace
 from ..constants import (CFL_DEFAULT, CFL_UNSMOOTHED, K2_DEFAULT, K4_DEFAULT,
                          RESIDUAL_SMOOTHING_EPS, RESIDUAL_SMOOTHING_SWEEPS)
 
-__all__ = ["SolverConfig", "EXECUTOR_KINDS"]
+__all__ = ["SolverConfig", "EXECUTOR_KINDS", "DIST_MODES"]
 
 #: Recognised hot-path execution strategies (see ``repro.kernels``):
 #: ``serial`` keeps the seed operators bit-identical; ``fused`` runs the
 #: fused zero-allocation pipeline over the CSR scatter; ``colored`` runs it
 #: over conflict-free colour groups; ``colored-threaded`` additionally
-#: splits each colour across ``n_threads`` workers.
-EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded")
+#: splits each colour across ``n_threads`` workers.  ``auto`` picks
+#: between ``fused`` and ``colored-threaded`` from the mesh size and
+#: thread count (see :func:`repro.kernels.executors.make_executor`).
+EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded", "auto")
+
+#: Distributed execution modes (see ``repro.distsolver``): ``overlap``
+#: (default) posts ghost exchanges, computes interior edges while
+#: messages are in flight, completes boundary edges on arrival and
+#: aggregates same-stage scatters into one message per neighbour pair;
+#: ``blocking`` is the original barrier-per-phase ``np.add.at`` executor,
+#: kept as the measured baseline.
+DIST_MODES = ("blocking", "overlap")
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,10 @@ class SolverConfig:
     #: ``serial`` (reordering permutes summation order, which would break
     #: the serial path's bit-identity guarantee).
     edge_reorder: bool | None = None
+    #: Distributed execution mode, one of :data:`DIST_MODES` — the
+    #: latency-hiding ``overlap`` executor (default) or the original
+    #: ``blocking`` barrier-per-phase executor.
+    dist_mode: str = "overlap"
 
     # -- resilience policy (see repro.resilience and docs/resilience.md) --
     #: Per-step health check of the monitored residual norm (NaN/Inf and
@@ -69,6 +83,9 @@ class SolverConfig:
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}")
+        if self.dist_mode not in DIST_MODES:
+            raise ValueError(
+                f"dist_mode must be one of {DIST_MODES}, got {self.dist_mode!r}")
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.guard_growth_ratio <= 1.0:

@@ -124,6 +124,20 @@ class TestDistributedEquivalence:
 
 class TestTrafficAccounting:
     def test_phases_logged(self, dist):
+        # Default (overlap) mode aggregates the stage-0 sigma/dt exchange
+        # into "sigma-diss-partials" and the q+d scatters into
+        # "qd-scatter", so the blocking phases d-scatter/dt-scatter never
+        # appear.
+        dist.step(dist.freestream_solution())
+        names = set(dist.machine.log.phases)
+        assert {"w-gather", "q-scatter", "sigma-diss-partials",
+                "diss-partials", "diss-gather", "qd-scatter"} <= names
+        assert "d-scatter" not in names
+        assert "dt-scatter" not in names
+
+    def test_phases_logged_blocking(self, bump_struct, winf, assignment):
+        dist = DistributedEulerSolver(bump_struct, winf, assignment,
+                                      SolverConfig(dist_mode="blocking"))
         dist.step(dist.freestream_solution())
         names = set(dist.machine.log.phases)
         assert {"w-gather", "q-scatter", "diss-partials", "diss-gather",
