@@ -1,0 +1,132 @@
+"""Sanitized equivalence run: the CI ``sanitized-smoke`` gate.
+
+Runs the three parallel execution paths whose invariants the runtime
+sanitizers guard — the colored-threaded shared-memory executor, the
+simulated overlap distributed driver, and the true-process overlap mp
+backend — twice each: once plain, once under ``sanitize="all"`` (strict
+mode, so any invariant violation raises at the faulting operation).
+
+The script exits nonzero unless every sanitized run (a) completes with
+**zero findings** and (b) produces a solution **bit-identical** to its
+unsanitized twin — i.e. observing the invariants must not perturb the
+computation.  Default mesh is the box27 benchmark case
+(``box_mesh(27, 27, 27)``, ~20k vertices); ``--quick`` shrinks it for
+fast local iteration.
+
+Usage::
+
+    PYTHONPATH=src python examples/sanitized_run.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.distsolver import DistributedEulerSolver, run_distributed_mp
+from repro.distsolver.partitioned_mesh import partition_solver_data
+from repro.mesh import box_mesh, build_edge_structure
+from repro.partition import recursive_coordinate_bisection
+from repro.solver import EulerSolver, SolverConfig, build_boundary_data
+from repro.state import freestream_state
+
+
+def check(label: str, ref: np.ndarray, got: np.ndarray,
+          findings: list) -> bool:
+    identical = np.array_equal(ref, got)
+    status = "ok" if identical and not findings else "FAIL"
+    print(f"  {label:<28s} bit-identical={identical} "
+          f"findings={len(findings)} [{status}]")
+    for f in findings:
+        print(f"    finding: {f}")
+    return identical and not findings
+
+
+def shared_memory_case(struct, w_inf, n_steps: int) -> bool:
+    """Colored-threaded executor, sanitize=off vs all."""
+    results = {}
+    findings: list = []
+    for sanitize in ("off", "all"):
+        cfg = SolverConfig(executor="colored-threaded", n_threads=2,
+                           sanitize=sanitize)
+        solver = EulerSolver(struct, w_inf, cfg)
+        w = np.tile(w_inf, (struct.n_vertices, 1))
+        for _ in range(n_steps):
+            w = solver.step(w)
+        results[sanitize] = w
+        if sanitize == "all":
+            for san in solver.sanitizers.values():
+                findings.extend(san.findings)
+            solver.sanitizers["buffer"].close()
+    return check("colored-threaded", results["off"], results["all"],
+                 findings)
+
+
+def sim_overlap_case(struct, vertices, w_inf, n_steps: int, n_ranks: int) -> bool:
+    """Simulated distributed overlap driver, sanitize=off vs all."""
+    assignment = recursive_coordinate_bisection(vertices, n_ranks)
+    results = {}
+    findings: list = []
+    for sanitize in ("off", "all"):
+        cfg = SolverConfig(dist_mode="overlap", sanitize=sanitize)
+        d = DistributedEulerSolver(struct, w_inf, assignment, cfg)
+        w = d.freestream_solution()
+        for _ in range(n_steps):
+            w = d.step(w)
+        results[sanitize] = d.collect(w)
+        if sanitize == "all":
+            findings.extend(d.sanitizer.findings)
+    return check(f"sim overlap ({n_ranks} ranks)", results["off"],
+                 results["all"], findings)
+
+
+def mp_overlap_case(struct, vertices, w_inf, n_cycles: int, n_ranks: int) -> bool:
+    """True-process overlap mp backend, sanitize=off vs all.
+
+    The per-rank schedule sanitizers live inside the worker processes;
+    strict mode makes any finding fatal there, so completion plus bit
+    identity is the zero-findings certificate.
+    """
+    assignment = recursive_coordinate_bisection(vertices, n_ranks)
+    dmesh = partition_solver_data(struct, build_boundary_data(struct),
+                                  assignment)
+    w0 = np.tile(w_inf, (struct.n_vertices, 1))
+    results = {}
+    for sanitize in ("off", "all"):
+        cfg = SolverConfig(dist_mode="overlap", sanitize=sanitize)
+        results[sanitize] = run_distributed_mp(dmesh, w0, w_inf, cfg,
+                                               n_cycles=n_cycles,
+                                               timeout=300.0)
+    return check(f"mp overlap ({n_ranks} ranks)", results["off"],
+                 results["all"], [])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small mesh for fast local iteration")
+    parser.add_argument("--steps", type=int, default=2,
+                        help="time steps / cycles per run (default 2)")
+    args = parser.parse_args(argv)
+
+    n = 8 if args.quick else 27
+    print(f"mesh: box_mesh({n}, {n}, {n})")
+    mesh = box_mesh(n, n, n)
+    struct = build_edge_structure(mesh)
+    w_inf = freestream_state(mach=0.5, alpha_deg=1.0)
+
+    t0 = time.perf_counter()
+    ok = True
+    ok &= shared_memory_case(struct, w_inf, args.steps)
+    ok &= sim_overlap_case(struct, mesh.vertices, w_inf, args.steps, n_ranks=4)
+    ok &= mp_overlap_case(struct, mesh.vertices, w_inf, args.steps, n_ranks=2)
+    print(f"total {time.perf_counter() - t0:.1f}s: "
+          f"{'all sanitized runs clean' if ok else 'MISMATCH OR FINDINGS'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

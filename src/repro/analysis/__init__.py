@@ -1,0 +1,26 @@
+"""Static verification and runtime invariant sanitizers.
+
+Two halves, one goal — turning the repo's correctness folklore
+(conflict-free colourings, exactly-once PARTI schedules, the fused
+pipeline's zero-allocation contract) into mechanically checked
+invariants:
+
+* :mod:`repro.analysis.lint` — AST lint pass with repo-specific rules,
+  runnable as ``python -m repro.analysis``;
+* :mod:`repro.analysis.sanitize` — opt-in runtime sanitizers wired
+  through ``SolverConfig(sanitize=...)``.
+
+See ``docs/static-analysis.md``.
+"""
+
+from .lint import LintFinding, hot_kernel, lint_file, lint_paths
+from .sanitize import (NULL_SANITIZER, SANITIZER_NAMES, BufferSanitizer,
+                       ColorRaceSanitizer, Finding, NullSanitizer,
+                       SanitizerError, ScheduleSanitizer, build_sanitizers)
+
+__all__ = [
+    "LintFinding", "hot_kernel", "lint_file", "lint_paths",
+    "SANITIZER_NAMES", "SanitizerError", "Finding", "NullSanitizer",
+    "NULL_SANITIZER", "ColorRaceSanitizer", "ScheduleSanitizer",
+    "BufferSanitizer", "build_sanitizers",
+]

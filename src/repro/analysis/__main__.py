@@ -1,0 +1,48 @@
+"""CLI for the repo lint pass: ``python -m repro.analysis [paths...]``.
+
+With no paths, lints the installed ``repro`` package sources.  Exits
+nonzero when any *error*-severity finding (RA0xx) is present; with
+``--strict``, warnings (RA1xx hygiene rules) also fail the run — the
+mode CI uses as a hard gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .lint import lint_paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static verification pass "
+                    "(hot-path allocations, np.add.at, out= discipline, "
+                    "hygiene).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not just errors")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [Path(__file__).resolve().parents[1]]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(f"{finding} [{finding.severity}]")
+
+    n_err = sum(1 for f in findings if f.severity == "error")
+    n_warn = len(findings) - n_err
+    print(f"repro.analysis: {n_err} error(s), {n_warn} warning(s)")
+    if n_err:
+        return 1
+    if args.strict and n_warn:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,424 @@
+"""Repo-specific AST lint pass (run as ``python -m repro.analysis``).
+
+Generic linters cannot know that ``np.empty`` inside the fused stage loop
+breaks the zero-allocation contract, or that ``np.add.at`` in a kernel
+module reintroduces the scalar accumulation the whole CSR redesign exists
+to avoid.  This pass encodes those contracts as mechanical rules:
+
+========  =========  ====================================================
+code      severity   rule
+========  =========  ====================================================
+RA001     error      array-creating ``np.*`` call on a hot path — inside
+                     a function decorated with :func:`hot_kernel` or
+                     listed in :data:`HOT_FUNCTIONS` — outside an
+                     ``is None`` fallback branch
+RA002     error      ``np.<ufunc>.at`` outside the whitelisted
+                     setup/reference modules (:data:`ADD_AT_ALLOWED`)
+RA003     error      public kernel entry point listed in
+                     :data:`OUT_REQUIRED` does not accept ``out=``
+RA101     warning    mutable default argument
+RA102     warning    bare ``except:``
+RA103     warning    function argument or assignment shadows a builtin
+RA104     warning    lambda bound to a name (use ``def``)
+========  =========  ====================================================
+
+Allocation under an ``out is None`` / ``buf is None`` guard (including
+``x = out if out is not None else np.zeros(...)`` and ``if buf is None or
+buf.shape != ...``) is the sanctioned fallback idiom and is never
+flagged.  Individual lines opt out with ``# noqa`` or ``# noqa: RA001``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintFinding", "hot_kernel", "lint_file", "lint_paths",
+           "iter_python_files", "module_key_for", "HOT_FUNCTIONS",
+           "OUT_REQUIRED", "ADD_AT_ALLOWED", "CREATION_FUNCS"]
+
+
+def hot_kernel(func):
+    """Mark a function as hot-path: the lint forbids allocations inside.
+
+    Identity decorator — it exists purely so the AST pass (and readers)
+    can see the contract.  Code under ``src/repro`` is registered in
+    :data:`HOT_FUNCTIONS` instead, keeping the runtime import-clean; the
+    decorator is for out-of-tree code and test fixtures.
+    """
+    return func
+
+
+#: np.* calls that materialise a new array (asarray/einsum excluded:
+#: asarray is a no-copy view on the hot paths, einsum writes ``out=``).
+CREATION_FUNCS = frozenset({
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "array", "copy", "concatenate", "stack",
+    "vstack", "hstack", "column_stack", "tile", "repeat", "arange",
+})
+
+#: ufunc attributes whose ``.at`` form is the forbidden scalar scatter.
+_UFUNC_AT = frozenset({"add", "subtract", "maximum", "minimum", "multiply"})
+
+#: Module-key prefixes where ``np.<ufunc>.at`` stays legitimate: one-time
+#: mesh/partition setup, and the reference kernels in scatter.py that the
+#: CSR paths are validated against.
+ADD_AT_ALLOWED = (
+    "repro/mesh/",
+    "repro/scatter.py",
+    "repro/distsolver/partitioned_mesh.py",
+)
+
+#: Registered hot functions per module key: allocation-free steady state.
+#: (Source code stays decorator-free; see :func:`hot_kernel`.)
+HOT_FUNCTIONS: dict[str, frozenset] = {
+    "repro/scatter.py": frozenset({
+        "scatter_add_edges", "scatter_add_unsigned", "scatter_neighbor_sum",
+        "EdgeScatter.signed", "EdgeScatter.unsigned",
+        "EdgeScatter.neighbor_sum", "EdgeScatter._apply",
+    }),
+    "repro/kernels/workspace.py": frozenset({
+        "StageWorkspace.update", "StageWorkspace.buf",
+    }),
+    "repro/kernels/executors.py": frozenset({
+        "ColoredExecutor._run", "ColoredExecutor._traced_task",
+        "ColoredExecutor._signed_task", "ColoredExecutor._unsigned_task",
+        "ColoredExecutor._neighbor_task", "ColoredExecutor._prepare_out",
+        "ColoredExecutor.signed", "ColoredExecutor.unsigned",
+        "ColoredExecutor.neighbor_sum",
+    }),
+    "repro/kernels/fused.py": frozenset({
+        "FusedResidual.update_state", "FusedResidual._edge_state",
+        "FusedResidual.convective", "FusedResidual.dissipation",
+        "FusedResidual.residual", "FusedResidual.timestep",
+        "FusedResidual.smooth", "FusedResidual.step",
+    }),
+    "repro/parti/schedule.py": frozenset({
+        "GatherSchedule._pack", "GatherSchedule._pack_gather",
+        "GatherSchedule._place_ghosts", "GatherSchedule.gather_begin",
+        "GatherSchedule.gather_finish", "GatherSchedule.scatter_add",
+        "GatherSchedule.scatter_add_multi_begin",
+        "GatherSchedule.scatter_add_multi_finish",
+    }),
+    "repro/distsolver/rank_kernels.py": frozenset({
+        "_PartOps.scratch", "RankOps.stage_begin", "RankOps.stage_complete",
+        "RankOps._lam", "RankOps.convective", "RankOps.sigma",
+        "RankOps.partials6", "RankOps.pressure_den", "RankOps.finalize_lnu",
+        "RankOps.dissipation", "RankOps.neighbor_sum",
+        "RankOps.smoothing_update",
+    }),
+}
+
+#: Public kernel entry points that must accept a preallocated ``out=``.
+OUT_REQUIRED: dict[str, frozenset] = {
+    "repro/scatter.py": frozenset({
+        "scatter_add_edges", "scatter_add_unsigned", "scatter_neighbor_sum",
+        "EdgeScatter.signed", "EdgeScatter.unsigned",
+        "EdgeScatter.neighbor_sum",
+    }),
+    "repro/kernels/executors.py": frozenset({
+        "ColoredExecutor.signed", "ColoredExecutor.unsigned",
+        "ColoredExecutor.neighbor_sum",
+    }),
+    "repro/kernels/fused.py": frozenset({
+        "FusedResidual.convective", "FusedResidual.dissipation",
+        "FusedResidual.residual", "FusedResidual.timestep",
+        "FusedResidual.smooth",
+    }),
+    "repro/solver/flux.py": frozenset({"edge_flux", "convective_operator"}),
+    "repro/solver/dissipation.py": frozenset({"dissipation_operator"}),
+    "repro/solver/timestep.py": frozenset({"local_timestep"}),
+    "repro/solver/smoothing.py": frozenset({"smooth_residual"}),
+    "repro/distsolver/rank_kernels.py": frozenset({
+        "convective_local", "dissipation_partials", "dissipation_edges",
+        "spectral_sigma", "neighbor_sum_partial", "stage_update",
+    }),
+}
+
+#: Builtins worth protecting from shadowing in numerical code.
+_SHADOWABLE = frozenset({
+    "list", "dict", "set", "type", "id", "input", "sum", "min", "max",
+    "map", "filter", "next", "str", "int", "float", "bool", "bytes",
+    "len", "hash", "all", "any", "iter", "zip", "format", "open", "vars",
+    "object", "print", "sorted", "reversed", "round",
+})
+
+_ERROR_CODES = frozenset({"RA000", "RA001", "RA002", "RA003"})
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return "error" if self.code in _ERROR_CODES else "warning"
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message}")
+
+
+def module_key_for(path) -> str:
+    """Map a file path to its registry key (``repro/...`` relative path).
+
+    Files outside any ``repro`` package root key on their bare filename,
+    so whitelists never match them and only the :func:`hot_kernel`
+    decorator marks their hot paths — which is what test fixtures use.
+    """
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+def _is_none_compare(test: ast.AST) -> tuple[bool, bool]:
+    """Does ``test`` contain ``x is None`` / ``x is not None``?"""
+    has_is = has_isnot = False
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if isinstance(comp, ast.Constant) and comp.value is None:
+                    if isinstance(op, ast.Is):
+                        has_is = True
+                    elif isinstance(op, ast.IsNot):
+                        has_isnot = True
+    return has_is, has_isnot
+
+
+def _none_guard_allowed(func: ast.AST) -> set:
+    """Node ids inside ``is None`` fallback branches (allocation is OK)."""
+    allowed: set = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.If, ast.IfExp)):
+            continue
+        has_is, has_isnot = _is_none_compare(node.test)
+        branches = []
+        if has_is:
+            branches.append(node.body)
+        if has_isnot:
+            branches.append(node.orelse)
+        for branch in branches:
+            stmts = branch if isinstance(branch, list) else [branch]
+            for stmt in stmts:
+                for sub in ast.walk(stmt):
+                    allowed.add(id(sub))
+    return allowed
+
+
+def _is_np_creation(call: ast.Call) -> bool:
+    f = call.func
+    return (isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+            and f.attr in CREATION_FUNCS)
+
+
+def _is_ufunc_at(call: ast.Call) -> bool:
+    f = call.func
+    return (isinstance(f, ast.Attribute) and f.attr == "at"
+            and isinstance(f.value, ast.Attribute)
+            and f.value.attr in _UFUNC_AT
+            and isinstance(f.value.value, ast.Name)
+            and f.value.value.id in ("np", "numpy"))
+
+
+def _has_hot_decorator(func) -> bool:
+    for dec in func.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "hot_kernel":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hot_kernel":
+            return True
+    return False
+
+
+def _all_args(func) -> list:
+    a = func.args
+    return [*a.posonlyargs, *a.args, *a.kwonlyargs,
+            *([a.vararg] if a.vararg else []),
+            *([a.kwarg] if a.kwarg else [])]
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, module_key: str, lines: list[str]):
+        self.path = path
+        self.module_key = module_key
+        self.lines = lines
+        self.findings: list[LintFinding] = []
+        self._scope: list[str] = []      # enclosing class/function names
+        self._hot_depth = 0              # > 0 while inside a hot function
+        self._allowed_alloc: list[set] = []   # per-hot-scope None-guard ids
+        self.seen_functions: set = set()
+
+    # -- plumbing -------------------------------------------------------
+    def _suppressed(self, line: int, code: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        m = _NOQA_RE.search(self.lines[line - 1])
+        if not m:
+            return False
+        codes = m.group("codes")
+        if not codes:
+            return True              # bare ``# noqa`` suppresses all
+        return code in {c.strip().upper() for c in codes.split(",")}
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(line, code):
+            return
+        self.findings.append(LintFinding(self.path, line,
+                                         getattr(node, "col_offset", 0) + 1,
+                                         code, message))
+
+    # -- scope tracking -------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(self, node) -> None:
+        qualname = ".".join([*self._scope, node.name])
+        self.seen_functions.add(qualname)
+        registered = qualname in HOT_FUNCTIONS.get(self.module_key, ())
+        hot = registered or _has_hot_decorator(node)
+
+        self._check_mutable_defaults(node, qualname)
+        self._check_shadowed_args(node, qualname)
+        if qualname in OUT_REQUIRED.get(self.module_key, ()):
+            names = {a.arg for a in _all_args(node)}
+            if not names & {"out", "zero_out"}:
+                self._report(node, "RA003",
+                             f"kernel entry point {qualname!r} must accept "
+                             f"a preallocated out= (or zero_out=) argument")
+
+        self._scope.append(node.name)
+        if hot:
+            self._hot_depth += 1
+            self._allowed_alloc.append(_none_guard_allowed(node))
+        self.generic_visit(node)
+        if hot:
+            self._hot_depth -= 1
+            self._allowed_alloc.pop()
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- rules ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_ufunc_at(node):
+            allowed = any(self.module_key.startswith(p)
+                          for p in ADD_AT_ALLOWED)
+            if not allowed:
+                self._report(
+                    node, "RA002",
+                    f"np.{node.func.value.attr}.at is the scalar scatter "
+                    f"the CSR/EdgeScatter paths replace; only setup/mesh "
+                    f"modules ({', '.join(ADD_AT_ALLOWED)}) may use it")
+        elif self._hot_depth and _is_np_creation(node):
+            if not any(id(node) in s for s in self._allowed_alloc):
+                self._report(
+                    node, "RA001",
+                    f"np.{node.func.attr} allocates on a hot path; reuse "
+                    f"a workspace buffer or guard with 'if out is None'")
+        self.generic_visit(node)
+
+    def _check_mutable_defaults(self, node, qualname: str) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")):
+                bad = True
+            if bad:
+                self._report(default, "RA101",
+                             f"mutable default argument in {qualname!r}; "
+                             f"use None and allocate inside")
+
+    def _check_shadowed_args(self, node, qualname: str) -> None:
+        for arg in _all_args(node):
+            if arg.arg in _SHADOWABLE:
+                self._report(arg, "RA103",
+                             f"argument {arg.arg!r} of {qualname!r} "
+                             f"shadows a builtin")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, "RA102",
+                         "bare 'except:' also swallows KeyboardInterrupt/"
+                         "SystemExit; catch Exception or narrower")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in _SHADOWABLE:
+                self._report(target, "RA103",
+                             f"assignment to {target.id!r} shadows a "
+                             f"builtin")
+            if (isinstance(target, ast.Name)
+                    and isinstance(node.value, ast.Lambda)):
+                self._report(node, "RA104",
+                             f"lambda assigned to {target.id!r}; use def "
+                             f"for a named function")
+        self.generic_visit(node)
+
+
+def lint_file(path) -> list[LintFinding]:
+    """Lint one Python source file; returns findings sorted by location."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [LintFinding(str(path), exc.lineno or 1,
+                            (exc.offset or 0) + 1, "RA000",
+                            f"syntax error: {exc.msg}")]
+    key = module_key_for(path)
+    linter = _Linter(str(path), key, source.splitlines())
+    linter.visit(tree)
+    # A registry entry naming a function that no longer exists is a rot
+    # signal: the contract it enforced silently stopped being checked.
+    for registry, what in ((HOT_FUNCTIONS, "HOT_FUNCTIONS"),
+                           (OUT_REQUIRED, "OUT_REQUIRED")):
+        stale = registry.get(key, frozenset()) - linter.seen_functions
+        for qualname in sorted(stale):
+            linter.findings.append(LintFinding(
+                str(path), 1, 1, "RA003",
+                f"{what} registers {qualname!r} but no such function "
+                f"exists in this module (stale registry entry)"))
+    return sorted(linter.findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.update(p.rglob("*.py"))
+        else:
+            files.add(p)
+    return sorted(files)
+
+
+def lint_paths(paths) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: list[LintFinding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,400 @@
+"""Runtime invariant sanitizers for colorings, schedules and buffers.
+
+The paper's parallel correctness rests on three invariants that the code
+otherwise only *relies* on:
+
+* **coloring** — inside one colour group no two edges touch the same
+  vertex (Section 3.1: the property that lets the autotasking compiler
+  vectorise each colour and that makes the threaded executor's concurrent
+  indexed stores race-free);
+* **schedule** — a PARTI gather schedule covers every off-processor
+  reference exactly once, its send/recv sides agree, and in the overlap
+  executor every posted exchange is completed before the step ends
+  (otherwise the interior/boundary split silently diverges, or the
+  blocking mp backend deadlocks);
+* **buffer** — the fused pipeline's workspace arrays are pairwise
+  distinct, ``out=`` targets never alias their inputs, and steady-state
+  stages allocate nothing (the zero-allocation contract of
+  ``docs/performance.md``).
+
+Each sanitizer checks one invariant mechanically.  They are **off by
+default**: hot paths hold a :data:`NULL_SANITIZER` whose ``enabled``
+attribute gates every hook behind a single attribute load — the same
+zero-overhead pattern as :data:`repro.telemetry.NULL_TRACER`.  Enable
+them with ``SolverConfig(sanitize="all")`` (or a comma-separated subset
+of :data:`SANITIZER_NAMES`).  Findings are counted through
+:func:`repro.telemetry.count_event` under ``sanitize.<code>`` and, in
+strict mode (the default), raise :class:`SanitizerError` at the exact
+operation that violated the invariant.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..telemetry import count_event
+
+__all__ = [
+    "SANITIZER_NAMES", "SanitizerError", "Finding", "NullSanitizer",
+    "NULL_SANITIZER", "ColorRaceSanitizer", "ScheduleSanitizer",
+    "BufferSanitizer", "build_sanitizers",
+]
+
+#: Valid tokens of ``SolverConfig.sanitize`` (besides ``"off"``/``"all"``).
+SANITIZER_NAMES = ("color", "schedule", "buffer")
+
+
+class SanitizerError(RuntimeError):
+    """An invariant checked by a strict sanitizer does not hold."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One recorded invariant violation."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.message}"
+
+
+class NullSanitizer:
+    """No-op stand-in: every hook exists, nothing is ever checked.
+
+    ``enabled`` is a class attribute so the hot-path gate
+    (``if sanitizer.enabled: ...``) costs one attribute load — identical
+    to the :data:`~repro.telemetry.NULL_TRACER` discipline.
+    """
+
+    enabled = False
+    findings: tuple = ()
+
+    # -- color ----------------------------------------------------------
+    def check_coloring(self, *a, **k) -> None: pass
+
+    # -- schedule -------------------------------------------------------
+    def check_schedule(self, *a, **k) -> None: pass
+    def check_incremental(self, *a, **k) -> None: pass
+    def on_exchange(self, *a, **k) -> None: pass
+    def on_post(self, *a, **k) -> None: pass
+    def on_complete(self, *a, **k) -> None: pass
+    def on_post_op(self, *a, **k) -> None: pass
+    def on_complete_op(self, *a, **k) -> None: pass
+    def assert_drained(self, *a, **k) -> None: pass
+
+    # -- buffer ---------------------------------------------------------
+    def check_distinct(self, *a, **k) -> None: pass
+    def check_out(self, *a, **k) -> None: pass
+    def stage_begin(self, *a, **k) -> None: pass
+    def stage_end(self, *a, **k) -> None: pass
+    def step_end(self, *a, **k) -> None: pass
+    def close(self) -> None: pass
+
+
+#: Shared singleton held by every instrumented object when sanitizing is off.
+NULL_SANITIZER = NullSanitizer()
+
+
+class _Sanitizer:
+    """Common finding bookkeeping: count, record, raise when strict."""
+
+    enabled = True
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.findings: list[Finding] = []
+
+    def _record(self, code: str, message: str) -> None:
+        count_event("sanitize." + code)
+        finding = Finding(code, message)
+        self.findings.append(finding)
+        if self.strict:
+            raise SanitizerError(str(finding))
+
+    def close(self) -> None:
+        pass
+
+
+class ColorRaceSanitizer(_Sanitizer):
+    """Write-write conflict detection for colour groups.
+
+    :meth:`check_coloring` builds, per colour, the touch bitmap of the
+    group's edges (``np.bincount`` over both endpoints).  Any vertex
+    touched more than once means two edges of one colour would race in
+    the threaded executor's concurrent indexed stores.
+    """
+
+    def check_coloring(self, edges: np.ndarray, groups, n_vertices: int,
+                       where: str = "coloring") -> None:
+        edges = np.asarray(edges)
+        for color, group in enumerate(groups):
+            group = np.asarray(group)
+            if group.size == 0:
+                continue
+            touched = np.bincount(edges[group].ravel(),
+                                  minlength=int(n_vertices))
+            conflicts = np.flatnonzero(touched > 1)
+            if conflicts.size:
+                self._record(
+                    "color.race",
+                    f"{where}: colour {color} touches vertex "
+                    f"{int(conflicts[0])} through {int(touched[conflicts[0]])}"
+                    f" edges ({conflicts.size} conflicted vertices total)")
+
+
+class ScheduleSanitizer(_Sanitizer):
+    """PARTI schedule completeness, dedup soundness and post/complete pairing.
+
+    Static checks (:meth:`check_schedule`, :meth:`check_incremental`) run
+    once at construction; the ``on_*`` hooks track every overlapped
+    exchange at runtime and :meth:`assert_drained` (called by the drivers
+    after each step) flags posts that were never completed — the
+    signature of a latent deadlock or message mismatch.
+    """
+
+    def __init__(self, strict: bool = True):
+        super().__init__(strict)
+        #: Outstanding posted-but-not-completed exchanges.
+        self._outstanding: dict = {}
+
+    # -- static verification --------------------------------------------
+    def check_schedule(self, schedule) -> None:
+        """Verify one :class:`~repro.parti.schedule.GatherSchedule`."""
+        table = schedule.table
+        name = getattr(schedule, "name", "schedule")
+        if set(schedule.send_indices) != set(schedule.recv_slices):
+            self._record("schedule.pair-mismatch",
+                         f"{name}: send_indices and recv_slices disagree "
+                         f"on the set of (owner, requester) pairs")
+        for r in range(schedule.n_ranks):
+            ghosts = np.asarray(schedule.ghost_globals[r])
+            if ghosts.size != np.unique(ghosts).size:
+                self._record("schedule.duplicate-ghost",
+                             f"{name}: rank {r} ghost ids contain "
+                             f"duplicates (dedup unsound)")
+            if ghosts.size and np.any(table.owner_of(ghosts) == r):
+                self._record("schedule.owned-ghost",
+                             f"{name}: rank {r} lists locally owned ids "
+                             f"as ghosts")
+            # The recv slices of rank r must partition [0, n_ghost_r)
+            # exactly once: every ghost slot filled by exactly one message.
+            slices = sorted(sl for (owner, req), sl
+                            in schedule.recv_slices.items() if req == r)
+            pos = 0
+            for start, stop in slices:
+                if start != pos:
+                    self._record(
+                        "schedule.slice-coverage",
+                        f"{name}: rank {r} recv slices "
+                        f"{'overlap' if start < pos else 'leave a gap'} at "
+                        f"slot {min(start, pos)}")
+                pos = max(pos, stop)
+            if pos != ghosts.size:
+                self._record("schedule.slice-coverage",
+                             f"{name}: rank {r} recv slices cover {pos} of "
+                             f"{ghosts.size} ghost slots")
+        for (owner, req), idx in schedule.send_indices.items():
+            start, stop = schedule.recv_slices[(owner, req)]
+            idx = np.asarray(idx)
+            if idx.size != stop - start:
+                self._record(
+                    "schedule.length-mismatch",
+                    f"{name}: pair ({owner}, {req}) sends {idx.size} "
+                    f"values into a slice of {stop - start}")
+                continue
+            # Translation soundness: what the owner packs must be exactly
+            # the globals the requester expects in that slice.
+            sent = np.asarray(table.owned_globals[owner])[idx]
+            expected = np.asarray(schedule.ghost_globals[req])[start:stop]
+            if not np.array_equal(sent, expected):
+                self._record(
+                    "schedule.translation",
+                    f"{name}: pair ({owner}, {req}) packs globals that do "
+                    f"not match the requester's ghost slice")
+
+    def check_incremental(self, builder) -> None:
+        """Verify an :class:`~repro.parti.incremental.IncrementalScheduleBuilder`."""
+        for r in range(builder.n_ranks):
+            slots = sorted(builder._slot_of[r].values())
+            n = builder.ghost_count(r)
+            if slots != list(range(n)):
+                self._record("schedule.incr-slots",
+                             f"incremental: rank {r} ghost slots are not a "
+                             f"dense bijection onto [0, {n})")
+        # Dedup soundness: a global id is fetched by at most one increment.
+        seen: list[set] = [set() for _ in range(builder.n_ranks)]
+        for k, incr in enumerate(builder.increments):
+            for r in range(builder.n_ranks):
+                ids = set(np.asarray(incr.schedule.ghost_globals[r]).tolist())
+                dup = ids & seen[r]
+                if dup:
+                    self._record(
+                        "schedule.incr-refetch",
+                        f"incremental: rank {r} re-fetches id "
+                        f"{next(iter(dup))} in increment {k} (dedup missed)")
+                seen[r] |= ids
+
+    # -- runtime post/complete pairing ----------------------------------
+    def on_exchange(self, phase: str, n_dropped: int) -> None:
+        """A blocking exchange delivered; flag in-transit message loss."""
+        if n_dropped:
+            self._record("schedule.dropped-message",
+                         f"phase {phase!r}: {n_dropped} message(s) lost in "
+                         f"transit (delivery incomplete)")
+
+    def on_post(self, phase: str, pending: dict, n_dropped: int = 0) -> None:
+        if n_dropped:
+            self._record("schedule.dropped-message",
+                         f"phase {phase!r}: {n_dropped} message(s) lost in "
+                         f"transit (delivery incomplete)")
+        self._outstanding[id(pending)] = phase
+
+    def on_complete(self, pending: dict) -> None:
+        if self._outstanding.pop(id(pending), None) is None:
+            self._record("schedule.unmatched-complete",
+                         "complete() called with no matching post()")
+
+    def on_post_op(self, rank: int, op: int) -> None:
+        """Overlapped mp exchange posted (op-index addressed)."""
+        self._outstanding[(rank, op)] = f"op{op}"
+
+    def on_complete_op(self, rank: int, op: int) -> None:
+        if self._outstanding.pop((rank, op), None) is None:
+            self._record("schedule.unmatched-complete",
+                         f"rank {rank}: finish of op {op} has no matching "
+                         f"begin")
+
+    def assert_drained(self, where: str = "") -> None:
+        """Flag posted exchanges never completed (deadlock signature)."""
+        if self._outstanding:
+            phases = sorted(set(map(str, self._outstanding.values())))
+            self._outstanding.clear()
+            self._record("schedule.unmatched-post",
+                         f"{where or 'step'}: posted exchange(s) never "
+                         f"completed: {', '.join(phases)}")
+
+
+class BufferSanitizer(_Sanitizer):
+    """Workspace fingerprinting + per-stage allocation audit.
+
+    * :meth:`check_distinct` — pairwise ``np.shares_memory`` over the
+      named workspace/edge-state arrays (run once at construction);
+    * :meth:`check_out` — an ``out=`` target must not alias any input;
+    * :meth:`step_end` — the workspace arena must stop growing after the
+      warmup step (``StageWorkspace.n_arena_allocs`` frozen);
+    * :meth:`stage_begin`/:meth:`stage_end` — tracemalloc snapshot diff
+      per Runge-Kutta stage, filtered to the hot-pipeline files; any
+      retained allocation above ``stage_alloc_threshold`` bytes after
+      warmup is a zero-allocation-contract violation.
+    """
+
+    #: Files whose post-warmup per-stage retained allocations are audited.
+    WATCH_FILES = ("*fused.py", "*workspace.py", "*executors.py",
+                   "*scatter.py")
+
+    def __init__(self, strict: bool = True,
+                 stage_alloc_threshold: int = 1 << 14,
+                 watch_files: tuple = WATCH_FILES):
+        super().__init__(strict)
+        self.stage_alloc_threshold = int(stage_alloc_threshold)
+        self.watch_files = tuple(watch_files)
+        self._steps = 0
+        self._frozen_allocs: int | None = None
+        self._snap = None
+        self._started_tracing = False
+
+    # -- aliasing -------------------------------------------------------
+    def check_distinct(self, named: dict, where: str = "workspace") -> None:
+        """No two named workspace arrays may share memory."""
+        items = [(k, v) for k, v in named.items()
+                 if isinstance(v, np.ndarray) and v.size]
+        for i, (name_a, a) in enumerate(items):
+            for name_b, b in items[i + 1:]:
+                if np.shares_memory(a, b):
+                    self._record("buffer.alias",
+                                 f"{where}: arrays {name_a!r} and "
+                                 f"{name_b!r} share memory")
+
+    def check_out(self, out: np.ndarray, inputs: dict,
+                  where: str = "kernel") -> None:
+        """An ``out=`` target aliasing an input corrupts the kernel."""
+        if out is None:
+            return
+        for name, arr in inputs.items():
+            if isinstance(arr, np.ndarray) and arr.size \
+                    and np.shares_memory(out, arr):
+                self._record("buffer.out-alias",
+                             f"{where}: out= target aliases input {name!r}")
+
+    # -- allocation audit -----------------------------------------------
+    def stage_begin(self) -> None:
+        """Open a per-stage tracemalloc window (skipped during warmup)."""
+        if self._steps < 1:
+            return
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        self._snap = tracemalloc.take_snapshot()
+
+    def stage_end(self, stage: int) -> None:
+        """Close the window; flag retained hot-file allocations."""
+        if self._snap is None:
+            return
+        snap0, self._snap = self._snap, None
+        filters = [tracemalloc.Filter(True, pat) for pat in self.watch_files]
+        diff = tracemalloc.take_snapshot().filter_traces(filters) \
+            .compare_to(snap0.filter_traces(filters), "lineno")
+        grown = [d for d in diff if d.size_diff > 0 and d.count_diff > 0]
+        total = sum(d.size_diff for d in grown)
+        if total > self.stage_alloc_threshold:
+            top = max(grown, key=lambda d: d.size_diff)
+            frame = top.traceback[0]
+            self._record(
+                "buffer.stage-alloc",
+                f"stage {stage}: {total} bytes retained by hot-pipeline "
+                f"files after warmup (largest: {frame.filename}:"
+                f"{frame.lineno}, +{top.size_diff} bytes)")
+
+    def step_end(self, ws) -> None:
+        """Freeze the arena after step 1; flag any later growth."""
+        self._steps += 1
+        if self._frozen_allocs is None:
+            self._frozen_allocs = ws.n_arena_allocs
+        elif ws.n_arena_allocs > self._frozen_allocs:
+            grew = ws.n_arena_allocs - self._frozen_allocs
+            self._frozen_allocs = ws.n_arena_allocs
+            self._record("buffer.arena-grew",
+                         f"workspace arena grew by {grew} allocation(s) "
+                         f"after the warmup step")
+
+    def close(self) -> None:
+        """Stop tracemalloc if this sanitizer started it."""
+        if self._started_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracing = False
+
+
+def build_sanitizers(names, strict: bool = True) -> dict:
+    """Map every sanitizer name to a live instance or the null singleton.
+
+    ``names`` is an iterable of tokens from :data:`SANITIZER_NAMES`
+    (typically ``SolverConfig.sanitize_set``); unknown names raise.
+    """
+    names = frozenset(names)
+    unknown = names - frozenset(SANITIZER_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown sanitizer(s) {sorted(unknown)}; valid names are "
+            f"{SANITIZER_NAMES}")
+    return {
+        "color": (ColorRaceSanitizer(strict) if "color" in names
+                  else NULL_SANITIZER),
+        "schedule": (ScheduleSanitizer(strict) if "schedule" in names
+                     else NULL_SANITIZER),
+        "buffer": (BufferSanitizer(strict) if "buffer" in names
+                   else NULL_SANITIZER),
+    }

@@ -98,6 +98,16 @@ class DistributedEulerSolver:
         #: Shares the machine's tracer so compute spans interleave with
         #: the ``comm.exchange`` / ``parti.*`` spans on one timeline.
         self.tracer = self.machine.tracer
+        #: Schedule sanitizer from ``config.sanitize`` (null when off).
+        #: Verifies the gather schedule once at construction, then rides
+        #: the machine's post/complete hooks to catch unmatched overlap
+        #: exchanges and in-transit message loss.
+        from ..analysis.sanitize import build_sanitizers
+        self.sanitizer = build_sanitizers(
+            self.config.sanitize_set)["schedule"]
+        if self.sanitizer.enabled:
+            self.sanitizer.check_schedule(self.dmesh.schedule)
+            self.machine.sanitizer = self.sanitizer
         #: per-phase, per-rank flop counts (inputs of the Delta model)
         self.rank_flops: dict = defaultdict(
             lambda: np.zeros(self.n_ranks, dtype=np.float64))
@@ -443,8 +453,14 @@ class DistributedEulerSolver:
     def step(self, w_list: list, forcing: list | None = None) -> list:
         """One five-stage step; returns new per-rank local states."""
         if self.config.dist_mode == "blocking":
-            return self._step_blocking(w_list, forcing)
-        return self._step_overlap(w_list, forcing)
+            out = self._step_blocking(w_list, forcing)
+        else:
+            out = self._step_overlap(w_list, forcing)
+        if self.sanitizer.enabled:
+            # Every posted exchange of the step must have completed by
+            # now — an outstanding one is a latent deadlock.
+            self.sanitizer.assert_drained("dist.step")
+        return out
 
     def _step_blocking(self, w_list: list, forcing: list | None) -> list:
         """The original barrier-per-phase executor (benchmark baseline)."""

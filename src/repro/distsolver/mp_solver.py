@@ -39,6 +39,7 @@ import traceback
 
 import numpy as np
 
+from ..analysis.sanitize import NULL_SANITIZER, ScheduleSanitizer
 from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
 from ..resilience import (Checkpoint, DivergenceError, ExchangeTimeoutError,
                           collect_results, verify_checkpoint)
@@ -63,7 +64,7 @@ class _PipeTransport:
     def __init__(self, rank: int, inbox, outboxes: dict,
                  send_indices: dict, recv_slices: dict, *,
                  injector=None, op_timeout: float = 30.0,
-                 max_send_retries: int = 3, progress=None):
+                 max_send_retries: int = 3, progress=None, sanitizer=None):
         self.rank = rank
         self.inbox = inbox
         self.outboxes = outboxes
@@ -77,6 +78,10 @@ class _PipeTransport:
         self._stash: dict = {}
         #: Set by the rank worker after fork (tracers are per-process).
         self.tracer = NULL_TRACER
+        #: Optional :class:`repro.analysis.ScheduleSanitizer` pairing the
+        #: overlapped begin/finish halves per op index (null when off).
+        self.sanitizer = sanitizer if sanitizer is not None \
+            else NULL_SANITIZER
 
     # -- fault-aware primitives -----------------------------------------
     def _op_start(self, op: int) -> None:
@@ -162,7 +167,9 @@ class _PipeTransport:
                 tracer.count("mp.scatter_add.bytes_sent", n_bytes)
             for _ in range(len(self.send_indices)):
                 src, data = self._recv_op(op)
-                np.add.at(local, self.send_indices[src], data)
+                # Send indices are unique per pair (np.unique'd at schedule
+                # build), so the fancy += matches the np.add.at it replaces.
+                local[self.send_indices[src]] += data
             self._op_done(op)
 
     # -- overlapped (begin/finish) halves --------------------------------
@@ -183,6 +190,8 @@ class _PipeTransport:
             self._send(dst, op, payload)
         if self.tracer.enabled:
             self.tracer.count("mp.gather.bytes_sent", n_bytes)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_post_op(self.rank, op)
         return op
 
     def gather_finish(self, op: int, local: np.ndarray,
@@ -194,6 +203,8 @@ class _PipeTransport:
                 start, stop = self.recv_slices[src]
                 local[n_owned + start:n_owned + stop] = data
             self._op_done(op)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_complete_op(self.rank, op)
 
     def scatter_add_multi_begin(self, arrays: list, n_owned: int) -> int:
         """Post one column-packed scatter message per neighbour covering
@@ -211,6 +222,8 @@ class _PipeTransport:
             self._send(src, op, payload)
         if self.tracer.enabled:
             self.tracer.count("mp.scatter_add.bytes_sent", n_bytes)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_post_op(self.rank, op)
         return op
 
     def scatter_add_multi_finish(self, op: int, arrays: list,
@@ -229,6 +242,8 @@ class _PipeTransport:
                     a2[idx] += data[:, c0:c0 + k]
                     c0 += k
             self._op_done(op)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_complete_op(self.rank, op)
 
 
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
@@ -417,6 +432,10 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
     for _ in range(n_cycles):
         with tracer.span("solver.cycle"):
             w = do_step(w)
+        if transport.sanitizer.enabled:
+            # Strict by default: an unmatched begin raises here and
+            # surfaces through the worker's error sentinel.
+            transport.sanitizer.assert_drained(f"rank {rm.rank} cycle")
     payload = (tracer.to_payload(pid=rm.rank + 1, label=f"rank{rm.rank}")
                if trace else None)
     result_queue.put(("ok", rm.rank, w[:n_owned], payload))
@@ -444,6 +463,7 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
     for rank in range(n_ranks):
         progress[rank] = -1
 
+    sanitize_schedule = "schedule" in config.sanitize_set
     workers = []
     collected = False
     try:
@@ -460,6 +480,11 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
                  if dst == rank},
                 injector=injector, op_timeout=op_timeout,
                 max_send_retries=max_send_retries, progress=progress,
+                # One sanitizer per rank process (forked with the
+                # transport); findings raise inside the worker and
+                # surface through its error sentinel.
+                sanitizer=(ScheduleSanitizer() if sanitize_schedule
+                           else None),
             )
             proc = ctx.Process(target=_rank_worker,
                                args=(rm, transport, w_local, w_inf, config,
@@ -533,6 +558,10 @@ def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,
     tracer = tracer if tracer is not None else get_tracer()
     trace = bool(tracer.enabled)
     interval = config.checkpoint_interval
+    if "schedule" in config.sanitize_set:
+        # Static verification once in the parent, before any fork: the
+        # same schedule feeds every segment and every rank transport.
+        ScheduleSanitizer().check_schedule(dmesh.schedule)
 
     start_cycle = 0
     w_current = w_global

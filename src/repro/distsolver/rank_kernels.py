@@ -23,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import NVAR
-from ..scatter import EdgeScatter, scatter_add_edges
+from ..scatter import (EdgeScatter, scatter_add_edges, scatter_add_unsigned,
+                       scatter_neighbor_sum)
 from ..solver.bc import characteristic_state
 from ..state import flux_vectors, pressure, primitive_from_conserved
 from .partitioned_mesh import RankMesh
@@ -73,18 +74,15 @@ def dissipation_partials(rm: RankMesh, w_local: np.ndarray,
     else:
         out[...] = 0.0
     diff = w_local[e1] - w_local[e0]
-    lap = out[:, :NVAR]
-    np.add.at(lap, e0, diff)
-    np.subtract.at(lap, e1, diff)
+    # The reference scatters run the same np.add.at/np.subtract.at calls
+    # in the same order the in-line loops did, so results stay bitwise
+    # identical; ``out`` was zeroed above, so no zero_out here.
+    scatter_add_edges(rm.edges, diff, rm.n_local, out=out[:, :NVAR])
     p = pressure(w_local)
     p_diff = p[e1] - p[e0]
     p_sum = p[e0] + p[e1]
-    num = out[:, NVAR]
-    np.add.at(num, e0, p_diff)
-    np.subtract.at(num, e1, p_diff)
-    den = out[:, NVAR + 1]
-    np.add.at(den, e0, p_sum)
-    np.add.at(den, e1, p_sum)
+    scatter_add_edges(rm.edges, p_diff, rm.n_local, out=out[:, NVAR])
+    scatter_add_unsigned(rm.edges, p_sum, rm.n_local, out=out[:, NVAR + 1])
     return out
 
 
@@ -130,8 +128,7 @@ def spectral_sigma(rm: RankMesh, w_local: np.ndarray,
     sigma = out if out is not None else np.zeros((rm.n_local, 1))
     if out is not None:
         sigma[...] = 0.0
-    np.add.at(sigma[:, 0], e0, lam)
-    np.add.at(sigma[:, 0], e1, lam)
+    scatter_add_unsigned(rm.edges, lam, rm.n_local, out=sigma[:, 0])
     return sigma
 
 
@@ -146,7 +143,9 @@ def timestep_from_sigma(rm: RankMesh, w_local: np.ndarray,
                                (rm.far_vertices, rm.far_normals, rm.far_nn)):
         if verts.size:
             un = np.abs(np.einsum("id,id->i", vel[verts], normals))
-            np.add.at(s, verts, un + c[verts] * nn)
+            # Boundary vertex lists are flatnonzero-derived (unique), so
+            # the fancy += is exactly the historical np.add.at.
+            s[verts] += un + c[verts] * nn
     return cfl * rm.dual_volumes / np.maximum(s, 1e-300)
 
 
@@ -156,8 +155,7 @@ def neighbor_sum_partial(rm: RankMesh, rbar_local: np.ndarray,
     ns = out if out is not None else np.zeros((rm.n_local, NVAR))
     if out is not None:
         ns[...] = 0.0
-    np.add.at(ns, rm.edges[:, 0], rbar_local[rm.edges[:, 1]])
-    np.add.at(ns, rm.edges[:, 1], rbar_local[rm.edges[:, 0]])
+    scatter_neighbor_sum(rm.edges, rbar_local, rm.n_local, out=ns)
     return ns
 
 

@@ -56,7 +56,7 @@ class ColoredExecutor:
 
     def __init__(self, edges: np.ndarray, n_vertices: int,
                  coloring: EdgeColoring | None = None, n_threads: int = 1,
-                 tracer=None):
+                 tracer=None, sanitizer=None):
         edges = np.asarray(edges)
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ValueError(f"edges must be (ne, 2), got {edges.shape}")
@@ -64,9 +64,18 @@ class ColoredExecutor:
         self.n_vertices = int(n_vertices)
         self.n_threads = max(1, int(n_threads))
         self.tracer = tracer if tracer is not None else get_tracer()
+        if sanitizer is None:
+            from ..analysis.sanitize import NULL_SANITIZER
+            sanitizer = NULL_SANITIZER
+        self.sanitizer = sanitizer
         if coloring is None:
             coloring = color_edges_balanced(edges, self.n_vertices)
         self.coloring = coloring
+        if sanitizer.enabled:
+            # The executor's race freedom *is* the coloring invariant;
+            # verify it before any concurrent indexed store runs.
+            sanitizer.check_coloring(edges, coloring.groups, self.n_vertices,
+                                     where="ColoredExecutor")
         self.degree = np.bincount(edges.ravel(),
                                   minlength=self.n_vertices).astype(np.float64)
         # Per-colour (and per-thread subgroup) gather/scatter index arrays,
@@ -229,7 +238,7 @@ def resolve_auto_kind(edges: np.ndarray, n_vertices: int,
 
 
 def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
-                  n_threads: int = 1, tracer=None):
+                  n_threads: int = 1, tracer=None, sanitizer=None):
     """Build the executor named by ``SolverConfig.executor``.
 
     ``serial`` and ``fused`` share the CSR scatter (the fused pipeline
@@ -243,8 +252,9 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     if kind in ("serial", "fused"):
         return SerialExecutor(edges, n_vertices, tracer=tracer)
     if kind == "colored":
-        return ColoredExecutor(edges, n_vertices, n_threads=1, tracer=tracer)
+        return ColoredExecutor(edges, n_vertices, n_threads=1, tracer=tracer,
+                               sanitizer=sanitizer)
     if kind == "colored-threaded":
         return ColoredExecutor(edges, n_vertices, n_threads=n_threads,
-                               tracer=tracer)
+                               tracer=tracer, sanitizer=sanitizer)
     raise ValueError(f"unknown executor kind {kind!r}")

@@ -96,10 +96,13 @@ class FusedResidual:
     executor : scatter executor (``signed``/``unsigned``/``neighbor_sum``
         with ``out=`` plus ``degree``); defaults to the serial CSR scatter.
     flops : optional analytic flop counter (same charges as the seed path).
+    sanitizer : optional :class:`repro.analysis.BufferSanitizer`; defaults
+        to the null sanitizer (zero overhead — a single attribute check
+        per step).
     """
 
     def __init__(self, struct, bdata: BoundaryData, config, w_inf: np.ndarray,
-                 executor=None, flops=None, tracer=None):
+                 executor=None, flops=None, tracer=None, sanitizer=None):
         self.struct = struct
         self.config = config
         self.w_inf = np.asarray(w_inf, dtype=np.float64)
@@ -138,6 +141,17 @@ class FusedResidual:
         # from the workspace and cached until the next update_state().
         self._gen = 0
         self._es_gen = -1
+
+        if sanitizer is None:
+            from ..analysis.sanitize import NULL_SANITIZER
+            sanitizer = NULL_SANITIZER
+        self.sanitizer = sanitizer
+        if sanitizer.enabled:
+            named = {"ws." + n: getattr(self.ws, n)
+                     for n in ("rho", "inv_rho", "vel", "p", "c", "epp")}
+            named.update({"es." + n: getattr(self.es, n)
+                          for n in _EdgeStageState.__slots__})
+            sanitizer.check_distinct(named, where="FusedResidual workspace")
 
     # ------------------------------------------------------------------
     def update_state(self, w: np.ndarray) -> None:
@@ -356,10 +370,13 @@ class FusedResidual:
         r = ws.state_buf("step_r")
         rbar = ws.state_buf("step_rbar")
         resnorm_buf = ws.vertex_buf("step_resnorm")
-        wk = np.empty_like(w0)               # the one allocation: returned
+        wk = np.empty_like(w0)  # noqa: RA001 - the one allocation: returned
         cur = w0
         resnorm = float("nan")
+        san = self.sanitizer
         for stage, alpha in enumerate(RK_ALPHAS):
+            if san.enabled:
+                san.stage_begin()
             with self.tracer.span("rk.stage"):
                 if stage > 0:
                     self.update_state(cur)
@@ -385,4 +402,8 @@ class FusedResidual:
                 np.add(w0, upd, out=wk)
                 self.flops.add("update", 3 * NVAR * self.n_vertices)
                 cur = wk
+            if san.enabled:
+                san.stage_end(stage)
+        if san.enabled:
+            san.step_end(ws)
         return wk, resnorm

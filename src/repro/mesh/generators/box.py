@@ -66,6 +66,7 @@ def box_mesh(nx: int = 8, ny: int = 8, nz: int = 8,
     vertices = structured_vertices(nx, ny, nz, bounds)
     tets = freudenthal_tets(nx, ny, nz)
     if boundary_tagger is None:
-        boundary_tagger = lambda centroids, normals: np.full(len(centroids), PATCH_FARFIELD)
+        def boundary_tagger(centroids, normals):
+            return np.full(len(centroids), PATCH_FARFIELD)
     return TetMesh(vertices, tets, boundary_tagger=boundary_tagger,
                    name=name or f"box{nx}x{ny}x{nz}")

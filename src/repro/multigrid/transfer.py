@@ -23,9 +23,10 @@ meshes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.spatial import cKDTree
 
 from ..mesh.adjacency import tet_face_adjacency
@@ -49,6 +50,9 @@ class TransferOperator:
     n_donor: int
     #: number of points that needed the clipped-weight fallback (diagnostic)
     n_fallback: int = 0
+    #: lazily built CSR ``P^T`` for :meth:`transpose_apply` (cache only,
+    #: excluded from equality/repr)
+    _pt: object = field(default=None, repr=False, compare=False)
 
     @property
     def n_target(self) -> int:
@@ -61,15 +65,31 @@ class TransferOperator:
             return np.einsum("tk,tk->t", self.weights, vals)
         return np.einsum("tk,tk...->t...", self.weights, vals)
 
+    def _transpose_matrix(self) -> sp.csr_matrix:
+        """``P^T`` as a CSR matrix ``(n_donor, n_target)``, built once.
+
+        CSR construction sums duplicate (donor, target) entries, so the
+        product equals the historical per-address ``np.add.at`` scatter
+        up to summation order.
+        """
+        if self._pt is None:
+            cols = np.repeat(np.arange(self.n_target), 4)
+            self._pt = sp.csr_matrix(
+                (self.weights.ravel(), (self.addresses.ravel(), cols)),
+                shape=(self.n_donor, self.n_target))
+        return self._pt
+
     def transpose_apply(self, target_values: np.ndarray) -> np.ndarray:
         """Scatter ``(n_target, ...)`` values to donor vertices (P^T v)."""
-        out = np.zeros((self.n_donor,) + target_values.shape[1:],
-                       dtype=target_values.dtype)
-        contrib = self.weights[..., None] * target_values[:, None] \
-            if target_values.ndim > 1 else self.weights * target_values[:, None]
-        for k in range(4):
-            np.add.at(out, self.addresses[:, k], contrib[:, k])
-        return out
+        pt = self._transpose_matrix()
+        if target_values.ndim == 1:
+            res = pt @ target_values
+        else:
+            n_vecs = int(np.prod(target_values.shape[1:], dtype=np.int64))
+            flat = target_values.reshape(target_values.shape[0], n_vecs)
+            res = (pt @ flat).reshape((self.n_donor,)
+                                      + target_values.shape[1:])
+        return res.astype(target_values.dtype, copy=False)
 
 
 def _barycentric(points: np.ndarray, tet_vertices: np.ndarray) -> np.ndarray:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.sanitize import NULL_SANITIZER
 from ..telemetry import get_tracer
 
 __all__ = ["SimMachine", "TrafficLog", "PhaseTraffic"]
@@ -38,11 +39,10 @@ class PhaseTraffic:
     occurrences: int = 0
 
     def __post_init__(self):
-        z = lambda: np.zeros(self.n_ranks, dtype=np.int64)
-        self.msgs_sent = z()
-        self.bytes_sent = z()
-        self.msgs_recv = z()
-        self.bytes_recv = z()
+        self.msgs_sent = np.zeros(self.n_ranks, dtype=np.int64)
+        self.bytes_sent = np.zeros(self.n_ranks, dtype=np.int64)
+        self.msgs_recv = np.zeros(self.n_ranks, dtype=np.int64)
+        self.bytes_recv = np.zeros(self.n_ranks, dtype=np.int64)
 
     @property
     def total_bytes(self) -> int:
@@ -106,10 +106,21 @@ class SimMachine:
         #: deterministically (the simulated machine's failure model; rank
         #: death only exists on the real-process backend).
         self.injector = injector
+        #: Optional :class:`repro.analysis.ScheduleSanitizer` observing
+        #: every exchange/post/complete (the null singleton costs one
+        #: attribute check per call).  Installed by the distributed
+        #: drivers when ``SolverConfig.sanitize`` includes ``schedule``.
+        self.sanitizer = NULL_SANITIZER
 
-    def _post(self, messages: dict, phase: str) -> dict:
-        """Filter, log and 'send' messages; shared by post/exchange."""
+    def _post(self, messages: dict, phase: str) -> tuple[dict, int]:
+        """Filter, log and 'send' messages; shared by post/exchange.
+
+        Returns ``(delivered, n_dropped)`` where ``n_dropped`` counts
+        messages lost in transit (fault injection) — the schedule
+        sanitizer turns nonzero drops into findings.
+        """
         injector = self.injector
+        n_dropped = 0
         traffic = self.log.phase(phase)
         traffic.occurrences += 1
         n_msgs = 0
@@ -126,6 +137,7 @@ class SimMachine:
                 payload = injector.on_sim_message(
                     phase, traffic.occurrences, src, dst, payload)
                 if payload is None:       # dropped in transit
+                    n_dropped += 1
                     continue
             payload = np.ascontiguousarray(payload)
             if payload.size == 0:
@@ -142,11 +154,14 @@ class SimMachine:
             # schedules), so build counter keys only when tracing.
             self.tracer.count("comm." + phase + ".msgs", n_msgs)
             self.tracer.count("comm." + phase + ".bytes", n_bytes)
-        return delivered
+        return delivered, n_dropped
 
     def exchange(self, messages: dict, phase: str) -> dict:
         with self.tracer.span("comm.exchange"):
-            return self._post(messages, phase)
+            delivered, n_dropped = self._post(messages, phase)
+            if self.sanitizer.enabled:
+                self.sanitizer.on_exchange(phase, n_dropped)
+            return delivered
 
     def post(self, messages: dict, phase: str) -> dict:
         """Non-blocking send half of an exchange (the overlap executor).
@@ -157,13 +172,18 @@ class SimMachine:
         buffer may be reused by the caller) until :meth:`complete`.
         """
         with self.tracer.span("comm.post"):
-            delivered = self._post(messages, phase)
+            delivered, n_dropped = self._post(messages, phase)
             # Snapshot payloads: the sender's pack buffers are reused by
             # the next post while this exchange is still pending.
-            return {key: np.array(payload, copy=True)
-                    for key, payload in delivered.items()}
+            pending = {key: np.array(payload, copy=True)
+                       for key, payload in delivered.items()}
+            if self.sanitizer.enabled:
+                self.sanitizer.on_post(phase, pending, n_dropped)
+            return pending
 
     def complete(self, pending: dict) -> dict:
         """Blocking receive half matching an earlier :meth:`post`."""
         with self.tracer.span("comm.complete"):
+            if self.sanitizer.enabled:
+                self.sanitizer.on_complete(pending)
             return pending

@@ -36,7 +36,8 @@ try:  # SciPy's C kernel computes ``out += A @ x`` without temporaries.
 except (ImportError, AttributeError):  # pragma: no cover - old SciPy
     _CSR_MATVECS = None
 
-__all__ = ["EdgeScatter", "scatter_add_edges", "gather_edge_difference"]
+__all__ = ["EdgeScatter", "scatter_add_edges", "scatter_add_unsigned",
+           "scatter_neighbor_sum", "gather_edge_difference"]
 
 
 def scatter_add_edges(edges: np.ndarray, edge_values: np.ndarray, n_vertices: int,
@@ -68,6 +69,45 @@ def scatter_add_edges(edges: np.ndarray, edge_values: np.ndarray, n_vertices: in
         out[...] = 0.0
     np.add.at(out, edges[:, 0], edge_values)
     np.subtract.at(out, edges[:, 1], edge_values)
+    return out
+
+
+def scatter_add_unsigned(edges: np.ndarray, edge_values: np.ndarray,
+                         n_vertices: int, out: np.ndarray | None = None,
+                         zero_out: bool = False) -> np.ndarray:
+    """Reference unsigned accumulation: ``out[i] += v_e``, ``out[j] += v_e``.
+
+    Same accumulation-into-``out`` semantics as :func:`scatter_add_edges`
+    (pass ``zero_out=True`` for overwrite).  This is the ``np.add.at``
+    reference the CSR ``unsigned`` operator is validated against; the
+    per-rank kernels use it so their summation order stays bit-identical
+    to the historical in-line loops.
+    """
+    if out is None:
+        out = np.zeros((n_vertices,) + edge_values.shape[1:],
+                       dtype=edge_values.dtype)
+    elif zero_out:
+        out[...] = 0.0
+    np.add.at(out, edges[:, 0], edge_values)
+    np.add.at(out, edges[:, 1], edge_values)
+    return out
+
+
+def scatter_neighbor_sum(edges: np.ndarray, vertex_values: np.ndarray,
+                         n_vertices: int, out: np.ndarray | None = None,
+                         zero_out: bool = False) -> np.ndarray:
+    """Reference neighbour sum: ``out[i] += v[j]``, ``out[j] += v[i]``.
+
+    The ``np.add.at`` reference for the CSR adjacency product, with the
+    same accumulate-into-``out`` semantics as :func:`scatter_add_edges`.
+    """
+    if out is None:
+        out = np.zeros((n_vertices,) + vertex_values.shape[1:],
+                       dtype=vertex_values.dtype)
+    elif zero_out:
+        out[...] = 0.0
+    np.add.at(out, edges[:, 0], vertex_values[edges[:, 1]])
+    np.add.at(out, edges[:, 1], vertex_values[edges[:, 0]])
     return out
 
 

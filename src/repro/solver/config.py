@@ -79,6 +79,16 @@ class SolverConfig:
     #: loops (0 = only the initial state is kept as the restore target).
     checkpoint_interval: int = 0
 
+    # -- invariant sanitizers (see repro.analysis, docs/static-analysis.md)
+    #: ``"off"`` (default, zero overhead via the NullSanitizer gate),
+    #: ``"all"``, or a comma-separated subset of
+    #: :data:`repro.analysis.SANITIZER_NAMES` — e.g. ``"color,schedule"``.
+    #: Enabled sanitizers verify colouring conflict-freedom, PARTI
+    #: schedule completeness and post/complete pairing, and workspace
+    #: aliasing / per-stage allocation discipline; violations raise
+    #: :class:`repro.analysis.SanitizerError`.
+    sanitize: str = "off"
+
     def __post_init__(self):
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -106,6 +116,7 @@ class SolverConfig:
             raise ValueError(
                 f"checkpoint_interval must be >= 0, got "
                 f"{self.checkpoint_interval}")
+        self.sanitize_set  # noqa: B018 - validates the sanitize string
 
     def backed_off(self) -> "SolverConfig":
         """The recovery variant: CFL reduced, dissipation bumped."""
@@ -113,6 +124,23 @@ class SolverConfig:
                        cfl=self.cfl * self.recovery_cfl_factor,
                        k2=self.k2 * self.recovery_dissipation_factor,
                        k4=self.k4 * self.recovery_dissipation_factor)
+
+    @property
+    def sanitize_set(self) -> frozenset:
+        """The :attr:`sanitize` string resolved to a set of sanitizer names."""
+        from ..analysis.sanitize import SANITIZER_NAMES
+        raw = self.sanitize.strip().lower()
+        if raw in ("", "off", "none"):
+            return frozenset()
+        if raw == "all":
+            return frozenset(SANITIZER_NAMES)
+        names = frozenset(t.strip() for t in raw.split(",") if t.strip())
+        unknown = names - frozenset(SANITIZER_NAMES)
+        if unknown:
+            raise ValueError(
+                f"sanitize names {sorted(unknown)} not in {SANITIZER_NAMES} "
+                f"(or use 'off'/'all')")
+        return names
 
     @property
     def reorder_edges_enabled(self) -> bool:

@@ -92,15 +92,21 @@ class EulerSolver:
         # zero-allocation pipeline (repro.kernels); ``serial`` keeps the
         # operator implementations below bit-identical to the seed.
         self.fused = None
+        #: Invariant sanitizers from ``config.sanitize`` (null singletons
+        #: when off; see :mod:`repro.analysis` and docs/static-analysis.md).
+        from ..analysis.sanitize import build_sanitizers
+        self.sanitizers = build_sanitizers(self.config.sanitize_set)
         if self.config.executor != "serial":
             from ..kernels import FusedResidual, make_executor
             ex = make_executor(self.struct.edges, self.struct.n_vertices,
                                kind=self.config.executor,
                                n_threads=self.config.n_threads,
-                               tracer=self.tracer)
+                               tracer=self.tracer,
+                               sanitizer=self.sanitizers["color"])
             self.fused = FusedResidual(self.struct, self.bdata, self.config,
                                        self.w_inf, executor=ex,
-                                       flops=self.flops, tracer=self.tracer)
+                                       flops=self.flops, tracer=self.tracer,
+                                       sanitizer=self.sanitizers["buffer"])
         #: Density-residual RMS of the *input* state of the most recent
         #: :meth:`step` call (captured from stage 0 at no extra cost), or
         #: ``None`` before the first step.  See :meth:`run`.

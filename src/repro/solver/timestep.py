@@ -45,7 +45,9 @@ def local_timestep(w: np.ndarray, edges: np.ndarray, eta: np.ndarray,
         if verts.size:
             nn = np.linalg.norm(normals, axis=1)
             un = np.abs(np.einsum("id,id->i", vel[verts], normals))
-            np.add.at(sigma, verts, un + c[verts] * nn)
+            # Boundary vertex lists are flatnonzero-derived (unique), so
+            # the fancy += is exactly the historical np.add.at.
+            sigma[verts] += un + c[verts] * nn
 
     if out is None:
         return cfl * dual_volumes / np.maximum(sigma, 1e-300)

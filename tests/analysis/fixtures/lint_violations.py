@@ -1,0 +1,83 @@
+"""Seeded lint violations — the fixture ``python -m repro.analysis`` must flag.
+
+This file is *never imported by the solver*; it exists so the lint tests
+can assert each rule fires (and that the sanctioned idioms do not).  The
+file sits outside any ``repro`` package root, so the registry whitelists
+never apply and hot paths are marked with the :func:`hot_kernel`
+decorator, exactly as out-of-tree code would.
+
+Expected findings (see tests/analysis/test_lint.py):
+
+* RA001 x1  (``hot_alloc``; the guarded and noqa'd variants are clean)
+* RA002 x1  (``scalar_scatter``)
+* RA101 x1  (``mutable_default``)
+* RA102 x1  (``swallow``)
+* RA103 x1  (``shadow``)
+* RA104 x1  (``double``)
+"""
+
+import numpy as np
+
+from repro.analysis import hot_kernel
+
+
+@hot_kernel
+def hot_alloc(values):
+    """RA001: unconditional allocation inside a hot function."""
+    tmp = np.zeros(values.shape)
+    tmp += values
+    return tmp
+
+
+@hot_kernel
+def hot_alloc_guarded(values, out=None):
+    """Clean: allocation under the sanctioned ``is None`` fallback."""
+    if out is None:
+        out = np.zeros(values.shape)
+    out[...] = values
+    return out
+
+
+@hot_kernel
+def hot_alloc_ifexp(values, buf=None):
+    """Clean: the conditional-expression form of the fallback idiom."""
+    buf = buf if buf is not None else np.empty(values.shape)
+    buf[...] = values
+    return buf
+
+
+@hot_kernel
+def hot_alloc_suppressed(values):
+    """Clean: explicitly waived with a per-line pragma."""
+    tmp = np.empty(values.shape)  # noqa: RA001
+    tmp[...] = values
+    return tmp
+
+
+def scalar_scatter(out, idx, vals):
+    """RA002: np.add.at outside the whitelisted setup modules."""
+    np.add.at(out, idx, vals)
+    return out
+
+
+def mutable_default(x, acc=[]):
+    """RA101: mutable default argument."""
+    acc.append(x)
+    return acc
+
+
+def swallow(fn):
+    """RA102: bare except."""
+    try:
+        return fn()
+    except:
+        return None
+
+
+def shadow(list):
+    """RA103: argument shadows a builtin."""
+    return list
+
+
+double = lambda x: 2 * x
+"""RA104: lambda bound to a name."""

@@ -1,0 +1,224 @@
+"""Tests for the repo-specific AST lint pass (``python -m repro.analysis``)."""
+
+import subprocess
+import sys
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file, lint_paths
+from repro.analysis.__main__ import main
+from repro.analysis.lint import (ADD_AT_ALLOWED, HOT_FUNCTIONS, OUT_REQUIRED,
+                                 module_key_for)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def write_module(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestModuleKey:
+    def test_repro_relative(self):
+        assert module_key_for("src/repro/scatter.py") == "repro/scatter.py"
+        assert (module_key_for("/a/b/src/repro/kernels/fused.py")
+                == "repro/kernels/fused.py")
+
+    def test_innermost_repro_wins(self):
+        assert (module_key_for("/repro/old/repro/mesh/edges.py")
+                == "repro/mesh/edges.py")
+
+    def test_out_of_tree_is_bare_filename(self):
+        # Whitelists key on "repro/..." paths, so out-of-tree files can
+        # never accidentally match them.
+        key = module_key_for(FIXTURE)
+        assert key == "lint_violations.py"
+        assert not any(key.startswith(p) for p in ADD_AT_ALLOWED)
+
+
+class TestFixtureFindings:
+    """The seeded-violation fixture produces exactly the documented set."""
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_file(FIXTURE)
+
+    def test_expected_codes(self, findings):
+        counts = Counter(f.code for f in findings)
+        assert counts == {"RA001": 1, "RA002": 1, "RA101": 1,
+                          "RA102": 1, "RA103": 1, "RA104": 1}
+
+    def test_severities(self, findings):
+        by_code = {f.code: f.severity for f in findings}
+        assert by_code["RA001"] == "error"
+        assert by_code["RA002"] == "error"
+        assert all(by_code[c] == "warning"
+                   for c in ("RA101", "RA102", "RA103", "RA104"))
+
+    def test_flagged_locations(self, findings):
+        src_lines = FIXTURE.read_text().splitlines()
+        ra001 = next(f for f in findings if f.code == "RA001")
+        assert "np.zeros" in src_lines[ra001.line - 1]
+        ra002 = next(f for f in findings if f.code == "RA002")
+        assert "np.add.at" in src_lines[ra002.line - 1]
+
+    def test_none_guard_and_noqa_not_flagged(self, findings):
+        # Only hot_alloc trips RA001 — the guarded, conditional-expression
+        # and noqa'd variants are all sanctioned.
+        src_lines = FIXTURE.read_text().splitlines()
+        flagged = {src_lines[f.line - 1] for f in findings
+                   if f.code == "RA001"}
+        assert all("hot_alloc_guarded" not in line
+                   and "is not None" not in line
+                   and "noqa" not in line for line in flagged)
+
+
+class TestRules:
+    def test_hot_registry_applies_inside_repro_tree(self, tmp_path):
+        path = write_module(tmp_path, "repro/scatter.py", """\
+            import numpy as np
+
+            def scatter_add_edges(edges, vals, n, out=None, zero_out=False):
+                buf = np.empty(vals.shape)
+                return buf
+
+            def scatter_add_unsigned(edges, vals, n, out=None):
+                return out
+
+            def scatter_neighbor_sum(edges, vals, n, out=None):
+                return out
+
+            class EdgeScatter:
+                def signed(self, v, out=None):
+                    return out
+                def unsigned(self, v, out=None):
+                    return out
+                def neighbor_sum(self, v, out=None):
+                    return out
+                def _apply(self, v, out):
+                    return out
+            """)
+        codes = [f.code for f in lint_file(path)]
+        # scatter_add_edges is registered hot for this module key, so the
+        # undecorated np.empty is still flagged.
+        assert codes == ["RA001"]
+
+    def test_add_at_allowed_in_mesh_modules(self, tmp_path):
+        path = write_module(tmp_path, "repro/mesh/edges.py", """\
+            import numpy as np
+
+            def accumulate(out, idx, vals):
+                np.add.at(out, idx, vals)
+            """)
+        assert lint_file(path) == []
+
+    def test_other_ufunc_at_forms_flagged(self, tmp_path):
+        path = write_module(tmp_path, "repro/solver/foo.py", """\
+            import numpy as np
+
+            def f(out, idx, vals):
+                np.subtract.at(out, idx, vals)
+                np.maximum.at(out, idx, vals)
+            """)
+        assert [f.code for f in lint_file(path)] == ["RA002", "RA002"]
+
+    def test_out_required_rule(self, tmp_path):
+        path = write_module(tmp_path, "repro/solver/timestep.py", """\
+            def local_timestep(mesh, state, cfl):
+                return state
+            """)
+        findings = lint_file(path)
+        assert [f.code for f in findings] == ["RA003"]
+        assert "out=" in findings[0].message
+
+    def test_out_required_satisfied_by_zero_out(self, tmp_path):
+        path = write_module(tmp_path, "repro/solver/timestep.py", """\
+            def local_timestep(mesh, state, cfl, out=None, zero_out=False):
+                return out
+            """)
+        assert lint_file(path) == []
+
+    def test_stale_registry_entry_is_flagged(self, tmp_path):
+        # A module that lost its registered kernels is registry rot: the
+        # contract silently stopped being checked.
+        path = write_module(tmp_path, "repro/solver/smoothing.py", """\
+            def something_else():
+                return 1
+            """)
+        findings = lint_file(path)
+        assert [f.code for f in findings] == ["RA003"]
+        assert "stale registry entry" in findings[0].message
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        path = write_module(tmp_path, "repro/solver/foo.py", """\
+            import numpy as np
+
+            def f(out, idx, vals):
+                np.add.at(out, idx, vals)  # noqa
+            """)
+        assert lint_file(path) == []
+
+    def test_noqa_other_code_does_not_suppress(self, tmp_path):
+        path = write_module(tmp_path, "repro/solver/foo.py", """\
+            import numpy as np
+
+            def f(out, idx, vals):
+                np.add.at(out, idx, vals)  # noqa: RA001
+            """)
+        assert [f.code for f in lint_file(path)] == ["RA002"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = write_module(tmp_path, "broken.py", "def f(:\n")
+        findings = lint_file(path)
+        assert [f.code for f in findings] == ["RA000"]
+        assert findings[0].severity == "error"
+
+    def test_registries_reference_real_functions(self):
+        # The inverse of the stale-entry rule, asserted directly against
+        # the live tree: every registered qualname exists today.
+        stale = [f for f in lint_paths([SRC_REPRO])
+                 if "stale registry entry" in f.message]
+        assert stale == []
+        keys = set(HOT_FUNCTIONS) | set(OUT_REQUIRED)
+        files = {module_key_for(p) for p in SRC_REPRO.rglob("*.py")}
+        assert keys <= files
+
+
+class TestCli:
+    def test_repo_is_clean_under_strict(self, capsys):
+        assert main(["--strict", str(SRC_REPRO)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_fixture_fails(self, capsys):
+        assert main([str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        assert "2 error(s), 4 warning(s)" in out
+
+    def test_warnings_only_fail_under_strict(self, tmp_path, capsys):
+        path = write_module(tmp_path, "warn_only.py", """\
+            def f(x, acc=[]):
+                return acc
+            """)
+        assert main([str(path)]) == 0
+        assert main(["--strict", str(path)]) == 1
+        capsys.readouterr()
+
+    def test_module_entry_point(self):
+        # The documented CI invocation: python -m repro.analysis --strict.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--strict",
+             str(SRC_REPRO)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(FIXTURE)],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "RA001" in proc.stdout

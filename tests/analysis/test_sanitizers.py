@@ -1,0 +1,315 @@
+"""Tests for the runtime invariant sanitizers (colorings, schedules, buffers)."""
+
+import tracemalloc
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis import (NULL_SANITIZER, BufferSanitizer,
+                            ColorRaceSanitizer, NullSanitizer, SanitizerError,
+                            ScheduleSanitizer, build_sanitizers)
+from repro.coloring import EdgeColoring, color_edges
+from repro.kernels import ColoredExecutor
+from repro.parti import (IncrementalScheduleBuilder, SimMachine,
+                         TranslationTable, build_gather_schedule)
+from repro.resilience import FaultInjector, FaultSpec
+from repro.solver.config import SolverConfig
+
+# A 4-path plus a chord: vertex 1 appears in three edges, so merging all
+# edges into one colour is guaranteed to conflict.
+EDGES = np.array([[0, 1], [1, 2], [2, 3], [1, 3]], dtype=np.int64)
+NV = 4
+
+
+def corrupted_coloring() -> EdgeColoring:
+    """Every edge in one group — vertices 1, 2, 3 each touched twice+."""
+    return EdgeColoring(colors=np.zeros(len(EDGES), dtype=np.int64),
+                        groups=[np.arange(len(EDGES))])
+
+
+class TestNullSanitizer:
+    def test_disabled_and_inert(self):
+        assert NullSanitizer.enabled is False
+        assert NULL_SANITIZER.enabled is False
+        assert NULL_SANITIZER.findings == ()
+        # Every hook swallows anything — the hot-path contract.
+        NULL_SANITIZER.check_coloring(EDGES, [np.arange(4)], NV)
+        NULL_SANITIZER.check_schedule(None)
+        NULL_SANITIZER.on_post("p", {}, 3)
+        NULL_SANITIZER.assert_drained("anywhere")
+        NULL_SANITIZER.check_out(np.zeros(3), {})
+        NULL_SANITIZER.stage_begin()
+        NULL_SANITIZER.stage_end(0)
+        NULL_SANITIZER.step_end(None)
+        NULL_SANITIZER.close()
+
+    def test_build_sanitizers(self):
+        off = build_sanitizers(frozenset())
+        assert all(s is NULL_SANITIZER for s in off.values())
+        on = build_sanitizers({"color"})
+        assert isinstance(on["color"], ColorRaceSanitizer)
+        assert on["schedule"] is NULL_SANITIZER
+        assert on["buffer"] is NULL_SANITIZER
+        every = build_sanitizers({"color", "schedule", "buffer"})
+        assert isinstance(every["schedule"], ScheduleSanitizer)
+        assert isinstance(every["buffer"], BufferSanitizer)
+
+    def test_build_sanitizers_rejects_unknown(self):
+        with pytest.raises(ValueError, match="tsan"):
+            build_sanitizers({"color", "tsan"})
+
+
+class TestConfigKnob:
+    def test_default_off(self):
+        assert SolverConfig().sanitize_set == frozenset()
+        assert SolverConfig(sanitize="none").sanitize_set == frozenset()
+
+    def test_all_and_subsets(self):
+        assert SolverConfig(sanitize="all").sanitize_set == frozenset(
+            {"color", "schedule", "buffer"})
+        assert SolverConfig(sanitize="color, schedule").sanitize_set \
+            == frozenset({"color", "schedule"})
+
+    def test_unknown_name_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sanitize"):
+            SolverConfig(sanitize="colour")
+
+
+class TestColorRaceSanitizer:
+    def test_valid_coloring_passes(self):
+        coloring = color_edges(EDGES, NV)
+        san = ColorRaceSanitizer()
+        san.check_coloring(EDGES, coloring.groups, NV)
+        assert san.findings == []
+
+    def test_corrupted_coloring_caught(self):
+        san = ColorRaceSanitizer()
+        with pytest.raises(SanitizerError, match="color.race"):
+            san.check_coloring(EDGES, corrupted_coloring().groups, NV)
+
+    def test_non_strict_records_instead_of_raising(self):
+        san = ColorRaceSanitizer(strict=False)
+        san.check_coloring(EDGES, corrupted_coloring().groups, NV)
+        assert len(san.findings) == 1
+        assert san.findings[0].code == "color.race"
+        assert "colour 0" in san.findings[0].message
+
+    def test_executor_verifies_at_construction(self):
+        # A good coloring constructs fine under the sanitizer...
+        ex = ColoredExecutor(EDGES, NV, sanitizer=ColorRaceSanitizer())
+        ex.close()
+        # ...a corrupted one is rejected before any store can race.
+        with pytest.raises(SanitizerError, match="ColoredExecutor"):
+            ColoredExecutor(EDGES, NV, coloring=corrupted_coloring(),
+                            sanitizer=ColorRaceSanitizer())
+
+
+@pytest.fixture
+def table():
+    # 6 globals over 3 ranks: rank r owns {2r, 2r+1}.
+    return TranslationTable(np.array([0, 0, 1, 1, 2, 2]), 3)
+
+
+@pytest.fixture
+def schedule(table):
+    # Each rank needs both globals of the next rank (wrap-around), so
+    # every rank has two ghosts from a single owner.
+    req = [np.array([2, 3]), np.array([4, 5]), np.array([0, 1])]
+    return build_gather_schedule(req, table)
+
+
+class TestScheduleStaticChecks:
+    def test_valid_schedule_passes(self, schedule):
+        san = ScheduleSanitizer()
+        san.check_schedule(schedule)
+        assert san.findings == []
+
+    def test_duplicate_ghost(self, schedule):
+        g = schedule.ghost_globals[0]
+        schedule.ghost_globals[0] = np.concatenate([g, g[:1]])
+        with pytest.raises(SanitizerError, match="duplicate-ghost"):
+            ScheduleSanitizer().check_schedule(schedule)
+
+    def test_owned_ghost(self, schedule):
+        # Rank 0 owns global 0; listing it as a ghost is nonsense.
+        schedule.ghost_globals[0] = np.array([0, 3])
+        with pytest.raises(SanitizerError, match="owned-ghost"):
+            ScheduleSanitizer().check_schedule(schedule)
+
+    def test_slice_gap_and_overlap(self, schedule):
+        key = (1, 0)                       # rank 1 sends to rank 0
+        start, stop = schedule.recv_slices[key]
+        schedule.recv_slices[key] = (start + 1, stop)
+        san = ScheduleSanitizer(strict=False)
+        san.check_schedule(schedule)
+        assert any(f.code == "schedule.slice-coverage" for f in san.findings)
+
+    def test_length_mismatch(self, schedule):
+        key = (1, 0)
+        schedule.send_indices[key] = schedule.send_indices[key][:-1]
+        with pytest.raises(SanitizerError, match="length-mismatch"):
+            ScheduleSanitizer().check_schedule(schedule)
+
+    def test_translation_mismatch(self, schedule):
+        # Same length, wrong order: the owner packs values that land in
+        # the wrong ghost slots.
+        key = (1, 0)
+        schedule.send_indices[key] = schedule.send_indices[key][::-1]
+        with pytest.raises(SanitizerError, match="translation"):
+            ScheduleSanitizer().check_schedule(schedule)
+
+    def test_pair_mismatch(self, schedule):
+        del schedule.send_indices[(1, 0)]
+        san = ScheduleSanitizer(strict=False)
+        san.check_schedule(schedule)
+        assert any(f.code == "schedule.pair-mismatch" for f in san.findings)
+
+
+class TestScheduleRuntimeChecks:
+    def _machine(self, injector=None):
+        m = SimMachine(2, injector=injector)
+        san = ScheduleSanitizer()
+        m.sanitizer = san
+        return m, san
+
+    def test_matched_post_complete_is_clean(self):
+        m, san = self._machine()
+        pending = m.post({(0, 1): np.arange(4.0)}, "ghost")
+        m.complete(pending)
+        san.assert_drained("cycle")
+        assert san.findings == []
+
+    def test_unmatched_post_flagged_at_drain(self):
+        m, san = self._machine()
+        m.post({(0, 1): np.arange(4.0)}, "ghost")
+        with pytest.raises(SanitizerError, match="unmatched-post"):
+            san.assert_drained("cycle")
+        # The drain clears state: the next step starts clean.
+        san.assert_drained("cycle")
+
+    def test_unmatched_complete_flagged(self):
+        m, san = self._machine()
+        with pytest.raises(SanitizerError, match="unmatched-complete"):
+            m.complete({(0, 1): np.arange(4.0)})
+
+    def test_op_pairing(self):
+        san = ScheduleSanitizer()
+        san.on_post_op(rank=1, op=7)
+        san.on_complete_op(rank=1, op=7)
+        san.assert_drained()
+        with pytest.raises(SanitizerError, match="unmatched-complete"):
+            san.on_complete_op(rank=1, op=7)
+
+    def test_dropped_message_on_exchange(self):
+        injector = FaultInjector([FaultSpec(kind="drop", phase="ghost")])
+        m, san = self._machine(injector)
+        with pytest.raises(SanitizerError, match="dropped-message"):
+            m.exchange({(0, 1): np.arange(4.0)}, "ghost")
+
+    def test_dropped_message_on_post(self):
+        injector = FaultInjector([FaultSpec(kind="drop", phase="ghost")])
+        m, san = self._machine(injector)
+        with pytest.raises(SanitizerError, match="dropped-message"):
+            m.post({(0, 1): np.arange(4.0)}, "ghost")
+
+    def test_clean_fabric_raises_nothing(self):
+        m, san = self._machine()
+        out = m.exchange({(0, 1): np.arange(4.0)}, "ghost")
+        assert (0, 1) in out
+        assert san.findings == []
+
+
+class TestIncrementalChecks:
+    def test_valid_chain_passes(self, table):
+        builder = IncrementalScheduleBuilder(table)
+        builder.add([np.array([2, 3]), np.array([4]), np.array([0])])
+        # Second loop re-requests some ids (dedup) plus new ones.
+        builder.add([np.array([2, 4]), np.array([4, 5]), np.array([0, 1])])
+        san = ScheduleSanitizer()
+        san.check_incremental(builder)
+        assert san.findings == []
+
+    def test_corrupted_slot_map(self, table):
+        builder = IncrementalScheduleBuilder(table)
+        builder.add([np.array([2, 3]), np.array([4]), np.array([0])])
+        slots = builder._slot_of[0]
+        first = next(iter(slots))
+        slots[first] = slots[first] + 5    # slot map no longer dense
+        with pytest.raises(SanitizerError, match="incr-slots"):
+            ScheduleSanitizer().check_incremental(builder)
+
+    def test_refetch_detected(self, table):
+        builder = IncrementalScheduleBuilder(table)
+        builder.add([np.array([2, 3]), np.array([4]), np.array([0])])
+        builder.add([np.array([4]), np.array([5]), np.array([1])])
+        # Force increment 1 to "re-fetch" a global that increment 0
+        # already resident-ised for rank 0 — the hash-table dedup's job.
+        sched = builder.increments[1].schedule
+        sched.ghost_globals[0] = np.append(sched.ghost_globals[0], 2)
+        with pytest.raises(SanitizerError, match="incr-refetch"):
+            ScheduleSanitizer().check_incremental(builder)
+
+
+class TestBufferSanitizer:
+    def test_distinct_ok_and_alias_caught(self):
+        a = np.zeros(8)
+        b = np.zeros(8)
+        san = BufferSanitizer()
+        san.check_distinct({"a": a, "b": b})
+        assert san.findings == []
+        with pytest.raises(SanitizerError, match="buffer.alias"):
+            san.check_distinct({"a": a, "view": a[2:]})
+
+    def test_out_alias_caught(self):
+        x = np.zeros((4, 5))
+        san = BufferSanitizer()
+        san.check_out(np.zeros((4, 5)), {"x": x})
+        san.check_out(None, {"x": x})
+        assert san.findings == []
+        with pytest.raises(SanitizerError, match="out-alias"):
+            san.check_out(x[:, :2], {"x": x})
+
+    def test_arena_freeze(self):
+        san = BufferSanitizer()
+        san.step_end(SimpleNamespace(n_arena_allocs=12))   # warmup: freeze
+        san.step_end(SimpleNamespace(n_arena_allocs=12))   # steady: fine
+        with pytest.raises(SanitizerError, match="arena-grew"):
+            san.step_end(SimpleNamespace(n_arena_allocs=13))
+
+    def test_stage_window_skipped_during_warmup(self):
+        san = BufferSanitizer()
+        san.stage_begin()
+        assert san._snap is None           # warmup: no window opened
+        san.stage_end(0)                   # and closing it is a no-op
+        assert san.findings == []
+        san.close()
+
+    def test_stage_alloc_detected_and_clean_stage_passes(self):
+        # Watch this test file so the retained allocation below is
+        # attributed to a "hot" file; threshold low enough that one
+        # megabyte-sized array trips it.
+        san = BufferSanitizer(watch_files=("*test_sanitizers.py",),
+                              stage_alloc_threshold=1 << 16)
+        try:
+            san.step_end(SimpleNamespace(n_arena_allocs=0))  # end warmup
+            san.stage_begin()
+            san.stage_end(0)               # nothing allocated: clean
+            assert san.findings == []
+            san.stage_begin()
+            retained = [np.zeros(1 << 18) for _ in range(4)]
+            with pytest.raises(SanitizerError, match="stage-alloc"):
+                san.stage_end(1)
+            assert retained                # keep the allocation live
+        finally:
+            san.close()
+        assert not tracemalloc.is_tracing() or not san._started_tracing
+
+    def test_close_stops_tracing_it_started(self):
+        was_tracing = tracemalloc.is_tracing()
+        san = BufferSanitizer()
+        san.step_end(SimpleNamespace(n_arena_allocs=0))
+        san.stage_begin()
+        san.stage_end(0)
+        san.close()
+        assert tracemalloc.is_tracing() == was_tracing

@@ -1,0 +1,111 @@
+"""Property tests: every colouring the repo produces is conflict-free.
+
+The entire shared-memory story rests on one invariant — inside a colour
+no two edges touch the same vertex.  These tests drive the greedy,
+balanced and vectorized-executor paths over arbitrary random edge lists
+(not just the fixture meshes) and check the invariant three ways: the
+touch-bitmap of :class:`repro.analysis.ColorRaceSanitizer`, the package's
+own :func:`verify_coloring`, and an independent bincount here.  A
+deliberately corrupted colouring must be caught by all of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.analysis import ColorRaceSanitizer, SanitizerError
+from repro.coloring import (ColoredEdgeExecutor, EdgeColoring, color_edges,
+                            color_edges_balanced, split_into_subgroups,
+                            verify_coloring)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+def random_edges(seed: int, n_vertices: int, n_edges: int) -> np.ndarray:
+    """Random simple edge list (no self-loops, no duplicate edges)."""
+    rng = np.random.default_rng(seed)
+    n_edges = min(n_edges, n_vertices * (n_vertices - 1) // 2)
+    pairs = set()
+    while len(pairs) < n_edges:
+        i, j = rng.integers(0, n_vertices, 2)
+        if i != j:
+            pairs.add((min(i, j), max(i, j)))
+    return np.array(sorted(pairs), dtype=np.int64).reshape(-1, 2)
+
+
+def assert_conflict_free(edges, coloring, nv):
+    """The invariant, checked independently of the code under test."""
+    for group in coloring.groups:
+        touched = np.bincount(edges[group].ravel(), minlength=nv)
+        assert touched.max(initial=0) <= 1
+    # Groups must also partition the edge set — conflict-free but
+    # incomplete would silently drop residual contributions.
+    all_ids = np.sort(np.concatenate([np.asarray(g) for g in coloring.groups]))
+    np.testing.assert_array_equal(all_ids, np.arange(edges.shape[0]))
+    assert verify_coloring(edges, coloring, nv)
+    san = ColorRaceSanitizer()
+    san.check_coloring(edges, coloring.groups, nv)
+    assert san.findings == []
+
+
+class TestColoringsAreConflictFree:
+    @given(seed=st.integers(0, 10_000), nv=st.integers(2, 50))
+    @settings(max_examples=80, **COMMON)
+    def test_greedy(self, seed, nv):
+        rng = np.random.default_rng(seed)
+        ne = int(rng.integers(1, max(2, 3 * nv)))
+        edges = random_edges(seed, nv, ne)
+        assume(edges.shape[0] > 0)
+        assert_conflict_free(edges, color_edges(edges, nv), nv)
+
+    @given(seed=st.integers(0, 10_000), nv=st.integers(2, 50),
+           cap=st.sampled_from([None, 2, 4, 8]))
+    @settings(max_examples=80, **COMMON)
+    def test_balanced(self, seed, nv, cap):
+        rng = np.random.default_rng(seed)
+        ne = int(rng.integers(1, max(2, 3 * nv)))
+        edges = random_edges(seed, nv, ne)
+        assume(edges.shape[0] > 0)
+        coloring = color_edges_balanced(edges, nv, max_colors=cap)
+        assert_conflict_free(edges, coloring, nv)
+
+    @given(seed=st.integers(0, 10_000), nv=st.integers(4, 40),
+           n_cpus=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=60, **COMMON)
+    def test_vectorized_subgroups(self, seed, nv, n_cpus):
+        # The autotasking decomposition: subgroups of one colour must
+        # partition the colour (and inherit its conflict-freedom).
+        edges = random_edges(seed, nv, 2 * nv)
+        assume(edges.shape[0] > 0)
+        coloring = color_edges(edges, nv)
+        ex = ColoredEdgeExecutor(edges, coloring, nv)
+        for color, group in enumerate(coloring.groups):
+            subs = split_into_subgroups(group, n_cpus)
+            merged = np.concatenate([s for s in subs]) if subs \
+                else np.array([], dtype=np.int64)
+            np.testing.assert_array_equal(merged, group)
+        tasks = ex.parallel_schedule(n_cpus)
+        assert sum(sub.size for _, _, sub in tasks) == edges.shape[0]
+
+
+class TestSanitizerCatchesCorruption:
+    @given(seed=st.integers(0, 10_000), nv=st.integers(4, 40))
+    @settings(max_examples=60, **COMMON)
+    def test_merged_groups_always_race(self, seed, nv):
+        edges = random_edges(seed, nv, 2 * nv)
+        coloring = color_edges(edges, nv)
+        assume(coloring.n_colors >= 2)
+        # Greedy puts an edge in colour 1 only because it conflicted with
+        # colour 0, so merging the two is guaranteed to race.
+        bad_groups = [np.concatenate([coloring.groups[0],
+                                      coloring.groups[1]]),
+                      *coloring.groups[2:]]
+        bad = EdgeColoring(colors=coloring.colors, groups=bad_groups)
+        assert not verify_coloring(edges, bad, nv)
+        with pytest.raises(SanitizerError, match="color.race"):
+            ColorRaceSanitizer().check_coloring(edges, bad.groups, nv)
+        san = ColorRaceSanitizer(strict=False)
+        san.check_coloring(edges, bad.groups, nv)
+        assert any(f.code == "color.race" for f in san.findings)
