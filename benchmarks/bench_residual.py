@@ -16,11 +16,18 @@ against it and fails when the measured fused-residual *speedup* (a
 machine-relative ratio, unlike raw milliseconds) falls below 80% of the
 recorded one.
 
+When numba is importable (the ``compiled`` extra) the compiled executor
+family joins the sweep; without it the benchmark silently covers the
+NumPy executors only, so the committed baseline stays reproducible in a
+minimal environment.
+
 Usage::
 
     python benchmarks/bench_residual.py              # full (~20k vertices)
     python benchmarks/bench_residual.py --quick      # CI smoke (~1k vertices)
     python benchmarks/bench_residual.py --quick --check-regression BENCH_residual.json
+    python benchmarks/bench_residual.py --check-compiled   # compiled >= 2x fused
+    python benchmarks/bench_residual.py --calibrate  # measure auto crossovers
 """
 
 from __future__ import annotations
@@ -35,11 +42,18 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.kernels.compiled import numba_available
 from repro.mesh import box_mesh, bump_channel
 from repro.solver import EulerSolver, SolverConfig
 from repro.state import freestream_state
 
-EXECUTORS = ("fused", "colored", "colored-threaded")
+BASE_EXECUTORS = ("fused", "colored", "colored-threaded")
+COMPILED_EXECUTORS = ("compiled", "compiled-parallel")
+
+
+def active_executors() -> tuple:
+    return BASE_EXECUTORS + (COMPILED_EXECUTORS if numba_available()
+                             else ())
 
 
 def _perturbed_state(solver: EulerSolver, seed: int = 1) -> np.ndarray:
@@ -72,8 +86,9 @@ def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
                n_threads: int) -> dict:
     serial = EulerSolver(mesh, w_inf)
     w = _perturbed_state(serial)
+    executors = active_executors()
     solvers = {"serial": serial}
-    for kind in EXECUTORS:
+    for kind in executors:
         solvers[kind] = EulerSolver(
             mesh, w_inf, SolverConfig(executor=kind, n_threads=n_threads))
 
@@ -81,7 +96,7 @@ def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
     r_ref = serial.residual(w)
     scale = np.max(np.abs(r_ref))
     max_rel = 0.0
-    for kind in EXECUTORS:
+    for kind in executors:
         rel = float(np.max(np.abs(solvers[kind].residual(w) - r_ref)) / scale)
         max_rel = max(max_rel, rel)
         if rel > 1e-12:
@@ -96,6 +111,15 @@ def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
         {kind: (lambda s=solvers[kind]: s.step(w)) for kind in solvers},
         rounds, max(1, inner // 2))
 
+    speedup = {
+        "fused_residual": residual_ms["serial"] / residual_ms["fused"],
+        "fused_step": step_ms["serial"] / step_ms["fused"],
+    }
+    if "compiled-parallel" in residual_ms:
+        speedup["compiled_residual"] = (residual_ms["serial"]
+                                        / residual_ms["compiled"])
+        speedup["compiled_parallel_residual"] = (
+            residual_ms["serial"] / residual_ms["compiled-parallel"])
     return {
         "mesh": name,
         "n_vertices": serial.n_vertices,
@@ -103,10 +127,7 @@ def bench_mesh(name: str, mesh, w_inf, rounds: int, inner: int,
         "max_rel_diff": max_rel,
         "residual_ms": residual_ms,
         "step_ms": step_ms,
-        "speedup": {
-            "fused_residual": residual_ms["serial"] / residual_ms["fused"],
-            "fused_step": step_ms["serial"] / step_ms["fused"],
-        },
+        "speedup": speedup,
     }
 
 
@@ -161,6 +182,93 @@ def check_telemetry_overhead(tolerance_pct: float = 2.0) -> int:
     return 0
 
 
+def calibrate(n_threads: int, out_path: Path, quick: bool = False) -> int:
+    """Measure the auto-heuristic crossovers and write the table.
+
+    Times one residual per executor over a ladder of box meshes and
+    records, per alternative, the edge count (per-colour width for the
+    coloured executor) of the *smallest* mesh where it beat the fused
+    CSR baseline.  Alternatives that never win stay ``null`` — the
+    loader then falls back to the hand-coded defaults, so a calibration
+    run on weak hardware can only make ``auto`` more conservative.
+    """
+    w_inf = freestream_state(0.5, 1.0)
+    sizes = (5, 7, 9, 12) if quick else (5, 7, 9, 12, 16, 21, 27)
+    candidates = ["colored-threaded"] + (
+        list(COMPILED_EXECUTORS) if numba_available() else [])
+    crossings: dict[str, float | None] = {c: None for c in candidates}
+    rows = []
+    for n in sizes:
+        mesh = box_mesh(n, n, n)
+        fused = EulerSolver(mesh, w_inf, SolverConfig(executor="fused"))
+        w = _perturbed_state(fused)
+        ne = fused.n_edges
+        max_degree = int(np.bincount(fused.edges.ravel(),
+                                     minlength=fused.n_vertices).max())
+        solvers = {"fused": fused}
+        for cand in candidates:
+            solvers[cand] = EulerSolver(
+                mesh, w_inf,
+                SolverConfig(executor=cand, n_threads=n_threads))
+        ms = _interleaved_median(
+            {k: (lambda s=solvers[k]: s.residual(w)) for k in solvers},
+            rounds=3, inner=max(1, 30_000 // max(ne, 1)))
+        rows.append({"mesh": f"box{n}", "n_edges": ne,
+                     "max_degree": max_degree, "residual_ms": ms})
+        print(f"box{n}: ne={ne} " + "  ".join(
+            f"{k}={v:.2f}ms" for k, v in ms.items()))
+        for cand in candidates:
+            if crossings[cand] is None and ms[cand] < ms["fused"]:
+                crossings[cand] = (ne / max(max_degree, 1)
+                                   if cand == "colored-threaded" else ne)
+    table = {
+        "generated_by": "benchmarks/bench_residual.py --calibrate",
+        "machine": {"platform": platform.machine(),
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                    "numba": numba_available(),
+                    "n_threads": n_threads},
+        "rows": rows,
+        "crossovers": {
+            "colored_threaded_min_per_color":
+                crossings.get("colored-threaded"),
+            "compiled_min_edges": crossings.get("compiled"),
+            "compiled_parallel_min_edges": crossings.get("compiled-parallel"),
+        },
+    }
+    out_path.write_text(json.dumps(table, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for cand, val in crossings.items():
+        print(f"  {cand}: " + (f"crossover at {val:.0f}" if val is not None
+                               else "never crossed (null -> fallback)"))
+    return 0
+
+
+def check_compiled(report: dict, min_speedup: float = 2.0) -> int:
+    """Fail unless compiled-parallel beats fused by ``min_speedup`` x.
+
+    The CI gate for the compiled backend: on every benchmarked mesh the
+    compiled-parallel residual must run at least ``min_speedup`` times
+    faster than the fused NumPy pipeline (and the rows must exist, i.e.
+    numba was actually importable in the job).
+    """
+    rc = 0
+    for case in report["cases"]:
+        rms = case["residual_ms"]
+        if "compiled-parallel" not in rms:
+            print(f"FAIL: {case['mesh']}: no compiled-parallel row "
+                  f"(numba not importable in this environment?)")
+            return 1
+        ratio = rms["fused"] / rms["compiled-parallel"]
+        status = "OK" if ratio >= min_speedup else "FAIL"
+        print(f"compiled check: {case['mesh']}: compiled-parallel "
+              f"{ratio:.2f}x over fused (floor {min_speedup:.1f}x) "
+              f"[{status}]")
+        if ratio < min_speedup:
+            rc = 1
+    return rc
+
+
 def check_regression(report: dict, baseline_path: Path,
                      tolerance: float = 0.8) -> int:
     """Fail (non-zero) if the fused speedup regressed >20% vs the baseline.
@@ -198,9 +306,28 @@ def main(argv=None) -> int:
                     help="verify the disabled (NullTracer) telemetry path "
                          "projects to <=2%% of one fused step; exit 1 "
                          "otherwise")
+    ap.add_argument("--check-compiled", action="store_true",
+                    help="require compiled-parallel residual >= "
+                         "--compiled-floor x over fused on every mesh; "
+                         "exit 1 otherwise (needs numba)")
+    ap.add_argument("--compiled-floor", type=float, default=2.0,
+                    help="speedup floor for --check-compiled (default 2.0)")
+    ap.add_argument("--calibrate", action="store_true",
+                    help="measure the executor crossovers over a box-mesh "
+                         "ladder and write the auto-heuristic table")
+    ap.add_argument("--calibrate-out", type=Path,
+                    default=Path(__file__).resolve().parents[1]
+                    / "src" / "repro" / "kernels" / "calibration.json",
+                    help="calibration table destination (default: the "
+                         "packaged src/repro/kernels/calibration.json)")
     args = ap.parse_args(argv)
 
-    if args.check_telemetry_overhead and not args.check_regression:
+    if args.calibrate:
+        return calibrate(args.n_threads, args.calibrate_out,
+                         quick=args.quick)
+
+    if args.check_telemetry_overhead and not args.check_regression \
+            and not args.check_compiled:
         # Standalone gate: skip the full benchmark sweep.
         return check_telemetry_overhead()
 
@@ -223,6 +350,8 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "numba": numba_available(),
+            "executors": list(("serial",) + active_executors()),
         },
         "cases": [],
     }
@@ -245,6 +374,8 @@ def main(argv=None) -> int:
     rc = 0
     if args.check_regression is not None:
         rc |= check_regression(report, args.check_regression)
+    if args.check_compiled:
+        rc |= check_compiled(report, args.compiled_floor)
     if args.check_telemetry_overhead:
         rc |= check_telemetry_overhead()
     return rc

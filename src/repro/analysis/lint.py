@@ -109,6 +109,26 @@ HOT_FUNCTIONS: dict[str, frozenset] = {
         "RankOps.dissipation", "RankOps.neighbor_sum",
         "RankOps.smoothing_update",
     }),
+    "repro/kernels/compiled/executors.py": frozenset({
+        "CompiledExecutor._prepare_out", "CompiledExecutor._as_2d",
+        "CompiledExecutor._run", "CompiledExecutor.signed",
+        "CompiledExecutor.unsigned", "CompiledExecutor.neighbor_sum",
+    }),
+    "repro/kernels/compiled/residual.py": frozenset({
+        "CompiledResidual._ensure_lam", "CompiledResidual.convective",
+        "CompiledResidual.dissipation", "CompiledResidual.timestep",
+    }),
+    # The jit sources: pure loops over caller buffers — any np.* creation
+    # or ufunc.at sneaking in would break the nopython compile *and* the
+    # allocation discipline, so the lint guards them like the rest.
+    "repro/kernels/compiled/_kernels.py": frozenset({
+        "_scatter_signed_impl", "_scatter_unsigned_impl",
+        "_neighbor_sum_impl", "_convective_impl", "_diss_pass1_impl",
+        "_edge_lam_impl", "_diss_pass2_impl", "_sigma_impl",
+        "_rank_convective_impl", "_rank_partials6_impl",
+        "_rank_pressure_den_impl", "_rank_dissipation_impl",
+        "_rank_sigma_impl", "_rank_neighbor_sum_impl",
+    }),
 }
 
 #: Public kernel entry points that must accept a preallocated ``out=``.
@@ -134,6 +154,14 @@ OUT_REQUIRED: dict[str, frozenset] = {
     "repro/distsolver/rank_kernels.py": frozenset({
         "convective_local", "dissipation_partials", "dissipation_edges",
         "spectral_sigma", "neighbor_sum_partial", "stage_update",
+    }),
+    "repro/kernels/compiled/executors.py": frozenset({
+        "CompiledExecutor.signed", "CompiledExecutor.unsigned",
+        "CompiledExecutor.neighbor_sum",
+    }),
+    "repro/kernels/compiled/residual.py": frozenset({
+        "CompiledResidual.convective", "CompiledResidual.dissipation",
+        "CompiledResidual.timestep",
     }),
 }
 

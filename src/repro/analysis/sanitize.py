@@ -75,6 +75,7 @@ class NullSanitizer:
 
     # -- color ----------------------------------------------------------
     def check_coloring(self, *a, **k) -> None: pass
+    def check_color_offsets(self, *a, **k) -> None: pass
 
     # -- schedule -------------------------------------------------------
     def check_schedule(self, *a, **k) -> None: pass
@@ -142,6 +143,41 @@ class ColorRaceSanitizer(_Sanitizer):
                 self._record(
                     "color.race",
                     f"{where}: colour {color} touches vertex "
+                    f"{int(conflicts[0])} through {int(touched[conflicts[0]])}"
+                    f" edges ({conflicts.size} conflicted vertices total)")
+
+    def check_color_offsets(self, e0: np.ndarray, e1: np.ndarray,
+                            offsets: np.ndarray, n_vertices: int,
+                            where: str = "compiled") -> None:
+        """Validate the colour-segment layout handed to a parallel kernel.
+
+        The compiled executors pass pre-permuted endpoint arrays plus an
+        ``offsets`` segmentation instead of index groups; this checks the
+        *exact* arrays the ``prange`` loops will iterate — segment bounds
+        monotone and covering, and the race-freedom bitmap per segment.
+        """
+        e0 = np.asarray(e0)
+        e1 = np.asarray(e1)
+        offsets = np.asarray(offsets)
+        ne = e0.shape[0]
+        if (offsets.size < 1 or offsets[0] != 0 or offsets[-1] != ne
+                or np.any(np.diff(offsets) < 0)):
+            self._record(
+                "color.offsets",
+                f"{where}: offsets must rise monotonically from 0 to "
+                f"{ne}, got {offsets!r}")
+            return
+        for color in range(offsets.size - 1):
+            lo, hi = int(offsets[color]), int(offsets[color + 1])
+            if hi == lo:
+                continue
+            touched = np.bincount(e0[lo:hi], minlength=int(n_vertices))
+            touched += np.bincount(e1[lo:hi], minlength=int(n_vertices))
+            conflicts = np.flatnonzero(touched > 1)
+            if conflicts.size:
+                self._record(
+                    "color.race",
+                    f"{where}: colour segment {color} touches vertex "
                     f"{int(conflicts[0])} through {int(touched[conflicts[0]])}"
                     f" edges ({conflicts.size} conflicted vertices total)")
 

@@ -288,7 +288,13 @@ class DistributedEulerSolver:
         if hasattr(self, "_ops"):
             return
         ranks = self.dmesh.ranks
-        self._ops = [rank_kernels.rank_ops(rm, self.tracer) for rm in ranks]
+        # Compiled executor configs shrink the flight-window compute with
+        # the njit rank edge loops; everything else keeps the CSR split.
+        from ..kernels.executors import COMPILED_KINDS
+        use_compiled = self.config.executor in COMPILED_KINDS
+        self._ops = [rank_kernels.rank_ops(rm, self.tracer,
+                                           compiled=use_compiled)
+                     for rm in ranks]
 
         def alloc(*trailing):
             return [np.zeros((rm.n_local,) + trailing) for rm in ranks]

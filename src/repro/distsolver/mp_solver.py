@@ -345,7 +345,9 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
         return wk
 
     # -- latency-hiding step (dist_mode="overlap") -----------------------
-    ops = (rank_kernels.rank_ops(rm, tracer)
+    from ..kernels.executors import COMPILED_KINDS
+    ops = (rank_kernels.rank_ops(rm, tracer,
+                                 compiled=cfg.executor in COMPILED_KINDS)
            if cfg.dist_mode == "overlap" else None)
     sigma1 = np.zeros(n_local)              # 1-D spectral sums (overlap)
     lap6 = np.zeros((n_local, NVAR + 1))    # signed partials [L | p-diff]

@@ -191,7 +191,7 @@ class _PartOps:
     """CSR operators and scratch buffers for one edge subset of a rank."""
 
     __slots__ = ("edges", "eta", "eta_norm", "sc", "lam", "lam_valid",
-                 "_scratch")
+                 "_scratch", "e0", "e1", "eta_half", "eta_norm_half")
 
     def __init__(self, edges: np.ndarray, eta: np.ndarray,
                  eta_norm: np.ndarray, n_local: int, tracer=None):
@@ -202,6 +202,12 @@ class _PartOps:
         self.lam = np.empty(self.edges.shape[0])
         self.lam_valid = False
         self._scratch = {}
+        # Contiguous endpoint columns + half geometry for the compiled
+        # edge loops (tiny; harmless when the compiled path is off).
+        self.e0 = np.ascontiguousarray(self.edges[:, 0], dtype=np.int64)
+        self.e1 = np.ascontiguousarray(self.edges[:, 1], dtype=np.int64)
+        self.eta_half = 0.5 * self.eta
+        self.eta_norm_half = 0.5 * self.eta_norm
 
     @property
     def n_edges(self) -> int:
@@ -241,9 +247,21 @@ class RankOps:
 
     PARTS = ("interior", "boundary")
 
-    def __init__(self, rm: RankMesh, tracer=None):
+    def __init__(self, rm: RankMesh, tracer=None, compiled: bool = False):
         self.rm = rm
         n_local = rm.n_local
+        #: Compiled (njit) edge loops replace the CSR operators when the
+        #: solver config selects a compiled executor.  Opt-in only: the
+        #: compiled loops reassociate per-edge arithmetic, and the
+        #: default CSR path carries bit-identity guarantees (overlap ==
+        #: blocking == sequential) that must not silently change.
+        self.compiled = bool(compiled)
+        if self.compiled:
+            from ..kernels.compiled import load_kernels, require_numba
+            require_numba("the compiled RankOps edge loops")
+            self._ck = load_kernels()
+        else:
+            self._ck = None
         self.interior = _PartOps(rm.edges[rm.interior_edges],
                                  rm.eta[rm.interior_edges],
                                  rm.eta_norm[rm.interior_edges],
@@ -297,11 +315,16 @@ class RankOps:
         """Edge spectral radius of one subset (cached per stage)."""
         po = self.part(which)
         if not po.lam_valid:
-            e0, e1 = po.edges[:, 0], po.edges[:, 1]
-            vel_avg = 0.5 * (self.vel[e0] + self.vel[e1])
-            c_avg = 0.5 * (self.c[e0] + self.c[e1])
-            np.abs(np.einsum("ed,ed->e", vel_avg, po.eta), out=po.lam)
-            po.lam += c_avg * po.eta_norm
+            if self.compiled:
+                self._ck.edge_lam_ser(po.e0, po.e1, po.eta_half,
+                                      po.eta_norm_half, self.vel, self.c,
+                                      po.lam)
+            else:
+                e0, e1 = po.edges[:, 0], po.edges[:, 1]
+                vel_avg = 0.5 * (self.vel[e0] + self.vel[e1])
+                c_avg = 0.5 * (self.c[e0] + self.c[e1])
+                np.abs(np.einsum("ed,ed->e", vel_avg, po.eta), out=po.lam)
+                po.lam += c_avg * po.eta_norm
             po.lam_valid = True
         return po.lam
 
@@ -310,6 +333,10 @@ class RankOps:
                    accumulate: bool) -> np.ndarray:
         """Convective edge contributions of one subset into ``out``."""
         po = self.part(which)
+        if self.compiled:
+            self._ck.rank_convective(po.e0, po.e1, self.f, po.eta, out,
+                                     not accumulate)
+            return out
         favg = po.scratch("favg", (NVAR, 3))
         np.add(self.f[po.edges[:, 0]], self.f[po.edges[:, 1]], out=favg)
         phi = po.scratch("phi", (NVAR,))
@@ -321,6 +348,10 @@ class RankOps:
               accumulate: bool) -> np.ndarray:
         """Spectral-radius sums of one subset, ``(n_local,)``."""
         po = self.part(which)
+        if self.compiled:
+            self._ck.rank_sigma(po.e0, po.e1, self._lam(which), out,
+                                not accumulate)
+            return out
         return po.sc.unsigned(self._lam(which), out=out,
                               accumulate=accumulate)
 
@@ -328,6 +359,10 @@ class RankOps:
                   accumulate: bool) -> np.ndarray:
         """Signed dissipation partials ``[L(5) | p-diff]``, ``(n_local, 6)``."""
         po = self.part(which)
+        if self.compiled:
+            self._ck.rank_partials6(po.e0, po.e1, w_local, self.p, out6,
+                                    not accumulate)
+            return out6
         e0, e1 = po.edges[:, 0], po.edges[:, 1]
         vals = po.scratch("partials6", (NVAR + 1,))
         np.subtract(w_local[e1], w_local[e0], out=vals[:, :NVAR])
@@ -338,6 +373,10 @@ class RankOps:
                      accumulate: bool) -> np.ndarray:
         """Unsigned pressure-sum partials (switch denominator), ``(n_local,)``."""
         po = self.part(which)
+        if self.compiled:
+            self._ck.rank_pressure_den(po.e0, po.e1, self.p, out,
+                                       not accumulate)
+            return out
         e0, e1 = po.edges[:, 0], po.edges[:, 1]
         psum = po.scratch("psum", ())
         np.add(self.p[e0], self.p[e1], out=psum)
@@ -357,6 +396,11 @@ class RankOps:
                     accumulate: bool) -> np.ndarray:
         """Blended dissipation contributions of one subset, ``(n_local, 5)``."""
         po = self.part(which)
+        if self.compiled:
+            self._ck.rank_dissipation(po.e0, po.e1, w_local, lnu,
+                                      self._lam(which), k2, k4, out,
+                                      not accumulate)
+            return out
         e0, e1 = po.edges[:, 0], po.edges[:, 1]
         lap, nu = lnu[:, :NVAR], lnu[:, NVAR]
         lam = self._lam(which)
@@ -372,8 +416,13 @@ class RankOps:
     def neighbor_sum(self, which: str, rbar_local: np.ndarray,
                      out: np.ndarray, accumulate: bool) -> np.ndarray:
         """Jacobi neighbour sums of one subset, ``(n_local, 5)``."""
-        return self.part(which).sc.neighbor_sum(rbar_local, out=out,
-                                                accumulate=accumulate)
+        po = self.part(which)
+        if self.compiled:
+            self._ck.rank_neighbor_sum(po.e0, po.e1, rbar_local, out,
+                                       not accumulate)
+            return out
+        return po.sc.neighbor_sum(rbar_local, out=out,
+                                  accumulate=accumulate)
 
     # -- vertex kernels -------------------------------------------------
     def smoothing_update(self, r_owned: np.ndarray, ns_owned: np.ndarray,
@@ -389,10 +438,10 @@ class RankOps:
         return out
 
 
-def rank_ops(rm: RankMesh, tracer=None) -> RankOps:
-    """The rank's cached :class:`RankOps` (built on first use)."""
+def rank_ops(rm: RankMesh, tracer=None, compiled: bool = False) -> RankOps:
+    """The rank's cached :class:`RankOps` (rebuilt if ``compiled`` flips)."""
     ops = getattr(rm, "_ops", None)
-    if ops is None:
-        ops = RankOps(rm, tracer=tracer)
+    if ops is None or ops.compiled != bool(compiled):
+        ops = RankOps(rm, tracer=tracer, compiled=compiled)
         rm._ops = ops
     return ops

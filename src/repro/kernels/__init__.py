@@ -10,21 +10,29 @@ This package owns the performance-critical residual evaluation end to end:
 * :mod:`~repro.kernels.reorder` — RCM-based cache-locality edge
   reordering applied at edge-structure build time;
 * :mod:`~repro.kernels.fused` — :class:`FusedResidual`, the fused
-  residual / time-step / five-stage-step pipeline.
+  residual / time-step / five-stage-step pipeline;
+* :mod:`~repro.kernels.compiled` — the optional numba-jitted executor
+  family (``compiled`` / ``compiled-parallel``) and
+  :class:`~repro.kernels.compiled.CompiledResidual`, the fully fused
+  compiled pipeline (requires the ``compiled`` extra);
+* :mod:`~repro.kernels.calibration` — the measured executor-crossover
+  table consumed by ``executor="auto"``.
 
 Select it through :class:`repro.solver.SolverConfig`
-(``executor="serial" | "fused" | "colored" | "colored-threaded"``); the
-default ``"serial"`` keeps the seed solver path bit-identical.  See
-``docs/performance.md`` and ``benchmarks/bench_residual.py``.
+(``executor="serial" | "fused" | "colored" | "colored-threaded" |
+"compiled" | "compiled-parallel" | "auto"``); the default ``"serial"``
+keeps the seed solver path bit-identical.  See ``docs/performance.md``
+and ``benchmarks/bench_residual.py``.
 """
 
-from .executors import ColoredExecutor, SerialExecutor, make_executor
+from .executors import (ColoredExecutor, SerialExecutor, make_executor,
+                        resolve_auto_kind)
 from .fused import FusedResidual
 from .reorder import locality_edge_order, rcm_vertex_order, reorder_edges
 from .workspace import StageWorkspace
 
 __all__ = [
     "StageWorkspace", "SerialExecutor", "ColoredExecutor", "make_executor",
-    "FusedResidual", "rcm_vertex_order", "locality_edge_order",
-    "reorder_edges",
+    "resolve_auto_kind", "FusedResidual", "rcm_vertex_order",
+    "locality_edge_order", "reorder_edges",
 ]

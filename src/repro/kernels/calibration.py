@@ -1,0 +1,110 @@
+"""Measured executor-crossover table for ``executor="auto"``.
+
+The auto heuristic used to hinge on one hand-coded constant
+(:data:`repro.kernels.executors.AUTO_COLOR_EDGE_THRESHOLD`).  Crossover
+points are machine properties — they move with core count, memory
+bandwidth and the numba runtime — so they should be *measured*:
+``python benchmarks/bench_residual.py --calibrate`` times the executor
+family over a ladder of box meshes and records where each alternative
+actually overtakes the fused CSR baseline.  The result is a small JSON
+table that :func:`repro.kernels.executors.resolve_auto_kind` consults.
+
+Resolution order for the table file:
+
+1. the path in the ``REPRO_CALIBRATION`` environment variable,
+2. the packaged ``calibration.json`` next to this module.
+
+A crossover recorded as ``null`` means "never crossed on the calibration
+machine" *or* "not measured"; either way the hand-coded constant serves
+as the fallback, so an absent or stale table degrades to the original
+heuristic rather than to an error.
+
+Schema (all crossovers optional, null allowed)::
+
+    {
+      "generated_by": "benchmarks/bench_residual.py --calibrate",
+      "crossovers": {
+        "colored_threaded_min_per_color": 50000,   # per-colour edges
+        "compiled_min_edges": 2000,                # total edges
+        "compiled_parallel_min_edges": 10000       # total edges
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["CALIBRATION_ENV", "DEFAULT_COMPILED_MIN_EDGES",
+           "DEFAULT_COMPILED_PARALLEL_MIN_EDGES", "load_calibration",
+           "crossover", "calibration_path", "invalidate_cache"]
+
+#: Environment variable naming an alternative calibration table.
+CALIBRATION_ENV = "REPRO_CALIBRATION"
+
+#: Fallback crossovers when the table is absent or records ``null``.
+#: The serial compiled kernel beats fused NumPy almost immediately (it
+#: removes ~10 ufunc dispatches per operator), but below ~2k edges the
+#: Python-side call overhead of either path dominates and the difference
+#: is noise — prefer the dependency-free pipeline there.
+DEFAULT_COMPILED_MIN_EDGES = 2_000
+#: Parallel adds per-colour fork/join barriers on the numba pool; the
+#: paper's fork/join cost model says those amortise only with enough
+#: edges per colour, which at typical mesh degrees (~6-13) means a few
+#: tens of thousands of edges total.
+DEFAULT_COMPILED_PARALLEL_MIN_EDGES = 10_000
+
+_cache: dict | None = None
+_cache_key: str | None = None
+
+
+def calibration_path() -> Path:
+    """The calibration table in effect (env override or packaged file)."""
+    env = os.environ.get(CALIBRATION_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).with_name("calibration.json")
+
+
+def invalidate_cache() -> None:
+    """Drop the cached table (tests point ``REPRO_CALIBRATION`` around)."""
+    global _cache, _cache_key
+    _cache = None
+    _cache_key = None
+
+
+def load_calibration() -> dict:
+    """Load and cache the crossover table; ``{}`` when absent/unreadable.
+
+    Malformed tables are treated as absent rather than fatal: auto
+    resolution must never fail because a calibration run was interrupted.
+    """
+    global _cache, _cache_key
+    path = calibration_path()
+    key = str(path)
+    if _cache is not None and _cache_key == key:
+        return _cache
+    table: dict = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, dict):
+            table = loaded
+    except (OSError, ValueError):
+        table = {}
+    _cache = table
+    _cache_key = key
+    return table
+
+
+def crossover(name: str, fallback: float) -> float:
+    """Measured crossover ``name``, or ``fallback`` when null/absent."""
+    value = load_calibration().get("crossovers", {}).get(name)
+    if value is None:
+        return fallback
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return fallback

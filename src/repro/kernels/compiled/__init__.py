@@ -1,0 +1,109 @@
+"""Compiled (numba-jitted) executor family: the threading that finally wins.
+
+``BENCH_residual.json`` records the CPython trap the paper never had: the
+colored and colored-threaded executors *lose* to the serial fused CSR path
+(99 ms vs 41 ms residual on box27) because every colour pays a
+Python-level dispatch, and the GIL throttles what little concurrency the
+thread pool extracts.  The Cray autotasking compiler turned the colouring
+invariant into machine code; this package does the same with numba:
+
+* :mod:`~repro.kernels.compiled._kernels` — ``@njit(parallel=...,
+  fastmath=False, cache=True)`` kernels that fuse gather + central flux +
+  JST dissipation + scatter into single compiled loops over the
+  RCM-reordered edge arrays (serial variants) or over conflict-free
+  colour segments with an inner ``prange`` (parallel variants — the
+  fork/join-per-colour structure of paper Section 3.1, compiled);
+* :mod:`~repro.kernels.compiled.executors` — :class:`CompiledExecutor`
+  and :class:`CompiledParallelExecutor`, implementing the scatter
+  executor protocol (``signed``/``unsigned``/``neighbor_sum`` + ``out=``)
+  so they drop into :class:`~repro.kernels.fused.FusedResidual`;
+* :mod:`~repro.kernels.compiled.residual` — :class:`CompiledResidual`,
+  the fully fused pipeline: convective, dissipation and time-step edge
+  loops run as compiled kernels over the existing
+  :class:`~repro.kernels.workspace.StageWorkspace` buffers, so no new
+  allocations enter the hot path.
+
+numba is an *optional* dependency (the ``compiled`` extra).  This module
+imports cleanly without it: :func:`numba_available` probes once, explicit
+``executor="compiled"`` requests raise :class:`ExecutorUnavailableError`
+naming the pip extra, and ``executor="auto"`` silently falls back to the
+pure-NumPy ``fused`` pipeline (see
+:func:`repro.kernels.executors.resolve_auto_kind`).
+
+Numerics stance: ``fastmath=False`` everywhere — the compiled kernels
+reassociate sums exactly like the coloured executors do (different
+accumulation order), but each individual operation stays IEEE-faithful,
+so the ≤1e-12 relative agreement with the serial oracle holds with the
+same margin the NumPy executors achieve.  ``cache=True`` persists the
+compiled machine code on disk, so the one-time compile cost (~seconds)
+is paid once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NUMBA_AVAILABLE", "numba_available", "require_numba", "load_kernels",
+    "ExecutorUnavailableError", "CompiledExecutor",
+    "CompiledParallelExecutor", "CompiledResidual",
+    "make_compiled_executor",
+]
+
+try:  # pragma: no cover - trivially True/False per environment
+    import numba as _numba  # noqa: F401
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    NUMBA_AVAILABLE = False
+
+#: The pip extra that provides the compiled backend.
+PIP_EXTRA = "repro[compiled]"
+
+
+class ExecutorUnavailableError(RuntimeError):
+    """A compiled executor was requested but its backend is not importable.
+
+    Raised by :func:`repro.kernels.executors.make_executor` (and the
+    compiled classes themselves) when ``executor="compiled"`` or
+    ``"compiled-parallel"`` is requested without numba installed.
+    ``executor="auto"`` never raises this — it falls back to ``fused``.
+    """
+
+
+def numba_available() -> bool:
+    """True when the numba JIT backend can be imported."""
+    return NUMBA_AVAILABLE
+
+
+def require_numba(what: str = "compiled executor") -> None:
+    """Raise :class:`ExecutorUnavailableError` unless numba is importable."""
+    if not NUMBA_AVAILABLE:
+        raise ExecutorUnavailableError(
+            f"{what} requires numba, which is not installed; "
+            f"install the compiled extra with 'pip install {PIP_EXTRA}' "
+            f"(or use executor='fused' / executor='auto', which fall back "
+            f"to the pure-NumPy pipeline)")
+
+
+_kernels_module = None
+
+
+def load_kernels():
+    """Import and return the jitted kernel module (compiles lazily).
+
+    The first call in a fresh environment triggers numba compilation of
+    whatever kernels are then invoked; with ``cache=True`` later
+    processes load machine code from the on-disk cache instead.
+    """
+    global _kernels_module
+    if _kernels_module is None:
+        require_numba("the compiled kernel backend")
+        from . import _kernels
+        _kernels_module = _kernels
+    return _kernels_module
+
+
+# The classes import without numba (construction is what requires it), so
+# tests and the registry can reference them unconditionally.
+from .executors import (CompiledExecutor, CompiledParallelExecutor,  # noqa: E402
+                        make_compiled_executor)
+from .residual import CompiledResidual  # noqa: E402

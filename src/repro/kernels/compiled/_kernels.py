@@ -1,0 +1,368 @@
+"""The numba-jitted kernel bodies (import only when numba is installed).
+
+Every kernel is written once as a plain-Python implementation using
+``numba.prange`` for its racy-free loop, then jitted twice:
+
+* ``<name>_ser`` — ``@njit(cache=True)``: ``prange`` degrades to
+  ``range``, giving the single-threaded variant that runs the
+  RCM-reordered edge list in CSR-free order (one fused pass, no numpy
+  dispatch per operator);
+* ``<name>_par`` — ``@njit(parallel=True, cache=True)``: the colour
+  segment loop parallelises across the numba thread pool.  The caller
+  hands edge arrays *pre-permuted by colour* plus an ``offsets`` array
+  (``n_colors + 1`` monotone int64); inside one segment no two edges
+  share a vertex (the colouring invariant, verified by
+  :class:`repro.analysis.sanitize.ColorRaceSanitizer`), so the
+  concurrent ``out[i] += ...`` stores are race-free.  Colours are
+  separated by an implicit join — the paper's fork/join structure,
+  compiled.
+
+``fastmath`` stays **False**: reassociating the per-edge arithmetic would
+cost the ≤1e-12 agreement margin with the serial oracle for no measured
+gain (the loops are load/store bound).  All kernels zero their own
+output buffers (overwrite semantics, matching the executor protocol) and
+allocate nothing — buffers come from the caller's
+:class:`~repro.kernels.workspace.StageWorkspace` arena.
+
+The scatter-protocol kernels take an extra ``order`` indirection array
+(permuted position -> original edge id) because their per-edge *values*
+arrive in the original edge order of the mesh; the fused residual
+kernels need no indirection — they gather from vertex arrays only, so
+their edge geometry is simply stored pre-permuted.
+"""
+
+from __future__ import annotations
+
+from numba import njit, prange
+
+# NVAR is 5 throughout (rho, rho*u, rho*v, rho*w, rho*E); the constant is
+# hard-wired in the loop bounds so numba unrolls them.
+
+
+# ----------------------------------------------------------------------
+# Executor-protocol scatters (values in original edge order, ``order``
+# maps the colour-permuted position back to the value row).
+# ----------------------------------------------------------------------
+
+def _scatter_signed_impl(offsets, order, e0, e1, values, out):
+    nv, m = out.shape
+    for v in range(nv):
+        for k in range(m):
+            out[v, k] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            e = order[t]
+            i = e0[t]
+            j = e1[t]
+            for k in range(m):
+                val = values[e, k]
+                out[i, k] += val
+                out[j, k] -= val
+
+
+def _scatter_unsigned_impl(offsets, order, e0, e1, values, out):
+    nv, m = out.shape
+    for v in range(nv):
+        for k in range(m):
+            out[v, k] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            e = order[t]
+            i = e0[t]
+            j = e1[t]
+            for k in range(m):
+                val = values[e, k]
+                out[i, k] += val
+                out[j, k] += val
+
+
+def _neighbor_sum_impl(offsets, e0, e1, values, out):
+    nv, m = out.shape
+    for v in range(nv):
+        for k in range(m):
+            out[v, k] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            i = e0[t]
+            j = e1[t]
+            for k in range(m):
+                out[i, k] += values[j, k]
+                out[j, k] += values[i, k]
+
+
+# ----------------------------------------------------------------------
+# Fused residual kernels (gather + arithmetic + scatter in one loop).
+# ----------------------------------------------------------------------
+
+def _convective_impl(offsets, e0, e1, eta_half, rho, vel, p, epp, out):
+    """Central convective flux by the projected-flux identity, scattered.
+
+    Per edge: ``vn = u . eta/2`` per endpoint, mass/momentum/energy flux
+    assembled from six gathered scalars per endpoint (the
+    :class:`FusedResidual` formulation, compiled).
+    """
+    nv = out.shape[0]
+    for v in range(nv):
+        for k in range(5):
+            out[v, k] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            i = e0[t]
+            j = e1[t]
+            ex = eta_half[t, 0]
+            ey = eta_half[t, 1]
+            ez = eta_half[t, 2]
+            vn0 = vel[i, 0] * ex + vel[i, 1] * ey + vel[i, 2] * ez
+            vn1 = vel[j, 0] * ex + vel[j, 1] * ey + vel[j, 2] * ez
+            m0 = rho[i] * vn0
+            m1 = rho[j] * vn1
+            ps = p[i] + p[j]
+            f0 = m0 + m1
+            f1 = m0 * vel[i, 0] + m1 * vel[j, 0] + ps * ex
+            f2 = m0 * vel[i, 1] + m1 * vel[j, 1] + ps * ey
+            f3 = m0 * vel[i, 2] + m1 * vel[j, 2] + ps * ez
+            f4 = epp[i] * vn0 + epp[j] * vn1
+            out[i, 0] += f0
+            out[j, 0] -= f0
+            out[i, 1] += f1
+            out[j, 1] -= f1
+            out[i, 2] += f2
+            out[j, 2] -= f2
+            out[i, 3] += f3
+            out[j, 3] -= f3
+            out[i, 4] += f4
+            out[j, 4] -= f4
+
+
+def _diss_pass1_impl(offsets, e0, e1, w, p, switch_floor, lap, nu, den):
+    """Undivided Laplacian + pressure switch in one fused pass.
+
+    Scatters ``w_j - w_i`` (signed, 5 vars), ``p_j - p_i`` (signed) and
+    ``p_i + p_j`` (unsigned) per edge, then finalises the switch
+    ``nu = |sum p-diff| / max(sum p-sum, floor)`` per vertex.
+    """
+    nv = lap.shape[0]
+    for v in range(nv):
+        for k in range(5):
+            lap[v, k] = 0.0
+        nu[v] = 0.0
+        den[v] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            i = e0[t]
+            j = e1[t]
+            for k in range(5):
+                d = w[j, k] - w[i, k]
+                lap[i, k] += d
+                lap[j, k] -= d
+            pd = p[j] - p[i]
+            nu[i] += pd
+            nu[j] -= pd
+            ps = p[i] + p[j]
+            den[i] += ps
+            den[j] += ps
+    for v in prange(nv):
+        d = den[v]
+        if d < switch_floor:
+            d = switch_floor
+        a = nu[v]
+        if a < 0.0:
+            a = -a
+        nu[v] = a / d
+
+
+def _edge_lam_impl(e0, e1, eta_half, eta_norm_half, vel, c, lam):
+    """Edge convective spectral radius (pure map — no scatter, no races).
+
+    ``lam = |(u_i + u_j) . eta/2| + (c_i + c_j) |eta|/2``, matching the
+    fused pipeline's ``_EdgeStageState.lam`` exactly.
+    """
+    for t in prange(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        ex = eta_half[t, 0]
+        ey = eta_half[t, 1]
+        ez = eta_half[t, 2]
+        vn0 = vel[i, 0] * ex + vel[i, 1] * ey + vel[i, 2] * ez
+        vn1 = vel[j, 0] * ex + vel[j, 1] * ey + vel[j, 2] * ez
+        s = vn0 + vn1
+        if s < 0.0:
+            s = -s
+        lam[t] = s + (c[i] + c[j]) * eta_norm_half[t]
+
+
+def _diss_pass2_impl(offsets, e0, e1, w, lap, nu, lam, k2, k4, out):
+    """Blended JST dissipation edge flux, gathered and scattered fused."""
+    nv = out.shape[0]
+    for v in range(nv):
+        for k in range(5):
+            out[v, k] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            i = e0[t]
+            j = e1[t]
+            nue = nu[i]
+            if nu[j] > nue:
+                nue = nu[j]
+            eps2 = k2 * nue
+            eps4 = k4 - eps2
+            if eps4 < 0.0:
+                eps4 = 0.0
+            la = lam[t]
+            for k in range(5):
+                d = la * (eps2 * (w[j, k] - w[i, k])
+                          - eps4 * (lap[j, k] - lap[i, k]))
+                out[i, k] += d
+                out[j, k] -= d
+
+
+def _sigma_impl(offsets, e0, e1, lam, out):
+    """Unsigned scatter of the edge spectral radius (time-step sums)."""
+    nv = out.shape[0]
+    for v in range(nv):
+        out[v] = 0.0
+    for c in range(offsets.shape[0] - 1):
+        for t in prange(offsets[c], offsets[c + 1]):
+            la = lam[t]
+            out[e0[t]] += la
+            out[e1[t]] += la
+
+
+# ----------------------------------------------------------------------
+# Per-rank distributed kernels (serial: parallelism lives across ranks).
+# ``zero`` selects overwrite vs accumulate semantics — the overlap
+# executor's interior part overwrites while ghost messages are in
+# flight, the boundary part accumulates on arrival.
+# ----------------------------------------------------------------------
+
+def _rank_convective_impl(e0, e1, f, eta, out, zero):
+    """``0.5 * (F_i + F_j) . eta`` scattered signed, from flux tensors."""
+    if zero:
+        for v in range(out.shape[0]):
+            for k in range(5):
+                out[v, k] = 0.0
+    for t in range(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        for k in range(5):
+            phi = 0.0
+            for d in range(3):
+                phi += (f[i, k, d] + f[j, k, d]) * eta[t, d]
+            phi *= 0.5
+            out[i, k] += phi
+            out[j, k] -= phi
+
+
+def _rank_partials6_impl(e0, e1, w, p, out6, zero):
+    """Signed dissipation partials ``[w-diff(5) | p-diff]`` fused."""
+    if zero:
+        for v in range(out6.shape[0]):
+            for k in range(6):
+                out6[v, k] = 0.0
+    for t in range(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        for k in range(5):
+            d = w[j, k] - w[i, k]
+            out6[i, k] += d
+            out6[j, k] -= d
+        pd = p[j] - p[i]
+        out6[i, 5] += pd
+        out6[j, 5] -= pd
+
+
+def _rank_pressure_den_impl(e0, e1, p, out, zero):
+    """Unsigned pressure-sum partials (the switch denominator)."""
+    if zero:
+        for v in range(out.shape[0]):
+            out[v] = 0.0
+    for t in range(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        ps = p[i] + p[j]
+        out[i] += ps
+        out[j] += ps
+
+
+def _rank_dissipation_impl(e0, e1, w, lnu, lam, k2, k4, out, zero):
+    """Blended dissipation from completed ``[L(5) | nu]`` partials."""
+    if zero:
+        for v in range(out.shape[0]):
+            for k in range(5):
+                out[v, k] = 0.0
+    for t in range(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        nue = lnu[i, 5]
+        if lnu[j, 5] > nue:
+            nue = lnu[j, 5]
+        eps2 = k2 * nue
+        eps4 = k4 - eps2
+        if eps4 < 0.0:
+            eps4 = 0.0
+        la = lam[t]
+        for k in range(5):
+            d = la * (eps2 * (w[j, k] - w[i, k])
+                      - eps4 * (lnu[j, k] - lnu[i, k]))
+            out[i, k] += d
+            out[j, k] -= d
+
+
+def _rank_sigma_impl(e0, e1, lam, out, zero):
+    """Unsigned scatter of the edge spectral radius, 1-D."""
+    if zero:
+        for v in range(out.shape[0]):
+            out[v] = 0.0
+    for t in range(e0.shape[0]):
+        la = lam[t]
+        out[e0[t]] += la
+        out[e1[t]] += la
+
+
+def _rank_neighbor_sum_impl(e0, e1, values, out, zero):
+    """Jacobi neighbour sums over one rank's edge subset."""
+    if zero:
+        for v in range(out.shape[0]):
+            for k in range(5):
+                out[v, k] = 0.0
+    for t in range(e0.shape[0]):
+        i = e0[t]
+        j = e1[t]
+        for k in range(5):
+            out[i, k] += values[j, k]
+            out[j, k] += values[i, k]
+
+
+# ----------------------------------------------------------------------
+# Jit both variants of each shared-memory kernel; rank kernels are
+# serial-only (distributed parallelism lives across rank processes).
+# fastmath stays False (see module docstring).
+# ----------------------------------------------------------------------
+
+_SER = dict(cache=True, fastmath=False)
+_PAR = dict(cache=True, fastmath=False, parallel=True)
+
+scatter_signed_ser = njit(**_SER)(_scatter_signed_impl)
+scatter_signed_par = njit(**_PAR)(_scatter_signed_impl)
+scatter_unsigned_ser = njit(**_SER)(_scatter_unsigned_impl)
+scatter_unsigned_par = njit(**_PAR)(_scatter_unsigned_impl)
+neighbor_sum_ser = njit(**_SER)(_neighbor_sum_impl)
+neighbor_sum_par = njit(**_PAR)(_neighbor_sum_impl)
+
+convective_ser = njit(**_SER)(_convective_impl)
+convective_par = njit(**_PAR)(_convective_impl)
+diss_pass1_ser = njit(**_SER)(_diss_pass1_impl)
+diss_pass1_par = njit(**_PAR)(_diss_pass1_impl)
+edge_lam_ser = njit(**_SER)(_edge_lam_impl)
+edge_lam_par = njit(**_PAR)(_edge_lam_impl)
+diss_pass2_ser = njit(**_SER)(_diss_pass2_impl)
+diss_pass2_par = njit(**_PAR)(_diss_pass2_impl)
+sigma_ser = njit(**_SER)(_sigma_impl)
+sigma_par = njit(**_PAR)(_sigma_impl)
+
+rank_convective = njit(**_SER)(_rank_convective_impl)
+rank_partials6 = njit(**_SER)(_rank_partials6_impl)
+rank_pressure_den = njit(**_SER)(_rank_pressure_den_impl)
+rank_dissipation = njit(**_SER)(_rank_dissipation_impl)
+rank_sigma = njit(**_SER)(_rank_sigma_impl)
+rank_neighbor_sum = njit(**_SER)(_rank_neighbor_sum_impl)

@@ -1,0 +1,235 @@
+"""Compiled scatter executors: the executor protocol, jitted.
+
+Both classes implement the protocol the fused pipeline scatters through
+(``signed``/``unsigned``/``neighbor_sum``, all with ``out=``, plus a
+``degree`` array), so ``make_executor(kind="compiled")`` drops them into
+:class:`~repro.kernels.fused.FusedResidual` unchanged.  They also expose
+the colour-segment layout (``order``/``offsets`` and the permuted
+endpoint arrays ``ce0``/``ce1``) that
+:class:`~repro.kernels.compiled.residual.CompiledResidual` reuses for its
+fully fused kernels — one colouring, computed once, shared by both
+layers.
+
+* :class:`CompiledExecutor` — single segment covering the whole edge
+  list in its given (RCM-reordered) order; serial njit loops.
+* :class:`CompiledParallelExecutor` — edges permuted into the
+  conflict-free groups of :func:`repro.coloring.color_edges_balanced`;
+  each segment runs under ``prange`` on the numba thread pool.  The
+  colouring invariant is what makes the concurrent stores race-free, so
+  it is (optionally) verified by the
+  :class:`~repro.analysis.sanitize.ColorRaceSanitizer` before the first
+  parallel call — both the group structure and the exact
+  ``order``/``offsets`` arrays handed to the kernels.
+
+Summation order matches neither the CSR scatter nor the coloured NumPy
+executors bit for bit (each reassociates differently); all agree with
+the reference to ≤1e-12 relative, pinned by ``tests/kernels``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...coloring.balanced import color_edges_balanced
+from ...coloring.greedy import EdgeColoring
+from ...telemetry import get_tracer
+from . import load_kernels
+
+__all__ = ["CompiledExecutor", "CompiledParallelExecutor",
+           "make_compiled_executor"]
+
+
+class CompiledExecutor:
+    """Serial njit edge scatter over the edge list's given order.
+
+    Parameters
+    ----------
+    edges : (ne, 2) vertex index pairs (RCM-reordered upstream when the
+        solver config enables ``edge_reorder``, which it does by default
+        for every non-serial executor).
+    n_vertices : target vertex count.
+    """
+
+    #: Parallel kernels in use (class attribute; the subclass flips it).
+    parallel = False
+
+    def __init__(self, edges: np.ndarray, n_vertices: int, tracer=None,
+                 sanitizer=None):
+        self._k = load_kernels()
+        edges = np.asarray(edges)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must be (ne, 2), got {edges.shape}")
+        self.edges = edges
+        self.n_vertices = int(n_vertices)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        if sanitizer is None:
+            from ...analysis.sanitize import NULL_SANITIZER
+            sanitizer = NULL_SANITIZER
+        self.sanitizer = sanitizer
+        self.degree = np.bincount(
+            edges.ravel(), minlength=self.n_vertices).astype(np.float64)
+        self._build_layout()
+        k = self._k
+        if self.parallel:
+            self._signed_k = k.scatter_signed_par
+            self._unsigned_k = k.scatter_unsigned_par
+            self._neighbor_k = k.neighbor_sum_par
+        else:
+            self._signed_k = k.scatter_signed_ser
+            self._unsigned_k = k.scatter_unsigned_ser
+            self._neighbor_k = k.neighbor_sum_ser
+
+    # ------------------------------------------------------------------
+    def _build_layout(self) -> None:
+        """One segment, identity order: the serial compiled loop."""
+        ne = self.edges.shape[0]
+        self.coloring = None
+        self.order = np.arange(ne, dtype=np.int64)
+        self.offsets = np.array([0, ne], dtype=np.int64)
+        self.ce0 = np.ascontiguousarray(self.edges[:, 0], dtype=np.int64)
+        self.ce1 = np.ascontiguousarray(self.edges[:, 1], dtype=np.int64)
+
+    def close(self) -> None:
+        """Protocol parity with :class:`ColoredExecutor` (no pool here)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _prepare_out(self, trailing_shape, dtype, out):
+        """Allocate or shape-check ``out`` (kernels zero it themselves)."""
+        shape = (self.n_vertices,) + trailing_shape
+        if out is None:
+            return np.empty(shape, dtype=dtype)
+        if out.shape != shape:
+            raise ValueError(f"out must have shape {shape}, got {out.shape}")
+        return out
+
+    @staticmethod
+    def _as_2d(arr: np.ndarray) -> np.ndarray:
+        """Contiguous float64 ``(n, m)`` view of a 1-D/N-D value array."""
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        n_vecs = int(np.prod(arr.shape[1:], dtype=np.int64)) if arr.ndim > 1 \
+            else 1
+        return arr.reshape(arr.shape[0], n_vecs)
+
+    def _run(self, kernel, values, out, with_order: bool) -> np.ndarray:
+        v2 = self._as_2d(values)
+        out2 = out.reshape(out.shape[0], v2.shape[1])
+        if with_order:
+            kernel(self.offsets, self.order, self.ce0, self.ce1, v2, out2)
+        else:
+            kernel(self.offsets, self.ce0, self.ce1, v2, out2)
+        return out
+
+    # ------------------------------------------------------------------
+    def signed(self, edge_values: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
+        """``sum_e (+v at i, -v at j)`` in one compiled pass."""
+        with self.tracer.span("scatter.signed"):
+            if self.tracer.enabled:
+                self.tracer.count("kernel.edges_scattered",
+                                  self.edges.shape[0])
+            edge_values = np.asarray(edge_values)
+            out = self._prepare_out(edge_values.shape[1:], np.float64, out)
+            self._run(self._signed_k, edge_values, out, with_order=True)
+        return out
+
+    def unsigned(self, edge_values: np.ndarray,
+                 out: np.ndarray | None = None) -> np.ndarray:
+        """``sum_e (+v at i, +v at j)`` in one compiled pass."""
+        with self.tracer.span("scatter.unsigned"):
+            if self.tracer.enabled:
+                self.tracer.count("kernel.edges_scattered",
+                                  self.edges.shape[0])
+            edge_values = np.asarray(edge_values)
+            out = self._prepare_out(edge_values.shape[1:], np.float64, out)
+            self._run(self._unsigned_k, edge_values, out, with_order=True)
+        return out
+
+    def neighbor_sum(self, vertex_values: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
+        """``out_i = sum_{j ~ i} v_j`` in one compiled pass."""
+        with self.tracer.span("scatter.neighbor_sum"):
+            vertex_values = np.asarray(vertex_values)
+            out = self._prepare_out(vertex_values.shape[1:], np.float64, out)
+            self._run(self._neighbor_k, vertex_values, out, with_order=False)
+        return out
+
+
+class CompiledParallelExecutor(CompiledExecutor):
+    """Colour-parallel njit edge scatter (``prange`` inside each colour).
+
+    Parameters
+    ----------
+    edges, n_vertices : as :class:`CompiledExecutor`.
+    coloring : optional precomputed :class:`EdgeColoring`; defaults to
+        the balanced colouring (equal segments maximise prange width).
+    n_threads : numba thread count for the parallel regions, clamped to
+        the thread pool numba launched with (``NUMBA_NUM_THREADS``).
+        Note numba's thread count is process-global.
+    """
+
+    parallel = True
+
+    def __init__(self, edges: np.ndarray, n_vertices: int,
+                 coloring: EdgeColoring | None = None, n_threads: int = 1,
+                 tracer=None, sanitizer=None):
+        self._coloring_in = coloring
+        self.n_threads = max(1, int(n_threads))
+        super().__init__(edges, n_vertices, tracer=tracer,
+                         sanitizer=sanitizer)
+        import numba
+        numba.set_num_threads(
+            max(1, min(self.n_threads, numba.config.NUMBA_NUM_THREADS)))
+        if self.tracer.enabled:
+            sizes = np.diff(self.offsets).astype(float)
+            self.tracer.gauge("coloring.n_colors", sizes.size)
+            if sizes.size and sizes.mean() > 0:
+                self.tracer.gauge("coloring.imbalance",
+                                  float(sizes.max() / sizes.mean()))
+
+    def _build_layout(self) -> None:
+        """Permute the edge list into conflict-free colour segments."""
+        edges = self.edges
+        coloring = self._coloring_in
+        if coloring is None:
+            coloring = color_edges_balanced(edges, self.n_vertices)
+        self.coloring = coloring
+        if self.sanitizer.enabled:
+            # The prange stores are race-free exactly when the colouring
+            # invariant holds; verify it before any parallel call runs.
+            self.sanitizer.check_coloring(edges, coloring.groups,
+                                          self.n_vertices,
+                                          where="CompiledParallelExecutor")
+        groups = [np.asarray(g, dtype=np.int64) for g in coloring.groups]
+        if groups:
+            self.order = np.concatenate(groups)
+        else:
+            self.order = np.zeros(0, dtype=np.int64)
+        sizes = np.array([g.size for g in groups], dtype=np.int64)
+        self.offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.offsets[1:])
+        self.ce0 = np.ascontiguousarray(edges[self.order, 0], dtype=np.int64)
+        self.ce1 = np.ascontiguousarray(edges[self.order, 1], dtype=np.int64)
+        if self.sanitizer.enabled:
+            # Validate the exact arrays handed to the kernels, not just
+            # the group structure they were derived from.
+            self.sanitizer.check_color_offsets(
+                self.ce0, self.ce1, self.offsets, self.n_vertices,
+                where="CompiledParallelExecutor")
+
+
+def make_compiled_executor(edges: np.ndarray, n_vertices: int,
+                           parallel: bool = False, n_threads: int = 1,
+                           tracer=None, sanitizer=None):
+    """Factory used by :func:`repro.kernels.executors.make_executor`."""
+    if parallel:
+        return CompiledParallelExecutor(edges, n_vertices,
+                                        n_threads=n_threads, tracer=tracer,
+                                        sanitizer=sanitizer)
+    return CompiledExecutor(edges, n_vertices, tracer=tracer,
+                            sanitizer=sanitizer)

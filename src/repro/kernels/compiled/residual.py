@@ -1,0 +1,161 @@
+"""The fully fused compiled residual pipeline.
+
+:class:`CompiledResidual` subclasses
+:class:`~repro.kernels.fused.FusedResidual` and replaces the three
+edge-loop operators (convective, dissipation, time step) with single
+njit kernels that gather endpoint state, do the per-edge arithmetic and
+scatter in one compiled pass — no ``_EdgeStageState`` gathers, no
+per-operator NumPy dispatch.  Everything else (residual assembly, the
+five-stage step, smoothing, boundary closures, flop accounting,
+sanitizer hooks) is inherited unchanged, so the compiled pipeline stays
+behaviourally identical to the fused one apart from summation order.
+
+The executor must be one of the compiled executors: its colour-segment
+layout (``ce0``/``ce1``/``offsets``, edges pre-permuted by colour) is
+shared by these kernels, so the colouring is computed and verified once.
+Edge geometry (``eta/2`` and ``|eta|/2``) is stored permuted to match.
+
+Buffers come from the inherited :class:`StageWorkspace` arena under the
+same names the fused pipeline uses — after warm-up the hot path
+allocates nothing.  The edge spectral radius ``lam`` (shared by the
+dissipation blend and the time step) is cached per stage generation,
+mirroring the ``_gen``/``_es_gen`` protocol of the parent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...solver.bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
+                          boundary_fluxes)
+from ...solver.dissipation import (FLOPS_PER_EDGE_DISS_PASS1,
+                                   FLOPS_PER_EDGE_DISS_PASS2,
+                                   FLOPS_PER_VERTEX_DISS)
+from ...solver.flux import FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC
+from ...solver.timestep import (FLOPS_PER_EDGE_TIMESTEP,
+                                FLOPS_PER_VERTEX_TIMESTEP)
+from ...telemetry import traced
+from ..fused import FusedResidual
+from .executors import CompiledExecutor, make_compiled_executor
+
+__all__ = ["CompiledResidual"]
+
+
+class CompiledResidual(FusedResidual):
+    """Fused residual with the edge loops replaced by njit kernels.
+
+    Same constructor signature as :class:`FusedResidual`; ``executor``
+    must be a :class:`CompiledExecutor` /
+    :class:`CompiledParallelExecutor` (one is built when omitted).
+    """
+
+    def __init__(self, struct, bdata, config, w_inf, executor=None,
+                 flops=None, tracer=None, sanitizer=None):
+        if executor is None:
+            executor = make_compiled_executor(struct.edges, struct.n_vertices,
+                                              tracer=tracer,
+                                              sanitizer=sanitizer)
+        if not isinstance(executor, CompiledExecutor):
+            raise TypeError(
+                "CompiledResidual requires a compiled executor (it shares "
+                f"the colour-segment layout); got {type(executor).__name__}")
+        super().__init__(struct, bdata, config, w_inf, executor=executor,
+                         flops=flops, tracer=tracer, sanitizer=sanitizer)
+        ex = self.executor
+        k = ex._k
+        if ex.parallel:
+            self._conv_k = k.convective_par
+            self._diss1_k = k.diss_pass1_par
+            self._diss2_k = k.diss_pass2_par
+            self._lam_k = k.edge_lam_par
+            self._sigma_k = k.sigma_par
+        else:
+            self._conv_k = k.convective_ser
+            self._diss1_k = k.diss_pass1_ser
+            self._diss2_k = k.diss_pass2_ser
+            self._lam_k = k.edge_lam_ser
+            self._sigma_k = k.sigma_ser
+        # Geometry permuted into the executor's colour order, so the
+        # fused kernels index edge arrays and vertex arrays with the
+        # same ``t``-th edge.
+        self._c_eta_half = np.ascontiguousarray(self.eta_half[ex.order])
+        self._c_eta_norm_half = np.ascontiguousarray(
+            self.eta_norm_half[ex.order])
+        self._lam_gen = -1
+
+    # ------------------------------------------------------------------
+    def _ensure_lam(self) -> np.ndarray:
+        """Edge spectral radius in colour order, cached per stage state."""
+        lam = self.ws.edge_buf("compiled_lam")
+        if self._lam_gen == self._gen:
+            return lam
+        ex = self.executor
+        ws = self.ws
+        self._lam_k(ex.ce0, ex.ce1, self._c_eta_half, self._c_eta_norm_half,
+                    ws.vel, ws.c, lam)
+        self._lam_gen = self._gen
+        return lam
+
+    # ------------------------------------------------------------------
+    @traced("compiled.convective")
+    def convective(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Q(w): one fused gather+flux+scatter kernel + boundary closure."""
+        ws = self.ws
+        ex = self.executor
+        self._conv_k(ex.offsets, ex.ce0, ex.ce1, self._c_eta_half,
+                     ws.rho, ws.vel, ws.p, ws.epp, out)
+        boundary_fluxes(w, self.bdata, self.w_inf, out=out)
+        self.flops.add("convective",
+                       FLOPS_PER_EDGE_CONVECTIVE * self.n_edges
+                       + FLOPS_PER_VERTEX_FLUXVEC * self.n_vertices)
+        self.flops.add("boundary",
+                       FLOPS_PER_WALL_VERTEX * self.bdata.wall_vertices.size
+                       + FLOPS_PER_FARFIELD_VERTEX * self.bdata.far_vertices.size)
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("compiled.dissipation")
+    def dissipation(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """D(w): two fused kernel passes (Laplacian+switch, then blend)."""
+        ws = self.ws
+        cfg = self.config
+        ex = self.executor
+        lap = ws.state_buf("diss_lap")
+        nu = ws.vertex_buf("diss_nu")
+        den = ws.vertex_buf("diss_den")
+        self._diss1_k(ex.offsets, ex.ce0, ex.ce1, w, ws.p,
+                      cfg.switch_floor, lap, nu, den)
+        lam = self._ensure_lam()
+        self._diss2_k(ex.offsets, ex.ce0, ex.ce1, w, lap, nu, lam,
+                      cfg.k2, cfg.k4, out)
+        self.flops.add("dissipation",
+                       (FLOPS_PER_EDGE_DISS_PASS1 + FLOPS_PER_EDGE_DISS_PASS2)
+                       * self.n_edges
+                       + FLOPS_PER_VERTEX_DISS * self.n_vertices)
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("compiled.timestep")
+    def timestep(self, w: np.ndarray, out: np.ndarray,
+                 update_state: bool = False) -> np.ndarray:
+        """Local time step from the compiled sigma scatter."""
+        if update_state:
+            self.update_state(w)
+        ws = self.ws
+        ex = self.executor
+        lam = self._ensure_lam()
+        sigma = ws.vertex_buf("dt_sigma")
+        self._sigma_k(ex.offsets, ex.ce0, ex.ce1, lam, sigma)
+        for verts, normals, nn in (
+                (self.bdata.wall_vertices, self.bdata.wall_normals, self.wall_nn),
+                (self.bdata.far_vertices, self.bdata.far_normals, self.far_nn)):
+            if verts.size:
+                un = np.abs(np.einsum("id,id->i", ws.vel[verts], normals))
+                sigma[verts] += un + ws.c[verts] * nn
+        np.maximum(sigma, 1e-300, out=sigma)
+        np.divide(self.dual_volumes, sigma, out=out)
+        np.multiply(out, self.config.cfl, out=out)
+        self.flops.add("timestep",
+                       FLOPS_PER_EDGE_TIMESTEP * self.n_edges
+                       + FLOPS_PER_VERTEX_TIMESTEP * self.n_vertices)
+        return out

@@ -36,7 +36,8 @@ from ..scatter import EdgeScatter
 from ..telemetry import get_tracer
 
 __all__ = ["SerialExecutor", "ColoredExecutor", "make_executor",
-           "resolve_auto_kind", "AUTO_COLOR_EDGE_THRESHOLD"]
+           "resolve_auto_kind", "AUTO_COLOR_EDGE_THRESHOLD",
+           "COMPILED_KINDS"]
 
 #: The serial executor *is* the CSR scatter — one object, one protocol.
 SerialExecutor = EdgeScatter
@@ -215,26 +216,50 @@ class ColoredExecutor:
 #: once colours carry tens of thousands of edges.
 AUTO_COLOR_EDGE_THRESHOLD = 50_000
 
+#: Kinds served by the numba backend (optional dependency).
+COMPILED_KINDS = ("compiled", "compiled-parallel")
+
 
 def resolve_auto_kind(edges: np.ndarray, n_vertices: int,
                       n_threads: int) -> str:
-    """The ``executor="auto"`` heuristic: ``fused`` unless colours are fat.
+    """The ``executor="auto"`` heuristic, driven by measured crossovers.
 
-    Returns ``colored-threaded`` only when threads are available *and*
-    the estimated per-colour edge count (``n_edges / max_degree`` — the
-    balanced colouring's colour count equals the max vertex degree)
-    clears :data:`AUTO_COLOR_EDGE_THRESHOLD`; otherwise the fused CSR
-    pipeline wins (see docs/performance.md, "Choosing an executor").
+    With numba importable the compiled family wins once the mesh clears
+    the measured ``compiled_min_edges`` crossover (``compiled-parallel``
+    additionally needs threads and ``compiled_parallel_min_edges``; see
+    ``benchmarks/bench_residual.py --calibrate``).  Without numba —
+    silently, this is the degradation path — the choice falls to the
+    NumPy executors: ``colored-threaded`` only when threads are
+    available *and* the estimated per-colour edge count (``n_edges /
+    max_degree``; the balanced colouring's colour count equals the max
+    vertex degree) clears the ``colored_threaded_min_per_color``
+    crossover, else the fused CSR pipeline (see docs/performance.md,
+    "Choosing an executor").  Each crossover falls back to its
+    hand-coded default when the calibration table records ``null``.
     """
+    from .calibration import (DEFAULT_COMPILED_MIN_EDGES,
+                              DEFAULT_COMPILED_PARALLEL_MIN_EDGES, crossover)
+    from .compiled import numba_available
     edges = np.asarray(edges)
     ne = edges.shape[0]
-    if ne == 0 or n_threads <= 1:
+    if ne == 0:
+        return "fused"
+    if numba_available():
+        if ne >= crossover("compiled_min_edges", DEFAULT_COMPILED_MIN_EDGES):
+            if n_threads > 1 and ne >= crossover(
+                    "compiled_parallel_min_edges",
+                    DEFAULT_COMPILED_PARALLEL_MIN_EDGES):
+                return "compiled-parallel"
+            return "compiled"
+        return "fused"
+    if n_threads <= 1:
         return "fused"
     max_degree = int(np.bincount(edges.ravel(),
                                  minlength=n_vertices).max())
     per_color = ne / max(max_degree, 1)
-    return ("colored-threaded" if per_color >= AUTO_COLOR_EDGE_THRESHOLD
-            else "fused")
+    threshold = crossover("colored_threaded_min_per_color",
+                          AUTO_COLOR_EDGE_THRESHOLD)
+    return "colored-threaded" if per_color >= threshold else "fused"
 
 
 def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
@@ -244,8 +269,11 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     ``serial`` and ``fused`` share the CSR scatter (the fused pipeline
     differs in *what* it computes, not how it scatters); ``colored`` runs
     the conflict-free groups sequentially; ``colored-threaded`` dispatches
-    each colour across ``n_threads`` workers; ``auto`` resolves to
-    ``fused`` or ``colored-threaded`` via :func:`resolve_auto_kind`.
+    each colour across ``n_threads`` workers; ``compiled`` /
+    ``compiled-parallel`` use the numba backend (raising
+    :class:`repro.kernels.compiled.ExecutorUnavailableError` without it);
+    ``auto`` resolves via :func:`resolve_auto_kind` and never raises for
+    a missing backend.
     """
     if kind == "auto":
         kind = resolve_auto_kind(edges, n_vertices, n_threads)
@@ -257,4 +285,10 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     if kind == "colored-threaded":
         return ColoredExecutor(edges, n_vertices, n_threads=n_threads,
                                tracer=tracer, sanitizer=sanitizer)
+    if kind in COMPILED_KINDS:
+        from .compiled import make_compiled_executor, require_numba
+        require_numba(f"executor={kind!r}")
+        return make_compiled_executor(
+            edges, n_vertices, parallel=(kind == "compiled-parallel"),
+            n_threads=n_threads, tracer=tracer, sanitizer=sanitizer)
     raise ValueError(f"unknown executor kind {kind!r}")

@@ -13,10 +13,14 @@ __all__ = ["SolverConfig", "EXECUTOR_KINDS", "DIST_MODES"]
 #: ``serial`` keeps the seed operators bit-identical; ``fused`` runs the
 #: fused zero-allocation pipeline over the CSR scatter; ``colored`` runs it
 #: over conflict-free colour groups; ``colored-threaded`` additionally
-#: splits each colour across ``n_threads`` workers.  ``auto`` picks
-#: between ``fused`` and ``colored-threaded`` from the mesh size and
-#: thread count (see :func:`repro.kernels.executors.make_executor`).
-EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded", "auto")
+#: splits each colour across ``n_threads`` workers; ``compiled`` /
+#: ``compiled-parallel`` run the numba-jitted fused kernels (serial order
+#: / colour-parallel ``prange``) and require the ``compiled`` extra.
+#: ``auto`` picks from the measured crossover table — the compiled family
+#: when numba is importable, else ``fused`` or ``colored-threaded`` (see
+#: :func:`repro.kernels.executors.resolve_auto_kind`).
+EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded",
+                  "compiled", "compiled-parallel", "auto")
 
 #: Distributed execution modes (see ``repro.distsolver``): ``overlap``
 #: (default) posts ghost exchanges, computes interior edges while

@@ -98,15 +98,28 @@ class EulerSolver:
         self.sanitizers = build_sanitizers(self.config.sanitize_set)
         if self.config.executor != "serial":
             from ..kernels import FusedResidual, make_executor
+            from ..kernels.executors import COMPILED_KINDS, resolve_auto_kind
+            kind = self.config.executor
+            if kind == "auto":
+                kind = resolve_auto_kind(self.struct.edges,
+                                         self.struct.n_vertices,
+                                         self.config.n_threads)
             ex = make_executor(self.struct.edges, self.struct.n_vertices,
-                               kind=self.config.executor,
+                               kind=kind,
                                n_threads=self.config.n_threads,
                                tracer=self.tracer,
                                sanitizer=self.sanitizers["color"])
-            self.fused = FusedResidual(self.struct, self.bdata, self.config,
-                                       self.w_inf, executor=ex,
-                                       flops=self.flops, tracer=self.tracer,
-                                       sanitizer=self.sanitizers["buffer"])
+            # Compiled kinds get the fully fused njit pipeline; the rest
+            # run the NumPy fused pipeline over their scatter executor.
+            if kind in COMPILED_KINDS:
+                from ..kernels.compiled import CompiledResidual
+                residual_cls = CompiledResidual
+            else:
+                residual_cls = FusedResidual
+            self.fused = residual_cls(self.struct, self.bdata, self.config,
+                                      self.w_inf, executor=ex,
+                                      flops=self.flops, tracer=self.tracer,
+                                      sanitizer=self.sanitizers["buffer"])
         #: Density-residual RMS of the *input* state of the most recent
         #: :meth:`step` call (captured from stage 0 at no extra cost), or
         #: ``None`` before the first step.  See :meth:`run`.

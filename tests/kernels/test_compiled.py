@@ -1,0 +1,305 @@
+"""Tests for the compiled (numba) executor family.
+
+Two halves, by environment:
+
+* **No-numba half** — always runs, and is the *only* half that runs in
+  the default CI legs: graceful degradation (``executor="compiled"``
+  raises :class:`ExecutorUnavailableError` naming the pip extra,
+  ``"auto"`` silently falls back to ``fused``), the calibration-table
+  loader, and the colour-offset sanitizer (pure NumPy).
+
+* **Numba half** — skipped without the ``compiled`` extra: hypothesis
+  bit-identity of the compiled scatters against the ``np.add.at``
+  reference, compiled-vs-fused residual/step agreement (≤1e-12
+  relative), degenerate meshes (zero edges, single colour), and the
+  warm-up test asserting the second call reuses the compiled overload
+  instead of recompiling.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.sanitize import ColorRaceSanitizer, SanitizerError
+from repro.kernels import make_executor, resolve_auto_kind
+from repro.kernels.calibration import (DEFAULT_COMPILED_MIN_EDGES,
+                                       crossover, invalidate_cache)
+from repro.kernels.compiled import (NUMBA_AVAILABLE, CompiledExecutor,
+                                    CompiledParallelExecutor,
+                                    CompiledResidual,
+                                    ExecutorUnavailableError)
+from repro.mesh import box_mesh, build_edge_structure
+from repro.scatter import scatter_add_edges
+from repro.solver import EulerSolver, SolverConfig
+
+requires_numba = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba not installed (compiled extra)")
+without_numba = pytest.mark.skipif(
+    NUMBA_AVAILABLE, reason="degradation paths only exist without numba")
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+def random_edges(seed: int, n_vertices: int, n_edges: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n_edges = min(n_edges, n_vertices * (n_vertices - 1) // 2)
+    pairs = set()
+    while len(pairs) < n_edges:
+        i, j = rng.integers(0, n_vertices, 2)
+        if i != j:
+            pairs.add((min(i, j), max(i, j)))
+    return np.array(sorted(pairs), dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation (the no-numba contract)
+# ----------------------------------------------------------------------
+
+class TestDegradation:
+    @without_numba
+    def test_compiled_kind_raises_naming_extra(self, bump_struct):
+        for kind in ("compiled", "compiled-parallel"):
+            with pytest.raises(ExecutorUnavailableError,
+                               match=r"repro\[compiled\]"):
+                make_executor(bump_struct.edges, bump_struct.n_vertices,
+                              kind=kind)
+
+    @without_numba
+    def test_compiled_solver_raises(self, bump_struct, winf):
+        with pytest.raises(ExecutorUnavailableError,
+                           match=r"pip install repro\[compiled\]"):
+            EulerSolver(bump_struct, winf, SolverConfig(executor="compiled"))
+
+    @without_numba
+    def test_auto_silently_falls_back(self, bump_struct, winf):
+        # No exception, and the resolved kind is a NumPy one.
+        kind = resolve_auto_kind(bump_struct.edges, bump_struct.n_vertices,
+                                 n_threads=4)
+        assert kind in ("fused", "colored-threaded")
+        solver = EulerSolver(bump_struct, winf,
+                             SolverConfig(executor="auto", n_threads=4))
+        w = solver.step(solver.freestream_solution())
+        assert np.isfinite(w).all()
+
+    @without_numba
+    def test_distributed_compiled_rank_ops_raise(self, bump_struct):
+        from repro.distsolver.rank_kernels import rank_ops
+        from repro.distsolver.partitioned_mesh import partition_solver_data
+        from repro.partition import recursive_spectral_bisection
+        from repro.solver import build_boundary_data
+        asg = recursive_spectral_bisection(bump_struct.edges,
+                                           bump_struct.n_vertices, 2)
+        dmesh = partition_solver_data(bump_struct,
+                                      build_boundary_data(bump_struct), asg)
+        with pytest.raises(ExecutorUnavailableError):
+            rank_ops(dmesh.ranks[0], compiled=True)
+
+    def test_config_accepts_compiled_kinds(self):
+        # Validation is environment-independent: the kinds are always
+        # legal config; only *construction* requires the backend.
+        for kind in ("compiled", "compiled-parallel"):
+            assert SolverConfig(executor=kind).executor == kind
+
+
+# ----------------------------------------------------------------------
+# Calibration table
+# ----------------------------------------------------------------------
+
+class TestCalibration:
+    def test_missing_table_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "nope.json"))
+        invalidate_cache()
+        try:
+            assert crossover("compiled_min_edges", 1234.0) == 1234.0
+        finally:
+            invalidate_cache()
+
+    def test_measured_value_wins(self, tmp_path, monkeypatch):
+        table = {"crossovers": {"compiled_min_edges": 777,
+                                "colored_threaded_min_per_color": None}}
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps(table))
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        invalidate_cache()
+        try:
+            assert crossover("compiled_min_edges", 1.0) == 777.0
+            # null records fall back per-key, not per-table.
+            assert crossover("colored_threaded_min_per_color", 42.0) == 42.0
+        finally:
+            invalidate_cache()
+
+    def test_malformed_table_is_not_fatal(self, tmp_path, monkeypatch):
+        path = tmp_path / "cal.json"
+        path.write_text("{not json")
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        invalidate_cache()
+        try:
+            assert crossover("compiled_min_edges",
+                             DEFAULT_COMPILED_MIN_EDGES) \
+                == DEFAULT_COMPILED_MIN_EDGES
+        finally:
+            invalidate_cache()
+
+
+# ----------------------------------------------------------------------
+# Colour-offset sanitizer (pure NumPy — always runs)
+# ----------------------------------------------------------------------
+
+class TestColorOffsetSanitizer:
+    def test_valid_layout_passes(self):
+        # Two segments, each a matching: conflict-free.
+        e0 = np.array([0, 2, 0, 1], dtype=np.int64)
+        e1 = np.array([1, 3, 2, 3], dtype=np.int64)
+        offsets = np.array([0, 2, 4], dtype=np.int64)
+        ColorRaceSanitizer().check_color_offsets(e0, e1, offsets, 4)
+
+    def test_race_detected(self):
+        # Segment 0 holds edges (0,1) and (1,2): vertex 1 races.
+        e0 = np.array([0, 1], dtype=np.int64)
+        e1 = np.array([1, 2], dtype=np.int64)
+        offsets = np.array([0, 2], dtype=np.int64)
+        with pytest.raises(SanitizerError, match="color.race"):
+            ColorRaceSanitizer().check_color_offsets(e0, e1, offsets, 3)
+
+    def test_bad_offsets_detected(self):
+        e0 = np.array([0, 2], dtype=np.int64)
+        e1 = np.array([1, 3], dtype=np.int64)
+        for bad in ([0, 1], [1, 2], [0, 2, 1]):
+            with pytest.raises(SanitizerError, match="color.offsets"):
+                ColorRaceSanitizer().check_color_offsets(
+                    e0, e1, np.array(bad, dtype=np.int64), 4)
+
+    def test_empty_segments_allowed(self):
+        e0 = np.zeros(0, dtype=np.int64)
+        e1 = np.zeros(0, dtype=np.int64)
+        offsets = np.array([0, 0, 0], dtype=np.int64)
+        ColorRaceSanitizer().check_color_offsets(e0, e1, offsets, 5)
+
+
+# ----------------------------------------------------------------------
+# Compiled executors: bit-identity with the reference scatter
+# ----------------------------------------------------------------------
+
+@requires_numba
+class TestCompiledScatterMatchesReference:
+    @given(seed=st.integers(0, 10_000), nv=st.integers(4, 40),
+           parallel=st.booleans())
+    @settings(max_examples=40, **COMMON)
+    def test_signed_unsigned_neighbor(self, seed, nv, parallel):
+        rng = np.random.default_rng(seed)
+        ne = int(rng.integers(1, max(2, 2 * nv)))
+        edges = random_edges(seed, nv, ne)
+        cls = CompiledParallelExecutor if parallel else CompiledExecutor
+        ex = cls(edges, nv)
+        vals = rng.standard_normal((edges.shape[0], 5))
+        ref = scatter_add_edges(edges, vals, nv)
+        got = ex.signed(vals)
+        assert np.max(np.abs(got - ref)) <= 1e-12 * max(
+            1.0, np.max(np.abs(ref)))
+        scal = rng.standard_normal(edges.shape[0])
+        ref1 = np.zeros(nv)
+        np.add.at(ref1, edges[:, 0], scal)
+        np.add.at(ref1, edges[:, 1], scal)
+        assert np.allclose(ex.unsigned(scal), ref1, rtol=1e-12, atol=1e-13)
+        vv = rng.standard_normal((nv, 5))
+        refn = np.zeros((nv, 5))
+        np.add.at(refn, edges[:, 0], vv[edges[:, 1]])
+        np.add.at(refn, edges[:, 1], vv[edges[:, 0]])
+        assert np.allclose(ex.neighbor_sum(vv), refn, rtol=1e-12, atol=1e-13)
+
+    def test_zero_edge_mesh(self):
+        edges = np.zeros((0, 2), dtype=np.int64)
+        for cls in (CompiledExecutor, CompiledParallelExecutor):
+            ex = cls(edges, 5)
+            assert np.array_equal(ex.signed(np.zeros((0, 5))),
+                                  np.zeros((5, 5)))
+            assert np.array_equal(ex.unsigned(np.zeros(0)), np.zeros(5))
+            assert np.array_equal(ex.neighbor_sum(np.ones((5, 5))),
+                                  np.zeros((5, 5)))
+
+    def test_single_colour_mesh(self, rng):
+        # A perfect matching colours with ONE colour: the parallel
+        # executor's entire edge list runs in a single prange segment.
+        edges = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.int64)
+        ex = CompiledParallelExecutor(edges, 6, n_threads=2)
+        assert ex.offsets.size == 2  # one segment
+        vals = rng.standard_normal((3, 5))
+        assert np.allclose(ex.signed(vals), scatter_add_edges(edges, vals, 6),
+                           rtol=1e-12, atol=1e-13)
+
+    def test_deterministic_across_calls(self, bump_struct, rng):
+        ex = CompiledParallelExecutor(bump_struct.edges,
+                                      bump_struct.n_vertices, n_threads=4)
+        vals = rng.standard_normal((bump_struct.n_edges, 5))
+        assert np.array_equal(ex.signed(vals), ex.signed(vals))
+
+
+# ----------------------------------------------------------------------
+# Compiled residual: agreement with the fused oracle
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def box10_struct():
+    return build_edge_structure(box_mesh(10, 10, 10))
+
+
+@requires_numba
+class TestCompiledResidualMatchesFused:
+    @pytest.mark.parametrize("kind", ["compiled", "compiled-parallel"])
+    def test_residual_and_step(self, box10_struct, winf, kind):
+        cfg_f = SolverConfig(executor="fused")
+        cfg_c = SolverConfig(executor=kind, n_threads=4)
+        s_f = EulerSolver(box10_struct, winf, cfg_f)
+        s_c = EulerSolver(box10_struct, winf, cfg_c)
+        assert isinstance(s_c.fused, CompiledResidual)
+        rng = np.random.default_rng(7)
+        w = s_f.freestream_solution()
+        w *= rng.uniform(0.97, 1.03, (w.shape[0], 1))
+        r_f = s_f.fused.residual(w.copy())
+        r_c = s_c.fused.residual(w.copy())
+        scale = max(1.0, float(np.max(np.abs(r_f))))
+        assert np.max(np.abs(r_c - r_f)) <= 1e-12 * scale
+        w_f, w_c = w.copy(), w.copy()
+        for _ in range(3):
+            w_f, _ = s_f.fused.step(w_f)
+            w_c, _ = s_c.fused.step(w_c)
+        np.testing.assert_allclose(w_c, w_f, rtol=1e-12, atol=1e-13)
+
+    def test_timestep_matches(self, bump_struct, winf):
+        s_f = EulerSolver(bump_struct, winf, SolverConfig(executor="fused"))
+        s_c = EulerSolver(bump_struct, winf,
+                          SolverConfig(executor="compiled"))
+        w = s_f.freestream_solution()
+        dt_f = np.empty(w.shape[0])
+        dt_c = np.empty(w.shape[0])
+        s_f.fused.timestep(w, out=dt_f, update_state=True)
+        s_c.fused.timestep(w, out=dt_c, update_state=True)
+        np.testing.assert_allclose(dt_c, dt_f, rtol=1e-12, atol=1e-14)
+
+    def test_auto_prefers_compiled(self, box10_struct):
+        # box10 clears the compiled crossover by orders of magnitude.
+        kind = resolve_auto_kind(box10_struct.edges, box10_struct.n_vertices,
+                                 n_threads=4)
+        assert kind in ("compiled", "compiled-parallel")
+        assert resolve_auto_kind(box10_struct.edges, box10_struct.n_vertices,
+                                 n_threads=1) == "compiled"
+
+
+@requires_numba
+class TestWarmupAndCache:
+    def test_second_call_does_not_recompile(self, bump_struct, rng):
+        from repro.kernels.compiled import load_kernels
+        k = load_kernels()
+        ex = CompiledExecutor(bump_struct.edges, bump_struct.n_vertices)
+        vals = rng.standard_normal((bump_struct.n_edges, 5))
+        ex.signed(vals)  # warm-up: compiles (or loads the disk cache)
+        n_overloads = len(k.scatter_signed_ser.overloads)
+        assert n_overloads >= 1
+        ex.signed(vals)
+        ex.signed(vals)
+        # Same dtypes/layout -> the jitted overload is reused as-is.
+        assert len(k.scatter_signed_ser.overloads) == n_overloads
