@@ -1,0 +1,274 @@
+"""Benchmark regression tracker over the committed performance trajectory.
+
+The benchmark suites leave machine-relative artifacts behind —
+``BENCH_residual.json`` / ``BENCH_distributed.json`` speedups, and the
+observatory's ``report.json`` with its deterministic traffic and balance
+metrics.  This tool folds them into one append-only trajectory file
+(``BENCH_history.jsonl``, one JSON object per line) and checks fresh
+results against it:
+
+* ``python benchmarks/track.py --ingest [--label v7]`` appends the
+  current metric snapshot to the history;
+* ``python benchmarks/track.py --check [--threshold 0.15]`` compares the
+  current files against the most recent history entry carrying each
+  metric and exits nonzero when any metric regressed past its limit.
+
+Only *machine-relative* or *deterministic* quantities are tracked —
+speedup ratios, per-cycle message/byte counts, load-imbalance factors —
+never raw milliseconds, so the check is meaningful across hosts.  Each
+metric class has its own regression limit: deterministic traffic counts
+get a tight 1% limit (any growth is a code change, not noise), timing
+ratios get the configurable ``--threshold`` (default 15%), and the
+scheduling-sensitive overlap efficiency only fails on collapse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Regression rules, matched by substring against the metric leaf name
+#: (the part after the last ``/``).  ``threshold=None`` means "use the
+#: --threshold argument".  First match wins.
+METRIC_RULES = [
+    ("overlap_efficiency", True, 0.75),
+    ("load_imbalance", False, 0.05),
+    ("msgs_per_cycle", False, 0.01),
+    ("bytes_per_cycle", False, 0.01),
+    ("neighbor_pairs", False, 0.01),
+    ("speedup", True, None),
+]
+
+
+def _rule_for(key: str, default_threshold: float):
+    """(higher_is_better, threshold) for a metric key."""
+    leaf = key.rsplit("/", 1)[-1]
+    for pattern, higher_better, threshold in METRIC_RULES:
+        if pattern in leaf:
+            return higher_better, (default_threshold if threshold is None
+                                   else threshold)
+    return True, default_threshold
+
+
+# ---------------------------------------------------------------------------
+# Metric extraction
+# ---------------------------------------------------------------------------
+
+def metrics_from_residual(doc: dict) -> dict:
+    """Flat metrics from a BENCH_residual.json document."""
+    out = {}
+    for case in doc.get("cases", []):
+        mesh = case["mesh"]
+        for name, value in case.get("speedup", {}).items():
+            out[f"residual/{mesh}/speedup.{name}"] = float(value)
+    return out
+
+
+def metrics_from_distributed(doc: dict) -> dict:
+    """Flat metrics from a BENCH_distributed.json document."""
+    out = {}
+    for case in doc.get("cases", []):
+        tag = f"{case['mesh']}x{case['n_ranks']}"
+        if "speedup" in case:
+            out[f"distributed/{tag}/speedup"] = float(case["speedup"])
+        for mode, traffic in case.get("traffic", {}).items():
+            for name in ("msgs_per_cycle", "bytes_per_cycle"):
+                if name in traffic:
+                    out[f"distributed/{tag}/{mode}.{name}"] = \
+                        float(traffic[name])
+    return out
+
+
+def metrics_from_report(doc: dict) -> dict:
+    """Flat metrics from an observatory report.json document."""
+    tag = f"{doc['case']}-{doc['backend']}x{doc['n_ranks']}"
+    out = {}
+    cm = doc.get("comm_matrix", {})
+    n_cycles = max(int(cm.get("n_cycles", doc.get("n_cycles", 1))), 1)
+    msgs = cm.get("msgs")
+    if msgs is not None:
+        total_msgs = sum(sum(row) for row in msgs)
+        total_bytes = sum(sum(row) for row in cm.get("bytes", []))
+        pairs = sum(1 for row in msgs for v in row if v)
+        out[f"report/{tag}/msgs_per_cycle"] = total_msgs / n_cycles
+        out[f"report/{tag}/bytes_per_cycle"] = total_bytes / n_cycles
+        out[f"report/{tag}/neighbor_pairs"] = float(pairs)
+    lb = doc.get("load_balance", {})
+    if "imbalance" in lb:
+        out[f"report/{tag}/load_imbalance"] = float(lb["imbalance"])
+    overlap = doc.get("overlap", {})
+    if overlap.get("efficiency"):
+        out[f"report/{tag}/overlap_efficiency"] = \
+            float(overlap["efficiency"])
+    return out
+
+
+def _load_json(path: Path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def collect_metrics(residual: Path | None, distributed: Path | None,
+                    reports: list[Path]) -> dict:
+    """Current metric snapshot from whichever sources exist on disk."""
+    out: dict = {}
+    if residual is not None and residual.exists():
+        out.update(metrics_from_residual(_load_json(residual)))
+    if distributed is not None and distributed.exists():
+        out.update(metrics_from_distributed(_load_json(distributed)))
+    for path in reports:
+        out.update(metrics_from_report(_load_json(path)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# History
+# ---------------------------------------------------------------------------
+
+def read_history(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def baseline_metrics(entries: list[dict]) -> dict:
+    """Most recent recorded value of every metric across the history."""
+    baseline: dict = {}
+    for entry in entries:   # later entries overwrite earlier ones
+        baseline.update(entry.get("metrics", {}))
+    return baseline
+
+
+def append_history(path: Path, label: str, metrics: dict) -> None:
+    entry = {"label": label, "metrics": metrics}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Check
+# ---------------------------------------------------------------------------
+
+def check_regressions(baseline: dict, current: dict,
+                      default_threshold: float,
+                      out=None) -> int:
+    """Compare ``current`` against ``baseline``; return the failure count.
+
+    A metric regresses when it moved in its bad direction by more than
+    its limit, relative to the baseline value.  Metrics present on only
+    one side are reported but never fail the check (new benchmarks
+    appear, old ones retire).
+    """
+    if out is None:
+        out = sys.stdout
+    failures = 0
+    keys = sorted(set(baseline) | set(current))
+    width = max((len(k) for k in keys), default=6)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'change':>8}  {'limit':>6}  status", file=out)
+    for key in keys:
+        if key not in baseline:
+            print(f"{key:<{width}}  {'-':>12}  {current[key]:>12.4g}  "
+                  f"{'-':>8}  {'-':>6}  NEW", file=out)
+            continue
+        if key not in current:
+            print(f"{key:<{width}}  {baseline[key]:>12.4g}  {'-':>12}  "
+                  f"{'-':>8}  {'-':>6}  GONE", file=out)
+            continue
+        base, cur = baseline[key], current[key]
+        higher_better, limit = _rule_for(key, default_threshold)
+        if base == 0.0:
+            change = 0.0 if cur == 0.0 else float("inf")
+        else:
+            change = (base - cur) / abs(base) if higher_better \
+                else (cur - base) / abs(base)
+        status = "ok"
+        if change > limit:
+            status = "FAIL"
+            failures += 1
+        sign = "-" if higher_better else "+"
+        print(f"{key:<{width}}  {base:>12.4g}  {cur:>12.4g}  "
+              f"{sign}{change * 100:>6.1f}%  {limit * 100:>5.0f}%  "
+              f"{status}", file=out)
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/track.py",
+        description="Benchmark trajectory tracker: ingest results into "
+                    "BENCH_history.jsonl and check for regressions.")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--ingest", action="store_true",
+                      help="append the current metric snapshot to the "
+                           "history file")
+    mode.add_argument("--check", action="store_true",
+                      help="compare the current files against the history "
+                           "baseline; exit 1 on any regression")
+    parser.add_argument("--history", type=Path,
+                        default=REPO_ROOT / "BENCH_history.jsonl",
+                        help="trajectory file (default: repo root)")
+    parser.add_argument("--residual", type=Path,
+                        default=REPO_ROOT / "BENCH_residual.json",
+                        help="BENCH_residual.json to read (skipped if "
+                             "missing)")
+    parser.add_argument("--distributed", type=Path,
+                        default=REPO_ROOT / "BENCH_distributed.json",
+                        help="BENCH_distributed.json to read (skipped if "
+                             "missing)")
+    parser.add_argument("--report", type=Path, action="append", default=[],
+                        metavar="REPORT_JSON",
+                        help="observatory report.json to include "
+                             "(repeatable)")
+    parser.add_argument("--label", default="run",
+                        help="label stored with an ingested entry")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression limit for timing-ratio "
+                             "metrics (default 0.15)")
+    args = parser.parse_args(argv)
+
+    for path in args.report:
+        if not path.exists():
+            print(f"track: report not found: {path}", file=sys.stderr)
+            return 2
+    current = collect_metrics(args.residual, args.distributed, args.report)
+    if not current:
+        print("track: no benchmark files found to read", file=sys.stderr)
+        return 2
+
+    if args.ingest:
+        append_history(args.history, args.label, current)
+        print(f"track: appended {len(current)} metrics to {args.history} "
+              f"(label: {args.label})")
+        return 0
+
+    entries = read_history(args.history)
+    if not entries:
+        print(f"track: no history at {args.history}; run --ingest first",
+              file=sys.stderr)
+        return 2
+    baseline = baseline_metrics(entries)
+    failures = check_regressions(baseline, current, args.threshold)
+    if failures:
+        print(f"track: {failures} metric(s) regressed past their limits")
+        return 1
+    print("track: no regressions against the recorded trajectory")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

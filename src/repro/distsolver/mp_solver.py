@@ -44,7 +44,8 @@ from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
 from ..resilience import (Checkpoint, DivergenceError, ExchangeTimeoutError,
                           collect_results, verify_checkpoint)
 from ..solver.config import SolverConfig
-from ..telemetry import NULL_TRACER, Tracer, count_event, get_tracer
+from ..telemetry import (NULL_TRACER, Tracer, count_event, get_tracer,
+                         global_counters, merge_global_counters)
 from . import rank_kernels
 from .partitioned_mesh import DistributedMesh
 
@@ -93,6 +94,14 @@ class _PipeTransport:
             self.progress[self.rank] = op
 
     def _send(self, dst: int, op: int, payload) -> None:
+        if self.tracer.enabled:
+            # Neighbour-pair accounting for the observatory's comm
+            # matrix: this rank's payload reports what it sent to whom
+            # (the parent reassembles the (src, dst) matrix from all
+            # ranks' payload counters).  Dynamic names, so gated.
+            self.tracer.count(f"observatory.sent.{dst}.msgs", 1)
+            self.tracer.count(f"observatory.sent.{dst}.bytes",
+                              payload.nbytes)
         inj = self.injector
         if inj is None:
             self.outboxes[dst].send((self.rank, op, payload))
@@ -287,6 +296,9 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
     # the timelines stay on separate pid rows in merged exports).
     tracer = Tracer() if trace else NULL_TRACER
     transport.tracer = tracer
+    # Fork inherits the parent's always-on event counters; snapshot them
+    # so this rank reports only its own additions back to the driver.
+    counters_baseline = global_counters()
 
     # Per-rank buffer arena, reused across stages and cycles.
     sigma = np.empty((n_local, 1))
@@ -440,7 +452,12 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
             transport.sanitizer.assert_drained(f"rank {rm.rank} cycle")
     payload = (tracer.to_payload(pid=rm.rank + 1, label=f"rank{rm.rank}")
                if trace else None)
-    result_queue.put(("ok", rm.rank, w[:n_owned], payload))
+    counters_delta = {
+        name: value - counters_baseline.get(name, 0.0)
+        for name, value in global_counters().items()
+        if value != counters_baseline.get(name, 0.0)
+    }
+    result_queue.put(("ok", rm.rank, w[:n_owned], payload, counters_delta))
 
 
 def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
@@ -499,10 +516,14 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
                                   progress=progress)
         collected = True
         out = np.empty((dmesh.table.n_global, NVAR))
-        for rank, (w_owned, payload) in results.items():
+        for rank, (w_owned, payload, rank_counters) in results.items():
             out[dmesh.table.owned_globals[rank]] = w_owned
             if payload is not None:
                 tracer.remote_payloads.append(payload)
+            if rank_counters:
+                # Fold each child rank's event-counter delta into the
+                # parent so ``harness --counters`` sees all ranks.
+                merge_global_counters(rank_counters)
         return out
     finally:
         if not collected:

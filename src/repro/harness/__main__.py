@@ -45,15 +45,26 @@ def _print_table2(strategy: str, case) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.harness",
                                      description=__doc__)
-    parser.add_argument("target", choices=[
+    parser.add_argument("target", nargs="?", default="report", choices=[
         "table1a", "table1b", "table1c", "table2a", "table2b", "table2c",
-        "fig1", "fig2", "fig3", "fig4", "compare", "claims", "all"])
+        "fig1", "fig2", "fig3", "fig4", "compare", "claims", "report",
+        "all"])
     parser.add_argument("--fast", action="store_true",
                         help="use the small FAST_CASE meshes")
     parser.add_argument("--cycles", type=int, default=None,
-                        help="override cycle count for fig2/fig4")
+                        help="override cycle count for fig2/fig4/report")
     parser.add_argument("--save", default=None, metavar="DIR",
                         help="save fig2/fig4 data as .npz under DIR")
+    parser.add_argument("--report", default=None, metavar="DIR",
+                        help="write the run report (report.json + "
+                             "report.md) under DIR; implies the 'report' "
+                             "target when no target is given")
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="rank count for the 'report' target")
+    parser.add_argument("--backend", choices=["sim", "mp"], default="sim",
+                        help="distributed backend for the 'report' "
+                             "target: the simulated machine (traffic-"
+                             "exact) or real OS processes")
     parser.add_argument("--trace", default=None, metavar="DIR",
                         help="run with a live telemetry tracer and write "
                              "<target>_trace.json/.jsonl plus a per-phase "
@@ -64,6 +75,11 @@ def main(argv=None) -> int:
                              "recoveries, fault injections) after the run")
     args = parser.parse_args(argv)
     case = FAST_CASE if args.fast else FULL_CASE
+
+    if args.target == "report":
+        rc = _run_report(args)
+        _print_event_counters(args)
+        return rc
 
     targets = ([args.target] if args.target != "all" else
                ["table1a", "table1b", "table1c", "table2a", "table2b",
@@ -81,6 +97,81 @@ def main(argv=None) -> int:
     rc = _run_targets(targets, args, case)
     _print_event_counters(args)
     return rc
+
+
+def _run_report(args) -> int:
+    """The 'report' target: one distributed run -> observatory RunReport.
+
+    Default case is the box27 mesh at 4 ranks (the paper-scale smoke
+    configuration CI archives); ``--fast`` drops to box8 for seconds-long
+    test runs.  Both backends run a plain step loop (no residual-norm
+    evaluations) so per-cycle traffic and flops are exactly one
+    five-stage step — the normalisation the model table assumes.
+    """
+    import time as _time
+    from pathlib import Path
+
+    from repro.distsolver import DistributedEulerSolver
+    from repro.mesh import box_mesh, build_edge_structure
+    from repro.observatory import (mp_run_report, render_markdown,
+                                   sim_run_report)
+    from repro.partition import recursive_spectral_bisection
+    from repro.solver import SolverConfig
+    from repro.state import freestream_state
+    from repro.telemetry import Tracer, use_tracer
+
+    n = 8 if args.fast else 27
+    case_name = f"box{n}"
+    n_cycles = args.cycles or 2
+    mesh = box_mesh(n, n, n)
+    struct = build_edge_structure(mesh)
+    w_inf = freestream_state(mach=0.768, alpha_deg=1.116)
+    asg = recursive_spectral_bisection(struct.edges, struct.n_vertices,
+                                       args.ranks)
+    config = SolverConfig()
+
+    def run_steps(driver):
+        w_list = driver.freestream_solution()
+        t0 = _time.perf_counter()
+        for _ in range(n_cycles):
+            w_list = driver.step(w_list)
+        return _time.perf_counter() - t0
+
+    if args.backend == "sim":
+        tracer = Tracer()
+        with use_tracer(tracer):
+            driver = DistributedEulerSolver(struct, w_inf, asg, config)
+            wall_s = run_steps(driver)
+        report = sim_run_report(case_name, driver, tracer, n_cycles, wall_s)
+    else:
+        import numpy as np
+
+        from repro.distsolver import run_distributed_mp
+
+        # Structural twin on the simulated machine: traffic phases and
+        # flop counts are partition properties, identical across
+        # backends — they feed the model table while the mp run
+        # supplies every host-side measurement.
+        with use_tracer(Tracer()):
+            twin = DistributedEulerSolver(struct, w_inf, asg, config)
+            run_steps(twin)
+        tracer = Tracer()
+        w_global = np.tile(w_inf, (struct.n_vertices, 1))
+        t0 = _time.perf_counter()
+        run_distributed_mp(twin.dmesh, w_global, w_inf, config,
+                           n_cycles=n_cycles, tracer=tracer)
+        wall_s = _time.perf_counter() - t0
+        report = mp_run_report(case_name, twin, tracer, n_cycles, wall_s)
+
+    markdown = render_markdown(report)
+    print(markdown)
+    if args.report is not None:
+        out = Path(args.report)
+        out.mkdir(parents=True, exist_ok=True)
+        report.to_json(out / "report.json")
+        (out / "report.md").write_text(markdown, encoding="utf-8")
+        print(f"report: wrote {out / 'report.json'} and {out / 'report.md'}")
+    return 0
 
 
 def _print_event_counters(args) -> None:

@@ -278,17 +278,23 @@ def make_executor(edges: np.ndarray, n_vertices: int, kind: str = "serial",
     if kind == "auto":
         kind = resolve_auto_kind(edges, n_vertices, n_threads)
     if kind in ("serial", "fused"):
-        return SerialExecutor(edges, n_vertices, tracer=tracer)
-    if kind == "colored":
-        return ColoredExecutor(edges, n_vertices, n_threads=1, tracer=tracer,
-                               sanitizer=sanitizer)
-    if kind == "colored-threaded":
-        return ColoredExecutor(edges, n_vertices, n_threads=n_threads,
-                               tracer=tracer, sanitizer=sanitizer)
-    if kind in COMPILED_KINDS:
+        executor = SerialExecutor(edges, n_vertices, tracer=tracer)
+    elif kind == "colored":
+        executor = ColoredExecutor(edges, n_vertices, n_threads=1,
+                                   tracer=tracer, sanitizer=sanitizer)
+    elif kind == "colored-threaded":
+        executor = ColoredExecutor(edges, n_vertices, n_threads=n_threads,
+                                   tracer=tracer, sanitizer=sanitizer)
+    elif kind in COMPILED_KINDS:
         from .compiled import make_compiled_executor, require_numba
         require_numba(f"executor={kind!r}")
-        return make_compiled_executor(
+        executor = make_compiled_executor(
             edges, n_vertices, parallel=(kind == "compiled-parallel"),
             n_threads=n_threads, tracer=tracer, sanitizer=sanitizer)
-    raise ValueError(f"unknown executor kind {kind!r}")
+    else:
+        raise ValueError(f"unknown executor kind {kind!r}")
+    # The resolved kind string rides along so downstream consumers (the
+    # observatory's per-executor rate gauges) can label measurements
+    # without re-running the auto heuristic.
+    executor.kind = kind
+    return executor

@@ -39,6 +39,8 @@ closure allocates small boundary-sized temporaries; see
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
+
 import numpy as np
 
 from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
@@ -285,6 +287,8 @@ class FusedResidual:
     def residual(self, w: np.ndarray, out: np.ndarray | None = None,
                  update_state: bool = True) -> np.ndarray:
         """Full residual ``R(w) = Q(w) - D(w)`` (one shared thermo pass)."""
+        tracer = self.tracer
+        t0 = _perf_counter() if tracer.enabled else 0.0
         if update_state:
             self.update_state(w)
         if out is None:
@@ -294,6 +298,17 @@ class FusedResidual:
         q = self.ws.state_buf("resid_q")
         self.convective(w, out=q)
         np.subtract(q, diss, out=out)
+        if tracer.enabled:
+            # Achieved per-executor throughput (observatory rate table).
+            # One perf_counter pair + two gauges per residual evaluation;
+            # nothing on the disabled path but the attribute check above.
+            dt = _perf_counter() - t0
+            if dt > 0.0:
+                kind = getattr(self.executor, "kind", "fused")
+                tracer.gauge(f"observatory.rate.{kind}.edges_per_s",
+                             self.n_edges / dt)
+                tracer.gauge(f"observatory.rate.{kind}.vertices_per_s",
+                             self.n_vertices / dt)
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Performance observatory: derived metrics and run reports.
+
+The layer between raw telemetry (:mod:`repro.telemetry`) and analysis:
+it consumes recorded spans, counters and traffic logs *after* a run and
+derives the paper's performance-analysis artifacts — per-neighbour
+communication matrices, load-imbalance factors, overlap efficiency,
+achieved per-edge rates, and a predicted-vs-measured table closing the
+loop against the machine models in :mod:`repro.perfmodel`.
+
+Nothing here executes during a solve: the only hot-path footprint is the
+gated counter/gauge call sites the observatory consumes (one
+``tracer.enabled`` attribute check each when tracing is off — covered by
+the ``--check-telemetry-overhead`` benchmark gate).
+
+Entry points: ``python -m repro.harness report --report DIR`` produces a
+:class:`RunReport` (JSON + markdown) for a box27 4-rank run on either
+distributed backend; ``benchmarks/track.py`` ingests the JSON form into
+the regression trajectory.  See docs/observability.md.
+"""
+
+from .metrics import (CommMatrix, LoadBalance, OverlapStats, achieved_rates,
+                      comm_matrix_from_log, comm_matrix_from_payloads,
+                      load_balance_from_payloads, load_balance_from_rank_flops,
+                      overlap_from_spans)
+from .modelcheck import ModelRow, measured_comm_seconds, predicted_vs_measured
+from .report import RunReport, mp_run_report, render_markdown, sim_run_report
+
+__all__ = ["CommMatrix", "LoadBalance", "OverlapStats", "ModelRow",
+           "RunReport", "achieved_rates", "comm_matrix_from_log",
+           "comm_matrix_from_payloads", "load_balance_from_payloads",
+           "load_balance_from_rank_flops", "measured_comm_seconds",
+           "mp_run_report", "overlap_from_spans", "predicted_vs_measured",
+           "render_markdown", "sim_run_report"]

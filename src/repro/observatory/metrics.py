@@ -1,0 +1,261 @@
+"""Derived performance metrics over the raw telemetry streams.
+
+The tracer records *what happened* (spans, counters, gauges); the paper's
+analysis needs *derived* quantities — who talked to whom, how balanced the
+ranks were, how much communication latency the overlap executor actually
+hid, and what per-edge rates each executor achieved.  This module computes
+those four artifacts from either telemetry source:
+
+* the :class:`~repro.parti.simmpi.SimMachine` traffic log (sim backend —
+  the per-pair matrices are always-on because the simulated machine *is*
+  the measurement instrument), or
+* the per-rank :class:`~repro.telemetry.TracePayload` stream of the mp
+  backend (``observatory.sent.<dst>.*`` counters, per-rank span
+  timelines), merged across all ranks.
+
+Everything here runs *after* a run, on recorded data — the observatory
+adds nothing to the hot path beyond the gated counter/gauge call sites it
+consumes (see docs/observability.md, "Derived metrics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..telemetry.export import aggregate, all_payloads
+
+__all__ = ["CommMatrix", "LoadBalance", "OverlapStats",
+           "comm_matrix_from_log", "comm_matrix_from_payloads",
+           "load_balance_from_rank_flops", "load_balance_from_payloads",
+           "overlap_from_spans", "achieved_rates",
+           "HIDDEN_SPANS", "EXPOSED_SPANS", "RATE_GAUGE_PREFIX"]
+
+#: Spans whose inclusive time is compute executed while messages were in
+#: flight (the overlap executor's interior windows).
+HIDDEN_SPANS = ("dist.overlap.interior", "mp.overlap.interior")
+
+#: Spans whose inclusive time is *exposed* communication wait: the
+#: delivering finish halves of posted exchanges.  (``comm.complete`` is
+#: nested inside ``parti.*.finish`` on the sim backend, so only the outer
+#: names are listed — inclusive times would double-count otherwise.)
+EXPOSED_SPANS = ("parti.gather.finish", "parti.scatter_add.finish",
+                 "mp.gather.finish", "mp.scatter_add.finish")
+
+#: Per-executor throughput gauges emitted by the fused pipeline.
+RATE_GAUGE_PREFIX = "observatory.rate."
+
+
+@dataclass
+class CommMatrix:
+    """Per-neighbour-pair message/byte totals of one run.
+
+    ``msgs[src][dst]`` / ``bytes[src][dst]`` count what rank ``src`` sent
+    to rank ``dst`` over the whole run; divide by ``n_cycles`` for the
+    per-cycle view the paper's neighbour-traffic analysis uses.
+    """
+
+    n_ranks: int
+    n_cycles: int
+    msgs: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    bytes: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+    def __post_init__(self):
+        if self.msgs.size == 0:
+            self.msgs = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        if self.bytes.size == 0:
+            self.bytes = np.zeros((self.n_ranks, self.n_ranks),
+                                  dtype=np.int64)
+
+    @property
+    def nonempty(self) -> bool:
+        return bool(self.msgs.sum() > 0)
+
+    @property
+    def total_msgs(self) -> int:
+        return int(self.msgs.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+    @property
+    def msgs_per_cycle(self) -> np.ndarray:
+        return self.msgs / max(self.n_cycles, 1)
+
+    @property
+    def bytes_per_cycle(self) -> np.ndarray:
+        return self.bytes / max(self.n_cycles, 1)
+
+    @property
+    def n_neighbor_pairs(self) -> int:
+        """Directed (src, dst) pairs that exchanged at least one message."""
+        return int(np.count_nonzero(self.msgs))
+
+    def to_dict(self) -> dict:
+        return {"n_ranks": self.n_ranks, "n_cycles": self.n_cycles,
+                "msgs": self.msgs.tolist(), "bytes": self.bytes.tolist()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CommMatrix":
+        return cls(n_ranks=int(d["n_ranks"]), n_cycles=int(d["n_cycles"]),
+                   msgs=np.asarray(d["msgs"], dtype=np.int64),
+                   bytes=np.asarray(d["bytes"], dtype=np.int64))
+
+
+def comm_matrix_from_log(log, n_cycles: int) -> CommMatrix:
+    """Sum the per-pair matrices of a SimMachine traffic log's phases."""
+    cm = CommMatrix(n_ranks=log.n_ranks, n_cycles=n_cycles)
+    for traffic in log.phases.values():
+        cm.msgs += traffic.pair_msgs
+        cm.bytes += traffic.pair_bytes
+    return cm
+
+
+def comm_matrix_from_payloads(source, n_ranks: int,
+                              n_cycles: int) -> CommMatrix:
+    """Reassemble the (src, dst) matrix from mp rank payload counters.
+
+    Each rank worker counts ``observatory.sent.<dst>.msgs/bytes`` into
+    its own tracer; the payload's ``pid`` is ``rank + 1`` (the driver's
+    own timeline is pid 0), which identifies the source row.
+    """
+    cm = CommMatrix(n_ranks=n_ranks, n_cycles=n_cycles)
+    for p in all_payloads(source):
+        src = p.pid - 1
+        if not (0 <= src < n_ranks):
+            continue
+        for name, value in p.counters.items():
+            if not name.startswith("observatory.sent."):
+                continue
+            _, _, dst_str, metric = name.split(".", 3)
+            dst = int(dst_str)
+            if not (0 <= dst < n_ranks):
+                continue
+            if metric == "msgs":
+                cm.msgs[src, dst] += int(value)
+            elif metric == "bytes":
+                cm.bytes[src, dst] += int(value)
+    return cm
+
+
+@dataclass
+class LoadBalance:
+    """Per-rank work distribution and the paper's imbalance factor.
+
+    ``imbalance = max(per_rank) / mean(per_rank)`` — 1.0 is perfect; the
+    bulk-synchronous step runs at the pace of the slowest rank, so the
+    factor is a direct lower bound on lost parallel efficiency.  The
+    basis names what was measured: ``"flops"`` (sim backend — the
+    single-process simulation has no per-rank wall clocks) or
+    ``"busy_s"`` (mp backend — per-rank cycle time from the worker
+    timelines).
+    """
+
+    basis: str
+    per_rank: list = field(default_factory=list)
+
+    @property
+    def imbalance(self) -> float:
+        values = np.asarray(self.per_rank, dtype=np.float64)
+        if values.size == 0 or values.mean() <= 0.0:
+            return 1.0
+        return float(values.max() / values.mean())
+
+    def to_dict(self) -> dict:
+        return {"basis": self.basis,
+                "per_rank": [float(v) for v in self.per_rank],
+                "imbalance": self.imbalance}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LoadBalance":
+        return cls(basis=d["basis"], per_rank=list(d["per_rank"]))
+
+
+def load_balance_from_rank_flops(rank_flops: dict) -> LoadBalance:
+    """Per-rank flop totals from a sim driver's ``rank_flops`` phases."""
+    total = None
+    for arr in rank_flops.values():
+        total = arr.copy() if total is None else total + arr
+    per_rank = [] if total is None else [float(v) for v in total]
+    return LoadBalance(basis="flops", per_rank=per_rank)
+
+
+def load_balance_from_payloads(source, n_ranks: int,
+                               busy_span: str = "solver.cycle") -> LoadBalance:
+    """Per-rank busy seconds from the mp workers' cycle spans."""
+    per_rank = [0.0] * n_ranks
+    for p in all_payloads(source):
+        rank = p.pid - 1
+        if not (0 <= rank < n_ranks) or p.records.size == 0:
+            continue
+        names = p.names
+        if busy_span not in names:
+            continue
+        name_id = names.index(busy_span)
+        recs = p.records[p.records["name"] == name_id]
+        per_rank[rank] += float((recs["t1"] - recs["t0"]).sum())
+    return LoadBalance(basis="busy_s", per_rank=per_rank)
+
+
+@dataclass
+class OverlapStats:
+    """How much communication latency the overlap executor hid.
+
+    ``hidden_s`` is compute executed inside the message-flight windows
+    (the ``*.overlap.interior`` spans); ``exposed_s`` is time spent
+    waiting in the delivering finish halves.  The efficiency is the
+    hidden fraction of the total communication window — 1.0 means every
+    exchange completed behind interior compute, 0.0 means fully
+    synchronous (the blocking executor's regime).
+    """
+
+    hidden_s: float = 0.0
+    exposed_s: float = 0.0
+
+    @property
+    def efficiency(self) -> float:
+        window = self.hidden_s + self.exposed_s
+        if window <= 0.0:
+            return 0.0
+        return self.hidden_s / window
+
+    def to_dict(self) -> dict:
+        return {"hidden_s": self.hidden_s, "exposed_s": self.exposed_s,
+                "efficiency": self.efficiency}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OverlapStats":
+        return cls(hidden_s=float(d["hidden_s"]),
+                   exposed_s=float(d["exposed_s"]))
+
+
+def overlap_from_spans(source) -> OverlapStats:
+    """Hidden/exposed communication time from merged span aggregates."""
+    stats = aggregate(source)
+    hidden = sum(stats[n]["total_s"] for n in HIDDEN_SPANS if n in stats)
+    exposed = sum(stats[n]["total_s"] for n in EXPOSED_SPANS if n in stats)
+    return OverlapStats(hidden_s=float(hidden), exposed_s=float(exposed))
+
+
+def achieved_rates(source) -> dict:
+    """Per-executor-kind achieved rates from ``observatory.rate.*`` gauges.
+
+    Returns ``{kind: {metric: mean_value}}`` merged across payloads
+    (observation-count-weighted means), e.g.
+    ``{"fused": {"edges_per_s": 3.1e6, "vertices_per_s": 4.8e5}}``.
+    """
+    sums: dict[str, dict[str, list[float]]] = {}
+    for p in all_payloads(source):
+        for name, stats in p.gauges.items():
+            if not name.startswith(RATE_GAUGE_PREFIX):
+                continue
+            kind, metric = name[len(RATE_GAUGE_PREFIX):].rsplit(".", 1)
+            acc = sums.setdefault(kind, {}).setdefault(metric, [0.0, 0.0])
+            count = float(stats.get("count", 1.0))
+            acc[0] += float(stats.get("mean", 0.0)) * count
+            acc[1] += count
+    return {kind: {metric: (total / count if count else 0.0)
+                   for metric, (total, count) in metrics.items()}
+            for kind, metrics in sums.items()}

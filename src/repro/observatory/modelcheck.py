@@ -1,0 +1,114 @@
+"""Predicted-vs-measured: price a live run on the Touchstone Delta model.
+
+The paper's tables compare *achieved* rates against what the machine
+model predicts.  This module does the reproduction's version of that
+closure: it feeds the **measured** traffic and flop counts of a real
+distributed run (the same inputs Tables 2a-2c consume) into the Delta
+model of :mod:`repro.perfmodel.delta` at *our own* mesh size and rank
+count — scale factor 1, no extrapolation — and sets the model's
+predictions next to what the host actually measured.
+
+The absolute-seconds rows therefore compare a 1992 Touchstone Delta
+(predicted) against the machine running this code (measured); their
+ratio is the host-vs-Delta speed factor, itself a reproduction artifact.
+The dimensionless ``comm_fraction`` row is directly comparable: the
+model's communication share of the cycle versus the measured share of
+wall-clock spent in communication spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perfmodel.cache import edge_loop_hit_rate
+from ..perfmodel.delta import measure_traffic, model_delta_run
+from ..telemetry.export import aggregate
+
+__all__ = ["ModelRow", "predicted_vs_measured", "measured_comm_seconds"]
+
+#: Span-name prefixes whose *exclusive* time counts as communication on
+#: the host: the simulated machine's fabric plus the PARTI pack/unpack
+#: layer (sim backend), and the pipe transport (mp backend).
+COMM_SPAN_PREFIXES = ("comm.", "parti.", "mp.gather", "mp.scatter_add")
+
+
+@dataclass
+class ModelRow:
+    """One line of the predicted-vs-measured table."""
+
+    metric: str
+    predicted: float
+    measured: float
+    unit: str
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / predicted (``None`` when the prediction is zero)."""
+        if self.predicted == 0.0:
+            return None
+        return self.measured / self.predicted
+
+    def to_dict(self) -> dict:
+        return {"metric": self.metric, "predicted": self.predicted,
+                "measured": self.measured, "unit": self.unit,
+                "ratio": self.ratio}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModelRow":
+        return cls(metric=d["metric"], predicted=float(d["predicted"]),
+                   measured=float(d["measured"]), unit=d["unit"])
+
+
+def measured_comm_seconds(source) -> float:
+    """Host wall-clock spent in communication spans (exclusive time)."""
+    stats = aggregate(source)
+    return float(sum(row["self_s"] for name, row in stats.items()
+                     if name.startswith(COMM_SPAN_PREFIXES)))
+
+
+def predicted_vs_measured(machine_log, rank_flops: dict, n_ranks: int,
+                          n_vertices: int, n_edges: int, edges: np.ndarray,
+                          ghost_ratio: float, n_cycles: int, wall_s: float,
+                          comm_s: float,
+                          timeline_s: float | None = None) -> list[ModelRow]:
+    """Build the predicted-vs-measured table for one distributed run.
+
+    Parameters mirror what a :class:`DistributedEulerSolver` run leaves
+    behind: the machine's traffic ``log``, the driver's per-phase
+    ``rank_flops``, the mesh/partition shape, and the host-side
+    measurements (``wall_s`` for the whole run, ``comm_s`` from
+    :func:`measured_comm_seconds`).  The Delta model is evaluated at our
+    own mesh and rank count (identity scaling), so the prediction prices
+    exactly the run that was measured.
+
+    ``timeline_s`` is the total recorded timeline extent the comm
+    fraction is taken of: for the single-process sim backend it equals
+    ``wall_s`` (all ranks' work runs serially in one process), for the
+    mp backend it is ``n_ranks * wall_s`` (``comm_s`` sums waits across
+    all concurrent rank timelines).
+    """
+    if wall_s <= 0.0 or n_cycles <= 0:
+        return []
+    if timeline_s is None:
+        timeline_s = wall_s
+    meas = measure_traffic(machine_log, [rank_flops], n_cycles,
+                           [n_vertices], [n_edges], [ghost_ratio])
+    hit_rate = edge_loop_hit_rate(edges, np.arange(n_edges))
+    model = model_delta_run(meas, n_ranks, [n_vertices], [n_edges],
+                            hit_rate, n_cycles=n_cycles)
+
+    total_flops = float(sum(arr.sum() for arr in rank_flops.values()))
+    measured_mflops = total_flops / wall_s / 1e6
+    rows = [
+        ModelRow("comm_fraction", model.comm_s / model.total_s
+                 if model.total_s > 0 else 0.0,
+                 comm_s / timeline_s, "fraction of run"),
+        ModelRow("time_per_edge_cycle",
+                 model.total_s / n_cycles / n_edges * 1e6,
+                 wall_s / n_cycles / n_edges * 1e6, "us/edge/cycle"),
+        ModelRow("aggregate_rate", model.mflops, measured_mflops, "MFLOPS"),
+        ModelRow("comm_s", model.comm_s, comm_s, "s (Delta vs host)"),
+    ]
+    return rows

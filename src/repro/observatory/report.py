@@ -1,0 +1,271 @@
+"""Run reports: one serializable record of a distributed run's analysis.
+
+A :class:`RunReport` packages the observatory's derived metrics — comm
+matrix, load balance, overlap efficiency, achieved rates, and the
+predicted-vs-measured model table — together with enough run metadata to
+compare reports across commits (the regression tracker in
+``benchmarks/track.py`` ingests the JSON form).  Two builders cover the
+two distributed backends:
+
+* :func:`sim_run_report` — from a :class:`DistributedEulerSolver` run on
+  the simulated machine (per-pair traffic from the machine log, load
+  balance from the flop instrumentation);
+* :func:`mp_run_report` — from a ``run_distributed_mp`` run plus its
+  *structural twin* (a sim run of the same partition, supplying the
+  traffic/flop inputs of the model table, which are partition properties
+  and identical across backends); per-rank payloads are merged for the
+  comm matrix, busy times and overlap spans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import (CommMatrix, LoadBalance, OverlapStats, achieved_rates,
+                      comm_matrix_from_log, comm_matrix_from_payloads,
+                      load_balance_from_payloads, load_balance_from_rank_flops,
+                      overlap_from_spans)
+from .modelcheck import ModelRow, measured_comm_seconds, predicted_vs_measured
+
+__all__ = ["RunReport", "sim_run_report", "mp_run_report",
+           "render_markdown"]
+
+#: Bump when the JSON schema changes incompatibly.
+REPORT_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """Derived-metrics record of one distributed run."""
+
+    case: str
+    backend: str                     # "sim" | "mp"
+    dist_mode: str
+    n_ranks: int
+    n_cycles: int
+    n_vertices: int
+    n_edges: int
+    wall_s: float
+    comm_matrix: CommMatrix
+    load_balance: LoadBalance
+    overlap: OverlapStats
+    rates: dict = field(default_factory=dict)
+    model_rows: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    version: int = REPORT_VERSION
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "case": self.case,
+            "backend": self.backend,
+            "dist_mode": self.dist_mode,
+            "n_ranks": self.n_ranks,
+            "n_cycles": self.n_cycles,
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "wall_s": self.wall_s,
+            "comm_matrix": self.comm_matrix.to_dict(),
+            "load_balance": self.load_balance.to_dict(),
+            "overlap": self.overlap.to_dict(),
+            "rates": self.rates,
+            "model_rows": [r.to_dict() for r in self.model_rows],
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        return cls(
+            case=d["case"], backend=d["backend"], dist_mode=d["dist_mode"],
+            n_ranks=int(d["n_ranks"]), n_cycles=int(d["n_cycles"]),
+            n_vertices=int(d["n_vertices"]), n_edges=int(d["n_edges"]),
+            wall_s=float(d["wall_s"]),
+            comm_matrix=CommMatrix.from_dict(d["comm_matrix"]),
+            load_balance=LoadBalance.from_dict(d["load_balance"]),
+            overlap=OverlapStats.from_dict(d["overlap"]),
+            rates=dict(d.get("rates", {})),
+            model_rows=[ModelRow.from_dict(r)
+                        for r in d.get("model_rows", [])],
+            counters=dict(d.get("counters", {})),
+            version=int(d.get("version", REPORT_VERSION)),
+        )
+
+    def to_json(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_json(cls, path) -> "RunReport":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def _ghost_ratio(dmesh) -> float:
+    """Mean ghosts per rank over mean owned per rank (model input)."""
+    ghosts = sum(rm.n_local - rm.n_owned for rm in dmesh.ranks)
+    owned = sum(rm.n_owned for rm in dmesh.ranks)
+    return float(ghosts / max(owned, 1))
+
+
+def _derived_rate(name: str, n_edges: int, n_vertices: int, n_cycles: int,
+                  wall_s: float) -> dict:
+    """Whole-run achieved rate of a distributed executor (edge-cycles/s)."""
+    if wall_s <= 0.0:
+        return {}
+    return {name: {"edges_per_s": n_edges * n_cycles / wall_s,
+                   "vertices_per_s": n_vertices * n_cycles / wall_s}}
+
+
+def sim_run_report(case: str, driver, tracer, n_cycles: int,
+                   wall_s: float) -> RunReport:
+    """Build a report from a finished sim-backend run.
+
+    ``driver`` is the :class:`DistributedEulerSolver` after ``run()``
+    with ``tracer`` installed; the machine log and ``rank_flops`` hold
+    the whole-run accumulations.
+    """
+    struct = driver.struct
+    rates = achieved_rates(tracer)
+    rates.update(_derived_rate(f"dist-{driver.config.dist_mode}",
+                               struct.n_edges, struct.n_vertices,
+                               n_cycles, wall_s))
+    return RunReport(
+        case=case, backend="sim", dist_mode=driver.config.dist_mode,
+        n_ranks=driver.n_ranks, n_cycles=n_cycles,
+        n_vertices=struct.n_vertices, n_edges=struct.n_edges,
+        wall_s=wall_s,
+        comm_matrix=comm_matrix_from_log(driver.machine.log, n_cycles),
+        load_balance=load_balance_from_rank_flops(driver.rank_flops),
+        overlap=overlap_from_spans(tracer),
+        rates=rates,
+        model_rows=predicted_vs_measured(
+            driver.machine.log, driver.rank_flops, driver.n_ranks,
+            struct.n_vertices, struct.n_edges, struct.edges,
+            _ghost_ratio(driver.dmesh), n_cycles, wall_s,
+            measured_comm_seconds(tracer)),
+        counters=tracer.counters(),
+    )
+
+
+def mp_run_report(case: str, sim_twin, tracer, n_cycles: int,
+                  wall_s: float) -> RunReport:
+    """Build a report from a finished mp-backend run.
+
+    ``tracer`` is the driver tracer passed to ``run_distributed_mp``,
+    now holding one remote payload per rank; ``sim_twin`` is a
+    :class:`DistributedEulerSolver` of the *same partition* that has run
+    the same number of cycles on the simulated machine, supplying the
+    structural model inputs (traffic phases and flop counts do not
+    depend on the backend).  The host-side measurements — wall time,
+    busy times, overlap spans, the comm matrix — all come from the mp
+    rank payloads, merged.
+    """
+    struct = sim_twin.struct
+    n_ranks = sim_twin.n_ranks
+    payloads = tracer.remote_payloads
+    rates = achieved_rates(tracer)
+    rates.update(_derived_rate(f"mp-{sim_twin.config.dist_mode}",
+                               struct.n_edges, struct.n_vertices,
+                               n_cycles, wall_s))
+    merged_counters: dict = {}
+    for p in payloads:
+        for name, value in p.counters.items():
+            merged_counters[name] = merged_counters.get(name, 0.0) + value
+    return RunReport(
+        case=case, backend="mp", dist_mode=sim_twin.config.dist_mode,
+        n_ranks=n_ranks, n_cycles=n_cycles,
+        n_vertices=struct.n_vertices, n_edges=struct.n_edges,
+        wall_s=wall_s,
+        comm_matrix=comm_matrix_from_payloads(payloads, n_ranks, n_cycles),
+        load_balance=load_balance_from_payloads(payloads, n_ranks),
+        overlap=overlap_from_spans(payloads),
+        rates=rates,
+        model_rows=predicted_vs_measured(
+            sim_twin.machine.log, sim_twin.rank_flops, n_ranks,
+            struct.n_vertices, struct.n_edges, struct.edges,
+            _ghost_ratio(sim_twin.dmesh), n_cycles, wall_s,
+            measured_comm_seconds(payloads),
+            timeline_s=n_ranks * wall_s),
+        counters=merged_counters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Markdown renderer
+# ---------------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.3g}"
+    return f"{value:,.3f}".rstrip("0").rstrip(".")
+
+
+def render_markdown(report: RunReport) -> str:
+    """The human-readable form of a run report (GitHub-flavored tables)."""
+    r = report
+    lines = [
+        f"# Run report: {r.case} ({r.backend} backend, "
+        f"{r.n_ranks} ranks)",
+        "",
+        f"- mesh: {r.n_vertices:,} vertices, {r.n_edges:,} edges",
+        f"- executor: `dist_mode={r.dist_mode}`, {r.n_cycles} cycles "
+        f"in {r.wall_s:.3f} s wall",
+        f"- load imbalance (max/mean {r.load_balance.basis}): "
+        f"**{r.load_balance.imbalance:.3f}**",
+        f"- overlap efficiency: **{r.overlap.efficiency:.3f}** "
+        f"(hidden {r.overlap.hidden_s * 1e3:.1f} ms, exposed "
+        f"{r.overlap.exposed_s * 1e3:.1f} ms)",
+        "",
+        "## Communication matrix (messages per cycle, src rank -> dst rank)",
+        "",
+    ]
+    msgs = r.comm_matrix.msgs_per_cycle
+    byts = r.comm_matrix.bytes_per_cycle
+    header = "| src\\dst | " + " | ".join(str(d) for d in
+                                          range(r.n_ranks)) + " |"
+    lines.append(header)
+    lines.append("|---" * (r.n_ranks + 1) + "|")
+    for src in range(r.n_ranks):
+        cells = " | ".join(_fmt(float(msgs[src, dst]))
+                           for dst in range(r.n_ranks))
+        lines.append(f"| {src} | {cells} |")
+    lines += [
+        "",
+        f"Totals: {r.comm_matrix.total_msgs:,} messages, "
+        f"{r.comm_matrix.total_bytes:,} bytes over "
+        f"{r.comm_matrix.n_neighbor_pairs} neighbour pairs; "
+        f"{_fmt(float(byts.sum()))} bytes/cycle.",
+        "",
+        "## Predicted vs measured (Touchstone Delta model at our scale)",
+        "",
+        "| metric | predicted | measured | ratio | unit |",
+        "|---|---|---|---|---|",
+    ]
+    for row in r.model_rows:
+        ratio = "-" if row.ratio is None else f"{row.ratio:.3g}"
+        lines.append(f"| {row.metric} | {_fmt(row.predicted)} | "
+                     f"{_fmt(row.measured)} | {ratio} | {row.unit} |")
+    lines += ["", "## Achieved rates", "",
+              "| executor | edges/s | vertices/s |", "|---|---|---|"]
+    for kind in sorted(r.rates):
+        metrics = r.rates[kind]
+        lines.append(f"| {kind} | "
+                     f"{_fmt(metrics.get('edges_per_s', 0.0))} | "
+                     f"{_fmt(metrics.get('vertices_per_s', 0.0))} |")
+    lines += ["", "## Per-rank load", "",
+              "| rank | " + r.load_balance.basis + " |", "|---|---|"]
+    for rank, value in enumerate(r.load_balance.per_rank):
+        lines.append(f"| {rank} | {_fmt(float(value))} |")
+    lines.append("")
+    return "\n".join(lines)

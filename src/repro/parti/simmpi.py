@@ -29,13 +29,21 @@ __all__ = ["SimMachine", "TrafficLog", "PhaseTraffic"]
 
 @dataclass
 class PhaseTraffic:
-    """Per-rank traffic counters of one named communication phase."""
+    """Per-rank traffic counters of one named communication phase.
+
+    Besides the per-rank send/receive totals this also keeps the full
+    ``(n_ranks, n_ranks)`` neighbour matrices (``pair_msgs[src, dst]`` /
+    ``pair_bytes[src, dst]``) — the raw material of the observatory's
+    per-cycle communication matrix (the paper's neighbour-traffic view).
+    """
 
     n_ranks: int
     msgs_sent: np.ndarray = None
     bytes_sent: np.ndarray = None
     msgs_recv: np.ndarray = None
     bytes_recv: np.ndarray = None
+    pair_msgs: np.ndarray = None
+    pair_bytes: np.ndarray = None
     occurrences: int = 0
 
     def __post_init__(self):
@@ -43,6 +51,10 @@ class PhaseTraffic:
         self.bytes_sent = np.zeros(self.n_ranks, dtype=np.int64)
         self.msgs_recv = np.zeros(self.n_ranks, dtype=np.int64)
         self.bytes_recv = np.zeros(self.n_ranks, dtype=np.int64)
+        self.pair_msgs = np.zeros((self.n_ranks, self.n_ranks),
+                                  dtype=np.int64)
+        self.pair_bytes = np.zeros((self.n_ranks, self.n_ranks),
+                                   dtype=np.int64)
 
     @property
     def total_bytes(self) -> int:
@@ -146,6 +158,8 @@ class SimMachine:
             traffic.bytes_sent[src] += payload.nbytes
             traffic.msgs_recv[dst] += 1
             traffic.bytes_recv[dst] += payload.nbytes
+            traffic.pair_msgs[src, dst] += 1
+            traffic.pair_bytes[src, dst] += payload.nbytes
             n_msgs += 1
             n_bytes += payload.nbytes
             delivered[(src, dst)] = payload

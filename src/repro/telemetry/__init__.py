@@ -39,7 +39,8 @@ from . import export
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TracePayload",
            "CounterStore", "GaugeStats", "GaugeStore", "export", "traced",
            "get_tracer", "set_tracer", "use_tracer",
-           "count_event", "global_counters", "reset_global_counters"]
+           "count_event", "global_counters", "merge_global_counters",
+           "reset_global_counters"]
 
 _GLOBAL_TRACER = NULL_TRACER
 
@@ -65,6 +66,21 @@ def count_event(name: str, value: float = 1.0) -> None:
 def global_counters() -> dict:
     """Snapshot of the always-on event counters (``{name: total}``)."""
     return _EVENT_COUNTERS.as_dict()
+
+
+def merge_global_counters(delta: dict) -> None:
+    """Fold another process's event-counter *delta* into this process.
+
+    Used by the mp distributed driver: each rank worker snapshots the
+    (fork-inherited) counters at entry and reports only what it added,
+    so the parent's merged totals reflect every rank exactly once.
+    Deltas go into the global store only — not the ambient tracer —
+    because a traced rank already carries its counters in its
+    :class:`TracePayload` and would otherwise be double-counted in
+    merged exports.
+    """
+    for name, value in delta.items():
+        _EVENT_COUNTERS.add(name, value)
 
 
 def reset_global_counters() -> None:

@@ -99,6 +99,13 @@ def chrome_trace_events(source: Any) -> list[dict]:
             events.append({"name": "process_name", "ph": "M", "pid": p.pid,
                            "tid": 0, "args": {"name": p.label}})
         names = p.names
+        # One labeled row per thread: spans from the colored-threaded
+        # executor's workers land on distinct tids, and the metadata
+        # keeps the rows identifiable after Chrome re-sorts them.
+        for tid in np.unique(p.records["tid"]) if p.records.size else ():
+            events.append({"name": "thread_name", "ph": "M", "pid": p.pid,
+                           "tid": int(tid),
+                           "args": {"name": f"thread {int(tid)}"}})
         for rec in p.records:
             events.append({
                 "name": names[int(rec["name"])],
@@ -116,7 +123,11 @@ def chrome_trace_events(source: Any) -> list[dict]:
                            "ts": t_end, "args": {k: float(v) for k, v
                                                  in sorted(counters.items())}})
     # Chrome sorts by ts; emitting sorted keeps diffs stable for tests.
-    events.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+    # Keys: per process, per thread row, by start time — and on exact
+    # start-time ties the longer (enclosing) span must precede its
+    # children, or nested same-start spans render mis-parented.
+    events.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0),
+                               e.get("ts", 0.0), -e.get("dur", 0.0)))
     return events
 
 
@@ -141,7 +152,12 @@ def _self_times(payload: TracePayload) -> dict[str, list[float]]:
         return out
     for tid in np.unique(recs["tid"]):
         spans = recs[recs["tid"] == tid]
-        order = np.argsort(spans["t0"], kind="stable")
+        # Records arrive in *completion* order (children before their
+        # parents), so a stable sort on t0 alone would put a child ahead
+        # of a parent that started the same instant and invert the
+        # containment attribution.  Longest-first on t0 ties restores
+        # parent-before-child.  (lexsort: last key is primary.)
+        order = np.lexsort((spans["t0"] - spans["t1"], spans["t0"]))
         spans = spans[order]
         # Stack of open intervals: (t1, children_seconds_accumulator idx)
         child_time = np.zeros(spans.size)

@@ -33,6 +33,23 @@ class TestCli:
             main(["nonsense"])
 
 
+class TestReportTarget:
+    def test_report_fast_writes_json_and_markdown(self, tmp_path, capsys):
+        assert main(["report", "--fast", "--ranks", "2", "--cycles", "1",
+                     "--report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out and "Communication matrix" in out
+        from repro.observatory import RunReport
+        report = RunReport.from_json(tmp_path / "report.json")
+        assert report.backend == "sim" and report.n_ranks == 2
+        assert report.comm_matrix.nonempty
+        assert (tmp_path / "report.md").read_text().startswith("# Run report")
+
+    def test_report_is_default_target(self, capsys):
+        assert main(["--fast", "--ranks", "2", "--cycles", "1"]) == 0
+        assert "Run report" in capsys.readouterr().out
+
+
 class TestRecordSaving:
     def test_fig2_save(self, tmp_path, capsys):
         assert main(["fig2", "--fast", "--cycles", "2",

@@ -1,0 +1,118 @@
+"""Error paths of the executor-crossover calibration table.
+
+The contract under test: a missing, malformed, or null-filled table must
+degrade ``executor="auto"`` to the hand-coded fallbacks, never raise.
+"""
+
+import json
+
+import pytest
+
+from repro.kernels import calibration
+from repro.kernels.calibration import (CALIBRATION_ENV,
+                                       DEFAULT_COMPILED_MIN_EDGES,
+                                       calibration_path, crossover,
+                                       invalidate_cache, load_calibration)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test resolves the table from scratch and leaves no cache."""
+    invalidate_cache()
+    yield
+    invalidate_cache()
+
+
+def _point_at(monkeypatch, path) -> None:
+    monkeypatch.setenv(CALIBRATION_ENV, str(path))
+
+
+class TestLoadErrors:
+    def test_env_pointing_at_missing_file_gives_empty(self, monkeypatch,
+                                                      tmp_path):
+        _point_at(monkeypatch, tmp_path / "nope.json")
+        assert load_calibration() == {}
+
+    def test_malformed_json_gives_empty(self, monkeypatch, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ truncated", encoding="utf-8")
+        _point_at(monkeypatch, bad)
+        assert load_calibration() == {}
+
+    def test_non_dict_document_gives_empty(self, monkeypatch, tmp_path):
+        top_level_list = tmp_path / "list.json"
+        top_level_list.write_text("[1, 2, 3]", encoding="utf-8")
+        _point_at(monkeypatch, top_level_list)
+        assert load_calibration() == {}
+
+    def test_env_override_wins_over_packaged_table(self, monkeypatch,
+                                                   tmp_path):
+        table = tmp_path / "cal.json"
+        table.write_text("{}", encoding="utf-8")
+        _point_at(monkeypatch, table)
+        assert calibration_path() == table
+
+    def test_cache_invalidation_sees_new_env(self, monkeypatch, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"crossovers": {"x": 5}}), encoding="utf-8")
+        _point_at(monkeypatch, a)
+        assert crossover("x", 1.0) == 5.0
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps({"crossovers": {"x": 7}}), encoding="utf-8")
+        _point_at(monkeypatch, b)
+        # The cache keys on the resolved path, so no explicit
+        # invalidation is needed when the env var moves.
+        assert crossover("x", 1.0) == 7.0
+
+
+class TestCrossoverFallbacks:
+    def test_null_crossover_falls_back(self, monkeypatch, tmp_path):
+        table = tmp_path / "cal.json"
+        table.write_text(json.dumps(
+            {"crossovers": {"compiled_min_edges": None}}), encoding="utf-8")
+        _point_at(monkeypatch, table)
+        assert crossover("compiled_min_edges",
+                         DEFAULT_COMPILED_MIN_EDGES) == \
+            DEFAULT_COMPILED_MIN_EDGES
+
+    def test_all_null_table_degrades_to_heuristic(self, monkeypatch,
+                                                  tmp_path):
+        table = tmp_path / "cal.json"
+        table.write_text(json.dumps({"crossovers": {
+            "colored_threaded_min_per_color": None,
+            "compiled_min_edges": None,
+            "compiled_parallel_min_edges": None,
+        }}), encoding="utf-8")
+        _point_at(monkeypatch, table)
+        for name in ("colored_threaded_min_per_color", "compiled_min_edges",
+                     "compiled_parallel_min_edges"):
+            assert crossover(name, 1234.0) == 1234.0
+
+    def test_uncastable_value_falls_back(self, monkeypatch, tmp_path):
+        table = tmp_path / "cal.json"
+        table.write_text(json.dumps(
+            {"crossovers": {"compiled_min_edges": "not-a-number"}}),
+            encoding="utf-8")
+        _point_at(monkeypatch, table)
+        assert crossover("compiled_min_edges", 42.0) == 42.0
+
+    def test_missing_crossovers_section_falls_back(self, monkeypatch,
+                                                   tmp_path):
+        table = tmp_path / "cal.json"
+        table.write_text("{}", encoding="utf-8")
+        _point_at(monkeypatch, table)
+        assert crossover("compiled_min_edges", 42.0) == 42.0
+
+
+class TestAutoResolutionSurvives:
+    def test_auto_kind_resolves_with_broken_table(self, monkeypatch,
+                                                  tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all", encoding="utf-8")
+        _point_at(monkeypatch, bad)
+        import numpy as np
+
+        from repro.kernels.executors import resolve_auto_kind
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+        kind = resolve_auto_kind(edges, n_vertices=4, n_threads=2)
+        assert isinstance(kind, str) and kind

@@ -1,0 +1,140 @@
+"""Unit tests for the observatory's derived-metric computations."""
+
+import numpy as np
+import pytest
+
+from repro.observatory import (CommMatrix, LoadBalance, OverlapStats,
+                               achieved_rates, comm_matrix_from_payloads,
+                               load_balance_from_payloads,
+                               load_balance_from_rank_flops,
+                               overlap_from_spans)
+from repro.telemetry import TracePayload, Tracer
+from repro.telemetry.tracer import SPAN_DTYPE
+
+
+class TestCommMatrix:
+    def test_roundtrip_and_derived(self):
+        msgs = np.array([[0, 3], [2, 0]], dtype=np.int64)
+        byts = np.array([[0, 300], [200, 0]], dtype=np.int64)
+        cm = CommMatrix(n_ranks=2, n_cycles=3, msgs=msgs, bytes=byts)
+        assert cm.nonempty
+        assert cm.total_msgs == 5 and cm.total_bytes == 500
+        assert cm.n_neighbor_pairs == 2
+        np.testing.assert_allclose(cm.msgs_per_cycle, msgs / 3)
+        back = CommMatrix.from_dict(cm.to_dict())
+        np.testing.assert_array_equal(back.msgs, msgs)
+        np.testing.assert_array_equal(back.bytes, byts)
+        assert back.n_cycles == 3
+
+    def test_empty_is_not_nonempty(self):
+        cm = CommMatrix(n_ranks=3, n_cycles=1)
+        assert not cm.nonempty
+        assert cm.n_neighbor_pairs == 0
+
+    def test_from_payload_sent_counters(self):
+        # pid = rank + 1; rank 0 sends to 1, rank 1 sends to 0.
+        p0 = TracePayload(pid=1, counters={"observatory.sent.1.msgs": 4,
+                                           "observatory.sent.1.bytes": 640,
+                                           "unrelated.counter": 9})
+        p1 = TracePayload(pid=2, counters={"observatory.sent.0.msgs": 4,
+                                           "observatory.sent.0.bytes": 640})
+        cm = comm_matrix_from_payloads([p0, p1], n_ranks=2, n_cycles=2)
+        np.testing.assert_array_equal(cm.msgs, [[0, 4], [4, 0]])
+        np.testing.assert_array_equal(cm.bytes, [[0, 640], [640, 0]])
+        np.testing.assert_allclose(cm.msgs_per_cycle, [[0, 2], [2, 0]])
+
+    def test_from_payload_ignores_foreign_pids(self):
+        driver = TracePayload(pid=0, counters={"observatory.sent.1.msgs": 9})
+        cm = comm_matrix_from_payloads([driver], n_ranks=2, n_cycles=1)
+        assert not cm.nonempty
+
+
+class TestLoadBalance:
+    def test_imbalance_is_max_over_mean(self):
+        lb = LoadBalance(basis="flops", per_rank=[1.0, 1.0, 2.0])
+        assert lb.imbalance == pytest.approx(1.5)
+
+    def test_empty_or_zero_is_balanced(self):
+        assert LoadBalance(basis="flops", per_rank=[]).imbalance == 1.0
+        assert LoadBalance(basis="flops",
+                           per_rank=[0.0, 0.0]).imbalance == 1.0
+
+    def test_from_rank_flops_sums_phases(self):
+        rank_flops = {"phase_a": np.array([10.0, 20.0]),
+                      "phase_b": np.array([5.0, 5.0])}
+        lb = load_balance_from_rank_flops(rank_flops)
+        assert lb.basis == "flops"
+        assert lb.per_rank == [15.0, 25.0]
+        assert lb.imbalance == pytest.approx(1.25)
+
+    def test_from_payload_cycle_spans(self):
+        def payload(rank, durations):
+            records = np.array(
+                [(0, 0, 0, float(i), float(i) + d)
+                 for i, d in enumerate(durations)], dtype=SPAN_DTYPE)
+            return TracePayload(names=["solver.cycle"], records=records,
+                                pid=rank + 1)
+
+        lb = load_balance_from_payloads(
+            [payload(0, [0.2, 0.2]), payload(1, [0.3, 0.3])], n_ranks=2)
+        assert lb.basis == "busy_s"
+        assert lb.per_rank == pytest.approx([0.4, 0.6])
+        assert lb.imbalance == pytest.approx(1.2)
+
+    def test_roundtrip(self):
+        lb = LoadBalance(basis="busy_s", per_rank=[1.0, 3.0])
+        back = LoadBalance.from_dict(lb.to_dict())
+        assert back.basis == "busy_s" and back.per_rank == [1.0, 3.0]
+
+
+class TestOverlap:
+    def test_efficiency_bounds(self):
+        assert OverlapStats().efficiency == 0.0
+        assert OverlapStats(hidden_s=1.0).efficiency == 1.0
+        assert OverlapStats(hidden_s=1.0,
+                            exposed_s=3.0).efficiency == pytest.approx(0.25)
+
+    def test_from_spans(self):
+        records = np.array(
+            [(0, 0, 0, 0.0, 0.3),    # dist.overlap.interior  -> hidden
+             (1, 0, 0, 0.3, 0.4),    # parti.gather.finish    -> exposed
+             (2, 0, 0, 0.4, 0.9)],   # unrelated compute span
+            dtype=SPAN_DTYPE)
+        p = TracePayload(names=["dist.overlap.interior",
+                                "parti.gather.finish", "flux"],
+                         records=records)
+        stats = overlap_from_spans(p)
+        assert stats.hidden_s == pytest.approx(0.3)
+        assert stats.exposed_s == pytest.approx(0.1)
+        assert stats.efficiency == pytest.approx(0.75)
+
+
+class TestAchievedRates:
+    def test_count_weighted_merge(self):
+        t = Tracer()
+        t.gauge("observatory.rate.fused.edges_per_s", 100.0)
+        t.gauge("observatory.rate.fused.edges_per_s", 200.0)
+        t.gauge("observatory.rate.fused.vertices_per_s", 50.0)
+        t.gauge("other.gauge", 1.0)
+        rates = achieved_rates(t)
+        assert set(rates) == {"fused"}
+        assert rates["fused"]["edges_per_s"] == pytest.approx(150.0)
+        assert rates["fused"]["vertices_per_s"] == pytest.approx(50.0)
+
+    def test_rate_gauges_emitted_by_fused_pipeline(self, bump_struct, winf):
+        from repro.kernels import FusedResidual
+        from repro.solver import SolverConfig, build_boundary_data
+        from repro.telemetry import use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            fused = FusedResidual(bump_struct,
+                                  build_boundary_data(bump_struct),
+                                  SolverConfig(), winf)
+            w = np.tile(winf, (bump_struct.n_vertices, 1))
+            fused.residual(w)
+        rates = achieved_rates(tracer)
+        assert rates, "expected observatory.rate.* gauges from residual()"
+        (kind, metrics), = rates.items()
+        assert metrics["edges_per_s"] > 0.0
+        assert metrics["vertices_per_s"] > 0.0

@@ -1,0 +1,141 @@
+"""Integration tests: RunReport builders on real distributed runs."""
+
+import numpy as np
+import pytest
+
+from repro.distsolver import DistributedEulerSolver
+from repro.observatory import (RunReport, mp_run_report, render_markdown,
+                               sim_run_report)
+from repro.partition import recursive_spectral_bisection
+from repro.solver import SolverConfig
+from repro.telemetry import (Tracer, count_event, global_counters,
+                             merge_global_counters, use_tracer)
+
+
+@pytest.fixture(scope="module")
+def asg2(bump_struct):
+    return recursive_spectral_bisection(bump_struct.edges,
+                                        bump_struct.n_vertices, 2)
+
+
+def _run_sim(bump_struct, winf, asg, n_cycles=2):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        driver = DistributedEulerSolver(bump_struct, winf, asg,
+                                        SolverConfig())
+        w = driver.freestream_solution()
+        for _ in range(n_cycles):
+            w = driver.step(w)
+    return driver, tracer
+
+
+class TestSimReport:
+    @pytest.fixture(scope="class")
+    def report(self, bump_struct, winf, asg2):
+        driver, tracer = _run_sim(bump_struct, winf, asg2)
+        return sim_run_report("bump", driver, tracer, n_cycles=2,
+                              wall_s=0.5)
+
+    def test_shape(self, report, bump_struct):
+        assert report.backend == "sim" and report.n_ranks == 2
+        assert report.n_vertices == bump_struct.n_vertices
+        assert report.comm_matrix.nonempty
+        # Ranks never message themselves.
+        assert np.trace(report.comm_matrix.msgs) == 0
+
+    def test_load_balance(self, report):
+        assert report.load_balance.basis == "flops"
+        assert len(report.load_balance.per_rank) == 2
+        assert report.load_balance.imbalance >= 1.0
+
+    def test_overlap_efficiency_in_unit_interval(self, report):
+        assert 0.0 < report.overlap.efficiency <= 1.0
+
+    def test_model_rows(self, report):
+        metrics = {row.metric for row in report.model_rows}
+        assert {"comm_fraction", "time_per_edge_cycle",
+                "aggregate_rate", "comm_s"} <= metrics
+        for row in report.model_rows:
+            assert row.predicted >= 0.0 and row.measured >= 0.0
+
+    def test_json_roundtrip(self, report, tmp_path):
+        path = report.to_json(tmp_path / "report.json")
+        back = RunReport.from_json(path)
+        assert back.case == report.case
+        assert back.load_balance.imbalance == pytest.approx(
+            report.load_balance.imbalance)
+        np.testing.assert_array_equal(back.comm_matrix.msgs,
+                                      report.comm_matrix.msgs)
+        assert [r.metric for r in back.model_rows] == \
+            [r.metric for r in report.model_rows]
+        assert back.overlap.efficiency == pytest.approx(
+            report.overlap.efficiency)
+
+    def test_markdown_renders_all_sections(self, report):
+        text = render_markdown(report)
+        for heading in ("Communication matrix", "Predicted vs measured",
+                        "Achieved rates", "Per-rank load"):
+            assert heading in text
+        assert "load imbalance" in text and "overlap efficiency" in text
+
+
+class TestMpReport:
+    @pytest.fixture(scope="class")
+    def twin_and_tracer(self, bump_struct, winf, asg2):
+        from repro.distsolver import run_distributed_mp
+
+        twin, _ = _run_sim(bump_struct, winf, asg2)
+        tracer = Tracer()
+        w0 = np.tile(winf, (bump_struct.n_vertices, 1))
+        run_distributed_mp(twin.dmesh, w0, winf, SolverConfig(),
+                           n_cycles=2, tracer=tracer)
+        return twin, tracer
+
+    def test_all_ranks_merged(self, twin_and_tracer):
+        twin, tracer = twin_and_tracer
+        report = mp_run_report("bump", twin, tracer, n_cycles=2,
+                               wall_s=1.0)
+        assert report.backend == "mp"
+        assert report.comm_matrix.nonempty
+        assert report.comm_matrix.msgs.shape == (2, 2)
+        assert report.load_balance.basis == "busy_s"
+        assert all(v > 0.0 for v in report.load_balance.per_rank)
+        assert report.model_rows
+
+    def test_matches_sim_comm_matrix(self, twin_and_tracer, bump_struct,
+                                     winf, asg2):
+        from repro.observatory import comm_matrix_from_log
+
+        twin, tracer = twin_and_tracer
+        report = mp_run_report("bump", twin, tracer, n_cycles=2,
+                               wall_s=1.0)
+        sim_cm = comm_matrix_from_log(twin.machine.log, n_cycles=2)
+        np.testing.assert_array_equal(report.comm_matrix.msgs, sim_cm.msgs)
+
+
+class TestCounterMerge:
+    def test_merge_global_counters_folds_delta(self):
+        before = global_counters().get("observatory.test.sentinel", 0.0)
+        merge_global_counters({"observatory.test.sentinel": 3.0})
+        after = global_counters()["observatory.test.sentinel"]
+        assert after == pytest.approx(before + 3.0)
+
+    def test_clean_mp_run_does_not_duplicate_parent_events(
+            self, bump_struct, winf, asg2):
+        """Fork-inherited parent counters must not be re-merged.
+
+        The mp workers inherit the parent's event counters at fork; the
+        delta-against-baseline logic in the worker must keep a clean run
+        from echoing them back (which would double-count every parent
+        event per rank).
+        """
+        from repro.distsolver import run_distributed_mp
+
+        twin, _ = _run_sim(bump_struct, winf, asg2, n_cycles=1)
+        count_event("observatory.test.parent_event", 7.0)
+        before = global_counters()["observatory.test.parent_event"]
+        w0 = np.tile(winf, (bump_struct.n_vertices, 1))
+        run_distributed_mp(twin.dmesh, w0, winf, SolverConfig(),
+                           n_cycles=1)
+        after = global_counters()["observatory.test.parent_event"]
+        assert after == pytest.approx(before)

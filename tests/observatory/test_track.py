@@ -1,0 +1,161 @@
+"""The benchmark regression tracker (benchmarks/track.py).
+
+The acceptance pair: ``--check`` passes on the committed trajectory and
+exits nonzero when a synthetic 20% slowdown is injected into a copy of
+``BENCH_residual.json``.
+"""
+
+import importlib.util
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "track", REPO_ROOT / "benchmarks" / "track.py")
+track = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(track)
+
+RESIDUAL = REPO_ROOT / "BENCH_residual.json"
+DISTRIBUTED = REPO_ROOT / "BENCH_distributed.json"
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def _args(history, residual=RESIDUAL, distributed=DISTRIBUTED, extra=()):
+    return ["--history", str(history), "--residual", str(residual),
+            "--distributed", str(distributed), *extra]
+
+
+@pytest.fixture()
+def seeded_history(tmp_path):
+    """A history file ingested from the committed benchmark results."""
+    history = tmp_path / "history.jsonl"
+    rc = track.main(["--ingest", "--label", "seed", *_args(history)])
+    assert rc == 0
+    return history
+
+
+def _slowed_residual_copy(tmp_path, factor=1.25) -> Path:
+    """Copy BENCH_residual.json with the fused executor 20% slower."""
+    doc = json.loads(RESIDUAL.read_text())
+    for case in doc["cases"]:
+        case["residual_ms"]["fused"] *= factor
+        case["step_ms"]["fused"] *= factor
+        case["speedup"]["fused_residual"] = (
+            case["residual_ms"]["serial"] / case["residual_ms"]["fused"])
+        case["speedup"]["fused_step"] = (
+            case["step_ms"]["serial"] / case["step_ms"]["fused"])
+    path = tmp_path / "BENCH_residual_slow.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+class TestCheck:
+    def test_committed_trajectory_passes(self):
+        assert HISTORY.exists(), "seeded BENCH_history.jsonl missing"
+        rc = track.main(["--check", *_args(HISTORY)])
+        assert rc == 0
+
+    def test_unchanged_files_pass(self, seeded_history):
+        assert track.main(["--check", *_args(seeded_history)]) == 0
+
+    def test_synthetic_20pct_slowdown_fails(self, seeded_history, tmp_path,
+                                            capsys):
+        slow = _slowed_residual_copy(tmp_path)
+        rc = track.main(["--check",
+                         *_args(seeded_history, residual=slow)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "speedup.fused_residual" in out
+
+    def test_threshold_is_configurable(self, seeded_history, tmp_path):
+        slow = _slowed_residual_copy(tmp_path)
+        rc = track.main(["--check", "--threshold", "0.5",
+                         *_args(seeded_history, residual=slow)])
+        assert rc == 0
+
+    def test_traffic_growth_fails_tight_limit(self, seeded_history,
+                                              tmp_path):
+        doc = json.loads(DISTRIBUTED.read_text())
+        doc["cases"][0]["traffic"]["overlap"]["msgs_per_cycle"] *= 1.05
+        grown = tmp_path / "BENCH_distributed_grown.json"
+        grown.write_text(json.dumps(doc), encoding="utf-8")
+        rc = track.main(["--check",
+                         *_args(seeded_history, distributed=grown)])
+        assert rc == 1
+
+    def test_new_metric_does_not_fail(self, seeded_history, tmp_path):
+        doc = json.loads(RESIDUAL.read_text())
+        doc["cases"][0]["speedup"]["brand_new_executor"] = 3.0
+        extended = tmp_path / "BENCH_residual_new.json"
+        extended.write_text(json.dumps(doc), encoding="utf-8")
+        rc = track.main(["--check",
+                         *_args(seeded_history, residual=extended)])
+        assert rc == 0
+
+    def test_missing_history_is_an_error(self, tmp_path):
+        rc = track.main(["--check", *_args(tmp_path / "none.jsonl")])
+        assert rc == 2
+
+
+class TestIngest:
+    def test_appends_jsonl_entries(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert track.main(["--ingest", "--label", "a",
+                           *_args(history)]) == 0
+        assert track.main(["--ingest", "--label", "b",
+                           *_args(history)]) == 0
+        entries = track.read_history(history)
+        assert [e["label"] for e in entries] == ["a", "b"]
+        assert all(e["metrics"] for e in entries)
+
+    def test_baseline_takes_latest_value(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        track.append_history(history, "old", {"x/speedup": 1.0})
+        track.append_history(history, "new", {"x/speedup": 2.0})
+        assert track.baseline_metrics(
+            track.read_history(history)) == {"x/speedup": 2.0}
+
+
+class TestReportMetrics:
+    def test_extraction_from_report_json(self, tmp_path):
+        report = {
+            "case": "box27", "backend": "sim", "n_ranks": 2, "n_cycles": 2,
+            "comm_matrix": {"n_ranks": 2, "n_cycles": 2,
+                            "msgs": [[0, 4], [4, 0]],
+                            "bytes": [[0, 800], [800, 0]]},
+            "load_balance": {"basis": "flops", "per_rank": [1.0, 1.5],
+                             "imbalance": 1.2},
+            "overlap": {"hidden_s": 0.3, "exposed_s": 0.1,
+                        "efficiency": 0.75},
+        }
+        metrics = track.metrics_from_report(report)
+        tag = "report/box27-simx2"
+        assert metrics[f"{tag}/msgs_per_cycle"] == pytest.approx(4.0)
+        assert metrics[f"{tag}/bytes_per_cycle"] == pytest.approx(800.0)
+        assert metrics[f"{tag}/neighbor_pairs"] == 2.0
+        assert metrics[f"{tag}/load_imbalance"] == pytest.approx(1.2)
+        assert metrics[f"{tag}/overlap_efficiency"] == pytest.approx(0.75)
+
+    def test_check_with_report_roundtrip(self, tmp_path):
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({
+            "case": "bump", "backend": "sim", "n_ranks": 2, "n_cycles": 1,
+            "comm_matrix": {"n_ranks": 2, "n_cycles": 1,
+                            "msgs": [[0, 2], [2, 0]],
+                            "bytes": [[0, 10], [10, 0]]},
+            "load_balance": {"imbalance": 1.1},
+            "overlap": {"efficiency": 0.9},
+        }), encoding="utf-8")
+        history = tmp_path / "history.jsonl"
+        args = _args(history, extra=["--report", str(report)])
+        assert track.main(["--ingest", *args]) == 0
+        assert track.main(["--check", *args]) == 0
+
+    def test_missing_report_is_an_error(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        rc = track.main(["--ingest", *_args(
+            history, extra=["--report", str(tmp_path / "none.json")])])
+        assert rc == 2

@@ -76,8 +76,8 @@ class TestChromeTrace:
         pids = [p.pid for p in payloads]
         assert len(set(pids)) == len(pids)
         events = chrome_trace_events(simple_tracer)
-        meta = [e for e in events if e["ph"] == "M"]
-        assert meta and meta[0]["args"] == {"name": "rank0"}
+        proc = [e for e in events if e["name"] == "process_name"]
+        assert proc and proc[0]["args"] == {"name": "rank0"}
 
 
 class TestAggregate:

@@ -1,0 +1,131 @@
+"""Round-trip the exporter trio on one crafted multi-thread payload.
+
+The payload exercises the two cases the exporters historically got
+wrong: spans recorded in *completion* order (child lands in the buffer
+before its parent), and a parent/child pair starting at the exact same
+timestamp — where a stable start-time sort alone would invert the
+nesting in both the Chrome trace and the self-time attribution.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry import TracePayload, Tracer
+from repro.telemetry.tracer import SPAN_DTYPE
+from repro.telemetry.export import (aggregate, chrome_trace_events,
+                                    format_summary, write_chrome_trace,
+                                    write_jsonl)
+
+
+@pytest.fixture()
+def crafted_payload():
+    """Two threads; thread 0 has an exact-t0 parent/child tie.
+
+    Records are listed in completion order, as the ring buffer stores
+    them: children complete (and land) before their parents.
+    """
+    names = ["root", "child", "worker"]
+    records = np.array(
+        [(1, 0, 1, 0.0, 0.4),    # child: same t0 as its parent
+         (0, 0, 0, 0.0, 1.0),    # root completes last on thread 0
+         (2, 1, 0, 0.1, 0.3),
+         (2, 1, 0, 0.5, 0.6)],
+        dtype=SPAN_DTYPE)
+    return TracePayload(
+        names=names, records=records,
+        counters={"bytes": 10.0},
+        gauges={"rate": {"last": 2.0, "min": 1.0, "max": 3.0,
+                         "mean": 2.0, "count": 2}},
+        pid=0, label="crafted")
+
+
+class TestJsonlRoundTrip:
+    def test_spans_counters_gauges_survive(self, crafted_payload, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(crafted_payload, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == n
+        meta = next(line for line in lines if line["type"] == "meta")
+        assert meta["n_spans"] == 4 and meta["label"] == "crafted"
+        spans = [line for line in lines if line["type"] == "span"]
+        got = {(s["name"], s["tid"], s["t0"], s["t1"]) for s in spans}
+        want = {("child", 0, 0.0, 0.4), ("root", 0, 0.0, 1.0),
+                ("worker", 1, 0.1, 0.3), ("worker", 1, 0.5, 0.6)}
+        assert got == want
+        counter = next(line for line in lines if line["type"] == "counter")
+        assert (counter["name"], counter["value"]) == ("bytes", 10.0)
+        gauge = next(line for line in lines if line["type"] == "gauge")
+        assert gauge["name"] == "rate" and gauge["mean"] == 2.0
+
+
+class TestChromeRoundTrip:
+    def test_thread_rows_and_tie_ordering(self, crafted_payload, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(crafted_payload, path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) == n
+        x_events = [e for e in events if e["ph"] == "X"]
+        # Spans from different threads land on distinct tid rows.
+        assert {e["tid"] for e in x_events} == {0, 1}
+        # ... and every tid row carries a thread_name metadata event.
+        thread_names = {e["tid"] for e in events
+                        if e["name"] == "thread_name"}
+        assert thread_names == {0, 1}
+        # On the exact-t0 tie the enclosing span precedes its child,
+        # despite the completion-order buffer listing the child first.
+        order = [e["name"] for e in x_events if e["tid"] == 0]
+        assert order == ["root", "child"]
+
+    def test_sorted_by_pid_tid_ts(self, crafted_payload):
+        x_events = [e for e in chrome_trace_events(crafted_payload)
+                    if e["ph"] == "X"]
+        keys = [(e["pid"], e["tid"], e["ts"]) for e in x_events]
+        assert keys == sorted(keys)
+
+
+class TestSummaryRoundTrip:
+    def test_tie_attribution_exact(self, crafted_payload):
+        stats = aggregate(crafted_payload)
+        assert stats["root"]["total_s"] == pytest.approx(1.0)
+        # The same-start child is contained, not a sibling: root's self
+        # time excludes it.
+        assert stats["root"]["self_s"] == pytest.approx(0.6)
+        assert stats["child"]["self_s"] == pytest.approx(0.4)
+        assert stats["worker"]["count"] == 2
+        assert stats["worker"]["self_s"] == pytest.approx(0.3)
+
+    def test_format_summary_lists_all_phases(self, crafted_payload):
+        text = format_summary(crafted_payload, wall_s=1.0)
+        for name in ("root", "child", "worker"):
+            assert name in text
+
+
+class TestLiveMultiThread:
+    def test_concurrent_threads_get_distinct_tids(self, tmp_path):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work():
+            barrier.wait()
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = chrome_trace_events(tracer)
+        x_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert len(x_tids) == 2
+        # Self-time attribution never goes negative even with both
+        # threads' spans interleaved in the buffer.
+        stats = aggregate(tracer)
+        assert stats["outer"]["count"] == 2
+        assert stats["outer"]["self_s"] >= 0.0
+        assert stats["inner"]["self_s"] >= 0.0
