@@ -28,6 +28,19 @@ it and fails when the overlap *speedup* (a machine-relative ratio)
 falls below 80% of the recorded one, or when the per-cycle message
 count stops shrinking.
 
+The grid also carries ``mp-transport`` cases: the true-multiprocessing
+backend timed end-to-end under both ghost-payload transports
+(``transport="pipe"`` — pickled arrays through pipes — vs
+``transport="shm"`` — zero-copy shared-memory slabs with sub-PIPE_BUF
+control descriptors).  These cases record the pipe-vs-slab byte split
+from the observatory comm matrix and gate on two deterministic facts:
+the two transports produce bit-identical states, and under shm the
+pipes carry *exactly* ``msgs x CTRL_BYTES`` — zero pickled array bytes.
+The wall-clock transport speedup is recorded but machine-bound: on a
+single-core host all ranks time-share one CPU and the pickle savings
+cannot show up as wall time, so its regression rule only fails on
+collapse (see ``track.py``).
+
 Usage::
 
     python benchmarks/bench_distributed.py           # full grid
@@ -39,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -47,11 +61,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.distsolver import DistributedEulerSolver
+from repro.distsolver import DistributedEulerSolver, run_distributed_mp
+from repro.distsolver.shm_channel import CTRL_BYTES
 from repro.mesh import box_mesh, build_edge_structure
+from repro.observatory import comm_matrix_from_payloads
 from repro.partition import recursive_spectral_bisection
 from repro.solver import EulerSolver, SolverConfig
+from repro.solver.config import TRANSPORTS
 from repro.state import freestream_state
+from repro.telemetry import Tracer
 
 MODES = ("blocking", "overlap")
 
@@ -126,18 +144,102 @@ def bench_case(name: str, mesh, n_ranks: int, w_inf, rounds: int,
     }
 
 
+def bench_mp_case(name: str, mesh, n_ranks: int, w_inf, rounds: int,
+                  n_cycles: int = 2) -> dict:
+    """Real-OS-process backend timed under both ghost-payload transports.
+
+    Correctness is gated against the simulated machine (<= 1e-12
+    relative) and the two transports against each other (bit-identical);
+    the traced runs supply the observatory comm matrix from which the
+    pipe-vs-slab byte split per cycle is recorded.
+    """
+    struct = build_edge_structure(mesh)
+    asg = recursive_spectral_bisection(struct.edges, struct.n_vertices,
+                                       n_ranks)
+    sim = DistributedEulerSolver(struct, w_inf, asg, SolverConfig())
+    dmesh = sim.dmesh
+    w0 = np.tile(w_inf, (struct.n_vertices, 1))
+
+    def run(transport, tracer=None):
+        cfg = SolverConfig(transport=transport)
+        return run_distributed_mp(dmesh, w0, w_inf, cfg,
+                                  n_cycles=n_cycles, tracer=tracer)
+
+    # Correctness: both transports vs the simulated machine, and the
+    # shm slabs bit-identical to the pipe baseline.
+    w_sim = sim.freestream_solution()
+    for _ in range(n_cycles):
+        w_sim = sim.step(w_sim)
+    w_sim = sim.collect(w_sim)
+    scale = float(np.max(np.abs(w_sim)))
+    states, traffic = {}, {}
+    max_rel = 0.0
+    for transport in TRANSPORTS:
+        tracer = Tracer()
+        states[transport] = run(transport, tracer=tracer)
+        cm = comm_matrix_from_payloads(tracer.remote_payloads, n_ranks,
+                                       n_cycles)
+        traffic[transport] = {
+            "msgs_per_cycle": int(cm.total_msgs // n_cycles),
+            "pipe_bytes_per_cycle": int(cm.total_bytes // n_cycles),
+            "shm_bytes_per_cycle": int(cm.total_shm_bytes // n_cycles),
+        }
+        rel = float(np.max(np.abs(states[transport] - w_sim)) / scale)
+        max_rel = max(max_rel, rel)
+        if rel > 1e-12:
+            raise SystemExit(
+                f"{name}/{n_ranks}r: mp transport {transport!r} deviates "
+                f"{rel:.2e} from the simulated machine (tolerance 1e-12)")
+    bit_identical = bool(np.array_equal(states["pipe"], states["shm"]))
+
+    run_ms = _interleaved_median(
+        {t: (lambda t=t: run(t)) for t in TRANSPORTS}, rounds, 1)
+
+    return {
+        "kind": "mp-transport",
+        "mesh": name,
+        "n_ranks": n_ranks,
+        "n_vertices": struct.n_vertices,
+        "n_edges": struct.n_edges,
+        "n_cycles": n_cycles,
+        "max_rel_diff": max_rel,
+        "bit_identical": bit_identical,
+        "run_ms": run_ms,
+        "traffic": traffic,
+        "ctrl_bytes": CTRL_BYTES,
+        "transport_speedup": run_ms["pipe"] / run_ms["shm"],
+    }
+
+
 def check_report(report: dict, baseline_path: Path | None,
                  tolerance: float = 0.8) -> int:
     """Structural + (optionally) baseline-relative gates.
 
     Always: overlap must send fewer messages per cycle than blocking in
-    every case.  With a baseline: the overlap speedup of every case also
-    present in the baseline must stay above 80% of the recorded one.
+    every sim case, and every mp-transport case must be bit-identical
+    across transports with shm pipes carrying exactly ``msgs x
+    CTRL_BYTES`` (zero pickled array bytes).  With a baseline: the
+    overlap speedup of every sim case also present in the baseline must
+    stay above 80% of the recorded one.
     """
     rc = 0
     for case in report["cases"]:
         t = case["traffic"]
         label = f"{case['mesh']}/{case['n_ranks']}r"
+        if case.get("kind") == "mp-transport":
+            if not case["bit_identical"]:
+                print(f"FAIL: {label}: shm transport is not bit-identical "
+                      f"to the pipe transport")
+                rc = 1
+            ctrl_only = case["traffic"]["shm"]["msgs_per_cycle"] \
+                * case["ctrl_bytes"]
+            actual = case["traffic"]["shm"]["pipe_bytes_per_cycle"]
+            if actual != ctrl_only:
+                print(f"FAIL: {label}: shm pipes carried {actual} B/cycle, "
+                      f"expected {ctrl_only} (control descriptors only) — "
+                      f"pickled array bytes leaked into the pipes")
+                rc = 1
+            continue
         if t["overlap"]["msgs_per_cycle"] >= t["blocking"]["msgs_per_cycle"]:
             print(f"FAIL: {label}: overlap sends "
                   f"{t['overlap']['msgs_per_cycle']} msgs/cycle, blocking "
@@ -146,8 +248,10 @@ def check_report(report: dict, baseline_path: Path | None,
     if baseline_path is not None:
         baseline = json.loads(baseline_path.read_text())
         base = {(c["mesh"], c["n_ranks"]): c["speedup"]
-                for c in baseline["cases"]}
+                for c in baseline["cases"] if "speedup" in c}
         for case in report["cases"]:
+            if "speedup" not in case:
+                continue
             key = (case["mesh"], case["n_ranks"])
             if key not in base:
                 continue
@@ -184,6 +288,7 @@ def main(argv=None) -> int:
     if args.quick:
         grid = [("box8", box_mesh(8, 8, 8), 2, 2),
                 ("box8", box_mesh(8, 8, 8), 4, 2)]
+        mp_grid = [("box8", box_mesh(8, 8, 8), 4)]
     else:
         grid = [
             ("box16", box_mesh(16, 16, 16), 2, 1),
@@ -191,6 +296,9 @@ def main(argv=None) -> int:
             # ~20k-vertex box at 4 ranks: the acceptance case (>= 1.5x).
             ("box27", box_mesh(27, 27, 27), 4, 1),
         ]
+        # The 4-8 rank span of the true-multiprocessing transports.
+        mp_grid = [("box12", box_mesh(12, 12, 12), 8),
+                   ("box27", box_mesh(27, 27, 27), 4)]
 
     report = {
         "meta": {
@@ -199,6 +307,9 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            # Transport wall-clock ratios only separate when ranks have
+            # their own cores; record the budget the numbers ran under.
+            "cpu_count": os.cpu_count(),
         },
         "cases": [],
     }
@@ -213,6 +324,21 @@ def main(argv=None) -> int:
                   f"{t[mode]['msgs_per_cycle']:4d} msgs/cycle   "
                   f"{t[mode]['bytes_per_cycle']:9d} B/cycle")
         print(f"  overlap speedup: {case['speedup']:.2f}x")
+
+    for name, mesh, n_ranks in mp_grid:
+        case = bench_mp_case(name, mesh, n_ranks, w_inf, rounds)
+        report["cases"].append(case)
+        print(f"{name}/{n_ranks}r mp: nv={case['n_vertices']} "
+              f"ne={case['n_edges']} max_rel={case['max_rel_diff']:.2e} "
+              f"bit_identical={case['bit_identical']}")
+        for t in TRANSPORTS:
+            traf = case["traffic"][t]
+            print(f"  {t:5s} run {case['run_ms'][t]:8.2f} ms   "
+                  f"{traf['msgs_per_cycle']:4d} msgs/cycle   "
+                  f"pipe {traf['pipe_bytes_per_cycle']:9d} B/cycle   "
+                  f"slab {traf['shm_bytes_per_cycle']:9d} B/cycle")
+        print(f"  transport speedup (pipe/shm): "
+              f"{case['transport_speedup']:.2f}x")
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -40,6 +40,13 @@ METRIC_RULES = [
     ("msgs_per_cycle", False, 0.01),
     ("bytes_per_cycle", False, 0.01),
     ("neighbor_pairs", False, 0.01),
+    # Wall-clock ratio of the mp ghost transports (pipe/shm).  On hosts
+    # where all ranks time-share one core the ratio sits at ~1.0 by
+    # construction (the pickle savings are CPU, not wall), so like
+    # overlap_efficiency it only fails on collapse, not on scheduler
+    # noise.  Must precede the generic "speedup" rule (first match
+    # wins).
+    ("transport_speedup", True, 0.5),
     ("speedup", True, None),
 ]
 
@@ -73,6 +80,18 @@ def metrics_from_distributed(doc: dict) -> dict:
     out = {}
     for case in doc.get("cases", []):
         tag = f"{case['mesh']}x{case['n_ranks']}"
+        if case.get("kind") == "mp-transport":
+            # Real-OS-process transport cases: the deterministic byte
+            # split per transport plus the (collapse-gated) wall ratio.
+            out[f"distributed/{tag}-mp/transport_speedup"] = \
+                float(case["transport_speedup"])
+            for transport, traffic in case.get("traffic", {}).items():
+                for name in ("msgs_per_cycle", "pipe_bytes_per_cycle",
+                             "shm_bytes_per_cycle"):
+                    if name in traffic:
+                        out[f"distributed/{tag}-mp/{transport}.{name}"] = \
+                            float(traffic[name])
+            continue
         if "speedup" in case:
             out[f"distributed/{tag}/speedup"] = float(case["speedup"])
         for mode, traffic in case.get("traffic", {}).items():

@@ -15,31 +15,92 @@ via a precomputed CSR :class:`~repro.scatter.EdgeScatter`) while the
 messages are in flight, then completes the *boundary* edges on arrival.
 The full five-stage solver runs on the simulated machine and in
 :mod:`repro.distsolver.mp_solver`.
+
+``transport="shm"`` swaps the pickled-array pipe payloads for the
+zero-copy :mod:`~repro.distsolver.shm_channel` slabs (same phase
+protocol, control descriptors through the pipes).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
+from collections import deque
 
 import numpy as np
 
 from ..constants import NVAR
 from ..parti.schedule import GatherSchedule
 from ..resilience import collect_results
+from ..resilience.errors import TransportProtocolError
 from ..scatter import EdgeScatter
 from ..state import flux_vectors
+from .mp_solver import widen_pipe
 from .partitioned_mesh import DistributedMesh
+from .shm_channel import ShmInlet, ShmSlabPool, is_shm_ctrl, pair_extents
 
 __all__ = ["mp_convective_residual"]
 
 
+class _PhaseStash:
+    """Out-of-phase message buffer: per-phase deques, per-sender FIFO.
+
+    Ranks run asynchronously: a fast neighbour's scatter message can
+    arrive while this rank is still waiting for gather data, so
+    mismatched messages are stashed and replayed.  One deque per phase
+    keeps each sender's messages in their pipe arrival order (the old
+    single-list scan broke per-sender FIFO and re-walked every stashed
+    entry per receive); ``want_src`` narrows a receive to one sender so
+    the scatter fold can run in deterministic sender order.  Shm control
+    descriptors are resolved to their slab views through ``opener`` at
+    *consumption* time — a stashed descriptor holds its slot lease until
+    the phase actually reads it.
+    """
+
+    def __init__(self, inbox, opener=None):
+        self.inbox = inbox
+        self.opener = opener
+        self._stash: dict = {}
+
+    def recv(self, expected: str, want_src: int | None = None):
+        """Next ``(src, data)`` of phase ``expected`` (any or one src)."""
+        entries = self._stash.get(expected)
+        found = None
+        if entries:
+            if want_src is None:
+                found = entries.popleft()
+            else:
+                for k, (src, data) in enumerate(entries):
+                    if src == want_src:
+                        del entries[k]
+                        found = (src, data)
+                        break
+            if not entries:
+                del self._stash[expected]
+        if found is None:
+            while True:
+                src, phase, data = self.inbox.recv()
+                if phase == expected and (want_src is None
+                                          or src == want_src):
+                    found = (src, data)
+                    break
+                self._stash.setdefault(phase, deque()).append((src, data))
+        src, data = found
+        if self.opener is not None and is_shm_ctrl(data):
+            data = self.opener(src, data)
+        return src, data
+
+
 def _worker(rank: int, payload: dict, inbox, outboxes: dict,
-            result_queue) -> None:
+            result_queue, pool=None, timeout: float = 60.0,
+            outbox_locks: dict | None = None) -> None:
     """One rank's SPMD loop: post gather, interior loop, finish, scatter.
 
     ``payload`` carries this rank's mesh data (edge list split
     interior/boundary) and its slice of the schedule (who to send what,
-    and where incoming data lands).
+    and where incoming data lands).  With ``pool`` given, payloads move
+    through its shared-memory slabs and the pipes carry only control
+    descriptors.
     """
     n_owned = payload["n_owned"]
     n_ghost = payload["n_ghost"]
@@ -47,27 +108,39 @@ def _worker(rank: int, payload: dict, inbox, outboxes: dict,
     w_local = payload["w_local"]            # [owned | ghost-uninitialised]
     send_indices = payload["send_indices"]   # {dst: local idx to pack}
     recv_slices = payload["recv_slices"]     # {src: (start, stop)} in ghosts
-    return_indices = payload["send_indices"]  # scatter goes backwards
+    #: Scatter-return landing map — built explicitly by ``_rank_payload``
+    #: (NOT an alias of ``send_indices``): each requester this rank
+    #: packed gather values for returns its ghost contributions onto
+    #: exactly those packed local indices.
+    return_indices = payload["return_indices"]
 
-    # Ranks run asynchronously: a fast neighbour's scatter message can
-    # arrive while this rank is still waiting for gather data, so
-    # out-of-phase messages are stashed and replayed.
-    stash: list = []
+    outlet = pool.outlet_channels(rank) if pool is not None else None
+    inlet = ShmInlet(pool.inlet_channels(rank)) if pool is not None else None
 
-    def recv_phase(expected: str):
-        for k, (src, phase, data) in enumerate(stash):
-            if phase == expected:
-                stash.pop(k)
-                return src, data
-        while True:
-            src, phase, data = inbox.recv()
-            if phase == expected:
-                return src, data
-            stash.append((src, phase, data))
+    def send(dst: int, phase: str, data: np.ndarray) -> None:
+        if outlet is None:
+            # Pipe writes above PIPE_BUF are not atomic and every rank
+            # writes into dst's one inbox — the per-inbox lock keeps
+            # concurrent payload sends from interleaving.  (shm control
+            # descriptors below are sub-PIPE_BUF, hence lock-free.)
+            with outbox_locks[dst]:
+                outboxes[dst].send((rank, phase, data))
+            return
+        claimed = outlet[dst].begin_send(data.shape,
+                                         time.monotonic() + timeout)
+        if claimed is None:   # pragma: no cover - wedged peer
+            raise TransportProtocolError(
+                (rank, dst), f"slab wait timed out in phase {phase!r}")
+        ctrl, view = claimed
+        np.copyto(view, data)
+        outboxes[dst].send((rank, phase, ctrl))
+
+    stash = _PhaseStash(inbox,
+                        opener=inlet.open if inlet is not None else None)
 
     # --- gather begin: post owned values ----------------------------------
     for dst, idx in send_indices.items():
-        outboxes[dst].send((rank, "gather", w_local[idx]))
+        send(dst, "gather", w_local[idx])
 
     # --- overlap window: interior edge loop off owned rows only -----------
     def edge_flux(edges, eta, sc, out, accumulate):
@@ -83,12 +156,10 @@ def _worker(rank: int, payload: dict, inbox, outboxes: dict,
               q, False)
 
     # --- gather finish: receive ghosts, complete boundary edges -----------
-    pending = set(recv_slices)
-    while pending:
-        src, data = recv_phase("gather")
+    for _ in range(len(recv_slices)):
+        src, data = stash.recv("gather")
         start, stop = recv_slices[src]
         w_local[n_owned + start:n_owned + stop] = data
-        pending.discard(src)
     f[n_owned:] = flux_vectors(w_local[n_owned:])
     sc_bnd = EdgeScatter(payload["boundary_edges"], n_local)
     edge_flux(payload["boundary_edges"], payload["eta_boundary"], sc_bnd,
@@ -96,15 +167,18 @@ def _worker(rank: int, payload: dict, inbox, outboxes: dict,
 
     # --- scatter-add: return ghost-slot contributions to their owners ------
     for src, (start, stop) in recv_slices.items():
-        outboxes[src].send((rank, "scatter", q[n_owned + start:n_owned + stop]))
-    pending = set(return_indices)
-    while pending:
-        src, data = recv_phase("scatter")
-        # Send indices are unique per pair (inspector dedup): += is exact.
+        send(src, "scatter", q[n_owned + start:n_owned + stop])
+    for src in sorted(return_indices):
+        _, data = stash.recv("scatter", src)
+        # Send indices are unique per pair (inspector dedup): += is exact;
+        # sorted sender order keeps the fold deterministic where ghost
+        # vertices are shared by several neighbours.
         q[return_indices[src]] += data
-        pending.discard(src)
 
-    result_queue.put((rank, q[:n_owned]))
+    if inlet is not None:
+        inlet.release_all()
+        pool.close()
+    result_queue.put(("ok", rank, q[:n_owned]))
 
 
 def _rank_payload(dmesh: DistributedMesh, schedule: GatherSchedule,
@@ -116,6 +190,16 @@ def _rank_payload(dmesh: DistributedMesh, schedule: GatherSchedule,
                     in schedule.send_indices.items() if src == rank}
     recv_slices = {src: sl for (src, dst), sl
                    in schedule.recv_slices.items() if dst == rank}
+    # The scatter return runs opposite to the gather: every requester
+    # this rank packed gather values for sends back its accumulated
+    # ghost contributions, which land on exactly those packed local
+    # indices.  The map coincides with ``send_indices`` today, but it is
+    # a distinct contract (owner <- requester, not owner -> requester) —
+    # building it independently keeps the two directions auditable and
+    # stops a change to the gather packing from silently re-routing the
+    # scatter fold.
+    return_indices = {requester: idx for (owner, requester), idx
+                      in schedule.send_indices.items() if owner == rank}
     return {
         "n_owned": rm.n_owned, "n_ghost": rm.n_ghost,
         "interior_edges": rm.edges[rm.interior_edges],
@@ -125,16 +209,23 @@ def _rank_payload(dmesh: DistributedMesh, schedule: GatherSchedule,
         "w_local": w_local,
         "send_indices": send_indices,
         "recv_slices": recv_slices,
+        "return_indices": return_indices,
     }
 
 
 def mp_convective_residual(dmesh: DistributedMesh, w_global: np.ndarray,
-                           timeout: float = 60.0) -> np.ndarray:
+                           timeout: float = 60.0,
+                           transport: str = "pipe") -> np.ndarray:
     """Interior convective residual computed by real parallel processes.
 
     Returns the assembled global residual (no boundary closure — compare
     against :func:`repro.solver.flux.convective_operator`).
+    ``transport`` selects the ghost-payload fabric: ``"pipe"`` (pickled
+    arrays) or ``"shm"`` (zero-copy shared-memory slabs).
     """
+    if transport not in ("pipe", "shm"):
+        raise ValueError(f"transport must be 'pipe' or 'shm', "
+                         f"got {transport!r}")
     schedule = dmesh.schedule
     n_ranks = dmesh.n_ranks
     ctx = mp.get_context("fork")     # workers inherit numpy state cheaply
@@ -144,6 +235,19 @@ def mp_convective_residual(dmesh: DistributedMesh, w_global: np.ndarray,
     inbox_recv, inbox_send = zip(*[ctx.Pipe(duplex=False)
                                    for _ in range(n_ranks)])
     result_queue = ctx.Queue()
+    # Created before the forks so every worker inherits the one mapping.
+    pool = (ShmSlabPool(pair_extents(schedule, max_cols=NVAR))
+            if transport == "shm" else None)
+    # Pipe transport only: pickled ghost payloads exceed PIPE_BUF, so
+    # concurrent writers into one inbox need serialising (shm control
+    # descriptors are tiny and atomic, no lock required).
+    outbox_locks = (None if pool is not None else
+                    {dst: ctx.Lock() for dst in range(n_ranks)})
+    if pool is None:
+        # Kernel buffer headroom so a locked writer never blocks on a
+        # full inbox (see mp_solver.PIPE_CAPACITY).
+        for conn in inbox_send:
+            widen_pipe(conn)
 
     workers = []
     collected = False
@@ -154,14 +258,19 @@ def mp_convective_residual(dmesh: DistributedMesh, w_global: np.ndarray,
             outboxes = {dst: inbox_send[dst] for dst in range(n_ranks)}
             proc = ctx.Process(target=_worker,
                                args=(rank, payload, inbox_recv[rank],
-                                     outboxes, result_queue))
+                                     outboxes, result_queue, pool, timeout,
+                                     outbox_locks))
             proc.start()
             workers.append(proc)
 
         # Whole-collection deadline with worker-exitcode polling: a dead
         # rank raises RankFailedError promptly instead of queue.Empty
-        # after the full timeout (see repro.resilience.collect).
-        results = collect_results(result_queue, workers, n_ranks, timeout)
+        # after the full timeout (see repro.resilience.collect).  Each
+        # worker returns exactly one field (its owned residual rows);
+        # declaring the arity turns a payload drift into a typed
+        # ResultContractError naming the rank.
+        results = collect_results(result_queue, workers, n_ranks, timeout,
+                                  expect_fields=1)
         collected = True
         out = np.empty((dmesh.table.n_global, NVAR))
         for rank, (q_owned,) in results.items():
@@ -183,3 +292,6 @@ def mp_convective_residual(dmesh: DistributedMesh, w_global: np.ndarray,
             conn.close()
         result_queue.close()
         result_queue.join_thread()
+        if pool is not None:
+            pool.close()
+            pool.unlink()

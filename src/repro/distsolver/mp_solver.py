@@ -12,6 +12,12 @@ of exchange operations, so each exchange carries a monotonically
 increasing operation index; receivers match on it and stash early
 arrivals.  Pipes preserve per-sender ordering, so the stash stays tiny.
 
+Transports (``config.transport``): ``pipe`` (default) pickles every
+payload array through the rank-pair pipes; ``shm`` moves payloads by
+memcpy through inspector-sized :mod:`~repro.distsolver.shm_channel`
+slabs while the pipes carry only small control descriptors — same
+message matching, same sanitizer pairing, bit-identical results.
+
 Fault tolerance (see ``docs/resilience.md``): every exchange op has a
 configurable receive timeout and bounded send retry; a
 :class:`repro.resilience.FaultInjector` can kill a rank, drop/delay a
@@ -36,6 +42,7 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+from collections import deque
 
 import numpy as np
 
@@ -48,8 +55,38 @@ from ..telemetry import (NULL_TRACER, Tracer, count_event, get_tracer,
                          global_counters, merge_global_counters)
 from . import rank_kernels
 from .partitioned_mesh import DistributedMesh
+from .shm_channel import (CTRL_BYTES, ShmInlet, ShmSlabPool, is_shm_ctrl,
+                          pair_extents)
 
-__all__ = ["run_distributed_mp"]
+__all__ = ["run_distributed_mp", "widen_pipe"]
+
+#: Target kernel-buffer size for inbox pipes on the pipe transport.
+#: The Linux default (64 KiB) holds only a couple of pickled box27
+#: ghost payloads; with per-inbox send locks a writer blocking on a
+#: full inbox holds its lock while the inbox owner may itself be
+#: blocked writing — a circular wait.  In-flight demand per inbox is
+#: bounded (each peer can run at most ~2 ops ahead before its own
+#: receives stall), so 1 MiB covers paper-scale meshes with room to
+#: spare; the op timeout stays as the backstop elsewhere.
+PIPE_CAPACITY = 1 << 20
+
+
+def widen_pipe(conn, target_bytes: int = PIPE_CAPACITY) -> int:
+    """Grow a pipe's kernel buffer toward ``target_bytes`` (best effort).
+
+    Returns the new capacity, or 0 where ``F_SETPIPE_SZ`` is
+    unavailable (non-Linux) or refused (unprivileged requests above
+    ``/proc/sys/fs/pipe-max-size`` clamp) — callers proceed either
+    way and rely on the receive timeout to surface a wedged exchange.
+    """
+    import fcntl
+    setsz = getattr(fcntl, "F_SETPIPE_SZ", None)
+    if setsz is None:                 # pragma: no cover - non-Linux
+        return 0
+    try:
+        return fcntl.fcntl(conn.fileno(), setsz, target_bytes)
+    except OSError:                   # pragma: no cover - kernel clamp
+        return 0
 
 
 class _PipeTransport:
@@ -65,10 +102,19 @@ class _PipeTransport:
     def __init__(self, rank: int, inbox, outboxes: dict,
                  send_indices: dict, recv_slices: dict, *,
                  injector=None, op_timeout: float = 30.0,
-                 max_send_retries: int = 3, progress=None, sanitizer=None):
+                 max_send_retries: int = 3, progress=None, sanitizer=None,
+                 outbox_locks: dict | None = None):
         self.rank = rank
         self.inbox = inbox
         self.outboxes = outboxes
+        # Every rank writes into every other rank's single inbox pipe,
+        # and pipe writes larger than PIPE_BUF (4 KiB on Linux) are not
+        # atomic: two ranks' concurrent payload sends interleave and the
+        # receiver dies unpickling the shredded stream.  One lock per
+        # destination inbox serializes the writers.  (The shm transport
+        # needs no locks — its control descriptors are far below
+        # PIPE_BUF, so its pipe writes are atomic.)
+        self.outbox_locks = outbox_locks or {}
         self.send_indices = send_indices     # {dst: local idx}
         self.recv_slices = recv_slices       # {src: (start, stop)}
         self.injector = injector
@@ -104,7 +150,7 @@ class _PipeTransport:
                               payload.nbytes)
         inj = self.injector
         if inj is None:
-            self.outboxes[dst].send((self.rank, op, payload))
+            self._pipe_send(dst, (self.rank, op, payload))
             return
         attempts = self.max_send_retries + 1
         for attempt in range(attempts):
@@ -112,22 +158,43 @@ class _PipeTransport:
             if filtered is None:             # transient loss: retry
                 count_event("resilience.send.retry")
                 continue
-            self.outboxes[dst].send((self.rank, op, filtered))
+            self._pipe_send(dst, (self.rank, op, filtered))
             return
         raise ExchangeTimeoutError(self.rank, op,
                                    f"send ({attempts} attempts)",
                                    self.op_timeout, peer=dst)
 
+    def _pipe_send(self, dst: int, msg) -> None:
+        lock = self.outbox_locks.get(dst)
+        if lock is None:
+            self.outboxes[dst].send(msg)
+        else:
+            with lock:
+                self.outboxes[dst].send(msg)
+
+    def _open_payload(self, src: int, data):
+        """Resolve a received message body to its payload array.
+
+        The pipe transport's bodies *are* the arrays; the shm transport
+        overrides this to map control descriptors onto slab views.
+        Called at consumption time (not at stash time), so per-pair
+        sequence order is preserved for stashed early arrivals.
+        """
+        return data
+
     def _recv_op(self, op: int):
         stash = self._stash
         entries = stash.get(op)
         if entries:
-            item = entries.pop()
+            # popleft keeps per-sender FIFO order: pipes deliver each
+            # sender's messages in send order, and stashing must not
+            # reorder them (the shm descriptors are sequence-checked).
+            src, data = entries.popleft()
             if not entries:
                 # Drained: drop the key, or the stash grows by one empty
-                # list per early-arriving op for the rest of the run.
+                # deque per early-arriving op for the rest of the run.
                 del stash[op]
-            return item
+            return src, self._open_payload(src, data)
         deadline = time.monotonic() + self.op_timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -136,8 +203,39 @@ class _PipeTransport:
                                            self.op_timeout)
             src, msg_op, data = self.inbox.recv()
             if msg_op == op:
-                return src, data
-            stash.setdefault(msg_op, []).append((src, data))
+                return src, self._open_payload(src, data)
+            stash.setdefault(msg_op, deque()).append((src, data))
+
+    def _recv_op_from(self, op: int, want_src: int):
+        """Receive op ``op`` specifically from ``want_src``.
+
+        The scatter folds use this to consume contributions in sorted
+        sender order: ghost vertices shared by several neighbours make
+        the ``+=`` order observable in the low bits, so folding in
+        arrival order (the old behaviour) left the mp backend
+        non-deterministic run to run.  There is exactly one message per
+        (op, sender) pair, so the stash scan is over at most
+        ``n_neighbours`` entries.
+        """
+        stash = self._stash
+        entries = stash.get(op)
+        if entries:
+            for i, (src, data) in enumerate(entries):
+                if src == want_src:
+                    del entries[i]
+                    if not entries:
+                        del stash[op]
+                    return self._open_payload(src, data)
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.inbox.poll(remaining):
+                raise ExchangeTimeoutError(self.rank, op, "recv",
+                                           self.op_timeout, peer=want_src)
+            src, msg_op, data = self.inbox.recv()
+            if msg_op == op and src == want_src:
+                return self._open_payload(src, data)
+            stash.setdefault(msg_op, deque()).append((src, data))
 
     # -- collective ops --------------------------------------------------
     def gather(self, local: np.ndarray, n_owned: int) -> None:
@@ -174,10 +272,12 @@ class _PipeTransport:
                 self._send(src, op, payload)
             if tracer.enabled:
                 tracer.count("mp.scatter_add.bytes_sent", n_bytes)
-            for _ in range(len(self.send_indices)):
-                src, data = self._recv_op(op)
+            for src in sorted(self.send_indices):
+                data = self._recv_op_from(op, src)
                 # Send indices are unique per pair (np.unique'd at schedule
-                # build), so the fancy += matches the np.add.at it replaces.
+                # build), so the fancy += matches the np.add.at it replaces;
+                # sorted sender order keeps the fold deterministic where
+                # ghost vertices are shared by several neighbours.
                 local[self.send_indices[src]] += data
             self._op_done(op)
 
@@ -239,8 +339,8 @@ class _PipeTransport:
                                  n_owned: int) -> None:
         """Fold a posted multi-scatter into the owned rows (in place)."""
         with self.tracer.span("mp.scatter_add.finish"):
-            for _ in range(len(self.send_indices)):
-                src, data = self._recv_op(op)
+            for src in sorted(self.send_indices):
+                data = self._recv_op_from(op, src)
                 idx = self.send_indices[src]
                 c0 = 0
                 for a in arrays:
@@ -253,6 +353,86 @@ class _PipeTransport:
             self._op_done(op)
         if self.sanitizer.enabled:
             self.sanitizer.on_complete_op(self.rank, op)
+
+    def shutdown(self) -> None:
+        """Release transport resources at the end of a worker's run."""
+
+
+class _ShmTransport(_PipeTransport):
+    """Zero-copy variant: payloads through shared-memory slabs.
+
+    Identical collective semantics, op matching, sanitizer pairing and
+    fault surface as :class:`_PipeTransport` — only ``_send`` and the
+    payload-opening hook differ.  A send memcpys the array into the
+    pair's next slab slot and pushes a small ``("shm", seq, slot,
+    shape)`` descriptor through the pipe; a receive opens the descriptor
+    into a slab view (no copy) and releases the slot back to the sender
+    once the payload has been consumed (next receive, or op completion).
+
+    Fault coordinates keep addressing the *logical* send: ``drop`` and
+    ``delay`` act on the control message (the payload stays staged in
+    the slab across retries), ``corrupt`` acts on the slab contents.
+    """
+
+    def __init__(self, rank: int, inbox, outboxes: dict,
+                 send_indices: dict, recv_slices: dict, *,
+                 pool: ShmSlabPool, **kwargs):
+        super().__init__(rank, inbox, outboxes, send_indices, recv_slices,
+                         **kwargs)
+        self.pool = pool
+        self.channels_out = pool.outlet_channels(rank)
+        self._inlet = ShmInlet(pool.inlet_channels(rank))
+
+    def _send(self, dst: int, op: int, payload) -> None:
+        if self.tracer.enabled:
+            # The pipe now carries only the control descriptor — the
+            # comm matrix's pipe bytes collapse to CTRL_BYTES while the
+            # slab memcpy volume is accounted on its own counter.
+            self.tracer.count(f"observatory.sent.{dst}.msgs", 1)
+            self.tracer.count(f"observatory.sent.{dst}.bytes", CTRL_BYTES)
+            self.tracer.count(f"observatory.shm.{dst}.bytes", payload.nbytes)
+        claimed = self.channels_out[dst].begin_send(
+            payload.shape, time.monotonic() + self.op_timeout)
+        if claimed is None:
+            raise ExchangeTimeoutError(self.rank, op, "send (slab wait)",
+                                       self.op_timeout, peer=dst)
+        ctrl, view = claimed
+        np.copyto(view, payload)
+        inj = self.injector
+        if inj is None:
+            self.outboxes[dst].send((self.rank, op, ctrl))
+            return
+        attempts = self.max_send_retries + 1
+        for attempt in range(attempts):
+            filtered = inj.on_send(self.rank, dst, op, attempt, view)
+            if filtered is None:             # dropped control message
+                count_event("resilience.send.retry")
+                continue
+            if filtered is not view:         # corrupted slab contents
+                np.copyto(view, filtered)
+            self.outboxes[dst].send((self.rank, op, ctrl))
+            return
+        raise ExchangeTimeoutError(self.rank, op,
+                                   f"send ({attempts} attempts)",
+                                   self.op_timeout, peer=dst)
+
+    def _open_payload(self, src: int, data):
+        if is_shm_ctrl(data):
+            return self._inlet.open(src, data)
+        return data
+
+    def _op_done(self, op: int) -> None:
+        # Op complete: every receive of this op has been consumed, so
+        # all outstanding slots can go back to their senders.
+        self._inlet.release_all()
+        super()._op_done(op)
+
+    def shutdown(self) -> None:
+        # Drop this process's slab views and close its inherited mapping
+        # so interpreter teardown never races numpy view destruction
+        # against the segment close.
+        self._inlet.release_all()
+        self.pool.close()
 
 
 def _rank_worker(rm, transport: _PipeTransport, w_local: np.ndarray,
@@ -457,6 +637,7 @@ def _rank_worker_inner(rm, transport: _PipeTransport, w_local: np.ndarray,
         for name, value in global_counters().items()
         if value != counters_baseline.get(name, 0.0)
     }
+    transport.shutdown()
     result_queue.put(("ok", rm.rank, w[:n_owned], payload, counters_delta))
 
 
@@ -483,6 +664,21 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
         progress[rank] = -1
 
     sanitize_schedule = "schedule" in config.sanitize_set
+    # The shm transport's slab pool is created in the parent *before* the
+    # forks so every rank worker inherits the one mapping; the parent
+    # unlinks it in the finally block (children's mappings stay valid
+    # until they exit).
+    pool = (ShmSlabPool(pair_extents(schedule))
+            if config.transport == "shm" else None)
+    # Serialize concurrent writers per inbox (see _PipeTransport); the
+    # shm transport's sub-PIPE_BUF control messages don't need this.
+    outbox_locks = (None if pool is not None else
+                    {dst: ctx.Lock() for dst in range(n_ranks)})
+    if pool is None:
+        # Pickled payloads need kernel buffer headroom so a locked
+        # writer never blocks on a full inbox (see PIPE_CAPACITY).
+        for conn in inbox_send:
+            widen_pipe(conn)
     workers = []
     collected = False
     try:
@@ -490,7 +686,9 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
             rm = dmesh.ranks[rank]
             w_local = np.zeros((rm.n_local, NVAR))
             w_local[:rm.n_owned] = w_global[dmesh.table.owned_globals[rank]]
-            transport = _PipeTransport(
+            transport_cls = _PipeTransport if pool is None else _ShmTransport
+            shm_kwargs = {} if pool is None else {"pool": pool}
+            transport = transport_cls(
                 rank, inbox_recv[rank],
                 {dst: inbox_send[dst] for dst in range(n_ranks)},
                 {dst: idx for (src, dst), idx in schedule.send_indices.items()
@@ -504,6 +702,8 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
                 # surface through its error sentinel.
                 sanitizer=(ScheduleSanitizer() if sanitize_schedule
                            else None),
+                outbox_locks=outbox_locks,
+                **shm_kwargs,
             )
             proc = ctx.Process(target=_rank_worker,
                                args=(rm, transport, w_local, w_inf, config,
@@ -513,7 +713,7 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
 
         results = collect_results(result_queue, workers, n_ranks, timeout,
                                   poll_interval=poll_interval,
-                                  progress=progress)
+                                  progress=progress, expect_fields=3)
         collected = True
         out = np.empty((dmesh.table.n_global, NVAR))
         for rank, (w_owned, payload, rank_counters) in results.items():
@@ -541,6 +741,9 @@ def _run_segment(dmesh: DistributedMesh, w_global: np.ndarray,
             conn.close()
         result_queue.close()
         result_queue.join_thread()
+        if pool is not None:
+            pool.close()
+            pool.unlink()
 
 
 def run_distributed_mp(dmesh: DistributedMesh, w_global: np.ndarray,

@@ -1,0 +1,286 @@
+"""Zero-copy shared-memory slabs for the mp backend's ghost exchanges.
+
+The pipe transport pickles every ghost payload through a
+``multiprocessing`` pipe — at 4+ ranks the serialization (pickle, 64 KiB
+kernel pipe chunks, unpickle-allocation) dominates exactly where the
+paper reports near-linear scaling.  This module implements the hybrid
+MPI-3 shared-memory pattern instead: bulk data moves by ``memcpy``
+through ``multiprocessing.shared_memory`` slabs while the existing pipes
+carry only tiny ``(rank, op, descriptor)`` control messages.
+
+Layout
+------
+One shared-memory segment holds, for every *directed* neighbour pair
+``(src, dst)`` of the inspector's :class:`~repro.parti.schedule
+.GatherSchedule`, a double-buffered slab region::
+
+    [ consumed_seq (int64, cacheline-padded) | slot 0 | slot 1 ]
+
+sized from the schedule's send/recv extents (``rows`` = the larger of
+the pair's gather and scatter-return message lengths, ``cols`` = the
+widest aggregated payload the solver ever packs, ``2 * NVAR`` columns
+for the merged q+d scatter).
+
+Protocol
+--------
+A send is a sequence-number handshake over the slab plus a control
+message over the pipe:
+
+1. the sender waits until ``seq - consumed <= N_SLOTS`` (the receiver
+   has released the slot's previous occupant), then memcpys the payload
+   into slot ``seq % N_SLOTS``;
+2. the *control descriptor* ``("shm", seq, slot, shape)`` travels
+   through the pipe in place of the array, reusing the transport's
+   op-index matching, stashing, timeout and retry machinery unchanged;
+3. the receiver validates the per-pair FIFO (``seq`` must be the next
+   expected — a gap means a lost or reordered control message and
+   raises :class:`~repro.resilience.TransportProtocolError`), reads the
+   payload directly from the slab (a NumPy view, no copy), and releases
+   the lease by publishing ``consumed = seq`` once the data has been
+   copied out (on the next open, or when the op completes).
+
+Both transports (``mp_solver._ShmTransport``,
+``mp_exchange``'s shm workers) share the :class:`ShmInlet` lease
+bookkeeping; the fork start method makes the parent's single segment
+visible in every rank worker without per-process attach calls.  NumPy
+views over the segment are created lazily *per process*, so the parent
+(which never touches payload slots) can close its mapping cleanly in
+the driver's ``finally`` block.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..constants import NVAR
+from ..resilience.errors import TransportProtocolError
+
+__all__ = ["CTRL_BYTES", "DEFAULT_MAX_COLS", "N_SLOTS", "ShmChannel",
+           "ShmInlet", "ShmSlabPool", "is_shm_ctrl", "pair_extents"]
+
+#: Slots per directed pair (double buffering: the sender may run at most
+#: one op ahead of the receiver's consumption on any pair).
+N_SLOTS = 2
+
+#: Widest payload the solver packs into one message: the aggregated
+#: ``[q, d]`` scatter of the overlap executor (2 * NVAR columns).  The
+#: blocking path's widest is ``NVAR + 2`` (dissipation partials) and the
+#: sigma-diss-partials aggregate is ``NVAR + 3``.
+DEFAULT_MAX_COLS = 2 * NVAR
+
+#: Cacheline-padded per-pair header: ``consumed_seq`` int64 at offset 0.
+_HDR_BYTES = 64
+
+#: Pickled size of one control message ``(rank, op, ("shm", seq, slot,
+#: shape))`` — what actually crosses the pipe per exchange in shm mode.
+#: Measured once at import against a representative descriptor; the
+#: observatory's comm matrix counts this instead of the payload bytes.
+CTRL_BYTES = len(pickle.dumps((3, 1 << 20, ("shm", 1 << 40, 1,
+                                            (1 << 20, 2 * NVAR)))))
+
+#: Sender poll interval while waiting for a slot release, seconds.
+_SPIN_S = 5e-5
+
+
+def is_shm_ctrl(data) -> bool:
+    """True when a pipe payload is a slab control descriptor."""
+    return type(data) is tuple and len(data) == 4 and data[0] == "shm"
+
+
+def pair_extents(schedule, max_cols: int = DEFAULT_MAX_COLS) -> dict:
+    """Slab extents ``{(src, dst): (rows, cols)}`` from the inspector.
+
+    Directed pair ``(a, b)`` carries the gather messages of schedule
+    pair ``(owner=a, requester=b)`` and the scatter-return messages of
+    pair ``(owner=b, requester=a)`` (the requester returns ghost
+    contributions to the owner), so its row extent is the larger of the
+    two message lengths.  Pairs with traffic in one direction only
+    (asymmetric neighbour pairs) still get both slabs — the scatter
+    return always runs opposite to the gather.
+    """
+    counts = {pair: len(idx) for pair, idx in schedule.send_indices.items()}
+    extents: dict = {}
+    for a, b in counts:
+        for pair in ((a, b), (b, a)):
+            rows = max(counts.get(pair, 0), counts.get(pair[::-1], 0))
+            extents[pair] = (rows, max_cols)
+    return extents
+
+
+class ShmChannel:
+    """One directed pair's double-buffered slab (sender + receiver ends).
+
+    The same object is used on both sides after the fork: the sender
+    process advances ``_next_seq``, the receiver ``_expect_seq`` — each
+    counter lives in exactly one process, only the ``consumed`` header
+    crosses the process boundary (through the shared segment).
+    """
+
+    def __init__(self, shm, offset: int, rows: int, cols: int,
+                 pair: tuple):
+        self._shm = shm
+        self._offset = offset
+        self.rows = rows
+        self.cols = cols
+        self.pair = pair
+        self._next_seq = 1       # sender-side
+        self._expect_seq = 1     # receiver-side
+        self._hdr = None         # lazy per-process views (see module doc)
+        self._slots = None
+
+    def _ensure_views(self) -> None:
+        if self._hdr is None:
+            buf = self._shm.buf
+            self._hdr = np.ndarray((1,), dtype=np.int64, buffer=buf,
+                                   offset=self._offset)
+            cap = self.rows * self.cols
+            base = self._offset + _HDR_BYTES
+            self._slots = [np.ndarray((cap,), dtype=np.float64, buffer=buf,
+                                      offset=base + k * cap * 8)
+                           for k in range(N_SLOTS)]
+
+    def drop_views(self) -> None:
+        """Release this process's NumPy views so the mapping can close."""
+        self._hdr = None
+        self._slots = None
+
+    # -- sender side -----------------------------------------------------
+    def begin_send(self, shape: tuple, deadline: float):
+        """Claim the next slot; returns ``(ctrl, view)`` or ``None``.
+
+        Blocks (spinning on the ``consumed`` header) until the slot's
+        previous occupant has been released by the receiver; ``None``
+        means the deadline passed first — the receiver is wedged, and
+        the caller turns that into an :class:`ExchangeTimeoutError`
+        naming the op.
+        """
+        self._ensure_views()
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if n > self.rows * self.cols:
+            raise TransportProtocolError(
+                self.pair, f"payload of shape {shape} overflows the "
+                f"{self.rows}x{self.cols} slab")
+        seq = self._next_seq
+        while seq - int(self._hdr[0]) > N_SLOTS:
+            if time.monotonic() > deadline:
+                return None
+            time.sleep(_SPIN_S)
+        self._next_seq = seq + 1
+        slot = seq % N_SLOTS
+        view = self._slots[slot][:n].reshape(shape)
+        return ("shm", seq, slot, shape), view
+
+    # -- receiver side ---------------------------------------------------
+    def open(self, ctrl):
+        """Validate a control descriptor; returns ``(seq, payload view)``.
+
+        The view aliases the slab — the caller must copy out (or finish
+        reading) before :meth:`release` hands the slot back to the
+        sender.  A sequence gap means a control message was lost or
+        delivered out of per-pair order: the slab contents can no longer
+        be trusted, so this raises instead of returning stale data.
+        """
+        self._ensure_views()
+        _, seq, slot, shape = ctrl
+        if seq != self._expect_seq:
+            raise TransportProtocolError(
+                self.pair, f"control message carries seq {seq}, expected "
+                f"{self._expect_seq} (lost or reordered control message)")
+        if slot != seq % N_SLOTS:
+            raise TransportProtocolError(
+                self.pair, f"seq {seq} arrived in slot {slot}, expected "
+                f"{seq % N_SLOTS}")
+        self._expect_seq = seq + 1
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return seq, self._slots[slot][:n].reshape(shape)
+
+    def release(self, seq: int) -> None:
+        """Publish ``consumed = seq``: the sender may reuse the slot."""
+        self._hdr[0] = seq
+
+
+class ShmInlet:
+    """Receiver-side lease bookkeeping shared by both mp transports.
+
+    :meth:`open` maps a control descriptor to its slab view and releases
+    the *previous* lease — by the time the caller asks for the next
+    message it has copied the last one out (both transports copy
+    immediately after every receive).  :meth:`release_all` closes the
+    window at op/phase completion.
+    """
+
+    def __init__(self, channels: dict):
+        self.channels = channels         # {src rank: ShmChannel src->me}
+        self._leased: list = []
+
+    def open(self, src: int, ctrl) -> np.ndarray:
+        self.release_all()
+        seq, view = self.channels[src].open(ctrl)
+        self._leased.append((self.channels[src], seq))
+        return view
+
+    def release_all(self) -> None:
+        for channel, seq in self._leased:
+            channel.release(seq)
+        self._leased.clear()
+
+
+class ShmSlabPool:
+    """The driver-side segment: one shared-memory block, all pair slabs.
+
+    Created in the parent before the fork; rank workers inherit the
+    mapping and build their channel views lazily.  The parent closes and
+    unlinks in its ``finally`` block — ``close`` tolerates views still
+    alive in-process (unit tests), ``unlink`` removes the name while the
+    children's inherited mappings stay valid until they exit.
+    """
+
+    def __init__(self, extents: dict):
+        self._offsets: dict = {}
+        size = 0
+        for pair in sorted(extents):
+            rows, cols = extents[pair]
+            self._offsets[pair] = (size, rows, cols)
+            region = _HDR_BYTES + N_SLOTS * rows * cols * 8
+            size += (region + 63) & ~63      # 64-byte align each region
+        self.shm = shared_memory.SharedMemory(create=True,
+                                              size=max(size, 8))
+        self.shm.buf[:size] = b"\0" * size   # consumed counters start at 0
+        self._channels: dict = {}
+
+    def channel(self, src: int, dst: int) -> ShmChannel:
+        """The (cached) channel of directed pair ``src -> dst``."""
+        pair = (src, dst)
+        if pair not in self._channels:
+            offset, rows, cols = self._offsets[pair]
+            self._channels[pair] = ShmChannel(self.shm, offset, rows, cols,
+                                              pair)
+        return self._channels[pair]
+
+    def inlet_channels(self, rank: int) -> dict:
+        """``{src: channel}`` for every pair arriving at ``rank``."""
+        return {src: self.channel(src, rank)
+                for (src, dst) in self._offsets if dst == rank}
+
+    def outlet_channels(self, rank: int) -> dict:
+        """``{dst: channel}`` for every pair departing ``rank``."""
+        return {dst: self.channel(src, dst)
+                for (src, dst) in self._offsets if src == rank}
+
+    def close(self) -> None:
+        for channel in self._channels.values():
+            channel.drop_views()
+        try:
+            self.shm.close()
+        except BufferError:   # pragma: no cover - in-process views alive
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:   # pragma: no cover - already unlinked
+            pass

@@ -65,6 +65,12 @@ def main(argv=None) -> int:
                         help="distributed backend for the 'report' "
                              "target: the simulated machine (traffic-"
                              "exact) or real OS processes")
+    parser.add_argument("--transport", choices=["pipe", "shm"],
+                        default="pipe",
+                        help="ghost-payload transport for the mp backend "
+                             "of the 'report' target: pickled arrays "
+                             "through pipes, or zero-copy shared-memory "
+                             "slabs (ignored for --backend sim)")
     parser.add_argument("--trace", default=None, metavar="DIR",
                         help="run with a live telemetry tracer and write "
                              "<target>_trace.json/.jsonl plus a per-phase "
@@ -128,7 +134,7 @@ def _run_report(args) -> int:
     w_inf = freestream_state(mach=0.768, alpha_deg=1.116)
     asg = recursive_spectral_bisection(struct.edges, struct.n_vertices,
                                        args.ranks)
-    config = SolverConfig()
+    config = SolverConfig(transport=args.transport)
 
     def run_steps(driver):
         w_list = driver.freestream_solution()

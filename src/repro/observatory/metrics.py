@@ -60,6 +60,12 @@ class CommMatrix:
     n_cycles: int
     msgs: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
     bytes: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    #: Payload bytes that moved through shared-memory slabs instead of
+    #: the pipes (mp backend with ``transport="shm"``; all-zero
+    #: otherwise).  In shm mode ``bytes`` collapses to the per-message
+    #: control-descriptor size — the pickled-byte collapse the transport
+    #: exists to produce — while the ghost volume shows up here.
+    shm_bytes: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
 
     def __post_init__(self):
         if self.msgs.size == 0:
@@ -67,6 +73,9 @@ class CommMatrix:
         if self.bytes.size == 0:
             self.bytes = np.zeros((self.n_ranks, self.n_ranks),
                                   dtype=np.int64)
+        if self.shm_bytes.size == 0:
+            self.shm_bytes = np.zeros((self.n_ranks, self.n_ranks),
+                                      dtype=np.int64)
 
     @property
     def nonempty(self) -> bool:
@@ -79,6 +88,10 @@ class CommMatrix:
     @property
     def total_bytes(self) -> int:
         return int(self.bytes.sum())
+
+    @property
+    def total_shm_bytes(self) -> int:
+        return int(self.shm_bytes.sum())
 
     @property
     def msgs_per_cycle(self) -> np.ndarray:
@@ -94,14 +107,22 @@ class CommMatrix:
         return int(np.count_nonzero(self.msgs))
 
     def to_dict(self) -> dict:
-        return {"n_ranks": self.n_ranks, "n_cycles": self.n_cycles,
-                "msgs": self.msgs.tolist(), "bytes": self.bytes.tolist()}
+        d = {"n_ranks": self.n_ranks, "n_cycles": self.n_cycles,
+             "msgs": self.msgs.tolist(), "bytes": self.bytes.tolist()}
+        if self.total_shm_bytes:
+            d["shm_bytes"] = self.shm_bytes.tolist()
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "CommMatrix":
+        # shm_bytes is optional so reports recorded before the shm
+        # transport existed still load.
+        shm = (np.asarray(d["shm_bytes"], dtype=np.int64)
+               if "shm_bytes" in d else np.zeros((0, 0)))
         return cls(n_ranks=int(d["n_ranks"]), n_cycles=int(d["n_cycles"]),
                    msgs=np.asarray(d["msgs"], dtype=np.int64),
-                   bytes=np.asarray(d["bytes"], dtype=np.int64))
+                   bytes=np.asarray(d["bytes"], dtype=np.int64),
+                   shm_bytes=shm)
 
 
 def comm_matrix_from_log(log, n_cycles: int) -> CommMatrix:
@@ -118,8 +139,10 @@ def comm_matrix_from_payloads(source, n_ranks: int,
     """Reassemble the (src, dst) matrix from mp rank payload counters.
 
     Each rank worker counts ``observatory.sent.<dst>.msgs/bytes`` into
-    its own tracer; the payload's ``pid`` is ``rank + 1`` (the driver's
-    own timeline is pid 0), which identifies the source row.
+    its own tracer (plus ``observatory.shm.<dst>.bytes`` for slab
+    traffic under ``transport="shm"``); the payload's ``pid`` is
+    ``rank + 1`` (the driver's own timeline is pid 0), which identifies
+    the source row.
     """
     cm = CommMatrix(n_ranks=n_ranks, n_cycles=n_cycles)
     for p in all_payloads(source):
@@ -127,13 +150,19 @@ def comm_matrix_from_payloads(source, n_ranks: int,
         if not (0 <= src < n_ranks):
             continue
         for name, value in p.counters.items():
-            if not name.startswith("observatory.sent."):
+            if not name.startswith("observatory."):
                 continue
-            _, _, dst_str, metric = name.split(".", 3)
+            parts = name.split(".")
+            if len(parts) != 4 or parts[1] not in ("sent", "shm"):
+                continue
+            _, channel, dst_str, metric = parts
             dst = int(dst_str)
             if not (0 <= dst < n_ranks):
                 continue
-            if metric == "msgs":
+            if channel == "shm":
+                if metric == "bytes":
+                    cm.shm_bytes[src, dst] += int(value)
+            elif metric == "msgs":
                 cm.msgs[src, dst] += int(value)
             elif metric == "bytes":
                 cm.bytes[src, dst] += int(value)

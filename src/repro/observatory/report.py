@@ -246,6 +246,16 @@ def render_markdown(report: RunReport) -> str:
         f"{r.comm_matrix.total_bytes:,} bytes over "
         f"{r.comm_matrix.n_neighbor_pairs} neighbour pairs; "
         f"{_fmt(float(byts.sum()))} bytes/cycle.",
+    ]
+    if r.comm_matrix.total_shm_bytes:
+        shm_per_cycle = (r.comm_matrix.total_shm_bytes
+                         / max(r.comm_matrix.n_cycles, 1))
+        lines.append(
+            f"Shared-memory slabs carried "
+            f"{r.comm_matrix.total_shm_bytes:,} payload bytes "
+            f"({_fmt(shm_per_cycle)} bytes/cycle); the pipe bytes above "
+            f"are control descriptors only (`transport=shm`).")
+    lines += [
         "",
         "## Predicted vs measured (Touchstone Delta model at our scale)",
         "",

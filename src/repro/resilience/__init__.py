@@ -24,7 +24,8 @@ from .checkpoint import (Checkpoint, CheckpointStore, solver_config_hash,
 from .collect import collect_results
 from .errors import (CheckpointMismatchError, CollectionTimeoutError,
                      DivergenceError, ExchangeTimeoutError, RankFailedError,
-                     ResilienceError)
+                     ResilienceError, ResultContractError,
+                     TransportProtocolError)
 from .faults import FAULT_KINDS, KILLED_EXIT_CODE, FaultInjector, FaultSpec
 from .health import StepGuard
 
@@ -32,6 +33,7 @@ __all__ = [
     "Checkpoint", "CheckpointStore", "solver_config_hash",
     "verify_checkpoint", "collect_results", "ResilienceError",
     "RankFailedError", "ExchangeTimeoutError", "CollectionTimeoutError",
-    "DivergenceError", "CheckpointMismatchError", "FaultInjector",
+    "DivergenceError", "CheckpointMismatchError", "TransportProtocolError",
+    "ResultContractError", "FaultInjector",
     "FaultSpec", "FAULT_KINDS", "KILLED_EXIT_CODE", "StepGuard",
 ]

@@ -16,14 +16,15 @@ import time
 from queue import Empty
 
 from ..telemetry import count_event
-from .errors import CollectionTimeoutError, RankFailedError
+from .errors import (CollectionTimeoutError, RankFailedError,
+                     ResultContractError)
 
 __all__ = ["collect_results"]
 
 
 def collect_results(result_queue, workers, n_ranks: int, timeout: float,
                     poll_interval: float = 0.05,
-                    progress=None) -> dict:
+                    progress=None, expect_fields: int | None = None) -> dict:
     """Collect one result per rank, failing fast on dead workers.
 
     Parameters
@@ -37,6 +38,13 @@ def collect_results(result_queue, workers, n_ranks: int, timeout: float,
     poll_interval : queue-wait slice between liveness checks.
     progress : optional shared array of per-rank last-completed-op
         indices (``-1`` = none), quoted in failure messages.
+    expect_fields : when given, the caller's declared arity of each
+        rank's ``data`` tuple; a mismatch raises
+        :class:`~repro.resilience.errors.ResultContractError` naming the
+        rank.  Callers that unpack the returned tuples should always
+        declare this — it turns a silent mis-unpack (when a worker grows
+        or shrinks its payload) into a typed contract failure at the
+        collection boundary.
 
     Returns ``{rank: data_tuple}``.
     """
@@ -64,6 +72,9 @@ def collect_results(result_queue, workers, n_ranks: int, timeout: float,
                 rank, data = item[1], tuple(item[2:])
             else:
                 rank, data = item[0], tuple(item[1:])
+            if expect_fields is not None and len(data) != expect_fields:
+                count_event("resilience.result_contract")
+                raise ResultContractError(rank, expect_fields, len(data))
             results[rank] = data
             pending.discard(rank)
             continue

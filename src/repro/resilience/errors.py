@@ -10,7 +10,8 @@ from __future__ import annotations
 
 __all__ = ["ResilienceError", "RankFailedError", "ExchangeTimeoutError",
            "CollectionTimeoutError", "DivergenceError",
-           "CheckpointMismatchError"]
+           "CheckpointMismatchError", "TransportProtocolError",
+           "ResultContractError"]
 
 
 class ResilienceError(RuntimeError):
@@ -86,6 +87,39 @@ class CollectionTimeoutError(ResilienceError):
         super().__init__(
             f"collection deadline of {timeout_s:.3g} s passed with "
             f"{len(self.pending)} rank(s) outstanding: {detail}")
+
+
+class TransportProtocolError(ResilienceError):
+    """The shared-memory transport's control plane and slab state
+    disagree — a sequence gap (lost or reordered control message), a
+    slot mismatch, or a payload that overflows the inspector-sized slab.
+
+    The slab contents can no longer be trusted once this happens, so the
+    worker fails fast (and the driver reports it as a
+    :class:`RankFailedError` naming the rank) instead of propagating
+    stale ghost values.
+    """
+
+    def __init__(self, pair: tuple, detail: str):
+        self.pair = tuple(pair)
+        self.detail = detail
+        super().__init__(
+            f"shm channel {self.pair[0]}->{self.pair[1]}: {detail}")
+
+
+class ResultContractError(ResilienceError):
+    """A rank's result payload did not match the caller's declared field
+    count — the multi-field analogue of a wrong-arity unpack, caught at
+    the collection boundary with the offending rank named instead of a
+    bare ``ValueError`` deep in the driver's unpacking loop."""
+
+    def __init__(self, rank: int, expected: int, got: int):
+        self.rank = rank
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"rank {rank} returned a {got}-field result payload, caller "
+            f"expected {expected} field(s)")
 
 
 class DivergenceError(ResilienceError):

@@ -7,7 +7,7 @@ from dataclasses import dataclass, replace
 from ..constants import (CFL_DEFAULT, CFL_UNSMOOTHED, K2_DEFAULT, K4_DEFAULT,
                          RESIDUAL_SMOOTHING_EPS, RESIDUAL_SMOOTHING_SWEEPS)
 
-__all__ = ["SolverConfig", "EXECUTOR_KINDS", "DIST_MODES"]
+__all__ = ["SolverConfig", "EXECUTOR_KINDS", "DIST_MODES", "TRANSPORTS"]
 
 #: Recognised hot-path execution strategies (see ``repro.kernels``):
 #: ``serial`` keeps the seed operators bit-identical; ``fused`` runs the
@@ -29,6 +29,15 @@ EXECUTOR_KINDS = ("serial", "fused", "colored", "colored-threaded",
 #: ``blocking`` is the original barrier-per-phase ``np.add.at`` executor,
 #: kept as the measured baseline.
 DIST_MODES = ("blocking", "overlap")
+
+#: Ghost-payload transports of the true-process mp backend (see
+#: ``repro.distsolver.mp_solver``): ``pipe`` pickles every payload array
+#: through the rank-pair ``multiprocessing`` pipes (the bit-identical
+#: baseline); ``shm`` moves payloads by memcpy through inspector-sized
+#: ``multiprocessing.shared_memory`` slabs while the pipes carry only
+#: small control descriptors (see ``repro.distsolver.shm_channel``).
+#: Ignored by the simulated backend, which has no process boundary.
+TRANSPORTS = ("pipe", "shm")
 
 
 @dataclass(frozen=True)
@@ -63,6 +72,11 @@ class SolverConfig:
     #: latency-hiding ``overlap`` executor (default) or the original
     #: ``blocking`` barrier-per-phase executor.
     dist_mode: str = "overlap"
+    #: Ghost-payload transport of the mp backend, one of
+    #: :data:`TRANSPORTS` — ``pipe`` (default, pickled arrays through
+    #: pipes) or ``shm`` (zero-copy shared-memory slabs, bit-identical
+    #: results, control messages only through the pipes).
+    transport: str = "pipe"
 
     # -- resilience policy (see repro.resilience and docs/resilience.md) --
     #: Per-step health check of the monitored residual norm (NaN/Inf and
@@ -100,6 +114,9 @@ class SolverConfig:
         if self.dist_mode not in DIST_MODES:
             raise ValueError(
                 f"dist_mode must be one of {DIST_MODES}, got {self.dist_mode!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.guard_growth_ratio <= 1.0:

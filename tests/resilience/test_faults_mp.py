@@ -96,13 +96,14 @@ class TestTransportInternals:
         return transport, send_end
 
     def test_stash_entries_are_deleted_when_drained(self):
+        from collections import deque
         transport, send_end = self._make_transport()
         # Two ops arrive out of order; matching both must leave the
         # stash empty (the old code kept one empty list per early op).
         send_end.send((1, 1, "early"))
         send_end.send((1, 0, "wanted"))
         assert transport._recv_op(0) == (1, "wanted")
-        assert transport._stash == {1: [(1, "early")]}
+        assert transport._stash == {1: deque([(1, "early")])}
         assert transport._recv_op(1) == (1, "early")
         assert transport._stash == {}
 
