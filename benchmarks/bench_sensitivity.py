@@ -1,12 +1,20 @@
-"""Robustness of the Table 2 shapes to the calibrated model constants.
+"""Robustness of the Table 2 shapes to the calibrated model constants,
+plus the flow-condition sensitivity sweep those shapes are checked at.
 
 The reproduction's Delta seconds rest on two fitted constants; this
 benchmark perturbs each by 2x in both directions and checks that every
 qualitative finding the paper reports survives the whole grid — i.e. the
 conclusions come from the measured workload structure, not from the fit.
+
+The condition sweep runs through ``solve_ensemble`` (one batched
+pipeline for all Mach/alpha points); pass ``--sequential`` to run the
+old one-solver-per-condition path instead and A/B the two.
 """
 
+import numpy as np
+
 from repro.harness.sensitivity import delta_sensitivity
+from repro.harness.workloads import run_condition_sweep, sweep_conditions
 
 
 def test_delta_model_sensitivity(benchmark, case):
@@ -20,3 +28,18 @@ def test_delta_model_sensitivity(benchmark, case):
     assert all(result.outcomes[(1.0, 1.0)].values())
     # ...and the vast majority must hold across the whole perturbation grid.
     assert result.fraction_holding() > 0.85
+
+
+def test_condition_sweep(benchmark, case, sequential_sweep):
+    """Mach/alpha sweep throughput (batched by default, --sequential A/B)."""
+    flows = sweep_conditions()
+    result = benchmark.pedantic(
+        run_condition_sweep, args=(case, flows),
+        kwargs={"n_cycles": 5, "sequential": sequential_sweep},
+        rounds=1, iterations=1)
+    path = "sequential" if sequential_sweep else "ensemble"
+    print(f"\ncondition sweep ({path}): {result.n_scenarios} conditions, "
+          f"{result.wall_s:.2f} s, {result.scenarios_per_s:.2f} scenarios/s")
+    assert result.n_scenarios == len(flows)
+    assert not result.diverged.any()
+    assert np.all(np.isfinite(result.final_norms))

@@ -16,6 +16,13 @@ from repro.mesh import build_edge_structure, bump_channel
 from repro.state import freestream_state
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sequential", action="store_true", default=False,
+        help="run condition sweeps on the old one-solver-per-condition "
+             "path instead of solve_ensemble (for A/B comparison)")
+
+
 def pytest_report_header(config):
     return f"repro benchmarks: case={_case_name()}"
 
@@ -27,6 +34,12 @@ def _case_name() -> str:
 @pytest.fixture(scope="session")
 def case():
     return FAST_CASE if _case_name() == "fast" else FULL_CASE
+
+
+@pytest.fixture(scope="session")
+def sequential_sweep(request):
+    """True when ``--sequential`` selects the old per-condition path."""
+    return request.config.getoption("--sequential")
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,9 @@
 """Benchmark regression tracker over the committed performance trajectory.
 
 The benchmark suites leave machine-relative artifacts behind —
-``BENCH_residual.json`` / ``BENCH_distributed.json`` speedups, and the
-observatory's ``report.json`` with its deterministic traffic and balance
-metrics.  This tool folds them into one append-only trajectory file
+``BENCH_residual.json`` / ``BENCH_distributed.json`` /
+``BENCH_ensemble.json`` speedups, and the observatory's ``report.json``
+with its deterministic traffic and balance metrics.  This tool folds them into one append-only trajectory file
 (``BENCH_history.jsonl``, one JSON object per line) and checks fresh
 results against it:
 
@@ -47,6 +47,10 @@ METRIC_RULES = [
     # noise.  Must precede the generic "speedup" rule (first match
     # wins).
     ("transport_speedup", True, 0.5),
+    # Batched-over-sequential per-scenario throughput ratio of the
+    # ensemble sweep (BENCH_ensemble.json) — machine-relative like the
+    # other speedups, default threshold.
+    ("ensemble_throughput", True, None),
     ("speedup", True, None),
 ]
 
@@ -102,6 +106,18 @@ def metrics_from_distributed(doc: dict) -> dict:
     return out
 
 
+def metrics_from_ensemble(doc: dict) -> dict:
+    """Flat metrics from a BENCH_ensemble.json document."""
+    out = {}
+    for case in doc.get("cases", []):
+        mesh = case["mesh"]
+        for batch, row in case.get("ensemble", {}).items():
+            if "ensemble_throughput" in row:
+                out[f"ensemble/{mesh}/b{batch}.ensemble_throughput"] = \
+                    float(row["ensemble_throughput"])
+    return out
+
+
 def metrics_from_report(doc: dict) -> dict:
     """Flat metrics from an observatory report.json document."""
     tag = f"{doc['case']}-{doc['backend']}x{doc['n_ranks']}"
@@ -132,13 +148,16 @@ def _load_json(path: Path):
 
 
 def collect_metrics(residual: Path | None, distributed: Path | None,
-                    reports: list[Path]) -> dict:
+                    reports: list[Path],
+                    ensemble: Path | None = None) -> dict:
     """Current metric snapshot from whichever sources exist on disk."""
     out: dict = {}
     if residual is not None and residual.exists():
         out.update(metrics_from_residual(_load_json(residual)))
     if distributed is not None and distributed.exists():
         out.update(metrics_from_distributed(_load_json(distributed)))
+    if ensemble is not None and ensemble.exists():
+        out.update(metrics_from_ensemble(_load_json(ensemble)))
     for path in reports:
         out.update(metrics_from_report(_load_json(path)))
     return out
@@ -249,6 +268,10 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_distributed.json",
                         help="BENCH_distributed.json to read (skipped if "
                              "missing)")
+    parser.add_argument("--ensemble", type=Path,
+                        default=REPO_ROOT / "BENCH_ensemble.json",
+                        help="BENCH_ensemble.json to read (skipped if "
+                             "missing)")
     parser.add_argument("--report", type=Path, action="append", default=[],
                         metavar="REPORT_JSON",
                         help="observatory report.json to include "
@@ -264,7 +287,8 @@ def main(argv=None) -> int:
         if not path.exists():
             print(f"track: report not found: {path}", file=sys.stderr)
             return 2
-    current = collect_metrics(args.residual, args.distributed, args.report)
+    current = collect_metrics(args.residual, args.distributed, args.report,
+                              ensemble=args.ensemble)
     if not current:
         print("track: no benchmark files found to read", file=sys.stderr)
         return 2

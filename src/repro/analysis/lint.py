@@ -95,6 +95,14 @@ HOT_FUNCTIONS: dict[str, frozenset] = {
         "FusedResidual.residual", "FusedResidual.timestep",
         "FusedResidual.smooth", "FusedResidual.step",
     }),
+    "repro/kernels/ensemble.py": frozenset({
+        "_dot3", "EnsembleWorkspace.update", "EnsembleWorkspace.buf",
+        "EnsembleResidual.update_state", "EnsembleResidual._edge_state",
+        "EnsembleResidual._boundary_fluxes", "EnsembleResidual.convective",
+        "EnsembleResidual.dissipation", "EnsembleResidual.residual",
+        "EnsembleResidual.timestep", "EnsembleResidual.smooth",
+        "EnsembleResidual.step",
+    }),
     "repro/parti/schedule.py": frozenset({
         "GatherSchedule._pack", "GatherSchedule._pack_gather",
         "GatherSchedule._place_ghosts", "GatherSchedule.gather_begin",
@@ -146,6 +154,11 @@ OUT_REQUIRED: dict[str, frozenset] = {
         "FusedResidual.convective", "FusedResidual.dissipation",
         "FusedResidual.residual", "FusedResidual.timestep",
         "FusedResidual.smooth",
+    }),
+    "repro/kernels/ensemble.py": frozenset({
+        "EnsembleResidual.convective", "EnsembleResidual.dissipation",
+        "EnsembleResidual.residual", "EnsembleResidual.timestep",
+        "EnsembleResidual.smooth",
     }),
     "repro/solver/flux.py": frozenset({"edge_flux", "convective_operator"}),
     "repro/solver/dissipation.py": frozenset({"dissipation_operator"}),

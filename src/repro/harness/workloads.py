@@ -13,8 +13,10 @@ The flow condition is the paper's: M = 0.768, alpha = 1.116 degrees.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
 
@@ -26,7 +28,8 @@ from ..solver.config import SolverConfig
 from ..state import freestream_state
 
 __all__ = ["CaseSpec", "FAST_CASE", "FULL_CASE", "build_hierarchy",
-           "measure_level_flops", "mg_visits"]
+           "measure_level_flops", "mg_visits", "sweep_conditions",
+           "run_condition_sweep"]
 
 MACH = 0.768
 ALPHA_DEG = 1.116
@@ -102,6 +105,82 @@ def mg_visits(n_levels: int, gamma: int) -> list:
         if kind == "E":
             visits[level] += 1
     return visits
+
+
+def sweep_conditions(n_mach: int = 8, alphas=(0.0, ALPHA_DEG)) -> list:
+    """Standard flow-condition sweep: a Mach ladder around the paper's point.
+
+    ``n_mach`` subsonic-to-transonic Mach numbers (0.50 .. 0.80, bracketing
+    the paper's M = 0.768) crossed with ``alphas`` — the grid every sweep
+    benchmark and the ensemble demo share.
+    """
+    from ..solver.ensemble import FlowState
+
+    machs = np.linspace(0.50, 0.80, n_mach)
+    return FlowState.grid(machs, alphas)
+
+
+def run_condition_sweep(case: CaseSpec, flows=None, *, n_cycles: int = 10,
+                        sequential: bool = False, block_size=None):
+    """Solve a flow-condition sweep on the case's fine mesh.
+
+    The default path pushes every condition through one batched
+    :meth:`~repro.solver.EulerSolver.solve_ensemble` call — one fused
+    edge sweep advances all of them at once.  ``sequential=True`` keeps
+    the pre-ensemble behaviour for A/B comparison: a fresh
+    :class:`~repro.solver.EulerSolver` is constructed per condition
+    (edge structure, reordering, scatter schedules and all) and run on
+    its own, exactly as sweep clients did before batching existed.
+
+    Both paths return an :class:`~repro.solver.EnsembleResult`, so
+    callers can diff states/histories and throughput directly.
+    """
+    from ..resilience import DivergenceError
+    from ..solver.ensemble import EnsembleResult
+    from ..solver.euler import EulerSolver
+
+    if flows is None:
+        flows = sweep_conditions()
+    flows = list(flows)
+    base = build_hierarchy(case).levels[0].solver
+    if not sequential:
+        return base.solve_ensemble(flows, n_cycles=n_cycles,
+                                   block_size=block_size)
+
+    # Old per-case path: the full construct-and-run pipeline, once per
+    # flow condition, with no asset sharing between conditions.
+    t0 = perf_counter()
+    states = np.empty((len(flows), base.n_vertices, 5))
+    histories = []
+    cycles = np.empty(len(flows), dtype=np.int64)
+    diverged = np.zeros(len(flows), dtype=bool)
+    for i, f in enumerate(flows):
+        cfg = case.config
+        if f.cfl is not None and float(f.cfl) != float(cfg.cfl):
+            cfg = dataclasses.replace(cfg, cfl=float(f.cfl))
+        solver = EulerSolver(base.mesh, f.freestream(), cfg)
+        # The batched path flags non-finite residual norms and keeps
+        # going; mirror that here so the A/B diverged masks compare.
+        # Under the default divergence guard run() raises instead of
+        # returning a NaN history, so both shapes map to diverged=True.
+        try:
+            w, history = solver.run(n_cycles=n_cycles)
+        except DivergenceError as exc:
+            states[i] = np.nan
+            histories.append([float("nan")])
+            cycles[i] = int(exc.cycle)
+            diverged[i] = True
+            continue
+        states[i] = w
+        histories.append(history)
+        cycles[i] = n_cycles
+        diverged[i] = not np.isfinite(history[-1])
+    wall = perf_counter() - t0
+    n = len(flows)
+    return EnsembleResult(states=states, histories=histories,
+                          converged=np.zeros(n, dtype=bool),
+                          diverged=diverged,
+                          cycles=cycles, wall_s=wall)
 
 
 def level_colorings(hierarchy: MultigridHierarchy) -> list:

@@ -1,0 +1,664 @@
+"""The batched ensemble residual pipeline: many flow conditions per sweep.
+
+One :class:`EnsembleResidual` advances ``n_scenarios`` independent flow
+states through the five-stage scheme **in a single pass over the edge
+arrays**.  The mesh geometry, the RCM edge ordering, the CSR incidence
+operators and every gather index are shared across the batch; only the
+state carries a scenario axis.
+
+Layout
+------
+The public ensemble API is scenario-major ``(n_scenarios, nv, 5)``; the
+hot path stores the batch scenario-*minor*: ``wT`` has shape
+``(nv, NVAR, S)``, vertex fields are ``(nv, S)``, edge buffers
+``(ne, ..., S)``.  The trailing scenario axis is what makes batching pay
+on an unstructured mesh: an indirect gather ``wT[e0]`` moves ``S``
+contiguous doubles per index read (full cache lines instead of one
+8-byte lane), and the CSR scatters run with ``n_vecs = NVAR * S`` so the
+index traffic of the incidence matrix is amortised over the whole batch.
+
+Two layout rules keep the *elementwise* ops at sequential speed (NumPy
+runs a strided or broadcast ufunc as an outer loop over length-``S``
+inner loops, which at small ``S`` costs more in loop setup than the
+arithmetic itself):
+
+* **small axes lead** — multi-component buffers that are consumed one
+  component at a time (velocities, the expanded geometry) are stored
+  component-major ``(3, n, S)`` so each component is a flat contiguous
+  ``(n, S)`` array the ufunc can collapse to one long loop;
+* **no column broadcasts against the batch** — per-edge geometric
+  constants (``eta/2`` and ``|eta|/2``) are pre-expanded to contiguous
+  ``(ne, S)`` copies at pipeline construction instead of broadcasting
+  ``(ne, 1)`` columns in the hot loop.
+
+Only the buffers fed to the executor's CSR scatters (``phi``, ``wdiff``
+and friends) keep the ``(ne, NVAR, S)`` interleaved layout the
+``n_vecs``-vector products require; their few strided column writes are
+the price of the amortised scatter.
+
+Numerics
+--------
+Every operation mirrors :class:`~repro.kernels.fused.FusedResidual`
+element for element: all batched ops are either elementwise over the
+scenario axis or fixed-order short reductions (the ``d``-contractions of
+``einsum``, the per-slot CSR column accumulation), and the per-scenario
+residual norms are taken as 1-D pairwise means over each scenario column
+(NumPy's pairwise reduction order depends on element count, not stride).
+Scenario ``s`` of a batched step is therefore **bit-identical** to the
+same step of a sequential ``executor="fused"`` solver with that
+scenario's ``w_inf``/CFL, and scenario slots never interact — dropping a
+converged scenario from the batch does not perturb the others.  The
+tests in ``tests/kernels/test_ensemble.py`` pin this down.
+
+Per-scenario conditions
+-----------------------
+``w_inf`` is one conserved freestream row per scenario (the farfield
+characteristic closure evaluates per-row freestream invariants; see
+:func:`repro.solver.bc.characteristic_state`), and ``cfl`` is a
+per-scenario vector broadcast over the local time step.  ``k2``/``k4``
+and the smoothing parameters remain per-batch (they come from the shared
+:class:`~repro.solver.SolverConfig`).
+
+Allocation discipline matches the fused pipeline: after warmup a
+:meth:`step` allocates only the returned state array (the boundary
+closure allocates boundary-sized temporaries, exactly like the
+sequential path).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+
+import numpy as np
+
+from ..constants import GAMMA, GAMMA_M1, NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
+from ..perfmodel.flops import NullFlopCounter
+from ..solver.bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
+                         BoundaryData, characteristic_state)
+from ..solver.dissipation import (FLOPS_PER_EDGE_DISS_PASS1,
+                                  FLOPS_PER_EDGE_DISS_PASS2,
+                                  FLOPS_PER_VERTEX_DISS)
+from ..solver.flux import FLOPS_PER_EDGE_CONVECTIVE, FLOPS_PER_VERTEX_FLUXVEC
+from ..solver.smoothing import FLOPS_PER_EDGE_SMOOTH, FLOPS_PER_VERTEX_SMOOTH
+from ..solver.timestep import (FLOPS_PER_EDGE_TIMESTEP,
+                               FLOPS_PER_VERTEX_TIMESTEP)
+from ..state import flux_vectors, pressure
+from ..telemetry import get_tracer, traced
+from .executors import SerialExecutor
+
+__all__ = ["EnsembleWorkspace", "EnsembleResidual",
+           "batch_major", "scenario_major"]
+
+
+def batch_major(w_scenarios: np.ndarray) -> np.ndarray:
+    """``(S, nv, 5)`` scenario-major states -> contiguous ``(nv, 5, S)``."""
+    w_scenarios = np.asarray(w_scenarios, dtype=np.float64)
+    if w_scenarios.ndim != 3 or w_scenarios.shape[2] != NVAR:
+        raise ValueError(
+            f"expected (n_scenarios, nv, {NVAR}), got {w_scenarios.shape}")
+    return np.ascontiguousarray(np.moveaxis(w_scenarios, 0, -1))
+
+
+def scenario_major(wT: np.ndarray) -> np.ndarray:
+    """``(nv, 5, S)`` batch layout -> contiguous ``(S, nv, 5)``."""
+    return np.ascontiguousarray(np.moveaxis(wT, -1, 0))
+
+
+def _dot3(a: np.ndarray, b: np.ndarray, out: np.ndarray,
+          tmp: np.ndarray) -> np.ndarray:
+    """Batched 3-vector dot product in the sequential einsum's sum order.
+
+    NumPy's ``einsum("id,id->i", ...)`` on a stride-1 length-3 reduction
+    axis runs a two-accumulator unrolled loop whose effective association
+    is ``(a0*b0 + a2*b2) + a1*b1`` — *not* the naive forward order the
+    strided batched contraction would use.  Replicating that association
+    here keeps every batched scenario bit-identical to its sequential
+    fused solve.  ``a`` and ``b`` are component-major — ``a[d]`` is the
+    ``d``-th component, ``(n, S)`` (contiguous in the hot callers) —
+    and ``b[d]`` broadcasts against ``a[d]``; ``out``/``tmp`` are
+    ``(n, S)``.
+    """
+    np.multiply(a[0], b[0], out=out)
+    np.multiply(a[2], b[2], out=tmp)
+    np.add(out, tmp, out=out)
+    np.multiply(a[1], b[1], out=tmp)
+    np.add(out, tmp, out=out)
+    return out
+
+
+class EnsembleWorkspace:
+    """Trailing-scenario-axis twin of :class:`StageWorkspace`.
+
+    After :meth:`update` the thermodynamic fields describe all scenarios
+    of the current stage state ``wT`` of shape ``(nv, NVAR, S)``:
+    ``rho``/``inv_rho``/``p``/``c``/``epp`` are ``(nv, S)`` and ``vel``
+    is component-major ``(3, nv, S)`` (each component a contiguous
+    ``(nv, S)`` plane — see the module docstring's layout rules).  The
+    arena hands out scratch buffers whose trailing axis is the scenario
+    axis.
+    """
+
+    def __init__(self, n_vertices: int, n_edges: int, n_scenarios: int):
+        self.n_vertices = int(n_vertices)
+        self.n_edges = int(n_edges)
+        self.n_scenarios = int(n_scenarios)
+        nv, ns = self.n_vertices, self.n_scenarios
+        self.rho = np.empty((nv, ns))
+        self.inv_rho = np.empty((nv, ns))
+        self.vel = np.empty((3, nv, ns))
+        self.p = np.empty((nv, ns))
+        self.c = np.empty((nv, ns))
+        self.epp = np.empty((nv, ns))
+        self._q2 = np.empty((nv, ns))
+        self._q2tmp = np.empty((nv, ns))
+        self._arena: dict[str, np.ndarray] = {}
+        #: Arena allocation count — stops growing once the pipeline warms
+        #: up (same zero-allocation contract as the sequential arena).
+        self.n_arena_allocs = 0
+
+    # ------------------------------------------------------------------
+    def update(self, wT: np.ndarray) -> None:
+        """Recompute the shared thermodynamic state for stage state ``wT``.
+
+        Operation-for-operation the batched twin of
+        :meth:`StageWorkspace.update` (same ufuncs, same order — the
+        scenario axis rides along elementwise).
+        """
+        np.copyto(self.rho, wT[:, 0, :])
+        np.divide(1.0, self.rho, out=self.inv_rho)
+        for d in range(3):
+            np.multiply(wT[:, 1 + d, :], self.inv_rho, out=self.vel[d])
+        # p = (gamma-1) (rho E - 1/2 m . u)
+        _dot3(wT[:, 1:4, :].transpose(1, 0, 2), self.vel,
+              self._q2, self._q2tmp)
+        np.multiply(self._q2, -0.5, out=self.p)
+        np.add(self.p, wT[:, 4, :], out=self.p)
+        np.multiply(self.p, GAMMA_M1, out=self.p)
+        # c = sqrt(gamma p / rho)
+        np.multiply(self.p, GAMMA * self.inv_rho, out=self.c)
+        np.sqrt(self.c, out=self.c)
+        np.add(wT[:, 4, :], self.p, out=self.epp)
+
+    # ------------------------------------------------------------------
+    def buf(self, name: str, shape: tuple[int, ...],
+            dtype=np.float64) -> np.ndarray:
+        """Named preallocated scratch buffer (contents unspecified)."""
+        arr = self._arena.get(name)
+        if arr is None:
+            arr = np.empty(shape, dtype=dtype)
+            self._arena[name] = arr
+            self.n_arena_allocs += 1
+            return arr
+        if arr.shape != tuple(shape) or arr.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"arena buffer {name!r} already exists with shape "
+                f"{arr.shape}/{arr.dtype}, requested {tuple(shape)}/{dtype}")
+        return arr
+
+    def edge_buf(self, name: str, *mid: int) -> np.ndarray:
+        """Scratch buffer of shape ``(n_edges, *mid, n_scenarios)``."""
+        return self.buf(name, (self.n_edges,) + mid + (self.n_scenarios,))
+
+    def vertex_buf(self, name: str, *mid: int) -> np.ndarray:
+        """Scratch buffer of shape ``(n_vertices, *mid, n_scenarios)``."""
+        return self.buf(name, (self.n_vertices,) + mid + (self.n_scenarios,))
+
+    def state_buf(self, name: str) -> np.ndarray:
+        """Scratch buffer of shape ``(n_vertices, NVAR, n_scenarios)``."""
+        return self.buf(name, (self.n_vertices, NVAR, self.n_scenarios))
+
+
+class _EnsembleEdgeState:
+    """Per-edge endpoint gathers for one stage, all scenarios at once.
+
+    The trailing axis is the scenario axis; each field is the batched
+    twin of the corresponding :class:`_EdgeStageState` buffer.  The
+    velocities are component-major ``(3, ne, S)`` so every elementwise
+    consumer reads flat contiguous ``(ne, S)`` planes.
+    """
+
+    __slots__ = ("vel0", "vel1", "rho0", "rho1", "p0", "p1", "epp0", "epp1",
+                 "vn0", "vn1", "psum", "lam")
+
+    def __init__(self, ne: int, ns: int):
+        self.vel0 = np.empty((3, ne, ns))
+        self.vel1 = np.empty((3, ne, ns))
+        self.rho0 = np.empty((ne, ns))
+        self.rho1 = np.empty((ne, ns))
+        self.p0 = np.empty((ne, ns))
+        self.p1 = np.empty((ne, ns))
+        self.epp0 = np.empty((ne, ns))
+        self.epp1 = np.empty((ne, ns))
+        self.vn0 = np.empty((ne, ns))
+        self.vn1 = np.empty((ne, ns))
+        self.psum = np.empty((ne, ns))
+        self.lam = np.empty((ne, ns))
+
+
+class EnsembleResidual:
+    """Batched residual/timestep/step kernels over one mesh.
+
+    Parameters
+    ----------
+    struct : :class:`repro.mesh.edges.EdgeStructure` (already reordered
+        if the caller reorders — the batch shares whatever edge order the
+        sequential pipeline uses, which is what makes the per-scenario
+        bit-identity hold).
+    bdata : matching :class:`repro.solver.bc.BoundaryData`.
+    config : shared :class:`repro.solver.SolverConfig` (k2/k4/smoothing;
+        ``config.cfl`` is the default when no per-scenario CFL is given).
+    w_inf : ``(n_scenarios, 5)`` per-scenario freestream conserved rows.
+    cfl : optional per-scenario CFL vector ``(n_scenarios,)``.
+    executor : scatter executor (``signed``/``unsigned``/``neighbor_sum``
+        with ``out=`` plus ``degree``); defaults to the serial CSR
+        scatter.  Compiled executors are *not* supported here (their
+        kernels are single-state); the caller falls back to CSR.
+    """
+
+    def __init__(self, struct, bdata: BoundaryData, config,
+                 w_inf: np.ndarray, cfl=None, executor=None, flops=None,
+                 tracer=None):
+        self.struct = struct
+        self.config = config
+        self.edges = struct.edges
+        self.eta = np.ascontiguousarray(struct.eta)
+        self.dual_volumes = struct.dual_volumes
+        self.bdata = bdata
+        self.flops = flops if flops is not None else NullFlopCounter()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        nv, ne = struct.n_vertices, struct.n_edges
+        self.n_vertices, self.n_edges = nv, ne
+        w_inf = np.asarray(w_inf, dtype=np.float64)
+        if w_inf.ndim != 2 or w_inf.shape[1] != NVAR:
+            raise ValueError(
+                f"w_inf must be (n_scenarios, {NVAR}), got {w_inf.shape}")
+        ns = w_inf.shape[0]
+        self.n_scenarios = ns
+        self.e0 = np.ascontiguousarray(struct.edges[:, 0])
+        self.e1 = np.ascontiguousarray(struct.edges[:, 1])
+        self.executor = executor if executor is not None else \
+            SerialExecutor(struct.edges, nv, tracer=self.tracer)
+        self.ws = EnsembleWorkspace(nv, ne, ns)
+        self.es = _EnsembleEdgeState(ne, ns)
+
+        # Geometry precomputations shared with the fused pipeline.
+        self.eta_half = 0.5 * self.eta
+        self.eta_norm_half = 0.5 * np.linalg.norm(self.eta, axis=1)
+        # Expanded batch copies of the per-edge constants (module
+        # docstring: broadcasting an (ne, 1) column against the batch
+        # axis degrades every elementwise op to length-S inner loops).
+        # ~4 MB per scenario column on the 144k-edge box27 — paid once
+        # per pipeline width at construction.
+        self.eta_half_x = np.ascontiguousarray(
+            np.broadcast_to(self.eta_half.T[:, :, None], (3, ne, ns)))
+        self.eta_norm_half_x = np.ascontiguousarray(
+            np.broadcast_to(self.eta_norm_half[:, None], (ne, ns)))
+        self.wall_nn = np.linalg.norm(bdata.wall_normals, axis=1) \
+            if bdata.wall_vertices.size else np.zeros(0)
+        self.far_nn = np.linalg.norm(bdata.far_normals, axis=1) \
+            if bdata.far_vertices.size else np.zeros(0)
+        self.boundary_mask = np.zeros(nv, dtype=bool)
+        self.boundary_mask[bdata.wall_vertices] = True
+        self.boundary_mask[bdata.far_vertices] = True
+        self.smooth_denom = 1.0 + config.smoothing_eps * \
+            self.executor.degree[:, None, None]
+
+        self._gen = 0
+        self._es_gen = -1
+        self._resnorms = np.empty(ns)
+        self.set_conditions(w_inf, cfl)
+        if self.tracer.enabled:
+            self.tracer.gauge("ensemble.batch", float(ns))
+
+    # ------------------------------------------------------------------
+    def set_conditions(self, w_inf: np.ndarray, cfl=None) -> None:
+        """(Re)bind the per-scenario flow conditions of the batch.
+
+        ``w_inf`` is ``(n_scenarios, 5)``; ``cfl`` a scalar or
+        ``(n_scenarios,)`` vector (``None`` takes ``config.cfl`` for
+        every scenario).  The farfield closure's flattened per-row
+        constant arrays are rebuilt here — this is setup code, outside
+        the hot path, so the tiled allocations are fine.
+        """
+        ns = self.n_scenarios
+        w_inf = np.asarray(w_inf, dtype=np.float64)
+        if w_inf.shape != (ns, NVAR):
+            raise ValueError(
+                f"w_inf must be ({ns}, {NVAR}), got {w_inf.shape}")
+        self.w_inf = np.ascontiguousarray(w_inf)
+        if cfl is None:
+            cfl = self.config.cfl
+        cfl = np.asarray(cfl, dtype=np.float64)
+        self.cfl = np.ascontiguousarray(np.broadcast_to(cfl, (ns,)))
+        # Flattened (n_far * S, ...) row constants for the characteristic
+        # closure: row v*S + s pairs farfield vertex v with scenario s,
+        # matching the (vertex, scenario) reshape of the gathered states.
+        nf = self.bdata.far_vertices.size
+        if nf:
+            self._far_unit_rows = np.repeat(self.bdata.far_unit, ns, axis=0)
+            self._far_normals_rows = np.repeat(self.bdata.far_normals, ns,
+                                               axis=0)
+            self._winf_rows = np.tile(self.w_inf, (nf, 1))
+        else:
+            self._far_unit_rows = np.zeros((0, 3))
+            self._far_normals_rows = np.zeros((0, 3))
+            self._winf_rows = np.zeros((0, NVAR))
+
+    # ------------------------------------------------------------------
+    def update_state(self, wT: np.ndarray) -> None:
+        """Refresh the shared thermodynamic state for stage state ``wT``."""
+        self.ws.update(wT)
+        self._gen += 1
+
+    def _edge_state(self) -> _EnsembleEdgeState:
+        """Endpoint gathers + wave speeds for the current stage (cached).
+
+        Batched twin of :meth:`FusedResidual._edge_state`: the same
+        gathers move ``S`` contiguous doubles per index.
+        """
+        es = self.es
+        if self._es_gen == self._gen:
+            return es
+        ws = self.ws
+        tmp = ws.edge_buf("es_tmp")
+        for idx, vel, rho, p, epp, vn in (
+                (self.e0, es.vel0, es.rho0, es.p0, es.epp0, es.vn0),
+                (self.e1, es.vel1, es.rho1, es.p1, es.epp1, es.vn1)):
+            for d in range(3):
+                np.take(ws.vel[d], idx, axis=0, out=vel[d])
+            np.take(ws.rho, idx, axis=0, out=rho)
+            np.take(ws.p, idx, axis=0, out=p)
+            np.take(ws.epp, idx, axis=0, out=epp)
+            _dot3(vel, self.eta_half_x, vn, tmp)
+        np.add(es.p0, es.p1, out=es.psum)
+        # lam = |(u0 + u1) . eta/2| + (c0 + c1) * |eta|/2
+        np.add(es.vn0, es.vn1, out=es.lam)
+        np.abs(es.lam, out=es.lam)
+        np.take(ws.c, self.e0, axis=0, out=tmp)
+        cg = ws.edge_buf("es_cg")
+        np.take(ws.c, self.e1, axis=0, out=cg)
+        np.add(cg, tmp, out=cg)
+        np.multiply(cg, self.eta_norm_half_x, out=cg)
+        np.add(es.lam, cg, out=es.lam)
+        self._es_gen = self._gen
+        return es
+
+    # ------------------------------------------------------------------
+    def _boundary_fluxes(self, wT: np.ndarray, out: np.ndarray) -> None:
+        """Batched boundary closure of the convective operator.
+
+        Boundary rows are flattened to ``(n_boundary * S, 5)`` so the
+        shared :func:`pressure` / :func:`characteristic_state` /
+        :func:`flux_vectors` row kernels evaluate every scenario in one
+        call, then scattered back onto the batch layout.  Allocates
+        boundary-sized temporaries only (matching the sequential
+        closure's behaviour).
+        """
+        bdata = self.bdata
+        ws = self.ws
+        ns = self.n_scenarios
+        nw = bdata.wall_vertices.size
+        if nw:
+            g = ws.buf("bc_wall_g", (nw, NVAR, ns))
+            np.take(wT, bdata.wall_vertices, axis=0, out=g)
+            flat = ws.buf("bc_wall_flat", (nw * ns, NVAR))
+            np.copyto(flat.reshape(nw, ns, NVAR), g.transpose(0, 2, 1))
+            p_wall = pressure(flat).reshape(nw, ns)
+            out[bdata.wall_vertices, 1:4, :] += \
+                p_wall[:, None, :] * bdata.wall_normals[:, :, None]
+        nf = bdata.far_vertices.size
+        if nf:
+            g = ws.buf("bc_far_g", (nf, NVAR, ns))
+            np.take(wT, bdata.far_vertices, axis=0, out=g)
+            flat = ws.buf("bc_far_flat", (nf * ns, NVAR))
+            np.copyto(flat.reshape(nf, ns, NVAR), g.transpose(0, 2, 1))
+            w_b = characteristic_state(flat, self._far_unit_rows,
+                                       self._winf_rows)
+            f_b = flux_vectors(w_b)
+            fl = np.einsum("ikd,id->ik", f_b, self._far_normals_rows)
+            out[bdata.far_vertices] += \
+                fl.reshape(nf, ns, NVAR).transpose(0, 2, 1)
+
+    # ------------------------------------------------------------------
+    @traced("ensemble.convective")
+    def convective(self, wT: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Q(w) for every scenario of the current stage state."""
+        ws = self.ws
+        es = self._edge_state()
+        phi = ws.edge_buf("phi", NVAR)
+        mflux0 = ws.edge_buf("conv_mflux0")
+        mflux1 = ws.edge_buf("conv_mflux1")
+        tmp = ws.edge_buf("conv_tmp")
+        tmpb = ws.edge_buf("conv_tmpb")
+        np.multiply(es.rho0, es.vn0, out=mflux0)         # rho_i u_i.eta/2
+        np.multiply(es.rho1, es.vn1, out=mflux1)
+        # mass
+        np.add(mflux0, mflux1, out=phi[:, 0, :])
+        # momentum: (rho vn u)_0 + (rho vn u)_1 + (p0 + p1) eta/2,
+        # assembled per component over contiguous (ne, S) planes in the
+        # sequential association ((A_d + B_d) + C_d).
+        for d in range(3):
+            np.multiply(mflux0, es.vel0[d], out=tmp)
+            np.multiply(mflux1, es.vel1[d], out=tmpb)
+            np.add(tmp, tmpb, out=tmp)
+            np.multiply(es.psum, self.eta_half_x[d], out=tmpb)
+            np.add(tmp, tmpb, out=phi[:, 1 + d, :])
+        # energy: (rho E + p) * u.eta/2
+        np.multiply(es.epp0, es.vn0, out=tmp)
+        np.multiply(es.epp1, es.vn1, out=phi[:, 4, :])
+        np.add(phi[:, 4, :], tmp, out=phi[:, 4, :])
+        self.executor.signed(phi, out=out)
+        self._boundary_fluxes(wT, out)
+        ns = self.n_scenarios
+        self.flops.add("convective",
+                       ns * (FLOPS_PER_EDGE_CONVECTIVE * self.n_edges
+                             + FLOPS_PER_VERTEX_FLUXVEC * self.n_vertices))
+        self.flops.add("boundary",
+                       ns * (FLOPS_PER_WALL_VERTEX
+                             * self.bdata.wall_vertices.size
+                             + FLOPS_PER_FARFIELD_VERTEX
+                             * self.bdata.far_vertices.size))
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("ensemble.dissipation")
+    def dissipation(self, wT: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """D(w) for every scenario (JST blend, two edge passes)."""
+        ws = self.ws
+        cfg = self.config
+        es = self._edge_state()
+        # ---- pass 1: undivided Laplacian and pressure switch ----------
+        wg0 = ws.edge_buf("diss_wg0", NVAR)
+        wdiff = ws.edge_buf("diss_wdiff", NVAR)
+        np.take(wT, self.e1, axis=0, out=wdiff)
+        np.take(wT, self.e0, axis=0, out=wg0)
+        np.subtract(wdiff, wg0, out=wdiff)               # w_j - w_i
+        lap = ws.state_buf("diss_lap")
+        self.executor.signed(wdiff, out=lap)
+
+        pdiff = ws.edge_buf("diss_pdiff")
+        np.subtract(es.p1, es.p0, out=pdiff)
+        nu = ws.vertex_buf("diss_nu")
+        den = ws.vertex_buf("diss_den")
+        self.executor.signed(pdiff, out=nu)
+        self.executor.unsigned(es.psum, out=den)
+        np.abs(nu, out=nu)
+        np.maximum(den, cfg.switch_floor, out=den)
+        np.divide(nu, den, out=nu)
+
+        # ---- pass 2: blended edge fluxes ------------------------------
+        eps2 = ws.edge_buf("diss_eps2")
+        np.take(nu, self.e0, axis=0, out=eps2)
+        nug1 = ws.edge_buf("diss_nug1")
+        np.take(nu, self.e1, axis=0, out=nug1)
+        np.maximum(eps2, nug1, out=eps2)
+        np.multiply(eps2, cfg.k2, out=eps2)
+        eps4 = ws.edge_buf("diss_eps4")
+        np.subtract(cfg.k4, eps2, out=eps4)
+        np.maximum(eps4, 0.0, out=eps4)
+
+        lapdiff = ws.edge_buf("diss_lapdiff", NVAR)
+        np.take(lap, self.e1, axis=0, out=lapdiff)
+        np.take(lap, self.e0, axis=0, out=wg0)           # reuse wg0 buffer
+        np.subtract(lapdiff, wg0, out=lapdiff)           # L_j - L_i
+        # d_edge = lam * (eps2 * (w_j - w_i) - eps4 * (L_j - L_i))
+        np.multiply(wdiff, eps2[:, None, :], out=wdiff)
+        np.multiply(lapdiff, eps4[:, None, :], out=lapdiff)
+        np.subtract(wdiff, lapdiff, out=wdiff)
+        np.multiply(wdiff, es.lam[:, None, :], out=wdiff)
+        self.executor.signed(wdiff, out=out)
+        self.flops.add("dissipation",
+                       self.n_scenarios
+                       * ((FLOPS_PER_EDGE_DISS_PASS1
+                           + FLOPS_PER_EDGE_DISS_PASS2) * self.n_edges
+                          + FLOPS_PER_VERTEX_DISS * self.n_vertices))
+        return out
+
+    # ------------------------------------------------------------------
+    def residual(self, wT: np.ndarray, out: np.ndarray | None = None,
+                 update_state: bool = True) -> np.ndarray:
+        """Full residual ``R(w) = Q(w) - D(w)`` for every scenario."""
+        tracer = self.tracer
+        t0 = _perf_counter() if tracer.enabled else 0.0
+        if update_state:
+            self.update_state(wT)
+        if out is None:
+            out = np.empty((self.n_vertices, NVAR, self.n_scenarios))
+        diss = self.ws.state_buf("resid_diss")
+        self.dissipation(wT, out=diss)
+        q = self.ws.state_buf("resid_q")
+        self.convective(wT, out=q)
+        np.subtract(q, diss, out=out)
+        if tracer.enabled:
+            dt = _perf_counter() - t0
+            if dt > 0.0:
+                # Per-scenario throughput of the batched evaluation (the
+                # observatory rate table groups by the kind segment).
+                kind = getattr(self.executor, "kind", "fused")
+                ns = self.n_scenarios
+                tracer.gauge(f"observatory.rate.ensemble-{kind}.edges_per_s",
+                             self.n_edges * ns / dt)
+                tracer.gauge(
+                    f"observatory.rate.ensemble-{kind}.scenarios_per_s",
+                    ns / dt)
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("ensemble.timestep")
+    def timestep(self, wT: np.ndarray, out: np.ndarray,
+                 update_state: bool = False) -> np.ndarray:
+        """Per-vertex, per-scenario local time step (per-scenario CFL)."""
+        if update_state:
+            self.update_state(wT)
+        ws = self.ws
+        es = self._edge_state()
+        sigma = ws.vertex_buf("dt_sigma")
+        self.executor.unsigned(es.lam, out=sigma)
+        for name, verts, normals, nn in (
+                ("wall", self.bdata.wall_vertices, self.bdata.wall_normals,
+                 self.wall_nn),
+                ("far", self.bdata.far_vertices, self.bdata.far_normals,
+                 self.far_nn)):
+            if verts.size:
+                un = ws.buf(f"dt_un_{name}",
+                            (verts.size, self.n_scenarios))
+                tmp = ws.buf(f"dt_untmp_{name}",
+                             (verts.size, self.n_scenarios))
+                vg = ws.buf(f"dt_vg_{name}",
+                            (3, verts.size, self.n_scenarios))
+                for d in range(3):
+                    np.take(ws.vel[d], verts, axis=0, out=vg[d])
+                _dot3(vg, normals.T[:, :, None], un, tmp)
+                np.abs(un, out=un)
+                sigma[verts] += un + ws.c[verts] * nn[:, None]
+        np.maximum(sigma, 1e-300, out=sigma)
+        np.divide(self.dual_volumes[:, None], sigma, out=out)
+        np.multiply(out, self.cfl, out=out)
+        self.flops.add("timestep",
+                       self.n_scenarios
+                       * (FLOPS_PER_EDGE_TIMESTEP * self.n_edges
+                          + FLOPS_PER_VERTEX_TIMESTEP * self.n_vertices))
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("ensemble.smooth")
+    def smooth(self, r: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Jacobi residual averaging, boundary rows frozen, all scenarios."""
+        cfg = self.config
+        if cfg.smoothing_sweeps <= 0 or cfg.smoothing_eps <= 0.0:
+            np.copyto(out, r)
+            return out
+        ws = self.ws
+        ns = ws.state_buf("smooth_ns")
+        smoothed = r
+        for _ in range(cfg.smoothing_sweeps):
+            self.executor.neighbor_sum(smoothed, out=ns)
+            np.multiply(ns, cfg.smoothing_eps, out=ns)
+            np.add(ns, r, out=ns)
+            np.divide(ns, self.smooth_denom, out=out)
+            out[self.boundary_mask] = r[self.boundary_mask]
+            smoothed = out
+        self.flops.add("smoothing",
+                       self.n_scenarios * cfg.smoothing_sweeps
+                       * (FLOPS_PER_EDGE_SMOOTH * self.n_edges
+                          + FLOPS_PER_VERTEX_SMOOTH * self.n_vertices))
+        return out
+
+    # ------------------------------------------------------------------
+    @traced("ensemble.step")
+    def step(self, wT: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One five-stage step of every scenario.
+
+        Returns ``(wT_new, resnorms)`` where ``resnorms`` is the
+        per-scenario density-residual RMS of the *input* states (stage-0
+        capture, same contract as :meth:`FusedResidual.step`).  The
+        returned norms array is an internal buffer reused by the next
+        call — consume it before stepping again.
+        """
+        cfg = self.config
+        ws = self.ws
+        w0 = wT
+        self.update_state(w0)
+        dtv = ws.vertex_buf("step_dtv")
+        self.timestep(w0, out=dtv)
+        np.divide(dtv, self.dual_volumes[:, None], out=dtv)
+        dtv_col = dtv[:, None, :]
+
+        diss = ws.state_buf("step_diss")
+        q = ws.state_buf("step_q")
+        r = ws.state_buf("step_r")
+        rbar = ws.state_buf("step_rbar")
+        resnorm_buf = ws.vertex_buf("step_resnorm")
+        resnorms = self._resnorms
+        wk = np.empty_like(w0)  # noqa: RA001 - the one allocation: returned
+        cur = w0
+        for stage, alpha in enumerate(RK_ALPHAS):
+            with self.tracer.span("rk.stage"):
+                if stage > 0:
+                    self.update_state(cur)
+                if stage in RK_DISSIPATION_STAGES:
+                    self.dissipation(cur, out=diss)
+                self.convective(cur, out=q)
+                np.subtract(q, diss, out=r)
+                if stage == 0:
+                    # Raw per-scenario R(w0) norms: each scenario column
+                    # is reduced as a 1-D pairwise mean, the same
+                    # summation order as the sequential monitor.
+                    np.divide(r[:, 0, :], self.dual_volumes[:, None],
+                              out=resnorm_buf)
+                    np.multiply(resnorm_buf, resnorm_buf, out=resnorm_buf)
+                    for s in range(self.n_scenarios):
+                        resnorms[s] = np.sqrt(np.mean(resnorm_buf[:, s]))
+                if cfg.residual_smoothing:
+                    self.smooth(r, out=rbar)
+                    upd = rbar
+                else:
+                    upd = r
+                # wk = w0 - alpha * dt/V * r
+                np.multiply(upd, dtv_col, out=upd)
+                np.multiply(upd, -alpha, out=upd)
+                np.add(w0, upd, out=wk)
+                self.flops.add("update",
+                               3 * NVAR * self.n_vertices * self.n_scenarios)
+                cur = wk
+        return wk, resnorms

@@ -26,6 +26,7 @@ tests in ``tests/kernels`` pin this down.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor, wait
 
 import numpy as np
@@ -253,6 +254,13 @@ def resolve_auto_kind(edges: np.ndarray, n_vertices: int,
             return "compiled"
         return "fused"
     if n_threads <= 1:
+        return "fused"
+    if (os.cpu_count() or 1) <= 1:
+        # A thread pool cannot beat the fused CSR pipeline without cores
+        # to run on: BENCH_residual.json recorded colored-threaded 1.7x
+        # *slower* than serial on a single-core container, where the
+        # per-colour thread handoffs are pure overhead.  The crossover
+        # fallback below is calibrated on multi-core hosts, so guard it.
         return "fused"
     max_degree = int(np.bincount(edges.ravel(),
                                  minlength=n_vertices).max())

@@ -9,9 +9,12 @@ Public surface:
 * monitoring helpers (convergence history, Mach field, forces).
 """
 
+from .assets import (SolverAssets, build_solver_assets, clear_asset_cache,
+                     get_solver_assets, mesh_fingerprint)
 from .bc import BoundaryData, boundary_fluxes, build_boundary_data, characteristic_state
 from .config import SolverConfig
 from .dissipation import dissipation_operator, pressure_switch, undivided_laplacian
+from .ensemble import EnsembleResult, FlowState, solve_ensemble
 from .euler import EulerSolver
 from .flux import convective_operator, edge_flux
 from .monitor import (ConvergenceHistory, extract_isoline, integrated_forces,
@@ -20,7 +23,10 @@ from .smoothing import smooth_residual
 from .timestep import local_timestep
 
 __all__ = [
-    "EulerSolver", "SolverConfig", "BoundaryData", "boundary_fluxes",
+    "EulerSolver", "SolverConfig", "FlowState", "EnsembleResult",
+    "solve_ensemble", "SolverAssets", "get_solver_assets",
+    "build_solver_assets", "clear_asset_cache", "mesh_fingerprint",
+    "BoundaryData", "boundary_fluxes",
     "build_boundary_data", "characteristic_state", "dissipation_operator",
     "pressure_switch", "undivided_laplacian", "convective_operator",
     "edge_flux", "ConvergenceHistory", "extract_isoline", "integrated_forces",

@@ -1,0 +1,177 @@
+"""Shared, cacheable solver assets keyed by (mesh fingerprint, config).
+
+Constructing an :class:`~repro.solver.EulerSolver` from a
+:class:`~repro.mesh.tetra.TetMesh` pays for the full inspector phase:
+edge extraction, RCM reordering, CSR incidence assembly, graph coloring
+and boundary preprocessing — ~1.5 s on the paper's 21k-vertex box mesh,
+i.e. orders of magnitude more than a single residual evaluation.  A
+Mach/alpha/CFL sweep that builds one solver per flow condition therefore
+spends almost all of its time rebuilding identical schedules.
+
+This module makes those products first-class and reusable:
+
+* :func:`mesh_fingerprint` — content hash of the mesh (or prebuilt edge
+  structure);
+* :class:`SolverAssets` — the bundle of mesh-derived, condition-free
+  products (edge structure, CSR scatter, boundary data, executor);
+* :func:`get_solver_assets` — module-level cache keyed by
+  ``(mesh fingerprint, structural config key)`` so repeated ensemble
+  members never rebuild schedules.
+
+``EulerSolver(..., assets=...)`` then skips straight to the per-condition
+state (freestream rows, fused pipeline arenas), and
+:meth:`EulerSolver.solve_ensemble` shares one asset bundle across every
+scenario in the batch.
+
+Caching is skipped when runtime sanitizers are enabled — sanitizer hooks
+are registered at executor construction, so a cached executor built
+without them would silently bypass the checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh.edges import EdgeStructure, build_edge_structure
+from ..mesh.tetra import TetMesh
+from ..scatter import EdgeScatter
+from ..telemetry import get_tracer
+from .bc import BoundaryData
+from .config import SolverConfig
+
+__all__ = ["SolverAssets", "mesh_fingerprint", "asset_config_key",
+           "build_solver_assets", "get_solver_assets", "clear_asset_cache"]
+
+
+def mesh_fingerprint(mesh) -> str:
+    """Content hash (sha256 hex) of a mesh or prebuilt edge structure.
+
+    For a :class:`TetMesh` the hash covers vertex coordinates, tet
+    connectivity and the boundary tagger's qualified name (the tagger is
+    a callable; its identity, not its code, enters the key — two taggers
+    with the same qualname but different behaviour would collide, so
+    name taggers distinctly).  For an :class:`EdgeStructure` it covers
+    the edge/geometry arrays themselves.
+    """
+    h = hashlib.sha256()
+    if isinstance(mesh, TetMesh):
+        h.update(b"tetmesh")
+        h.update(np.ascontiguousarray(mesh.vertices))
+        h.update(np.ascontiguousarray(mesh.tets))
+        tagger = mesh.boundary_tagger
+        tag_name = "" if tagger is None else (
+            f"{getattr(tagger, '__module__', '')}."
+            f"{getattr(tagger, '__qualname__', repr(type(tagger)))}")
+        h.update(tag_name.encode())
+    elif isinstance(mesh, EdgeStructure):
+        h.update(b"edgestructure")
+        h.update(np.ascontiguousarray(mesh.edges))
+        h.update(np.ascontiguousarray(mesh.eta))
+        h.update(np.ascontiguousarray(mesh.dual_volumes))
+        h.update(np.ascontiguousarray(mesh.bface_tags))
+    else:
+        raise TypeError(
+            f"mesh must be TetMesh or EdgeStructure, got {type(mesh)}")
+    return h.hexdigest()
+
+
+def asset_config_key(config: SolverConfig) -> str:
+    """The structural part of a config: fields that shape the assets.
+
+    Numerical knobs (CFL, k2/k4, smoothing) do not enter — assets built
+    once serve any flow condition on the same mesh.
+    """
+    return (f"executor={config.executor}|n_threads={config.n_threads}"
+            f"|edge_reorder={config.edge_reorder}")
+
+
+@dataclass(eq=False)
+class SolverAssets:
+    """Condition-free products of the solver's inspector phase.
+
+    ``executor`` is ``None`` for the serial configuration (the serial
+    path scatters through ``scatter`` directly); ``kind`` records the
+    resolved executor kind (``"auto"`` is resolved at build time).
+    """
+
+    struct: EdgeStructure
+    scatter: EdgeScatter
+    bdata: BoundaryData
+    kind: str
+    executor: object = None
+    mesh: TetMesh | None = None
+    reordered: bool = False
+    config_key: str = ""
+    fingerprint: str | None = field(default=None, repr=False)
+
+
+def build_solver_assets(mesh, config: SolverConfig | None = None, *,
+                        tracer=None, color_sanitizer=None) -> SolverAssets:
+    """Build the asset bundle exactly as ``EulerSolver.__init__`` would."""
+    config = config or SolverConfig()
+    tracer = tracer if tracer is not None else get_tracer()
+    if isinstance(mesh, TetMesh):
+        mesh_obj, struct = mesh, build_edge_structure(mesh)
+    elif isinstance(mesh, EdgeStructure):
+        mesh_obj, struct = None, mesh
+    else:
+        raise TypeError(
+            f"mesh must be TetMesh or EdgeStructure, got {type(mesh)}")
+
+    reordered = False
+    if config.reorder_edges_enabled:
+        from ..kernels import reorder_edges
+        struct = reorder_edges(struct)
+        reordered = True
+
+    scatter = EdgeScatter(struct.edges, struct.n_vertices, tracer=tracer)
+    bdata = BoundaryData(struct)
+
+    kind, executor = "serial", None
+    if config.executor != "serial":
+        from ..kernels import make_executor
+        from ..kernels.executors import resolve_auto_kind
+        kind = config.executor
+        if kind == "auto":
+            kind = resolve_auto_kind(struct.edges, struct.n_vertices,
+                                     config.n_threads)
+        executor = make_executor(struct.edges, struct.n_vertices, kind=kind,
+                                 n_threads=config.n_threads, tracer=tracer,
+                                 sanitizer=color_sanitizer)
+    return SolverAssets(struct=struct, scatter=scatter, bdata=bdata,
+                        kind=kind, executor=executor, mesh=mesh_obj,
+                        reordered=reordered,
+                        config_key=asset_config_key(config))
+
+
+_ASSET_CACHE: dict[tuple[str, str], SolverAssets] = {}
+
+
+def get_solver_assets(mesh, config: SolverConfig | None = None, *,
+                      tracer=None) -> SolverAssets:
+    """Cached :func:`build_solver_assets`.
+
+    The cache key is ``(mesh fingerprint, structural config key)``; a
+    hit returns the *same* bundle (schedules, CSR operators and executor
+    threads are shared — they are stateless per call).  When
+    ``config.sanitize`` enables runtime sanitizers the cache is bypassed
+    and a fresh bundle is built every time.
+    """
+    config = config or SolverConfig()
+    if config.sanitize_set:
+        return build_solver_assets(mesh, config, tracer=tracer)
+    key = (mesh_fingerprint(mesh), asset_config_key(config))
+    assets = _ASSET_CACHE.get(key)
+    if assets is None:
+        assets = build_solver_assets(mesh, config, tracer=tracer)
+        assets.fingerprint = key[0]
+        _ASSET_CACHE[key] = assets
+    return assets
+
+
+def clear_asset_cache() -> None:
+    """Drop every cached bundle (tests and memory-pressure escape hatch)."""
+    _ASSET_CACHE.clear()

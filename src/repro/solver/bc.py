@@ -67,18 +67,31 @@ def characteristic_state(w_int: np.ndarray, unit_normals: np.ndarray,
                          w_inf: np.ndarray) -> np.ndarray:
     """Boundary state from 1-D Riemann invariants along the outward normal.
 
-    ``w_int`` holds the interior states at farfield vertices, ``w_inf`` is
-    the (5,) freestream conserved state.  Subsonic in/outflow blends the
-    two Riemann invariants; supersonic flow takes the upwind state whole.
+    ``w_int`` holds the interior states at farfield vertices; ``w_inf``
+    is the freestream conserved state — either one ``(5,)`` row shared by
+    every vertex or an ``(n, 5)`` per-row array (the ensemble pipeline
+    feeds one freestream per (vertex, scenario) row).  Subsonic
+    in/outflow blends the two Riemann invariants; supersonic flow takes
+    the upwind state whole.
+
+    The shared-``(5,)`` path is bit-identical to the historical scalar
+    formulation: the freestream invariants are now broadcast arrays, and
+    elementwise float64 ops on equal values give equal results.
     """
+    w_inf = np.asarray(w_inf, dtype=np.float64)
+    winf_rows = w_inf[None, :] if w_inf.ndim == 1 else w_inf
+    if winf_rows.shape[0] not in (1, w_int.shape[0]):
+        raise ValueError(
+            f"w_inf rows {winf_rows.shape[0]} do not broadcast over "
+            f"{w_int.shape[0]} boundary rows")
     rho_i, u_i, v_i, wv_i, p_i = primitive_from_conserved(w_int)
-    rho_f, u_f, v_f, wv_f, p_f = primitive_from_conserved(w_inf[None, :])
+    rho_f, u_f, v_f, wv_f, p_f = primitive_from_conserved(winf_rows)
     vel_i = np.stack([u_i, v_i, wv_i], axis=1)
     vel_f = np.stack([np.broadcast_to(u_f, rho_i.shape),
                       np.broadcast_to(v_f, rho_i.shape),
                       np.broadcast_to(wv_f, rho_i.shape)], axis=1)
     c_i = np.sqrt(GAMMA * p_i / rho_i)
-    c_f = float(np.sqrt(GAMMA * p_f / rho_f)[0])
+    c_f = np.broadcast_to(np.sqrt(GAMMA * p_f / rho_f), rho_i.shape)
 
     un_i = np.einsum("id,id->i", vel_i, unit_normals)
     un_f = np.einsum("id,id->i", vel_f, unit_normals)
@@ -98,7 +111,7 @@ def characteristic_state(w_int: np.ndarray, unit_normals: np.ndarray,
     outflow = un_b > 0.0
     # Entropy and tangential velocity advect from the upwind side.
     s_i = p_i / rho_i ** GAMMA
-    s_f = float((p_f / rho_f ** GAMMA)[0])
+    s_f = np.broadcast_to(p_f / rho_f ** GAMMA, rho_i.shape)
     s_b = np.where(outflow, s_i, s_f)
     vel_t = np.where(outflow[:, None], vel_i - un_i[:, None] * unit_normals,
                      vel_f - un_f[:, None] * unit_normals)

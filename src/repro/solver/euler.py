@@ -19,10 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import NVAR, RK_ALPHAS, RK_DISSIPATION_STAGES
-from ..mesh.edges import EdgeStructure, build_edge_structure
-from ..mesh.tetra import TetMesh
 from ..perfmodel.flops import FlopCounter, NullFlopCounter
-from ..scatter import EdgeScatter
 from ..telemetry import get_tracer, traced
 from .bc import (FLOPS_PER_FARFIELD_VERTEX, FLOPS_PER_WALL_VERTEX,
                  BoundaryData, boundary_fluxes)
@@ -53,32 +50,45 @@ class EulerSolver:
     tracer : optional :class:`repro.telemetry.Tracer`; defaults to the
         process-global tracer (the no-op :data:`~repro.telemetry.NULL_TRACER`
         unless one was installed), captured at construction.
+    assets : optional :class:`repro.solver.assets.SolverAssets` — a
+        prebuilt inspector-phase bundle (edge structure, CSR scatter,
+        boundary data, executor) shared across solvers on the same mesh;
+        see :func:`repro.solver.assets.get_solver_assets`.  Skips the
+        ~seconds-scale schedule construction entirely.  The ``mesh``
+        argument is ignored (pass ``None``) when ``assets`` is given.
     """
 
     def __init__(self, mesh, w_inf: np.ndarray,
-                 config: SolverConfig | None = None, flops=None, tracer=None):
-        if isinstance(mesh, TetMesh):
-            self.mesh = mesh
-            self.struct = build_edge_structure(mesh)
-        elif isinstance(mesh, EdgeStructure):
-            self.mesh = None
-            self.struct = mesh
-        else:
-            raise TypeError(f"mesh must be TetMesh or EdgeStructure, got {type(mesh)}")
+                 config: SolverConfig | None = None, flops=None, tracer=None,
+                 assets=None):
         self.config = config or SolverConfig()
         self.w_inf = np.asarray(w_inf, dtype=np.float64)
         if self.w_inf.shape != (NVAR,):
             raise ValueError(f"w_inf must have shape (5,), got {self.w_inf.shape}")
         self.flops = flops if flops is not None else NullFlopCounter()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Invariant sanitizers from ``config.sanitize`` (null singletons
+        #: when off; see :mod:`repro.analysis` and docs/static-analysis.md).
+        from ..analysis.sanitize import build_sanitizers
+        self.sanitizers = build_sanitizers(self.config.sanitize_set)
 
-        if self.config.reorder_edges_enabled:
-            from ..kernels import reorder_edges
-            self.struct = reorder_edges(self.struct)
-
-        self.scatter = EdgeScatter(self.struct.edges, self.struct.n_vertices,
-                                   tracer=self.tracer)
-        self.bdata = BoundaryData(self.struct)
+        from .assets import asset_config_key, build_solver_assets
+        assets_provided = assets is not None
+        if assets is None:
+            # The inspector phase: edge structure, (optional) RCM
+            # reordering, CSR incidence, boundary data, executor.
+            assets = build_solver_assets(
+                mesh, self.config, tracer=self.tracer,
+                color_sanitizer=self.sanitizers["color"])
+        elif assets.config_key != asset_config_key(self.config):
+            raise ValueError(
+                f"assets were built for {assets.config_key!r}, this config "
+                f"needs {asset_config_key(self.config)!r}")
+        self.assets = assets
+        self.mesh = assets.mesh
+        self.struct = assets.struct
+        self.scatter = assets.scatter
+        self.bdata = assets.bdata
         self.edges = self.struct.edges
         self.eta = self.struct.eta
         self.dual_volumes = self.struct.dual_volumes
@@ -92,23 +102,19 @@ class EulerSolver:
         # zero-allocation pipeline (repro.kernels); ``serial`` keeps the
         # operator implementations below bit-identical to the seed.
         self.fused = None
-        #: Invariant sanitizers from ``config.sanitize`` (null singletons
-        #: when off; see :mod:`repro.analysis` and docs/static-analysis.md).
-        from ..analysis.sanitize import build_sanitizers
-        self.sanitizers = build_sanitizers(self.config.sanitize_set)
         if self.config.executor != "serial":
             from ..kernels import FusedResidual, make_executor
-            from ..kernels.executors import COMPILED_KINDS, resolve_auto_kind
-            kind = self.config.executor
-            if kind == "auto":
-                kind = resolve_auto_kind(self.struct.edges,
-                                         self.struct.n_vertices,
-                                         self.config.n_threads)
-            ex = make_executor(self.struct.edges, self.struct.n_vertices,
-                               kind=kind,
-                               n_threads=self.config.n_threads,
-                               tracer=self.tracer,
-                               sanitizer=self.sanitizers["color"])
+            from ..kernels.executors import COMPILED_KINDS
+            kind = assets.kind
+            ex = assets.executor
+            if ex is None or (assets_provided and self.config.sanitize_set):
+                # Sanitizer hooks attach at executor construction, so a
+                # shared pre-built executor would bypass them — rebuild.
+                ex = make_executor(self.struct.edges, self.struct.n_vertices,
+                                   kind=kind,
+                                   n_threads=self.config.n_threads,
+                                   tracer=self.tracer,
+                                   sanitizer=self.sanitizers["color"])
             # Compiled kinds get the fully fused njit pipeline; the rest
             # run the NumPy fused pipeline over their scatter executor.
             if kind in COMPILED_KINDS:
@@ -120,6 +126,9 @@ class EulerSolver:
                                       self.w_inf, executor=ex,
                                       flops=self.flops, tracer=self.tracer,
                                       sanitizer=self.sanitizers["buffer"])
+        #: Batched ensemble pipelines cached per batch width (see
+        #: :meth:`solve_ensemble`); conditions are rebound per call.
+        self._ensemble_pipelines: dict[int, object] = {}
         #: Density-residual RMS of the *input* state of the most recent
         #: :meth:`step` call (captured from stage 0 at no extra cost), or
         #: ``None`` before the first step.  See :meth:`run`.
@@ -339,3 +348,64 @@ class EulerSolver:
                 cycle += 1
             history.append(self.density_residual_norm(w))
         return w, history
+
+    # ------------------------------------------------------------------
+    def _ensemble_executor(self):
+        """Scatter executor shared by the batched ensemble pipelines.
+
+        Non-serial kinds share the fused pipeline's executor (its
+        ``signed``/``unsigned``/``neighbor_sum`` calls take arbitrary
+        trailing shapes); compiled kinds fall back to the CSR scatter
+        because their njit kernels are single-state; the serial config
+        scatters through the CSR operator directly
+        (:class:`~repro.kernels.executors.SerialExecutor` *is*
+        :class:`~repro.scatter.EdgeScatter`).
+        """
+        if self.fused is not None:
+            from ..kernels.executors import COMPILED_KINDS
+            if self.assets.kind not in COMPILED_KINDS:
+                return self.fused.executor
+        return self.scatter
+
+    def _ensemble_pipeline(self, width: int):
+        """Cached batched pipeline of batch width ``width``.
+
+        Pipelines (workspace arenas + edge-state buffers) are cached per
+        width on this solver — conditions are rebound per
+        :meth:`solve_ensemble` call via ``set_conditions`` — and the
+        mesh-derived assets inside them are shared with the sequential
+        path, so repeated ensemble calls never rebuild schedules.
+        """
+        pipe = self._ensemble_pipelines.get(width)
+        if pipe is None:
+            from ..kernels.ensemble import EnsembleResidual
+            pipe = EnsembleResidual(self.struct, self.bdata, self.config,
+                                    np.tile(self.w_inf, (width, 1)),
+                                    executor=self._ensemble_executor(),
+                                    flops=self.flops, tracer=self.tracer)
+            self._ensemble_pipelines[width] = pipe
+        return pipe
+
+    def solve_ensemble(self, scenarios, *, w0=None, n_cycles: int = 100,
+                       rtol: float = 0.0, atol: float = 0.0,
+                       block_size: int | None = None, callback=None):
+        """Advance many flow conditions through one batched pipeline.
+
+        ``scenarios`` is a sequence of :class:`repro.solver.FlowState`
+        (per-scenario Mach/alpha/beta and optional CFL) or an
+        ``(S, 5)`` array of conserved freestream rows.  One fused sweep
+        of the edge arrays advances every scenario at once — see
+        :mod:`repro.kernels.ensemble` — with per-scenario convergence
+        tracking and early-exit masking of converged scenarios.
+        Returns an :class:`repro.solver.EnsembleResult`.
+
+        A batch of one delegates to the sequential :meth:`step` loop
+        (reusing this solver's existing buffers — bit-identical to
+        :meth:`run`); each scenario of a wider batch is bit-identical
+        to its own sequential ``executor="fused"`` solve.  See
+        :func:`repro.solver.ensemble.solve_ensemble` for the knobs.
+        """
+        from .ensemble import solve_ensemble
+        return solve_ensemble(self, scenarios, w0=w0, n_cycles=n_cycles,
+                              rtol=rtol, atol=atol, block_size=block_size,
+                              callback=callback)

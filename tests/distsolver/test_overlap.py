@@ -23,6 +23,8 @@ Three layers of guarantees:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -235,13 +237,31 @@ class TestAutoExecutor:
     @pytest.mark.skipif(numba_available(),
                         reason="with numba the compiled family preempts "
                                "the colored-threaded crossover")
-    def test_fat_colors_resolve_to_threaded(self):
+    def test_fat_colors_resolve_to_threaded(self, monkeypatch):
         # A path graph: max degree 2, so the balanced colouring needs two
         # colours of ~ne/2 edges each — per-colour width crosses the
-        # threshold once ne >= 2 * AUTO_COLOR_EDGE_THRESHOLD.
+        # threshold once ne >= 2 * AUTO_COLOR_EDGE_THRESHOLD.  Pretend
+        # the host has cores so the single-core guard stays out of the way.
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         nv = 2 * AUTO_COLOR_EDGE_THRESHOLD + 1
         edges = np.column_stack([np.arange(nv - 1), np.arange(1, nv)])
         assert resolve_auto_kind(edges, nv, n_threads=4) == "colored-threaded"
+
+    @pytest.mark.skipif(numba_available(),
+                        reason="with numba the compiled family preempts "
+                               "the colored-threaded crossover")
+    def test_single_core_host_never_threaded(self, monkeypatch):
+        # Same fat-colour mesh, but on a single-core host the thread
+        # pool is pure overhead (BENCH_residual.json measured it 1.7x
+        # slower than serial) — auto must stay on the fused pipeline
+        # regardless of the requested thread count.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        nv = 2 * AUTO_COLOR_EDGE_THRESHOLD + 1
+        edges = np.column_stack([np.arange(nv - 1), np.arange(1, nv)])
+        assert resolve_auto_kind(edges, nv, n_threads=4) == "fused"
+        # os.cpu_count() can legitimately return None; treat it as 1.
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_auto_kind(edges, nv, n_threads=4) == "fused"
 
     def test_empty_edges_resolve_to_fused(self):
         assert resolve_auto_kind(np.zeros((0, 2), dtype=np.int64), 5,

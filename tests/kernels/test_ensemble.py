@@ -1,0 +1,218 @@
+"""Batched ensemble pipeline: per-scenario bit-identity vs sequential.
+
+The contract under test (see ``repro/kernels/ensemble.py``): scenario
+``s`` of a batched solve is **bit-identical** to a sequential
+``executor="fused"`` solve at that scenario's conditions — at any batch
+width, with any early-exit pattern around it, across mid-run compaction.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kernels.ensemble import (EnsembleResidual, EnsembleWorkspace,
+                                    batch_major, scenario_major)
+from repro.solver import EulerSolver, FlowState, SolverConfig
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+FUSED = SolverConfig(executor="fused")
+
+
+@pytest.fixture(scope="module")
+def base_solver(bump_struct, winf):
+    return EulerSolver(bump_struct, winf, FUSED)
+
+
+def sequential_trajectory(solver, flow, n_cycles):
+    """Reference: states + entering norms from the plain fused step loop."""
+    cfg = FUSED if flow.cfl is None else \
+        dataclasses.replace(FUSED, cfl=float(flow.cfl))
+    seq = EulerSolver(None, flow.freestream(), cfg, assets=solver.assets)
+    w = seq.freestream_solution()
+    states, norms = [w], []
+    for _ in range(n_cycles):
+        w = seq.step(w)
+        norms.append(seq.last_step_residual_norm)
+        states.append(w)
+    return states, norms
+
+
+# ---------------------------------------------------------------------------
+class TestLayout:
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((7, 11, 5))
+        wT = batch_major(w)
+        assert wT.shape == (11, 5, 7)
+        assert wT.flags.c_contiguous
+        assert np.array_equal(scenario_major(wT), w)
+
+    def test_batch_major_validates(self):
+        with pytest.raises(ValueError, match="expected"):
+            batch_major(np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="expected"):
+            batch_major(np.zeros((2, 7, 4)))
+
+    def test_workspace_arena(self):
+        ws = EnsembleWorkspace(4, 6, 3)
+        a = ws.edge_buf("x", 5)
+        assert a.shape == (6, 5, 3)
+        assert ws.edge_buf("x", 5) is a
+        assert ws.n_arena_allocs == 1
+        with pytest.raises(ValueError, match="arena buffer"):
+            ws.buf("x", (2, 2))
+
+
+# ---------------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("batch", [2, 5, 64])
+    def test_step_matches_sequential(self, base_solver, batch):
+        machs = np.linspace(0.3, 0.8, batch)
+        flows = [FlowState(m, alpha_deg=1.116) for m in machs]
+        pipe = EnsembleResidual(
+            base_solver.struct, base_solver.bdata, FUSED,
+            np.stack([f.freestream() for f in flows]),
+            executor=base_solver._ensemble_executor())
+        wT = batch_major(np.stack([
+            np.broadcast_to(f.freestream(), (base_solver.n_vertices, 5))
+            for f in flows]))
+        for cycle in range(3):
+            wT, norms = pipe.step(wT)
+            norms = norms.copy()
+            per = scenario_major(wT)
+            for s, f in enumerate(flows):
+                states, seq_norms = sequential_trajectory(
+                    base_solver, f, cycle + 1)
+                assert norms[s] == seq_norms[cycle]
+                assert np.array_equal(per[s], states[-1])
+
+    def test_solve_ensemble_batch_of_one_is_sequential(self, base_solver):
+        flow = FlowState(0.6, alpha_deg=1.116)
+        res = base_solver.solve_ensemble([flow], n_cycles=4)
+        seq = EulerSolver(None, flow.freestream(), FUSED,
+                          assets=base_solver.assets)
+        w, history = seq.run(n_cycles=4)
+        assert np.array_equal(res.states[0], w)
+        assert res.histories[0] == history
+        assert res.cycles[0] == 4
+
+    def test_solve_ensemble_matches_run(self, base_solver):
+        flows = FlowState.grid(np.linspace(0.4, 0.75, 5), (0.0, 1.116))
+        res = base_solver.solve_ensemble(flows, n_cycles=4, block_size=4)
+        for s, f in enumerate(flows):
+            seq = EulerSolver(None, f.freestream(), FUSED,
+                              assets=base_solver.assets)
+            w, history = seq.run(n_cycles=4)
+            assert np.array_equal(res.states[s], w), f"scenario {s}"
+            assert res.histories[s] == history
+
+    @given(batch=st.integers(1, 6), n_cycles=st.integers(0, 3),
+           block_size=st.integers(1, 4), seed=st.integers(0, 1000))
+    @settings(max_examples=12, **COMMON)
+    def test_random_conditions_bitwise(self, base_solver, batch, n_cycles,
+                                       block_size, seed):
+        rng = np.random.default_rng(seed)
+        flows = [FlowState(float(m), float(a))
+                 for m, a in zip(rng.uniform(0.3, 0.85, batch),
+                                 rng.uniform(-2.0, 2.0, batch))]
+        res = base_solver.solve_ensemble(flows, n_cycles=n_cycles,
+                                         block_size=block_size)
+        for s, f in enumerate(flows):
+            states, norms = sequential_trajectory(base_solver, f, n_cycles)
+            assert np.array_equal(res.states[s], states[-1])
+            assert res.histories[s][:-1] == norms
+
+    def test_per_scenario_cfl(self, base_solver):
+        flow = FlowState(0.55, alpha_deg=1.116, cfl=2.0)
+        res = base_solver.solve_ensemble(
+            [FlowState(0.55, alpha_deg=1.116), flow], n_cycles=3,
+            block_size=2)
+        cfg = dataclasses.replace(FUSED, cfl=2.0)
+        seq = EulerSolver(None, flow.freestream(), cfg,
+                          assets=base_solver.assets)
+        w, history = seq.run(n_cycles=3)
+        assert np.array_equal(res.states[1], w)
+        assert res.histories[1] == history
+        assert not np.array_equal(res.states[0], res.states[1])
+
+
+# ---------------------------------------------------------------------------
+class TestEarlyExit:
+    def test_converged_mask_freezes_and_leaves_others_bitwise(
+            self, base_solver):
+        # Per-scenario CFL staggers the convergence pace, so scenarios
+        # cross the rtol threshold at different cycles.
+        flows = [FlowState(0.6, alpha_deg=1.116, cfl=c)
+                 for c in (4.0, 2.5, 1.5, 0.8)]
+        n_cycles = 6
+        # Reference: replicate the driver's exit policy sequentially.
+        trajs = [sequential_trajectory(base_solver, f, n_cycles)
+                 for f in flows]
+        rtol = 0.55
+        res = base_solver.solve_ensemble(flows, n_cycles=n_cycles,
+                                         rtol=rtol, block_size=4)
+        exit_cycles = set()
+        for s, (states, norms) in enumerate(trajs):
+            exit_cycle = n_cycles
+            for c, rn in enumerate(norms):
+                if rn <= rtol * norms[0]:
+                    exit_cycle = c
+                    break
+            exit_cycles.add(exit_cycle)
+            if exit_cycle < n_cycles:
+                assert res.converged[s]
+                assert res.cycles[s] == exit_cycle
+                # Frozen at the *entering* state of the exit cycle.
+                assert np.array_equal(res.states[s], states[exit_cycle])
+                assert res.histories[s] == norms[:exit_cycle + 1]
+            else:
+                assert not res.converged[s]
+                assert res.cycles[s] == n_cycles
+                assert np.array_equal(res.states[s], states[-1])
+                assert res.histories[s][:-1] == norms
+        # The fixture must actually exercise a staggered mask (scenarios
+        # exiting at different cycles while others keep stepping).
+        assert len(exit_cycles) > 1
+
+    def test_divergent_scenario_is_flagged_not_fatal(self, base_solver):
+        flows = [FlowState(0.6, alpha_deg=1.116),
+                 FlowState(0.6, alpha_deg=1.116, cfl=1e12),
+                 FlowState(0.45, alpha_deg=0.0)]
+        with np.errstate(invalid="ignore", over="ignore"):
+            res = base_solver.solve_ensemble(flows, n_cycles=5, block_size=4)
+        assert res.diverged[1] and not res.diverged[0] \
+            and not res.diverged[2]
+        for s in (0, 2):
+            states, norms = sequential_trajectory(
+                base_solver, flows[s], 5)
+            assert np.array_equal(res.states[s], states[-1])
+
+
+# ---------------------------------------------------------------------------
+class TestDiscipline:
+    def test_arena_stops_growing(self, base_solver, winf):
+        pipe = EnsembleResidual(base_solver.struct, base_solver.bdata,
+                                FUSED, np.tile(winf, (3, 1)),
+                                executor=base_solver._ensemble_executor())
+        wT = batch_major(np.broadcast_to(
+            winf, (3, base_solver.n_vertices, 5)).copy())
+        wT, _ = pipe.step(wT)
+        warm = pipe.ws.n_arena_allocs
+        for _ in range(3):
+            wT, _ = pipe.step(wT)
+        assert pipe.ws.n_arena_allocs == warm
+
+    def test_resnorms_buffer_reused(self, base_solver, winf):
+        pipe = EnsembleResidual(base_solver.struct, base_solver.bdata,
+                                FUSED, np.tile(winf, (2, 1)),
+                                executor=base_solver._ensemble_executor())
+        wT = batch_major(np.broadcast_to(
+            winf, (2, base_solver.n_vertices, 5)).copy())
+        _, n1 = pipe.step(wT)
+        _, n2 = pipe.step(wT)
+        assert n1 is n2

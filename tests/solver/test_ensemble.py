@@ -1,0 +1,158 @@
+"""Ensemble driver API + shared solver-asset cache."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (EulerSolver, FlowState, SolverConfig,
+                          build_solver_assets, clear_asset_cache,
+                          get_solver_assets, mesh_fingerprint, solve_ensemble)
+from repro.solver.assets import asset_config_key
+from repro.state import freestream_state
+
+FUSED = SolverConfig(executor="fused")
+
+
+@pytest.fixture(scope="module")
+def solver(bump_struct, winf):
+    return EulerSolver(bump_struct, winf, FUSED)
+
+
+class TestFlowState:
+    def test_freestream_row(self):
+        f = FlowState(0.768, 1.116)
+        assert np.array_equal(f.freestream(), freestream_state(0.768, 1.116))
+
+    def test_grid_is_mach_major(self):
+        g = FlowState.grid((0.5, 0.7), (0.0, 1.0), cfl=2.5)
+        assert [(f.mach, f.alpha_deg) for f in g] == \
+            [(0.5, 0.0), (0.5, 1.0), (0.7, 0.0), (0.7, 1.0)]
+        assert all(f.cfl == 2.5 for f in g)
+
+    def test_resolved_cfl(self):
+        cfg = SolverConfig()
+        assert FlowState(0.5).resolved_cfl(cfg) == cfg.cfl
+        assert FlowState(0.5, cfl=1.25).resolved_cfl(cfg) == 1.25
+
+    def test_hashable(self):
+        assert len({FlowState(0.5), FlowState(0.5), FlowState(0.6)}) == 2
+
+
+class TestScenarioSpecs:
+    def test_array_spec(self, solver):
+        rows = np.stack([freestream_state(m, 0.0) for m in (0.5, 0.6)])
+        res = solver.solve_ensemble(rows, n_cycles=1)
+        assert res.n_scenarios == 2
+
+    def test_row_sequence_spec(self, solver, winf):
+        res = solver.solve_ensemble([winf, FlowState(0.5)], n_cycles=1)
+        assert res.n_scenarios == 2
+
+    def test_empty_rejected(self, solver):
+        with pytest.raises(ValueError, match="at least one"):
+            solver.solve_ensemble([], n_cycles=1)
+
+    def test_bad_row_rejected(self, solver):
+        with pytest.raises(TypeError, match="scenario 0"):
+            solver.solve_ensemble([np.zeros(3)], n_cycles=1)
+        with pytest.raises(ValueError, match="must be"):
+            solver.solve_ensemble(np.zeros((2, 3)), n_cycles=1)
+
+    def test_w0_shapes(self, solver, winf):
+        nv = solver.n_vertices
+        flows = [FlowState(0.5), FlowState(0.6)]
+        shared = np.broadcast_to(winf, (nv, 5)).copy()
+        r1 = solver.solve_ensemble(flows, w0=shared, n_cycles=1)
+        per = np.stack([shared, shared])
+        r2 = solver.solve_ensemble(flows, w0=per, n_cycles=1)
+        assert np.array_equal(r1.states, r2.states)
+        with pytest.raises(ValueError, match="w0 must be"):
+            solver.solve_ensemble(flows, w0=np.zeros((3, 5)), n_cycles=1)
+
+
+class TestResultContract:
+    def test_histories_and_norms(self, solver):
+        flows = [FlowState(0.5), FlowState(0.65), FlowState(0.8)]
+        res = solver.solve_ensemble(flows, n_cycles=3, block_size=4)
+        assert res.n_scenarios == 3
+        for h in res.histories:
+            assert len(h) == 4          # 3 entering norms + trailing
+        assert res.final_norms.shape == (3,)
+        assert np.all(np.isfinite(res.final_norms))
+        assert res.wall_s > 0.0 and res.scenarios_per_s > 0.0
+        assert res.cycles.tolist() == [3, 3, 3]
+
+    def test_zero_cycles(self, solver, winf):
+        res = solver.solve_ensemble([FlowState(0.5), FlowState(0.6)],
+                                    n_cycles=0)
+        assert res.cycles.tolist() == [0, 0]
+        for s, h in enumerate(res.histories):
+            assert len(h) == 1          # trailing norm only
+
+    def test_callback_sees_live_scenarios(self, solver):
+        seen = []
+        flows = [FlowState(m) for m in (0.5, 0.6, 0.7)]
+        solver.solve_ensemble(flows, n_cycles=2, block_size=4,
+                              callback=lambda c, ids, ns: seen.append(
+                                  (c, ids.tolist(), ns.shape[0])))
+        assert (0, [0, 1, 2], 3) in seen
+        assert (1, [0, 1, 2], 3) in seen
+
+    def test_module_function_matches_method(self, solver):
+        flows = [FlowState(0.5), FlowState(0.7)]
+        a = solver.solve_ensemble(flows, n_cycles=2)
+        b = solve_ensemble(solver, flows, n_cycles=2)
+        assert np.array_equal(a.states, b.states)
+
+
+class TestBlockPlacement:
+    """A scenario's bits must not depend on its block placement."""
+
+    def test_width1_remainder_matches_other_blockings(self, bump_struct,
+                                                      winf):
+        # executor="serial" is not the fused family, so the width-1
+        # sequential shortcut would change the remainder scenario's
+        # bits; the driver must keep it on the batched pipeline.
+        srl = EulerSolver(bump_struct, winf, SolverConfig(executor="serial"))
+        flows = [FlowState(0.5 + 0.02 * i) for i in range(9)]
+        a = srl.solve_ensemble(flows, n_cycles=2, block_size=8)
+        b = srl.solve_ensemble(flows, n_cycles=2, block_size=3)
+        c = srl.solve_ensemble(flows, n_cycles=2, block_size=9)
+        assert np.array_equal(a.states, b.states)
+        assert np.array_equal(a.states, c.states)
+
+    def test_fused_width1_shortcut_still_bitwise(self, solver):
+        # The fused family's shortcut is bit-identical, so blockings
+        # must agree there too (8 -> width-1 remainder via shortcut).
+        flows = [FlowState(0.5 + 0.02 * i) for i in range(9)]
+        a = solver.solve_ensemble(flows, n_cycles=2, block_size=8)
+        b = solver.solve_ensemble(flows, n_cycles=2, block_size=9)
+        assert np.array_equal(a.states, b.states)
+
+
+class TestAssetCache:
+    def test_fingerprint_distinguishes_meshes(self, bump_struct, box_struct):
+        assert mesh_fingerprint(bump_struct) == mesh_fingerprint(bump_struct)
+        assert mesh_fingerprint(bump_struct) != mesh_fingerprint(box_struct)
+
+    def test_cache_hit(self, bump_struct):
+        clear_asset_cache()
+        a = get_solver_assets(bump_struct, FUSED)
+        b = get_solver_assets(bump_struct, FUSED)
+        assert a is b
+        c = get_solver_assets(bump_struct, SolverConfig(executor="serial"))
+        assert c is not a
+
+    def test_assets_reuse_is_bitwise(self, bump_struct, winf):
+        assets = build_solver_assets(bump_struct, FUSED)
+        fresh = EulerSolver(bump_struct, winf, FUSED)
+        shared = EulerSolver(None, winf, FUSED, assets=assets)
+        w = fresh.freestream_solution()
+        assert np.array_equal(fresh.step(w), shared.step(w))
+
+    def test_config_key_mismatch_rejected(self, bump_struct, winf):
+        assets = build_solver_assets(bump_struct, FUSED)
+        with pytest.raises(ValueError, match="config"):
+            EulerSolver(None, winf, SolverConfig(executor="serial"),
+                        assets=assets)
+        assert asset_config_key(FUSED) != \
+            asset_config_key(SolverConfig(executor="serial"))
