@@ -7,6 +7,10 @@ invariants:
 
 * :mod:`repro.analysis.lint` — AST lint pass with repo-specific rules,
   runnable as ``python -m repro.analysis``;
+* :mod:`repro.analysis.protocol` — the split-phase protocol verifier:
+  RA2xx path-sensitive begin/finish checking over the parallel layers
+  and the RA3xx schedule model checker
+  (``python -m repro.analysis --protocol``);
 * :mod:`repro.analysis.sanitize` — opt-in runtime sanitizers wired
   through ``SolverConfig(sanitize=...)``.
 
@@ -14,12 +18,16 @@ See ``docs/static-analysis.md``.
 """
 
 from .lint import LintFinding, hot_kernel, lint_file, lint_paths
+from .protocol import (Findings, ProtocolVerificationError,
+                       check_protocol_paths, verify_schedule)
 from .sanitize import (NULL_SANITIZER, SANITIZER_NAMES, BufferSanitizer,
                        ColorRaceSanitizer, Finding, NullSanitizer,
                        SanitizerError, ScheduleSanitizer, build_sanitizers)
 
 __all__ = [
     "LintFinding", "hot_kernel", "lint_file", "lint_paths",
+    "check_protocol_paths", "verify_schedule", "Findings",
+    "ProtocolVerificationError",
     "SANITIZER_NAMES", "SanitizerError", "Finding", "NullSanitizer",
     "NULL_SANITIZER", "ColorRaceSanitizer", "ScheduleSanitizer",
     "BufferSanitizer", "build_sanitizers",

@@ -1,47 +1,214 @@
-"""CLI for the repo lint pass: ``python -m repro.analysis [paths...]``.
+"""CLI for the repo verification passes: ``python -m repro.analysis``.
 
-With no paths, lints the installed ``repro`` package sources.  Exits
-nonzero when any *error*-severity finding (RA0xx) is present; with
-``--strict``, warnings (RA1xx hygiene rules) also fail the run — the
-mode CI uses as a hard gate.
+Modes
+-----
+default
+    The RA0xx/RA1xx allocation-and-hygiene lint over the ``repro``
+    package (or explicit paths).
+``--protocol``
+    The RA2xx split-phase protocol checker over the parallel layers
+    (``distsolver/``, ``parti/``), plus registry rot detection.  Add
+    ``--sweep [mesh ...]`` to also model check real box-mesh schedules
+    (RA3xx) at ``--ranks`` rank counts under ``--semantics``, add
+    ``--selftest`` to run the seeded-mutation corpus, and ``--mutate``
+    to print each seeded mutation's verdict (debugging aid).
+
+Exit codes
+----------
+0   clean
+1   findings (errors, or warnings under ``--strict``)
+2   parse/internal errors (RA000 syntax failures, crashes) — a broken
+    *run*, distinct from a failing *check*, so CI can tell "the gate
+    said no" from "the gate did not run".
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 from pathlib import Path
+from typing import Sequence
 
-from .lint import lint_paths
+from .lint import LintFinding, lint_paths
+
+#: Lint-layer codes that mean the tool could not run, not that the
+#: target failed the check.
+_INTERNAL_CODES = frozenset({"RA000"})
+
+_PKG_ROOT = Path(__file__).resolve().parents[1]
+
+#: Mesh sizes for the schedule sweep (box_mesh n for "boxN").
+_SWEEP_MESHES: dict[str, int] = {"box8": 8, "box12": 12, "box27": 27}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Repo-specific static verification pass "
-                    "(hot-path allocations, np.add.at, out= discipline, "
-                    "hygiene).")
-    parser.add_argument(
-        "paths", nargs="*",
-        help="files or directories to lint (default: the repro package)")
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero on warnings too, not just errors")
-    args = parser.parse_args(argv)
-
-    paths = args.paths or [Path(__file__).resolve().parents[1]]
-    findings = lint_paths(paths)
-    for finding in findings:
-        print(f"{finding} [{finding.severity}]")
-
+def _print_summary(findings: Sequence[LintFinding]) -> tuple[int, int]:
+    """Print per-rule counts; returns (n_errors, n_warnings)."""
+    by_code = Counter(f.code for f in findings)
+    if by_code:
+        per_rule = ", ".join(f"{code}: {n}"
+                             for code, n in sorted(by_code.items()))
+        print(f"per-rule: {per_rule}")
     n_err = sum(1 for f in findings if f.severity == "error")
     n_warn = len(findings) - n_err
     print(f"repro.analysis: {n_err} error(s), {n_warn} warning(s)")
+    return n_err, n_warn
+
+
+def _exit_code(findings: Sequence[LintFinding], strict: bool) -> int:
+    if any(f.code in _INTERNAL_CODES for f in findings):
+        return 2
+    n_err, n_warn = _print_summary(findings)
     if n_err:
         return 1
-    if args.strict and n_warn:
+    if strict and n_warn:
         return 1
     return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or [_PKG_ROOT]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(f"{finding} [{finding.severity}]")
+    return _exit_code(findings, args.strict)
+
+
+def _sweep_schedule(mesh_name: str, n_ranks: int):
+    from ..mesh.edges import build_edge_structure
+    from ..mesh.generators.box import box_mesh
+    from ..parti.schedule import build_gather_schedule
+    from ..parti.translation import TranslationTable
+    from ..partition.coordinate import recursive_coordinate_bisection
+
+    n = _SWEEP_MESHES[mesh_name]
+    mesh = box_mesh(n, n, n, name=mesh_name)
+    struct = build_edge_structure(mesh)
+    assignment = recursive_coordinate_bisection(mesh.vertices, n_ranks)
+    table = TranslationTable(assignment, n_parts=n_ranks)
+    edge_owner = table.owner_of(struct.edges[:, 0])
+    required = [struct.edges[edge_owner == r].ravel()
+                for r in range(n_ranks)]
+    return build_gather_schedule(required, table,
+                                 name=f"{mesh_name}-p{n_ranks}")
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from .protocol import expected_exchange_count, verify_schedule
+
+    meshes = args.sweep or list(_SWEEP_MESHES)
+    unknown = [m for m in meshes if m not in _SWEEP_MESHES]
+    if unknown:
+        print(f"unknown sweep mesh(es): {unknown} "
+              f"(known: {sorted(_SWEEP_MESHES)})", file=sys.stderr)
+        return 2
+    failed = 0
+    for mesh_name in meshes:
+        for n_ranks in args.ranks:
+            schedule = _sweep_schedule(mesh_name, n_ranks)
+            result = verify_schedule(
+                schedule, semantics=tuple(args.semantics),
+                expected_ops=expected_exchange_count("overlap"))
+            verdict = "ok" if result.ok else "FAIL"
+            print(f"sweep {mesh_name} @ {n_ranks} ranks "
+                  f"({'/'.join(args.semantics)}): {result.n_ops} "
+                  f"exchanges/cycle, {verdict}")
+            for finding in result.findings:
+                print(f"  {finding}")
+                failed += 1
+    return 1 if failed else 0
+
+
+def _run_mutations() -> int:
+    from .protocol import MODEL_MUTATIONS, cycle_exchange_ops, verify_schedule
+    from .protocol.fixtures import fake_ring_schedule
+
+    schedule = fake_ring_schedule()
+    ops = cycle_exchange_ops("overlap")
+    bad = 0
+    for name, (code, mutator) in MODEL_MUTATIONS.items():
+        result = verify_schedule(schedule, **mutator(schedule, ops))
+        found = sorted({f.code for f in result.findings})
+        caught = code in found
+        bad += 0 if caught else 1
+        print(f"mutation {name}: expected {code}, "
+              f"got {found or ['nothing']} "
+              f"{'(caught)' if caught else '(MISSED)'}")
+    return 1 if bad else 0
+
+
+def _run_protocol(args: argparse.Namespace) -> int:
+    from .protocol import check_protocol_paths
+    from .protocol.fixtures import run_selftest
+
+    if args.selftest:
+        failures = run_selftest(verbose=True)
+        for failure in failures:
+            print(f"selftest FAIL: {failure}")
+        print(f"protocol selftest: "
+              f"{'ok' if not failures else f'{len(failures)} failure(s)'}")
+        return 1 if failures else 0
+    if args.mutate:
+        return _run_mutations()
+
+    paths = args.paths or [_PKG_ROOT / "distsolver", _PKG_ROOT / "parti"]
+    findings = check_protocol_paths(paths, check_rot=not args.paths)
+    for finding in findings:
+        print(f"{finding} [{finding.severity}]")
+    code = _exit_code(findings, args.strict)
+    if args.sweep is not None:
+        sweep_code = _run_sweep(args)
+        code = max(code, sweep_code)
+    return code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static verification passes: "
+                    "allocation/hygiene lint (RA0xx/RA1xx), split-phase "
+                    "protocol checking (RA2xx), and schedule model "
+                    "checking (RA3xx).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the repro package, "
+             "or its parallel layers under --protocol)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not just errors")
+    parser.add_argument(
+        "--protocol", action="store_true",
+        help="run the RA2xx split-phase protocol checker instead of "
+             "the lint pass")
+    parser.add_argument(
+        "--sweep", nargs="*", metavar="MESH", default=None,
+        help="with --protocol: also model check box-mesh schedules "
+             f"(RA3xx); choices: {sorted(_SWEEP_MESHES)}, default all")
+    parser.add_argument(
+        "--ranks", nargs="*", type=int, default=[2, 4, 8, 16],
+        metavar="N", help="rank counts for --sweep (default: 2 4 8 16)")
+    parser.add_argument(
+        "--semantics", nargs="*", default=["pipe", "shm"],
+        choices=["pipe", "shm"],
+        help="capacity semantics for --sweep (default: both)")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="with --protocol: run the seeded-mutation self-test corpus")
+    parser.add_argument(
+        "--mutate", action="store_true",
+        help="with --protocol: print each model mutation's verdict")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.protocol:
+            return _run_protocol(args)
+        if args.selftest or args.mutate or args.sweep is not None:
+            parser.error("--sweep/--selftest/--mutate require --protocol")
+        return _run_lint(args)
+    except Exception as exc:                     # noqa - CLI boundary
+        print(f"repro.analysis: internal error: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

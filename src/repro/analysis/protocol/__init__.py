@@ -1,0 +1,36 @@
+"""Static protocol verifier for the parallel layers.
+
+Two levels, one CLI (``python -m repro.analysis --protocol``):
+
+* **Level 1 (RA2xx)** — :mod:`.ast_check`: path-sensitive AST pass
+  proving split-phase begin/finish discipline, lock-order consistency,
+  and lease balance over ``distsolver/`` and ``parti/``, driven by the
+  declarative :data:`~.pairs.PROTOCOL_PAIRS` registry.
+* **Level 2 (RA3xx)** — :mod:`.model`: schedule model checker proving a
+  concrete ``GatherSchedule``'s exchange cycle deadlock-free under both
+  pipe and shm capacity semantics, slot-sufficient, and conservation-
+  exact.  :func:`~.model.verify_schedule` is the library contract the
+  task-graph scheduler must call before executing a new DAG.
+
+:mod:`.fixtures` seeds deliberate violations of every rule and
+:func:`~.fixtures.run_selftest` asserts they are all still caught.
+"""
+
+from .ast_check import (check_protocol_file, check_protocol_paths,
+                        check_protocol_source, registry_rot_findings)
+from .fixtures import MODEL_MUTATIONS, SEEDED_VIOLATIONS, run_selftest
+from .model import (ExchangeOp, Findings, ModelFinding,
+                    ProtocolVerificationError, build_programs,
+                    cycle_exchange_ops, expected_exchange_count,
+                    verify_schedule)
+from .pairs import PROTOCOL_PAIRS, ProtocolPair
+
+__all__ = [
+    "PROTOCOL_PAIRS", "ProtocolPair",
+    "check_protocol_paths", "check_protocol_file", "check_protocol_source",
+    "registry_rot_findings",
+    "ExchangeOp", "ModelFinding", "Findings", "ProtocolVerificationError",
+    "cycle_exchange_ops", "expected_exchange_count", "build_programs",
+    "verify_schedule",
+    "SEEDED_VIOLATIONS", "MODEL_MUTATIONS", "run_selftest",
+]

@@ -1,0 +1,820 @@
+"""Level 1 of the protocol verifier: path-sensitive split-phase checking.
+
+An intraprocedural abstract interpretation over the AST of the parallel
+layers (``distsolver/``, ``parti/``): every *begin* of a registered
+:data:`~repro.analysis.protocol.pairs.PROTOCOL_PAIRS` discipline must be
+discharged — by its *finish*, or by escaping to a caller that owns the
+finish — on every control path, including early returns and exception
+joins.
+
+========  ==========================================================
+code      rule
+========  ==========================================================
+RA201     a begin's pending token is definitely live at a ``return``
+          or at function exit (missing/dropped ``finish``), or a
+          presence-style begin (``stage_begin``, slab lease ``open``)
+          has no finish anywhere in its scope
+RA202     a begin overwrites a name whose previous begin is still
+          definitely pending (begin/begin without finish)
+RA203     a finish consumes a value that definitely carries no
+          pending token (never begun, already finished, or ``None``)
+RA204     lock-acquisition order is inconsistent across call sites
+          (two lock families acquired nested in both orders, or the
+          same family acquired nested within itself)
+RA205     a scope opens shared-memory slab leases but never releases
+          them (``ShmInlet.open`` without ``release_all``/``release``)
+RA206     a ``PROTOCOL_PAIRS`` entry matches no call site in the
+          scanned tree (stale registry — the contract it enforced
+          silently stopped being checked)
+========  ==========================================================
+
+Token lattice: a bound begin result is **OPEN** (definitely pending),
+**MAYBE** (pending on some paths — e.g. the smoothing loop's
+conditional re-arm, or ``begin() if distributed else None``), or
+**CLOSED** (finished).  Only *definite* violations are reported: a
+MAYBE token at exit is legal (the conditional re-arm idiom), a MAYBE
+token consumed twice is not flagged.  Passing a token to any
+non-finish call, returning it, yielding it, or storing it into a
+container/attribute *escapes* it — responsibility transfers to the
+consumer, which is checked where it finishes (the driver's
+``pending_w`` parameter-token idiom).
+
+Lines opt out with the same ``# noqa`` / ``# noqa: RA201`` comments the
+RA0xx lint honours.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..lint import LintFinding, iter_python_files
+from .pairs import (LOCK_NAME_RE, PROTOCOL_PAIRS, ProtocolPair, begin_pairs,
+                    finish_pairs)
+
+__all__ = ["check_protocol_paths", "check_protocol_file",
+           "check_protocol_source", "registry_rot_findings"]
+
+# Token statuses.
+_OPEN = "open"
+_MAYBE = "maybe"
+_CLOSED = "closed"
+_NONTOKEN = "nontoken"
+
+_BEGIN_TABLE = begin_pairs()
+_FINISH_TABLE = finish_pairs()
+
+
+@dataclass
+class _Token:
+    pair: str
+    status: str
+    line: int
+
+
+_State = dict[str, _Token]
+
+
+def _copy_state(state: _State) -> _State:
+    return {k: _Token(v.pair, v.status, v.line) for k, v in state.items()}
+
+
+def _join(*states: _State) -> _State:
+    """Lattice join: agreement keeps the status, disagreement is MAYBE
+    for anything possibly-open and drops otherwise."""
+    out: _State = {}
+    names: set[str] = set()
+    for s in states:
+        names.update(s)
+    for name in names:
+        toks = [s.get(name) for s in states]
+        present = [t for t in toks if t is not None]
+        statuses = {t.status for t in present}
+        missing = len(present) < len(toks)
+        ref = present[0]
+        if not missing and len(statuses) == 1:
+            out[name] = _Token(ref.pair, ref.status, ref.line)
+        elif statuses & {_OPEN, _MAYBE}:
+            opener = next(t for t in present if t.status in (_OPEN, _MAYBE))
+            out[name] = _Token(opener.pair, _MAYBE, opener.line)
+        # disagreeing CLOSED/NONTOKEN/absent: drop — no definite claim.
+    return out
+
+
+def _maybeify(state: _State) -> _State:
+    out = _copy_state(state)
+    for tok in out.values():
+        if tok.status == _OPEN:
+            tok.status = _MAYBE
+    return out
+
+
+def _receiver_terminal(expr: ast.AST) -> str | None:
+    """Terminal identifier of a receiver expression chain."""
+    node = expr
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def _classify_call(call: ast.Call) -> tuple[str, ProtocolPair] | None:
+    """Is this call a registered begin or finish?  -> (kind, pair)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        terminal = _receiver_terminal(func.value)
+    elif isinstance(func, ast.Name):
+        name = func.id
+        terminal = None
+    else:
+        return None
+    for table, kind in ((_BEGIN_TABLE, "begin"), (_FINISH_TABLE, "finish")):
+        pair = table.get(name)
+        if pair is None:
+            continue
+        if isinstance(func, ast.Name) and pair.receiver_hints:
+            continue          # hinted pairs need a receiver to match
+        if pair.matches_receiver(terminal):
+            return kind, pair
+    return None
+
+
+class _LoopFrame:
+    """Break/continue state collection for one loop nesting level."""
+
+    def __init__(self) -> None:
+        self.breaks: list[_State] = []
+        self.continues: list[_State] = []
+
+
+class _FunctionInterp:
+    """Abstract interpreter for token pairs over one function body."""
+
+    def __init__(self, checker: "_ModuleChecker",
+                 func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.checker = checker
+        self.func = func
+        self.loop_stack: list[_LoopFrame] = []
+        self.reported: set[tuple[str, int, int]] = set()
+
+    # -- reporting ------------------------------------------------------
+    def _report(self, code: str, line: int, at_line: int, msg: str) -> None:
+        key = (code, line, at_line)
+        if key in self.reported:
+            return
+        self.reported.add(key)
+        self.checker.report(code, line, msg)
+
+    def _report_open(self, state: _State, at_line: int, where: str) -> None:
+        for name, tok in state.items():
+            if tok.status == _OPEN:
+                self._report(
+                    "RA201", tok.line, at_line,
+                    f"split-phase '{tok.pair}' begun here (bound to "
+                    f"{name!r}) is not finished on the path reaching "
+                    f"{where} at line {at_line}")
+
+    # -- entry ----------------------------------------------------------
+    def run(self) -> None:
+        state: _State = {}
+        fall = self._exec_block(self.func.body, state)
+        if fall is not None:
+            end = max(getattr(self.func, "end_lineno", None)
+                      or self.func.lineno, self.func.lineno)
+            self._report_open(fall, end, "function exit")
+
+    # -- statements -----------------------------------------------------
+    def _exec_block(self, stmts: list[ast.stmt],
+                    state: _State) -> _State | None:
+        """Execute statements; returns the fall-through state or None
+        when every path through the block terminated."""
+        current: _State | None = state
+        for stmt in stmts:
+            if current is None:
+                break
+            current = self._exec_stmt(stmt, current)
+        return current
+
+    def _exec_stmt(self, stmt: ast.stmt, state: _State) -> _State | None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return state          # nested defs are analyzed separately
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(stmt, state)
+            return state
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, state, root="discard")
+            return state
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, state, root="escape")
+            self._report_open(state, stmt.lineno, "a return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            for sub in (stmt.exc, stmt.cause):
+                if sub is not None:
+                    self._eval(sub, state, root="escape")
+            return None           # error paths are abandoned, not checked
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, state)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._exec_loop(stmt.body, stmt.orelse, state,
+                                   iter_expr=stmt.iter)
+        if isinstance(stmt, ast.While):
+            return self._exec_loop(stmt.body, stmt.orelse, state,
+                                   test_expr=stmt.test)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, state, root="nested")
+            return self._exec_block(stmt.body, state)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, state)
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.loop_stack[-1].breaks.append(_copy_state(state))
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.loop_stack[-1].continues.append(_copy_state(state))
+            return None
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+            return state
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, state, root="test")
+            return state
+        # Import / Global / Nonlocal / Pass / match-statements etc.:
+        # conservatively evaluate any embedded expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child, state, root="nested")
+        return state
+
+    def _exec_if(self, stmt: ast.If, state: _State) -> _State | None:
+        self._eval(stmt.test, state, root="test")
+        then_state = self._exec_block(stmt.body, _copy_state(state))
+        else_state = self._exec_block(stmt.orelse, _copy_state(state))
+        live = [s for s in (then_state, else_state) if s is not None]
+        if not live:
+            return None
+        return _join(*live) if len(live) > 1 else live[0]
+
+    def _exec_loop(self, body: list[ast.stmt], orelse: list[ast.stmt],
+                   state: _State, iter_expr: ast.expr | None = None,
+                   test_expr: ast.expr | None = None) -> _State | None:
+        for expr in (iter_expr, test_expr):
+            if expr is not None:
+                self._eval(expr, state, root="test")
+        frame = _LoopFrame()
+        self.loop_stack.append(frame)
+        try:
+            pass1 = self._exec_block(body, _copy_state(state))
+            tops = [state] + frame.continues
+            if pass1 is not None:
+                tops.append(pass1)
+            top2 = _join(*tops) if len(tops) > 1 else _copy_state(tops[0])
+            pass2 = self._exec_block(body, _copy_state(top2))
+            exits = [state] + frame.breaks + frame.continues
+            if pass2 is not None:
+                exits.append(pass2)
+        finally:
+            self.loop_stack.pop()
+        out = _join(*exits) if len(exits) > 1 else _copy_state(exits[0])
+        if orelse:
+            return self._exec_block(orelse, out)
+        return out
+
+    def _exec_try(self, stmt: ast.Try, state: _State) -> _State | None:
+        entry = _copy_state(state)
+        body_fall = self._exec_block(stmt.body, state)
+        # Any statement of the try body may have raised: the handler
+        # sees the join of the entry state and a weakened body state.
+        weakened = (_maybeify(_join(entry, body_fall))
+                    if body_fall is not None else _maybeify(entry))
+        outs: list[_State] = []
+        for handler in stmt.handlers:
+            h_fall = self._exec_block(handler.body, _copy_state(weakened))
+            if h_fall is not None:
+                outs.append(h_fall)
+        if body_fall is not None:
+            if stmt.orelse:
+                else_fall = self._exec_block(stmt.orelse, body_fall)
+                if else_fall is not None:
+                    outs.append(else_fall)
+            else:
+                outs.append(body_fall)
+        out: _State | None
+        if outs:
+            out = _join(*outs) if len(outs) > 1 else outs[0]
+        else:
+            out = None
+        if stmt.finalbody:
+            final_in = out if out is not None else _maybeify(weakened)
+            final_out = self._exec_block(stmt.finalbody, final_in)
+            if out is not None:
+                out = final_out
+        return out
+
+    # -- assignment -----------------------------------------------------
+    def _exec_assign(self, stmt: ast.stmt, state: _State) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+            value = stmt.value
+            if value is None:
+                return
+        else:                                     # AugAssign
+            assert isinstance(stmt, ast.AugAssign)
+            self._eval(stmt.value, state, root="nested")
+            return
+        simple = (len(targets) == 1 and isinstance(targets[0], ast.Name))
+        target_name = targets[0].id if simple else None
+        status = self._eval(value, state,
+                            root="bind" if simple else "nested")
+        if not simple:
+            return
+        assert target_name is not None
+        old = state.get(target_name)
+        if status == _OPEN:
+            pair = self._value_pair(value)
+            if old is not None and old.status == _OPEN:
+                self._report(
+                    "RA202", value.lineno, old.line,
+                    f"'{pair}' begin overwrites {target_name!r} whose "
+                    f"begin at line {old.line} is still pending "
+                    f"(begin/begin without finish)")
+            state[target_name] = _Token(pair, _OPEN, value.lineno)
+        elif status == _MAYBE:
+            pair = self._value_pair(value)
+            state[target_name] = _Token(pair, _MAYBE, value.lineno)
+        elif (isinstance(value, ast.Constant) and value.value is None):
+            if old is not None and old.status == _OPEN:
+                self._report(
+                    "RA201", old.line, stmt.lineno,
+                    f"split-phase '{old.pair}' begun here (bound to "
+                    f"{target_name!r}) is overwritten with None at line "
+                    f"{stmt.lineno} before being finished")
+            state[target_name] = _Token("", _NONTOKEN, stmt.lineno)
+        else:
+            if old is not None and old.status == _OPEN:
+                self._report(
+                    "RA201", old.line, stmt.lineno,
+                    f"split-phase '{old.pair}' begun here (bound to "
+                    f"{target_name!r}) is overwritten at line "
+                    f"{stmt.lineno} before being finished")
+            state.pop(target_name, None)
+
+    def _value_pair(self, value: ast.expr) -> str:
+        """Pair name of the begin call (or nested begin) in ``value``."""
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call):
+                cls = _classify_call(node)
+                if cls is not None and cls[0] == "begin":
+                    return cls[1].name
+        return "?"
+
+    # -- expressions ----------------------------------------------------
+    def _eval(self, expr: ast.expr, state: _State,
+              root: str = "nested", escape: bool = True) -> str | None:
+        """Evaluate ``expr`` for protocol effects.
+
+        ``root`` describes how a begin result at this position would be
+        used: "bind" (assigned to a simple name), "escape" (returned or
+        yielded), "discard" (bare expression statement), "test" (a
+        branch condition — identity tests do not escape tokens),
+        "nested" (inside a larger expression — the token escapes into
+        the enclosing value).  Returns "open"/"maybe" when the
+        expression may produce a live token for binding.
+        """
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, state, root, escape)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test, state, root="test")
+            a = self._eval(expr.body, state, root=root, escape=escape)
+            b = self._eval(expr.orelse, state, root=root, escape=escape)
+            if a == _OPEN and b == _OPEN:
+                return _OPEN
+            if a in (_OPEN, _MAYBE) or b in (_OPEN, _MAYBE):
+                return _MAYBE
+            return None
+        if isinstance(expr, ast.BoolOp):
+            got = None
+            for value in expr.values:
+                sub = self._eval(value, state, root=root, escape=escape)
+                if sub in (_OPEN, _MAYBE):
+                    got = _MAYBE
+            return got
+        if isinstance(expr, ast.Compare):
+            # Identity/membership tests read tokens without consuming
+            # them: 'if pending is not None' must not discharge pending.
+            self._eval(expr.left, state, root="test", escape=False)
+            for comp in expr.comparators:
+                self._eval(comp, state, root="test", escape=False)
+            return None
+        if isinstance(expr, ast.Name):
+            tok = state.get(expr.id)
+            if (escape and root != "test" and tok is not None
+                    and tok.status in (_OPEN, _MAYBE)):
+                # Handed to another owner: returned, stored, passed on.
+                state.pop(expr.id, None)
+            return None
+        if isinstance(expr, (ast.Await, ast.Starred)):
+            return self._eval(expr.value, state, root=root, escape=escape)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if expr.value is not None:
+                self._eval(expr.value, state, root="escape")
+            return None
+        if isinstance(expr, ast.Lambda):
+            for node in ast.walk(expr.body):
+                if isinstance(node, ast.Name):
+                    tok = state.get(node.id)
+                    if tok is not None and tok.status in (_OPEN, _MAYBE):
+                        state.pop(node.id, None)
+            return None
+        # Containers, operators, subscripts, comprehensions, fstrings...
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._eval(child, state, root="nested", escape=escape)
+            elif isinstance(child, ast.comprehension):
+                self._eval(child.iter, state, root="nested", escape=escape)
+                for cond in child.ifs:
+                    self._eval(cond, state, root="test")
+        return None
+
+    def _eval_call(self, call: ast.Call, state: _State, root: str,
+                   escape: bool) -> str | None:
+        cls = _classify_call(call)
+        consumed: str | None = None
+        if cls is not None and cls[0] == "finish" and cls[1].style == "token":
+            consumed = self._consume_finish(call, cls[1], state)
+        # Receiver chain of the call target may itself contain calls.
+        if isinstance(call.func, ast.Attribute):
+            self._eval(call.func.value, state, root="nested", escape=False)
+        for arg in call.args:
+            if (consumed is not None and isinstance(arg, ast.Name)
+                    and arg.id == consumed):
+                continue
+            self._eval(arg, state, root="nested", escape=escape)
+        for kw in call.keywords:
+            self._eval(kw.value, state, root="nested", escape=escape)
+        if cls is not None and cls[0] == "begin" and cls[1].style == "token":
+            if root == "bind":
+                return _OPEN
+            if root == "discard":
+                self._report(
+                    "RA201", call.lineno, call.lineno,
+                    f"result of split-phase '{cls[1].name}' begin is "
+                    f"discarded — the pending op can never be finished")
+            # escape/nested: the token is handed off at birth.
+        return None
+
+    def _consume_finish(self, call: ast.Call, pair: ProtocolPair,
+                        state: _State) -> str | None:
+        """Consume the token argument of a finish call; returns its name."""
+        name_args = [arg for arg in call.args
+                     if isinstance(arg, ast.Name) and arg.id != "self"]
+        name_args += [kw.value for kw in call.keywords
+                      if isinstance(kw.value, ast.Name)]
+        # Prefer an argument we are already tracking as a token (so
+        # `finish(machine, pending)` consumes `pending`, not `machine`);
+        # otherwise assume the first plain name carries the token.
+        token_arg: ast.Name | None = None
+        for arg in name_args:
+            if arg.id in state:
+                token_arg = arg
+                break
+        if token_arg is None and name_args:
+            token_arg = name_args[0]
+        if token_arg is None:
+            return None
+        tok = state.get(token_arg.id)
+        if tok is None:
+            return token_arg.id       # parameter / unknown: trust caller
+        if tok.status in (_OPEN, _MAYBE):
+            state[token_arg.id] = _Token(tok.pair, _CLOSED, call.lineno)
+        elif tok.status == _CLOSED:
+            self._report(
+                "RA203", call.lineno, tok.line,
+                f"'{pair.name}' finish consumes {token_arg.id!r} which "
+                f"was already finished at line {tok.line} (double finish)")
+        elif tok.status == _NONTOKEN:
+            self._report(
+                "RA203", call.lineno, tok.line,
+                f"'{pair.name}' finish consumes {token_arg.id!r} which "
+                f"definitely carries no pending begin (assigned a "
+                f"non-token value at line {tok.line})")
+        return token_arg.id
+
+
+# ---------------------------------------------------------------------------
+# Lock-acquisition order (RA204)
+# ---------------------------------------------------------------------------
+
+class LockOrderGraph:
+    """Cross-file record of nested lock-family acquisitions."""
+
+    def __init__(self) -> None:
+        #: (held family, acquired family) -> first witness (path, line)
+        self.edges: dict[tuple[str, str], tuple[str, int]] = {}
+        self.findings: list[LintFinding] = []
+
+    def acquire(self, held: list[str], family: str, path: str, line: int,
+                suppressed: bool) -> None:
+        if family in held and not suppressed:
+            self.findings.append(LintFinding(
+                path, line, 1, "RA204",
+                f"lock family {family!r} acquired while already held "
+                f"(self-deadlock on non-reentrant locks)"))
+        for outer in held:
+            if outer != family:
+                self.edges.setdefault((outer, family),
+                                      (path, line))
+
+    def order_findings(self) -> list[LintFinding]:
+        """RA204 for every acquisition edge that closes a cycle."""
+        adj: dict[str, set[str]] = {}
+        for a, b in self.edges:
+            adj.setdefault(a, set()).add(b)
+        out = list(self.findings)
+        for (a, b), (path, line) in sorted(self.edges.items()):
+            # Edge a->b is inconsistent if b can reach a.
+            stack, seen = [b], set()
+            cyclic = False
+            while stack:
+                node = stack.pop()
+                if node == a:
+                    cyclic = True
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adj.get(node, ()))
+            if cyclic:
+                other = self.edges.get((b, a))
+                hint = (f"; the opposite order is taken at "
+                        f"{other[0]}:{other[1]}" if other is not None else
+                        " (via intermediate lock families)")
+                out.append(LintFinding(
+                    path, line, 1, "RA204",
+                    f"inconsistent lock order: {a!r} held while "
+                    f"acquiring {b!r}{hint} — concurrent call sites can "
+                    f"deadlock"))
+        return out
+
+
+def _lock_family(expr: ast.expr, aliases: dict[str, str]) -> str | None:
+    if isinstance(expr, ast.Name):
+        fam = aliases.get(expr.id)
+        if fam is not None:
+            return fam
+        return expr.id if LOCK_NAME_RE.search(expr.id) else None
+    if isinstance(expr, ast.Attribute):
+        if LOCK_NAME_RE.search(expr.attr):
+            return expr.attr
+        return _lock_family(expr.value, aliases)
+    if isinstance(expr, ast.Subscript):
+        return _lock_family(expr.value, aliases)
+    if isinstance(expr, ast.Call):
+        return _lock_family(expr.func, aliases)
+    return None
+
+
+class _LockScanner:
+    """Per-function scan of ``with``-statement lock nesting."""
+
+    def __init__(self, checker: "_ModuleChecker") -> None:
+        self.checker = checker
+
+    def scan(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                fam = _lock_family(node.value, {})
+                if fam is not None:
+                    aliases[node.targets[0].id] = fam
+        self._walk_block(func.body, [], aliases)
+
+    def _walk_block(self, stmts: list[ast.stmt], held: list[str],
+                    aliases: dict[str, str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in stmt.items:
+                    fam = _lock_family(item.context_expr, aliases)
+                    if fam is None:
+                        continue
+                    self.checker.lock_graph.acquire(
+                        held + acquired, fam, self.checker.path,
+                        item.context_expr.lineno,
+                        self.checker.suppressed(item.context_expr.lineno,
+                                                "RA204"))
+                    acquired.append(fam)
+                self._walk_block(stmt.body, held + acquired, aliases)
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    continue
+            # Recurse into compound statements' nested blocks.
+            for name in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, name, None)
+                if isinstance(block, list) and block \
+                        and isinstance(block[0], ast.stmt):
+                    self._walk_block(block, held, aliases)
+            handlers = getattr(stmt, "handlers", None)
+            if handlers:
+                for handler in handlers:
+                    self._walk_block(handler.body, held, aliases)
+
+
+# ---------------------------------------------------------------------------
+# Module checker and entry points
+# ---------------------------------------------------------------------------
+
+class _ModuleChecker:
+    """Runs all Level-1 passes over one parsed module."""
+
+    def __init__(self, path: str, lines: list[str],
+                 lock_graph: LockOrderGraph,
+                 seen_names: set[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.lock_graph = lock_graph
+        self.seen_names = seen_names
+        self.findings: list[LintFinding] = []
+
+    def suppressed(self, line: int, code: str) -> bool:
+        from ..lint import _NOQA_RE
+        if not 1 <= line <= len(self.lines):
+            return False
+        m = _NOQA_RE.search(self.lines[line - 1])
+        if not m:
+            return False
+        codes = m.group("codes")
+        if not codes:
+            return True
+        return code in {c.strip().upper() for c in codes.split(",")}
+
+    def report(self, code: str, line: int, message: str) -> None:
+        if self.suppressed(line, code):
+            return
+        self.findings.append(LintFinding(self.path, line, 1, code, message))
+
+    def run(self, tree: ast.Module) -> list[LintFinding]:
+        presence: dict[tuple[str, str], dict[str, list[int]]] = {}
+        scope: list[str] = []
+        lock_scanner = _LockScanner(self)
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, ast.ClassDef):
+                scope.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                scope.pop()
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _FunctionInterp(self, node).run()
+                lock_scanner.scan(node)
+                scope.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                scope.pop()
+                return
+            if isinstance(node, ast.Call):
+                self._record_presence(node, scope, presence)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(tree)
+        self._presence_findings(presence)
+        return sorted(self.findings, key=lambda f: (f.line, f.col, f.code))
+
+    def _scope_key(self, pair: ProtocolPair,
+                   scope: list[str]) -> tuple[str, str]:
+        if pair.scope == "class":
+            # Outermost enclosing class/function — lets a lease be
+            # released by a sibling method of the same class.
+            unit = scope[0] if scope else "<module>"
+        else:
+            unit = ".".join(scope) if scope else "<module>"
+        return (pair.name, unit)
+
+    def _record_presence(self, call: ast.Call, scope: list[str],
+                         presence: dict[tuple[str, str],
+                                        dict[str, list[int]]]) -> None:
+        if isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+            terminal = _receiver_terminal(call.func.value)
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+            terminal = None
+        else:
+            return
+        self.seen_names.add(name)
+        for table, kind in ((_BEGIN_TABLE, "begin"),
+                            (_FINISH_TABLE, "finish")):
+            pair = table.get(name)
+            if pair is None or pair.style != "presence":
+                continue
+            if isinstance(call.func, ast.Name) and pair.receiver_hints:
+                continue
+            if kind == "begin" and not pair.matches_receiver(terminal):
+                continue
+            unit = presence.setdefault(self._scope_key(pair, scope),
+                                       {"begin": [], "finish": []})
+            unit[kind].append(call.lineno)
+
+    def _presence_findings(
+            self, presence: dict[tuple[str, str],
+                                 dict[str, list[int]]]) -> None:
+        for (pair_name, unit), sites in sorted(presence.items()):
+            if sites["begin"] and not sites["finish"]:
+                line = min(sites["begin"])
+                self.report(
+                    "RA205" if pair_name == "lease" else "RA201", line,
+                    f"scope {unit!r} begins '{pair_name}' "
+                    f"({len(sites['begin'])} site(s)) but never calls "
+                    f"its finish — the phase can never complete")
+
+
+def registry_rot_findings(seen_names: set[str]) -> list[LintFinding]:
+    """RA206: registry entries whose names match nothing scanned."""
+    from . import pairs as pairs_module
+    path = str(Path(pairs_module.__file__))
+    out: list[LintFinding] = []
+    for pair in PROTOCOL_PAIRS:
+        for kind, names in (("begin", pair.begin_names),
+                            ("finish", pair.finish_names)):
+            if not names & seen_names:
+                out.append(LintFinding(
+                    path, 1, 1, "RA206",
+                    f"PROTOCOL_PAIRS entry {pair.name!r} registers "
+                    f"{kind} names {sorted(names)} but no call site in "
+                    f"the scanned tree matches (stale registry entry)"))
+    return out
+
+
+def check_protocol_source(source: str, filename: str = "<string>",
+                          lock_graph: LockOrderGraph | None = None,
+                          seen_names: set[str] | None = None,
+                          ) -> list[LintFinding]:
+    """Run the Level-1 checker over one source string."""
+    own_graph = lock_graph is None
+    graph = lock_graph if lock_graph is not None else LockOrderGraph()
+    names = seen_names if seen_names is not None else set()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [LintFinding(filename, exc.lineno or 1,
+                            (exc.offset or 0) + 1, "RA000",
+                            f"syntax error: {exc.msg}")]
+    checker = _ModuleChecker(filename, source.splitlines(), graph, names)
+    findings = checker.run(tree)
+    if own_graph:
+        findings.extend(graph.order_findings())
+    return findings
+
+
+def check_protocol_file(path: str | Path,
+                        lock_graph: LockOrderGraph | None = None,
+                        seen_names: set[str] | None = None,
+                        ) -> list[LintFinding]:
+    """Run the Level-1 checker over one file."""
+    p = Path(path)
+    return check_protocol_source(p.read_text(encoding="utf-8"), str(p),
+                                 lock_graph, seen_names)
+
+
+def check_protocol_paths(paths, check_rot: bool = False,
+                         ) -> list[LintFinding]:
+    """Run the Level-1 checker over files/directories.
+
+    The lock-order graph is global across all scanned files (the RA204
+    contract is *cross-call-site* consistency).  ``check_rot`` adds the
+    RA206 stale-registry pass, meaningful only when scanning the whole
+    parallel-layer tree.
+    """
+    graph = LockOrderGraph()
+    seen: set[str] = set()
+    findings: list[LintFinding] = []
+    for f in iter_python_files(paths):
+        findings.extend(check_protocol_file(f, graph, seen))
+    findings.extend(graph.order_findings())
+    if check_rot:
+        findings.extend(registry_rot_findings(seen))
+    return findings

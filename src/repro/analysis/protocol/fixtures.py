@@ -1,0 +1,257 @@
+"""Seeded protocol violations: the verifier's self-test corpus.
+
+A checker nobody has seen fail is indistinguishable from a checker that
+checks nothing, so every RA2xx/RA3xx rule ships with a deliberate
+violation here.  :func:`run_selftest` (CLI: ``--protocol --selftest``)
+asserts each seed is caught with exactly the expected code — the same
+rot-detection posture as the RA003 stale-registry rule: if a refactor
+of the checker silently stops flagging one of these, the self-test
+fails, not a future debugging session.
+
+Level-1 seeds are source snippets checked with
+:func:`~repro.analysis.protocol.ast_check.check_protocol_source`;
+Level-2 seeds are *mutators* that corrupt a verified-clean schedule's
+programs/extents before re-running :func:`verify_schedule`.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from .ast_check import check_protocol_source
+from .model import (PIPE_CAPACITY, ExchangeOp, build_programs,
+                    cycle_exchange_ops, verify_schedule)
+
+__all__ = ["SEEDED_VIOLATIONS", "MODEL_MUTATIONS", "fake_ring_schedule",
+           "shrink_slab_extents", "swap_op_order", "drop_rank_recvs",
+           "choke_pipe_capacity", "run_selftest"]
+
+#: ``{seed name: (expected RA code, source)}`` for the Level-1 checker.
+SEEDED_VIOLATIONS: dict[str, tuple[str, str]] = {
+    "missing_finish": ("RA201", """\
+def exchange(machine, messages):
+    pending = machine.post(messages, "w-gather")
+    return None
+"""),
+    "conditional_drop": ("RA201", """\
+def exchange(machine, messages, flag):
+    pending = machine.post(messages, "w-gather")
+    if flag:
+        return machine.complete(pending)
+    return None
+"""),
+    "early_return_drop": ("RA201", """\
+def exchange(schedule, machine, w, ghosts, skip):
+    pending = schedule.gather_begin(machine, w)
+    if skip:
+        return ghosts
+    schedule.gather_finish(machine, pending, ghosts)
+    return ghosts
+"""),
+    "discarded_begin": ("RA201", """\
+def exchange(schedule, machine, q):
+    schedule.scatter_add_multi_begin(machine, [q])
+"""),
+    "begin_over_begin": ("RA202", """\
+def exchange(schedule, machine, w, ghosts):
+    pending = schedule.gather_begin(machine, w)
+    pending = schedule.gather_begin(machine, w)
+    schedule.gather_finish(machine, pending, ghosts)
+"""),
+    "finish_without_begin": ("RA203", """\
+def exchange(machine, ghosts):
+    pending = None
+    return machine.complete(pending)
+"""),
+    "double_finish": ("RA203", """\
+def exchange(schedule, machine, w, ghosts):
+    pending = schedule.gather_begin(machine, w)
+    schedule.gather_finish(machine, pending, ghosts)
+    schedule.gather_finish(machine, pending, ghosts)
+"""),
+    "swapped_lock_order": ("RA204", """\
+def writer(outbox_lock, stats_lock, payload):
+    with outbox_lock:
+        with stats_lock:
+            payload.flush()
+
+def reader(outbox_lock, stats_lock, payload):
+    with stats_lock:
+        with outbox_lock:
+            payload.drain()
+"""),
+    "self_nested_lock": ("RA204", """\
+def writer(outbox_locks, a, b, payload):
+    with outbox_locks[a]:
+        with outbox_locks[b]:
+            payload.flush()
+"""),
+    "leaky_lease": ("RA205", """\
+class LeakyTransport:
+    def pull(self, src, ctrl):
+        view = self.inlet.open(src, ctrl)
+        return np.array(view)
+"""),
+    "unbalanced_stage": ("RA201", """\
+def run_stage(san, stage, w):
+    san.stage_begin()
+    return w[stage]
+"""),
+}
+
+#: Level-1 seeds that must stay CLEAN — the idioms the real drivers use.
+CLEAN_IDIOMS: dict[str, str] = {
+    "conditional_rearm": """\
+def smooth(schedule, machine, w, ghosts, sweeps):
+    pending = schedule.gather_begin(machine, w)
+    for sweep in range(sweeps):
+        if pending is not None:
+            schedule.gather_finish(machine, pending, ghosts)
+            pending = None
+        if sweep + 1 < sweeps:
+            pending = schedule.gather_begin(machine, w)
+""",
+    "escape_by_return": """\
+def begin(schedule, machine, w):
+    return schedule.gather_begin(machine, w)
+""",
+    "param_token": """\
+def finish(schedule, machine, pending, ghosts):
+    schedule.gather_finish(machine, pending, ghosts)
+""",
+    "finally_finish": """\
+def exchange(machine, messages, work):
+    pending = machine.post(messages, "w-gather")
+    try:
+        work()
+    finally:
+        machine.complete(pending)
+""",
+    "released_lease": """\
+class Transport:
+    def pull(self, src, ctrl):
+        return self.inlet.open(src, ctrl)
+
+    def op_done(self):
+        self.inlet.release_all()
+""",
+}
+
+
+def fake_ring_schedule(n_ranks: int = 4, rows: int = 8) -> SimpleNamespace:
+    """A minimal schedule stand-in: a bidirectional neighbour ring.
+
+    ``verify_schedule`` only reads ``send_indices``, so the self-test
+    can run without building a mesh.
+    """
+    send_indices: dict = {}
+    for r in range(n_ranks):
+        nxt = (r + 1) % n_ranks
+        send_indices[(r, nxt)] = np.arange(rows)
+        send_indices[(nxt, r)] = np.arange(rows)
+    return SimpleNamespace(send_indices=send_indices)
+
+
+# ---------------------------------------------------------------------------
+# Level-2 mutators: each takes verify_schedule keyword overrides and
+# corrupts one of them; the expected RA3xx code rides along.
+# ---------------------------------------------------------------------------
+
+def shrink_slab_extents(schedule, ops: tuple[ExchangeOp, ...]) -> dict:
+    """Undersize one slab slot: first pair's row extent cut to zero."""
+    from ...distsolver.shm_channel import pair_extents
+    extents = pair_extents(schedule)
+    pair = sorted(extents)[0]
+    extents[pair] = (0, extents[pair][1])
+    return {"extents": extents}
+
+
+def swap_op_order(schedule, ops: tuple[ExchangeOp, ...]) -> dict:
+    """Reorder one rank: its first send op is moved after a later recv
+    op, creating a circular recv wait (deadlock under both semantics)."""
+    programs = build_programs(schedule, ops)
+    prog = list(programs[0])
+    send_op = next(op for (a, op, *_r) in prog if a == "send")
+    recv_op = next(op for (a, op, *_r) in prog
+                   if a == "recv" and op > send_op)
+    moved = [i for i in prog if i[1] == send_op]
+    rest = [i for i in prog if i[1] != send_op]
+    cut = max(i for i, instr in enumerate(rest) if instr[1] == recv_op) + 1
+    programs[0] = rest[:cut] + moved + rest[cut:]
+    return {"programs": programs, "ops": ops}
+
+
+def drop_rank_recvs(schedule, ops: tuple[ExchangeOp, ...]) -> dict:
+    """Strip every recv from one rank's program: conservation breaks."""
+    programs = build_programs(schedule, ops)
+    programs[1] = [i for i in programs[1] if i[0] == "send"]
+    return {"programs": programs, "ops": ops}
+
+
+def choke_pipe_capacity(schedule, ops: tuple[ExchangeOp, ...]) -> dict:
+    """Pipe inbox far below one message: every send blocks forever."""
+    return {"pipe_capacity": 64, "semantics": ("pipe",)}
+
+
+#: ``{mutation name: (expected RA code, mutator)}`` for the model checker.
+MODEL_MUTATIONS: dict = {
+    "shrink_slab_extents": ("RA302", shrink_slab_extents),
+    "swap_op_order": ("RA301", swap_op_order),
+    "drop_rank_recvs": ("RA303", drop_rank_recvs),
+    "choke_pipe_capacity": ("RA301", choke_pipe_capacity),
+}
+
+
+def run_selftest(verbose: bool = False) -> list[str]:
+    """Run every seed through the verifier; returns failure messages.
+
+    An empty list means the verifier still catches everything it is
+    supposed to catch and still passes everything it must pass.
+    """
+    failures: list[str] = []
+
+    for name, (code, source) in SEEDED_VIOLATIONS.items():
+        found = {f.code for f in check_protocol_source(source, name)}
+        if code not in found:
+            failures.append(
+                f"seed {name!r}: expected {code}, checker reported "
+                f"{sorted(found) or 'nothing'}")
+        elif verbose:
+            print(f"  seed {name}: caught ({code})")
+
+    for name, source in CLEAN_IDIOMS.items():
+        found = check_protocol_source(source, name)
+        if found:
+            failures.append(
+                f"clean idiom {name!r}: false positive "
+                f"{[(f.code, f.line) for f in found]}")
+        elif verbose:
+            print(f"  idiom {name}: clean")
+
+    schedule = fake_ring_schedule()
+    ops = cycle_exchange_ops("overlap")
+    base = verify_schedule(schedule, ops=ops)
+    if not base.ok:
+        failures.append(
+            f"ring schedule: expected clean, got "
+            f"{[str(f) for f in base.findings]}")
+    for name, (code, mutator) in MODEL_MUTATIONS.items():
+        overrides = mutator(schedule, ops)
+        result = verify_schedule(schedule, **overrides)
+        found = {f.code for f in result.findings}
+        if code not in found:
+            failures.append(
+                f"mutation {name!r}: expected {code}, model reported "
+                f"{sorted(found) or 'nothing'}")
+        elif verbose:
+            print(f"  mutation {name}: caught ({code})")
+
+    # The exchange-count invariants of PR 4's overlap executor.
+    if len(cycle_exchange_ops("overlap")) != 34:
+        failures.append("overlap cycle must carry 34 exchanges")
+    if len(cycle_exchange_ops("blocking")) != 37:
+        failures.append("blocking cycle must carry 37 exchanges")
+    assert PIPE_CAPACITY == 1 << 20
+    return failures

@@ -1,0 +1,469 @@
+"""Level 2 of the protocol verifier: the schedule model checker (RA3xx).
+
+Where Level 1 proves *code shape* (every begin reaches a finish), this
+module proves *schedule shape*: given a concrete
+:class:`~repro.parti.schedule.GatherSchedule` from the inspector, it
+builds the per-rank exchange programs of one solver cycle and model
+checks them under the repo's two transport capacity semantics —
+
+``pipe``
+    the mp backend's OS pipes: a bounded byte buffer per inbox, reads
+    drain out-of-order arrivals into a stash (``mp_exchange``'s idiom),
+    sends block when the destination inbox is full;
+``shm``
+    the shared-memory slab transport: per directed pair,
+    ``N_SLOTS``-deep double buffering where a sender blocks until the
+    receiver's lease release returns a slot (``shm_channel``'s
+    seq/consumed handshake).
+
+========  ==========================================================
+code      rule
+========  ==========================================================
+RA301     deadlock: the greedy executor wedges; the finding carries
+          the wait-for cycle (or the orphan wait when a sought
+          message is never sent)
+RA302     slab-slot insufficiency: an exchange's per-pair message
+          exceeds the (rows, cols) extent reserved by
+          :func:`~repro.distsolver.shm_channel.pair_extents`
+RA303     exchange conservation: per directed pair, sends and
+          receives must balance over the cycle, and the cycle must
+          carry exactly the closed-form exchange count (the
+          34-exchange overlap invariant)
+========  ==========================================================
+
+Library entry point: :func:`verify_schedule`.  The future task-graph
+scheduler must call it on any new DAG before executing it; the CLI
+(``python -m repro.analysis --protocol --sweep``) drives it over
+box-mesh partitions at 2–16 ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ...constants import (RESIDUAL_SMOOTHING_SWEEPS, RK_ALPHAS,
+                          RK_DISSIPATION_STAGES)
+from ...distsolver.shm_channel import DEFAULT_MAX_COLS, N_SLOTS, pair_extents
+
+__all__ = ["ExchangeOp", "ModelFinding", "Findings",
+           "ProtocolVerificationError", "cycle_exchange_ops",
+           "expected_exchange_count", "build_programs", "verify_schedule"]
+
+#: Default pipe inbox capacity modelled, matching ``mp_solver.PIPE_CAPACITY``.
+PIPE_CAPACITY: int = 1 << 20
+
+#: Modelled per-message framing overhead (pickle header + lengths).
+_MSG_OVERHEAD: int = 200
+
+
+class ProtocolVerificationError(RuntimeError):
+    """Raised by :meth:`Findings.raise_if_failed` on any RA3xx finding."""
+
+
+@dataclass(frozen=True)
+class ExchangeOp:
+    """One aggregated neighbour exchange of the solver cycle."""
+
+    index: int
+    phase: str               # "w-gather", "qd-scatter", "smooth-gather", ...
+    kind: str                # "gather" (owner -> requester) or "scatter"
+    cols: int                # packed component columns per vertex row
+
+
+@dataclass(frozen=True)
+class ModelFinding:
+    """One RA3xx verdict from the model checker."""
+
+    code: str
+    semantics: str           # "pipe", "shm", or "schedule"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.code} [{self.semantics}] {self.message}"
+
+
+@dataclass
+class Findings:
+    """Result of :func:`verify_schedule`."""
+
+    findings: list[ModelFinding] = field(default_factory=list)
+    n_ranks: int = 0
+    n_ops: int = 0
+    semantics_checked: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def raise_if_failed(self) -> None:
+        if self.findings:
+            lines = "\n".join(f"  {f}" for f in self.findings)
+            raise ProtocolVerificationError(
+                f"schedule failed protocol verification "
+                f"({len(self.findings)} finding(s)):\n{lines}")
+
+
+def cycle_exchange_ops(mode: str = "overlap",
+                       n_stages: int = len(RK_ALPHAS),
+                       diss_stages: Sequence[int] = RK_DISSIPATION_STAGES,
+                       smoothing: bool = True,
+                       sweeps: int = RESIDUAL_SMOOTHING_SWEEPS,
+                       ) -> tuple[ExchangeOp, ...]:
+    """The aggregated exchange sequence of one multistage cycle.
+
+    Mirrors the distributed driver: the ``overlap`` executor packs the
+    dissipation stages' traffic into multi-component messages (34
+    exchanges per cycle with the default 5-stage scheme), the
+    ``blocking`` executor keeps every array's exchange separate (37).
+    """
+    if mode not in ("overlap", "blocking"):
+        raise ValueError(f"unknown exchange mode {mode!r}")
+    ops: list[ExchangeOp] = []
+
+    def add(phase: str, kind: str, cols: int) -> None:
+        ops.append(ExchangeOp(len(ops), phase, kind, cols))
+
+    if mode == "blocking":
+        add("dt-scatter", "scatter", 1)
+    for stage in range(n_stages):
+        add(f"s{stage}:w-gather", "gather", 5)
+        if stage in diss_stages:
+            if mode == "overlap":
+                # Multi-component packing: laplacian partials ride with
+                # the stage-0 pressure switch, q and d return together.
+                add(f"s{stage}:partials-scatter", "scatter",
+                    8 if stage == min(diss_stages) else 7)
+                add(f"s{stage}:diss-gather", "gather", 6)
+                add(f"s{stage}:qd-scatter", "scatter", 10)
+            else:
+                add(f"s{stage}:partials-scatter", "scatter", 7)
+                add(f"s{stage}:diss-gather", "gather", 6)
+                add(f"s{stage}:q-scatter", "scatter", 5)
+                add(f"s{stage}:d-scatter", "scatter", 5)
+        else:
+            add(f"s{stage}:q-scatter", "scatter", 5)
+        if smoothing:
+            for sweep in range(sweeps):
+                add(f"s{stage}:smooth{sweep}-gather", "gather", 5)
+                add(f"s{stage}:smooth{sweep}-scatter", "scatter", 5)
+    return tuple(ops)
+
+
+def expected_exchange_count(mode: str = "overlap",
+                            n_stages: int = len(RK_ALPHAS),
+                            diss_stages: Sequence[int] = RK_DISSIPATION_STAGES,
+                            smoothing: bool = True,
+                            sweeps: int = RESIDUAL_SMOOTHING_SWEEPS) -> int:
+    """Closed-form exchange count per cycle (34 overlap / 37 blocking)."""
+    n_diss = len(tuple(diss_stages))
+    smooth = (2 * sweeps if smoothing else 0)
+    if mode == "overlap":
+        return (n_diss * (1 + 3 + smooth)
+                + (n_stages - n_diss) * (1 + 1 + smooth))
+    if mode == "blocking":
+        return (1 + n_diss * (1 + 4 + smooth)
+                + (n_stages - n_diss) * (1 + 1 + smooth))
+    raise ValueError(f"unknown exchange mode {mode!r}")
+
+
+# One program instruction: (action, op_index, peer, rows, cols) with
+# action "send" or "recv".
+_Instr = tuple[str, int, int, int, int]
+
+
+def _schedule_n_ranks(schedule) -> int:
+    ranks: set[int] = set()
+    for a, b in schedule.send_indices:
+        ranks.add(int(a))
+        ranks.add(int(b))
+    return (max(ranks) + 1) if ranks else 1
+
+
+def build_programs(schedule, ops: Sequence[ExchangeOp],
+                   n_ranks: int | None = None) -> list[list[_Instr]]:
+    """Per-rank instruction streams for one cycle of ``ops``.
+
+    For a gather op, schedule pair ``(owner, requester)`` sends
+    ``len(indices)`` packed rows owner -> requester; a scatter op runs
+    the identical pattern backwards.  Within an op every rank posts all
+    its sends before it receives — exactly the split-phase executors'
+    order (``gather_begin`` posts, ``gather_finish`` drains).
+    """
+    if n_ranks is None:
+        n_ranks = _schedule_n_ranks(schedule)
+    counts = {(int(a), int(b)): len(idx)
+              for (a, b), idx in schedule.send_indices.items()}
+    programs: list[list[_Instr]] = [[] for _ in range(n_ranks)]
+    for op in ops:
+        sends: dict[int, list[_Instr]] = {r: [] for r in range(n_ranks)}
+        recvs: dict[int, list[_Instr]] = {r: [] for r in range(n_ranks)}
+        for (owner, requester), rows in sorted(counts.items()):
+            if rows == 0:
+                continue
+            if op.kind == "gather":
+                src, dst = owner, requester
+            else:
+                src, dst = requester, owner
+            sends[src].append(("send", op.index, dst, rows, op.cols))
+            recvs[dst].append(("recv", op.index, src, rows, op.cols))
+        for r in range(n_ranks):
+            programs[r].extend(sends[r])
+            programs[r].extend(recvs[r])
+    return programs
+
+
+def _message_bytes(rows: int, cols: int) -> int:
+    return rows * cols * 8 + _MSG_OVERHEAD
+
+
+def _wait_cycle(waiting_on: dict[int, int]) -> list[int] | None:
+    """A cycle in the wait-for graph ``rank -> rank``, if any."""
+    for start in sorted(waiting_on):
+        seen: dict[int, int] = {}
+        node, pos = start, 0
+        while node in waiting_on and node not in seen:
+            seen[node] = pos
+            node, pos = waiting_on[node], pos + 1
+        if node in seen:
+            cycle = [r for r, p in sorted(seen.items(), key=lambda kv: kv[1])
+                     if p >= seen[node]]
+            return cycle + [node]
+    return None
+
+
+def _simulate(programs: list[list[_Instr]], semantics: str,
+              pipe_capacity: int, n_slots: int,
+              ops: Sequence[ExchangeOp]) -> list[ModelFinding]:
+    """Greedy round-robin execution under one capacity semantics."""
+    n_ranks = len(programs)
+    pc = [0] * n_ranks
+    # pipe state: per-inbox byte count and FIFO, per-rank stash.
+    inbox_bytes = [0] * n_ranks
+    inbox_fifo: list[list[tuple[int, int, int]]] = [[] for _ in range(n_ranks)]
+    stash: list[set[tuple[int, int]]] = [set() for _ in range(n_ranks)]
+    # shm state: per directed pair, sender's op FIFO and consumed count.
+    pair_fifo: dict[tuple[int, int], list[int]] = {}
+    consumed: dict[tuple[int, int], int] = {}
+    sent_count: dict[tuple[int, int], int] = {}
+    recv_count: dict[tuple[int, int], int] = {}
+    # Last-recv positions per (rank, op) for shm lease release.
+    last_recv_pos: dict[int, dict[int, int]] = {}
+    for r, prog in enumerate(programs):
+        last_recv_pos[r] = {}
+        for i, (action, op_index, _peer, _rows, _cols) in enumerate(prog):
+            if action == "recv":
+                last_recv_pos[r][op_index] = i
+
+    def try_step(rank: int) -> tuple[bool, int | None, str]:
+        """(progressed, blocked-on-rank, why)."""
+        prog = programs[rank]
+        if pc[rank] >= len(prog):
+            return False, None, "done"
+        action, op_index, peer, rows, cols = prog[pc[rank]]
+        if action == "send":
+            if semantics == "pipe":
+                size = _message_bytes(rows, cols)
+                if inbox_bytes[peer] + size > pipe_capacity:
+                    return False, peer, (
+                        f"send of {size}B op {op_index} would overflow "
+                        f"rank {peer}'s {pipe_capacity}B pipe inbox")
+                inbox_bytes[peer] += size
+                inbox_fifo[peer].append((rank, op_index, size))
+            else:
+                pair = (rank, peer)
+                if (sent_count.get(pair, 0) - consumed.get(pair, 0)
+                        >= n_slots):
+                    return False, peer, (
+                        f"all {n_slots} slab slots of pair "
+                        f"{pair} are leased (awaiting release by rank "
+                        f"{peer})")
+                sent_count[pair] = sent_count.get(pair, 0) + 1
+                pair_fifo.setdefault(pair, []).append(op_index)
+        else:
+            if semantics == "pipe":
+                sought = (peer, op_index)
+                if sought not in stash[rank]:
+                    # Drain the inbox (freeing pipe bytes) into the
+                    # stash until the sought message arrives.
+                    while inbox_fifo[rank]:
+                        src, op, size = inbox_fifo[rank].pop(0)
+                        inbox_bytes[rank] -= size
+                        stash[rank].add((src, op))
+                        if (src, op) == sought:
+                            break
+                if sought not in stash[rank]:
+                    return False, peer, (
+                        f"rank {rank} awaits op {op_index} "
+                        f"({ops[op_index].phase}) from rank {peer}, "
+                        f"which has not sent it")
+                stash[rank].remove(sought)
+            else:
+                pair = (peer, rank)
+                fifo = pair_fifo.get(pair, [])
+                if op_index not in fifo:
+                    return False, peer, (
+                        f"rank {rank} awaits op {op_index} "
+                        f"({ops[op_index].phase}) in slab pair {pair}, "
+                        f"which rank {peer} has not filled")
+                # Drain slots up to the sought seq; earlier entries are
+                # stashed views holding their leases until release_all.
+                while fifo:
+                    op = fifo.pop(0)
+                    recv_count[pair] = recv_count.get(pair, 0) + 1
+                    if op == op_index:
+                        break
+                if pc[rank] == last_recv_pos[rank].get(op_index, -1):
+                    # Op complete on this rank: the transport releases
+                    # every inbound lease (ShmInlet.release_all).
+                    for src in range(len(programs)):
+                        p = (src, rank)
+                        if p in recv_count:
+                            consumed[p] = recv_count[p]
+        pc[rank] += 1
+        return True, None, "ok"
+
+    findings: list[ModelFinding] = []
+    while True:
+        progressed = False
+        blocked: dict[int, tuple[int | None, str]] = {}
+        for rank in range(n_ranks):
+            moved = True
+            while moved and pc[rank] < len(programs[rank]):
+                moved, on, why = try_step(rank)
+                if moved:
+                    progressed = True
+                elif pc[rank] < len(programs[rank]):
+                    blocked[rank] = (on, why)
+        if all(pc[r] >= len(programs[r]) for r in range(n_ranks)):
+            return findings
+        if not progressed:
+            waiting_on = {r: on for r, (on, _why) in blocked.items()
+                          if on is not None}
+            cycle = _wait_cycle(waiting_on)
+            if cycle is not None:
+                chain = " -> ".join(
+                    f"rank {r}" for r in cycle)
+                detail = "; ".join(
+                    f"rank {r}: {blocked[r][1]}" for r in cycle[:-1])
+                findings.append(ModelFinding(
+                    "RA301", semantics,
+                    f"deadlock: wait-for cycle {chain} ({detail})"))
+            else:
+                detail = "; ".join(
+                    f"rank {r}: {why}"
+                    for r, (_on, why) in sorted(blocked.items()))
+                findings.append(ModelFinding(
+                    "RA301", semantics,
+                    f"wedged without a wait cycle (orphan wait): "
+                    f"{detail}"))
+            return findings
+
+
+def _conservation_findings(programs: list[list[_Instr]],
+                           ops: Sequence[ExchangeOp],
+                           expected_ops: int | None) -> list[ModelFinding]:
+    findings: list[ModelFinding] = []
+    if expected_ops is not None and len(ops) != expected_ops:
+        findings.append(ModelFinding(
+            "RA303", "schedule",
+            f"cycle carries {len(ops)} exchanges, closed-form invariant "
+            f"expects {expected_ops}"))
+    sends: dict[tuple[int, int, int], int] = {}
+    recvs: dict[tuple[int, int, int], int] = {}
+    for rank, prog in enumerate(programs):
+        for action, op_index, peer, rows, _cols in prog:
+            if action == "send":
+                key = (op_index, rank, peer)
+                sends[key] = sends.get(key, 0) + 1
+            else:
+                key = (op_index, peer, rank)
+                recvs[key] = recvs.get(key, 0) + 1
+    for key in sorted(set(sends) | set(recvs)):
+        ns, nr = sends.get(key, 0), recvs.get(key, 0)
+        if ns != nr:
+            op_index, src, dst = key
+            findings.append(ModelFinding(
+                "RA303", "schedule",
+                f"op {op_index} ({ops[op_index].phase}) pair "
+                f"({src}, {dst}): {ns} send(s) vs {nr} recv(s) — "
+                f"exchange conservation violated"))
+    return findings
+
+
+def _extent_findings(schedule, ops: Sequence[ExchangeOp],
+                     extents: dict, max_cols: int) -> list[ModelFinding]:
+    findings: list[ModelFinding] = []
+    counts = {(int(a), int(b)): len(idx)
+              for (a, b), idx in schedule.send_indices.items()}
+    for op in ops:
+        for (owner, requester), rows in sorted(counts.items()):
+            if rows == 0:
+                continue
+            pair = ((owner, requester) if op.kind == "gather"
+                    else (requester, owner))
+            ext = extents.get(pair)
+            if ext is None:
+                findings.append(ModelFinding(
+                    "RA302", "shm",
+                    f"op {op.index} ({op.phase}) needs slab pair {pair} "
+                    f"but no extent is reserved for it"))
+                continue
+            ext_rows, ext_cols = int(ext[0]), int(ext[1])
+            if rows > ext_rows or op.cols > ext_cols:
+                findings.append(ModelFinding(
+                    "RA302", "shm",
+                    f"op {op.index} ({op.phase}) message on pair {pair} "
+                    f"is ({rows}, {op.cols}), slab extent is only "
+                    f"({ext_rows}, {ext_cols}) — the transport would "
+                    f"fault or truncate"))
+    if findings and max_cols < DEFAULT_MAX_COLS:
+        findings.append(ModelFinding(
+            "RA302", "shm",
+            f"slab max_cols={max_cols} is below the transport default "
+            f"{DEFAULT_MAX_COLS}"))
+    return findings
+
+
+def verify_schedule(schedule, *,
+                    ops: Sequence[ExchangeOp] | None = None,
+                    mode: str = "overlap",
+                    semantics: Iterable[str] = ("pipe", "shm"),
+                    extents: dict | None = None,
+                    max_cols: int = DEFAULT_MAX_COLS,
+                    n_slots: int = N_SLOTS,
+                    pipe_capacity: int = PIPE_CAPACITY,
+                    programs: list[list[_Instr]] | None = None,
+                    expected_ops: int | None = None) -> Findings:
+    """Model check one cycle of ``schedule``'s exchanges.
+
+    Parameters beyond ``schedule`` exist for the mutation self-test and
+    for the future task-graph scheduler: pass explicit ``ops`` or
+    ``programs`` to verify a custom DAG's exchange sequence, shrink
+    ``extents``/``n_slots``/``pipe_capacity`` to model a mis-sized
+    transport.  Returns :class:`Findings`; ``raise_if_failed()`` is the
+    scheduler-facing contract.
+    """
+    if ops is None:
+        ops = cycle_exchange_ops(mode)
+        if expected_ops is None:
+            expected_ops = expected_exchange_count(mode)
+    n_ranks = _schedule_n_ranks(schedule)
+    if programs is None:
+        programs = build_programs(schedule, ops, n_ranks)
+    if extents is None:
+        extents = pair_extents(schedule, max_cols)
+    semantics_tuple = tuple(semantics)
+    result = Findings(n_ranks=n_ranks, n_ops=len(ops),
+                      semantics_checked=semantics_tuple)
+    result.findings.extend(
+        _conservation_findings(programs, ops, expected_ops))
+    result.findings.extend(
+        _extent_findings(schedule, ops, extents, max_cols))
+    for sem in semantics_tuple:
+        if sem not in ("pipe", "shm"):
+            raise ValueError(f"unknown capacity semantics {sem!r}")
+        result.findings.extend(
+            _simulate([list(p) for p in programs], sem,
+                      pipe_capacity, n_slots, ops))
+    return result

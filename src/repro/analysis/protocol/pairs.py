@@ -1,0 +1,135 @@
+"""Declarative registry of the repo's split-phase protocol pairs.
+
+The AST checker (:mod:`repro.analysis.protocol.ast_check`) is driven
+entirely by this table, the same way the allocation lint is driven by
+``HOT_FUNCTIONS``: adding a new begin/finish discipline to the codebase
+means adding one :class:`ProtocolPair` here, not teaching the checker
+new syntax.  Each entry names the *begin* attribute(s), the *finish*
+attribute(s) that discharge them, and optionally a receiver hint that
+keeps generic method names (``post``, ``open``) from matching unrelated
+objects.
+
+Two pairing styles exist:
+
+``token``
+    ``begin`` returns a pending-op token that must reach a ``finish``
+    call (or escape to a caller that will finish it) on every control
+    path.  This is the ``SimMachine.post``/``complete`` and
+    ``gather_begin``/``gather_finish`` discipline.
+``presence``
+    ``begin`` and ``finish`` are paired by scope, not by a token value:
+    a scope that begins must also finish (``RankOps.stage_begin`` /
+    ``stage_complete``, the :class:`~repro.distsolver.shm_channel
+    .ShmInlet` lease protocol).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["ProtocolPair", "PROTOCOL_PAIRS", "LOCK_NAME_RE",
+           "begin_pairs", "finish_pairs"]
+
+#: Identifiers that denote a mutual-exclusion lock for the RA204
+#: acquisition-order check ("outbox_locks", "_lock", "pipe_lock", ...).
+LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ProtocolPair:
+    """One split-phase discipline: begin names, finish names, matching."""
+
+    #: registry key, used in findings ("gather", "post", ...)
+    name: str
+    #: attribute (or bare function) names that open the phase
+    begin_names: frozenset[str]
+    #: attribute names that discharge it
+    finish_names: frozenset[str]
+    #: "token" or "presence" (see module docstring)
+    style: str = "token"
+    #: receiver-name fragments required for a match; empty = any receiver.
+    #: Matched against the terminal identifier of the receiver expression
+    #: with leading underscores stripped ("self._inlet.open" -> "inlet").
+    receiver_hints: frozenset[str] = field(default_factory=frozenset)
+    #: scope granularity for presence pairs: "function" or "class"
+    #: (class-level lets the lease be released by a sibling method, the
+    #: way ``_ShmTransport`` opens in its recv hook and releases on op
+    #: completion).
+    scope: str = "function"
+    description: str = ""
+
+    def matches_receiver(self, terminal: str | None) -> bool:
+        if not self.receiver_hints:
+            return True
+        if terminal is None:
+            return False
+        return terminal.lstrip("_") in self.receiver_hints
+
+
+#: The split-phase disciplines of the parallel layers, in checking order.
+PROTOCOL_PAIRS: tuple[ProtocolPair, ...] = (
+    ProtocolPair(
+        name="post",
+        begin_names=frozenset({"post"}),
+        finish_names=frozenset({"complete"}),
+        style="token",
+        receiver_hints=frozenset({"machine"}),
+        description="SimMachine.post returns a pending-delivery token "
+                    "that machine.complete must consume",
+    ),
+    ProtocolPair(
+        name="gather",
+        begin_names=frozenset({"gather_begin", "_gather_begin"}),
+        finish_names=frozenset({"gather_finish", "_gather_finish"}),
+        style="token",
+        description="split-phase ghost gather: begin posts the packed "
+                    "owned rows, finish places the delivered ghosts",
+    ),
+    ProtocolPair(
+        name="scatter",
+        begin_names=frozenset({"scatter_add_multi_begin"}),
+        finish_names=frozenset({"scatter_add_multi_finish"}),
+        style="token",
+        description="split-phase scatter-add return of ghost "
+                    "contributions to their owners",
+    ),
+    ProtocolPair(
+        name="stage",
+        begin_names=frozenset({"stage_begin"}),
+        finish_names=frozenset({"stage_complete", "stage_end"}),
+        style="presence",
+        scope="function",
+        description="RankOps per-stage interior/boundary split: a "
+                    "function that begins a stage must complete it",
+    ),
+    ProtocolPair(
+        name="lease",
+        begin_names=frozenset({"open"}),
+        finish_names=frozenset({"release_all", "release"}),
+        style="presence",
+        receiver_hints=frozenset({"inlet", "channels", "channel"}),
+        scope="class",
+        description="ShmInlet slab leases: every open()ed slab view "
+                    "must be released (release_all / release) before "
+                    "the slot can return to the sender",
+    ),
+)
+
+
+def begin_pairs() -> dict[str, ProtocolPair]:
+    """``{begin attr name: pair}`` lookup table."""
+    out: dict[str, ProtocolPair] = {}
+    for pair in PROTOCOL_PAIRS:
+        for name in pair.begin_names:
+            out[name] = pair
+    return out
+
+
+def finish_pairs() -> dict[str, ProtocolPair]:
+    """``{finish attr name: pair}`` lookup table."""
+    out: dict[str, ProtocolPair] = {}
+    for pair in PROTOCOL_PAIRS:
+        for name in pair.finish_names:
+            out[name] = pair
+    return out

@@ -53,6 +53,7 @@ from __future__ import annotations
 import pickle
 import time
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
@@ -86,12 +87,13 @@ CTRL_BYTES = len(pickle.dumps((3, 1 << 20, ("shm", 1 << 40, 1,
 _SPIN_S = 5e-5
 
 
-def is_shm_ctrl(data) -> bool:
+def is_shm_ctrl(data: object) -> bool:
     """True when a pipe payload is a slab control descriptor."""
     return type(data) is tuple and len(data) == 4 and data[0] == "shm"
 
 
-def pair_extents(schedule, max_cols: int = DEFAULT_MAX_COLS) -> dict:
+def pair_extents(schedule: Any,
+                 max_cols: int = DEFAULT_MAX_COLS) -> dict:
     """Slab extents ``{(src, dst): (rows, cols)}`` from the inspector.
 
     Directed pair ``(a, b)`` carries the gather messages of schedule
@@ -120,8 +122,8 @@ class ShmChannel:
     crosses the process boundary (through the shared segment).
     """
 
-    def __init__(self, shm, offset: int, rows: int, cols: int,
-                 pair: tuple):
+    def __init__(self, shm: shared_memory.SharedMemory, offset: int,
+                 rows: int, cols: int, pair: tuple):
         self._shm = shm
         self._offset = offset
         self.rows = rows
@@ -129,11 +131,12 @@ class ShmChannel:
         self.pair = pair
         self._next_seq = 1       # sender-side
         self._expect_seq = 1     # receiver-side
-        self._hdr = None         # lazy per-process views (see module doc)
-        self._slots = None
+        # Lazy per-process views (see module doc).
+        self._hdr: np.ndarray | None = None
+        self._slots: list[np.ndarray] | None = None
 
-    def _ensure_views(self) -> None:
-        if self._hdr is None:
+    def _ensure_views(self) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._hdr is None or self._slots is None:
             buf = self._shm.buf
             self._hdr = np.ndarray((1,), dtype=np.int64, buffer=buf,
                                    offset=self._offset)
@@ -142,6 +145,7 @@ class ShmChannel:
             self._slots = [np.ndarray((cap,), dtype=np.float64, buffer=buf,
                                       offset=base + k * cap * 8)
                            for k in range(N_SLOTS)]
+        return self._hdr, self._slots
 
     def drop_views(self) -> None:
         """Release this process's NumPy views so the mapping can close."""
@@ -149,7 +153,8 @@ class ShmChannel:
         self._slots = None
 
     # -- sender side -----------------------------------------------------
-    def begin_send(self, shape: tuple, deadline: float):
+    def begin_send(self, shape: tuple,
+                   deadline: float) -> tuple[tuple, np.ndarray] | None:
         """Claim the next slot; returns ``(ctrl, view)`` or ``None``.
 
         Blocks (spinning on the ``consumed`` header) until the slot's
@@ -158,24 +163,24 @@ class ShmChannel:
         the caller turns that into an :class:`ExchangeTimeoutError`
         naming the op.
         """
-        self._ensure_views()
+        hdr, slots = self._ensure_views()
         n = int(np.prod(shape, dtype=np.int64)) if shape else 1
         if n > self.rows * self.cols:
             raise TransportProtocolError(
                 self.pair, f"payload of shape {shape} overflows the "
                 f"{self.rows}x{self.cols} slab")
         seq = self._next_seq
-        while seq - int(self._hdr[0]) > N_SLOTS:
+        while seq - int(hdr[0]) > N_SLOTS:
             if time.monotonic() > deadline:
                 return None
             time.sleep(_SPIN_S)
         self._next_seq = seq + 1
         slot = seq % N_SLOTS
-        view = self._slots[slot][:n].reshape(shape)
+        view = slots[slot][:n].reshape(shape)
         return ("shm", seq, slot, shape), view
 
     # -- receiver side ---------------------------------------------------
-    def open(self, ctrl):
+    def open(self, ctrl: tuple) -> tuple[int, np.ndarray]:
         """Validate a control descriptor; returns ``(seq, payload view)``.
 
         The view aliases the slab — the caller must copy out (or finish
@@ -184,8 +189,8 @@ class ShmChannel:
         delivered out of per-pair order: the slab contents can no longer
         be trusted, so this raises instead of returning stale data.
         """
-        self._ensure_views()
-        _, seq, slot, shape = ctrl
+        _, slots = self._ensure_views()
+        _kind, seq, slot, shape = ctrl
         if seq != self._expect_seq:
             raise TransportProtocolError(
                 self.pair, f"control message carries seq {seq}, expected "
@@ -196,11 +201,12 @@ class ShmChannel:
                 f"{seq % N_SLOTS}")
         self._expect_seq = seq + 1
         n = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        return seq, self._slots[slot][:n].reshape(shape)
+        return seq, slots[slot][:n].reshape(shape)
 
     def release(self, seq: int) -> None:
         """Publish ``consumed = seq``: the sender may reuse the slot."""
-        self._hdr[0] = seq
+        hdr, _ = self._ensure_views()
+        hdr[0] = seq
 
 
 class ShmInlet:
@@ -214,10 +220,11 @@ class ShmInlet:
     """
 
     def __init__(self, channels: dict):
-        self.channels = channels         # {src rank: ShmChannel src->me}
-        self._leased: list = []
+        #: {src rank: ShmChannel src->me}
+        self.channels: dict[int, ShmChannel] = channels
+        self._leased: list[tuple[ShmChannel, int]] = []
 
-    def open(self, src: int, ctrl) -> np.ndarray:
+    def open(self, src: int, ctrl: tuple) -> np.ndarray:
         self.release_all()
         seq, view = self.channels[src].open(ctrl)
         self._leased.append((self.channels[src], seq))
@@ -240,7 +247,7 @@ class ShmSlabPool:
     """
 
     def __init__(self, extents: dict):
-        self._offsets: dict = {}
+        self._offsets: dict[tuple[int, int], tuple[int, int, int]] = {}
         size = 0
         for pair in sorted(extents):
             rows, cols = extents[pair]
@@ -250,7 +257,7 @@ class ShmSlabPool:
         self.shm = shared_memory.SharedMemory(create=True,
                                               size=max(size, 8))
         self.shm.buf[:size] = b"\0" * size   # consumed counters start at 0
-        self._channels: dict = {}
+        self._channels: dict[tuple[int, int], ShmChannel] = {}
 
     def channel(self, src: int, dst: int) -> ShmChannel:
         """The (cached) channel of directed pair ``src -> dst``."""

@@ -238,7 +238,7 @@ def _solve_single(solver, w_inf_row, cfl, w0_row, n_cycles, rtol, atol,
     return w, history, converged, diverged, steps
 
 
-def _batched_trailing_norms(pipeline, wT) -> np.ndarray:
+def _batched_trailing_norms(pipeline, wT, out=None) -> np.ndarray:
     """Per-scenario ``density_residual_norm`` of the batched states.
 
     Same elementwise operations and the same 1-D pairwise column mean as
@@ -247,8 +247,11 @@ def _batched_trailing_norms(pipeline, wT) -> np.ndarray:
     r = pipeline.residual(wT)
     buf = r[:, 0, :] / pipeline.dual_volumes[:, None]
     buf *= buf
-    return np.array([float(np.sqrt(np.mean(buf[:, s])))
-                     for s in range(buf.shape[1])])
+    if out is None:
+        out = np.empty(buf.shape[1])
+    for s in range(buf.shape[1]):
+        out[s] = float(np.sqrt(np.mean(buf[:, s])))
+    return out
 
 
 def _solve_block(solver, sids, w_inf_rows, cfls, w0_rows, n_cycles, rtol,

@@ -31,6 +31,7 @@ See ``docs/observability.md`` for the full tour.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Iterator
 
 from .counters import CounterStore, GaugeStats, GaugeStore
 from .tracer import NULL_TRACER, NullTracer, TracePayload, Tracer, traced
@@ -42,7 +43,7 @@ __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TracePayload",
            "count_event", "global_counters", "merge_global_counters",
            "reset_global_counters"]
 
-_GLOBAL_TRACER = NULL_TRACER
+_GLOBAL_TRACER: Tracer | NullTracer = NULL_TRACER
 
 #: Always-on process-global event counters.  Unlike tracer counters —
 #: which exist only while a :class:`Tracer` is installed — these record
@@ -63,12 +64,12 @@ def count_event(name: str, value: float = 1.0) -> None:
         tracer.count(name, value)
 
 
-def global_counters() -> dict:
+def global_counters() -> dict[str, float]:
     """Snapshot of the always-on event counters (``{name: total}``)."""
     return _EVENT_COUNTERS.as_dict()
 
 
-def merge_global_counters(delta: dict) -> None:
+def merge_global_counters(delta: dict[str, float]) -> None:
     """Fold another process's event-counter *delta* into this process.
 
     Used by the mp distributed driver: each rank worker snapshots the
@@ -88,7 +89,7 @@ def reset_global_counters() -> None:
     _EVENT_COUNTERS.clear()
 
 
-def get_tracer():
+def get_tracer() -> Tracer | NullTracer:
     """The process-global tracer (the :data:`NULL_TRACER` by default).
 
     Instrumented components look this up **at construction** and keep
@@ -98,7 +99,7 @@ def get_tracer():
     return _GLOBAL_TRACER
 
 
-def set_tracer(tracer):
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
     """Install ``tracer`` (or the null tracer for ``None``) globally."""
     global _GLOBAL_TRACER
     _GLOBAL_TRACER = tracer if tracer is not None else NULL_TRACER
@@ -106,7 +107,8 @@ def set_tracer(tracer):
 
 
 @contextmanager
-def use_tracer(tracer):
+def use_tracer(tracer: Tracer | NullTracer | None,
+               ) -> Iterator[Tracer | NullTracer]:
     """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
     previous = _GLOBAL_TRACER
     set_tracer(tracer)

@@ -23,6 +23,7 @@ time to its parent's children-total.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -55,7 +56,7 @@ def all_payloads(source: Any) -> list[TracePayload]:
 # JSON-lines
 # ---------------------------------------------------------------------------
 
-def write_jsonl(source: Any, path) -> int:
+def write_jsonl(source: Any, path: str | Path) -> int:
     """Write spans + metrics as JSON-lines; returns the line count.
 
     Line types: ``meta`` (one per payload), ``span`` (t0/t1 seconds
@@ -131,7 +132,7 @@ def chrome_trace_events(source: Any) -> list[dict]:
     return events
 
 
-def write_chrome_trace(source: Any, path) -> int:
+def write_chrome_trace(source: Any, path: str | Path) -> int:
     """Write a ``chrome://tracing``-loadable JSON file; returns #events."""
     events = chrome_trace_events(source)
     with open(path, "w") as fh:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -50,10 +50,10 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -86,10 +86,10 @@ class NullTracer:
     def gauge(self, name: str, value: float) -> None:
         pass
 
-    def counters(self) -> dict:
+    def counters(self) -> dict[str, float]:
         return {}
 
-    def gauges(self) -> dict:
+    def gauges(self) -> dict[str, dict[str, float]]:
         return {}
 
 
@@ -114,11 +114,11 @@ class _SpanHandle:
         self.name_id = 0
         self.t0 = 0.0
 
-    def __enter__(self):
+    def __enter__(self) -> "_SpanHandle":
         self.t0 = _perf_counter()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self._tracer._finish_span(self, _perf_counter())
         return False
 
@@ -134,6 +134,12 @@ class _ThreadState:
         self.pool: list[_SpanHandle] = []
 
 
+class _TracerLocal(threading.local):
+    """Typed ``threading.local``: each thread sees its own ``state``."""
+
+    state: _ThreadState | None = None
+
+
 @dataclass
 class TracePayload:
     """Picklable snapshot of one tracer — the unit merged across ranks.
@@ -144,10 +150,10 @@ class TracePayload:
     keep them on separate pid rows rather than aligning them).
     """
 
-    names: list = field(default_factory=list)
+    names: list[str] = field(default_factory=list)
     records: np.ndarray = field(default_factory=lambda: np.empty(0, SPAN_DTYPE))
-    counters: dict = field(default_factory=dict)
-    gauges: dict = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, dict[str, float]] = field(default_factory=dict)
     pid: int = 0
     label: str = ""
     t_origin: float = 0.0
@@ -176,7 +182,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._names: list[str] = []
         self._name_ids: dict[str, int] = {}
-        self._local = threading.local()
+        self._local = _TracerLocal()
         self._n_threads = 0
         self.t_origin = _perf_counter()
         self._counters = CounterStore()
@@ -198,7 +204,7 @@ class Tracer:
         return nid
 
     def _thread_state(self) -> _ThreadState:
-        state = getattr(self._local, "state", None)
+        state = self._local.state
         if state is None:
             with self._lock:
                 tid = self._n_threads
@@ -303,7 +309,7 @@ def _as_payload(obj: Any) -> TracePayload:
     raise TypeError(f"expected Tracer or TracePayload, got {type(obj)}")
 
 
-def traced(name: str):
+def traced(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Method decorator: run the body inside ``self.tracer.span(name)``.
 
     For instance methods on objects holding a ``tracer`` attribute; with
@@ -313,9 +319,9 @@ def traced(name: str):
     """
     import functools
 
-    def decorate(fn):
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         @functools.wraps(fn)
-        def wrapper(self, *args, **kwargs):
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
             with self.tracer.span(name):
                 return fn(self, *args, **kwargs)
         return wrapper

@@ -1,0 +1,49 @@
+"""Deliberate split-phase protocol violations — checker test fixture.
+
+Never imported; scanned by ``tests/analysis/test_protocol.py`` and by
+the CLI exit-code tests.  Expected findings:
+
+* ``leak_pending``      -> RA201 (begin never finished on the return path)
+* ``double_begin``      -> RA202 (begin overwrites a pending begin)
+* ``phantom_finish``    -> RA203 (finish of a definitely-empty token)
+* ``writer``/``reader`` -> RA204 (opposite lock acquisition orders)
+* ``LeakyInlet``        -> RA205 (lease opened, never released)
+"""
+
+import numpy as np
+
+
+def leak_pending(machine, messages, flag):
+    pending = machine.post(messages, "w-gather")
+    if flag:
+        return machine.complete(pending)
+    return None
+
+
+def double_begin(schedule, machine, w, ghosts):
+    pending = schedule.gather_begin(machine, w)
+    pending = schedule.gather_begin(machine, w)
+    schedule.gather_finish(machine, pending, ghosts)
+
+
+def phantom_finish(machine):
+    pending = None
+    return machine.complete(pending)
+
+
+def writer(outbox_lock, stats_lock, payload):
+    with outbox_lock:
+        with stats_lock:
+            payload.flush()
+
+
+def reader(outbox_lock, stats_lock, payload):
+    with stats_lock:
+        with outbox_lock:
+            payload.drain()
+
+
+class LeakyInlet:
+    def pull(self, src, ctrl):
+        view = self.inlet.open(src, ctrl)
+        return np.array(view)

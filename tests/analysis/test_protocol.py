@@ -1,0 +1,274 @@
+"""Tests for the split-phase protocol verifier (RA2xx + RA3xx)."""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.__main__ import main
+from repro.analysis.protocol import (MODEL_MUTATIONS, PROTOCOL_PAIRS,
+                                     SEEDED_VIOLATIONS,
+                                     ProtocolVerificationError,
+                                     build_programs, check_protocol_paths,
+                                     check_protocol_source,
+                                     cycle_exchange_ops,
+                                     expected_exchange_count,
+                                     registry_rot_findings, run_selftest,
+                                     verify_schedule)
+from repro.analysis.protocol.fixtures import CLEAN_IDIOMS, fake_ring_schedule
+from repro.mesh.edges import build_edge_structure
+from repro.mesh.generators.box import box_mesh
+from repro.parti.schedule import build_gather_schedule
+from repro.parti.translation import TranslationTable
+from repro.partition.coordinate import recursive_coordinate_bisection
+
+FIXTURE = Path(__file__).parent / "fixtures" / "protocol_violations.py"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def schedule_for(mesh, struct, n_ranks, assignment=None):
+    """Inspector idiom: ghost schedule from the owned-edge endpoints."""
+    if assignment is None:
+        assignment = recursive_coordinate_bisection(mesh.vertices, n_ranks)
+    table = TranslationTable(assignment, n_parts=n_ranks)
+    edge_owner = table.owner_of(struct.edges[:, 0])
+    required = [struct.edges[edge_owner == r].ravel()
+                for r in range(n_ranks)]
+    return build_gather_schedule(required, table, name=f"test-p{n_ranks}")
+
+
+@pytest.fixture(scope="module")
+def box8():
+    mesh = box_mesh(8, 8, 8)
+    return mesh, build_edge_structure(mesh)
+
+
+# ---------------------------------------------------------------------------
+# Level 1: the AST checker
+# ---------------------------------------------------------------------------
+
+class TestAstChecker:
+    def test_parallel_layers_are_clean(self):
+        findings = check_protocol_paths(
+            [SRC_REPRO / "distsolver", SRC_REPRO / "parti"], check_rot=True)
+        assert findings == []
+
+    @pytest.mark.parametrize("name", sorted(SEEDED_VIOLATIONS))
+    def test_seeded_violation_caught(self, name):
+        code, source = SEEDED_VIOLATIONS[name]
+        found = {f.code for f in check_protocol_source(source, name)}
+        assert code in found
+
+    @pytest.mark.parametrize("name", sorted(CLEAN_IDIOMS))
+    def test_clean_idiom_passes(self, name):
+        assert check_protocol_source(CLEAN_IDIOMS[name], name) == []
+
+    def test_fixture_file_findings(self):
+        findings = check_protocol_paths([FIXTURE])
+        codes = {f.code for f in findings}
+        assert {"RA201", "RA202", "RA203", "RA204", "RA205"} <= codes
+
+    def test_noqa_suppresses(self):
+        source = (
+            "def f(machine, messages):\n"
+            "    pending = machine.post(messages, 'x')  # noqa: RA201\n"
+            "    return None\n")
+        assert check_protocol_source(source) == []
+
+    def test_noqa_other_code_does_not_suppress(self):
+        source = (
+            "def f(machine, messages):\n"
+            "    pending = machine.post(messages, 'x')  # noqa: RA203\n"
+            "    return None\n")
+        assert {f.code for f in check_protocol_source(source)} == {"RA201"}
+
+    def test_registry_rot_detected(self):
+        # An empty scan has seen no call names: every pair is stale.
+        findings = registry_rot_findings(set())
+        assert findings and all(f.code == "RA206" for f in findings)
+        stale = {f.message.split("'")[1] for f in findings}
+        assert stale == {p.name for p in PROTOCOL_PAIRS}
+
+    def test_syntax_error_is_ra000(self):
+        findings = check_protocol_source("def f(:\n", "broken.py")
+        assert [f.code for f in findings] == ["RA000"]
+
+    def test_findings_report_at_begin_line(self):
+        _code, source = SEEDED_VIOLATIONS["missing_finish"]
+        (finding,) = check_protocol_source(source)
+        assert finding.line == 2  # the begin, where the noqa would go
+
+    def test_selftest_is_green(self):
+        assert run_selftest() == []
+
+
+# ---------------------------------------------------------------------------
+# Level 2: the schedule model checker
+# ---------------------------------------------------------------------------
+
+class TestModelChecker:
+    def test_exchange_count_invariants(self):
+        assert len(cycle_exchange_ops("overlap")) == 34
+        assert len(cycle_exchange_ops("blocking")) == 37
+        assert expected_exchange_count("overlap") == 34
+        assert expected_exchange_count("blocking") == 37
+
+    def test_real_partition_verifies_clean(self, box8):
+        mesh, struct = box8
+        for n_ranks in (2, 4, 8):
+            result = verify_schedule(schedule_for(mesh, struct, n_ranks))
+            assert result.ok, [str(f) for f in result.findings]
+            assert result.n_ranks == n_ranks
+            assert result.semantics_checked == ("pipe", "shm")
+
+    def test_blocking_mode_verifies_clean(self, box8):
+        mesh, struct = box8
+        result = verify_schedule(schedule_for(mesh, struct, 4),
+                                 mode="blocking")
+        assert result.ok, [str(f) for f in result.findings]
+        assert result.n_ops == 37
+
+    @pytest.mark.parametrize("name", sorted(MODEL_MUTATIONS))
+    def test_model_mutation_caught(self, name, box8):
+        mesh, struct = box8
+        schedule = schedule_for(mesh, struct, 4)
+        code, mutator = MODEL_MUTATIONS[name]
+        ops = cycle_exchange_ops("overlap")
+        result = verify_schedule(schedule, **mutator(schedule, ops))
+        assert code in {f.code for f in result.findings}, \
+            [str(f) for f in result.findings]
+
+    def test_raise_if_failed(self):
+        schedule = fake_ring_schedule()
+        ops = cycle_exchange_ops("overlap")
+        _code, mutator = MODEL_MUTATIONS["swap_op_order"]
+        result = verify_schedule(schedule, **mutator(schedule, ops))
+        with pytest.raises(ProtocolVerificationError):
+            result.raise_if_failed()
+        clean = verify_schedule(schedule)
+        clean.raise_if_failed()  # no-op when ok
+
+    def test_single_rank_schedule(self):
+        schedule = SimpleNamespace(send_indices={})
+        result = verify_schedule(schedule)
+        assert result.ok and result.n_ranks == 1
+
+    def test_programs_balance(self, box8):
+        mesh, struct = box8
+        schedule = schedule_for(mesh, struct, 4)
+        ops = cycle_exchange_ops("overlap")
+        programs = build_programs(schedule, ops)
+        sends = sum(1 for p in programs for i in p if i[0] == "send")
+        recvs = sum(1 for p in programs for i in p if i[0] == "recv")
+        assert sends == recvs
+        n_pairs = len(schedule.send_indices)
+        assert sends == n_pairs * len(ops)
+
+    def test_box27_sweep_under_budget(self):
+        # Acceptance criterion: box27 certified deadlock-free at 2-16
+        # ranks under both capacity semantics in < 5 s (verification
+        # time; the mesh/inspector build is shared and excluded).
+        mesh = box_mesh(27, 27, 27)
+        struct = build_edge_structure(mesh)
+        schedules = [schedule_for(mesh, struct, n) for n in (2, 4, 8, 16)]
+        t0 = time.perf_counter()
+        for schedule in schedules:
+            result = verify_schedule(
+                schedule, expected_ops=expected_exchange_count("overlap"))
+            assert result.ok, [str(f) for f in result.findings]
+        assert time.perf_counter() - t0 < 5.0
+
+
+@st.composite
+def partitions(draw):
+    """(n_ranks, assignment) with every rank owning >= 1 vertex."""
+    n_vertices = 5 ** 3  # box4 vertex count
+    n_ranks = draw(st.integers(2, 5))
+    assignment = draw(st.lists(st.integers(0, n_ranks - 1),
+                               min_size=n_vertices, max_size=n_vertices))
+    # Guarantee every rank appears (empty ranks are legal but trivial).
+    assignment[:n_ranks] = range(n_ranks)
+    return n_ranks, np.array(assignment)
+
+
+class TestRandomPartitions:
+    @pytest.fixture(scope="class")
+    def box4(self):
+        mesh = box_mesh(4, 4, 4)
+        return mesh, build_edge_structure(mesh)
+
+    @given(part=partitions())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_partition_schedules_verify_clean(self, part, box4):
+        mesh, struct = box4
+        n_ranks, assignment = part
+        schedule = schedule_for(mesh, struct, n_ranks,
+                                assignment=assignment)
+        result = verify_schedule(schedule)
+        assert result.ok, [str(f) for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and modes
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_protocol_strict_clean_repo(self, capsys):
+        assert main(["--protocol", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_protocol_fixture_fails(self, capsys):
+        assert main(["--protocol", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        assert "per-rule:" in out and "RA201" in out
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main(["--protocol", str(bad)]) == 2
+        assert main([str(bad)]) == 2  # lint mode agrees
+
+    def test_selftest_mode(self, capsys):
+        assert main(["--protocol", "--selftest"]) == 0
+        assert "protocol selftest: ok" in capsys.readouterr().out
+
+    def test_mutate_mode(self, capsys):
+        assert main(["--protocol", "--mutate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(caught)") == len(MODEL_MUTATIONS)
+
+    def test_sweep_mode(self, capsys):
+        assert main(["--protocol", "--sweep", "box8",
+                     "--ranks", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep box8 @ 2 ranks" in out
+        assert "34 exchanges/cycle, ok" in out
+
+    def test_sweep_unknown_mesh_exits_2(self, capsys):
+        assert main(["--protocol", "--sweep", "nosuch"]) == 2
+
+    def test_sweep_requires_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["--selftest"])
+
+    def test_lint_per_rule_summary(self, capsys):
+        lint_fixture = FIXTURE.parent / "lint_violations.py"
+        code = main([str(lint_fixture)])
+        assert code == 1
+        assert "per-rule:" in capsys.readouterr().out
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--protocol",
+             "--strict"],
+            capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parents[2])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
